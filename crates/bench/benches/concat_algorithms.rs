@@ -1,0 +1,61 @@
+//! Wall-clock Criterion benches for the concatenation algorithms.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bruck_collectives::concat::ConcatAlgorithm;
+use bruck_collectives::verify;
+use bruck_model::cost::LinearModel;
+use bruck_model::partition::Preference;
+use bruck_net::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_concat(algo: ConcatAlgorithm, n: usize, block: usize, ports: usize) {
+    let cfg = ClusterConfig::new(n)
+        .with_ports(ports)
+        .with_cost(Arc::new(LinearModel::free()));
+    let out = Cluster::run(&cfg, |ep| {
+        let input = verify::concat_input(ep.rank(), block);
+        algo.run(ep, &input)
+    })
+    .expect("concat run failed");
+    std::hint::black_box(out.results);
+}
+
+fn bench_concat(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("concat_wallclock_n16");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &block in &[64usize, 4096] {
+        for algo in [
+            ConcatAlgorithm::Bruck(Preference::Rounds),
+            ConcatAlgorithm::GatherBroadcast,
+            ConcatAlgorithm::RecursiveDoubling,
+            ConcatAlgorithm::Ring,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), block),
+                &block,
+                |bencher, &block| bencher.iter(|| run_concat(algo, n, block, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_concat_multiport(c: &mut Criterion) {
+    // The k-port scaling the paper's §4 is about: same n and b, rising k.
+    let n = 27;
+    let block = 1024;
+    let mut group = c.benchmark_group("concat_ports_n27_b1k");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, &k| {
+            bencher.iter(|| run_concat(ConcatAlgorithm::Bruck(Preference::Rounds), n, block, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concat, bench_concat_multiport);
+criterion_main!(benches);

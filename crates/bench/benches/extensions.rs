@@ -1,0 +1,161 @@
+//! Wall-clock Criterion benches for the extension operations: v-variants,
+//! reductions, scans, the hierarchical alltoall, and the appendix-faithful
+//! ports (vs their idiomatic twins).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bruck_collectives::index::{bruck, hierarchical};
+use bruck_collectives::reduce::{
+    allreduce_halving_doubling, allreduce_via_concat, ReduceOp,
+};
+use bruck_collectives::scan::scan;
+use bruck_collectives::verify;
+use bruck_collectives::vops::{allgatherv, alltoallv};
+use bruck_collectives::appendix::index_appendix_a;
+use bruck_model::cost::LinearModel;
+use bruck_net::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn free_cfg(n: usize) -> ClusterConfig {
+    ClusterConfig::new(n).with_cost(Arc::new(LinearModel::free()))
+}
+
+fn bench_vops(c: &mut Criterion) {
+    let n = 12;
+    let mut group = c.benchmark_group("vops_n12");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("alltoallv_skewed", |bencher| {
+        bencher.iter(|| {
+            let out = Cluster::run(&free_cfg(n), |ep| {
+                let bufs: Vec<Vec<u8>> = (0..n)
+                    .map(|j| vec![0u8; (ep.rank() * j * 37) % 4096])
+                    .collect();
+                alltoallv(ep, &bufs)
+            })
+            .expect("alltoallv failed");
+            std::hint::black_box(out.results);
+        });
+    });
+    group.bench_function("allgatherv_skewed", |bencher| {
+        bencher.iter(|| {
+            let out = Cluster::run(&free_cfg(n), |ep| {
+                let mine = vec![0u8; (ep.rank() * 331) % 4096];
+                allgatherv(ep, &mine)
+            })
+            .expect("allgatherv failed");
+            std::hint::black_box(out.results);
+        });
+    });
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("allreduce_n16");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &m in &[64usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("via_concat", m), &m, |bencher, &m| {
+            bencher.iter(|| {
+                let out = Cluster::run(&free_cfg(n), |ep| {
+                    let mine = vec![ep.rank() as f64; m];
+                    allreduce_via_concat(ep, &mine, ReduceOp::Sum)
+                })
+                .expect("allreduce failed");
+                std::hint::black_box(out.results);
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("halving_doubling", m),
+            &m,
+            |bencher, &m| {
+                bencher.iter(|| {
+                    let out = Cluster::run(&free_cfg(n), |ep| {
+                        let mine = vec![ep.rank() as f64; m];
+                        allreduce_halving_doubling(ep, &mine, ReduceOp::Sum)
+                    })
+                    .expect("allreduce failed");
+                    std::hint::black_box(out.results);
+                });
+            },
+        );
+    }
+    group.bench_function("scan_m256", |bencher| {
+        bencher.iter(|| {
+            let out = Cluster::run(&free_cfg(n), |ep| {
+                let mine = vec![ep.rank() as f64; 256];
+                scan(ep, &mine, ReduceOp::Sum)
+            })
+            .expect("scan failed");
+            std::hint::black_box(out.results);
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let n = 16;
+    let node_size = 4;
+    let block = 1024;
+    let mut group = c.benchmark_group("hierarchical_vs_flat_n16");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("flat_r2", |bencher| {
+        bencher.iter(|| {
+            let out = Cluster::run(&free_cfg(n), |ep| {
+                let input = verify::index_input(ep.rank(), n, block);
+                bruck::run(ep, &input, block, 2)
+            })
+            .expect("flat failed");
+            std::hint::black_box(out.results);
+        });
+    });
+    group.bench_function("two_level", |bencher| {
+        bencher.iter(|| {
+            let out = Cluster::run(&free_cfg(n), |ep| {
+                let input = verify::index_input(ep.rank(), n, block);
+                hierarchical::run(ep, &input, block, node_size, node_size, node_size)
+            })
+            .expect("two-level failed");
+            std::hint::black_box(out.results);
+        });
+    });
+    group.finish();
+}
+
+fn bench_appendix_vs_idiomatic(c: &mut Criterion) {
+    let n = 13;
+    let block = 512;
+    let a: Vec<usize> = (0..n).collect();
+    let mut group = c.benchmark_group("appendix_vs_idiomatic_n13");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("appendix_a_r3", |bencher| {
+        bencher.iter(|| {
+            let out = Cluster::run(&free_cfg(n), |ep| {
+                let input = verify::index_input(ep.rank(), n, block);
+                index_appendix_a(ep, &input, block, &a, 3)
+            })
+            .expect("appendix failed");
+            std::hint::black_box(out.results);
+        });
+    });
+    group.bench_function("idiomatic_r3", |bencher| {
+        bencher.iter(|| {
+            let out = Cluster::run(&free_cfg(n), |ep| {
+                let input = verify::index_input(ep.rank(), n, block);
+                bruck::run(ep, &input, block, 3)
+            })
+            .expect("idiomatic failed");
+            std::hint::black_box(out.results);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vops,
+    bench_reductions,
+    bench_hierarchical,
+    bench_appendix_vs_idiomatic
+);
+criterion_main!(benches);

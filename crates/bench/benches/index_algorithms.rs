@@ -1,0 +1,64 @@
+//! Wall-clock Criterion benches for the index algorithms on the live
+//! threaded cluster (real memcpy + channel costs, zero-cost virtual
+//! model). Complements the `figures` binary, which measures *virtual*
+//! (SP-1-calibrated) time: here the radix trade-off shows up against the
+//! real per-message overhead of the channel substrate.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bruck_collectives::index::IndexAlgorithm;
+use bruck_collectives::verify;
+use bruck_model::cost::LinearModel;
+use bruck_net::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_index(algo: IndexAlgorithm, n: usize, block: usize) {
+    let cfg = ClusterConfig::new(n).with_cost(Arc::new(LinearModel::free()));
+    let out = Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, block);
+        algo.run(ep, &input, block)
+    })
+    .expect("index run failed");
+    std::hint::black_box(out.results);
+}
+
+fn bench_index(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("index_wallclock_n16");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &block in &[16usize, 1024, 16384] {
+        for algo in [
+            IndexAlgorithm::BruckRadix(2),
+            IndexAlgorithm::BruckRadix(4),
+            IndexAlgorithm::BruckRadix(n),
+            IndexAlgorithm::Direct,
+            IndexAlgorithm::Pairwise,
+            IndexAlgorithm::Hypercube,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), block),
+                &block,
+                |bencher, &block| bencher.iter(|| run_index(algo, n, block)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_radix_sweep(c: &mut Criterion) {
+    // Fig. 6's wall-clock cousin: time vs radix at a fixed message size.
+    let n = 16;
+    let block = 256;
+    let mut group = c.benchmark_group("index_radix_sweep_b256");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for r in [2usize, 3, 4, 6, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |bencher, &r| {
+            bencher.iter(|| run_index(IndexAlgorithm::BruckRadix(r), n, block));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index, bench_radix_sweep);
+criterion_main!(benches);

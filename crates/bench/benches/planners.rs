@@ -1,0 +1,66 @@
+//! Criterion benches for the pure planning/analysis layer: schedule
+//! generation, the last-round partitioner, and radix tuning. These are
+//! the costs a runtime library pays *per collective call* before any
+//! byte moves, so they must stay microseconds-cheap.
+
+use std::time::Duration;
+
+use bruck_collectives::concat::ConcatAlgorithm;
+use bruck_collectives::index::IndexAlgorithm;
+use bruck_model::cost::LinearModel;
+use bruck_model::partition::{plan_last_round, Preference};
+use bruck_model::tuning::{all_radices, best_radix};
+use bruck_sched::ScheduleStats;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_last_round");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    for &(n1, n2, b, k) in &[(4usize, 6usize, 3usize, 3usize), (125, 500, 64, 4), (1024, 1023, 256, 1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n1{n1}_n2{n2}_b{b}_k{k}")),
+            &(n1, n2, b, k),
+            |bencher, &(n1, n2, b, k)| {
+                bencher.iter(|| {
+                    std::hint::black_box(plan_last_round(n1, n2, b, k, Preference::Rounds))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_planning");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("index_bruck_r2", n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                let s = IndexAlgorithm::BruckRadix(2).plan(n, 64, 1);
+                std::hint::black_box(ScheduleStats::of(&s))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("concat_bruck", n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                let s = ConcatAlgorithm::Bruck(Preference::Rounds).plan(n, 64, 2);
+                std::hint::black_box(ScheduleStats::of(&s))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_tuning");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let model = LinearModel::sp1();
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| std::hint::black_box(best_radix(n, 256, 1, &model, all_radices(n))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner, bench_planners, bench_tuning);
+criterion_main!(benches);

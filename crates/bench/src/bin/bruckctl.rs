@@ -1,0 +1,222 @@
+//! `bruckctl` — run any collective from the command line and print its
+//! complexity, predicted time, and virtual measurement.
+//!
+//! ```text
+//! bruckctl index  --n 64 --block 256 --radix 8 [--ports 2] [--model sp1|linear|free] [--transport channel|uds]
+//! bruckctl index  --n 64 --block 256            # auto-tuned radix
+//! bruckctl concat --n 60 --block 64 --ports 3
+//! bruckctl plan   --op index --n 16 --block 4 --radix 2   # print the schedule
+//! bruckctl tune   --n 64 --block 128 [--ports 1]          # radix table
+//! ```
+
+use std::sync::Arc;
+
+use bruck_collectives::concat::ConcatAlgorithm;
+use bruck_collectives::index::IndexAlgorithm;
+use bruck_collectives::verify;
+use bruck_model::bounds::{concat_bounds, index_bounds};
+use bruck_model::cost::{CostModel, LinearModel, Sp1Model};
+use bruck_model::partition::Preference;
+use bruck_model::tuning::{all_radices, best_radix, index_complexity_kport};
+use bruck_net::{Cluster, ClusterConfig, Endpoint, NetError};
+use bruck_sched::{from_tsv, render_activity, render_rounds, summarize, to_tsv, ScheduleStats};
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    n: usize,
+    block: usize,
+    ports: usize,
+    radix: Option<usize>,
+    op: String,
+    model: String,
+    transport: String,
+    save: Option<String>,
+    load: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut raw = std::env::args().skip(1);
+    let command = raw.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        n: 8,
+        block: 64,
+        ports: 1,
+        radix: None,
+        op: "index".into(),
+        model: "sp1".into(),
+        transport: "channel".into(),
+        save: None,
+        load: None,
+    };
+    while let Some(flag) = raw.next() {
+        let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--block" => args.block = value()?.parse().map_err(|e| format!("--block: {e}"))?,
+            "--ports" => args.ports = value()?.parse().map_err(|e| format!("--ports: {e}"))?,
+            "--radix" => {
+                args.radix = Some(value()?.parse().map_err(|e| format!("--radix: {e}"))?)
+            }
+            "--op" => args.op = value()?,
+            "--model" => args.model = value()?,
+            "--transport" => args.transport = value()?,
+            "--save" => args.save = Some(value()?),
+            "--load" => args.load = Some(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn model_from(name: &str) -> Result<Arc<dyn CostModel>, String> {
+    match name {
+        "sp1" => Ok(Arc::new(Sp1Model::calibrated())),
+        "linear" => Ok(Arc::new(LinearModel::sp1())),
+        "free" => Ok(Arc::new(LinearModel::free())),
+        other => Err(format!("unknown model {other} (sp1|linear|free)")),
+    }
+}
+
+fn run_cluster<T: Send>(
+    args: &Args,
+    cfg: &ClusterConfig,
+    body: impl Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
+) -> Result<bruck_net::RunOutput<T>, String> {
+    match args.transport.as_str() {
+        "channel" => Cluster::run(cfg, body).map_err(|e| e.to_string()),
+        #[cfg(unix)]
+        "uds" => bruck_net::SocketCluster::run(cfg, body).map_err(|e| e.to_string()),
+        other => Err(format!("unknown transport {other} (channel|uds)")),
+    }
+}
+
+fn cmd_index(args: &Args) -> Result<(), String> {
+    let model = model_from(&args.model)?;
+    let radix = args.radix.unwrap_or_else(|| {
+        best_radix(args.n, args.block, args.ports, model.as_ref(), all_radices(args.n)).radix
+    });
+    let algo = IndexAlgorithm::BruckRadix(radix);
+    let cfg = ClusterConfig::new(args.n).with_ports(args.ports).with_cost(Arc::clone(&model));
+    let (n, block) = (args.n, args.block);
+    let out = run_cluster(args, &cfg, move |ep| {
+        let input = verify::index_input(ep.rank(), n, block);
+        let result = algo.run(ep, &input, block)?;
+        if result != verify::index_expected(ep.rank(), n, block) {
+            return Err(NetError::App("wrong result".into()));
+        }
+        Ok(())
+    })?;
+    let c = out.metrics.global_complexity().ok_or("misaligned rounds")?;
+    let lb = index_bounds(args.n, args.ports, args.block);
+    println!("index: n={n} b={block} k={} radix={radix} ({})", args.ports, args.transport);
+    println!("  complexity : {c}");
+    println!("  bounds     : C1 ≥ {}, C2 ≥ {}", lb.c1, lb.c2);
+    println!("  predicted  : {:.3} ms ({})", model.estimate(c) * 1e3, model.name());
+    println!("  virtual    : {:.3} ms", out.virtual_makespan() * 1e3);
+    println!("  verified   : all ranks hold the transposed blocks ✓");
+    Ok(())
+}
+
+fn cmd_concat(args: &Args) -> Result<(), String> {
+    let model = model_from(&args.model)?;
+    let algo = ConcatAlgorithm::Bruck(Preference::Rounds);
+    let cfg = ClusterConfig::new(args.n).with_ports(args.ports).with_cost(Arc::clone(&model));
+    let (n, block) = (args.n, args.block);
+    let out = run_cluster(args, &cfg, move |ep| {
+        let input = verify::concat_input(ep.rank(), block);
+        let result = algo.run(ep, &input)?;
+        if result != verify::concat_expected(n, block) {
+            return Err(NetError::App("wrong result".into()));
+        }
+        Ok(())
+    })?;
+    let c = out.metrics.global_complexity().ok_or("misaligned rounds")?;
+    let lb = concat_bounds(args.n, args.ports, args.block);
+    println!("concat: n={n} b={block} k={} ({})", args.ports, args.transport);
+    println!("  complexity : {c}");
+    println!("  bounds     : C1 ≥ {}, C2 ≥ {}", lb.c1, lb.c2);
+    println!("  predicted  : {:.3} ms ({})", model.estimate(c) * 1e3, model.name());
+    println!("  virtual    : {:.3} ms", out.virtual_makespan() * 1e3);
+    println!("  verified   : all ranks hold the concatenation ✓");
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let schedule = match args.op.as_str() {
+        "index" => IndexAlgorithm::BruckRadix(args.radix.unwrap_or(2))
+            .plan(args.n, args.block, args.ports),
+        "concat" => {
+            ConcatAlgorithm::Bruck(Preference::Rounds).plan(args.n, args.block, args.ports)
+        }
+        other => return Err(format!("unknown --op {other} (index|concat)")),
+    };
+    schedule.validate().map_err(|e| format!("invalid schedule: {e}"))?;
+    println!("{}", summarize(&schedule));
+    print!("{}", render_rounds(&schedule));
+    if args.n <= 32 {
+        print!("{}", render_activity(&schedule));
+    }
+    if let Some(path) = &args.save {
+        std::fs::write(path, to_tsv(&schedule)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("[schedule written to {path}]");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args.load.as_ref().ok_or("analyze needs --load <path>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let schedule = from_tsv(&text)?;
+    schedule.validate().map_err(|e| format!("invalid schedule: {e}"))?;
+    let model = model_from(&args.model)?;
+    let stats = ScheduleStats::of(&schedule);
+    println!("{}", summarize(&schedule));
+    println!(
+        "predicted time under {}: {:.4} ms (closed form), {:.4} ms (event simulation)",
+        model.name(),
+        stats.predicted_time(model.as_ref()) * 1e3,
+        bruck_sched::analyze::simulate_time(&schedule, model.as_ref()) * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let model = model_from(&args.model)?;
+    println!(
+        "radix table for n={} b={} k={} under the {} model:",
+        args.n, args.block, args.ports, model.name()
+    );
+    println!("{:>6} {:>8} {:>12} {:>12}", "radix", "C1", "C2", "pred (ms)");
+    for r in all_radices(args.n) {
+        let c = index_complexity_kport(args.n, r, args.block, args.ports);
+        println!("{r:>6} {:>8} {:>12} {:>12.4}", c.c1, c.c2, model.estimate(c) * 1e3);
+    }
+    let choice = best_radix(args.n, args.block, args.ports, model.as_ref(), all_radices(args.n));
+    println!("→ best radix: {} ({:.4} ms)", choice.radix, choice.predicted_time * 1e3);
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bruckctl: {e}");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds]");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "index" => cmd_index(&args),
+        "concat" => cmd_concat(&args),
+        "plan" => cmd_plan(&args),
+        "analyze" => cmd_analyze(&args),
+        "tune" => cmd_tune(&args),
+        other => Err(format!("unknown command {other}")),
+    };
+    if let Err(e) = result {
+        eprintln!("bruckctl: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Benchmark harness for the Bruck all-to-all reproduction.
+//!
+//! The [`harness`] module runs collectives on live clusters under the
+//! §3.5 SP-1 cost model and reports `(C1, C2)`, predicted time, and the
+//! virtual-time measurement — the machinery behind the `figures` binary
+//! that regenerates every figure and table of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,193 @@
+//! High-level tuned entry points — the `MPI_Alltoall` / `MPI_Allgather`
+//! equivalents a downstream application calls.
+//!
+//! The paper's §3.3: "r can be fine-tuned according to the parameters of
+//! the underlying machines to balance between the start-up time and the
+//! data transfer time". [`alltoall`] does exactly that: given a cost
+//! model, it evaluates the closed-form complexity of every candidate
+//! radix and runs the predicted-time minimizer.
+
+use std::sync::Arc;
+
+use bruck_model::cost::{CostModel, LinearModel};
+use bruck_model::partition::Preference;
+use bruck_model::tuning::{all_radices, best_radix, RadixChoice};
+use bruck_net::{Comm, NetError};
+
+use crate::concat::ConcatAlgorithm;
+use crate::index::IndexAlgorithm;
+
+/// Tuning knobs for the high-level operations.
+#[derive(Clone)]
+pub struct Tuning {
+    /// Cost model used to select the index radix.
+    pub model: Arc<dyn CostModel>,
+    /// Force a specific radix instead of auto-tuning.
+    pub radix: Option<usize>,
+    /// Preference inside the concatenation exception range.
+    pub concat_preference: Preference,
+}
+
+impl Default for Tuning {
+    /// SP-1 linear parameters, auto radix, round-preserving concatenation.
+    fn default() -> Self {
+        Self {
+            model: Arc::new(LinearModel::sp1()),
+            radix: None,
+            concat_preference: Preference::Rounds,
+        }
+    }
+}
+
+impl core::fmt::Debug for Tuning {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Tuning")
+            .field("model", &self.model.name())
+            .field("radix", &self.radix)
+            .field("concat_preference", &self.concat_preference)
+            .finish()
+    }
+}
+
+impl Tuning {
+    /// The radix [`alltoall`] will use for `n` ranks, `b`-byte blocks, and
+    /// `k` ports under this tuning.
+    #[must_use]
+    pub fn chosen_radix(&self, n: usize, block: usize, ports: usize) -> RadixChoice {
+        match self.radix {
+            Some(r) => {
+                let complexity =
+                    bruck_model::tuning::index_complexity_kport(n.max(2), r.clamp(2, n.max(2)), block, ports);
+                RadixChoice {
+                    radix: r.clamp(2, n.max(2)),
+                    complexity,
+                    predicted_time: self.model.estimate(complexity),
+                }
+            }
+            None => best_radix(n, block, ports, self.model.as_ref(), all_radices(n)),
+        }
+    }
+}
+
+/// All-to-all personalized communication with an auto-tuned radix.
+///
+/// `sendbuf` holds `n` blocks of `block` bytes (block `j` destined for
+/// rank `j`); the result holds block `j` *from* rank `j`.
+///
+/// # Example
+///
+/// ```
+/// use bruck_collectives::api::{alltoall, Tuning};
+/// use bruck_net::{Cluster, ClusterConfig};
+///
+/// let n = 4;
+/// let out = Cluster::run(&ClusterConfig::new(n), |ep| {
+///     // Block j carries one byte naming the (source, destination) pair.
+///     let sendbuf: Vec<u8> = (0..n).map(|j| (ep.rank() * 16 + j) as u8).collect();
+///     let result = alltoall(ep, &sendbuf, 1, &Tuning::default())?;
+///     // Block j of the result came *from* rank j and names us.
+///     for (j, &byte) in result.iter().enumerate() {
+///         assert_eq!(byte as usize, j * 16 + ep.rank());
+///     }
+///     Ok(())
+/// })
+/// .unwrap();
+/// assert_eq!(out.results.len(), n);
+/// ```
+///
+/// # Errors
+///
+/// See [`IndexAlgorithm::run`].
+pub fn alltoall<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    tuning: &Tuning,
+) -> Result<Vec<u8>, NetError> {
+    let choice = tuning.chosen_radix(ep.size(), block, ep.ports());
+    IndexAlgorithm::BruckRadix(choice.radix).run(ep, sendbuf, block)
+}
+
+/// All-to-all broadcast via the circulant algorithm.
+///
+/// # Example
+///
+/// ```
+/// use bruck_collectives::api::{allgather, Tuning};
+/// use bruck_net::{Cluster, ClusterConfig};
+///
+/// let n = 5;
+/// let out = Cluster::run(&ClusterConfig::new(n), |ep| {
+///     let mine = vec![ep.rank() as u8; 3];
+///     let all = allgather(ep, &mine, &Tuning::default())?;
+///     assert_eq!(all.len(), n * 3);
+///     for src in 0..n {
+///         assert!(all[src * 3..(src + 1) * 3].iter().all(|&x| x == src as u8));
+///     }
+///     Ok(())
+/// })
+/// .unwrap();
+/// assert_eq!(out.results.len(), n);
+/// ```
+///
+/// # Errors
+///
+/// See [`ConcatAlgorithm::run`].
+pub fn allgather<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8], tuning: &Tuning) -> Result<Vec<u8>, NetError> {
+    ConcatAlgorithm::Bruck(tuning.concat_preference).run(ep, myblock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_net::{Cluster, ClusterConfig};
+
+    #[test]
+    fn alltoall_auto_tuned_is_correct() {
+        for block in [1usize, 64, 1024] {
+            let n = 8;
+            let cfg = ClusterConfig::new(n);
+            let tuning = Tuning::default();
+            let out = Cluster::run(&cfg, |ep| {
+                let input = crate::verify::index_input(ep.rank(), n, block);
+                alltoall(ep, &input, block, &tuning)
+            })
+            .unwrap();
+            for (rank, result) in out.results.iter().enumerate() {
+                assert_eq!(result, &crate::verify::index_expected(rank, n, block));
+            }
+        }
+    }
+
+    #[test]
+    fn radix_override_is_respected() {
+        let tuning = Tuning { radix: Some(4), ..Tuning::default() };
+        assert_eq!(tuning.chosen_radix(16, 100, 1).radix, 4);
+        // Clamped into [2, n].
+        let tuning = Tuning { radix: Some(100), ..Tuning::default() };
+        assert_eq!(tuning.chosen_radix(16, 100, 1).radix, 16);
+    }
+
+    #[test]
+    fn auto_radix_adapts_to_block_size() {
+        let tuning = Tuning::default();
+        let small = tuning.chosen_radix(64, 1, 1).radix;
+        let large = tuning.chosen_radix(64, 16384, 1).radix;
+        assert!(small < large, "small-block radix {small} should be below large-block {large}");
+    }
+
+    #[test]
+    fn allgather_is_correct() {
+        let n = 9;
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let tuning = Tuning::default();
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::concat_input(ep.rank(), 5);
+            allgather(ep, &input, &tuning)
+        })
+        .unwrap();
+        for result in &out.results {
+            assert_eq!(result, &crate::verify::concat_expected(n, 5));
+        }
+    }
+}

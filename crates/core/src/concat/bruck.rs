@@ -1,0 +1,352 @@
+//! The paper's §4 concatenation algorithm on the circulant graph
+//! `G(n; S_0 ∪ … ∪ S_{d-2})`, with the byte-partitioned last round of
+//! Proposition 4.2.
+//!
+//! Data layout during the algorithm: rank `v` keeps a *distance-ordered*
+//! buffer `have`, where slot `δ` holds the block of rank
+//! `(v - δ) mod n`. Phase 1 round `i` sends the first `(k+1)^i` slots to
+//! the `k` ranks `v + j·(k+1)^i` and appends what arrives from
+//! `v - j·(k+1)^i` at slot `j·(k+1)^i`; after `d-1` rounds the first
+//! `n1 = (k+1)^{d-1}` slots are full (Theorem 4.1). The last round(s)
+//! follow the [`bruck_model::partition`] plan: an area with offset `o`
+//! carries, for each of its column slices `(m, rows)`, the bytes `rows`
+//! of slot `n1 + m - o` to rank `v + o`, landing in slot `n1 + m`.
+
+use bruck_model::partition::{plan_last_round, LastRoundPlan, Preference};
+use bruck_model::radix::{ceil_log, pow};
+use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
+use bruck_sched::{Schedule, Transfer};
+
+/// Geometry shared by the executor and the planner.
+struct Geometry {
+    d: u32,
+    n1: usize,
+    n2: usize,
+}
+
+fn geometry(n: usize, k: usize) -> Geometry {
+    let d = ceil_log(k + 1, n);
+    let n1 = if d == 0 { 1 } else { pow(k + 1, d - 1) };
+    Geometry { d, n1, n2: n - n1.min(n) }
+}
+
+/// Pack one area's bytes out of the distance-ordered buffer.
+fn pack_area(have: &[u8], b: usize, n1: usize, area: &bruck_model::partition::Area) -> Vec<u8> {
+    let mut out = Vec::with_capacity(area.bytes());
+    for s in &area.slices {
+        let slot = n1 + s.col - area.offset;
+        out.extend_from_slice(&have[slot * b + s.row_start..slot * b + s.row_end]);
+    }
+    out
+}
+
+/// Unpack one received area into the distance-ordered buffer.
+fn unpack_area(
+    have: &mut [u8],
+    b: usize,
+    n1: usize,
+    area: &bruck_model::partition::Area,
+    msg: &[u8],
+) -> Result<(), NetError> {
+    if msg.len() != area.bytes() {
+        return Err(NetError::App(format!(
+            "area message size mismatch: got {}, expected {}",
+            msg.len(),
+            area.bytes()
+        )));
+    }
+    let mut at = 0usize;
+    for s in &area.slices {
+        let slot = n1 + s.col;
+        let len = s.len();
+        have[slot * b + s.row_start..slot * b + s.row_end]
+            .copy_from_slice(&msg[at..at + len]);
+        at += len;
+    }
+    Ok(())
+}
+
+/// Execute the circulant concatenation.
+///
+/// # Errors
+///
+/// Network failures propagate; parameter problems surface as
+/// [`NetError::App`].
+pub fn run<C: Comm + ?Sized>(
+    ep: &mut C, myblock: &[u8], pref: Preference) -> Result<Vec<u8>, NetError> {
+    let n = ep.size();
+    let b = myblock.len();
+    let rank = ep.rank();
+    let k = ep.ports();
+    if n == 1 {
+        return Ok(myblock.to_vec());
+    }
+    if b == 0 {
+        return Ok(Vec::new());
+    }
+
+    let geo = geometry(n, k);
+    let mut have = vec![0u8; n * b];
+    have[..b].copy_from_slice(myblock);
+
+    if geo.d <= 1 {
+        // Trivial single round: n ≤ k+1, everyone talks to everyone.
+        let sends: Vec<SendSpec<'_>> = (1..n)
+            .map(|d| SendSpec { to: (rank + d) % n, tag: 0, payload: myblock })
+            .collect();
+        let recvs: Vec<RecvSpec> =
+            (1..n).map(|d| RecvSpec { from: (rank + n - d) % n, tag: 0 }).collect();
+        let msgs = ep.round(&sends, &recvs)?;
+        for (d, msg) in (1..n).zip(&msgs) {
+            have[d * b..(d + 1) * b].copy_from_slice(&msg.payload);
+        }
+    } else {
+        // Phase 1: d-1 doubling-by-(k+1) rounds.
+        for i in 0..geo.d - 1 {
+            let cur = pow(k + 1, i);
+            let payload = have[..cur * b].to_vec();
+            ep.charge_copy((cur * b) as u64);
+            let sends: Vec<SendSpec<'_>> = (1..=k)
+                .map(|j| SendSpec {
+                    to: (rank + j * cur) % n,
+                    tag: u64::from(i),
+                    payload: &payload,
+                })
+                .collect();
+            let recvs: Vec<RecvSpec> = (1..=k)
+                .map(|j| RecvSpec { from: (rank + n - j * cur % n) % n, tag: u64::from(i) })
+                .collect();
+            let msgs = ep.round(&sends, &recvs)?;
+            let mut received = 0u64;
+            for (j, msg) in (1..=k).zip(&msgs) {
+                if msg.payload.len() != cur * b {
+                    return Err(NetError::App("phase-1 message size mismatch".into()));
+                }
+                have[j * cur * b..(j * cur + cur) * b].copy_from_slice(&msg.payload);
+                received += msg.payload.len() as u64;
+            }
+            ep.charge_copy(received);
+        }
+
+        // Last round(s): the table-partition plan.
+        let plan = plan_last_round(geo.n1, geo.n2, b, k, pref);
+        for (ri, round) in plan.rounds.iter().enumerate() {
+            let tag_base = u64::from(geo.d - 1 + ri as u32) << 8;
+            let staged: Vec<(usize, u64, Vec<u8>)> = round
+                .iter()
+                .enumerate()
+                .map(|(ai, area)| {
+                    (area.offset, tag_base | ai as u64, pack_area(&have, b, geo.n1, area))
+                })
+                .collect();
+            let sends: Vec<SendSpec<'_>> = staged
+                .iter()
+                .map(|(offset, tag, payload)| SendSpec {
+                    to: (rank + offset) % n,
+                    tag: *tag,
+                    payload,
+                })
+                .collect();
+            let recvs: Vec<RecvSpec> = staged
+                .iter()
+                .map(|(offset, tag, _)| RecvSpec {
+                    from: (rank + n - offset % n) % n,
+                    tag: *tag,
+                })
+                .collect();
+            let packed: u64 = staged.iter().map(|(_, _, p)| p.len() as u64).sum();
+            ep.charge_copy(packed);
+            let msgs = ep.round(&sends, &recvs)?;
+            let mut received = 0u64;
+            for (area, msg) in round.iter().zip(&msgs) {
+                unpack_area(&mut have, b, geo.n1, area, &msg.payload)?;
+                received += msg.payload.len() as u64;
+            }
+            ep.charge_copy(received);
+        }
+    }
+
+    // Reorder: slot δ holds the block of rank (rank - δ) mod n.
+    let mut out = vec![0u8; n * b];
+    for slot in 0..n {
+        let owner = (rank + n - slot) % n;
+        out[owner * b..(owner + 1) * b].copy_from_slice(&have[slot * b..(slot + 1) * b]);
+    }
+    ep.charge_copy((n * b) as u64);
+    Ok(out)
+}
+
+/// The static schedule of [`run`].
+#[must_use]
+pub fn plan(n: usize, block: usize, ports: usize, pref: Preference) -> Schedule {
+    assert!(ports >= 1);
+    let mut schedule = Schedule::new(n, ports);
+    if n <= 1 || block == 0 {
+        return schedule;
+    }
+    let geo = geometry(n, ports);
+    if geo.d <= 1 {
+        let transfers = (0..n)
+            .flat_map(|src| {
+                (1..n).map(move |d| Transfer { src, dst: (src + d) % n, bytes: block as u64 })
+            })
+            .collect();
+        schedule.push_round(transfers);
+        return schedule;
+    }
+    for i in 0..geo.d - 1 {
+        let cur = pow(ports + 1, i);
+        let bytes = (cur * block) as u64;
+        let transfers = (0..n)
+            .flat_map(|src| {
+                (1..=ports).map(move |j| Transfer { src, dst: (src + j * cur) % n, bytes })
+            })
+            .collect();
+        schedule.push_round(transfers);
+    }
+    let lr = plan_last_round(geo.n1, geo.n2, block, ports, pref);
+    for round in &lr.rounds {
+        let transfers = (0..n)
+            .flat_map(|src| {
+                round.iter().map(move |area| Transfer {
+                    src,
+                    dst: (src + area.offset) % n,
+                    bytes: area.bytes() as u64,
+                })
+            })
+            .collect();
+        schedule.push_round(transfers);
+    }
+    schedule
+}
+
+/// Expose the last-round plan used for `(n, k, b)` — the figure harness
+/// prints it as the paper's Table 1.
+#[must_use]
+pub fn last_round_plan(n: usize, block: usize, ports: usize, pref: Preference) -> Option<LastRoundPlan> {
+    let geo = geometry(n, ports);
+    (geo.d >= 2 && block > 0).then(|| plan_last_round(geo.n1, geo.n2, block, ports, pref))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_model::bounds::concat_bounds;
+    use bruck_net::{Cluster, ClusterConfig};
+    use bruck_sched::ScheduleStats;
+
+    fn run_cluster(n: usize, b: usize, k: usize, pref: Preference) {
+        let cfg = ClusterConfig::new(n).with_ports(k);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::concat_input(ep.rank(), b);
+            run(ep, &input, pref)
+        })
+        .unwrap();
+        let expected = crate::verify::concat_expected(n, b);
+        for (rank, result) in out.results.iter().enumerate() {
+            assert_eq!(result, &expected, "n={n} b={b} k={k} rank={rank}");
+        }
+    }
+
+    #[test]
+    fn correct_one_port() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16] {
+            run_cluster(n, 4, 1, Preference::Rounds);
+        }
+    }
+
+    #[test]
+    fn correct_fig9_case() {
+        // Fig. 9: n = 5, k = 1, b = 1.
+        run_cluster(5, 1, 1, Preference::Rounds);
+    }
+
+    #[test]
+    fn correct_multiport() {
+        for k in [2usize, 3, 4] {
+            for n in [4usize, 9, 10, 17, 25] {
+                run_cluster(n, 3, k, Preference::Rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn correct_trivial_range() {
+        // n ≤ k+1: the single-round direct algorithm.
+        run_cluster(4, 2, 3, Preference::Rounds);
+        run_cluster(3, 2, 5, Preference::Rounds);
+    }
+
+    #[test]
+    fn correct_bytes_preference() {
+        for n in [10usize, 21, 30] {
+            for k in [3usize, 4] {
+                run_cluster(n, 5, k, Preference::Bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn correct_byte_split_last_round() {
+        // A case where blocks are split across ports byte-wise: the
+        // Table 1 geometry (n = 10, k = 3, b = 3) — n1 = 4 here since
+        // d = ⌈log4 10⌉ = 2.
+        run_cluster(10, 3, 3, Preference::Rounds);
+    }
+
+    #[test]
+    fn fig9_round_count() {
+        // n = 5, k = 1: d = 3 rounds total (2 doubling + 1 partial).
+        let cfg = ClusterConfig::new(5);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::concat_input(ep.rank(), 1);
+            run(ep, &input, Preference::Rounds)
+        })
+        .unwrap();
+        let c = out.metrics.global_complexity().unwrap();
+        assert_eq!(c.c1, 3);
+        // C2 = 1 + 2 + 1 = 4 = ⌈b(n-1)/k⌉ = 4: optimal.
+        assert_eq!(c.c2, 4);
+    }
+
+    #[test]
+    fn plan_matches_execution() {
+        for (n, k, b) in [(5usize, 1usize, 2usize), (9, 2, 3), (10, 3, 3), (16, 1, 4)] {
+            let cfg = ClusterConfig::new(n).with_ports(k).with_trace();
+            let out = Cluster::run(&cfg, |ep| {
+                let input = crate::verify::concat_input(ep.rank(), b);
+                run(ep, &input, Preference::Rounds)
+            })
+            .unwrap();
+            let planned = plan(n, b, k, Preference::Rounds);
+            planned.validate().unwrap();
+            assert_eq!(
+                out.metrics.global_complexity().unwrap(),
+                ScheduleStats::of(&planned).complexity,
+                "n={n} k={k} b={b}"
+            );
+            let traced = Schedule::from_trace(&out.trace.unwrap(), n, k);
+            assert_eq!(traced, planned.without_empty_rounds(), "n={n} k={k} b={b}");
+        }
+    }
+
+    #[test]
+    fn optimality_outside_exception_range() {
+        // Theorem 4.3: for k ≤ 2 (all n, b) the algorithm attains both
+        // lower bounds simultaneously.
+        for k in [1usize, 2] {
+            for n in 2..60 {
+                for b in [1usize, 3, 8] {
+                    let s = plan(n, b, k, Preference::Rounds);
+                    let c = ScheduleStats::of(&s).complexity;
+                    let lb = concat_bounds(n, k, b);
+                    assert!(lb.admits(c), "n={n} k={k} b={b}: {c} below bounds");
+                    assert_eq!(c.c1, lb.c1, "rounds not optimal: n={n} k={k} b={b}");
+                    if n > k + 1 {
+                        assert_eq!(c.c2, lb.c2, "bytes not optimal: n={n} k={k} b={b}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The folklore two-phase concatenation (§4's opening): gather all blocks
+//! to processor 0 along a (k+1)-ary spanning tree, then broadcast the
+//! concatenation back down the same tree.
+//!
+//! The broadcast sends each recipient only the blocks it does *not*
+//! already hold from the gather phase (its own subtree), so every block
+//! crosses every tree edge at most once in each direction. Even so, the
+//! algorithm needs `2·⌈log_{k+1} n⌉` rounds and its `C2` is dominated by
+//! the near-root broadcast messages of `≈ n·b` bytes — the paper's point:
+//! strictly worse than the circulant algorithm in both measures.
+
+use bruck_model::spanning_tree::SpanningTree;
+use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
+use bruck_sched::{Schedule, Transfer};
+
+/// Per-round roles of a rank, derived from the tree.
+#[derive(Debug, Clone, Default)]
+struct Role {
+    /// `(peer, peer_subtree)` — children whose subtree data arrives
+    /// (gather) or departs (broadcast complement).
+    children: Vec<(usize, Vec<usize>)>,
+    /// `(parent, own_subtree)` if this rank's parent edge is in the round.
+    parent: Option<(usize, Vec<usize>)>,
+}
+
+/// The sorted members of the subtree rooted at `node`.
+fn subtree(tree: &SpanningTree, node: usize) -> Vec<usize> {
+    let mut children: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for e in tree.edges() {
+        children.entry(e.from).or_default().push(e.to);
+    }
+    let mut members = Vec::new();
+    let mut stack = vec![node];
+    while let Some(v) = stack.pop() {
+        members.push(v);
+        if let Some(cs) = children.get(&v) {
+            stack.extend(cs.iter().copied());
+        }
+    }
+    members.sort_unstable();
+    members
+}
+
+/// Role of `rank` in tree round `g`.
+fn role(tree: &SpanningTree, rank: usize, g: u32) -> Role {
+    let mut role = Role::default();
+    for e in tree.edges_in_round(g) {
+        if e.from == rank {
+            role.children.push((e.to, subtree(tree, e.to)));
+        } else if e.to == rank {
+            role.parent = Some((e.from, subtree(tree, rank)));
+        }
+    }
+    role
+}
+
+fn copy_blocks(dst: &mut [u8], b: usize, blocks: &[usize], payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() != blocks.len() * b {
+        return Err(NetError::App(format!(
+            "bundle size mismatch: got {}, expected {}",
+            payload.len(),
+            blocks.len() * b
+        )));
+    }
+    for (slot, &i) in blocks.iter().enumerate() {
+        dst[i * b..(i + 1) * b].copy_from_slice(&payload[slot * b..(slot + 1) * b]);
+    }
+    Ok(())
+}
+
+fn extract_blocks(src: &[u8], b: usize, blocks: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(blocks.len() * b);
+    for &i in blocks {
+        out.extend_from_slice(&src[i * b..(i + 1) * b]);
+    }
+    out
+}
+
+/// Execute the folklore gather+broadcast concatenation.
+///
+/// # Errors
+///
+/// Network failures propagate.
+pub fn run<C: Comm + ?Sized>(
+    ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+    let n = ep.size();
+    let b = myblock.len();
+    let rank = ep.rank();
+    if n == 1 {
+        return Ok(myblock.to_vec());
+    }
+    let tree = SpanningTree::build(n, ep.ports(), 0);
+    let rounds = tree.num_rounds();
+    let mut buf = vec![0u8; n * b];
+    buf[rank * b..(rank + 1) * b].copy_from_slice(myblock);
+
+    // Phase A: gather (tree rounds in reverse).
+    for g in (0..rounds).rev() {
+        let role = role(&tree, rank, g);
+        let tag = u64::from(g);
+        let payload = role
+            .parent
+            .as_ref()
+            .map(|(_, own)| extract_blocks(&buf, b, own));
+        let sends: Vec<SendSpec<'_>> = match (&role.parent, &payload) {
+            (Some((parent, _)), Some(p)) => {
+                vec![SendSpec { to: *parent, tag, payload: p }]
+            }
+            _ => Vec::new(),
+        };
+        let recvs: Vec<RecvSpec> =
+            role.children.iter().map(|&(c, _)| RecvSpec { from: c, tag }).collect();
+        let msgs = ep.round(&sends, &recvs)?;
+        for ((_, blocks), msg) in role.children.iter().zip(&msgs) {
+            copy_blocks(&mut buf, b, blocks, &msg.payload)?;
+        }
+    }
+
+    // Phase B: broadcast complements (tree rounds forward).
+    for g in 0..rounds {
+        let role = role(&tree, rank, g);
+        let tag = u64::from(rounds + g);
+        let payloads: Vec<(usize, Vec<usize>, Vec<u8>)> = role
+            .children
+            .iter()
+            .map(|(c, sub)| {
+                let complement: Vec<usize> = (0..n).filter(|i| !sub.contains(i)).collect();
+                let data = extract_blocks(&buf, b, &complement);
+                (*c, complement, data)
+            })
+            .collect();
+        let sends: Vec<SendSpec<'_>> = payloads
+            .iter()
+            .map(|(c, _, data)| SendSpec { to: *c, tag, payload: data })
+            .collect();
+        let recvs: Vec<RecvSpec> = role
+            .parent
+            .as_ref()
+            .map(|&(p, _)| RecvSpec { from: p, tag })
+            .into_iter()
+            .collect();
+        let msgs = ep.round(&sends, &recvs)?;
+        if let (Some((_, own)), Some(msg)) = (&role.parent, msgs.first()) {
+            let complement: Vec<usize> = (0..n).filter(|i| !own.contains(i)).collect();
+            copy_blocks(&mut buf, b, &complement, &msg.payload)?;
+        }
+    }
+    Ok(buf)
+}
+
+/// The static schedule of [`run`].
+#[must_use]
+pub fn plan(n: usize, block: usize, ports: usize) -> Schedule {
+    let mut schedule = Schedule::new(n, ports);
+    if n <= 1 {
+        return schedule;
+    }
+    let tree = SpanningTree::build(n, ports, 0);
+    let rounds = tree.num_rounds();
+    for g in (0..rounds).rev() {
+        let transfers = tree
+            .edges_in_round(g)
+            .into_iter()
+            .map(|e| Transfer {
+                src: e.to,
+                dst: e.from,
+                bytes: (subtree(&tree, e.to).len() * block) as u64,
+            })
+            .collect();
+        schedule.push_round(transfers);
+    }
+    for g in 0..rounds {
+        let transfers = tree
+            .edges_in_round(g)
+            .into_iter()
+            .map(|e| Transfer {
+                src: e.from,
+                dst: e.to,
+                bytes: ((n - subtree(&tree, e.to).len()) * block) as u64,
+            })
+            .collect();
+        schedule.push_round(transfers);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_model::bounds::concat_bounds;
+    use bruck_net::{Cluster, ClusterConfig};
+    use bruck_sched::ScheduleStats;
+
+    fn run_cluster(n: usize, b: usize, k: usize) {
+        let cfg = ClusterConfig::new(n).with_ports(k);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::concat_input(ep.rank(), b);
+            run(ep, &input)
+        })
+        .unwrap();
+        let expected = crate::verify::concat_expected(n, b);
+        for (rank, result) in out.results.iter().enumerate() {
+            assert_eq!(result, &expected, "n={n} b={b} k={k} rank={rank}");
+        }
+    }
+
+    #[test]
+    fn correct_one_port() {
+        for n in [1usize, 2, 3, 5, 8, 12, 16] {
+            run_cluster(n, 3, 1);
+        }
+    }
+
+    #[test]
+    fn correct_multiport() {
+        for k in [2usize, 3] {
+            for n in [5usize, 9, 10, 14] {
+                run_cluster(n, 2, k);
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_is_twice_tree_depth() {
+        let s = plan(16, 1, 1);
+        s.validate().unwrap();
+        assert_eq!(s.num_rounds(), 8); // 2·log2(16)
+    }
+
+    #[test]
+    fn strictly_worse_than_lower_bounds() {
+        // The paper's point about the folklore algorithm: suboptimal in
+        // both measures for n > 2.
+        for n in [4usize, 8, 16, 31] {
+            let c = ScheduleStats::of(&plan(n, 4, 1)).complexity;
+            let lb = concat_bounds(n, 1, 4);
+            assert!(c.c1 > lb.c1, "n={n}");
+            assert!(c.c2 > lb.c2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn executed_complexity_matches_plan() {
+        let n = 12;
+        let cfg = ClusterConfig::new(n);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::concat_input(ep.rank(), 2);
+            run(ep, &input)
+        })
+        .unwrap();
+        assert_eq!(
+            out.metrics.global_complexity().unwrap(),
+            ScheduleStats::of(&plan(n, 2, 1)).complexity
+        );
+    }
+}

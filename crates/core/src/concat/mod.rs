@@ -1,0 +1,77 @@
+//! The concatenation operation (all-to-all broadcast, `MPI_Allgather`).
+//!
+//! Every processor starts with one `b`-byte block; afterwards every
+//! processor holds `B[0] ‖ B[1] ‖ … ‖ B[n-1]`.
+
+pub mod bruck;
+pub mod gather_bcast;
+pub mod recursive_doubling;
+pub mod ring;
+
+use bruck_model::partition::Preference;
+use bruck_net::{Comm, NetError};
+use bruck_sched::Schedule;
+
+/// Selects and parameterizes a concatenation algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcatAlgorithm {
+    /// The paper's §4 circulant-graph algorithm: `⌈log_{k+1} n⌉` rounds,
+    /// `⌈b(n-1)/k⌉` bytes — optimal in both measures outside the §4
+    /// exception range; inside it, the `Preference` picks the fallback.
+    Bruck(Preference),
+    /// The folklore two-phase algorithm the paper's §4 opens with:
+    /// binomial-tree gather to processor 0, then a broadcast of the
+    /// concatenation down the same tree (sending each recipient only the
+    /// blocks it lacks).
+    GatherBroadcast,
+    /// Recursive doubling (\[20\]): requires a power-of-two `n`, one port;
+    /// optimal in both measures where it applies.
+    RecursiveDoubling,
+    /// Ring: `n-1` rounds of single blocks — transfer-optimal,
+    /// round-pessimal (one-port).
+    Ring,
+}
+
+impl ConcatAlgorithm {
+    /// Execute the algorithm. `myblock` is this rank's `b`-byte block; the
+    /// result is the `n·b`-byte concatenation, identical on every rank.
+    ///
+    /// # Errors
+    ///
+    /// Network errors; [`NetError::App`] for unsupported parameters.
+    pub fn run<C: Comm + ?Sized>(&self, ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+        match *self {
+            Self::Bruck(pref) => bruck::run(ep, myblock, pref),
+            Self::GatherBroadcast => gather_bcast::run(ep, myblock),
+            Self::RecursiveDoubling => recursive_doubling::run(ep, myblock),
+            Self::Ring => ring::run(ep, myblock),
+        }
+    }
+
+    /// Emit the static communication schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported parameters.
+    #[must_use]
+    pub fn plan(&self, n: usize, block: usize, ports: usize) -> Schedule {
+        match *self {
+            Self::Bruck(pref) => bruck::plan(n, block, ports, pref),
+            Self::GatherBroadcast => gather_bcast::plan(n, block, ports),
+            Self::RecursiveDoubling => recursive_doubling::plan(n, block),
+            Self::Ring => ring::plan(n, block),
+        }
+    }
+
+    /// Short display name for reports and benches.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            Self::Bruck(Preference::Rounds) => "bruck-circulant".into(),
+            Self::Bruck(Preference::Bytes) => "bruck-circulant-b".into(),
+            Self::GatherBroadcast => "gather-bcast".into(),
+            Self::RecursiveDoubling => "recursive-doubling".into(),
+            Self::Ring => "ring".into(),
+        }
+    }
+}

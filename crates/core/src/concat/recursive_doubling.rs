@@ -1,0 +1,110 @@
+//! Recursive-doubling concatenation (the hypercube algorithm of \[20\],
+//! §4's "second known algorithm"): requires `n = 2^d`, one port. Round
+//! `x` exchanges the `2^x` blocks accumulated so far with partner
+//! `rank ⊕ 2^x`.
+//!
+//! `C1 = log₂ n`, `C2 = b(n-1)` — optimal in both measures, but only for
+//! power-of-two `n`; the paper's circulant algorithm matches it there and
+//! works for every `n`.
+
+use bruck_net::{Comm, NetError};
+use bruck_sched::{Schedule, Transfer};
+
+/// Execute recursive doubling.
+///
+/// # Errors
+///
+/// [`NetError::App`] if `n` is not a power of two.
+pub fn run<C: Comm + ?Sized>(
+    ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+    let n = ep.size();
+    if !n.is_power_of_two() {
+        return Err(NetError::App(format!(
+            "recursive doubling requires a power-of-two processor count, got {n}"
+        )));
+    }
+    let b = myblock.len();
+    let rank = ep.rank();
+    let mut buf = vec![0u8; n * b];
+    buf[rank * b..(rank + 1) * b].copy_from_slice(myblock);
+
+    for x in 0..n.trailing_zeros() {
+        let span = 1usize << x;
+        let base = (rank / span) * span; // aligned group this rank owns
+        let partner = rank ^ span;
+        let partner_base = (partner / span) * span;
+        let payload = buf[base * b..(base + span) * b].to_vec();
+        let received = ep.send_and_recv(partner, &payload, partner, u64::from(x))?;
+        if received.len() != span * b {
+            return Err(NetError::App("recursive-doubling size mismatch".into()));
+        }
+        buf[partner_base * b..(partner_base + span) * b].copy_from_slice(&received);
+    }
+    Ok(buf)
+}
+
+/// The static schedule of [`run`].
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn plan(n: usize, block: usize) -> Schedule {
+    assert!(n.is_power_of_two());
+    let mut schedule = Schedule::new(n, 1);
+    if n <= 1 {
+        return schedule;
+    }
+    for x in 0..n.trailing_zeros() {
+        let bytes = ((1usize << x) * block) as u64;
+        schedule.push_round(
+            (0..n).map(|src| Transfer { src, dst: src ^ (1 << x), bytes }).collect(),
+        );
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_model::bounds::concat_bounds;
+    use bruck_net::{Cluster, ClusterConfig};
+    use bruck_sched::ScheduleStats;
+
+    #[test]
+    fn correct_for_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let cfg = ClusterConfig::new(n);
+            let out = Cluster::run(&cfg, |ep| {
+                let input = crate::verify::concat_input(ep.rank(), 3);
+                run(ep, &input)
+            })
+            .unwrap();
+            let expected = crate::verify::concat_expected(n, 3);
+            for result in &out.results {
+                assert_eq!(result, &expected, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let cfg = ClusterConfig::new(5);
+        let err = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::concat_input(ep.rank(), 1);
+            run(ep, &input)
+        })
+        .unwrap_err();
+        assert!(matches!(err, NetError::App(_)));
+    }
+
+    #[test]
+    fn optimal_in_both_measures() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let c = ScheduleStats::of(&plan(n, 5)).complexity;
+            let lb = concat_bounds(n, 1, 5);
+            assert_eq!(c.c1, lb.c1, "n={n}");
+            assert_eq!(c.c2, lb.c2, "n={n}");
+        }
+    }
+}

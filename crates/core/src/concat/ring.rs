@@ -1,0 +1,90 @@
+//! Ring concatenation: in round `i` every rank forwards to its right
+//! neighbour the block it received in round `i-1` (starting with its
+//! own). One-port, `C1 = n-1` rounds, `C2 = b(n-1)` — transfer-optimal,
+//! round-pessimal. The standard bandwidth-bound baseline in MPI stacks.
+
+use bruck_net::{Comm, NetError};
+use bruck_sched::{Schedule, Transfer};
+
+/// Execute the ring concatenation.
+///
+/// # Errors
+///
+/// Network failures propagate.
+pub fn run<C: Comm + ?Sized>(
+    ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+    let n = ep.size();
+    let b = myblock.len();
+    let rank = ep.rank();
+    let mut buf = vec![0u8; n * b];
+    buf[rank * b..(rank + 1) * b].copy_from_slice(myblock);
+    if n == 1 {
+        return Ok(buf);
+    }
+    let right = (rank + 1) % n;
+    let left = (rank + n - 1) % n;
+    for i in 0..n - 1 {
+        // Forward the block that originated i hops to the left.
+        let owner = (rank + n - i) % n;
+        let payload = buf[owner * b..(owner + 1) * b].to_vec();
+        let received = ep.send_and_recv(right, &payload, left, i as u64)?;
+        let incoming_owner = (rank + n - i - 1) % n;
+        if received.len() != b {
+            return Err(NetError::App("ring block size mismatch".into()));
+        }
+        buf[incoming_owner * b..(incoming_owner + 1) * b].copy_from_slice(&received);
+    }
+    Ok(buf)
+}
+
+/// The static schedule of [`run`].
+#[must_use]
+pub fn plan(n: usize, block: usize) -> Schedule {
+    let mut schedule = Schedule::new(n, 1);
+    if n <= 1 {
+        return schedule;
+    }
+    for _ in 0..n - 1 {
+        schedule.push_round(
+            (0..n).map(|src| Transfer { src, dst: (src + 1) % n, bytes: block as u64 }).collect(),
+        );
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_model::bounds::concat_bounds;
+    use bruck_net::{Cluster, ClusterConfig};
+    use bruck_sched::ScheduleStats;
+
+    #[test]
+    fn correct() {
+        for n in [1usize, 2, 3, 7, 12] {
+            let cfg = ClusterConfig::new(n);
+            let out = Cluster::run(&cfg, |ep| {
+                let input = crate::verify::concat_input(ep.rank(), 4);
+                run(ep, &input)
+            })
+            .unwrap();
+            let expected = crate::verify::concat_expected(n, 4);
+            for result in &out.results {
+                assert_eq!(result, &expected, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_optimal_round_pessimal() {
+        for n in [3usize, 9, 20] {
+            let c = ScheduleStats::of(&plan(n, 6)).complexity;
+            let lb = concat_bounds(n, 1, 6);
+            assert_eq!(c.c2, lb.c2, "n={n}");
+            assert_eq!(c.c1, (n - 1) as u64, "n={n}");
+            // Strictly round-pessimal once n-1 > ⌈log2 n⌉ (n ≥ 4).
+            assert!(c.c1 >= lb.c1);
+            assert!(c.c1 > lb.c1 || n <= 3);
+        }
+    }
+}

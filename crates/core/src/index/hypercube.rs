@@ -1,0 +1,198 @@
+//! Store-and-forward hypercube index (the classic algorithm of
+//! Johnsson & Ho, cited as \[20\]; see also Bokhari \[5\]).
+//!
+//! Requires `n = 2^w`, one port. In round `x`, every processor exchanges
+//! with its dimension-`x` neighbour `rank ⊕ 2^x` all blocks whose
+//! *destination* differs from `rank` in bit `x` — including blocks it is
+//! merely relaying. After round `x`, processor `p` holds exactly the
+//! blocks `(src, dst)` with `dst ≡ p (mod 2^{x+1})` and
+//! `src ≫ (x+1) = p ≫ (x+1)`.
+//!
+//! Complexity: `C1 = log₂ n` rounds of `(n/2)·b` bytes, so
+//! `C2 = b·(n/2)·log₂ n` — identical to the Bruck `r = 2` algorithm
+//! (which achieves the same with arbitrary `n` and no relaying of
+//! foreign payload *labels*). This is the baseline the paper's §3.3
+//! credits and generalizes.
+
+use bruck_net::{Comm, NetError};
+use bruck_sched::{Schedule, Transfer};
+
+fn check(n: usize) -> Result<(), NetError> {
+    if !n.is_power_of_two() {
+        return Err(NetError::App(format!(
+            "hypercube index requires a power-of-two processor count, got {n}"
+        )));
+    }
+    Ok(())
+}
+
+/// The sorted `(src, dst)` pairs processor `owner` holds before round `x`.
+fn held(owner: usize, x: u32, n: usize) -> Vec<(usize, usize)> {
+    let low = 1usize << x;
+    let mut v = Vec::with_capacity(n);
+    for src in 0..n {
+        for dst in 0..n {
+            if dst % low == owner % low && src >> x == owner >> x {
+                v.push((src, dst));
+            }
+        }
+    }
+    v.sort_unstable_by_key(|&(s, d)| (d, s));
+    v
+}
+
+/// The sorted `(src, dst)` pairs `owner` ships to its dimension-`x`
+/// partner.
+fn shipment(owner: usize, x: u32, n: usize) -> Vec<(usize, usize)> {
+    let partner = owner ^ (1 << x);
+    let high = 1usize << (x + 1);
+    held(owner, x, n)
+        .into_iter()
+        .filter(|&(_, d)| d % high == partner % high)
+        .collect()
+}
+
+/// Execute the hypercube index (one-port; extra ports go unused).
+///
+/// # Errors
+///
+/// [`NetError::App`] for non-power-of-two `n` or a mis-sized buffer.
+pub fn run<C: Comm + ?Sized>(
+    ep: &mut C, sendbuf: &[u8], block: usize) -> Result<Vec<u8>, NetError> {
+    let n = ep.size();
+    check(n)?;
+    if sendbuf.len() != n * block {
+        return Err(NetError::App("send buffer must be n·b bytes".into()));
+    }
+    if n == 1 {
+        return Ok(sendbuf.to_vec());
+    }
+    let rank = ep.rank();
+    let w = n.trailing_zeros();
+
+    // store[(src, dst)] = payload, for currently-held blocks.
+    let mut store: std::collections::HashMap<(usize, usize), Vec<u8>> = (0..n)
+        .map(|dst| ((rank, dst), sendbuf[dst * block..(dst + 1) * block].to_vec()))
+        .collect();
+
+    for x in 0..w {
+        let partner = rank ^ (1 << x);
+        let out_list = shipment(rank, x, n);
+        let in_list = shipment(partner, x, n);
+        let mut payload = Vec::with_capacity(out_list.len() * block);
+        for key in &out_list {
+            let blockdata = store
+                .remove(key)
+                .expect("holding-set invariant violated: block not present");
+            payload.extend_from_slice(&blockdata);
+        }
+        let received = ep.send_and_recv(partner, &payload, partner, u64::from(x))?;
+        if received.len() != in_list.len() * block {
+            return Err(NetError::App(format!(
+                "round {x}: expected {} bytes, got {}",
+                in_list.len() * block,
+                received.len()
+            )));
+        }
+        for (slot, key) in in_list.iter().enumerate() {
+            store.insert(*key, received[slot * block..(slot + 1) * block].to_vec());
+        }
+    }
+
+    let mut result = vec![0u8; n * block];
+    for ((src, dst), payload) in store {
+        debug_assert_eq!(dst, rank, "final holdings must all be destined here");
+        result[src * block..(src + 1) * block].copy_from_slice(&payload);
+    }
+    Ok(result)
+}
+
+/// The static schedule: `log₂ n` perfect-matching rounds of `(n/2)·b`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn plan(n: usize, block: usize) -> Schedule {
+    assert!(n.is_power_of_two());
+    let mut schedule = Schedule::new(n, 1);
+    if n <= 1 {
+        return schedule;
+    }
+    let bytes = ((n / 2) * block) as u64;
+    for x in 0..n.trailing_zeros() {
+        schedule.push_round(
+            (0..n).map(|src| Transfer { src, dst: src ^ (1 << x), bytes }).collect(),
+        );
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_model::tuning::index_complexity;
+    use bruck_net::{Cluster, ClusterConfig};
+    use bruck_sched::ScheduleStats;
+
+    #[test]
+    fn holding_sets_have_constant_size() {
+        let n = 16;
+        for x in 0..4 {
+            for owner in 0..n {
+                assert_eq!(held(owner, x, n).len(), n, "x={x} owner={owner}");
+                assert_eq!(shipment(owner, x, n).len(), n / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn shipments_are_symmetric_views() {
+        // What `owner` expects from `partner` is what `partner` ships.
+        let n = 8;
+        for x in 0..3 {
+            for owner in 0..n {
+                let partner = owner ^ (1 << x);
+                assert_eq!(shipment(partner, x, n), shipment(partner, x, n));
+                // Shipment destinations all match the receiver's side.
+                for (_, d) in shipment(partner, x, n) {
+                    assert_eq!(d % (1 << (x + 1)), owner % (1 << (x + 1)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correct_for_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let cfg = ClusterConfig::new(n);
+            let out = Cluster::run(&cfg, |ep| {
+                let input = crate::verify::index_input(ep.rank(), n, 3);
+                run(ep, &input, 3)
+            })
+            .unwrap();
+            for (rank, result) in out.results.iter().enumerate() {
+                assert_eq!(result, &crate::verify::index_expected(rank, n, 3), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let cfg = ClusterConfig::new(6);
+        let err = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), 6, 1);
+            run(ep, &input, 1)
+        })
+        .unwrap_err();
+        assert!(matches!(err, NetError::App(_)));
+    }
+
+    #[test]
+    fn complexity_equals_bruck_r2_on_powers_of_two() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let hc = ScheduleStats::of(&plan(n, 5)).complexity;
+            assert_eq!(hc, index_complexity(n, 2, 5), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Mixed-radix index algorithm — the paper's §3 algorithm run over a
+//! [`MixedRadix`] digit
+//! decomposition instead of a uniform radix.
+//!
+//! Correctness rests on the same invariant as the uniform case: over all
+//! subphases, a block with phase-1 offset `j` moves a total of
+//! `Σ_x digit_x(j)·w_x = j` processors to the right, landing at its
+//! destination. The uniform algorithm is exactly the radix vector
+//! `(r, r, …, r)`; this module exists because non-uniform vectors can
+//! strictly dominate every uniform radix (see
+//! [`bruck_model::mixed_radix::best_radix_vector`]).
+
+use bruck_model::mixed_radix::MixedRadix;
+use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
+use bruck_sched::{Schedule, Transfer};
+
+use crate::blocks::{pack, phase3_place, rotate_up, unpack};
+
+/// Execute the mixed-radix index algorithm with the given radix vector.
+///
+/// # Errors
+///
+/// [`NetError::App`] on a mis-sized buffer or an insufficient radix
+/// vector; network failures propagate.
+pub fn run<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    radices: &[usize],
+) -> Result<Vec<u8>, NetError> {
+    let n = ep.size();
+    if sendbuf.len() != n * block {
+        return Err(NetError::App("send buffer must be n·b bytes".into()));
+    }
+    if n == 1 {
+        return Ok(sendbuf.to_vec());
+    }
+    if radices.iter().any(|&r| r < 2) {
+        return Err(NetError::App("radices must be ≥ 2".into()));
+    }
+    if radices.iter().try_fold(1usize, |p, &r| p.checked_mul(r)).is_none_or(|p| p < n) {
+        return Err(NetError::App(format!(
+            "radix vector {radices:?} does not cover n = {n}"
+        )));
+    }
+    let decomp = MixedRadix::new(n, radices);
+    let rank = ep.rank();
+    let k = ep.ports();
+
+    let mut tmp = rotate_up(sendbuf, n, block, rank);
+    ep.charge_copy((n * block) as u64);
+
+    for x in 0..decomp.num_subphases() {
+        let steps = decomp.steps_in_subphase(x);
+        let mut z = 1usize;
+        while z <= steps {
+            let group: Vec<usize> = (z..=steps.min(z + k - 1)).collect();
+            let staged: Vec<(Vec<usize>, usize, u64, Vec<u8>)> = group
+                .iter()
+                .map(|&zz| {
+                    let indices = decomp.blocks_for_step(x, zz);
+                    let dist = decomp.step_distance(x, zz) % n;
+                    let tag = ((x as u64) << 32) | zz as u64;
+                    let payload = pack(&tmp, block, &indices);
+                    (indices, dist, tag, payload)
+                })
+                .collect();
+            let sends: Vec<SendSpec<'_>> = staged
+                .iter()
+                .map(|(_, dist, tag, payload)| SendSpec {
+                    to: (rank + dist) % n,
+                    tag: *tag,
+                    payload,
+                })
+                .collect();
+            let recvs: Vec<RecvSpec> = staged
+                .iter()
+                .map(|(_, dist, tag, _)| RecvSpec { from: (rank + n - dist) % n, tag: *tag })
+                .collect();
+            let copied: u64 = staged.iter().map(|(_, _, _, p)| p.len() as u64).sum();
+            ep.charge_copy(copied);
+            let msgs = ep.round(&sends, &recvs)?;
+            let mut received = 0u64;
+            for ((indices, _, _, _), msg) in staged.iter().zip(&msgs) {
+                unpack(&mut tmp, block, indices, &msg.payload);
+                received += msg.payload.len() as u64;
+            }
+            ep.charge_copy(received);
+            z += group.len();
+        }
+    }
+
+    let out = phase3_place(&tmp, n, block, rank);
+    ep.charge_copy((n * block) as u64);
+    Ok(out)
+}
+
+/// The static schedule of [`run`].
+///
+/// # Panics
+///
+/// Panics on an insufficient radix vector.
+#[must_use]
+pub fn plan(n: usize, block: usize, ports: usize, radices: &[usize]) -> Schedule {
+    assert!(ports >= 1);
+    let mut schedule = Schedule::new(n, ports);
+    if n <= 1 {
+        return schedule;
+    }
+    let decomp = MixedRadix::new(n, radices);
+    for x in 0..decomp.num_subphases() {
+        let steps = decomp.steps_in_subphase(x);
+        let mut z = 1usize;
+        while z <= steps {
+            let group: Vec<usize> = (z..=steps.min(z + ports - 1)).collect();
+            let mut transfers = Vec::with_capacity(group.len() * n);
+            for &zz in &group {
+                let bytes = (decomp.blocks_in_step(x, zz) * block) as u64;
+                let dist = decomp.step_distance(x, zz) % n;
+                for src in 0..n {
+                    transfers.push(Transfer { src, dst: (src + dist) % n, bytes });
+                }
+            }
+            schedule.push_round(transfers);
+            z += group.len();
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_net::{Cluster, ClusterConfig};
+    use bruck_sched::ScheduleStats;
+
+    fn run_cluster(n: usize, block: usize, radices: &[usize], ports: usize) {
+        let cfg = ClusterConfig::new(n).with_ports(ports);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), n, block);
+            run(ep, &input, block, radices)
+        })
+        .unwrap();
+        for (rank, result) in out.results.iter().enumerate() {
+            assert_eq!(
+                result,
+                &crate::verify::index_expected(rank, n, block),
+                "n={n} radices={radices:?} k={ports} rank={rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn correct_small_vectors() {
+        run_cluster(6, 3, &[2, 3], 1);
+        run_cluster(6, 3, &[3, 2], 1);
+        run_cluster(12, 2, &[2, 2, 3], 1);
+        run_cluster(30, 1, &[2, 3, 5], 1);
+        run_cluster(33, 2, &[2, 2, 3, 3], 1);
+    }
+
+    #[test]
+    fn correct_multiport() {
+        run_cluster(12, 2, &[3, 4], 2);
+        run_cluster(20, 2, &[4, 5], 3);
+    }
+
+    #[test]
+    fn matches_uniform_when_vector_is_uniform() {
+        // Same wire behaviour as the §3 algorithm for (r, r, …).
+        let n = 9;
+        let b = 2;
+        let uniform = crate::index::bruck::plan(n, b, 1, 3);
+        let mixed = plan(n, b, 1, &[3, 3]);
+        assert_eq!(uniform, mixed);
+    }
+
+    #[test]
+    fn oversized_vector_trimmed_like_model() {
+        run_cluster(6, 2, &[2, 3, 5, 7], 1);
+    }
+
+    #[test]
+    fn insufficient_vector_rejected() {
+        let cfg = ClusterConfig::new(10);
+        let err = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), 10, 1);
+            run(ep, &input, 1, &[2, 2])
+        })
+        .unwrap_err();
+        assert!(matches!(err, NetError::App(_)));
+    }
+
+    #[test]
+    fn plan_complexity_matches_model() {
+        for (n, radices) in [
+            (33usize, vec![2usize, 2, 3, 3]),
+            (30, vec![2, 3, 5]),
+            (12, vec![4, 3]),
+        ] {
+            for k in [1usize, 2] {
+                let s = plan(n, 4, k, &radices);
+                s.validate().unwrap();
+                assert_eq!(
+                    ScheduleStats::of(&s).complexity,
+                    MixedRadix::new(n, &radices).complexity(4, k),
+                    "n={n} radices={radices:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn executed_trace_matches_plan() {
+        let n = 12;
+        let radices = [2usize, 2, 3];
+        let cfg = ClusterConfig::new(n).with_trace();
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), n, 3);
+            run(ep, &input, 3, &radices)
+        })
+        .unwrap();
+        let traced = bruck_sched::Schedule::from_trace(&out.trace.unwrap(), n, 1);
+        assert_eq!(traced, plan(n, 3, 1, &radices).without_empty_rounds());
+    }
+}

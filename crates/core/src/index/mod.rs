@@ -1,0 +1,88 @@
+//! The index operation (all-to-all personalized communication,
+//! `MPI_Alltoall`).
+//!
+//! Every processor `i` starts with `n` blocks; block `j` is `B[i, j]`,
+//! destined for processor `j`. Afterwards processor `i` holds
+//! `B[0, i], B[1, i], …, B[n-1, i]` in that order.
+
+pub mod bruck;
+pub mod direct;
+pub mod hierarchical;
+pub mod hypercube;
+pub mod mixed;
+pub mod pairwise;
+pub mod sim;
+
+use bruck_net::{Comm, NetError};
+use bruck_sched::Schedule;
+
+/// Selects and parameterizes an index algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexAlgorithm {
+    /// The paper's §3 algorithm with the given radix `r ∈ [2, n]`.
+    /// `r = 2` minimizes rounds, `r = n` minimizes volume.
+    BruckRadix(usize),
+    /// Direct exchange: every pair communicates once (`⌈(n-1)/k⌉`
+    /// rounds of `b`-byte messages) — identical complexity to
+    /// `BruckRadix(n)` but without the rotation phases.
+    Direct,
+    /// Pairwise XOR exchange (requires `n` a power of two): step `i`
+    /// exchanges with `rank ⊕ i`.
+    Pairwise,
+    /// Store-and-forward hypercube index (\[20\], Johnsson & Ho; requires
+    /// `n` a power of two, one-port): `log₂ n` rounds of `n/2` blocks.
+    Hypercube,
+}
+
+impl IndexAlgorithm {
+    /// Execute the algorithm. `sendbuf` is `n·b` bytes (block `j` at
+    /// offset `j·b`); the result has the same layout with block `j` being
+    /// the one received from processor `j`.
+    ///
+    /// # Errors
+    ///
+    /// Network errors, or [`NetError::App`] for unsupported parameters
+    /// (e.g. non-power-of-two `n` for [`IndexAlgorithm::Pairwise`]).
+    pub fn run<C: Comm + ?Sized>(
+        &self,
+        ep: &mut C,
+        sendbuf: &[u8],
+        block: usize,
+    ) -> Result<Vec<u8>, NetError> {
+        match *self {
+            Self::BruckRadix(r) => bruck::run(ep, sendbuf, block, r),
+            Self::Direct => direct::run(ep, sendbuf, block),
+            Self::Pairwise => pairwise::run(ep, sendbuf, block),
+            Self::Hypercube => hypercube::run(ep, sendbuf, block),
+        }
+    }
+
+    /// Emit the algorithm's static communication schedule for `n`
+    /// processors, `b`-byte blocks, and `k` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported parameters (the executor returns an error
+    /// instead; planners are used in analysis contexts where a panic is
+    /// the right failure mode).
+    #[must_use]
+    pub fn plan(&self, n: usize, block: usize, ports: usize) -> Schedule {
+        match *self {
+            Self::BruckRadix(r) => bruck::plan(n, block, ports, r),
+            Self::Direct => direct::plan(n, block, ports),
+            Self::Pairwise => pairwise::plan(n, block, ports),
+            Self::Hypercube => hypercube::plan(n, block),
+        }
+    }
+
+    /// Short display name for reports and benches.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            Self::BruckRadix(r) => format!("bruck-r{r}"),
+            Self::Direct => "direct".into(),
+            Self::Pairwise => "pairwise-xor".into(),
+            Self::Hypercube => "hypercube".into(),
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Pairwise-exchange index for power-of-two `n`: step `i ∈ [1, n)` swaps
+//! blocks with partner `rank ⊕ i`. A classic alternative to the direct
+//! exchange with the same complexity (`C1 = ⌈(n-1)/k⌉`, `C2 = b·C1`) but a
+//! symmetric pairing pattern (each step is a perfect matching), which some
+//! switches prefer.
+
+use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
+use bruck_sched::{Schedule, Transfer};
+
+fn check_pow2(n: usize) -> Result<(), NetError> {
+    if !n.is_power_of_two() {
+        return Err(NetError::App(format!(
+            "pairwise-XOR index requires a power-of-two processor count, got {n}"
+        )));
+    }
+    Ok(())
+}
+
+/// Execute the pairwise exchange.
+///
+/// # Errors
+///
+/// [`NetError::App`] if `n` is not a power of two or the buffer is
+/// mis-sized; network failures propagate.
+pub fn run<C: Comm + ?Sized>(
+    ep: &mut C, sendbuf: &[u8], block: usize) -> Result<Vec<u8>, NetError> {
+    let n = ep.size();
+    check_pow2(n)?;
+    if sendbuf.len() != n * block {
+        return Err(NetError::App("send buffer must be n·b bytes".into()));
+    }
+    let rank = ep.rank();
+    let k = ep.ports();
+    let mut result = vec![0u8; n * block];
+    result[rank * block..(rank + 1) * block]
+        .copy_from_slice(&sendbuf[rank * block..(rank + 1) * block]);
+
+    let mut i = 1usize;
+    while i < n {
+        let group: Vec<usize> = (i..n.min(i + k)).collect();
+        let sends: Vec<SendSpec<'_>> = group
+            .iter()
+            .map(|&d| {
+                let peer = rank ^ d;
+                SendSpec { to: peer, tag: d as u64, payload: &sendbuf[peer * block..(peer + 1) * block] }
+            })
+            .collect();
+        let recvs: Vec<RecvSpec> =
+            group.iter().map(|&d| RecvSpec { from: rank ^ d, tag: d as u64 }).collect();
+        let msgs = ep.round(&sends, &recvs)?;
+        for (&d, msg) in group.iter().zip(&msgs) {
+            let peer = rank ^ d;
+            result[peer * block..(peer + 1) * block].copy_from_slice(&msg.payload);
+        }
+        i += group.len();
+    }
+    Ok(result)
+}
+
+/// The static schedule of the pairwise exchange.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn plan(n: usize, block: usize, ports: usize) -> Schedule {
+    assert!(n.is_power_of_two(), "pairwise-XOR requires power-of-two n");
+    assert!(ports >= 1);
+    let mut schedule = Schedule::new(n, ports);
+    if n <= 1 {
+        return schedule;
+    }
+    let mut i = 1usize;
+    while i < n {
+        let group: Vec<usize> = (i..n.min(i + ports)).collect();
+        let mut transfers = Vec::with_capacity(group.len() * n);
+        for &d in &group {
+            for src in 0..n {
+                transfers.push(Transfer { src, dst: src ^ d, bytes: block as u64 });
+            }
+        }
+        schedule.push_round(transfers);
+        i += group.len();
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bruck_net::{Cluster, ClusterConfig};
+    use bruck_sched::ScheduleStats;
+
+    #[test]
+    fn correct_for_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let cfg = ClusterConfig::new(n);
+            let out = Cluster::run(&cfg, |ep| {
+                let input = crate::verify::index_input(ep.rank(), n, 2);
+                run(ep, &input, 2)
+            })
+            .unwrap();
+            for (rank, result) in out.results.iter().enumerate() {
+                assert_eq!(result, &crate::verify::index_expected(rank, n, 2), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let cfg = ClusterConfig::new(3);
+        let err = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), 3, 1);
+            run(ep, &input, 1)
+        })
+        .unwrap_err();
+        assert!(matches!(err, NetError::App(_)));
+    }
+
+    #[test]
+    fn each_round_is_a_perfect_matching() {
+        let s = plan(8, 1, 1);
+        s.validate().unwrap();
+        for round in &s.rounds {
+            // Every rank appears exactly once as src and once as dst, and
+            // the pairing is an involution.
+            for t in &round.transfers {
+                assert!(round
+                    .transfers
+                    .iter()
+                    .any(|u| u.src == t.dst && u.dst == t.src));
+            }
+        }
+    }
+
+    #[test]
+    fn multiport_complexity() {
+        let s = plan(16, 3, 4);
+        s.validate().unwrap();
+        let c = ScheduleStats::of(&s).complexity;
+        assert_eq!(c.c1, 4); // ⌈15/4⌉
+        assert_eq!(c.c2, 12); // 4 rounds × 3 bytes
+    }
+
+    #[test]
+    fn multiport_execution() {
+        let n = 8;
+        let cfg = ClusterConfig::new(n).with_ports(3);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), n, 4);
+            run(ep, &input, 4)
+        })
+        .unwrap();
+        for (rank, result) in out.results.iter().enumerate() {
+            assert_eq!(result, &crate::verify::index_expected(rank, n, 4));
+        }
+    }
+}

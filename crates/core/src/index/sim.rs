@@ -1,0 +1,238 @@
+//! Pure processor-memory configuration simulator for the index algorithm
+//! (the matrices of the paper's Figs. 1–3).
+//!
+//! A configuration is the `n × n` matrix whose column `i` is processor
+//! `p_i`'s memory and whose row `j` is memory offset `j`; every cell names
+//! a block `(owner, index)` ("`ij`" in the paper's notation). The
+//! simulator applies the three phases of the index algorithm to the whole
+//! matrix at once — no threads, no payloads — so tests can pin the exact
+//! intermediate configurations the paper draws.
+
+use bruck_model::radix::RadixDecomposition;
+
+/// A processor-memory configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    n: usize,
+    /// `cells[proc][offset] = (owner, block_index)`.
+    cells: Vec<Vec<(usize, usize)>>,
+}
+
+impl Configuration {
+    /// The initial configuration: processor `i` holds `B[i, j]` at offset
+    /// `j` (Fig. 1 left).
+    #[must_use]
+    pub fn initial(n: usize) -> Self {
+        Self { n, cells: (0..n).map(|i| (0..n).map(|j| (i, j)).collect()).collect() }
+    }
+
+    /// The target configuration: processor `i` holds `B[j, i]` at offset
+    /// `j` (Fig. 1 right).
+    #[must_use]
+    pub fn target(n: usize) -> Self {
+        Self { n, cells: (0..n).map(|i| (0..n).map(|j| (j, i)).collect()).collect() }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The block at `(proc, offset)`.
+    #[must_use]
+    pub fn cell(&self, proc: usize, offset: usize) -> (usize, usize) {
+        self.cells[proc][offset]
+    }
+
+    /// Phase 1: every processor rotates its column `i` steps upward.
+    #[must_use]
+    pub fn phase1(&self) -> Self {
+        let cells = (0..self.n)
+            .map(|i| (0..self.n).map(|m| self.cells[i][(m + i) % self.n]).collect())
+            .collect();
+        Self { n: self.n, cells }
+    }
+
+    /// One step of phase 2: all blocks at offsets whose radix-`r` digit
+    /// `x` equals `z` move `z·r^x` processors to the right, keeping their
+    /// offsets.
+    #[must_use]
+    pub fn phase2_step(&self, r: usize, x: u32, z: usize) -> Self {
+        let decomp = RadixDecomposition::new(self.n, r);
+        let dist = decomp.step_distance(x, z);
+        let mut cells = self.cells.clone();
+        let moving: Vec<usize> = (0..self.n).filter(|&m| decomp.digit(m, x) == z).collect();
+        for i in 0..self.n {
+            for &m in &moving {
+                cells[(i + dist) % self.n][m] = self.cells[i][m];
+            }
+        }
+        Self { n: self.n, cells }
+    }
+
+    /// Phase 3: processor `i` moves offset `m` to offset `(i - m) mod n`.
+    #[must_use]
+    pub fn phase3(&self) -> Self {
+        let mut cells = vec![vec![(0usize, 0usize); self.n]; self.n];
+        for i in 0..self.n {
+            for m in 0..self.n {
+                cells[i][(i + self.n - m) % self.n] = self.cells[i][m];
+            }
+        }
+        Self { n: self.n, cells }
+    }
+
+    /// Render as the paper's figures do: rows are offsets, columns are
+    /// processors, each cell the two-index label `ij`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for offset in 0..self.n {
+            for proc in 0..self.n {
+                let (o, j) = self.cells[proc][offset];
+                out.push_str(&format!(" {o}{j}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A labelled snapshot of the algorithm's progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Human-readable phase/step label.
+    pub label: String,
+    /// The configuration after that step.
+    pub config: Configuration,
+}
+
+/// Run the whole algorithm symbolically, returning a snapshot after every
+/// phase and every phase-2 step (Figs. 2–3 are exactly these sequences for
+/// `n = 5` with `r = n` and `r = 2`).
+#[must_use]
+pub fn snapshots(n: usize, r: usize) -> Vec<Snapshot> {
+    let mut out = Vec::new();
+    let mut cfg = Configuration::initial(n);
+    out.push(Snapshot { label: "initial".into(), config: cfg.clone() });
+    cfg = cfg.phase1();
+    out.push(Snapshot { label: "after phase 1".into(), config: cfg.clone() });
+    if n > 1 {
+        let decomp = RadixDecomposition::new(n, r.min(n));
+        for x in 0..decomp.num_subphases() {
+            for z in 1..=decomp.steps_in_subphase(x) {
+                cfg = cfg.phase2_step(r.min(n), x, z);
+                out.push(Snapshot {
+                    label: format!("after subphase {x} step {z}"),
+                    config: cfg.clone(),
+                });
+            }
+        }
+    }
+    cfg = cfg.phase3();
+    out.push(Snapshot { label: "after phase 3".into(), config: cfg });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 1: the before/after configurations for n = 5.
+    #[test]
+    fn fig1_before_after() {
+        let before = Configuration::initial(5);
+        assert_eq!(before.cell(2, 3), (2, 3)); // "23" in column p2, row 3
+        let after = Configuration::target(5);
+        assert_eq!(after.cell(2, 3), (3, 2)); // "32"
+        // Columns of `after` are the rows of `before`: a block transpose.
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(after.cell(i, j), (before.cell(j, i).0, before.cell(j, i).1));
+            }
+        }
+    }
+
+    /// Fig. 2: the three phases for n = 5 (communication phase as one
+    /// conceptual rotation per block).
+    #[test]
+    fn fig2_phase_configurations() {
+        let p1 = Configuration::initial(5).phase1();
+        // After phase 1, processor i holds B[i, (m+i) mod 5] at offset m;
+        // e.g. p2's column reads 22, 23, 24, 20, 21.
+        for m in 0..5 {
+            assert_eq!(p1.cell(2, m), (2, (m + 2) % 5));
+        }
+        // Run all of phase 2 (any radix; use r = 5: one subphase, 4 steps).
+        let mut cfg = p1;
+        for z in 1..=4 {
+            cfg = cfg.phase2_step(5, 0, z);
+        }
+        // After phase 2, processor p holds B[(p - m) mod 5, p] at offset m.
+        for p in 0..5 {
+            for m in 0..5 {
+                assert_eq!(cfg.cell(p, m), ((p + 5 - m) % 5, p), "p={p} m={m}");
+            }
+        }
+        // Phase 3 fixes offsets: the target configuration.
+        assert_eq!(cfg.phase3(), Configuration::target(5));
+    }
+
+    /// Fig. 3: the r = 2 subphase sequence for n = 5 reaches the target in
+    /// ⌈log2 5⌉ = 3 communication steps.
+    #[test]
+    fn fig3_r2_subphases() {
+        let snaps = snapshots(5, 2);
+        // initial, phase1, three phase-2 steps (w=3 subphases × 1 step),
+        // phase 3.
+        assert_eq!(snaps.len(), 6);
+        assert_eq!(snaps[1].label, "after phase 1");
+        assert_eq!(snaps[2].label, "after subphase 0 step 1");
+        assert_eq!(snaps[3].label, "after subphase 1 step 1");
+        assert_eq!(snaps[4].label, "after subphase 2 step 1");
+        assert_eq!(snaps[5].config, Configuration::target(5));
+        // After subphase 0, blocks with odd offsets have moved one
+        // processor right: offset 1 of p1 now holds what p0 had there.
+        let s = &snaps[2].config;
+        assert_eq!(s.cell(1, 1), (0, 1)); // B[0,1] (was at p0 offset 1 after phase 1)
+    }
+
+    #[test]
+    fn all_radices_reach_target() {
+        for n in 1..=12 {
+            for r in 2..=n.max(2) {
+                let snaps = snapshots(n, r);
+                assert_eq!(
+                    snaps.last().unwrap().config,
+                    Configuration::target(n),
+                    "n={n} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase2_moves_exactly_digit_blocks() {
+        let n = 9;
+        let r = 3;
+        let cfg = Configuration::initial(n).phase1();
+        let stepped = cfg.phase2_step(r, 1, 2); // digit 1 == 2 → offsets 6,7,8
+        for m in 0..n {
+            for p in 0..n {
+                if (m / 3) % 3 == 2 {
+                    assert_eq!(stepped.cell((p + 6) % n, m), cfg.cell(p, m));
+                } else {
+                    assert_eq!(stepped.cell(p, m), cfg.cell(p, m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let r = Configuration::initial(3).render();
+        assert_eq!(r.lines().count(), 3);
+        assert!(r.starts_with(" 00 10 20"));
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's contribution: **index** (all-to-all personalized
+//! communication, `MPI_Alltoall`) and **concatenation** (all-to-all
+//! broadcast, `MPI_Allgather`) algorithms for multiport fully connected
+//! message-passing systems, after
+//!
+//! > J. Bruck, C.-T. Ho, S. Kipnis, E. Upfal, D. Weathersby. *Efficient
+//! > Algorithms for All-to-All Communications in Multiport Message-Passing
+//! > Systems.* SPAA 1994; IEEE TPDS 8(11):1143–1156, 1997.
+//!
+//! # Operations
+//!
+//! * [`index`] — every processor `i` starts with `n` blocks
+//!   `B[i,0..n]`; afterwards processor `i` holds `B[0,i], …, B[n-1,i]`.
+//!   The paper's algorithm family is parameterized by a radix
+//!   `r ∈ [2, n]` trading start-ups against volume; `r = 2` is round
+//!   optimal, `r = n` transfer optimal, and everything in between is a
+//!   tunable compromise (§3).
+//! * [`concat`](mod@crate::concat) — every processor starts with one block; afterwards every
+//!   processor holds all `n` blocks. The circulant-graph algorithm is
+//!   simultaneously round and transfer optimal for most `(n, k, b)` (§4).
+//!
+//! Each algorithm exists twice:
+//!
+//! * an **executor** — an SPMD routine moving real bytes through a
+//!   [`bruck_net::Endpoint`];
+//! * a **planner** — a pure function emitting the identical communication
+//!   pattern as a [`bruck_sched::Schedule`] for analysis.
+//!
+//! Integration tests assert the two agree (the executed trace equals the
+//! plan), so the complexity numbers reported by the benches are the
+//! complexities of the code that actually runs.
+//!
+//! Baselines the paper compares against (or that were folklore at the
+//! time) live alongside: direct/pairwise/hypercube index algorithms, and
+//! gather+broadcast / recursive-doubling / ring concatenations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod appendix;
+pub mod blocks;
+pub mod concat;
+pub mod index;
+pub mod primitives;
+pub mod reduce;
+pub mod scan;
+pub mod verify;
+pub mod vops;
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::api::{alltoall, allgather, Tuning};
+    pub use crate::reduce::{allreduce_via_concat, reduce, ReduceOp};
+    pub use crate::vops::{alltoallv, allgatherv};
+    pub use crate::concat::ConcatAlgorithm;
+    pub use crate::index::IndexAlgorithm;
+    pub use bruck_model::complexity::Complexity;
+    pub use bruck_model::cost::{CostModel, LinearModel, Sp1Model};
+    pub use bruck_net::{Cluster, ClusterConfig, Comm, Endpoint, Group, NetError};
+}

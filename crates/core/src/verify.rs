@@ -1,0 +1,121 @@
+//! Deterministic input patterns and result oracles.
+//!
+//! Every byte of every block is a function of `(owner, block, offset)`, so
+//! tests can build the expected output of any collective without running
+//! one — and a single wrong byte pinpoints which block went astray.
+
+/// The canonical content byte for byte `t` of block `j` of processor `i`.
+///
+/// Mixes all three coordinates so that transposed/shifted results cannot
+/// collide by accident.
+#[must_use]
+pub fn content_byte(i: usize, j: usize, t: usize) -> u8 {
+    let x = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(t as u64);
+    (x ^ (x >> 29) ^ (x >> 47)) as u8
+}
+
+/// The index operation's *input* at processor `rank`: `n` blocks of `b`
+/// bytes, block `j` being `B[rank, j]`.
+#[must_use]
+pub fn index_input(rank: usize, n: usize, b: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n * b);
+    for j in 0..n {
+        for t in 0..b {
+            v.push(content_byte(rank, j, t));
+        }
+    }
+    v
+}
+
+/// The index operation's *expected output* at processor `rank`: block `j`
+/// of the result is `B[j, rank]` (the `rank`-th block of processor `j`).
+#[must_use]
+pub fn index_expected(rank: usize, n: usize, b: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n * b);
+    for j in 0..n {
+        for t in 0..b {
+            v.push(content_byte(j, rank, t));
+        }
+    }
+    v
+}
+
+/// The concatenation's input at processor `rank`: one block `B[rank]`
+/// (encoded as block index 0 of owner `rank`).
+#[must_use]
+pub fn concat_input(rank: usize, b: usize) -> Vec<u8> {
+    (0..b).map(|t| content_byte(rank, 0, t)).collect()
+}
+
+/// The concatenation's expected output (identical on every processor):
+/// `B[0] ‖ B[1] ‖ … ‖ B[n-1]`.
+#[must_use]
+pub fn concat_expected(n: usize, b: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n * b);
+    for i in 0..n {
+        v.extend(concat_input(i, b));
+    }
+    v
+}
+
+/// Locate the first mismatching block for a human-readable diagnosis.
+#[must_use]
+pub fn first_block_mismatch(actual: &[u8], expected: &[u8], b: usize) -> Option<usize> {
+    debug_assert_eq!(actual.len(), expected.len());
+    actual
+        .chunks(b.max(1))
+        .zip(expected.chunks(b.max(1)))
+        .position(|(a, e)| a != e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_bytes_distinguish_coordinates() {
+        assert_ne!(content_byte(0, 1, 0), content_byte(1, 0, 0));
+        assert_ne!(content_byte(2, 3, 4), content_byte(2, 3, 5));
+        // Deterministic.
+        assert_eq!(content_byte(7, 8, 9), content_byte(7, 8, 9));
+    }
+
+    #[test]
+    fn index_oracle_is_transpose() {
+        let n = 6;
+        let b = 3;
+        // Gather all inputs into a matrix and transpose manually.
+        let inputs: Vec<Vec<u8>> = (0..n).map(|i| index_input(i, n, b)).collect();
+        for rank in 0..n {
+            let expected = index_expected(rank, n, b);
+            for j in 0..n {
+                assert_eq!(
+                    &expected[j * b..(j + 1) * b],
+                    &inputs[j][rank * b..(rank + 1) * b],
+                    "rank={rank} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concat_oracle_concatenates() {
+        let expected = concat_expected(4, 2);
+        assert_eq!(expected.len(), 8);
+        for i in 0..4 {
+            assert_eq!(&expected[i * 2..(i + 1) * 2], concat_input(i, 2).as_slice());
+        }
+    }
+
+    #[test]
+    fn mismatch_locator() {
+        let a = vec![1u8, 2, 3, 4];
+        let mut e = a.clone();
+        assert_eq!(first_block_mismatch(&a, &e, 2), None);
+        e[2] = 9;
+        assert_eq!(first_block_mismatch(&a, &e, 2), Some(1));
+    }
+}

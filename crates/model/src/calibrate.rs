@@ -1,0 +1,136 @@
+//! Fitting cost-model parameters from measurements.
+//!
+//! §3.5 calibrates the linear model for the SP-1 from two measured
+//! quantities (start-up ≈ 29 µs, bandwidth ≈ 8.5 MB/s). This module does
+//! the general version: ordinary least squares of
+//! `time = β + bytes·τ` over `(bytes, seconds)` samples, with the fit
+//! quality (`R²`) so callers can tell whether the linear model describes
+//! their substrate at all.
+
+use crate::cost::LinearModel;
+
+/// A fitted linear model plus fit diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// The fitted model (`startup` = intercept, `per_byte` = slope).
+    pub model: LinearModel,
+    /// Coefficient of determination of the fit in `[0, 1]`
+    /// (1 = perfectly linear).
+    pub r_squared: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+/// Ordinary least squares of `seconds = β + bytes·τ`.
+///
+/// Negative fitted parameters are clamped to zero (a message cannot have
+/// negative cost; slightly negative intercepts happen with noisy small
+/// samples).
+///
+/// # Panics
+///
+/// Panics with fewer than two samples or when all sizes are equal (the
+/// slope would be undefined).
+#[must_use]
+pub fn fit_linear(samples: &[(u64, f64)]) -> LinearFit {
+    assert!(samples.len() >= 2, "need at least two samples to fit a line");
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|&(x, _)| x as f64).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = samples.iter().map(|&(x, _)| (x as f64 - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "all sample sizes are equal — slope undefined");
+    let sxy: f64 =
+        samples.iter().map(|&(x, y)| (x as f64 - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    let ss_tot: f64 = samples.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|&(x, y)| (y - (intercept + slope * x as f64)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) } else { 1.0 };
+
+    LinearFit {
+        model: LinearModel::new(intercept.max(0.0), slope.max(0.0)),
+        r_squared,
+        samples: samples.len(),
+    }
+}
+
+/// Fit the §3.5 multiplicative factors: given a *reference* linear model
+/// (the hardware spec) and measured samples, find the least-squares
+/// `(γ_startup, γ_transfer)` such that
+/// `time ≈ γ_s·β + bytes·γ_c·τ` — i.e. fit a line and divide out the
+/// reference.
+#[must_use]
+pub fn fit_gamma_factors(reference: LinearModel, samples: &[(u64, f64)]) -> (f64, f64) {
+    let fit = fit_linear(samples);
+    let gs = if reference.startup > 0.0 { fit.model.startup / reference.startup } else { 1.0 };
+    let gc = if reference.per_byte > 0.0 { fit.model.per_byte / reference.per_byte } else { 1.0 };
+    (gs.max(1.0), gc.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn exact_line_recovered() {
+        let truth = LinearModel::new(29e-6, 0.12e-6);
+        let samples: Vec<(u64, f64)> =
+            [1u64, 64, 256, 1024, 8192].iter().map(|&b| (b, truth.send_cost(b))).collect();
+        let fit = fit_linear(&samples);
+        assert!((fit.model.startup - 29e-6).abs() < 1e-12);
+        assert!((fit.model.per_byte - 0.12e-6).abs() < 1e-15);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        let truth = LinearModel::new(10e-6, 1e-9);
+        // Deterministic "noise": alternate ±5%.
+        let samples: Vec<(u64, f64)> = (1..40u64)
+            .map(|i| {
+                let b = i * 500;
+                let noise = if i % 2 == 0 { 1.05 } else { 0.95 };
+                (b, truth.send_cost(b) * noise)
+            })
+            .collect();
+        let fit = fit_linear(&samples);
+        assert!((fit.model.per_byte - 1e-9).abs() / 1e-9 < 0.15);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn negative_intercept_clamped() {
+        // Steep line through near-origin points can fit a tiny negative β.
+        let samples = vec![(100u64, 1e-6), (200, 2.1e-6), (300, 2.9e-6)];
+        let fit = fit_linear(&samples);
+        assert!(fit.model.startup >= 0.0);
+    }
+
+    #[test]
+    fn gamma_factors_recovered() {
+        let reference = LinearModel::sp1();
+        let inflated = LinearModel::new(reference.startup * 1.5, reference.per_byte * 2.0);
+        let samples: Vec<(u64, f64)> =
+            [16u64, 128, 1024, 4096].iter().map(|&b| (b, inflated.send_cost(b))).collect();
+        let (gs, gc) = fit_gamma_factors(reference, &samples);
+        assert!((gs - 1.5).abs() < 1e-6, "γs = {gs}");
+        assert!((gc - 2.0).abs() < 1e-6, "γc = {gc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn too_few_samples() {
+        let _ = fit_linear(&[(1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slope undefined")]
+    fn degenerate_sizes() {
+        let _ = fit_linear(&[(5, 1.0), (5, 2.0)]);
+    }
+}

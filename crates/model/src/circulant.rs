@@ -1,0 +1,183 @@
+//! Circulant graphs `G(n; S)` (§4, Definition).
+//!
+//! A circulant graph on `n` nodes with offset set `S` connects node `i` to
+//! nodes `(i ± s) mod n` for every `s ∈ S`. The concatenation algorithm's
+//! first phase communicates along the circulant graph with offsets
+//! `S = S_0 ∪ S_1 ∪ … ∪ S_{d-2}` where
+//! `S_i = {(k+1)^i, 2(k+1)^i, …, k(k+1)^i}`.
+
+use crate::radix::{ceil_log, pow};
+
+/// A circulant graph `G(n; S)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CirculantGraph {
+    n: usize,
+    offsets: Vec<usize>,
+}
+
+impl CirculantGraph {
+    /// A circulant graph on `n` nodes with the given offsets.
+    ///
+    /// Offsets are normalized modulo `n`, deduplicated, and sorted; a zero
+    /// offset is rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any offset is `≡ 0 (mod n)`.
+    #[must_use]
+    pub fn new(n: usize, offsets: impl IntoIterator<Item = usize>) -> Self {
+        assert!(n >= 1);
+        let mut offsets: Vec<usize> = offsets.into_iter().map(|s| s % n).collect();
+        assert!(
+            offsets.iter().all(|&s| s != 0),
+            "circulant offsets must be non-zero mod n"
+        );
+        offsets.sort_unstable();
+        offsets.dedup();
+        Self { n, offsets }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The normalized offset set.
+    #[must_use]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Forward neighbors of `v`: `(v + s) mod n` for each offset.
+    #[must_use]
+    pub fn successors(&self, v: usize) -> Vec<usize> {
+        self.offsets.iter().map(|&s| (v + s) % self.n).collect()
+    }
+
+    /// Backward neighbors of `v`: `(v - s) mod n` for each offset.
+    #[must_use]
+    pub fn predecessors(&self, v: usize) -> Vec<usize> {
+        self.offsets
+            .iter()
+            .map(|&s| (v + self.n - s % self.n) % self.n)
+            .collect()
+    }
+
+    /// Whether every node can reach every other (the offset set together
+    /// with `n` generates `Z_n`), computed by BFS from node 0.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = queue.pop() {
+            for w in self.successors(v).into_iter().chain(self.predecessors(v)) {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    queue.push(w);
+                }
+            }
+        }
+        count == self.n
+    }
+}
+
+/// The offset set `S_i = {j·(k+1)^i : 1 ≤ j ≤ k}` used in round `i` of the
+/// concatenation algorithm's first phase (§4.1).
+#[must_use]
+pub fn round_offsets(k: usize, round: u32) -> Vec<usize> {
+    assert!(k >= 1);
+    let base = pow(k + 1, round);
+    (1..=k).map(|j| j * base).collect()
+}
+
+/// All first-phase offset sets for a concatenation among `n` processors
+/// with `k` ports: `d - 1` rounds where `d = ⌈log_{k+1} n⌉`.
+#[must_use]
+pub fn concat_phase1_offsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(n >= 1 && k >= 1);
+    if n <= 1 {
+        return Vec::new();
+    }
+    let d = ceil_log(k + 1, n);
+    (0..d.saturating_sub(1)).map(|i| round_offsets(k, i)).collect()
+}
+
+/// The circulant graph used by the whole first phase.
+#[must_use]
+pub fn concat_phase1_graph(n: usize, k: usize) -> CirculantGraph {
+    CirculantGraph::new(n, concat_phase1_offsets(n, k).into_iter().flatten())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_offsets_k2() {
+        // k = 2: S_0 = {1, 2}, S_1 = {3, 6}, S_2 = {9, 18}.
+        assert_eq!(round_offsets(2, 0), vec![1, 2]);
+        assert_eq!(round_offsets(2, 1), vec![3, 6]);
+        assert_eq!(round_offsets(2, 2), vec![9, 18]);
+    }
+
+    #[test]
+    fn phase1_offsets_n9_k2() {
+        // n = 9, k = 2: d = 2, one phase-1 round with offsets {1, 2}.
+        assert_eq!(concat_phase1_offsets(9, 2), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn phase1_offsets_one_port() {
+        // k = 1, n = 16: d = 4, rounds use offsets 1, 2, 4.
+        assert_eq!(
+            concat_phase1_offsets(16, 1),
+            vec![vec![1], vec![2], vec![4]]
+        );
+    }
+
+    #[test]
+    fn phase1_offsets_trivial() {
+        assert!(concat_phase1_offsets(1, 1).is_empty());
+        assert!(concat_phase1_offsets(2, 1).is_empty()); // d = 1: no phase-1 rounds
+    }
+
+    #[test]
+    fn neighbors_wrap() {
+        let g = CirculantGraph::new(5, [1, 2]);
+        assert_eq!(g.successors(4), vec![0, 1]);
+        assert_eq!(g.predecessors(0), vec![4, 3]);
+    }
+
+    #[test]
+    fn normalization() {
+        let g = CirculantGraph::new(5, [6, 1, 7]);
+        assert_eq!(g.offsets(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_offset_rejected() {
+        let _ = CirculantGraph::new(5, [5]);
+    }
+
+    #[test]
+    fn phase1_graph_connected_enough() {
+        // The phase-1 offsets alone need not span Z_n, but together with the
+        // last round they must; with offset 1 present the graph is connected
+        // whenever d ≥ 2.
+        for (n, k) in [(16usize, 1usize), (9, 2), (10, 3), (100, 1), (65, 2)] {
+            let g = concat_phase1_graph(n, k);
+            assert!(g.is_connected(), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn connectivity_detects_disconnected() {
+        let g = CirculantGraph::new(6, [2]);
+        assert!(!g.is_connected()); // even offsets only reach even nodes
+    }
+}

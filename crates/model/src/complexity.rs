@@ -1,0 +1,118 @@
+//! The two complexity measures of §1.2.
+//!
+//! * `C1` — the number of communication rounds. Dominant when the start-up
+//!   time is high relative to the per-byte transfer time and messages are
+//!   small.
+//! * `C2` — the amount of data transferred *in sequence*: per round, take
+//!   the largest message sent over any port of any processor; `C2` is the
+//!   sum of these maxima over all rounds. Dominant when start-up is cheap
+//!   and messages are large.
+//!
+//! Under the linear model an algorithm's estimated time is
+//! `T = C1·β + C2·τ`.
+
+use core::fmt;
+use core::ops::Add;
+
+/// A `(C1, C2)` complexity pair. `C2` is measured in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Complexity {
+    /// Number of communication rounds.
+    pub c1: u64,
+    /// Sum over rounds of the largest single message (bytes).
+    pub c2: u64,
+}
+
+impl Complexity {
+    /// A zero-cost (empty) complexity.
+    pub const ZERO: Self = Self { c1: 0, c2: 0 };
+
+    /// Construct from round count and sequential byte count.
+    #[must_use]
+    pub const fn new(c1: u64, c2: u64) -> Self {
+        Self { c1, c2 }
+    }
+
+    /// Accumulate one more round whose largest message is `max_bytes`.
+    #[must_use]
+    pub const fn plus_round(self, max_bytes: u64) -> Self {
+        Self { c1: self.c1 + 1, c2: self.c2 + max_bytes }
+    }
+
+    /// Estimated time under the linear model: `C1·startup + C2·per_byte`.
+    #[must_use]
+    pub fn linear_time(&self, startup: f64, per_byte: f64) -> f64 {
+        self.c1 as f64 * startup + self.c2 as f64 * per_byte
+    }
+
+    /// Component-wise `≤` — useful for asserting an algorithm meets a bound
+    /// in both measures simultaneously.
+    #[must_use]
+    pub fn dominated_by(&self, other: &Self) -> bool {
+        self.c1 <= other.c1 && self.c2 <= other.c2
+    }
+}
+
+impl Add for Complexity {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self { c1: self.c1 + rhs.c1, c2: self.c2 + rhs.c2 }
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C1={} rounds, C2={} bytes", self.c1, self.c2)
+    }
+}
+
+/// Per-round maxima folded into a [`Complexity`].
+///
+/// `round_maxima[i]` must be the size in bytes of the largest message (over
+/// all ports of all processors) sent in round `i`.
+#[must_use]
+pub fn from_round_maxima(round_maxima: &[u64]) -> Complexity {
+    Complexity {
+        c1: round_maxima.len() as u64,
+        c2: round_maxima.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_rounds() {
+        let c = Complexity::ZERO.plus_round(10).plus_round(20).plus_round(5);
+        assert_eq!(c, Complexity::new(3, 35));
+    }
+
+    #[test]
+    fn linear_time_matches_formula() {
+        let c = Complexity::new(6, 320);
+        let t = c.linear_time(29e-6, 0.12e-6);
+        assert!((t - (6.0 * 29e-6 + 320.0 * 0.12e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_maxima() {
+        assert_eq!(from_round_maxima(&[4, 4, 8]), Complexity::new(3, 16));
+        assert_eq!(from_round_maxima(&[]), Complexity::ZERO);
+    }
+
+    #[test]
+    fn domination_is_componentwise() {
+        assert!(Complexity::new(3, 10).dominated_by(&Complexity::new(3, 10)));
+        assert!(Complexity::new(2, 10).dominated_by(&Complexity::new(3, 11)));
+        assert!(!Complexity::new(4, 10).dominated_by(&Complexity::new(3, 11)));
+        assert!(!Complexity::new(2, 12).dominated_by(&Complexity::new(3, 11)));
+    }
+
+    #[test]
+    fn add_sums_components() {
+        let total = Complexity::new(2, 100) + Complexity::new(1, 7);
+        assert_eq!(total, Complexity::new(3, 107));
+    }
+}

@@ -1,0 +1,464 @@
+//! Communication cost models (§1.2 and §3.5).
+//!
+//! The paper analyses algorithms in the **linear model**: sending an
+//! `m`-byte message point-to-point costs `T = β + mτ`, where `β` is the
+//! per-message start-up and `τ` the per-byte transfer time. It also cites
+//! the **postal** model (Bar-Noy & Kipnis) and **LogP** (Culler et al.) as
+//! finer-grained alternatives, and §3.5 explains measured-vs-predicted gaps
+//! on the SP-1 by multiplicative congestion (`γ_c`) and system-noise
+//! (`γ_s`) factors.
+//!
+//! All of these are expressed through the [`CostModel`] trait, consumed by
+//! the virtual-time engine in `bruck-net` and by the schedule analyzer in
+//! `bruck-sched`. Three primitives suffice:
+//!
+//! * [`CostModel::send_cost`] — how long the *sender* is busy injecting the
+//!   message (the message departs when this completes);
+//! * [`CostModel::latency`] — extra wire time between departure and the
+//!   earliest moment the receiver can have the data;
+//! * [`CostModel::recv_cost`] — receiver-side overhead charged after
+//!   arrival.
+//!
+//! Under the linear model (`latency = recv_cost = 0`) a synchronous
+//! schedule costs exactly `C1·β + C2·τ`, matching the paper.
+
+use crate::complexity::Complexity;
+
+/// Times, in seconds, are `f64`. Message sizes are bytes.
+pub trait CostModel: Send + Sync {
+    /// Time the sender is occupied injecting an `m`-byte message. The
+    /// message *departs* at `send_start + send_cost(m)`.
+    fn send_cost(&self, bytes: u64) -> f64;
+
+    /// Additional delay between departure and availability at the receiver.
+    fn latency(&self, bytes: u64) -> f64 {
+        let _ = bytes;
+        0.0
+    }
+
+    /// Receiver-side overhead charged once the message is available.
+    fn recv_cost(&self, bytes: u64) -> f64 {
+        let _ = bytes;
+        0.0
+    }
+
+    /// Cost of a local memory copy of `bytes` (the pack/unpack and
+    /// rotation work of the index algorithm's phases). The paper's §3.5
+    /// names unmodelled copy time as a source of the measured-vs-predicted
+    /// gap; models that want to close it override this. Default: free.
+    fn copy_cost(&self, bytes: u64) -> f64 {
+        let _ = bytes;
+        0.0
+    }
+
+    /// Pair-aware sender cost. The paper's model is distance-uniform
+    /// ("every pair of processors are equally distant", §1.2), so the
+    /// default ignores the endpoints; hierarchical models override this
+    /// to study how the algorithms behave when that assumption breaks
+    /// (e.g. multicore nodes on a slower interconnect).
+    fn send_cost_between(&self, src: usize, dst: usize, bytes: u64) -> f64 {
+        let _ = (src, dst);
+        self.send_cost(bytes)
+    }
+
+    /// Pair-aware wire latency (see [`CostModel::send_cost_between`]).
+    fn latency_between(&self, src: usize, dst: usize, bytes: u64) -> f64 {
+        let _ = (src, dst);
+        self.latency(bytes)
+    }
+
+    /// Pair-aware receiver cost (see [`CostModel::send_cost_between`]).
+    fn recv_cost_between(&self, src: usize, dst: usize, bytes: u64) -> f64 {
+        let _ = (src, dst);
+        self.recv_cost(bytes)
+    }
+
+    /// Closed-form time estimate for a synchronous round-structured
+    /// schedule with complexity `(C1, C2)`. The default charges one full
+    /// `send_cost`-shaped term per round using the round's maximum message —
+    /// exactly `C1·β + C2·τ` for the linear model.
+    fn estimate(&self, c: Complexity) -> f64 {
+        // Decompose send_cost into affine parts by probing; models with a
+        // non-affine send_cost should override `estimate`.
+        let base = self.send_cost(0);
+        let per_byte = self.send_cost(1) - base;
+        c.c1 as f64 * (base + self.latency(0) + self.recv_cost(0))
+            + c.c2 as f64 * per_byte
+    }
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's linear model: `T = β + mτ` (§1.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Per-message start-up time `β` (seconds).
+    pub startup: f64,
+    /// Per-byte transfer time `τ` (seconds/byte).
+    pub per_byte: f64,
+}
+
+impl LinearModel {
+    /// A new linear model with start-up `β` and per-byte time `τ`.
+    #[must_use]
+    pub const fn new(startup: f64, per_byte: f64) -> Self {
+        Self { startup, per_byte }
+    }
+
+    /// The IBM SP-1 calibration from §3.5: `β ≈ 29 µs` start-up and
+    /// sustained point-to-point bandwidth `≈ 8.5 MB/s`, i.e.
+    /// `τ ≈ 0.12 µs/byte`.
+    #[must_use]
+    pub const fn sp1() -> Self {
+        Self { startup: 29e-6, per_byte: 0.12e-6 }
+    }
+
+    /// A zero-cost model (useful for pure-structure analysis).
+    #[must_use]
+    pub const fn free() -> Self {
+        Self { startup: 0.0, per_byte: 0.0 }
+    }
+}
+
+impl CostModel for LinearModel {
+    fn send_cost(&self, bytes: u64) -> f64 {
+        self.startup + bytes as f64 * self.per_byte
+    }
+
+    fn estimate(&self, c: Complexity) -> f64 {
+        c.linear_time(self.startup, self.per_byte)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// The postal model of Bar-Noy & Kipnis (cited as \[3\]).
+///
+/// A sender is busy for one "sending unit" per message; the message is
+/// delivered `λ ≥ 1` sending units after injection begins. We scale the
+/// sending unit with message size using an underlying linear cost, so
+/// `λ = 1` degenerates to [`LinearModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostalModel {
+    /// The underlying per-message injection cost.
+    pub wire: LinearModel,
+    /// Postal latency factor `λ ≥ 1` (delivery completes at `λ·inject`).
+    pub lambda: f64,
+}
+
+impl PostalModel {
+    /// Postal model over an injection cost with latency ratio `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 1.0`.
+    #[must_use]
+    pub fn new(wire: LinearModel, lambda: f64) -> Self {
+        assert!(lambda >= 1.0, "postal λ must be ≥ 1, got {lambda}");
+        Self { wire, lambda }
+    }
+}
+
+impl CostModel for PostalModel {
+    fn send_cost(&self, bytes: u64) -> f64 {
+        self.wire.send_cost(bytes)
+    }
+
+    fn latency(&self, bytes: u64) -> f64 {
+        (self.lambda - 1.0) * self.wire.send_cost(bytes)
+    }
+
+    fn name(&self) -> &'static str {
+        "postal"
+    }
+}
+
+/// LogP (Culler et al., cited as \[9\]) with the LogGP long-message
+/// extension: per-message overhead `o` on each side, inter-message gap `g`,
+/// wire latency `L`, and per-byte gap `G` for long messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogPModel {
+    /// Wire latency `L` (seconds).
+    pub l: f64,
+    /// Per-message processor overhead `o` (seconds), paid by both sides.
+    pub o: f64,
+    /// Gap per message `g` (seconds) — reciprocal of message rate.
+    pub g: f64,
+    /// Gap per byte `G` (seconds/byte) — reciprocal of bandwidth (LogGP).
+    pub big_g: f64,
+}
+
+impl LogPModel {
+    /// A new LogP/LogGP model.
+    #[must_use]
+    pub const fn new(l: f64, o: f64, g: f64, big_g: f64) -> Self {
+        Self { l, o, g, big_g }
+    }
+}
+
+impl CostModel for LogPModel {
+    fn send_cost(&self, bytes: u64) -> f64 {
+        // Sender occupancy: overhead plus the larger of the message gap and
+        // the byte-rate constraint.
+        self.o + self.g.max(bytes as f64 * self.big_g)
+    }
+
+    fn latency(&self, _bytes: u64) -> f64 {
+        self.l
+    }
+
+    fn recv_cost(&self, _bytes: u64) -> f64 {
+        self.o
+    }
+
+    fn estimate(&self, c: Complexity) -> f64 {
+        // send_cost is not affine in the message size (max of gap and
+        // byte-rate), so the trait's probing default would report a zero
+        // slope. Per round the occupancy is max(g, m·G); summed over
+        // rounds this is at least max(C1·g, C2·G) and at most their sum —
+        // we use the lower of the two bounds' midpoint... conservatively,
+        // the max (exact when every round is on the same side of the
+        // g/G crossover).
+        c.c1 as f64 * (2.0 * self.o + self.l) + (c.c1 as f64 * self.g).max(c.c2 as f64 * self.big_g)
+    }
+
+    fn name(&self) -> &'static str {
+        "logp"
+    }
+}
+
+/// The §3.5 refinement of the linear model for the SP-1: measured times
+/// deviate from `C1·β + C2·τ` by (1) background system routines, modelled
+/// as a fixed slowdown `γ_s` of the whole operation, and (2) congestion,
+/// modelled as a fixed multiplicative factor `γ_c` on the transfer term
+/// (the paper's "total time … modeled as `T = γ_s(γ_1 C1 t_s + γ_c C2 t_c)`"
+/// family; we keep one knob per term).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sp1Model {
+    /// Underlying linear calibration.
+    pub linear: LinearModel,
+    /// System-noise slowdown `γ_s ≥ 1` applied to the start-up term.
+    pub gamma_startup: f64,
+    /// Congestion factor `γ_c ≥ 1` applied to the transfer term.
+    pub gamma_transfer: f64,
+    /// Local memory-copy time per byte (seconds/byte) — §3.5's factor (2),
+    /// the `pack`/`unpack`/`copy` work the linear model omits.
+    pub copy_per_byte: f64,
+}
+
+impl Sp1Model {
+    /// SP-1 model with explicit factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is below 1.
+    #[must_use]
+    pub fn new(linear: LinearModel, gamma_startup: f64, gamma_transfer: f64) -> Self {
+        assert!(gamma_startup >= 1.0 && gamma_transfer >= 1.0, "γ factors must be ≥ 1");
+        Self { linear, gamma_startup, gamma_transfer, copy_per_byte: 0.0 }
+    }
+
+    /// Enable copy-time modelling at `copy_per_byte` seconds/byte.
+    #[must_use]
+    pub fn with_copy_per_byte(mut self, copy_per_byte: f64) -> Self {
+        assert!(copy_per_byte >= 0.0);
+        self.copy_per_byte = copy_per_byte;
+        self
+    }
+
+    /// The calibration used by the figure harness: SP-1 linear parameters
+    /// with a 1.5× system-noise factor and 2× congestion factor — the
+    /// paper's §3.5 names a send/receive slowdown "somewhere between one
+    /// and two" plus background daemons.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self::new(LinearModel::sp1(), 1.5, 2.0)
+    }
+}
+
+impl CostModel for Sp1Model {
+    fn send_cost(&self, bytes: u64) -> f64 {
+        self.gamma_startup * self.linear.startup
+            + self.gamma_transfer * bytes as f64 * self.linear.per_byte
+    }
+
+    fn estimate(&self, c: Complexity) -> f64 {
+        c.c1 as f64 * self.gamma_startup * self.linear.startup
+            + c.c2 as f64 * self.gamma_transfer * self.linear.per_byte
+    }
+
+    fn copy_cost(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.copy_per_byte
+    }
+
+    fn name(&self) -> &'static str {
+        "sp1"
+    }
+}
+
+/// A two-level machine: ranks are grouped into nodes of `node_size`;
+/// intra-node messages use the `local` parameters, inter-node ones the
+/// `remote` parameters. This deliberately *breaks* the paper's
+/// equal-distance assumption so that the benches can quantify how the
+/// flat algorithms degrade and what a hierarchy-aware composition buys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalModel {
+    /// Ranks per node.
+    pub node_size: usize,
+    /// Cost of intra-node messages.
+    pub local: LinearModel,
+    /// Cost of inter-node messages.
+    pub remote: LinearModel,
+}
+
+impl HierarchicalModel {
+    /// A new two-level model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_size == 0`.
+    #[must_use]
+    pub fn new(node_size: usize, local: LinearModel, remote: LinearModel) -> Self {
+        assert!(node_size >= 1);
+        Self { node_size, local, remote }
+    }
+
+    /// An SMP-cluster-style calibration: shared-memory-fast inside a node
+    /// (1 µs start-up, 1 GB/s) and SP-1-like between nodes.
+    #[must_use]
+    pub fn smp_cluster(node_size: usize) -> Self {
+        Self::new(node_size, LinearModel::new(1e-6, 1e-9), LinearModel::sp1())
+    }
+
+    /// Which side of the hierarchy a pair of ranks lands on.
+    #[must_use]
+    pub fn is_local(&self, src: usize, dst: usize) -> bool {
+        src / self.node_size == dst / self.node_size
+    }
+
+    fn pick(&self, src: usize, dst: usize) -> &LinearModel {
+        if self.is_local(src, dst) {
+            &self.local
+        } else {
+            &self.remote
+        }
+    }
+}
+
+impl CostModel for HierarchicalModel {
+    /// Conservative pair-oblivious cost: the remote parameters (used when
+    /// an analysis has no endpoints, e.g. `estimate`).
+    fn send_cost(&self, bytes: u64) -> f64 {
+        self.remote.send_cost(bytes)
+    }
+
+    fn send_cost_between(&self, src: usize, dst: usize, bytes: u64) -> f64 {
+        self.pick(src, dst).send_cost(bytes)
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_estimate_matches_closed_form() {
+        let m = LinearModel::sp1();
+        let c = Complexity::new(6, 2048);
+        let t = m.estimate(c);
+        assert!((t - (6.0 * 29e-6 + 2048.0 * 0.12e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_default_estimate_agrees_with_override() {
+        // The trait's probing default must agree with LinearModel's
+        // closed-form override.
+        struct Probe(LinearModel);
+        impl CostModel for Probe {
+            fn send_cost(&self, b: u64) -> f64 {
+                self.0.send_cost(b)
+            }
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+        }
+        let m = LinearModel::new(1e-5, 2e-8);
+        let c = Complexity::new(11, 77777);
+        assert!((Probe(m).estimate(c) - m.estimate(c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn postal_lambda_one_is_linear() {
+        let p = PostalModel::new(LinearModel::sp1(), 1.0);
+        assert_eq!(p.latency(1000), 0.0);
+        assert_eq!(p.send_cost(1000), LinearModel::sp1().send_cost(1000));
+    }
+
+    #[test]
+    fn postal_latency_scales() {
+        let p = PostalModel::new(LinearModel::new(1e-6, 0.0), 3.0);
+        assert!((p.latency(123) - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "postal λ")]
+    fn postal_rejects_sub_unit_lambda() {
+        let _ = PostalModel::new(LinearModel::sp1(), 0.5);
+    }
+
+    #[test]
+    fn logp_components() {
+        let m = LogPModel::new(5e-6, 1e-6, 2e-6, 1e-8);
+        // short message: gap dominates byte term
+        assert!((m.send_cost(10) - (1e-6 + 2e-6)).abs() < 1e-15);
+        // long message: byte term dominates
+        assert!((m.send_cost(1_000_000) - (1e-6 + 0.01)).abs() < 1e-9);
+        assert_eq!(m.latency(10), 5e-6);
+        assert_eq!(m.recv_cost(10), 1e-6);
+    }
+
+    #[test]
+    fn sp1_inflates_both_terms() {
+        let s = Sp1Model::calibrated();
+        let lin = LinearModel::sp1();
+        let c = Complexity::new(10, 10_000);
+        assert!(s.estimate(c) > lin.estimate(c));
+        // factors apply independently
+        let exact = 10.0 * 1.5 * 29e-6 + 10_000.0 * 2.0 * 0.12e-6;
+        assert!((s.estimate(c) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_routes_by_node() {
+        let h = HierarchicalModel::smp_cluster(4);
+        assert!(h.is_local(0, 3));
+        assert!(!h.is_local(3, 4));
+        // Local messages are much cheaper.
+        assert!(h.send_cost_between(0, 1, 1024) < h.send_cost_between(0, 4, 1024) / 10.0);
+        // Pair-oblivious cost is the conservative remote one.
+        assert_eq!(h.send_cost(1024), LinearModel::sp1().send_cost(1024));
+        // Uniform models ignore the pair.
+        let m = LinearModel::sp1();
+        assert_eq!(m.send_cost_between(0, 1, 64), m.send_cost(64));
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn CostModel>> = vec![
+            Box::new(LinearModel::sp1()),
+            Box::new(PostalModel::new(LinearModel::sp1(), 2.0)),
+            Box::new(LogPModel::new(5e-6, 1e-6, 2e-6, 1e-8)),
+            Box::new(Sp1Model::calibrated()),
+        ];
+        for m in &models {
+            assert!(m.send_cost(64) > 0.0, "{}", m.name());
+        }
+    }
+}

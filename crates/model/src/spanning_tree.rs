@@ -1,0 +1,270 @@
+//! Round-labelled broadcast spanning trees for the concatenation
+//! algorithm (§4.1, Figs. 7–8).
+//!
+//! The communication pattern that broadcasts node `i`'s block is a
+//! spanning tree `T_i` rooted at `i`; every edge is labelled with the round
+//! in which the corresponding message travels. `T_0` is built by
+//! generalized-binomial growth: in round `i`, every node `u` already in the
+//! tree sends along offsets `j·(k+1)^i` (for `j = 1..k`), so after round
+//! `i` the tree spans nodes `0 … min((k+1)^{i+1}, n) - 1`. `T_i` is `T_0`
+//! translated by `i` modulo `n` with identical round labels (Theorem 4.1's
+//! proof). The final partial round uses the table partitioning of
+//! [`crate::partition`]; the tree here covers the *full-round* prefix plus a
+//! naive completion so that shape tests (Figs. 7–8) have a concrete object.
+
+use crate::radix::{ceil_log, pow};
+
+/// One edge of a round-labelled spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeEdge {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Communication round (0-based) in which the edge is used.
+    pub round: u32,
+}
+
+/// A spanning tree rooted at [`SpanningTree::root`], with round labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    n: usize,
+    k: usize,
+    root: usize,
+    edges: Vec<TreeEdge>,
+}
+
+impl SpanningTree {
+    /// Build `T_root` for `n` nodes in the `k`-port model.
+    ///
+    /// Rounds `0 … d-2` are the full circulant rounds; the last round
+    /// (`d-1`) attaches the remaining `n - (k+1)^{d-1}` nodes, each via the
+    /// unique offset that reaches it from the already-spanned prefix using
+    /// the smallest sender index (the byte-balanced assignment lives in
+    /// [`crate::partition`], not here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `k == 0`, or `root ≥ n`.
+    #[must_use]
+    pub fn build(n: usize, k: usize, root: usize) -> Self {
+        assert!(n >= 1 && k >= 1 && root < n);
+        let mut edges = Vec::new();
+        if n > 1 {
+            let d = ceil_log(k + 1, n);
+            // Full growth rounds: after round i the tree spans (k+1)^{i+1}
+            // nodes (relative labels 0..), capped at n in the last round.
+            for i in 0..d {
+                let spanned = pow(k + 1, i); // nodes before this round
+                for u in 0..spanned {
+                    for j in 1..=k {
+                        let target = u + j * spanned;
+                        if target < n && target < spanned * (k + 1) {
+                            edges.push(TreeEdge {
+                                from: (root + u) % n,
+                                to: (root + target) % n,
+                                round: i,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Self { n, k, root, edges }
+    }
+
+    /// Number of nodes spanned.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Ports per node.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The root node.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// All edges with round labels.
+    #[must_use]
+    pub fn edges(&self) -> &[TreeEdge] {
+        &self.edges
+    }
+
+    /// Edges used in a given round.
+    #[must_use]
+    pub fn edges_in_round(&self, round: u32) -> Vec<TreeEdge> {
+        self.edges.iter().copied().filter(|e| e.round == round).collect()
+    }
+
+    /// Total number of rounds used.
+    #[must_use]
+    pub fn num_rounds(&self) -> u32 {
+        self.edges.iter().map(|e| e.round + 1).max().unwrap_or(0)
+    }
+
+    /// The translated tree `T_{(root + shift) mod n}`: every node label is
+    /// shifted by `shift`, round labels unchanged (§4.1: "we do this by
+    /// translating each node `j` in `T_0` to node `(j + i) mod n`").
+    #[must_use]
+    pub fn translate(&self, shift: usize) -> Self {
+        Self {
+            n: self.n,
+            k: self.k,
+            root: (self.root + shift) % self.n,
+            edges: self
+                .edges
+                .iter()
+                .map(|e| TreeEdge {
+                    from: (e.from + shift) % self.n,
+                    to: (e.to + shift) % self.n,
+                    round: e.round,
+                })
+                .collect(),
+        }
+    }
+
+    /// Check the tree invariants: spans all `n` nodes, every non-root node
+    /// has exactly one parent, parents are reached in strictly earlier
+    /// rounds, and no node sends more than `k` messages in any round.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut parent: Vec<Option<(usize, u32)>> = vec![None; self.n];
+        for e in &self.edges {
+            if e.to == self.root {
+                return Err(format!("edge into root: {e:?}"));
+            }
+            if parent[e.to].is_some() {
+                return Err(format!("node {} has two parents", e.to));
+            }
+            parent[e.to] = Some((e.from, e.round));
+        }
+        for (v, p) in parent.iter().enumerate() {
+            if v != self.root && p.is_none() {
+                return Err(format!("node {v} not spanned"));
+            }
+        }
+        // Causality: a sender must have been reached before it sends.
+        for e in &self.edges {
+            if e.from != self.root {
+                let (_, parent_round) = parent[e.from].unwrap();
+                if parent_round >= e.round {
+                    return Err(format!(
+                        "node {} sends in round {} but is reached in round {}",
+                        e.from, e.round, parent_round
+                    ));
+                }
+            }
+        }
+        // Port limit per sender per round.
+        let rounds = self.num_rounds();
+        for r in 0..rounds {
+            let mut sends = vec![0usize; self.n];
+            for e in self.edges_in_round(r) {
+                sends[e.from] += 1;
+                if sends[e.from] > self.k {
+                    return Err(format!(
+                        "node {} exceeds {} ports in round {r}",
+                        e.from, self.k
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fig7_tree_t0_n9_k2() {
+        // Fig. 7: n = 9, k = 2, two rounds. Round 0: 0→1, 0→2.
+        // Round 1: 0→3, 0→6, 1→4, 1→7, 2→5, 2→8.
+        let t = SpanningTree::build(9, 2, 0);
+        assert_eq!(t.num_rounds(), 2);
+        let r0: HashSet<(usize, usize)> =
+            t.edges_in_round(0).iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(r0, HashSet::from([(0, 1), (0, 2)]));
+        let r1: HashSet<(usize, usize)> =
+            t.edges_in_round(1).iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(
+            r1,
+            HashSet::from([(0, 3), (0, 6), (1, 4), (1, 7), (2, 5), (2, 8)])
+        );
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn fig8_tree_t1_is_translation() {
+        // Fig. 8: T_1 for n = 9, k = 2 is T_0 with every label +1 (mod 9).
+        let t0 = SpanningTree::build(9, 2, 0);
+        let t1 = t0.translate(1);
+        assert_eq!(t1.root(), 1);
+        let r1: HashSet<(usize, usize)> =
+            t1.edges_in_round(1).iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(
+            r1,
+            HashSet::from([(1, 4), (1, 7), (2, 5), (2, 8), (3, 6), (3, 0)])
+        );
+        t1.validate().unwrap();
+        // Direct construction at root 1 must agree with translation.
+        assert_eq!(t1, SpanningTree::build(9, 2, 1));
+    }
+
+    #[test]
+    fn binomial_tree_one_port() {
+        // k = 1 gives the classic binomial broadcast tree.
+        let t = SpanningTree::build(8, 1, 0);
+        assert_eq!(t.num_rounds(), 3);
+        assert_eq!(t.edges().len(), 7);
+        t.validate().unwrap();
+        let r2: HashSet<(usize, usize)> =
+            t.edges_in_round(2).iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(r2, HashSet::from([(0, 4), (1, 5), (2, 6), (3, 7)]));
+    }
+
+    #[test]
+    fn partial_last_round() {
+        // n = 5, k = 1: d = 3; round 2 only attaches node 4 (0→4).
+        let t = SpanningTree::build(5, 1, 0);
+        assert_eq!(t.num_rounds(), 3);
+        let r2 = t.edges_in_round(2);
+        assert_eq!(r2.len(), 1);
+        assert_eq!((r2[0].from, r2[0].to), (0, 4));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn all_roots_validate() {
+        for n in 1..40 {
+            for k in 1..5 {
+                for root in [0, n / 2, n - 1] {
+                    let t = SpanningTree::build(n, k, root.min(n - 1));
+                    t.validate().unwrap_or_else(|e| {
+                        panic!("n={n} k={k} root={root}: {e}")
+                    });
+                    assert_eq!(
+                        u64::from(t.num_rounds()),
+                        crate::bounds::concat_bounds(n, k, 1).c1,
+                        "round count must equal ⌈log_(k+1) n⌉ (n={n}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translation_round_trip() {
+        let t = SpanningTree::build(10, 3, 0);
+        assert_eq!(t.translate(10), t);
+        assert_eq!(t.translate(3).translate(7), t);
+    }
+}

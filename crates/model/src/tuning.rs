@@ -1,0 +1,235 @@
+//! Radix selection for the index algorithm (§3.3, §3.5).
+//!
+//! "In general, `r` can be fine-tuned according to the parameters of the
+//! underlying machines to balance between the start-up time and the data
+//! transfer time." This module evaluates the closed-form complexity of the
+//! radix-`r` index algorithm under a [`CostModel`] and picks the best `r`.
+
+use crate::complexity::Complexity;
+use crate::cost::CostModel;
+use crate::radix::RadixDecomposition;
+
+/// Closed-form complexity of the one-port radix-`r` index algorithm's
+/// communication phase for `n` processors and `b`-byte blocks (§3.2):
+/// `C1 = Σ_x steps(x)` rounds, and per step `(x, z)` a message of
+/// `b·|{j : digit_x(j) = z}|` bytes.
+#[must_use]
+pub fn index_complexity(n: usize, r: usize, b: usize) -> Complexity {
+    if n <= 1 {
+        return Complexity::ZERO;
+    }
+    let d = RadixDecomposition::new(n, r);
+    let mut c = Complexity::ZERO;
+    for (x, z) in d.steps() {
+        let blocks = d.blocks_for_step(x, z).len();
+        c = c.plus_round((blocks * b) as u64);
+    }
+    c
+}
+
+/// Closed-form complexity of the k-port radix-`r` index algorithm: the
+/// steps of each subphase are independent, so they are grouped `k` per
+/// round; a round's `C2` contribution is the largest message in the group.
+#[must_use]
+pub fn index_complexity_kport(n: usize, r: usize, b: usize, k: usize) -> Complexity {
+    assert!(k >= 1);
+    if n <= 1 {
+        return Complexity::ZERO;
+    }
+    let d = RadixDecomposition::new(n, r);
+    let mut c = Complexity::ZERO;
+    for x in 0..d.num_subphases() {
+        let steps = d.steps_in_subphase(x);
+        let mut z = 1usize;
+        while z <= steps {
+            let group_end = steps.min(z + k - 1);
+            let max_blocks = (z..=group_end)
+                .map(|zz| d.blocks_for_step(x, zz).len())
+                .max()
+                .unwrap_or(0);
+            c = c.plus_round((max_blocks * b) as u64);
+            z = group_end + 1;
+        }
+    }
+    c
+}
+
+/// The outcome of a radix sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadixChoice {
+    /// The chosen radix.
+    pub radix: usize,
+    /// Its predicted complexity.
+    pub complexity: Complexity,
+    /// Its predicted time under the model (seconds).
+    pub predicted_time: f64,
+}
+
+/// Evaluate each candidate radix and return the predicted-time minimizer.
+///
+/// # Panics
+///
+/// Panics if `candidates` yields no radix in `[2, n]` for `n ≥ 2`.
+#[must_use]
+pub fn best_radix(
+    n: usize,
+    b: usize,
+    k: usize,
+    model: &dyn CostModel,
+    candidates: impl IntoIterator<Item = usize>,
+) -> RadixChoice {
+    if n <= 1 {
+        return RadixChoice { radix: 2, complexity: Complexity::ZERO, predicted_time: 0.0 };
+    }
+    candidates
+        .into_iter()
+        .filter(|&r| (2..=n).contains(&r))
+        .map(|r| {
+            let complexity = index_complexity_kport(n, r, b, k);
+            RadixChoice { radix: r, complexity, predicted_time: model.estimate(complexity) }
+        })
+        .min_by(|x, y| x.predicted_time.total_cmp(&y.predicted_time))
+        .expect("no valid radix candidate in [2, n]")
+}
+
+/// All radices in `[2, n]`.
+pub fn all_radices(n: usize) -> impl Iterator<Item = usize> {
+    2..=n.max(2)
+}
+
+/// Power-of-two radices in `[2, n]` — the candidate set used for the
+/// paper's Figs. 4–5 ("optimal r among all power-of-two radices").
+pub fn power_of_two_radices(n: usize) -> impl Iterator<Item = usize> {
+    (1..=usize::BITS - 1)
+        .map(|s| 1usize << s)
+        .take_while(move |&r| r <= n.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearModel;
+    use crate::radix::ceil_log;
+
+    #[test]
+    fn r2_special_case() {
+        // r = 2: C1 = ⌈log2 n⌉, C2 ≤ b·⌈n/2⌉·⌈log2 n⌉ (§3.3 case 1).
+        for n in 2..200usize {
+            for b in [1usize, 3, 64] {
+                let c = index_complexity(n, 2, b);
+                let w = u64::from(ceil_log(2, n));
+                assert_eq!(c.c1, w, "n={n}");
+                assert!(c.c2 <= (b * n.div_ceil(2)) as u64 * w, "n={n} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn r2_power_of_two_exact() {
+        // For n a power of two, every step sends exactly n/2 blocks:
+        // C2 = b·(n/2)·log2 n.
+        for d in 1..10u32 {
+            let n = 1usize << d;
+            let c = index_complexity(n, 2, 4);
+            assert_eq!(c.c2, (4 * (n / 2)) as u64 * u64::from(d));
+        }
+    }
+
+    #[test]
+    fn r_equals_n_special_case() {
+        // r = n: C1 = n-1, C2 = b(n-1) (§3.3 case 2) — direct exchange.
+        for n in 2..100usize {
+            let c = index_complexity(n, n, 7);
+            assert_eq!(c.c1, (n - 1) as u64);
+            assert_eq!(c.c2, (7 * (n - 1)) as u64);
+        }
+    }
+
+    #[test]
+    fn kport_r_equals_kplus1_is_round_optimal() {
+        // r = k+1 gives C1 = ⌈log_{k+1} n⌉, the §3.4 round-optimal choice.
+        for k in 1..6usize {
+            for n in 2..120usize {
+                let c = index_complexity_kport(n, k + 1, 1, k);
+                assert_eq!(c.c1, u64::from(ceil_log(k + 1, n)), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn kport_r_equals_n_is_transfer_optimal() {
+        // r = n with k ports: C1 = ⌈(n-1)/k⌉ rounds, C2 = b·⌈(n-1)/k⌉.
+        for k in 1..6usize {
+            for n in 2..80usize {
+                let c = index_complexity_kport(n, n, 3, k);
+                assert_eq!(c.c1, ((n - 1).div_ceil(k)) as u64, "n={n} k={k}");
+                assert_eq!(c.c2, (3 * (n - 1).div_ceil(k)) as u64, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn kport_one_port_degenerates() {
+        for n in 2..50usize {
+            for r in 2..=n {
+                assert_eq!(
+                    index_complexity_kport(n, r, 5, 1),
+                    index_complexity(n, r, 5)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_tradeoff_at_extremes() {
+        // Larger radix ⇒ fewer or equal C2... not in general, but the two
+        // extremes must bracket every other radix: r=2 minimizes C1,
+        // r=n minimizes C2.
+        let n = 64;
+        let b = 8;
+        let c2r = index_complexity(n, 2, b);
+        let cnr = index_complexity(n, n, b);
+        for r in 2..=n {
+            let c = index_complexity(n, r, b);
+            assert!(c.c1 >= c2r.c1, "r={r}");
+            assert!(c.c2 >= cnr.c2, "r={r}");
+        }
+    }
+
+    #[test]
+    fn best_radix_small_messages_prefers_small_radix() {
+        // With SP-1 parameters and tiny blocks, start-up dominates: the
+        // best radix must beat the direct algorithm.
+        let m = LinearModel::sp1();
+        let choice = best_radix(64, 1, 1, &m, all_radices(64));
+        assert!(choice.radix < 64, "tiny messages should avoid r=n, got {}", choice.radix);
+    }
+
+    #[test]
+    fn best_radix_large_messages_prefers_large_radix() {
+        // With huge blocks the transfer term dominates and the choice must
+        // be transfer-optimal: C2 = b(n-1). (r = n-1 ties with r = n for
+        // n = 64 — both degenerate to direct exchange — so assert on the
+        // complexity, not the radix value.)
+        let m = LinearModel::sp1();
+        let b = 65536u64;
+        let choice = best_radix(64, b as usize, 1, &m, all_radices(64));
+        assert_eq!(choice.complexity.c2, b * 63);
+        assert_eq!(choice.complexity.c1, 63);
+    }
+
+    #[test]
+    fn power_of_two_candidates() {
+        let radices: Vec<usize> = power_of_two_radices(64).collect();
+        assert_eq!(radices, vec![2, 4, 8, 16, 32, 64]);
+        let radices: Vec<usize> = power_of_two_radices(5).collect();
+        assert_eq!(radices, vec![2, 4]);
+    }
+
+    #[test]
+    fn trivial_n1() {
+        assert_eq!(index_complexity(1, 2, 10), Complexity::ZERO);
+        let m = LinearModel::sp1();
+        assert_eq!(best_radix(1, 10, 1, &m, all_radices(1)).predicted_time, 0.0);
+    }
+}

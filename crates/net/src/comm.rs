@@ -1,0 +1,336 @@
+//! The [`Comm`] abstraction and process groups.
+//!
+//! The paper motivates the fully connected model partly by flexibility:
+//! algorithms "can operate within arbitrary and dynamic subsets of
+//! processors" (§1.2). [`Comm`] is the interface every collective in this
+//! workspace is written against; [`Endpoint`] implements
+//! it for the whole cluster, and [`GroupComm`] restricts it to an
+//! arbitrary subset with translated ranks — so any collective runs
+//! unchanged inside any group, including several disjoint groups
+//! concurrently.
+
+use crate::endpoint::{Endpoint, RecvSpec, SendSpec};
+use crate::error::NetError;
+use crate::message::{Message, Tag};
+
+/// A communication context: a rank within some set of peers, with k-port
+/// synchronous rounds.
+pub trait Comm {
+    /// This participant's rank in `[0, size)`.
+    fn rank(&self) -> usize;
+
+    /// Number of participants.
+    fn size(&self) -> usize;
+
+    /// Ports per participant (`k`).
+    fn ports(&self) -> usize;
+
+    /// One synchronous k-port round (see [`Endpoint::round`]).
+    ///
+    /// # Errors
+    ///
+    /// Port-model violations, timeouts, fault injection.
+    fn round(
+        &mut self,
+        sends: &[SendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError>;
+
+    /// Advance the local virtual clock by `dt` seconds of computation.
+    fn advance_compute(&mut self, dt: f64);
+
+    /// Charge the virtual clock for copying `bytes` locally (pack/unpack
+    /// and buffer rotations), per the cost model's
+    /// [`bruck_model::cost::CostModel::copy_cost`].
+    fn charge_copy(&mut self, bytes: u64);
+
+    /// The paper's `send_and_recv`: one send and one receive in one round.
+    ///
+    /// # Errors
+    ///
+    /// See [`Comm::round`].
+    fn send_and_recv(
+        &mut self,
+        to: usize,
+        payload: &[u8],
+        from: usize,
+        tag: Tag,
+    ) -> Result<Vec<u8>, NetError> {
+        let msgs = self.round(
+            &[SendSpec { to, tag, payload }],
+            &[RecvSpec { from, tag }],
+        )?;
+        Ok(msgs.into_iter().next().expect("one recv requested").payload)
+    }
+
+    /// A round with no communication, keeping round counters aligned.
+    ///
+    /// # Errors
+    ///
+    /// Fault-injection kills.
+    fn idle_round(&mut self) -> Result<(), NetError> {
+        self.round(&[], &[]).map(|_| ())
+    }
+}
+
+impl Comm for Endpoint {
+    fn rank(&self) -> usize {
+        Endpoint::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Endpoint::size(self)
+    }
+
+    fn ports(&self) -> usize {
+        Endpoint::ports(self)
+    }
+
+    fn round(
+        &mut self,
+        sends: &[SendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
+        Endpoint::round(self, sends, recvs)
+    }
+
+    fn advance_compute(&mut self, dt: f64) {
+        Endpoint::advance_compute(self, dt);
+    }
+
+    fn charge_copy(&mut self, bytes: u64) {
+        Endpoint::charge_copy(self, bytes);
+    }
+}
+
+/// A process group: an ordered subset of global ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<usize>,
+}
+
+impl Group {
+    /// A group from an ordered member list (global ranks, no duplicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicates or an empty list.
+    #[must_use]
+    pub fn new(members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "a group needs at least one member");
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate group members");
+        Self { members }
+    }
+
+    /// The contiguous range `[start, start+len)`.
+    #[must_use]
+    pub fn range(start: usize, len: usize) -> Self {
+        Self::new((start..start + len).collect())
+    }
+
+    /// Every `stride`-th rank of `n`, starting at `offset` — e.g. the rows
+    /// or columns of a 2D process grid.
+    #[must_use]
+    pub fn strided(offset: usize, stride: usize, n: usize) -> Self {
+        assert!(stride >= 1);
+        Self::new((offset..n).step_by(stride).collect())
+    }
+
+    /// Member count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never true — construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The ordered global ranks.
+    #[must_use]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The group rank of a global rank, if a member.
+    #[must_use]
+    pub fn rank_of(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == global)
+    }
+
+    /// Bind this group to an endpoint whose global rank must be a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint's rank is not in the group, or a member is
+    /// out of range.
+    #[must_use]
+    pub fn bind<'a>(&self, ep: &'a mut Endpoint) -> GroupComm<'a> {
+        let global = Endpoint::rank(ep);
+        let my_index = self
+            .rank_of(global)
+            .unwrap_or_else(|| panic!("rank {global} is not a member of {:?}", self.members));
+        for &m in &self.members {
+            assert!(m < Endpoint::size(ep), "member {m} out of range");
+        }
+        GroupComm { ep, members: self.members.clone(), my_index }
+    }
+}
+
+/// A [`Comm`] restricted to a group, with translated ranks.
+#[derive(Debug)]
+pub struct GroupComm<'a> {
+    ep: &'a mut Endpoint,
+    members: Vec<usize>,
+    my_index: usize,
+}
+
+impl GroupComm<'_> {
+    fn to_global(&self, group_rank: usize) -> Result<usize, NetError> {
+        self.members.get(group_rank).copied().ok_or(NetError::BadPeer {
+            rank: self.my_index,
+            peer: group_rank,
+            size: self.members.len(),
+        })
+    }
+
+    fn to_group(&self, global: usize) -> usize {
+        self.members
+            .iter()
+            .position(|&m| m == global)
+            .expect("message from outside the group matched a group receive")
+    }
+}
+
+impl Comm for GroupComm<'_> {
+    fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn ports(&self) -> usize {
+        Endpoint::ports(self.ep)
+    }
+
+    fn round(
+        &mut self,
+        sends: &[SendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
+        let sends: Vec<SendSpec<'_>> = sends
+            .iter()
+            .map(|s| {
+                Ok(SendSpec { to: self.to_global(s.to)?, tag: s.tag, payload: s.payload })
+            })
+            .collect::<Result<_, NetError>>()?;
+        let recvs: Vec<RecvSpec> = recvs
+            .iter()
+            .map(|r| Ok(RecvSpec { from: self.to_global(r.from)?, tag: r.tag }))
+            .collect::<Result<_, NetError>>()?;
+        let mut msgs = Endpoint::round(self.ep, &sends, &recvs)?;
+        for m in &mut msgs {
+            m.src = self.to_group(m.src);
+            m.dst = self.my_index;
+        }
+        Ok(msgs)
+    }
+
+    fn advance_compute(&mut self, dt: f64) {
+        Endpoint::advance_compute(self.ep, dt);
+    }
+
+    fn charge_copy(&mut self, bytes: u64) {
+        Endpoint::charge_copy(self.ep, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+
+    #[test]
+    fn group_construction() {
+        let g = Group::range(2, 3);
+        assert_eq!(g.members(), &[2, 3, 4]);
+        assert_eq!(g.rank_of(3), Some(1));
+        assert_eq!(g.rank_of(5), None);
+        let g = Group::strided(1, 2, 8);
+        assert_eq!(g.members(), &[1, 3, 5, 7]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_members_rejected() {
+        let _ = Group::new(vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn group_ring_with_translated_ranks() {
+        // Global ranks {1, 3, 5} of a 6-rank cluster rotate a token while
+        // the others stay silent.
+        let cfg = ClusterConfig::new(6);
+        let group = Group::new(vec![1, 3, 5]);
+        let out = Cluster::run(&cfg, |ep| {
+            let Some(_) = group.rank_of(Endpoint::rank(ep)) else {
+                return Ok(None);
+            };
+            let mut gc = group.bind(ep);
+            let n = gc.size();
+            let right = (gc.rank() + 1) % n;
+            let left = (gc.rank() + n - 1) % n;
+            let got = gc.send_and_recv(right, &[gc.rank() as u8], left, 0)?;
+            Ok(Some(got[0] as usize))
+        })
+        .unwrap();
+        assert_eq!(out.results[1], Some(2)); // group rank 0 hears from 2
+        assert_eq!(out.results[3], Some(0));
+        assert_eq!(out.results[5], Some(1));
+        assert_eq!(out.results[0], None);
+    }
+
+    #[test]
+    fn disjoint_groups_run_concurrently() {
+        // Two halves of an 8-rank cluster each rotate independently.
+        let cfg = ClusterConfig::new(8);
+        let lo = Group::range(0, 4);
+        let hi = Group::range(4, 4);
+        let out = Cluster::run(&cfg, |ep| {
+            let group = if Endpoint::rank(ep) < 4 { &lo } else { &hi };
+            let mut gc = group.bind(ep);
+            let n = gc.size();
+            let right = (gc.rank() + 1) % n;
+            let left = (gc.rank() + n - 1) % n;
+            let got = gc.send_and_recv(right, &[gc.rank() as u8 + 10], left, 0)?;
+            Ok(got[0])
+        })
+        .unwrap();
+        // Every rank hears its group-left neighbour; no cross-group leak.
+        assert_eq!(out.results, vec![13, 10, 11, 12, 13, 10, 11, 12]);
+    }
+
+    #[test]
+    fn out_of_range_group_peer_rejected() {
+        let cfg = ClusterConfig::new(4);
+        let group = Group::range(0, 2);
+        let err = Cluster::run(&cfg, |ep| {
+            if Endpoint::rank(ep) < 2 {
+                let mut gc = group.bind(ep);
+                // Group has 2 members; peer 2 is invalid.
+                gc.send_and_recv(2, &[0], 2, 0)?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, NetError::BadPeer { .. }));
+    }
+}

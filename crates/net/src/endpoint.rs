@@ -1,0 +1,277 @@
+//! The per-rank communication endpoint.
+//!
+//! An [`Endpoint`] is handed to each SPMD thread by
+//! [`crate::Cluster::run`]. Its central primitive is [`Endpoint::round`]:
+//! one synchronous communication round in the k-port model — up to `k`
+//! sends to distinct peers and up to `k` receives from distinct peers,
+//! all counted against the paper's `C1`/`C2` measures and the virtual
+//! clock.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bruck_model::cost::CostModel;
+
+use crate::error::NetError;
+use crate::fault::FaultPlan;
+use crate::message::{Message, Tag};
+use crate::transport::Transport;
+use crate::metrics::RankMetrics;
+use crate::trace::{Trace, TraceEvent};
+use crate::vbarrier::VBarrier;
+
+/// One outgoing message in a round.
+#[derive(Debug, Clone, Copy)]
+pub struct SendSpec<'a> {
+    /// Destination rank.
+    pub to: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload.
+    pub payload: &'a [u8],
+}
+
+/// One expected incoming message in a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvSpec {
+    /// Source rank.
+    pub from: usize,
+    /// Expected tag.
+    pub tag: Tag,
+}
+
+/// A rank's handle onto the cluster.
+pub struct Endpoint {
+    rank: usize,
+    size: usize,
+    ports: usize,
+    cost: Arc<dyn CostModel>,
+    transport: Box<dyn Transport>,
+    clock: f64,
+    metrics: RankMetrics,
+    trace: Option<Trace>,
+    barrier: Arc<VBarrier>,
+    faults: Arc<FaultPlan>,
+    timeout: Duration,
+}
+
+impl Endpoint {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        ports: usize,
+        cost: Arc<dyn CostModel>,
+        transport: Box<dyn Transport>,
+        trace: Option<Trace>,
+        barrier: Arc<VBarrier>,
+        faults: Arc<FaultPlan>,
+        timeout: Duration,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            ports,
+            cost,
+            transport,
+            clock: 0.0,
+            metrics: RankMetrics::default(),
+            trace,
+            barrier,
+            faults,
+            timeout,
+        }
+    }
+
+    /// This rank's id in `[0, size)`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processors in the cluster.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Ports per processor (`k` in the paper's model).
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Current virtual time (seconds).
+    #[must_use]
+    pub fn virtual_time(&self) -> f64 {
+        self.clock
+    }
+
+    /// Rounds completed so far.
+    #[must_use]
+    pub fn rounds_completed(&self) -> u64 {
+        self.metrics.rounds()
+    }
+
+    /// Advance the virtual clock by a local computation of `dt` seconds
+    /// (models the local data rearrangement of the index algorithm's
+    /// phases 1 and 3, if the caller wishes to charge for it).
+    pub fn advance_compute(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "cannot rewind the clock");
+        self.clock += dt;
+    }
+
+    /// Charge the virtual clock for a local copy of `bytes` under the
+    /// cluster's cost model (zero under the pure linear model; the SP-1
+    /// model can be configured with a per-byte copy time, §3.5).
+    pub fn charge_copy(&mut self, bytes: u64) {
+        self.clock += self.cost.copy_cost(bytes);
+    }
+
+    fn check_peers(&self, peers: impl Iterator<Item = usize>, direction: &'static str, count: usize)
+        -> Result<(), NetError>
+    {
+        if count > self.ports {
+            return Err(NetError::PortLimit {
+                rank: self.rank,
+                requested: count,
+                ports: self.ports,
+                direction,
+            });
+        }
+        let mut seen = vec![false; self.size];
+        for p in peers {
+            if p >= self.size || p == self.rank {
+                return Err(NetError::BadPeer { rank: self.rank, peer: p, size: self.size });
+            }
+            if seen[p] {
+                return Err(NetError::DuplicatePeer { rank: self.rank, peer: p });
+            }
+            seen[p] = true;
+        }
+        Ok(())
+    }
+
+    /// Execute one synchronous communication round: inject all `sends`
+    /// (concurrently, one port each), then wait for all `recvs`. Returns
+    /// the received messages in the order of `recvs`.
+    ///
+    /// Virtual-time semantics: every send departs at
+    /// `t0 + send_cost(bytes)` and arrives `latency(bytes)` later; the
+    /// round completes at the max of all send completions and all receive
+    /// completions (`max(t0, arrival) + recv_cost`). Under the linear
+    /// model this reproduces `T = Σ rounds (β + τ·max_bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// Port-model violations, timeouts, and fault-injection kills.
+    pub fn round(
+        &mut self,
+        sends: &[SendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
+        let completed = self.metrics.rounds();
+        if let Some(after) = self.faults.should_kill(self.rank, completed) {
+            return Err(NetError::Killed { rank: self.rank, after_round: after });
+        }
+        self.check_peers(sends.iter().map(|s| s.to), "send", sends.len())?;
+        self.check_peers(recvs.iter().map(|r| r.from), "recv", recvs.len())?;
+
+        let t0 = self.clock;
+        let mut max_send_done = t0;
+        let mut sent_sizes = Vec::with_capacity(sends.len());
+        for s in sends {
+            let bytes = s.payload.len() as u64;
+            let depart = t0 + self.cost.send_cost_between(self.rank, s.to, bytes);
+            max_send_done = max_send_done.max(depart);
+            sent_sizes.push(bytes);
+            if let Some(trace) = &self.trace {
+                trace.record(TraceEvent {
+                    src: self.rank,
+                    dst: s.to,
+                    tag: s.tag,
+                    bytes,
+                    round: completed,
+                    depart,
+                });
+            }
+            if self.faults.should_drop(self.rank, s.to, completed) {
+                continue;
+            }
+            let msg = Message {
+                src: self.rank,
+                dst: s.to,
+                tag: s.tag,
+                payload: s.payload.to_vec(),
+                arrival: depart + self.cost.latency_between(self.rank, s.to, bytes),
+            };
+            self.transport.send(msg)?;
+        }
+
+        let mut out = Vec::with_capacity(recvs.len());
+        let mut finish = max_send_done;
+        for r in recvs {
+            let msg = self.transport.recv_match(r.from, r.tag, self.timeout)?;
+            let completion =
+                t0.max(msg.arrival)
+                    + self.cost.recv_cost_between(msg.src, self.rank, msg.payload.len() as u64);
+            finish = finish.max(completion);
+            out.push(msg);
+        }
+        self.clock = finish;
+        self.metrics.record_round(&sent_sizes, recvs.len());
+        Ok(out)
+    }
+
+    /// The paper's `send_and_recv` (Appendix A): send `payload` to rank
+    /// `to` and receive one message from rank `from`, in one round.
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::round`].
+    pub fn send_and_recv(
+        &mut self,
+        to: usize,
+        payload: &[u8],
+        from: usize,
+        tag: Tag,
+    ) -> Result<Vec<u8>, NetError> {
+        let msgs = self.round(
+            &[SendSpec { to, tag, payload }],
+            &[RecvSpec { from, tag }],
+        )?;
+        Ok(msgs.into_iter().next().expect("exactly one recv requested").payload)
+    }
+
+    /// A round in which this rank neither sends nor receives, keeping its
+    /// round counter aligned with ranks that do communicate.
+    ///
+    /// # Errors
+    ///
+    /// Fault-injection kills.
+    pub fn idle_round(&mut self) -> Result<(), NetError> {
+        self.round(&[], &[]).map(|_| ())
+    }
+
+    /// Synchronize with every other rank; clocks jump to the global max.
+    /// Does not count as a communication round.
+    pub fn barrier(&mut self) {
+        self.clock = self.barrier.wait(self.clock);
+    }
+
+    pub(crate) fn into_parts(self) -> (RankMetrics, f64) {
+        (self.metrics, self.clock)
+    }
+}
+
+impl core::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("ports", &self.ports)
+            .field("clock", &self.clock)
+            .field("rounds", &self.metrics.rounds())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the message-passing substrate.
+
+use core::fmt;
+use std::time::Duration;
+
+/// Everything that can go wrong inside the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A receive did not complete within the configured timeout — the
+    /// sender is dead, the message was dropped by fault injection, or the
+    /// algorithm deadlocked.
+    Timeout {
+        /// Waiting rank.
+        rank: usize,
+        /// Expected source rank.
+        from: usize,
+        /// Expected message tag.
+        tag: u64,
+        /// How long the rank waited.
+        waited: Duration,
+    },
+    /// A round tried to use more ports than the model allows.
+    PortLimit {
+        /// Offending rank.
+        rank: usize,
+        /// Number of sends or receives requested.
+        requested: usize,
+        /// Configured port count `k`.
+        ports: usize,
+        /// `"send"` or `"recv"`.
+        direction: &'static str,
+    },
+    /// Two messages in one round share a destination (or source) — the
+    /// model requires `k` *distinct* peers per round.
+    DuplicatePeer {
+        /// Offending rank.
+        rank: usize,
+        /// The repeated peer.
+        peer: usize,
+    },
+    /// A rank addressed itself or a rank outside `[0, n)`.
+    BadPeer {
+        /// Offending rank.
+        rank: usize,
+        /// The invalid peer.
+        peer: usize,
+        /// Cluster size.
+        size: usize,
+    },
+    /// The peer's endpoint hung up (its thread exited early).
+    Disconnected {
+        /// Rank whose channel is gone.
+        peer: usize,
+    },
+    /// Fault injection killed this rank.
+    Killed {
+        /// The dead rank.
+        rank: usize,
+        /// The round after which it died.
+        after_round: u64,
+    },
+    /// An application-level failure surfaced through the SPMD body.
+    App(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout { rank, from, tag, waited } => write!(
+                f,
+                "rank {rank}: timed out after {waited:?} waiting for message from {from} (tag {tag})"
+            ),
+            Self::PortLimit { rank, requested, ports, direction } => write!(
+                f,
+                "rank {rank}: {requested} {direction}s in one round exceeds k={ports} ports"
+            ),
+            Self::DuplicatePeer { rank, peer } => {
+                write!(f, "rank {rank}: duplicate peer {peer} in one round")
+            }
+            Self::BadPeer { rank, peer, size } => {
+                write!(f, "rank {rank}: invalid peer {peer} (cluster size {size})")
+            }
+            Self::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
+            Self::Killed { rank, after_round } => {
+                write!(f, "rank {rank} killed by fault injection after round {after_round}")
+            }
+            Self::App(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Timeout {
+            rank: 3,
+            from: 7,
+            tag: 42,
+            waited: Duration::from_secs(1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("from 7") && s.contains("42"));
+
+        let e = NetError::PortLimit { rank: 1, requested: 3, ports: 2, direction: "send" };
+        assert!(e.to_string().contains("exceeds k=2"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            NetError::Disconnected { peer: 1 },
+            NetError::Disconnected { peer: 1 }
+        );
+        assert_ne!(
+            NetError::Disconnected { peer: 1 },
+            NetError::Disconnected { peer: 2 }
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Fault injection.
+//!
+//! The paper motivates the fully connected model partly by fault
+//! tolerance: algorithms "can operate in the presence of faults (assuming
+//! connectivity is maintained)". This module lets tests kill ranks and
+//! drop individual messages to verify that failures surface as clean
+//! errors rather than hangs.
+
+use std::collections::{HashMap, HashSet};
+
+/// A declarative fault plan applied during a cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Rank → round after which the rank's thread exits with
+    /// [`crate::NetError::Killed`].
+    kill_after: HashMap<usize, u64>,
+    /// `(src, dst, round)` triples whose message is silently dropped.
+    drops: HashSet<(usize, usize, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kill_after.is_empty() && self.drops.is_empty()
+    }
+
+    /// Kill `rank` once it has completed `round` rounds.
+    #[must_use]
+    pub fn kill_rank_after(mut self, rank: usize, round: u64) -> Self {
+        self.kill_after.insert(rank, round);
+        self
+    }
+
+    /// Drop the message `src → dst` sent in the sender's round `round`.
+    #[must_use]
+    pub fn drop_message(mut self, src: usize, dst: usize, round: u64) -> Self {
+        self.drops.insert((src, dst, round));
+        self
+    }
+
+    /// Should `rank` die before starting its next round (having completed
+    /// `completed_rounds`)?
+    #[must_use]
+    pub fn should_kill(&self, rank: usize, completed_rounds: u64) -> Option<u64> {
+        match self.kill_after.get(&rank) {
+            Some(&after) if completed_rounds >= after => Some(after),
+            _ => None,
+        }
+    }
+
+    /// Should this message be dropped?
+    #[must_use]
+    pub fn should_drop(&self, src: usize, dst: usize, round: u64) -> bool {
+        self.drops.contains(&(src, dst, round))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_does_nothing() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.should_kill(0, 100), None);
+        assert!(!p.should_drop(0, 1, 0));
+    }
+
+    #[test]
+    fn kill_threshold() {
+        let p = FaultPlan::new().kill_rank_after(3, 2);
+        assert_eq!(p.should_kill(3, 1), None);
+        assert_eq!(p.should_kill(3, 2), Some(2));
+        assert_eq!(p.should_kill(3, 5), Some(2));
+        assert_eq!(p.should_kill(2, 5), None);
+    }
+
+    #[test]
+    fn drop_is_exact() {
+        let p = FaultPlan::new().drop_message(0, 1, 4);
+        assert!(p.should_drop(0, 1, 4));
+        assert!(!p.should_drop(1, 0, 4));
+        assert!(!p.should_drop(0, 1, 3));
+    }
+}

@@ -1,0 +1,67 @@
+//! An in-process **multiport fully connected message-passing system**.
+//!
+//! The paper's machine model (§1.2) is a set of `n` processors, each pair
+//! equally distant, where in every communication round a processor may send
+//! `k` distinct messages to `k` processors and simultaneously receive `k`
+//! messages from `k` other processors. The paper ran on an IBM SP-1; this
+//! crate substitutes an in-process cluster: one OS thread per simulated
+//! processor, fully connected by channels.
+//!
+//! Two clocks run at once:
+//!
+//! * **wall clock** — real time; Criterion benches measure it;
+//! * **virtual clock** — per-rank simulated time advanced by a pluggable
+//!   [`bruck_model::cost::CostModel`]; message timestamps propagate
+//!   causally (`arrival = departure + latency`, receivers take `max`), so
+//!   a synchronous schedule reproduces the paper's `T = C1·β + C2·τ`
+//!   exactly under the linear model.
+//!
+//! The substrate *enforces* the model: a round may not use more than `k`
+//! ports in either direction, destinations must be distinct, and
+//! self-sends are rejected. Algorithms that violate the k-port model fail
+//! loudly in tests instead of silently cheating.
+//!
+//! # Example
+//!
+//! ```
+//! use bruck_net::{Cluster, ClusterConfig};
+//!
+//! // 4 processors, 1 port, linear cost model: rotate a token.
+//! let cfg = ClusterConfig::new(4).with_ports(1);
+//! let out = Cluster::run(&cfg, |ep| {
+//!     let right = (ep.rank() + 1) % ep.size();
+//!     let left = (ep.rank() + ep.size() - 1) % ep.size();
+//!     let msg = ep.send_and_recv(right, &[ep.rank() as u8], left, 7)?;
+//!     Ok(msg[0] as usize)
+//! })
+//! .unwrap();
+//! assert_eq!(out.results, vec![3, 0, 1, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod comm;
+pub mod endpoint;
+pub mod error;
+pub mod fault;
+pub mod mailbox;
+pub mod message;
+pub mod metrics;
+pub mod socket;
+pub mod trace;
+pub mod transport;
+pub mod vbarrier;
+
+pub use cluster::{Cluster, ClusterConfig, RunOutput};
+pub use comm::{Comm, Group, GroupComm};
+pub use endpoint::{Endpoint, RecvSpec, SendSpec};
+pub use error::NetError;
+pub use fault::FaultPlan;
+pub use message::{Message, Tag};
+pub use metrics::{RankMetrics, RunMetrics};
+#[cfg(unix)]
+pub use socket::SocketCluster;
+pub use trace::{Trace, TraceEvent};
+pub use transport::{ChannelTransport, Transport};

@@ -1,0 +1,140 @@
+//! Per-rank inbox with selective receive.
+//!
+//! Each rank owns one unbounded channel that all peers send into. A
+//! receive names `(src, tag)`; messages that arrive out of order are
+//! parked in a pending buffer until asked for — the standard MPI-style
+//! matching discipline.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::error::NetError;
+use crate::message::{Message, Tag};
+
+/// Sending half of a mailbox (cloneable, one per peer).
+pub type MailSender = Sender<Message>;
+
+/// The receiving side owned by a single rank.
+#[derive(Debug)]
+pub struct Mailbox {
+    rank: usize,
+    rx: Receiver<Message>,
+    pending: VecDeque<Message>,
+}
+
+impl Mailbox {
+    /// Create a mailbox pair for `rank`.
+    #[must_use]
+    pub fn new(rank: usize) -> (MailSender, Self) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (tx, Self { rank, rx, pending: VecDeque::new() })
+    }
+
+    /// Number of parked (unmatched) messages.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Receive the next message from `from` with tag `tag`, waiting at
+    /// most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if nothing matches within the deadline;
+    /// [`NetError::Disconnected`] if all senders hung up.
+    pub fn recv_match(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Message, NetError> {
+        // Check the parked messages first (FIFO per (src, tag) pair).
+        if let Some(pos) = self.pending.iter().position(|m| m.src == from && m.tag == tag) {
+            return Ok(self.pending.remove(pos).expect("position just found"));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(m) if m.src == from && m.tag == tag => return Ok(m),
+                Ok(m) => self.pending.push_back(m),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(NetError::Timeout { rank: self.rank, from, tag, waited: timeout })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Disconnected { peer: from })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, tag: Tag, byte: u8) -> Message {
+        Message { src, dst: 0, tag, payload: vec![byte], arrival: 0.0 }
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let (tx, mut mb) = Mailbox::new(0);
+        tx.send(msg(1, 5, 0xAA)).unwrap();
+        let m = mb.recv_match(1, 5, Duration::from_millis(100)).unwrap();
+        assert_eq!(m.payload, vec![0xAA]);
+    }
+
+    #[test]
+    fn out_of_order_messages_are_parked() {
+        let (tx, mut mb) = Mailbox::new(0);
+        tx.send(msg(2, 9, 1)).unwrap(); // not what we ask for first
+        tx.send(msg(1, 5, 2)).unwrap();
+        let m = mb.recv_match(1, 5, Duration::from_millis(100)).unwrap();
+        assert_eq!(m.payload, vec![2]);
+        assert_eq!(mb.pending_len(), 1);
+        let m = mb.recv_match(2, 9, Duration::from_millis(100)).unwrap();
+        assert_eq!(m.payload, vec![1]);
+        assert_eq!(mb.pending_len(), 0);
+    }
+
+    #[test]
+    fn fifo_within_same_src_tag() {
+        let (tx, mut mb) = Mailbox::new(0);
+        tx.send(msg(1, 5, 1)).unwrap();
+        tx.send(msg(1, 5, 2)).unwrap();
+        // Park both by first asking for a different match that arrives later.
+        tx.send(msg(3, 3, 9)).unwrap();
+        let _ = mb.recv_match(3, 3, Duration::from_millis(100)).unwrap();
+        let a = mb.recv_match(1, 5, Duration::from_millis(100)).unwrap();
+        let b = mb.recv_match(1, 5, Duration::from_millis(100)).unwrap();
+        assert_eq!((a.payload[0], b.payload[0]), (1, 2));
+    }
+
+    #[test]
+    fn timeout_on_missing_message() {
+        let (_tx, mut mb) = Mailbox::new(4);
+        let err = mb.recv_match(1, 5, Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { rank: 4, from: 1, tag: 5, .. }));
+    }
+
+    #[test]
+    fn disconnected_when_all_senders_dropped() {
+        let (tx, mut mb) = Mailbox::new(0);
+        drop(tx);
+        let err = mb.recv_match(1, 5, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err, NetError::Disconnected { peer: 1 });
+    }
+
+    #[test]
+    fn tag_mismatch_is_parked_not_returned() {
+        let (tx, mut mb) = Mailbox::new(0);
+        tx.send(msg(1, 6, 7)).unwrap();
+        let err = mb.recv_match(1, 5, Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }));
+        assert_eq!(mb.pending_len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Message envelope and tags.
+
+/// Message tag — disambiguates concurrent traffic between the same pair
+/// (e.g. collective round numbers vs. application point-to-point traffic).
+pub type Tag = u64;
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Tag chosen by the sender.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Virtual time at which the message becomes available to the
+    /// receiver (`departure + latency` under the cluster's cost model).
+    pub arrival: f64,
+}
+
+impl Message {
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_reports_payload() {
+        let m = Message { src: 0, dst: 1, tag: 0, payload: vec![1, 2, 3], arrival: 0.0 };
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Empirical complexity accounting.
+//!
+//! Each rank records, per round, the size of the largest message it sent;
+//! after the run these per-rank series fold into the paper's global
+//! measures: `C1` = number of rounds, `C2` = Σ over rounds of the largest
+//! message over *all* ports of *all* processors (§1.2).
+
+use bruck_model::complexity::Complexity;
+
+/// Counters owned by one rank (no sharing, no atomics — folded after the
+/// run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankMetrics {
+    /// Per-round maximum sent-message size in bytes (0 for idle rounds).
+    pub round_send_max: Vec<u64>,
+    /// Total messages sent.
+    pub msgs_sent: u64,
+    /// Total bytes sent.
+    pub bytes_sent: u64,
+    /// Total messages received.
+    pub msgs_received: u64,
+}
+
+impl RankMetrics {
+    /// Number of rounds this rank participated in.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.round_send_max.len() as u64
+    }
+
+    /// Record one round.
+    pub fn record_round(&mut self, sent_sizes: &[u64], received: usize) {
+        self.round_send_max.push(sent_sizes.iter().copied().max().unwrap_or(0));
+        self.msgs_sent += sent_sizes.len() as u64;
+        self.bytes_sent += sent_sizes.iter().sum::<u64>();
+        self.msgs_received += received as u64;
+    }
+}
+
+/// Folded metrics for a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// One entry per rank.
+    pub per_rank: Vec<RankMetrics>,
+}
+
+impl RunMetrics {
+    /// The global complexity, if all ranks executed the same number of
+    /// rounds (required for the paper's synchronized-round measures to be
+    /// well defined). `None` when ranks disagree on the round count.
+    #[must_use]
+    pub fn global_complexity(&self) -> Option<Complexity> {
+        let rounds = self.per_rank.first().map_or(0, |r| r.round_send_max.len());
+        if !self.per_rank.iter().all(|r| r.round_send_max.len() == rounds) {
+            return None;
+        }
+        let mut c2 = 0u64;
+        for round in 0..rounds {
+            c2 += self.per_rank.iter().map(|r| r.round_send_max[round]).max().unwrap_or(0);
+        }
+        Some(Complexity::new(rounds as u64, c2))
+    }
+
+    /// Total bytes moved across the whole cluster.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Total messages across the whole cluster.
+    #[must_use]
+    pub fn total_msgs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent).sum()
+    }
+
+    /// The maximum bytes any single rank sent — per-node load balance.
+    #[must_use]
+    pub fn max_rank_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_sent).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fold() {
+        let mut a = RankMetrics::default();
+        a.record_round(&[10, 20], 1);
+        a.record_round(&[], 2);
+        let mut b = RankMetrics::default();
+        b.record_round(&[5], 0);
+        b.record_round(&[30], 0);
+        let run = RunMetrics { per_rank: vec![a, b] };
+        // Round 0 max = 20, round 1 max = 30.
+        assert_eq!(run.global_complexity(), Some(Complexity::new(2, 50)));
+        assert_eq!(run.total_bytes(), 65);
+        assert_eq!(run.total_msgs(), 4);
+        assert_eq!(run.max_rank_bytes(), 35);
+    }
+
+    #[test]
+    fn misaligned_rounds_yield_none() {
+        let mut a = RankMetrics::default();
+        a.record_round(&[1], 0);
+        let b = RankMetrics::default();
+        let run = RunMetrics { per_rank: vec![a, b] };
+        assert_eq!(run.global_complexity(), None);
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = RunMetrics::default();
+        assert_eq!(run.global_complexity(), Some(Complexity::ZERO));
+        assert_eq!(run.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! A reusable barrier that also synchronizes virtual clocks.
+//!
+//! Every participant contributes its virtual time; all leave with the
+//! maximum. Used by [`crate::Endpoint::barrier`] and at cluster teardown
+//! so that per-rank virtual completion times are comparable.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State {
+    count: usize,
+    generation: u64,
+    max: f64,
+    result: f64,
+}
+
+/// A generation-counted barrier carrying an `f64` max-reduction.
+#[derive(Debug)]
+pub struct VBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl VBarrier {
+    /// Barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Self {
+            n,
+            state: Mutex::new(State { count: 0, generation: 0, max: 0.0, result: 0.0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait for all `n` participants; returns the maximum of all
+    /// contributed `clock` values.
+    pub fn wait(&self, clock: f64) -> f64 {
+        let mut s = self.state.lock();
+        let gen = s.generation;
+        s.max = s.max.max(clock);
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.result = s.max;
+            s.max = 0.0;
+            s.generation += 1;
+            self.cv.notify_all();
+            s.result
+        } else {
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            s.result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_passes_through() {
+        let b = VBarrier::new(1);
+        assert_eq!(b.wait(3.5), 3.5);
+        assert_eq!(b.wait(1.0), 1.0); // reusable
+    }
+
+    #[test]
+    fn max_reduction_across_threads() {
+        let b = Arc::new(VBarrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait(i as f64))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3.0);
+        }
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(VBarrier::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let first = b.wait(i as f64);
+                    let second = b.wait(10.0 + i as f64);
+                    (first, second)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (first, second) = h.join().unwrap();
+            assert_eq!(first, 2.0);
+            assert_eq!(second, 12.0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Static communication schedules.
+//!
+//! Every collective algorithm in this workspace exists in two forms: an
+//! executable SPMD routine (real data moving through `bruck-net`) and a
+//! **planner** that emits a [`Schedule`] — the full list of
+//! `(round, src, dst, bytes)` transfers, independent of payload contents.
+//!
+//! Schedules make three things cheap:
+//!
+//! * **analysis** — `C1`, `C2`, total volume, per-round load, and
+//!   predicted time under any cost model, without spawning threads
+//!   ([`analyze::ScheduleStats`]);
+//! * **validation** — port limits, distinct peers, self-send bans
+//!   ([`Schedule::validate`]);
+//! * **cross-checking** — a schedule reconstructed from a live trace
+//!   ([`Schedule::from_trace`]) must equal the planned one, proving the
+//!   executable and the analysis describe the same algorithm
+//!   ([`replay`] runs the converse direction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod persist;
+pub mod render;
+pub mod replay;
+pub mod schedule;
+
+pub use analyze::ScheduleStats;
+pub use persist::{from_tsv, to_tsv};
+pub use render::{render_activity, render_rounds, summarize};
+pub use replay::replay_on_cluster;
+pub use schedule::{Round, Schedule, Transfer};

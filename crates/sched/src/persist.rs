@@ -1,0 +1,194 @@
+//! Plain-text persistence for schedules.
+//!
+//! A schedule round-trips through a small TSV dialect so that offline
+//! tools (spreadsheets, plotting scripts, diffing in code review) can
+//! consume the exact communication patterns the library executes:
+//!
+//! ```text
+//! # bruck-schedule v1
+//! n	8	ports	1
+//! round	0
+//! 0	1	16
+//! 1	2	16
+//! round	1
+//! …
+//! ```
+
+use crate::schedule::{Schedule, Transfer};
+
+/// Serialize a schedule to the TSV dialect.
+#[must_use]
+pub fn to_tsv(schedule: &Schedule) -> String {
+    let mut out = String::from("# bruck-schedule v1\n");
+    out.push_str(&format!("n\t{}\tports\t{}\n", schedule.n, schedule.ports));
+    for (i, round) in schedule.rounds.iter().enumerate() {
+        out.push_str(&format!("round\t{i}\n"));
+        for t in &round.transfers {
+            out.push_str(&format!("{}\t{}\t{}\n", t.src, t.dst, t.bytes));
+        }
+    }
+    out
+}
+
+/// Parse the TSV dialect back into a schedule.
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn from_tsv(text: &str) -> Result<Schedule, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or("empty input")?;
+    if !header.starts_with("# bruck-schedule v1") {
+        return Err(format!("bad header: {header}"));
+    }
+    let (_, dims) = lines.next().ok_or("missing dimensions line")?;
+    let parts: Vec<&str> = dims.split('\t').collect();
+    let [n_key, n_val, p_key, p_val] = parts.as_slice() else {
+        return Err(format!("bad dimensions line: {dims}"));
+    };
+    if *n_key != "n" || *p_key != "ports" {
+        return Err(format!("bad dimensions line: {dims}"));
+    }
+    let n: usize = n_val.parse().map_err(|e| format!("bad n: {e}"))?;
+    let ports: usize = p_val.parse().map_err(|e| format!("bad ports: {e}"))?;
+    let mut schedule = Schedule::new(n, ports);
+    let mut current: Option<Vec<Transfer>> = None;
+    for (lineno, line) in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["round", idx] => {
+                if let Some(transfers) = current.take() {
+                    schedule.push_round(transfers);
+                }
+                let expected = schedule.num_rounds();
+                let got: usize =
+                    idx.parse().map_err(|e| format!("line {lineno}: bad round index: {e}"))?;
+                if got != expected {
+                    return Err(format!(
+                        "line {lineno}: round {got} out of order (expected {expected})"
+                    ));
+                }
+                current = Some(Vec::new());
+            }
+            [src, dst, bytes] => {
+                let t = Transfer {
+                    src: src.parse().map_err(|e| format!("line {lineno}: bad src: {e}"))?,
+                    dst: dst.parse().map_err(|e| format!("line {lineno}: bad dst: {e}"))?,
+                    bytes: bytes.parse().map_err(|e| format!("line {lineno}: bad bytes: {e}"))?,
+                };
+                current
+                    .as_mut()
+                    .ok_or(format!("line {lineno}: transfer before any round"))?
+                    .push(t);
+            }
+            _ => return Err(format!("line {lineno}: unrecognized line: {line}")),
+        }
+    }
+    if let Some(transfers) = current.take() {
+        schedule.push_round(transfers);
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new(4, 2);
+        s.push_round(vec![
+            Transfer { src: 0, dst: 1, bytes: 16 },
+            Transfer { src: 2, dst: 3, bytes: 8 },
+        ]);
+        s.push_round(vec![]);
+        s.push_round(vec![Transfer { src: 3, dst: 0, bytes: 1 }]);
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_schedule() {
+        let s = sample();
+        let text = to_tsv(&s);
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn header_is_checked() {
+        assert!(from_tsv("nonsense\n").is_err());
+        assert!(from_tsv("").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let mut text = to_tsv(&sample());
+        text.push_str("1\t2\n"); // two fields: invalid
+        let err = from_tsv(&text).unwrap_err();
+        assert!(err.contains("unrecognized"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_rounds_rejected() {
+        let text = "# bruck-schedule v1\nn\t2\tports\t1\nround\t1\n";
+        assert!(from_tsv(text).unwrap_err().contains("out of order"));
+    }
+
+    #[test]
+    fn transfer_before_round_rejected() {
+        let text = "# bruck-schedule v1\nn\t2\tports\t1\n0\t1\t4\n";
+        assert!(from_tsv(text).unwrap_err().contains("before any round"));
+    }
+
+    proptest::proptest! {
+        /// Arbitrary valid schedules survive the text round trip exactly.
+        #[test]
+        fn random_schedules_round_trip(
+            n in 2usize..20,
+            rounds in 0usize..8,
+            seed in 0u64..10_000,
+        ) {
+            let mut s = Schedule::new(n, 4);
+            let mut state = seed.wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..rounds {
+                let count = (next() % 4) as usize;
+                let mut transfers = Vec::new();
+                for _ in 0..count {
+                    let src = (next() % n as u64) as usize;
+                    let dst = (src + 1 + (next() % (n as u64 - 1)) as usize) % n;
+                    if transfers
+                        .iter()
+                        .any(|t: &Transfer| t.src == src && t.dst == dst)
+                    {
+                        continue;
+                    }
+                    transfers.push(Transfer { src, dst, bytes: next() % 100_000 });
+                }
+                s.push_round(transfers);
+            }
+            let back = from_tsv(&to_tsv(&s)).map_err(|e| {
+                proptest::test_runner::TestCaseError::fail(e)
+            })?;
+            proptest::prop_assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn real_plans_round_trip() {
+        // Use the text format on an actual algorithm plan.
+        let mut s = Schedule::new(8, 1);
+        for x in 0..3u32 {
+            s.push_round(
+                (0..8)
+                    .map(|r| Transfer { src: r, dst: (r + (1 << x)) % 8, bytes: 32 })
+                    .collect(),
+            );
+        }
+        assert_eq!(from_tsv(&to_tsv(&s)).unwrap(), s);
+    }
+}

@@ -1,0 +1,109 @@
+//! Human-readable schedule rendering: per-round transfer listings and an
+//! ASCII traffic Gantt, for debugging algorithms and for the figure
+//! harness's appendix output.
+
+use crate::analyze::ScheduleStats;
+use crate::schedule::Schedule;
+
+/// Render one line per round: `round i [max B]: src→dst(bytes), …`.
+#[must_use]
+pub fn render_rounds(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    for (i, round) in schedule.rounds.iter().enumerate() {
+        out.push_str(&format!("round {i:>3} [{:>6} B max]:", round.max_bytes()));
+        for t in &round.transfers {
+            out.push_str(&format!(" {}→{}({})", t.src, t.dst, t.bytes));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a compact per-rank activity chart: one row per rank, one column
+/// per round; `S` = sends only, `R` = receives only, `X` = both, `.` =
+/// idle. Shows load balance and idle bubbles at a glance.
+#[must_use]
+pub fn render_activity(schedule: &Schedule) -> String {
+    let rounds = schedule.rounds.len();
+    let mut grid = vec![vec![b'.'; rounds]; schedule.n];
+    for (i, round) in schedule.rounds.iter().enumerate() {
+        for t in &round.transfers {
+            let s = &mut grid[t.src][i];
+            *s = if *s == b'R' || *s == b'X' { b'X' } else { b'S' };
+            let r = &mut grid[t.dst][i];
+            *r = if *r == b'S' || *r == b'X' { b'X' } else { b'R' };
+        }
+    }
+    let mut out = String::new();
+    for (rank, row) in grid.into_iter().enumerate() {
+        out.push_str(&format!("rank {rank:>3} |"));
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// A one-paragraph textual summary of a schedule.
+#[must_use]
+pub fn summarize(schedule: &Schedule) -> String {
+    let stats = ScheduleStats::of(schedule);
+    format!(
+        "{} ranks, {} ports, {} rounds; C2 = {} B; {} messages totalling {} B; \
+         busiest rank sends {} B; largest message {} B",
+        schedule.n,
+        schedule.ports,
+        schedule.num_rounds(),
+        stats.complexity.c2,
+        stats.total_msgs,
+        stats.total_bytes,
+        stats.max_rank_bytes,
+        stats.max_message,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Transfer;
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new(3, 1);
+        s.push_round(vec![Transfer { src: 0, dst: 1, bytes: 4 }]);
+        s.push_round(vec![
+            Transfer { src: 1, dst: 0, bytes: 8 },
+            Transfer { src: 2, dst: 1, bytes: 2 },
+        ]);
+        s
+    }
+
+    #[test]
+    fn rounds_listing() {
+        let r = render_rounds(&sample());
+        assert!(r.contains("round   0"));
+        assert!(r.contains("0→1(4)"));
+        assert!(r.contains("2→1(2)"));
+        assert_eq!(r.lines().count(), 2);
+    }
+
+    #[test]
+    fn activity_chart() {
+        let a = render_activity(&sample());
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // rank 0: sends round 0, receives round 1.
+        assert!(lines[0].ends_with("SR"));
+        // rank 1: receives round 0, sends+receives round 1.
+        assert!(lines[1].ends_with("RX"));
+        // rank 2: idle then sends.
+        assert!(lines[2].ends_with(".S"));
+    }
+
+    #[test]
+    fn summary_mentions_key_figures() {
+        let s = summarize(&sample());
+        assert!(s.contains("3 ranks"));
+        assert!(s.contains("2 rounds"));
+        assert!(s.contains("C2 = 12 B"));
+        assert!(s.contains("3 messages"));
+    }
+}

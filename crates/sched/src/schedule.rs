@@ -1,0 +1,262 @@
+//! The schedule data structure and its invariants.
+
+use bruck_net::trace::Trace;
+
+/// One rank's view of one round: `(dst, bytes)` sends and `src` receives.
+pub type RankRound = (Vec<(usize, u64)>, Vec<usize>);
+
+/// One point-to-point transfer within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transfer {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Message size in bytes.
+    pub bytes: u64,
+}
+
+/// One communication round: a set of transfers that happen concurrently.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Round {
+    /// The transfers, kept sorted by `(src, dst)`.
+    pub transfers: Vec<Transfer>,
+}
+
+impl Round {
+    /// Size of the largest message in the round (the round's `C2`
+    /// contribution).
+    #[must_use]
+    pub fn max_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).max().unwrap_or(0)
+    }
+
+    /// Total bytes injected in the round.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+}
+
+/// A complete static communication schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of processors.
+    pub n: usize,
+    /// Port count the schedule was planned for.
+    pub ports: usize,
+    /// Rounds in execution order.
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// An empty schedule for `n` ranks and `ports` ports.
+    #[must_use]
+    pub fn new(n: usize, ports: usize) -> Self {
+        Self { n, ports, rounds: Vec::new() }
+    }
+
+    /// Append a round from an unsorted transfer list.
+    pub fn push_round(&mut self, mut transfers: Vec<Transfer>) {
+        transfers.sort_unstable();
+        self.rounds.push(Round { transfers });
+    }
+
+    /// Number of rounds (`C1`).
+    #[must_use]
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Rebuild a schedule from a live trace (round indices in the trace
+    /// are per-sender; the collectives in this workspace keep them
+    /// globally aligned). Zero-byte idle rounds cannot be reconstructed,
+    /// so callers compare against plans with empty rounds stripped via
+    /// [`Schedule::without_empty_rounds`].
+    #[must_use]
+    pub fn from_trace(trace: &Trace, n: usize, ports: usize) -> Self {
+        let events = trace.snapshot();
+        let num_rounds = events.iter().map(|e| e.round + 1).max().unwrap_or(0) as usize;
+        let mut rounds = vec![Vec::new(); num_rounds];
+        for e in &events {
+            rounds[e.round as usize].push(Transfer { src: e.src, dst: e.dst, bytes: e.bytes });
+        }
+        let mut s = Self::new(n, ports);
+        for r in rounds {
+            s.push_round(r);
+        }
+        s
+    }
+
+    /// A copy with all empty rounds removed (for comparing against traces,
+    /// which cannot observe idle rounds).
+    #[must_use]
+    pub fn without_empty_rounds(&self) -> Self {
+        Self {
+            n: self.n,
+            ports: self.ports,
+            rounds: self.rounds.iter().filter(|r| !r.transfers.is_empty()).cloned().collect(),
+        }
+    }
+
+    /// Check the k-port model invariants round by round:
+    ///
+    /// * every rank appears as `src` in at most `ports` transfers and as
+    ///   `dst` in at most `ports` transfers per round;
+    /// * within a round, a rank's destinations (and sources) are distinct;
+    /// * no self-sends; all ranks in `[0, n)`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (ri, round) in self.rounds.iter().enumerate() {
+            let mut sends = vec![0usize; self.n];
+            let mut recvs = vec![0usize; self.n];
+            let mut seen = std::collections::HashSet::new();
+            for t in &round.transfers {
+                if t.src >= self.n || t.dst >= self.n {
+                    return Err(format!("round {ri}: rank out of range in {t:?}"));
+                }
+                if t.src == t.dst {
+                    return Err(format!("round {ri}: self-send in {t:?}"));
+                }
+                if !seen.insert((t.src, t.dst)) {
+                    return Err(format!(
+                        "round {ri}: duplicate pair {} → {}",
+                        t.src, t.dst
+                    ));
+                }
+                sends[t.src] += 1;
+                recvs[t.dst] += 1;
+            }
+            for rank in 0..self.n {
+                if sends[rank] > self.ports {
+                    return Err(format!(
+                        "round {ri}: rank {rank} sends {} > k={}",
+                        sends[rank], self.ports
+                    ));
+                }
+                if recvs[rank] > self.ports {
+                    return Err(format!(
+                        "round {ri}: rank {rank} receives {} > k={}",
+                        recvs[rank], self.ports
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The transfers a given rank must perform, round by round:
+    /// `(sends, recvs)` where sends are `(dst, bytes)` and recvs are
+    /// `src`. Used by the replayer.
+    #[must_use]
+    pub fn rank_script(&self, rank: usize) -> Vec<RankRound> {
+        self.rounds
+            .iter()
+            .map(|round| {
+                let sends = round
+                    .transfers
+                    .iter()
+                    .filter(|t| t.src == rank)
+                    .map(|t| (t.dst, t.bytes))
+                    .collect();
+                let recvs = round
+                    .transfers
+                    .iter()
+                    .filter(|t| t.dst == rank)
+                    .map(|t| t.src)
+                    .collect();
+                (sends, recvs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_round_schedule() -> Schedule {
+        let mut s = Schedule::new(3, 1);
+        s.push_round(vec![
+            Transfer { src: 0, dst: 1, bytes: 4 },
+            Transfer { src: 1, dst: 2, bytes: 4 },
+            Transfer { src: 2, dst: 0, bytes: 4 },
+        ]);
+        s.push_round(vec![Transfer { src: 1, dst: 0, bytes: 8 }]);
+        s
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        two_round_schedule().validate().unwrap();
+    }
+
+    #[test]
+    fn round_aggregates() {
+        let s = two_round_schedule();
+        assert_eq!(s.rounds[0].max_bytes(), 4);
+        assert_eq!(s.rounds[0].total_bytes(), 12);
+        assert_eq!(s.rounds[1].max_bytes(), 8);
+        assert_eq!(s.num_rounds(), 2);
+    }
+
+    #[test]
+    fn port_violation_detected() {
+        let mut s = Schedule::new(3, 1);
+        s.push_round(vec![
+            Transfer { src: 0, dst: 1, bytes: 1 },
+            Transfer { src: 0, dst: 2, bytes: 1 },
+        ]);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("sends 2 > k=1"), "{err}");
+    }
+
+    #[test]
+    fn recv_port_violation_detected() {
+        let mut s = Schedule::new(3, 1);
+        s.push_round(vec![
+            Transfer { src: 0, dst: 2, bytes: 1 },
+            Transfer { src: 1, dst: 2, bytes: 1 },
+        ]);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("receives 2 > k=1"), "{err}");
+    }
+
+    #[test]
+    fn self_send_detected() {
+        let mut s = Schedule::new(2, 1);
+        s.push_round(vec![Transfer { src: 0, dst: 0, bytes: 1 }]);
+        assert!(s.validate().unwrap_err().contains("self-send"));
+    }
+
+    #[test]
+    fn duplicate_pair_detected() {
+        let mut s = Schedule::new(2, 2);
+        s.push_round(vec![
+            Transfer { src: 0, dst: 1, bytes: 1 },
+            Transfer { src: 0, dst: 1, bytes: 2 },
+        ]);
+        assert!(s.validate().unwrap_err().contains("duplicate pair"));
+    }
+
+    #[test]
+    fn rank_script_extracts_view() {
+        let s = two_round_schedule();
+        let script = s.rank_script(0);
+        assert_eq!(script.len(), 2);
+        assert_eq!(script[0], (vec![(1, 4)], vec![2]));
+        assert_eq!(script[1], (vec![], vec![1]));
+    }
+
+    #[test]
+    fn strip_empty_rounds() {
+        let mut s = Schedule::new(2, 1);
+        s.push_round(vec![]);
+        s.push_round(vec![Transfer { src: 0, dst: 1, bytes: 1 }]);
+        let stripped = s.without_empty_rounds();
+        assert_eq!(stripped.num_rounds(), 1);
+    }
+}

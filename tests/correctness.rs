@@ -1,0 +1,136 @@
+//! Cross-crate correctness sweep: every algorithm, against the oracle and
+//! against each other, over a grid of `(n, b, k)`.
+
+use bruck::collectives::concat::ConcatAlgorithm;
+use bruck::collectives::index::IndexAlgorithm;
+use bruck::collectives::verify;
+use bruck::model::partition::Preference;
+use bruck::net::{Cluster, ClusterConfig};
+
+fn index_results(algo: IndexAlgorithm, n: usize, b: usize, k: usize) -> Vec<Vec<u8>> {
+    let cfg = ClusterConfig::new(n).with_ports(k);
+    Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, b);
+        algo.run(ep, &input, b)
+    })
+    .unwrap_or_else(|e| panic!("{} n={n} b={b} k={k}: {e}", algo.name()))
+    .results
+}
+
+fn concat_results(algo: ConcatAlgorithm, n: usize, b: usize, k: usize) -> Vec<Vec<u8>> {
+    let cfg = ClusterConfig::new(n).with_ports(k);
+    Cluster::run(&cfg, |ep| {
+        let input = verify::concat_input(ep.rank(), b);
+        algo.run(ep, &input)
+    })
+    .unwrap_or_else(|e| panic!("{} n={n} b={b} k={k}: {e}", algo.name()))
+    .results
+}
+
+#[test]
+fn index_all_algorithms_oracle_sweep() {
+    for &n in &[2usize, 3, 5, 8, 11, 16] {
+        for &b in &[1usize, 7, 32] {
+            for &k in &[1usize, 2] {
+                let mut algos = vec![
+                    IndexAlgorithm::BruckRadix(2),
+                    IndexAlgorithm::BruckRadix(3),
+                    IndexAlgorithm::BruckRadix(n),
+                    IndexAlgorithm::Direct,
+                ];
+                if n.is_power_of_two() {
+                    algos.push(IndexAlgorithm::Pairwise);
+                    if k == 1 {
+                        algos.push(IndexAlgorithm::Hypercube);
+                    }
+                }
+                for algo in algos {
+                    let results = index_results(algo, n, b, k);
+                    for (rank, r) in results.iter().enumerate() {
+                        assert_eq!(
+                            r,
+                            &verify::index_expected(rank, n, b),
+                            "{} n={n} b={b} k={k} rank={rank}",
+                            algo.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn concat_all_algorithms_oracle_sweep() {
+    for &n in &[2usize, 3, 5, 8, 13, 16, 21] {
+        for &b in &[1usize, 6, 33] {
+            for &k in &[1usize, 2, 3] {
+                let mut algos = vec![
+                    ConcatAlgorithm::Bruck(Preference::Rounds),
+                    ConcatAlgorithm::Bruck(Preference::Bytes),
+                    ConcatAlgorithm::GatherBroadcast,
+                ];
+                if k == 1 {
+                    algos.push(ConcatAlgorithm::Ring);
+                    if n.is_power_of_two() {
+                        algos.push(ConcatAlgorithm::RecursiveDoubling);
+                    }
+                }
+                let expected = verify::concat_expected(n, b);
+                for algo in algos {
+                    let results = concat_results(algo, n, b, k);
+                    for (rank, r) in results.iter().enumerate() {
+                        assert_eq!(
+                            r, &expected,
+                            "{} n={n} b={b} k={k} rank={rank}",
+                            algo.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn index_algorithms_agree_with_each_other() {
+    let n = 8;
+    let b = 5;
+    let reference = index_results(IndexAlgorithm::Direct, n, b, 1);
+    for algo in [
+        IndexAlgorithm::BruckRadix(2),
+        IndexAlgorithm::BruckRadix(4),
+        IndexAlgorithm::Pairwise,
+        IndexAlgorithm::Hypercube,
+    ] {
+        assert_eq!(index_results(algo, n, b, 1), reference, "{}", algo.name());
+    }
+}
+
+#[test]
+fn large_cluster_one_shot() {
+    // The paper's machine size: 64 processors.
+    let n = 64;
+    let b = 16;
+    for algo in [IndexAlgorithm::BruckRadix(2), IndexAlgorithm::BruckRadix(8)] {
+        let results = index_results(algo, n, b, 1);
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r, &verify::index_expected(rank, n, b));
+        }
+    }
+    let results = concat_results(ConcatAlgorithm::Bruck(Preference::Rounds), n, b, 2);
+    let expected = verify::concat_expected(n, b);
+    for r in &results {
+        assert_eq!(r, &expected);
+    }
+}
+
+#[test]
+fn index_with_huge_blocks() {
+    let n = 4;
+    let b = 1 << 16; // 64 KiB per block
+    let results = index_results(IndexAlgorithm::BruckRadix(2), n, b, 1);
+    for (rank, r) in results.iter().enumerate() {
+        assert_eq!(r, &verify::index_expected(rank, n, b));
+    }
+}

@@ -1,0 +1,242 @@
+//! Property tests and stress tests for the extension operations:
+//! v-variants, reductions, scans, mixed-radix, hierarchical, and the
+//! appendix-faithful ports.
+
+use bruck::collectives::appendix::{concat_appendix_b, index_appendix_a};
+use bruck::collectives::index::{hierarchical, mixed};
+use bruck::collectives::reduce::{
+    allreduce_halving_doubling, allreduce_via_concat, reduce_scatter, ReduceOp,
+};
+use bruck::collectives::scan::{exscan, scan};
+use bruck::collectives::verify;
+use bruck::collectives::vops::{allgatherv, alltoallv};
+use bruck::net::{Cluster, ClusterConfig};
+use proptest::prelude::*;
+
+fn ops() -> impl Strategy<Value = ReduceOp> {
+    prop_oneof![Just(ReduceOp::Sum), Just(ReduceOp::Min), Just(ReduceOp::Max)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// alltoallv with arbitrary per-pair sizes delivers exactly what was
+    /// addressed.
+    #[test]
+    fn alltoallv_random_sizes(n in 1usize..12, k in 1usize..4, seed in 0u64..1000) {
+        let size = |i: usize, j: usize| ((seed as usize).wrapping_mul(31) + i * 7 + j * 13) % 50;
+        let cfg = ClusterConfig::new(n).with_ports(k);
+        let out = Cluster::run(&cfg, |ep| {
+            let bufs: Vec<Vec<u8>> = (0..n)
+                .map(|j| {
+                    (0..size(ep.rank(), j))
+                        .map(|t| verify::content_byte(ep.rank(), j, t))
+                        .collect()
+                })
+                .collect();
+            alltoallv(ep, &bufs)
+        }).unwrap();
+        for (rank, received) in out.results.iter().enumerate() {
+            for (src, buf) in received.iter().enumerate() {
+                let expected: Vec<u8> = (0..size(src, rank))
+                    .map(|t| verify::content_byte(src, rank, t))
+                    .collect();
+                prop_assert_eq!(buf, &expected);
+            }
+        }
+    }
+
+    /// allgatherv with arbitrary per-rank sizes.
+    #[test]
+    fn allgatherv_random_sizes(n in 1usize..16, k in 1usize..5, seed in 0u64..1000) {
+        let size = |i: usize| ((seed as usize).wrapping_mul(17) + i * 11) % 40;
+        let cfg = ClusterConfig::new(n).with_ports(k);
+        let out = Cluster::run(&cfg, |ep| {
+            let mine: Vec<u8> = (0..size(ep.rank()))
+                .map(|t| verify::content_byte(ep.rank(), 0, t))
+                .collect();
+            allgatherv(ep, &mine)
+        }).unwrap();
+        for received in &out.results {
+            for (src, buf) in received.iter().enumerate() {
+                let expected: Vec<u8> =
+                    (0..size(src)).map(|t| verify::content_byte(src, 0, t)).collect();
+                prop_assert_eq!(buf, &expected);
+            }
+        }
+    }
+
+    /// The two allreduce strategies agree with a local fold.
+    #[test]
+    fn allreduce_strategies_agree(d in 1u32..4, m_scale in 1usize..4, op in ops()) {
+        let n = 1usize << d;
+        let m = n * m_scale;
+        let cfg = ClusterConfig::new(n);
+        let out = Cluster::run(&cfg, |ep| {
+            let mine: Vec<f64> =
+                (0..m).map(|i| ((ep.rank() * m + i) as f64).sin()).collect();
+            let a = allreduce_via_concat(ep, &mine, op)?;
+            let b = allreduce_halving_doubling(ep, &mine, op)?;
+            Ok((a, b))
+        }).unwrap();
+        let expected: Vec<f64> = (0..m)
+            .map(|i| {
+                (0..n)
+                    .map(|r| ((r * m + i) as f64).sin())
+                    .reduce(|a, b| op.apply(a, b))
+                    .unwrap()
+            })
+            .collect();
+        for (a, b) in &out.results {
+            for ((x, y), e) in a.iter().zip(b).zip(&expected) {
+                prop_assert!((x - e).abs() < 1e-9);
+                prop_assert!((y - e).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// reduce_scatter segments stitch back into the full reduction.
+    #[test]
+    fn reduce_scatter_covers(n in 1usize..10, m_scale in 1usize..4, op in ops()) {
+        let m = n * m_scale;
+        let cfg = ClusterConfig::new(n);
+        let out = Cluster::run(&cfg, |ep| {
+            let mine: Vec<f64> = (0..m).map(|i| (ep.rank() + i) as f64).collect();
+            reduce_scatter(ep, &mine, op)
+        }).unwrap();
+        let full: Vec<f64> = (0..m)
+            .map(|i| {
+                (0..n).map(|r| (r + i) as f64).reduce(|a, b| op.apply(a, b)).unwrap()
+            })
+            .collect();
+        let stitched: Vec<f64> = out.results.iter().flatten().copied().collect();
+        prop_assert_eq!(stitched.len(), full.len());
+        for (g, e) in stitched.iter().zip(&full) {
+            prop_assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    /// scan/exscan against the sequential prefix.
+    #[test]
+    fn scans_match_sequential(n in 1usize..14, m in 1usize..6, op in ops()) {
+        let cfg = ClusterConfig::new(n);
+        let out = Cluster::run(&cfg, |ep| {
+            let mine: Vec<f64> = (0..m).map(|i| (ep.rank() * m + i) as f64 * 0.5).collect();
+            let inc = scan(ep, &mine, op)?;
+            let exc = exscan(ep, &mine, op)?;
+            Ok((inc, exc))
+        }).unwrap();
+        let data = |r: usize| -> Vec<f64> {
+            (0..m).map(|i| (r * m + i) as f64 * 0.5).collect()
+        };
+        for (rank, (inc, exc)) in out.results.iter().enumerate() {
+            let mut want = data(0);
+            for r in 1..=rank {
+                op.fold_into(&mut want, &data(r));
+            }
+            for (g, e) in inc.iter().zip(&want) {
+                prop_assert!((g - e).abs() < 1e-9, "rank {}", rank);
+            }
+            match exc {
+                None => prop_assert_eq!(rank, 0),
+                Some(exc) => {
+                    let mut want = data(0);
+                    for r in 1..rank {
+                        op.fold_into(&mut want, &data(r));
+                    }
+                    for (g, e) in exc.iter().zip(&want) {
+                        prop_assert!((g - e).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mixed-radix index correct for random covering vectors.
+    #[test]
+    fn mixed_radix_random_vectors(
+        n in 2usize..16,
+        b in 0usize..6,
+        r0 in 2usize..5,
+        r1 in 2usize..5,
+        r2 in 2usize..5,
+    ) {
+        let radices = [r0, r1, r2, 16]; // final 16 guarantees coverage
+        let cfg = ClusterConfig::new(n);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = verify::index_input(ep.rank(), n, b);
+            mixed::run(ep, &input, b, &radices)
+        }).unwrap();
+        for (rank, result) in out.results.iter().enumerate() {
+            prop_assert_eq!(result, &verify::index_expected(rank, n, b));
+        }
+    }
+
+    /// Hierarchical alltoall correct for random node factorizations.
+    #[test]
+    fn hierarchical_random_shapes(
+        nodes in 1usize..5,
+        node_size in 1usize..5,
+        b in 0usize..6,
+        rl in 2usize..5,
+        rr in 2usize..5,
+    ) {
+        let n = nodes * node_size;
+        let cfg = ClusterConfig::new(n);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = verify::index_input(ep.rank(), n, b);
+            hierarchical::run(ep, &input, b, node_size, rl, rr)
+        }).unwrap();
+        for (rank, result) in out.results.iter().enumerate() {
+            prop_assert_eq!(result, &verify::index_expected(rank, n, b));
+        }
+    }
+
+    /// The appendix ports agree with the oracle over shuffled process
+    /// arrays.
+    #[test]
+    fn appendix_ports_random(n in 2usize..12, r in 2usize..12, rot in 0usize..12) {
+        // A rotated process array (a simple derangement family).
+        let a: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        let cfg = ClusterConfig::new(n);
+        let out = Cluster::run(&cfg, |ep| {
+            let my_rank = a.iter().position(|&p| p == ep.rank()).unwrap();
+            let input = verify::index_input(my_rank, n, 2);
+            let idx = index_appendix_a(ep, &input, 2, &a, r)?;
+            let cat = concat_appendix_b(ep, &verify::concat_input(my_rank, 3), &a)?;
+            Ok((my_rank, idx, cat))
+        }).unwrap();
+        for (my_rank, idx, cat) in &out.results {
+            prop_assert_eq!(idx, &verify::index_expected(*my_rank, n, 2));
+            prop_assert_eq!(cat, &verify::concat_expected(n, 3));
+        }
+    }
+}
+
+/// Stress: the full stack at 96 ranks (beyond the paper's 64), one shot.
+#[test]
+fn stress_96_ranks() {
+    let n = 96;
+    let b = 8;
+    let cfg = ClusterConfig::new(n).with_ports(2);
+    let out = Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, b);
+        bruck::collectives::index::bruck::run(ep, &input, b, 3)
+    })
+    .unwrap();
+    for (rank, result) in out.results.iter().enumerate() {
+        assert_eq!(result, &verify::index_expected(rank, n, b));
+    }
+    let out = Cluster::run(&cfg, |ep| {
+        let input = verify::concat_input(ep.rank(), b);
+        bruck::collectives::concat::bruck::run(ep, &input, Default::default())
+    })
+    .unwrap();
+    let expected = verify::concat_expected(n, b);
+    for result in &out.results {
+        assert_eq!(result, &expected);
+    }
+    // Round-optimality holds out here too.
+    let c = out.metrics.global_complexity().unwrap();
+    assert_eq!(c.c1, bruck::model::bounds::concat_bounds(n, 2, b).c1);
+}

@@ -1,0 +1,99 @@
+//! Failure injection through the full stack: dead ranks and dropped
+//! messages must surface as clean errors from the collectives — never
+//! hangs, never silent corruption.
+
+use std::time::Duration;
+
+use bruck::collectives::concat::ConcatAlgorithm;
+use bruck::collectives::index::IndexAlgorithm;
+use bruck::collectives::verify;
+use bruck::model::partition::Preference;
+use bruck::net::{Cluster, ClusterConfig, FaultPlan, NetError};
+
+fn faulty_cfg(n: usize, faults: FaultPlan) -> ClusterConfig {
+    ClusterConfig::new(n)
+        .with_timeout(Duration::from_millis(200))
+        .with_faults(faults)
+}
+
+#[test]
+fn index_with_dead_rank_errors_out() {
+    let n = 6;
+    let cfg = faulty_cfg(n, FaultPlan::new().kill_rank_after(3, 1));
+    let err = Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, 4);
+        IndexAlgorithm::BruckRadix(2).run(ep, &input, 4)
+    })
+    .unwrap_err();
+    assert!(
+        matches!(err, NetError::Killed { rank: 3, .. } | NetError::Timeout { .. }),
+        "unexpected error: {err:?}"
+    );
+}
+
+#[test]
+fn concat_with_dead_rank_errors_out() {
+    let n = 8;
+    let cfg = faulty_cfg(n, FaultPlan::new().kill_rank_after(0, 0));
+    let err = Cluster::run(&cfg, |ep| {
+        let input = verify::concat_input(ep.rank(), 4);
+        ConcatAlgorithm::Bruck(Preference::Rounds).run(ep, &input)
+    })
+    .unwrap_err();
+    assert!(
+        matches!(err, NetError::Killed { rank: 0, .. } | NetError::Timeout { .. }),
+        "unexpected error: {err:?}"
+    );
+}
+
+#[test]
+fn dropped_message_is_detected_not_corrupted() {
+    let n = 5;
+    // Drop one mid-algorithm message of the Bruck index (round 1).
+    let cfg = faulty_cfg(n, FaultPlan::new().drop_message(2, 4, 1));
+    let err = Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, 4);
+        IndexAlgorithm::BruckRadix(2).run(ep, &input, 4)
+    })
+    .unwrap_err();
+    // Rank 4 stalls waiting for the dropped message; downstream ranks
+    // cascade into timeouts of their own, and the first error by rank
+    // order is reported — any timeout is the correct observable outcome.
+    assert!(matches!(err, NetError::Timeout { .. }), "{err:?}");
+}
+
+#[test]
+fn gather_bcast_survives_no_faults_under_short_timeout() {
+    // Control: the same short timeout without faults completes fine.
+    let n = 8;
+    let cfg = faulty_cfg(n, FaultPlan::new());
+    let out = Cluster::run(&cfg, |ep| {
+        let input = verify::concat_input(ep.rank(), 4);
+        ConcatAlgorithm::GatherBroadcast.run(ep, &input)
+    })
+    .unwrap();
+    let expected = verify::concat_expected(n, 4);
+    for r in &out.results {
+        assert_eq!(r, &expected);
+    }
+}
+
+#[test]
+fn fault_in_last_round_of_concat() {
+    // Kill a rank right before the partitioned last round: phase-1
+    // progress must not mask the failure.
+    let n = 10; // k = 3 ⇒ d = 2: one phase-1 round, then the last round
+    let cfg = ClusterConfig::new(n)
+        .with_ports(3)
+        .with_timeout(Duration::from_millis(200))
+        .with_faults(FaultPlan::new().kill_rank_after(7, 1));
+    let err = Cluster::run(&cfg, |ep| {
+        let input = verify::concat_input(ep.rank(), 3);
+        ConcatAlgorithm::Bruck(Preference::Rounds).run(ep, &input)
+    })
+    .unwrap_err();
+    assert!(
+        matches!(err, NetError::Killed { rank: 7, .. } | NetError::Timeout { .. }),
+        "{err:?}"
+    );
+}

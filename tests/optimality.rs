@@ -1,0 +1,179 @@
+//! Optimality and trade-off tests: the §2 lower bounds against every
+//! planner, the §3.3 special cases, Theorem 2.5/2.6's compound trade-off,
+//! and Theorem 4.3's concatenation optimality.
+
+use bruck::collectives::concat::ConcatAlgorithm;
+use bruck::collectives::index::IndexAlgorithm;
+use bruck::model::bounds::{
+    concat_bounds, index_bounds, index_c1_bound_when_transfer_optimal,
+    index_c2_bound_when_round_optimal, index_c2_omega_when_logarithmic,
+};
+use bruck::model::partition::Preference;
+use bruck::model::radix::ceil_log;
+use bruck::sched::ScheduleStats;
+
+/// §3.3 case 1: r = 2 is round-optimal for every n.
+#[test]
+fn index_r2_is_round_optimal() {
+    for n in 2..200 {
+        let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(2).plan(n, 3, 1)).complexity;
+        assert_eq!(c.c1, u64::from(ceil_log(2, n)), "n={n}");
+        // And within the factor the paper states: C2 ≤ b·⌈n/2⌉·⌈log2 n⌉.
+        assert!(c.c2 <= (3 * n.div_ceil(2)) as u64 * c.c1);
+    }
+}
+
+/// §3.3 case 2: r = n is transfer-optimal for every n.
+#[test]
+fn index_rn_is_transfer_optimal() {
+    for n in 2..200 {
+        let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(n).plan(n, 3, 1)).complexity;
+        let lb = index_bounds(n, 1, 3);
+        assert_eq!(c.c2, lb.c2, "n={n}");
+        assert_eq!(c.c1, (n - 1) as u64);
+    }
+}
+
+/// §3.4: r = k+1 is round-optimal in the k-port model.
+#[test]
+fn index_r_kplus1_round_optimal_kport() {
+    for k in 1..6 {
+        for n in 2..100 {
+            let c =
+                ScheduleStats::of(&IndexAlgorithm::BruckRadix(k + 1).plan(n, 2, k)).complexity;
+            assert_eq!(c.c1, index_bounds(n, k, 2).c1, "n={n} k={k}");
+        }
+    }
+}
+
+/// Theorem 2.5: any round-optimal index algorithm moves
+/// ≥ b·n·log_{k+1}(n)/(k+1) data when n is a power of k+1 — and the
+/// radix-(k+1) algorithm meets this compound bound exactly.
+#[test]
+fn theorem_2_5_compound_bound_met_exactly() {
+    for k in 1usize..4 {
+        for d in 1u32..4 {
+            let n = (k + 1).pow(d);
+            if n < 2 {
+                continue;
+            }
+            let b = 4;
+            let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(k + 1).plan(n, b, k)).complexity;
+            let compound = index_c2_bound_when_round_optimal(n, k, b);
+            assert_eq!(c.c1, u64::from(d), "round-optimal n={n} k={k}");
+            assert_eq!(
+                c.c2, compound,
+                "radix-(k+1) should meet the compound bound exactly: n={n} k={k}"
+            );
+        }
+    }
+}
+
+/// Theorem 2.6: the transfer-optimal algorithms (direct / r = n) use
+/// exactly the forced ⌈(n-1)/k⌉ rounds.
+#[test]
+fn theorem_2_6_transfer_optimal_rounds_forced() {
+    for k in 1..5 {
+        for n in [8usize, 17, 40] {
+            let c = ScheduleStats::of(&IndexAlgorithm::Direct.plan(n, 2, k)).complexity;
+            assert_eq!(c.c1, index_c1_bound_when_transfer_optimal(n, k), "n={n} k={k}");
+        }
+    }
+}
+
+/// Theorem 2.9's shape: every logarithmic-round one-port index plan moves
+/// Ω(b·n·log n); the r = 2 plan satisfies the concrete witness bound.
+#[test]
+fn theorem_2_9_omega_witness() {
+    for d in 3..9u32 {
+        let n = 1usize << d;
+        let b = 2;
+        let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(2).plan(n, b, 1)).complexity;
+        let witness = index_c2_omega_when_logarithmic(n, b, 1.0);
+        assert!(
+            c.c2 as f64 >= witness,
+            "n={n}: C2 {} below the Ω witness {witness}",
+            c.c2
+        );
+    }
+}
+
+/// The trade-off is real: across radices, C1 and C2 move in opposite
+/// directions, and no radix beats both extremes simultaneously.
+#[test]
+fn radix_tradeoff_pareto() {
+    let n = 64;
+    let b = 8;
+    let r2 = ScheduleStats::of(&IndexAlgorithm::BruckRadix(2).plan(n, b, 1)).complexity;
+    let rn = ScheduleStats::of(&IndexAlgorithm::BruckRadix(n).plan(n, b, 1)).complexity;
+    for r in 3..n {
+        let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(r).plan(n, b, 1)).complexity;
+        assert!(c.c1 >= r2.c1, "r={r}");
+        assert!(c.c2 >= rn.c2, "r={r}");
+    }
+}
+
+/// Theorem 4.3: the circulant concatenation attains both §2 bounds
+/// simultaneously for every (n, b) with k ≤ 2, and for k ≥ 3 outside the
+/// exception range; inside it the two fallbacks cost what the §4 Remark
+/// says.
+#[test]
+fn theorem_4_3_concat_optimality_sweep() {
+    let mut exceptions = 0usize;
+    for k in 1usize..=5 {
+        for n in 2..=160 {
+            for b in [1usize, 3, 5] {
+                let lb = concat_bounds(n, k, b);
+                let rounds =
+                    ScheduleStats::of(&ConcatAlgorithm::Bruck(Preference::Rounds).plan(n, b, k))
+                        .complexity;
+                let bytes =
+                    ScheduleStats::of(&ConcatAlgorithm::Bruck(Preference::Bytes).plan(n, b, k))
+                        .complexity;
+                assert!(lb.admits(rounds) && lb.admits(bytes), "n={n} k={k} b={b}");
+                // The Rounds plan is always round-optimal.
+                assert_eq!(rounds.c1, lb.c1, "n={n} k={k} b={b}");
+                if n > k + 1 {
+                    // Outside the trivial range, C2 is optimal or within
+                    // b-1 of it (exception range only).
+                    assert!(rounds.c2 < lb.c2 + b as u64, "n={n} k={k} b={b}: {rounds}");
+                    if rounds.c2 != lb.c2 {
+                        exceptions += 1;
+                        assert!(k >= 3 && b >= 3, "exception outside the paper's range: n={n} k={k} b={b}");
+                        // The Bytes fallback then restores C2 at +1 round
+                        // (when its geometry permits).
+                        if bytes.c1 == lb.c1 + 1 {
+                            assert_eq!(bytes.c2, lb.c2, "n={n} k={k} b={b}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(exceptions > 0, "the exception range should appear in this sweep");
+}
+
+/// The folklore gather+broadcast is suboptimal in both measures (the §4
+/// motivation) — strictly, for n ≥ 4.
+#[test]
+fn folklore_concat_strictly_suboptimal() {
+    for n in [4usize, 9, 16, 40] {
+        let c = ScheduleStats::of(&ConcatAlgorithm::GatherBroadcast.plan(n, 4, 1)).complexity;
+        let lb = concat_bounds(n, 1, 4);
+        assert!(c.c1 > lb.c1 && c.c2 > lb.c2, "n={n}: {c}");
+    }
+}
+
+/// Recursive doubling matches the circulant algorithm exactly on powers
+/// of two (both optimal), while the circulant also covers every other n.
+#[test]
+fn circulant_matches_recursive_doubling_on_powers_of_two() {
+    for d in 1..7u32 {
+        let n = 1usize << d;
+        let b = 6;
+        let rd = ScheduleStats::of(&ConcatAlgorithm::RecursiveDoubling.plan(n, b, 1)).complexity;
+        let bc =
+            ScheduleStats::of(&ConcatAlgorithm::Bruck(Preference::Rounds).plan(n, b, 1)).complexity;
+        assert_eq!(rd, bc, "n={n}");
+    }
+}

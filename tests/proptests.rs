@@ -1,0 +1,122 @@
+//! Property-based tests (proptest) over randomized parameters.
+
+use bruck::collectives::concat::ConcatAlgorithm;
+use bruck::collectives::index::IndexAlgorithm;
+use bruck::collectives::verify;
+use bruck::model::bounds::{concat_bounds, index_bounds};
+use bruck::model::partition::{plan_last_round, Preference};
+use bruck::model::tuning::{index_complexity, index_complexity_kport};
+use bruck::net::{Cluster, ClusterConfig};
+use bruck::sched::ScheduleStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The Bruck index executor is correct for random (n, r, b, k).
+    #[test]
+    fn bruck_index_correct(n in 1usize..20, r in 2usize..24, b in 0usize..12, k in 1usize..4) {
+        let cfg = ClusterConfig::new(n).with_ports(k);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = verify::index_input(ep.rank(), n, b);
+            IndexAlgorithm::BruckRadix(r).run(ep, &input, b)
+        }).unwrap();
+        for (rank, result) in out.results.iter().enumerate() {
+            prop_assert_eq!(result, &verify::index_expected(rank, n, b));
+        }
+    }
+
+    /// The circulant concat executor is correct for random (n, b, k, pref).
+    #[test]
+    fn bruck_concat_correct(n in 1usize..24, b in 1usize..12, k in 1usize..5, bytes_pref: bool) {
+        let pref = if bytes_pref { Preference::Bytes } else { Preference::Rounds };
+        let cfg = ClusterConfig::new(n).with_ports(k);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = verify::concat_input(ep.rank(), b);
+            ConcatAlgorithm::Bruck(pref).run(ep, &input)
+        }).unwrap();
+        let expected = verify::concat_expected(n, b);
+        for result in &out.results {
+            prop_assert_eq!(result, &expected);
+        }
+    }
+
+    /// Planner schedules are always valid under the k-port model, and the
+    /// closed-form complexity matches the schedule analyzer.
+    #[test]
+    fn index_plans_valid_and_consistent(n in 2usize..40, r in 2usize..40, b in 0usize..16, k in 1usize..5) {
+        let s = IndexAlgorithm::BruckRadix(r).plan(n, b, k);
+        prop_assert!(s.validate().is_ok());
+        let stats = ScheduleStats::of(&s);
+        prop_assert_eq!(stats.complexity, index_complexity_kport(n, r.min(n), b, k));
+    }
+
+    /// No index plan ever beats the §2 lower bounds.
+    #[test]
+    fn index_plans_respect_lower_bounds(n in 2usize..40, r in 2usize..40, b in 1usize..16, k in 1usize..5) {
+        let s = IndexAlgorithm::BruckRadix(r).plan(n, b, k);
+        let c = ScheduleStats::of(&s).complexity;
+        let lb = index_bounds(n, k, b);
+        prop_assert!(lb.admits(c), "r={} complexity {} beats bounds ({}, {})", r, c, lb.c1, lb.c2);
+    }
+
+    /// No concat plan ever beats the §2 lower bounds, and the circulant
+    /// algorithm is round-optimal for every (n, k, b).
+    #[test]
+    fn concat_plans_respect_lower_bounds(n in 2usize..60, b in 1usize..16, k in 1usize..5) {
+        let lb = concat_bounds(n, k, b);
+        for algo in [ConcatAlgorithm::Bruck(Preference::Rounds), ConcatAlgorithm::GatherBroadcast] {
+            let c = ScheduleStats::of(&algo.plan(n, b, k)).complexity;
+            prop_assert!(lb.admits(c), "{} {} vs ({}, {})", algo.name(), c, lb.c1, lb.c2);
+        }
+        let c = ScheduleStats::of(&ConcatAlgorithm::Bruck(Preference::Rounds).plan(n, b, k)).complexity;
+        prop_assert_eq!(c.c1, lb.c1);
+    }
+
+    /// The k-port grouping never hurts: complexity with k ports dominates
+    /// complexity with k+1 ports in rounds, with identical total steps.
+    #[test]
+    fn more_ports_never_more_rounds(n in 2usize..40, r in 2usize..16, b in 1usize..8, k in 1usize..4) {
+        let ck = index_complexity_kport(n, r, b, k);
+        let ck1 = index_complexity_kport(n, r, b, k + 1);
+        prop_assert!(ck1.c1 <= ck.c1);
+        prop_assert!(ck1.c2 <= ck.c2);
+    }
+
+    /// One-port k-port formula degenerates to the §3.2 closed form.
+    #[test]
+    fn one_port_formulas_agree(n in 2usize..60, r in 2usize..60, b in 0usize..8) {
+        prop_assert_eq!(index_complexity_kport(n, r, b, 1), index_complexity(n, r, b));
+    }
+
+    /// The last-round partitioner always covers the table exactly and
+    /// never exceeds the §4 Remark costs.
+    #[test]
+    fn partition_always_valid(k in 1usize..6, d in 1u32..4, extra in 1usize..20, b in 1usize..8, bytes_pref: bool) {
+        let n1 = (k + 1).pow(d);
+        let n2 = 1 + (extra - 1) % (k * n1);
+        let pref = if bytes_pref { Preference::Bytes } else { Preference::Rounds };
+        let plan = plan_last_round(n1, n2, b, k, pref);
+        prop_assert!(plan.validate().is_ok());
+        let a = (b * n2).div_ceil(k) as u64;
+        let c = plan.complexity();
+        prop_assert!(c.c2 < a + b as u64, "c2 {} vs a {} + b {}", c.c2, a, b);
+        prop_assert!(c.c1 <= 2);
+    }
+
+    /// Virtual time of a live run equals the closed-form prediction for
+    /// the synchronous Bruck index schedule (linear model).
+    #[test]
+    fn virtual_time_matches_prediction(n in 2usize..12, r in 2usize..12, b in 0usize..64) {
+        let model = bruck::model::cost::LinearModel::sp1();
+        let cfg = ClusterConfig::new(n).with_cost(std::sync::Arc::new(model));
+        let out = Cluster::run(&cfg, |ep| {
+            let input = verify::index_input(ep.rank(), n, b);
+            IndexAlgorithm::BruckRadix(r).run(ep, &input, b)
+        }).unwrap();
+        let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(r).plan(n, b, 1)).complexity;
+        let predicted = c.linear_time(model.startup, model.per_byte);
+        prop_assert!((out.virtual_makespan() - predicted).abs() < 1e-9,
+            "virtual {} vs predicted {}", out.virtual_makespan(), predicted);
+    }
+}

@@ -1,0 +1,79 @@
+//! The full algorithm stack over the real-I/O Unix-socket transport:
+//! transports are invisible to algorithms, results and metrics identical
+//! to the channel substrate.
+
+#![cfg(unix)]
+
+use bruck::collectives::concat::ConcatAlgorithm;
+use bruck::collectives::index::IndexAlgorithm;
+use bruck::collectives::verify;
+use bruck::model::partition::Preference;
+use bruck::net::{Cluster, ClusterConfig, SocketCluster};
+
+#[test]
+fn index_over_sockets() {
+    let n = 8;
+    let b = 512;
+    let cfg = ClusterConfig::new(n);
+    for algo in [IndexAlgorithm::BruckRadix(2), IndexAlgorithm::BruckRadix(4), IndexAlgorithm::Direct] {
+        let out = SocketCluster::run(&cfg, |ep| {
+            let input = verify::index_input(ep.rank(), n, b);
+            algo.run(ep, &input, b)
+        })
+        .unwrap_or_else(|e| panic!("{} over sockets: {e}", algo.name()));
+        for (rank, result) in out.results.iter().enumerate() {
+            assert_eq!(result, &verify::index_expected(rank, n, b), "{}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn concat_over_sockets_multiport() {
+    let n = 10;
+    let b = 64;
+    let cfg = ClusterConfig::new(n).with_ports(3);
+    let out = SocketCluster::run(&cfg, |ep| {
+        let input = verify::concat_input(ep.rank(), b);
+        ConcatAlgorithm::Bruck(Preference::Rounds).run(ep, &input)
+    })
+    .unwrap();
+    let expected = verify::concat_expected(n, b);
+    for r in &out.results {
+        assert_eq!(r, &expected);
+    }
+}
+
+#[test]
+fn metrics_agree_across_transports() {
+    let n = 6;
+    let b = 128;
+    let cfg = ClusterConfig::new(n);
+    let body = |ep: &mut bruck::net::Endpoint| {
+        let input = verify::index_input(ep.rank(), n, b);
+        IndexAlgorithm::BruckRadix(3).run(ep, &input, b)
+    };
+    let sock = SocketCluster::run(&cfg, body).unwrap();
+    let chan = Cluster::run(&cfg, body).unwrap();
+    assert_eq!(sock.results, chan.results);
+    assert_eq!(
+        sock.metrics.global_complexity(),
+        chan.metrics.global_complexity()
+    );
+    assert!((sock.virtual_makespan() - chan.virtual_makespan()).abs() < 1e-12);
+}
+
+#[test]
+fn large_blocks_over_sockets_fragment_transparently() {
+    // Each phase-2 message well beyond one fragment.
+    let n = 4;
+    let b = 48 * 1024;
+    let cfg = ClusterConfig::new(n).with_timeout(std::time::Duration::from_secs(30));
+    let out = SocketCluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, b);
+        IndexAlgorithm::BruckRadix(2).run(ep, &input, b)
+    })
+    .unwrap();
+    for (rank, result) in out.results.iter().enumerate() {
+        assert_eq!(result, &verify::index_expected(rank, n, b));
+    }
+}
