@@ -1,0 +1,12 @@
+#!/bin/sh
+# Lint gate for the workspace: formatting and clippy, both hard-failing.
+# POSIX sh — the bench harness spawns it via `sh` (see harness::prerun_check).
+#
+# Run standalone (`ci/check.sh`) or let the bench harness run it before
+# measuring by setting BRUCK_PRERUN_CHECK=1 — benchmarking an unlinted
+# tree wastes machine time.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -3,12 +3,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bruck_bench::microbench::{BenchmarkId, Criterion};
+use bruck_bench::{criterion_group, criterion_main};
 use bruck_collectives::concat::ConcatAlgorithm;
 use bruck_collectives::verify;
 use bruck_model::cost::LinearModel;
 use bruck_model::partition::Preference;
 use bruck_net::{Cluster, ClusterConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn run_concat(algo: ConcatAlgorithm, n: usize, block: usize, ports: usize) {
     let cfg = ClusterConfig::new(n)
@@ -16,7 +17,9 @@ fn run_concat(algo: ConcatAlgorithm, n: usize, block: usize, ports: usize) {
         .with_cost(Arc::new(LinearModel::free()));
     let out = Cluster::run(&cfg, |ep| {
         let input = verify::concat_input(ep.rank(), block);
-        algo.run(ep, &input)
+        let mut result = vec![0u8; n * block];
+        algo.run_into(ep, &input, &mut result)?;
+        Ok(result)
     })
     .expect("concat run failed");
     std::hint::black_box(out.results);
@@ -25,7 +28,9 @@ fn run_concat(algo: ConcatAlgorithm, n: usize, block: usize, ports: usize) {
 fn bench_concat(c: &mut Criterion) {
     let n = 16;
     let mut group = c.benchmark_group("concat_wallclock_n16");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &block in &[64usize, 4096] {
         for algo in [
             ConcatAlgorithm::Bruck(Preference::Rounds),
@@ -48,7 +53,9 @@ fn bench_concat_multiport(c: &mut Criterion) {
     let n = 27;
     let block = 1024;
     let mut group = c.benchmark_group("concat_ports_n27_b1k");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [1usize, 2, 3, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, &k| {
             bencher.iter(|| run_concat(ConcatAlgorithm::Bruck(Preference::Rounds), n, block, k));

@@ -5,17 +5,16 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bruck_bench::microbench::{BenchmarkId, Criterion};
+use bruck_bench::{criterion_group, criterion_main};
+use bruck_collectives::appendix::index_appendix_a;
 use bruck_collectives::index::{bruck, hierarchical};
-use bruck_collectives::reduce::{
-    allreduce_halving_doubling, allreduce_via_concat, ReduceOp,
-};
+use bruck_collectives::reduce::{allreduce_halving_doubling, allreduce_via_concat, ReduceOp};
 use bruck_collectives::scan::scan;
 use bruck_collectives::verify;
 use bruck_collectives::vops::{allgatherv, alltoallv};
-use bruck_collectives::appendix::index_appendix_a;
 use bruck_model::cost::LinearModel;
 use bruck_net::{Cluster, ClusterConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn free_cfg(n: usize) -> ClusterConfig {
     ClusterConfig::new(n).with_cost(Arc::new(LinearModel::free()))
@@ -24,7 +23,9 @@ fn free_cfg(n: usize) -> ClusterConfig {
 fn bench_vops(c: &mut Criterion) {
     let n = 12;
     let mut group = c.benchmark_group("vops_n12");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("alltoallv_skewed", |bencher| {
         bencher.iter(|| {
             let out = Cluster::run(&free_cfg(n), |ep| {
@@ -53,7 +54,9 @@ fn bench_vops(c: &mut Criterion) {
 fn bench_reductions(c: &mut Criterion) {
     let n = 16;
     let mut group = c.benchmark_group("allreduce_n16");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &m in &[64usize, 4096] {
         group.bench_with_input(BenchmarkId::new("via_concat", m), &m, |bencher, &m| {
             bencher.iter(|| {
@@ -98,7 +101,9 @@ fn bench_hierarchical(c: &mut Criterion) {
     let node_size = 4;
     let block = 1024;
     let mut group = c.benchmark_group("hierarchical_vs_flat_n16");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("flat_r2", |bencher| {
         bencher.iter(|| {
             let out = Cluster::run(&free_cfg(n), |ep| {
@@ -127,7 +132,9 @@ fn bench_appendix_vs_idiomatic(c: &mut Criterion) {
     let block = 512;
     let a: Vec<usize> = (0..n).collect();
     let mut group = c.benchmark_group("appendix_vs_idiomatic_n13");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("appendix_a_r3", |bencher| {
         bencher.iter(|| {
             let out = Cluster::run(&free_cfg(n), |ep| {

@@ -7,17 +7,22 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bruck_bench::microbench::{BenchmarkId, Criterion};
+use bruck_bench::{criterion_group, criterion_main};
 use bruck_collectives::index::IndexAlgorithm;
 use bruck_collectives::verify;
 use bruck_model::cost::LinearModel;
 use bruck_net::{Cluster, ClusterConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn run_index(algo: IndexAlgorithm, n: usize, block: usize) {
     let cfg = ClusterConfig::new(n).with_cost(Arc::new(LinearModel::free()));
     let out = Cluster::run(&cfg, |ep| {
         let input = verify::index_input(ep.rank(), n, block);
-        algo.run(ep, &input, block)
+        // Zero-copy path: output is caller-owned and the phase scratch is
+        // pooled, so the bench measures the algorithm, not the allocator.
+        let mut result = vec![0u8; n * block];
+        algo.run_into(ep, &input, block, &mut result)?;
+        Ok(result)
     })
     .expect("index run failed");
     std::hint::black_box(out.results);
@@ -26,7 +31,9 @@ fn run_index(algo: IndexAlgorithm, n: usize, block: usize) {
 fn bench_index(c: &mut Criterion) {
     let n = 16;
     let mut group = c.benchmark_group("index_wallclock_n16");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &block in &[16usize, 1024, 16384] {
         for algo in [
             IndexAlgorithm::BruckRadix(2),
@@ -51,7 +58,9 @@ fn bench_radix_sweep(c: &mut Criterion) {
     let n = 16;
     let block = 256;
     let mut group = c.benchmark_group("index_radix_sweep_b256");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for r in [2usize, 3, 4, 6, 8, 12, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(r), &r, |bencher, &r| {
             bencher.iter(|| run_index(IndexAlgorithm::BruckRadix(r), n, block));

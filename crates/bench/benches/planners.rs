@@ -5,18 +5,25 @@
 
 use std::time::Duration;
 
+use bruck_bench::microbench::{BenchmarkId, Criterion};
+use bruck_bench::{criterion_group, criterion_main};
 use bruck_collectives::concat::ConcatAlgorithm;
 use bruck_collectives::index::IndexAlgorithm;
 use bruck_model::cost::LinearModel;
 use bruck_model::partition::{plan_last_round, Preference};
 use bruck_model::tuning::{all_radices, best_radix};
 use bruck_sched::ScheduleStats;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_partitioner(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_last_round");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
-    for &(n1, n2, b, k) in &[(4usize, 6usize, 3usize, 3usize), (125, 500, 64, 4), (1024, 1023, 256, 1)] {
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
+    for &(n1, n2, b, k) in &[
+        (4usize, 6usize, 3usize, 3usize),
+        (125, 500, 64, 4),
+        (1024, 1023, 256, 1),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n1{n1}_n2{n2}_b{b}_k{k}")),
             &(n1, n2, b, k),
@@ -32,7 +39,9 @@ fn bench_partitioner(c: &mut Criterion) {
 
 fn bench_planners(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_planning");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[64usize, 256] {
         group.bench_with_input(BenchmarkId::new("index_bruck_r2", n), &n, |bencher, &n| {
             bencher.iter(|| {
@@ -52,7 +61,9 @@ fn bench_planners(c: &mut Criterion) {
 
 fn bench_tuning(c: &mut Criterion) {
     let mut group = c.benchmark_group("radix_tuning");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     let model = LinearModel::sp1();
     for &n in &[64usize, 256] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {

@@ -56,9 +56,7 @@ fn parse_args() -> Result<Args, String> {
             "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
             "--block" => args.block = value()?.parse().map_err(|e| format!("--block: {e}"))?,
             "--ports" => args.ports = value()?.parse().map_err(|e| format!("--ports: {e}"))?,
-            "--radix" => {
-                args.radix = Some(value()?.parse().map_err(|e| format!("--radix: {e}"))?)
-            }
+            "--radix" => args.radix = Some(value()?.parse().map_err(|e| format!("--radix: {e}"))?),
             "--op" => args.op = value()?,
             "--model" => args.model = value()?,
             "--transport" => args.transport = value()?,
@@ -95,10 +93,19 @@ fn run_cluster<T: Send>(
 fn cmd_index(args: &Args) -> Result<(), String> {
     let model = model_from(&args.model)?;
     let radix = args.radix.unwrap_or_else(|| {
-        best_radix(args.n, args.block, args.ports, model.as_ref(), all_radices(args.n)).radix
+        best_radix(
+            args.n,
+            args.block,
+            args.ports,
+            model.as_ref(),
+            all_radices(args.n),
+        )
+        .radix
     });
     let algo = IndexAlgorithm::BruckRadix(radix);
-    let cfg = ClusterConfig::new(args.n).with_ports(args.ports).with_cost(Arc::clone(&model));
+    let cfg = ClusterConfig::new(args.n)
+        .with_ports(args.ports)
+        .with_cost(Arc::clone(&model));
     let (n, block) = (args.n, args.block);
     let out = run_cluster(args, &cfg, move |ep| {
         let input = verify::index_input(ep.rank(), n, block);
@@ -110,10 +117,17 @@ fn cmd_index(args: &Args) -> Result<(), String> {
     })?;
     let c = out.metrics.global_complexity().ok_or("misaligned rounds")?;
     let lb = index_bounds(args.n, args.ports, args.block);
-    println!("index: n={n} b={block} k={} radix={radix} ({})", args.ports, args.transport);
+    println!(
+        "index: n={n} b={block} k={} radix={radix} ({})",
+        args.ports, args.transport
+    );
     println!("  complexity : {c}");
     println!("  bounds     : C1 ≥ {}, C2 ≥ {}", lb.c1, lb.c2);
-    println!("  predicted  : {:.3} ms ({})", model.estimate(c) * 1e3, model.name());
+    println!(
+        "  predicted  : {:.3} ms ({})",
+        model.estimate(c) * 1e3,
+        model.name()
+    );
     println!("  virtual    : {:.3} ms", out.virtual_makespan() * 1e3);
     println!("  verified   : all ranks hold the transposed blocks ✓");
     Ok(())
@@ -122,7 +136,9 @@ fn cmd_index(args: &Args) -> Result<(), String> {
 fn cmd_concat(args: &Args) -> Result<(), String> {
     let model = model_from(&args.model)?;
     let algo = ConcatAlgorithm::Bruck(Preference::Rounds);
-    let cfg = ClusterConfig::new(args.n).with_ports(args.ports).with_cost(Arc::clone(&model));
+    let cfg = ClusterConfig::new(args.n)
+        .with_ports(args.ports)
+        .with_cost(Arc::clone(&model));
     let (n, block) = (args.n, args.block);
     let out = run_cluster(args, &cfg, move |ep| {
         let input = verify::concat_input(ep.rank(), block);
@@ -134,10 +150,17 @@ fn cmd_concat(args: &Args) -> Result<(), String> {
     })?;
     let c = out.metrics.global_complexity().ok_or("misaligned rounds")?;
     let lb = concat_bounds(args.n, args.ports, args.block);
-    println!("concat: n={n} b={block} k={} ({})", args.ports, args.transport);
+    println!(
+        "concat: n={n} b={block} k={} ({})",
+        args.ports, args.transport
+    );
     println!("  complexity : {c}");
     println!("  bounds     : C1 ≥ {}, C2 ≥ {}", lb.c1, lb.c2);
-    println!("  predicted  : {:.3} ms ({})", model.estimate(c) * 1e3, model.name());
+    println!(
+        "  predicted  : {:.3} ms ({})",
+        model.estimate(c) * 1e3,
+        model.name()
+    );
     println!("  virtual    : {:.3} ms", out.virtual_makespan() * 1e3);
     println!("  verified   : all ranks hold the concatenation ✓");
     Ok(())
@@ -145,14 +168,15 @@ fn cmd_concat(args: &Args) -> Result<(), String> {
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
     let schedule = match args.op.as_str() {
-        "index" => IndexAlgorithm::BruckRadix(args.radix.unwrap_or(2))
-            .plan(args.n, args.block, args.ports),
-        "concat" => {
-            ConcatAlgorithm::Bruck(Preference::Rounds).plan(args.n, args.block, args.ports)
+        "index" => {
+            IndexAlgorithm::BruckRadix(args.radix.unwrap_or(2)).plan(args.n, args.block, args.ports)
         }
+        "concat" => ConcatAlgorithm::Bruck(Preference::Rounds).plan(args.n, args.block, args.ports),
         other => return Err(format!("unknown --op {other} (index|concat)")),
     };
-    schedule.validate().map_err(|e| format!("invalid schedule: {e}"))?;
+    schedule
+        .validate()
+        .map_err(|e| format!("invalid schedule: {e}"))?;
     println!("{}", summarize(&schedule));
     print!("{}", render_rounds(&schedule));
     if args.n <= 32 {
@@ -169,7 +193,9 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let path = args.load.as_ref().ok_or("analyze needs --load <path>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let schedule = from_tsv(&text)?;
-    schedule.validate().map_err(|e| format!("invalid schedule: {e}"))?;
+    schedule
+        .validate()
+        .map_err(|e| format!("invalid schedule: {e}"))?;
     let model = model_from(&args.model)?;
     let stats = ScheduleStats::of(&schedule);
     println!("{}", summarize(&schedule));
@@ -186,15 +212,36 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let model = model_from(&args.model)?;
     println!(
         "radix table for n={} b={} k={} under the {} model:",
-        args.n, args.block, args.ports, model.name()
+        args.n,
+        args.block,
+        args.ports,
+        model.name()
     );
-    println!("{:>6} {:>8} {:>12} {:>12}", "radix", "C1", "C2", "pred (ms)");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "radix", "C1", "C2", "pred (ms)"
+    );
     for r in all_radices(args.n) {
         let c = index_complexity_kport(args.n, r, args.block, args.ports);
-        println!("{r:>6} {:>8} {:>12} {:>12.4}", c.c1, c.c2, model.estimate(c) * 1e3);
+        println!(
+            "{r:>6} {:>8} {:>12} {:>12.4}",
+            c.c1,
+            c.c2,
+            model.estimate(c) * 1e3
+        );
     }
-    let choice = best_radix(args.n, args.block, args.ports, model.as_ref(), all_radices(args.n));
-    println!("→ best radix: {} ({:.4} ms)", choice.radix, choice.predicted_time * 1e3);
+    let choice = best_radix(
+        args.n,
+        args.block,
+        args.ports,
+        model.as_ref(),
+        all_radices(args.n),
+    );
+    println!(
+        "→ best radix: {} ({:.4} ms)",
+        choice.radix,
+        choice.predicted_time * 1e3
+    );
     Ok(())
 }
 

@@ -79,7 +79,9 @@ fn fig5() {
         prev = Some((block, m2.virtual_time, mn.virtual_time));
     }
     if let Some((lo, hi)) = crossover {
-        println!("# break-even between r=2 and r={N}: between {lo} and {hi} bytes (paper: ~100–200 B)");
+        println!(
+            "# break-even between r=2 and r={N}: between {lo} and {hi} bytes (paper: ~100–200 B)"
+        );
     } else {
         println!("# no break-even found in sweep — unexpected");
     }
@@ -139,9 +141,7 @@ fn table1() {
 fn bounds() {
     println!("\n=== Lower bounds (Props 2.1–2.4) vs algorithms ===");
     let mut sink = TsvSink::new("bounds");
-    sink.row(&[
-        "op", "n", "k", "b", "algo", "C1", "C1_lb", "C2", "C2_lb",
-    ]);
+    sink.row(&["op", "n", "k", "b", "algo", "C1", "C1_lb", "C2", "C2_lb"]);
     for &(n, k) in &[(16usize, 1usize), (64, 1), (60, 2), (64, 3), (100, 4)] {
         let b = 64usize;
         let ilb = index_bounds(n, k, b);
@@ -202,9 +202,9 @@ fn concat_compare() {
         let mb = measure_concat(ConcatAlgorithm::Bruck(Preference::Rounds), n, b, 1, sp1());
         let mg = measure_concat(ConcatAlgorithm::GatherBroadcast, n, b, 1, sp1());
         let mr = measure_concat(ConcatAlgorithm::Ring, n, b, 1, sp1());
-        let md: Option<Measurement> = n.is_power_of_two().then(|| {
-            measure_concat(ConcatAlgorithm::RecursiveDoubling, n, b, 1, sp1())
-        });
+        let md: Option<Measurement> = n
+            .is_power_of_two()
+            .then(|| measure_concat(ConcatAlgorithm::RecursiveDoubling, n, b, 1, sp1()));
         sink.row(&[
             &n.to_string(),
             &ms(mb.virtual_time),
@@ -262,7 +262,12 @@ fn ablation() {
             Arc::clone(&with_copy),
         );
         let pct = (copy.virtual_time / base.virtual_time - 1.0) * 100.0;
-        sink.row(&[&r.to_string(), &ms(base.virtual_time), &ms(copy.virtual_time), &format!("{pct:.1}")]);
+        sink.row(&[
+            &r.to_string(),
+            &ms(base.virtual_time),
+            &ms(copy.virtual_time),
+            &format!("{pct:.1}"),
+        ]);
     }
     println!("# direct exchange (no pack/unpack, only the payload handoff):");
     let base = measure_index(IndexAlgorithm::Direct, N, block, 1, sp1());
@@ -364,7 +369,15 @@ fn mixed() {
     println!("\n=== Mixed-radix tuning (extension beyond the paper) ===");
     let model = Sp1Model::calibrated();
     let mut sink = TsvSink::new("mixed");
-    sink.row(&["n", "bytes", "best_uniform", "uniform_ms", "best_vector", "vector_ms", "win_pct"]);
+    sink.row(&[
+        "n",
+        "bytes",
+        "best_uniform",
+        "uniform_ms",
+        "best_vector",
+        "vector_ms",
+        "win_pct",
+    ]);
     for &n in &[33usize, 34, 36, 48, 64] {
         for &b in &[4usize, 16, 64] {
             let uniform = best_radix(n, b, 1, &model, all_radices(n));
@@ -398,7 +411,13 @@ fn hierarchy() {
     let node_size = 8;
     let model: Arc<dyn CostModel> = Arc::new(HierarchicalModel::smp_cluster(node_size));
     let mut sink = TsvSink::new("hierarchy");
-    sink.row(&["bytes", "flat_r2_ms", "flat_r8_ms", "flat_r64_ms", "two_level_ms"]);
+    sink.row(&[
+        "bytes",
+        "flat_r2_ms",
+        "flat_r8_ms",
+        "flat_r64_ms",
+        "two_level_ms",
+    ]);
     for &block in &[16usize, 256, 4096] {
         let measure_flat = |r: usize| {
             let cfg = ClusterConfig::new(n).with_cost(Arc::clone(&model));
@@ -412,8 +431,7 @@ fn hierarchy() {
         let cfg = ClusterConfig::new(n).with_cost(Arc::clone(&model));
         let two_level = Cluster::run(&cfg, |ep| {
             let input = verify::index_input(ep.rank(), n, block);
-            let result =
-                hierarchical::run(ep, &input, block, node_size, node_size, node_size)?;
+            let result = hierarchical::run(ep, &input, block, node_size, node_size, node_size)?;
             assert_eq!(result, verify::index_expected(ep.rank(), n, block));
             Ok(())
         })
@@ -477,8 +495,11 @@ fn models() {
     let linear = LinearModel::sp1();
     let postal = PostalModel::new(LinearModel::sp1(), 4.0);
     let logp = LogPModel::new(10e-6, 14e-6, 14e-6, 0.12e-6);
-    let models: [(&str, &dyn CostModel); 3] =
-        [("linear", &linear), ("postal λ=4", &postal), ("logp", &logp)];
+    let models: [(&str, &dyn CostModel); 3] = [
+        ("linear", &linear),
+        ("postal λ=4", &postal),
+        ("logp", &logp),
+    ];
     let mut sink = TsvSink::new("models");
     sink.row(&["bytes", "linear_r", "postal_r", "logp_r"]);
     for &b in &[4usize, 32, 256, 2048, 16384] {

@@ -44,10 +44,14 @@ pub fn measure_index(
     ports: usize,
     model: Arc<dyn CostModel>,
 ) -> Measurement {
-    let cfg = ClusterConfig::new(n).with_ports(ports).with_cost(Arc::clone(&model));
+    let cfg = ClusterConfig::new(n)
+        .with_ports(ports)
+        .with_cost(Arc::clone(&model));
     let out = Cluster::run(&cfg, |ep| {
         let input = verify::index_input(ep.rank(), n, block);
-        algo.run(ep, &input, block)
+        let mut result = vec![0u8; n * block];
+        algo.run_into(ep, &input, block, &mut result)?;
+        Ok(result)
     })
     .unwrap_or_else(|e| panic!("{} failed on n={n} b={block} k={ports}: {e}", algo.name()));
     for (rank, result) in out.results.iter().enumerate() {
@@ -83,10 +87,14 @@ pub fn measure_concat(
     ports: usize,
     model: Arc<dyn CostModel>,
 ) -> Measurement {
-    let cfg = ClusterConfig::new(n).with_ports(ports).with_cost(Arc::clone(&model));
+    let cfg = ClusterConfig::new(n)
+        .with_ports(ports)
+        .with_cost(Arc::clone(&model));
     let out = Cluster::run(&cfg, |ep| {
         let input = verify::concat_input(ep.rank(), block);
-        algo.run(ep, &input)
+        let mut result = vec![0u8; n * block];
+        algo.run_into(ep, &input, &mut result)?;
+        Ok(result)
     })
     .unwrap_or_else(|e| panic!("{} failed on n={n} b={block} k={ports}: {e}", algo.name()));
     let expected = verify::concat_expected(n, block);
@@ -103,6 +111,32 @@ pub fn measure_concat(
         virtual_time: out.virtual_makespan(),
         predicted_time: ScheduleStats::of(&plan).predicted_time(model.as_ref()),
     }
+}
+
+/// Pre-run lint gate for the benchmark targets.
+///
+/// When `BRUCK_PRERUN_CHECK` is set, runs `ci/check.sh` (rustfmt +
+/// clippy, offline-friendly) from the workspace root and refuses to
+/// benchmark a tree that fails it. Unset, this is a no-op so plain
+/// `cargo bench` never recompiles the workspace twice.
+///
+/// # Panics
+///
+/// Panics if the check script cannot be spawned or reports failure.
+pub fn prerun_check() {
+    if std::env::var_os("BRUCK_PRERUN_CHECK").is_none() {
+        return;
+    }
+    let script = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/check.sh");
+    eprintln!("[prerun] running {script}");
+    let status = std::process::Command::new("sh")
+        .arg(script)
+        .status()
+        .expect("failed to spawn ci/check.sh");
+    assert!(
+        status.success(),
+        "ci/check.sh failed — fix lints before benchmarking"
+    );
 }
 
 /// Format seconds as milliseconds with fixed precision (figures use ms).
@@ -123,8 +157,13 @@ impl TsvSink {
     #[must_use]
     pub fn new(name: &str) -> Self {
         let dir = std::path::Path::new("results");
-        let path = std::fs::create_dir_all(dir).ok().map(|()| dir.join(format!("{name}.tsv")));
-        Self { path, rows: Vec::new() }
+        let path = std::fs::create_dir_all(dir)
+            .ok()
+            .map(|()| dir.join(format!("{name}.tsv")));
+        Self {
+            path,
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (tab-separated fields).

@@ -4,8 +4,12 @@
 //! §3.5 SP-1 cost model and reports `(C1, C2)`, predicted time, and the
 //! virtual-time measurement — the machinery behind the `figures` binary
 //! that regenerates every figure and table of the paper's evaluation.
+//! The [`microbench`] module is the self-contained wall-clock harness
+//! the `benches/` targets run on (the workspace builds offline, so no
+//! external Criterion).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod microbench;

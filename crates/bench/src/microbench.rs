@@ -1,0 +1,258 @@
+//! A minimal, self-contained micro-benchmark harness with a
+//! Criterion-shaped API.
+//!
+//! The workspace builds fully offline, so the benches under `benches/`
+//! link against this module instead of the external `criterion` crate.
+//! The surface mirrors the subset the benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `measurement_time`,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, and the
+//! [`crate::criterion_group!`]/[`crate::criterion_main!`] macros — so a
+//! bench file ports by swapping one import line.
+//!
+//! Each benchmark times whole invocations of the routine: one warmup
+//! call, then up to `sample_size` samples bounded by `measurement_time`,
+//! reporting min/median/mean wall-clock per call.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to each bench group function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Sample>,
+}
+
+#[derive(Debug)]
+struct Sample {
+    id: String,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    samples: usize,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Print the accumulated one-line-per-benchmark summary table.
+    pub fn final_summary(&self) {
+        println!(
+            "\n{:<48} {:>12} {:>12} {:>12} {:>8}",
+            "benchmark", "min", "median", "mean", "n"
+        );
+        for s in &self.results {
+            println!(
+                "{:<48} {:>12} {:>12} {:>12} {:>8}",
+                s.id,
+                fmt_duration(s.min),
+                fmt_duration(s.median),
+                fmt_duration(s.mean),
+                s.samples
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named benchmark group with shared sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Cap the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a routine identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.record(&id, bencher.samples);
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.record(&id, bencher.samples);
+    }
+
+    /// Finish the group (summary printing happens at `final_summary`).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, id: &BenchmarkId, mut samples: Vec<Duration>) {
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let full = format!("{}/{}", self.name, id.0);
+        println!(
+            "{full}: min {} median {} mean {} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+        self.criterion.results.push(Sample {
+            id: full,
+            min,
+            median,
+            mean,
+            samples: samples.len(),
+        });
+    }
+}
+
+/// Times calls of a routine; handed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time whole invocations of `routine` (one untimed warmup first).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark identifier, optionally `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Group bench functions under one name (Criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::microbench::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Entry point running each group then printing the summary table.
+///
+/// Runs the repo's `ci/check.sh` lint gate first when the
+/// `BRUCK_PRERUN_CHECK` environment variable is set.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::harness::prerun_check();
+            let mut c = $crate::microbench::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_collects_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).measurement_time(Duration::from_millis(50));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &x| {
+                b.iter(|| x * 2);
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|s| s.samples >= 1 && s.samples <= 4));
+        assert_eq!(c.results[0].id, "g/noop");
+        assert_eq!(c.results[1].id, "g/param/4");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 7).0, "a/7");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -18,7 +18,21 @@ use crate::concat::ConcatAlgorithm;
 use crate::index::IndexAlgorithm;
 
 /// Tuning knobs for the high-level operations.
+///
+/// Construct via [`Tuning::default`] or, to override fields, the builder:
+///
+/// ```
+/// use bruck_collectives::api::Tuning;
+///
+/// let tuning = Tuning::builder().radix(4).build();
+/// assert_eq!(tuning.radix, Some(4));
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: new knobs may be added without a
+/// breaking release, so downstream crates must go through the builder
+/// (or `Default`) rather than a struct literal.
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct Tuning {
     /// Cost model used to select the index radix.
     pub model: Arc<dyn CostModel>,
@@ -26,6 +40,51 @@ pub struct Tuning {
     pub radix: Option<usize>,
     /// Preference inside the concatenation exception range.
     pub concat_preference: Preference,
+}
+
+/// Incremental constructor for [`Tuning`], starting from the defaults.
+///
+/// Obtained from [`Tuning::builder`]; finish with
+/// [`build`](TuningBuilder::build).
+#[derive(Clone, Debug)]
+pub struct TuningBuilder {
+    inner: Tuning,
+}
+
+impl TuningBuilder {
+    /// Set the cost model used to select the index radix.
+    #[must_use]
+    pub fn model(mut self, model: Arc<dyn CostModel>) -> Self {
+        self.inner.model = model;
+        self
+    }
+
+    /// Force a specific radix instead of auto-tuning.
+    #[must_use]
+    pub fn radix(mut self, radix: usize) -> Self {
+        self.inner.radix = Some(radix);
+        self
+    }
+
+    /// Return to auto-tuned radix selection (the default).
+    #[must_use]
+    pub fn auto_radix(mut self) -> Self {
+        self.inner.radix = None;
+        self
+    }
+
+    /// Set the preference inside the concatenation exception range.
+    #[must_use]
+    pub fn concat_preference(mut self, pref: Preference) -> Self {
+        self.inner.concat_preference = pref;
+        self
+    }
+
+    /// Finish, yielding the configured [`Tuning`].
+    #[must_use]
+    pub fn build(self) -> Tuning {
+        self.inner
+    }
 }
 
 impl Default for Tuning {
@@ -50,14 +109,26 @@ impl core::fmt::Debug for Tuning {
 }
 
 impl Tuning {
+    /// Start building a `Tuning` from the default configuration.
+    #[must_use]
+    pub fn builder() -> TuningBuilder {
+        TuningBuilder {
+            inner: Self::default(),
+        }
+    }
+
     /// The radix [`alltoall`] will use for `n` ranks, `b`-byte blocks, and
     /// `k` ports under this tuning.
     #[must_use]
     pub fn chosen_radix(&self, n: usize, block: usize, ports: usize) -> RadixChoice {
         match self.radix {
             Some(r) => {
-                let complexity =
-                    bruck_model::tuning::index_complexity_kport(n.max(2), r.clamp(2, n.max(2)), block, ports);
+                let complexity = bruck_model::tuning::index_complexity_kport(
+                    n.max(2),
+                    r.clamp(2, n.max(2)),
+                    block,
+                    ports,
+                );
                 RadixChoice {
                     radix: r.clamp(2, n.max(2)),
                     complexity,
@@ -104,8 +175,48 @@ pub fn alltoall<C: Comm + ?Sized>(
     block: usize,
     tuning: &Tuning,
 ) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    alltoall_into(ep, sendbuf, block, tuning, &mut out)?;
+    Ok(out)
+}
+
+/// [`alltoall`] into a caller-provided `n·b`-byte output buffer.
+///
+/// The zero-copy entry point: all scratch comes from the cluster's
+/// buffer pool, so steady-state calls perform no heap allocations.
+///
+/// # Example
+///
+/// ```
+/// use bruck_collectives::api::{alltoall_into, Tuning};
+/// use bruck_net::{Cluster, ClusterConfig};
+///
+/// let n = 4;
+/// let out = Cluster::run(&ClusterConfig::new(n), |ep| {
+///     let sendbuf: Vec<u8> = (0..n).map(|j| (ep.rank() * 16 + j) as u8).collect();
+///     let mut recvbuf = vec![0u8; n];
+///     alltoall_into(ep, &sendbuf, 1, &Tuning::default(), &mut recvbuf)?;
+///     for (j, &byte) in recvbuf.iter().enumerate() {
+///         assert_eq!(byte as usize, j * 16 + ep.rank());
+///     }
+///     Ok(())
+/// })
+/// .unwrap();
+/// assert_eq!(out.results.len(), n);
+/// ```
+///
+/// # Errors
+///
+/// See [`IndexAlgorithm::run_into`].
+pub fn alltoall_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    tuning: &Tuning,
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let choice = tuning.chosen_radix(ep.size(), block, ep.ports());
-    IndexAlgorithm::BruckRadix(choice.radix).run(ep, sendbuf, block)
+    IndexAlgorithm::BruckRadix(choice.radix).run_into(ep, sendbuf, block, out)
 }
 
 /// All-to-all broadcast via the circulant algorithm.
@@ -133,8 +244,31 @@ pub fn alltoall<C: Comm + ?Sized>(
 /// # Errors
 ///
 /// See [`ConcatAlgorithm::run`].
-pub fn allgather<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8], tuning: &Tuning) -> Result<Vec<u8>, NetError> {
-    ConcatAlgorithm::Bruck(tuning.concat_preference).run(ep, myblock)
+pub fn allgather<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    tuning: &Tuning,
+) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; ep.size() * myblock.len()];
+    allgather_into(ep, myblock, tuning, &mut out)?;
+    Ok(out)
+}
+
+/// [`allgather`] into a caller-provided `n·b`-byte output buffer.
+///
+/// The zero-copy entry point: all scratch comes from the cluster's
+/// buffer pool, so steady-state calls perform no heap allocations.
+///
+/// # Errors
+///
+/// See [`ConcatAlgorithm::run_into`].
+pub fn allgather_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    tuning: &Tuning,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    ConcatAlgorithm::Bruck(tuning.concat_preference).run_into(ep, myblock, out)
 }
 
 #[cfg(test)]
@@ -161,11 +295,50 @@ mod tests {
 
     #[test]
     fn radix_override_is_respected() {
-        let tuning = Tuning { radix: Some(4), ..Tuning::default() };
+        let tuning = Tuning::builder().radix(4).build();
         assert_eq!(tuning.chosen_radix(16, 100, 1).radix, 4);
         // Clamped into [2, n].
-        let tuning = Tuning { radix: Some(100), ..Tuning::default() };
+        let tuning = Tuning::builder().radix(100).build();
         assert_eq!(tuning.chosen_radix(16, 100, 1).radix, 16);
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let tuning = Tuning::builder()
+            .model(Arc::new(LinearModel::new(1e-3, 1e-8)))
+            .radix(3)
+            .concat_preference(Preference::Bytes)
+            .build();
+        assert_eq!(tuning.radix, Some(3));
+        assert_eq!(tuning.concat_preference, Preference::Bytes);
+        let auto = Tuning::builder().radix(7).auto_radix().build();
+        assert_eq!(auto.radix, None);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let n = 6;
+        let block = 4;
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let tuning = Tuning::builder().radix(3).build();
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), n, block);
+            let a = alltoall(ep, &input, block, &tuning)?;
+            let mut b = vec![0u8; n * block];
+            alltoall_into(ep, &input, block, &tuning, &mut b)?;
+            let mine = crate::verify::concat_input(ep.rank(), block);
+            let c = allgather(ep, &mine, &tuning)?;
+            let mut d = vec![0u8; n * block];
+            allgather_into(ep, &mine, &tuning, &mut d)?;
+            Ok((a, b, c, d))
+        })
+        .unwrap();
+        for (rank, (a, b, c, d)) in out.results.iter().enumerate() {
+            assert_eq!(a, b, "alltoall variants disagree at rank {rank}");
+            assert_eq!(c, d, "allgather variants disagree at rank {rank}");
+            assert_eq!(a, &crate::verify::index_expected(rank, n, block));
+            assert_eq!(c, &crate::verify::concat_expected(n, block));
+        }
     }
 
     #[test]
@@ -173,7 +346,10 @@ mod tests {
         let tuning = Tuning::default();
         let small = tuning.chosen_radix(64, 1, 1).radix;
         let large = tuning.chosen_radix(64, 16384, 1).radix;
-        assert!(small < large, "small-block radix {small} should be below large-block {large}");
+        assert!(
+            small < large,
+            "small-block radix {small} should be below large-block {large}"
+        );
     }
 
     #[test]

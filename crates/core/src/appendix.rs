@@ -19,22 +19,15 @@ fn pmod(x: i64, y: i64) -> usize {
 
 /// The paper's `getrank(id, n, A)`: the index `i` with `A[i] == id`.
 fn getrank(id: usize, a: &[usize]) -> Result<usize, NetError> {
-    a.iter().position(|&p| p == id).ok_or_else(|| {
-        NetError::App(format!("processor {id} is not in the process array"))
-    })
+    a.iter()
+        .position(|&p| p == id)
+        .ok_or_else(|| NetError::App(format!("processor {id} is not in the process array")))
 }
 
 /// The paper's `copy(A, B, len)` is `B[..len].copy_from_slice(&A[..len])`
 /// at call sites; `pack` selects the blocks whose `i`-th radix-`r` digit
 /// equals `j` (Appendix A's description).
-fn pack(
-    tmp: &[u8],
-    blklen: usize,
-    n: usize,
-    r: usize,
-    i: u32,
-    j: usize,
-) -> (Vec<u8>, usize) {
+fn pack(tmp: &[u8], blklen: usize, n: usize, r: usize, i: u32, j: usize) -> (Vec<u8>, usize) {
     let mut packed = Vec::new();
     let mut nblocks = 0;
     let weight = r.pow(i);
@@ -48,15 +41,7 @@ fn pack(
 }
 
 /// Inverse of [`pack`].
-fn unpack(
-    msg: &[u8],
-    tmp: &mut [u8],
-    blklen: usize,
-    n: usize,
-    r: usize,
-    i: u32,
-    j: usize,
-) {
+fn unpack(msg: &[u8], tmp: &mut [u8], blklen: usize, n: usize, r: usize, i: u32, j: usize) {
     let weight = r.pow(i);
     let mut slot = 0usize;
     for blk in 0..n {
@@ -144,8 +129,7 @@ pub fn index_appendix_a<C: Comm + ?Sized>(
     let mut inmsg = vec![0u8; n * blklen];
     for i in 0..n {
         let src = pmod(my_rank as i64 - i as i64, n as i64);
-        inmsg[i * blklen..(i + 1) * blklen]
-            .copy_from_slice(&tmp[src * blklen..(src + 1) * blklen]);
+        inmsg[i * blklen..(i + 1) * blklen].copy_from_slice(&tmp[src * blklen..(src + 1) * blklen]);
     }
     Ok(inmsg)
 }
@@ -187,8 +171,7 @@ pub fn concat_appendix_b<C: Comm + ?Sized>(
         let src_rank = pmod(my_rank as i64 + nblk as i64, n as i64);
         // (9) send_and_recv of the current prefix.
         let payload = temp[..current_len].to_vec();
-        let received =
-            ep.send_and_recv(a[dest_rank], &payload, a[src_rank], u64::from(i))?;
+        let received = ep.send_and_recv(a[dest_rank], &payload, a[src_rank], u64::from(i))?;
         if received.len() != current_len {
             return Err(NetError::App("appendix-B phase-1 size mismatch".into()));
         }
@@ -204,8 +187,7 @@ pub fn concat_appendix_b<C: Comm + ?Sized>(
         let dest_rank = pmod(my_rank as i64 - nblk as i64, n as i64);
         let src_rank = pmod(my_rank as i64 + nblk as i64, n as i64);
         let payload = temp[..last_len].to_vec();
-        let received =
-            ep.send_and_recv(a[dest_rank], &payload, a[src_rank], u64::from(d))?;
+        let received = ep.send_and_recv(a[dest_rank], &payload, a[src_rank], u64::from(d))?;
         if received.len() != last_len {
             return Err(NetError::App("appendix-B last-round size mismatch".into()));
         }

@@ -12,15 +12,25 @@
 /// Panics if `buf.len() != n * b`.
 #[must_use]
 pub fn rotate_up(buf: &[u8], n: usize, b: usize, steps: usize) -> Vec<u8> {
+    let mut out = vec![0u8; buf.len()];
+    rotate_up_into(buf, n, b, steps, &mut out);
+    out
+}
+
+/// [`rotate_up`] into a caller-provided buffer (no allocation).
+///
+/// # Panics
+///
+/// Panics if `buf.len() != n * b` or `out.len() != n * b`.
+pub fn rotate_up_into(buf: &[u8], n: usize, b: usize, steps: usize, out: &mut [u8]) {
     assert_eq!(buf.len(), n * b, "buffer must hold n·b bytes");
+    assert_eq!(out.len(), n * b, "output must hold n·b bytes");
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let s = steps % n;
-    let mut out = Vec::with_capacity(n * b);
-    out.extend_from_slice(&buf[s * b..]);
-    out.extend_from_slice(&buf[..s * b]);
-    out
+    out[..(n - s) * b].copy_from_slice(&buf[s * b..]);
+    out[(n - s) * b..].copy_from_slice(&buf[..s * b]);
 }
 
 /// The inverse-with-reversal placement of phase 3 (Appendix A lines
@@ -31,24 +41,48 @@ pub fn rotate_up(buf: &[u8], n: usize, b: usize, steps: usize) -> Vec<u8> {
 /// block `B[i, rank]` at offset `i`.
 #[must_use]
 pub fn phase3_place(buf: &[u8], n: usize, b: usize, rank: usize) -> Vec<u8> {
-    assert_eq!(buf.len(), n * b);
     let mut out = vec![0u8; n * b];
+    phase3_place_into(buf, n, b, rank, &mut out);
+    out
+}
+
+/// [`phase3_place`] into a caller-provided buffer (no allocation).
+///
+/// # Panics
+///
+/// Panics if `buf.len() != n * b` or `out.len() != n * b`.
+pub fn phase3_place_into(buf: &[u8], n: usize, b: usize, rank: usize, out: &mut [u8]) {
+    assert_eq!(buf.len(), n * b);
+    assert_eq!(out.len(), n * b);
     for m in 0..n {
         let dst = (rank + n - m % n) % n;
         out[dst * b..(dst + 1) * b].copy_from_slice(&buf[m * b..(m + 1) * b]);
     }
-    out
 }
 
 /// Pack the blocks at the given indices into a contiguous message
 /// (Appendix A's `pack`).
 #[must_use]
 pub fn pack(buf: &[u8], b: usize, indices: &[usize]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(indices.len() * b);
-    for &j in indices {
-        out.extend_from_slice(&buf[j * b..(j + 1) * b]);
-    }
+    let mut out = vec![0u8; indices.len() * b];
+    pack_into(buf, b, indices, &mut out);
     out
+}
+
+/// [`pack`] into a caller-provided buffer (no allocation).
+///
+/// # Panics
+///
+/// Panics if `out.len() != indices.len() * b`.
+pub fn pack_into(buf: &[u8], b: usize, indices: &[usize], out: &mut [u8]) {
+    assert_eq!(
+        out.len(),
+        indices.len() * b,
+        "output/index-set size mismatch"
+    );
+    for (slot, &j) in indices.iter().enumerate() {
+        out[slot * b..(slot + 1) * b].copy_from_slice(&buf[j * b..(j + 1) * b]);
+    }
 }
 
 /// Unpack a contiguous message back into the blocks at the given indices
@@ -58,7 +92,11 @@ pub fn pack(buf: &[u8], b: usize, indices: &[usize]) -> Vec<u8> {
 ///
 /// Panics if the message length does not match `indices.len() * b`.
 pub fn unpack(buf: &mut [u8], b: usize, indices: &[usize], msg: &[u8]) {
-    assert_eq!(msg.len(), indices.len() * b, "message/index-set size mismatch");
+    assert_eq!(
+        msg.len(),
+        indices.len() * b,
+        "message/index-set size mismatch"
+    );
     for (slot, &j) in indices.iter().enumerate() {
         buf[j * b..(j + 1) * b].copy_from_slice(&msg[slot * b..(slot + 1) * b]);
     }
@@ -69,7 +107,9 @@ mod tests {
     use super::*;
 
     fn blocks(ids: &[u8], b: usize) -> Vec<u8> {
-        ids.iter().flat_map(|&id| std::iter::repeat_n(id, b)).collect()
+        ids.iter()
+            .flat_map(|&id| std::iter::repeat_n(id, b))
+            .collect()
     }
 
     #[test]

@@ -27,17 +27,30 @@ struct Geometry {
 fn geometry(n: usize, k: usize) -> Geometry {
     let d = ceil_log(k + 1, n);
     let n1 = if d == 0 { 1 } else { pow(k + 1, d - 1) };
-    Geometry { d, n1, n2: n - n1.min(n) }
+    Geometry {
+        d,
+        n1,
+        n2: n - n1.min(n),
+    }
 }
 
-/// Pack one area's bytes out of the distance-ordered buffer.
-fn pack_area(have: &[u8], b: usize, n1: usize, area: &bruck_model::partition::Area) -> Vec<u8> {
-    let mut out = Vec::with_capacity(area.bytes());
+/// Pack one area's bytes out of the distance-ordered buffer into a
+/// caller-provided buffer of `area.bytes()` bytes.
+fn pack_area_into(
+    have: &[u8],
+    b: usize,
+    n1: usize,
+    area: &bruck_model::partition::Area,
+    out: &mut [u8],
+) {
+    debug_assert_eq!(out.len(), area.bytes());
+    let mut at = 0usize;
     for s in &area.slices {
         let slot = n1 + s.col - area.offset;
-        out.extend_from_slice(&have[slot * b + s.row_start..slot * b + s.row_end]);
+        let len = s.len();
+        out[at..at + len].copy_from_slice(&have[slot * b + s.row_start..slot * b + s.row_end]);
+        at += len;
     }
-    out
 }
 
 /// Unpack one received area into the distance-ordered buffer.
@@ -59,8 +72,7 @@ fn unpack_area(
     for s in &area.slices {
         let slot = n1 + s.col;
         let len = s.len();
-        have[slot * b + s.row_start..slot * b + s.row_end]
-            .copy_from_slice(&msg[at..at + len]);
+        have[slot * b + s.row_start..slot * b + s.row_end].copy_from_slice(&msg[at..at + len]);
         at += len;
     }
     Ok(())
@@ -68,43 +80,88 @@ fn unpack_area(
 
 /// Execute the circulant concatenation.
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// Network failures propagate; parameter problems surface as
 /// [`NetError::App`].
 pub fn run<C: Comm + ?Sized>(
-    ep: &mut C, myblock: &[u8], pref: Preference) -> Result<Vec<u8>, NetError> {
+    ep: &mut C,
+    myblock: &[u8],
+    pref: Preference,
+) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; ep.size() * myblock.len()];
+    run_into(ep, myblock, pref, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the circulant concatenation into a caller-provided output
+/// buffer of `n·b` bytes. The distance-ordered working buffer and every
+/// per-round payload come from the cluster's buffer pool and are
+/// recycled, so steady-state rounds are allocation-free.
+///
+/// # Errors
+///
+/// Network failures propagate; parameter problems surface as
+/// [`NetError::App`].
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    pref: Preference,
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     let b = myblock.len();
     let rank = ep.rank();
     let k = ep.ports();
+    if out.len() != n * b {
+        return Err(NetError::App(format!(
+            "output buffer is {} bytes, expected n·b = {}",
+            out.len(),
+            n * b
+        )));
+    }
     if n == 1 {
-        return Ok(myblock.to_vec());
+        out.copy_from_slice(myblock);
+        return Ok(());
     }
     if b == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
 
     let geo = geometry(n, k);
-    let mut have = vec![0u8; n * b];
+    let mut have = ep.acquire(n * b);
     have[..b].copy_from_slice(myblock);
 
     if geo.d <= 1 {
         // Trivial single round: n ≤ k+1, everyone talks to everyone.
         let sends: Vec<SendSpec<'_>> = (1..n)
-            .map(|d| SendSpec { to: (rank + d) % n, tag: 0, payload: myblock })
+            .map(|d| SendSpec {
+                to: (rank + d) % n,
+                tag: 0,
+                payload: myblock,
+            })
             .collect();
-        let recvs: Vec<RecvSpec> =
-            (1..n).map(|d| RecvSpec { from: (rank + n - d) % n, tag: 0 }).collect();
+        let recvs: Vec<RecvSpec> = (1..n)
+            .map(|d| RecvSpec {
+                from: (rank + n - d) % n,
+                tag: 0,
+            })
+            .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for (d, msg) in (1..n).zip(&msgs) {
             have[d * b..(d + 1) * b].copy_from_slice(&msg.payload);
+        }
+        for msg in msgs {
+            ep.recycle(msg.payload);
         }
     } else {
         // Phase 1: d-1 doubling-by-(k+1) rounds.
         for i in 0..geo.d - 1 {
             let cur = pow(k + 1, i);
-            let payload = have[..cur * b].to_vec();
+            let mut payload = ep.acquire(cur * b);
+            payload.copy_from_slice(&have[..cur * b]);
             ep.charge_copy((cur * b) as u64);
             let sends: Vec<SendSpec<'_>> = (1..=k)
                 .map(|j| SendSpec {
@@ -114,7 +171,10 @@ pub fn run<C: Comm + ?Sized>(
                 })
                 .collect();
             let recvs: Vec<RecvSpec> = (1..=k)
-                .map(|j| RecvSpec { from: (rank + n - j * cur % n) % n, tag: u64::from(i) })
+                .map(|j| RecvSpec {
+                    from: (rank + n - j * cur % n) % n,
+                    tag: u64::from(i),
+                })
                 .collect();
             let msgs = ep.round(&sends, &recvs)?;
             let mut received = 0u64;
@@ -126,6 +186,10 @@ pub fn run<C: Comm + ?Sized>(
                 received += msg.payload.len() as u64;
             }
             ep.charge_copy(received);
+            ep.recycle(payload);
+            for msg in msgs {
+                ep.recycle(msg.payload);
+            }
         }
 
         // Last round(s): the table-partition plan.
@@ -136,7 +200,9 @@ pub fn run<C: Comm + ?Sized>(
                 .iter()
                 .enumerate()
                 .map(|(ai, area)| {
-                    (area.offset, tag_base | ai as u64, pack_area(&have, b, geo.n1, area))
+                    let mut payload = ep.acquire(area.bytes());
+                    pack_area_into(&have, b, geo.n1, area, &mut payload);
+                    (area.offset, tag_base | ai as u64, payload)
                 })
                 .collect();
             let sends: Vec<SendSpec<'_>> = staged
@@ -163,17 +229,23 @@ pub fn run<C: Comm + ?Sized>(
                 received += msg.payload.len() as u64;
             }
             ep.charge_copy(received);
+            for (_, _, payload) in staged {
+                ep.recycle(payload);
+            }
+            for msg in msgs {
+                ep.recycle(msg.payload);
+            }
         }
     }
 
     // Reorder: slot δ holds the block of rank (rank - δ) mod n.
-    let mut out = vec![0u8; n * b];
     for slot in 0..n {
         let owner = (rank + n - slot) % n;
         out[owner * b..(owner + 1) * b].copy_from_slice(&have[slot * b..(slot + 1) * b]);
     }
+    ep.recycle(have);
     ep.charge_copy((n * b) as u64);
-    Ok(out)
+    Ok(())
 }
 
 /// The static schedule of [`run`].
@@ -188,7 +260,11 @@ pub fn plan(n: usize, block: usize, ports: usize, pref: Preference) -> Schedule 
     if geo.d <= 1 {
         let transfers = (0..n)
             .flat_map(|src| {
-                (1..n).map(move |d| Transfer { src, dst: (src + d) % n, bytes: block as u64 })
+                (1..n).map(move |d| Transfer {
+                    src,
+                    dst: (src + d) % n,
+                    bytes: block as u64,
+                })
             })
             .collect();
         schedule.push_round(transfers);
@@ -199,7 +275,11 @@ pub fn plan(n: usize, block: usize, ports: usize, pref: Preference) -> Schedule 
         let bytes = (cur * block) as u64;
         let transfers = (0..n)
             .flat_map(|src| {
-                (1..=ports).map(move |j| Transfer { src, dst: (src + j * cur) % n, bytes })
+                (1..=ports).map(move |j| Transfer {
+                    src,
+                    dst: (src + j * cur) % n,
+                    bytes,
+                })
             })
             .collect();
         schedule.push_round(transfers);
@@ -223,7 +303,12 @@ pub fn plan(n: usize, block: usize, ports: usize, pref: Preference) -> Schedule 
 /// Expose the last-round plan used for `(n, k, b)` — the figure harness
 /// prints it as the paper's Table 1.
 #[must_use]
-pub fn last_round_plan(n: usize, block: usize, ports: usize, pref: Preference) -> Option<LastRoundPlan> {
+pub fn last_round_plan(
+    n: usize,
+    block: usize,
+    ports: usize,
+    pref: Preference,
+) -> Option<LastRoundPlan> {
     let geo = geometry(n, ports);
     (geo.d >= 2 && block > 0).then(|| plan_last_round(geo.n1, geo.n2, block, ports, pref))
 }

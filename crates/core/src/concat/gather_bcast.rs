@@ -25,7 +25,8 @@ struct Role {
 
 /// The sorted members of the subtree rooted at `node`.
 fn subtree(tree: &SpanningTree, node: usize) -> Vec<usize> {
-    let mut children: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut children: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     for e in tree.edges() {
         children.entry(e.from).or_default().push(e.to);
     }
@@ -68,51 +69,89 @@ fn copy_blocks(dst: &mut [u8], b: usize, blocks: &[usize], payload: &[u8]) -> Re
     Ok(())
 }
 
-fn extract_blocks(src: &[u8], b: usize, blocks: &[usize]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(blocks.len() * b);
-    for &i in blocks {
-        out.extend_from_slice(&src[i * b..(i + 1) * b]);
+/// Gather the listed blocks contiguously into a caller-provided buffer
+/// of `blocks.len() * b` bytes.
+fn extract_blocks_into(src: &[u8], b: usize, blocks: &[usize], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), blocks.len() * b);
+    for (slot, &i) in blocks.iter().enumerate() {
+        out[slot * b..(slot + 1) * b].copy_from_slice(&src[i * b..(i + 1) * b]);
     }
-    out
 }
 
 /// Execute the folklore gather+broadcast concatenation.
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// Network failures propagate.
-pub fn run<C: Comm + ?Sized>(
-    ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+pub fn run<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; ep.size() * myblock.len()];
+    run_into(ep, myblock, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the folklore gather+broadcast concatenation into a
+/// caller-provided output buffer of `n·b` bytes. Per-round bundles come
+/// from the cluster's buffer pool and are recycled, so steady-state
+/// rounds are allocation-free.
+///
+/// # Errors
+///
+/// Network failures propagate; a mis-sized output buffer surfaces as
+/// [`NetError::App`].
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     let b = myblock.len();
     let rank = ep.rank();
+    if out.len() != n * b {
+        return Err(NetError::App("output buffer must be n·b bytes".into()));
+    }
     if n == 1 {
-        return Ok(myblock.to_vec());
+        out.copy_from_slice(myblock);
+        return Ok(());
     }
     let tree = SpanningTree::build(n, ep.ports(), 0);
     let rounds = tree.num_rounds();
-    let mut buf = vec![0u8; n * b];
-    buf[rank * b..(rank + 1) * b].copy_from_slice(myblock);
+    out[rank * b..(rank + 1) * b].copy_from_slice(myblock);
 
     // Phase A: gather (tree rounds in reverse).
     for g in (0..rounds).rev() {
         let role = role(&tree, rank, g);
         let tag = u64::from(g);
-        let payload = role
-            .parent
-            .as_ref()
-            .map(|(_, own)| extract_blocks(&buf, b, own));
+        let payload = role.parent.as_ref().map(|(_, own)| {
+            let mut p = ep.acquire(own.len() * b);
+            extract_blocks_into(out, b, own, &mut p);
+            p
+        });
         let sends: Vec<SendSpec<'_>> = match (&role.parent, &payload) {
             (Some((parent, _)), Some(p)) => {
-                vec![SendSpec { to: *parent, tag, payload: p }]
+                vec![SendSpec {
+                    to: *parent,
+                    tag,
+                    payload: p,
+                }]
             }
             _ => Vec::new(),
         };
-        let recvs: Vec<RecvSpec> =
-            role.children.iter().map(|&(c, _)| RecvSpec { from: c, tag }).collect();
+        let recvs: Vec<RecvSpec> = role
+            .children
+            .iter()
+            .map(|&(c, _)| RecvSpec { from: c, tag })
+            .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for ((_, blocks), msg) in role.children.iter().zip(&msgs) {
-            copy_blocks(&mut buf, b, blocks, &msg.payload)?;
+            copy_blocks(out, b, blocks, &msg.payload)?;
+        }
+        if let Some(p) = payload {
+            ep.recycle(p);
+        }
+        for msg in msgs {
+            ep.recycle(msg.payload);
         }
     }
 
@@ -125,13 +164,18 @@ pub fn run<C: Comm + ?Sized>(
             .iter()
             .map(|(c, sub)| {
                 let complement: Vec<usize> = (0..n).filter(|i| !sub.contains(i)).collect();
-                let data = extract_blocks(&buf, b, &complement);
+                let mut data = ep.acquire(complement.len() * b);
+                extract_blocks_into(out, b, &complement, &mut data);
                 (*c, complement, data)
             })
             .collect();
         let sends: Vec<SendSpec<'_>> = payloads
             .iter()
-            .map(|(c, _, data)| SendSpec { to: *c, tag, payload: data })
+            .map(|(c, _, data)| SendSpec {
+                to: *c,
+                tag,
+                payload: data,
+            })
             .collect();
         let recvs: Vec<RecvSpec> = role
             .parent
@@ -142,10 +186,16 @@ pub fn run<C: Comm + ?Sized>(
         let msgs = ep.round(&sends, &recvs)?;
         if let (Some((_, own)), Some(msg)) = (&role.parent, msgs.first()) {
             let complement: Vec<usize> = (0..n).filter(|i| !own.contains(i)).collect();
-            copy_blocks(&mut buf, b, &complement, &msg.payload)?;
+            copy_blocks(out, b, &complement, &msg.payload)?;
+        }
+        for (_, _, data) in payloads {
+            ep.recycle(data);
+        }
+        for msg in msgs {
+            ep.recycle(msg.payload);
         }
     }
-    Ok(buf)
+    Ok(())
 }
 
 /// The static schedule of [`run`].

@@ -48,6 +48,28 @@ impl ConcatAlgorithm {
         }
     }
 
+    /// Execute the algorithm into a caller-provided `n·b`-byte output
+    /// buffer. All scratch comes from the cluster's buffer pool, so
+    /// steady-state rounds perform no heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Network errors; [`NetError::App`] for unsupported parameters or a
+    /// mis-sized output buffer.
+    pub fn run_into<C: Comm + ?Sized>(
+        &self,
+        ep: &mut C,
+        myblock: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), NetError> {
+        match *self {
+            Self::Bruck(pref) => bruck::run_into(ep, myblock, pref, out),
+            Self::GatherBroadcast => gather_bcast::run_into(ep, myblock, out),
+            Self::RecursiveDoubling => recursive_doubling::run_into(ep, myblock, out),
+            Self::Ring => ring::run_into(ep, myblock, out),
+        }
+    }
+
     /// Emit the static communication schedule.
     ///
     /// # Panics

@@ -12,11 +12,31 @@ use bruck_sched::{Schedule, Transfer};
 
 /// Execute recursive doubling.
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// [`NetError::App`] if `n` is not a power of two.
-pub fn run<C: Comm + ?Sized>(
-    ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+pub fn run<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; ep.size() * myblock.len()];
+    run_into(ep, myblock, &mut out)?;
+    Ok(out)
+}
+
+/// Execute recursive doubling into a caller-provided output buffer of
+/// `n·b` bytes. Each round sends straight out of the result buffer and
+/// receives into a pooled scratch buffer, so steady-state rounds are
+/// allocation-free.
+///
+/// # Errors
+///
+/// [`NetError::App`] if `n` is not a power of two or the output buffer
+/// is mis-sized.
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     if !n.is_power_of_two() {
         return Err(NetError::App(format!(
@@ -25,22 +45,32 @@ pub fn run<C: Comm + ?Sized>(
     }
     let b = myblock.len();
     let rank = ep.rank();
-    let mut buf = vec![0u8; n * b];
-    buf[rank * b..(rank + 1) * b].copy_from_slice(myblock);
+    if out.len() != n * b {
+        return Err(NetError::App("output buffer must be n·b bytes".into()));
+    }
+    out[rank * b..(rank + 1) * b].copy_from_slice(myblock);
+    if n == 1 {
+        return Ok(());
+    }
 
+    // The largest exchange is the final one: half the result buffer.
+    let mut inbound = ep.acquire((n / 2) * b);
     for x in 0..n.trailing_zeros() {
         let span = 1usize << x;
         let base = (rank / span) * span; // aligned group this rank owns
         let partner = rank ^ span;
         let partner_base = (partner / span) * span;
-        let payload = buf[base * b..(base + span) * b].to_vec();
-        let received = ep.send_and_recv(partner, &payload, partner, u64::from(x))?;
-        if received.len() != span * b {
+        let got = {
+            let payload = &out[base * b..(base + span) * b];
+            ep.send_and_recv_into(partner, payload, partner, u64::from(x), &mut inbound)?
+        };
+        if got != span * b {
             return Err(NetError::App("recursive-doubling size mismatch".into()));
         }
-        buf[partner_base * b..(partner_base + span) * b].copy_from_slice(&received);
+        out[partner_base * b..(partner_base + span) * b].copy_from_slice(&inbound[..got]);
     }
-    Ok(buf)
+    ep.recycle(inbound);
+    Ok(())
 }
 
 /// The static schedule of [`run`].
@@ -58,7 +88,13 @@ pub fn plan(n: usize, block: usize) -> Schedule {
     for x in 0..n.trailing_zeros() {
         let bytes = ((1usize << x) * block) as u64;
         schedule.push_round(
-            (0..n).map(|src| Transfer { src, dst: src ^ (1 << x), bytes }).collect(),
+            (0..n)
+                .map(|src| Transfer {
+                    src,
+                    dst: src ^ (1 << x),
+                    bytes,
+                })
+                .collect(),
         );
     }
     schedule

@@ -8,33 +8,59 @@ use bruck_sched::{Schedule, Transfer};
 
 /// Execute the ring concatenation.
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// Network failures propagate.
-pub fn run<C: Comm + ?Sized>(
-    ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+pub fn run<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; ep.size() * myblock.len()];
+    run_into(ep, myblock, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the ring concatenation into a caller-provided output buffer
+/// of `n·b` bytes. Each hop sends straight out of the result buffer and
+/// receives into a single pooled scratch block, so steady-state rounds
+/// are allocation-free.
+///
+/// # Errors
+///
+/// Network failures propagate; a mis-sized output buffer surfaces as
+/// [`NetError::App`].
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     let b = myblock.len();
     let rank = ep.rank();
-    let mut buf = vec![0u8; n * b];
-    buf[rank * b..(rank + 1) * b].copy_from_slice(myblock);
+    if out.len() != n * b {
+        return Err(NetError::App("output buffer must be n·b bytes".into()));
+    }
+    out[rank * b..(rank + 1) * b].copy_from_slice(myblock);
     if n == 1 {
-        return Ok(buf);
+        return Ok(());
     }
     let right = (rank + 1) % n;
     let left = (rank + n - 1) % n;
+    let mut inbound = ep.acquire(b);
     for i in 0..n - 1 {
         // Forward the block that originated i hops to the left.
         let owner = (rank + n - i) % n;
-        let payload = buf[owner * b..(owner + 1) * b].to_vec();
-        let received = ep.send_and_recv(right, &payload, left, i as u64)?;
+        let got = {
+            let payload = &out[owner * b..(owner + 1) * b];
+            ep.send_and_recv_into(right, payload, left, i as u64, &mut inbound)?
+        };
         let incoming_owner = (rank + n - i - 1) % n;
-        if received.len() != b {
+        if got != b {
             return Err(NetError::App("ring block size mismatch".into()));
         }
-        buf[incoming_owner * b..(incoming_owner + 1) * b].copy_from_slice(&received);
+        out[incoming_owner * b..(incoming_owner + 1) * b].copy_from_slice(&inbound);
     }
-    Ok(buf)
+    ep.recycle(inbound);
+    Ok(())
 }
 
 /// The static schedule of [`run`].
@@ -46,7 +72,13 @@ pub fn plan(n: usize, block: usize) -> Schedule {
     }
     for _ in 0..n - 1 {
         schedule.push_round(
-            (0..n).map(|src| Transfer { src, dst: (src + 1) % n, bytes: block as u64 }).collect(),
+            (0..n)
+                .map(|src| Transfer {
+                    src,
+                    dst: (src + 1) % n,
+                    bytes: block as u64,
+                })
+                .collect(),
         );
     }
     schedule

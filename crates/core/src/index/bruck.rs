@@ -21,7 +21,7 @@ use bruck_model::radix::RadixDecomposition;
 use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
 use bruck_sched::{Schedule, Transfer};
 
-use crate::blocks::{pack, phase3_place, rotate_up, unpack};
+use crate::blocks::{pack_into, phase3_place_into, rotate_up_into, unpack};
 
 /// Sanity-check common parameters; returns `Ok(n)` for convenience.
 fn check(n: usize, buf_len: usize, block: usize, radix: usize) -> Result<usize, NetError> {
@@ -40,6 +40,8 @@ fn check(n: usize, buf_len: usize, block: usize, radix: usize) -> Result<usize, 
 /// Execute the radix-`r` index algorithm. Radices above `n` are clamped
 /// to `n` (they would change nothing: one subphase of `n-1` steps).
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// Buffer-size mismatches surface as [`NetError::App`]; network failures
@@ -50,19 +52,50 @@ pub fn run<C: Comm + ?Sized>(
     block: usize,
     radix: usize,
 ) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    run_into(ep, sendbuf, block, radix, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the radix-`r` index algorithm into a caller-provided output
+/// buffer of `n·b` bytes. All scratch (the rotated working buffer and
+/// the per-step pack buffers) comes from the cluster's buffer pool and
+/// is recycled, so steady-state rounds are allocation-free.
+///
+/// # Errors
+///
+/// Buffer-size mismatches surface as [`NetError::App`]; network failures
+/// propagate.
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    radix: usize,
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     check(n, sendbuf.len(), block, radix)?;
+    if out.len() != n * block {
+        return Err(NetError::App(format!(
+            "output buffer is {} bytes, expected n·b = {}",
+            out.len(),
+            n * block
+        )));
+    }
     if n == 1 {
-        return Ok(sendbuf.to_vec());
+        out.copy_from_slice(sendbuf);
+        return Ok(());
     }
     let r = radix.min(n);
     let rank = ep.rank();
     let k = ep.ports();
     let decomp = RadixDecomposition::new(n, r);
 
-    // Phase 1: local upward rotation by `rank`. Charged as a copy of the
-    // whole buffer (models with copy_cost = 0 are unaffected).
-    let mut tmp = rotate_up(sendbuf, n, block, rank);
+    // Phase 1: local upward rotation by `rank` into pooled scratch.
+    // Charged as a copy of the whole buffer (models with copy_cost = 0
+    // are unaffected).
+    let mut tmp = ep.acquire(n * block);
+    rotate_up_into(sendbuf, n, block, rank, &mut tmp);
     ep.charge_copy((n * block) as u64);
 
     // Phase 2: one round per group of ≤ k steps.
@@ -71,15 +104,17 @@ pub fn run<C: Comm + ?Sized>(
         let mut z = 1usize;
         while z <= steps {
             let group: Vec<usize> = (z..=steps.min(z + k - 1)).collect();
-            // Pack all outgoing messages for this round first (the borrow
-            // of `tmp` must end before unpacking).
+            // Pack all outgoing messages for this round into pooled
+            // buffers first (the borrow of `tmp` must end before
+            // unpacking).
             let staged: Vec<(Vec<usize>, usize, u64, Vec<u8>)> = group
                 .iter()
                 .map(|&zz| {
                     let indices = decomp.blocks_for_step(x, zz);
                     let dist = decomp.step_distance(x, zz);
                     let tag = (u64::from(x) << 32) | zz as u64;
-                    let payload = pack(&tmp, block, &indices);
+                    let mut payload = ep.acquire(indices.len() * block);
+                    pack_into(&tmp, block, &indices, &mut payload);
                     (indices, dist, tag, payload)
                 })
                 .collect();
@@ -93,7 +128,10 @@ pub fn run<C: Comm + ?Sized>(
                 .collect();
             let recvs: Vec<RecvSpec> = staged
                 .iter()
-                .map(|(_, dist, tag, _)| RecvSpec { from: (rank + n - dist % n) % n, tag: *tag })
+                .map(|(_, dist, tag, _)| RecvSpec {
+                    from: (rank + n - dist % n) % n,
+                    tag: *tag,
+                })
                 .collect();
             // Pack and unpack are both local copies (§3.5 factor 2).
             let copied: u64 = staged.iter().map(|(_, _, _, p)| p.len() as u64).sum();
@@ -105,14 +143,21 @@ pub fn run<C: Comm + ?Sized>(
                 received += msg.payload.len() as u64;
             }
             ep.charge_copy(received);
+            for (_, _, _, payload) in staged {
+                ep.recycle(payload);
+            }
+            for msg in msgs {
+                ep.recycle(msg.payload);
+            }
             z += group.len();
         }
     }
 
     // Phase 3: local placement (another whole-buffer copy).
-    let out = phase3_place(&tmp, n, block, rank);
+    phase3_place_into(&tmp, n, block, rank, out);
+    ep.recycle(tmp);
     ep.charge_copy((n * block) as u64);
-    Ok(out)
+    Ok(())
 }
 
 /// The static schedule of [`run`] for `n` processors, `b`-byte blocks,
@@ -141,7 +186,11 @@ pub fn plan(n: usize, block: usize, ports: usize, radix: usize) -> Schedule {
                 let bytes = (decomp.blocks_in_step(x, zz) * block) as u64;
                 let dist = decomp.step_distance(x, zz);
                 for src in 0..n {
-                    transfers.push(Transfer { src, dst: (src + dist) % n, bytes });
+                    transfers.push(Transfer {
+                        src,
+                        dst: (src + dist) % n,
+                        bytes,
+                    });
                 }
             }
             schedule.push_round(transfers);
@@ -168,7 +217,8 @@ mod tests {
         for (rank, result) in out.results.iter().enumerate() {
             let expected = crate::verify::index_expected(rank, n, block);
             assert_eq!(
-                result, &expected,
+                result,
+                &expected,
                 "n={n} b={block} r={radix} k={ports} rank={rank}: first bad block {:?}",
                 crate::verify::first_block_mismatch(result, &expected, block)
             );
@@ -239,9 +289,9 @@ mod tests {
             for r in [2usize, 3, 4, 8, 64] {
                 for k in [1usize, 2, 3] {
                     let schedule = plan(n, 4, k, r);
-                    schedule.validate().unwrap_or_else(|e| {
-                        panic!("invalid plan n={n} r={r} k={k}: {e}")
-                    });
+                    schedule
+                        .validate()
+                        .unwrap_or_else(|e| panic!("invalid plan n={n} r={r} k={k}: {e}"));
                     let stats = ScheduleStats::of(&schedule);
                     assert_eq!(
                         stats.complexity,

@@ -11,11 +11,35 @@ use bruck_sched::{Schedule, Transfer};
 
 /// Execute the direct exchange.
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// Buffer-size mismatch as [`NetError::App`]; network failures propagate.
 pub fn run<C: Comm + ?Sized>(
-    ep: &mut C, sendbuf: &[u8], block: usize) -> Result<Vec<u8>, NetError> {
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    run_into(ep, sendbuf, block, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the direct exchange into a caller-provided output buffer of
+/// `n·b` bytes. Sends borrow straight from `sendbuf` and received
+/// payloads are recycled to the cluster's pool, so steady-state rounds
+/// are allocation-free.
+///
+/// # Errors
+///
+/// Buffer-size mismatch as [`NetError::App`]; network failures propagate.
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     if sendbuf.len() != n * block {
         return Err(NetError::App(format!(
@@ -24,10 +48,16 @@ pub fn run<C: Comm + ?Sized>(
             n * block
         )));
     }
+    if out.len() != n * block {
+        return Err(NetError::App(format!(
+            "output buffer is {} bytes, expected n·b = {}",
+            out.len(),
+            n * block
+        )));
+    }
     let rank = ep.rank();
     let k = ep.ports();
-    let mut result = vec![0u8; n * block];
-    result[rank * block..(rank + 1) * block]
+    out[rank * block..(rank + 1) * block]
         .copy_from_slice(&sendbuf[rank * block..(rank + 1) * block]);
 
     let mut i = 1usize;
@@ -37,21 +67,31 @@ pub fn run<C: Comm + ?Sized>(
             .iter()
             .map(|&d| {
                 let dst = (rank + d) % n;
-                SendSpec { to: dst, tag: d as u64, payload: &sendbuf[dst * block..(dst + 1) * block] }
+                SendSpec {
+                    to: dst,
+                    tag: d as u64,
+                    payload: &sendbuf[dst * block..(dst + 1) * block],
+                }
             })
             .collect();
         let recvs: Vec<RecvSpec> = group
             .iter()
-            .map(|&d| RecvSpec { from: (rank + n - d) % n, tag: d as u64 })
+            .map(|&d| RecvSpec {
+                from: (rank + n - d) % n,
+                tag: d as u64,
+            })
             .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for (&d, msg) in group.iter().zip(&msgs) {
             let src = (rank + n - d) % n;
-            result[src * block..(src + 1) * block].copy_from_slice(&msg.payload);
+            out[src * block..(src + 1) * block].copy_from_slice(&msg.payload);
+        }
+        for msg in msgs {
+            ep.recycle(msg.payload);
         }
         i += group.len();
     }
-    Ok(result)
+    Ok(())
 }
 
 /// The static schedule of the direct exchange.
@@ -68,7 +108,11 @@ pub fn plan(n: usize, block: usize, ports: usize) -> Schedule {
         let mut transfers = Vec::with_capacity(group.len() * n);
         for &d in &group {
             for src in 0..n {
-                transfers.push(Transfer { src, dst: (src + d) % n, bytes: block as u64 });
+                transfers.push(Transfer {
+                    src,
+                    dst: (src + d) % n,
+                    bytes: block as u64,
+                });
             }
         }
         schedule.push_round(transfers);
@@ -94,7 +138,11 @@ mod tests {
             })
             .unwrap();
             for (rank, result) in out.results.iter().enumerate() {
-                assert_eq!(result, &crate::verify::index_expected(rank, n, 3), "n={n} rank={rank}");
+                assert_eq!(
+                    result,
+                    &crate::verify::index_expected(rank, n, 3),
+                    "n={n} rank={rank}"
+                );
             }
         }
     }

@@ -32,6 +32,8 @@ use crate::index::bruck;
 /// nodes of `node_size` consecutive ranks. `radix_local` and
 /// `radix_remote` tune the two phases independently.
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// [`NetError::App`] if `n % node_size != 0` or the buffer is mis-sized.
@@ -43,6 +45,36 @@ pub fn run(
     radix_local: usize,
     radix_remote: usize,
 ) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    run_into(
+        ep,
+        sendbuf,
+        block,
+        node_size,
+        radix_local,
+        radix_remote,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Execute the two-level alltoall into a caller-provided output buffer
+/// of `n·b` bytes. The re-bundling staging buffers come from the
+/// cluster's buffer pool and are recycled, so steady-state runs are
+/// allocation-free.
+///
+/// # Errors
+///
+/// [`NetError::App`] if `n % node_size != 0` or a buffer is mis-sized.
+pub fn run_into(
+    ep: &mut Endpoint,
+    sendbuf: &[u8],
+    block: usize,
+    node_size: usize,
+    radix_local: usize,
+    radix_remote: usize,
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     if node_size == 0 || !n.is_multiple_of(node_size) {
         return Err(NetError::App(format!(
@@ -52,10 +84,13 @@ pub fn run(
     if sendbuf.len() != n * block {
         return Err(NetError::App("send buffer must be n·b bytes".into()));
     }
+    if out.len() != n * block {
+        return Err(NetError::App("output buffer must be n·b bytes".into()));
+    }
     let nodes = n / node_size;
     if nodes == 1 || node_size == 1 {
         // Degenerate hierarchy: plain flat index.
-        return bruck::run(ep, sendbuf, block, radix_local.max(radix_remote));
+        return bruck::run_into(ep, sendbuf, block, radix_local.max(radix_remote), out);
     }
     let rank = ep.rank();
     let my_node = rank / node_size;
@@ -64,20 +99,21 @@ pub fn run(
     // Phase 1: intra-node index over lane bundles. Bundle for lane y =
     // blocks for dests y, y + S, y + 2S, … (node order), S = node_size.
     let bundle = nodes * block;
-    let mut local_send = vec![0u8; node_size * bundle];
+    let mut local_send = ep.acquire(node_size * bundle);
     for lane in 0..node_size {
         for node in 0..nodes {
             let dest = node * node_size + lane;
             let at = lane * bundle + node * block;
-            local_send[at..at + block]
-                .copy_from_slice(&sendbuf[dest * block..(dest + 1) * block]);
+            local_send[at..at + block].copy_from_slice(&sendbuf[dest * block..(dest + 1) * block]);
         }
     }
     let node_group = Group::range(my_node * node_size, node_size);
-    let lane_bundles = {
+    let mut lane_bundles = ep.acquire(node_size * bundle);
+    {
         let mut gc = node_group.bind(ep);
-        bruck::run(&mut gc, &local_send, bundle, radix_local)?
-    };
+        bruck::run_into(&mut gc, &local_send, bundle, radix_local, &mut lane_bundles)?;
+    }
+    ep.recycle(local_send);
     // lane_bundles[x·bundle..] = node-ordered blocks from local rank x to
     // every lane-my_lane rank.
 
@@ -85,7 +121,7 @@ pub fn run(
     // the node_size · block bytes destined to rank (m, my_lane), source
     // order = local rank order.
     let node_bundle = node_size * block;
-    let mut remote_send = vec![0u8; nodes * node_bundle];
+    let mut remote_send = ep.acquire(nodes * node_bundle);
     for m in 0..nodes {
         for x in 0..node_size {
             let at = m * node_bundle + x * block;
@@ -93,15 +129,23 @@ pub fn run(
             remote_send[at..at + block].copy_from_slice(&lane_bundles[from..from + block]);
         }
     }
+    ep.recycle(lane_bundles);
     let lane_group = Group::strided(my_lane, node_size, n);
-    let arrived = {
+    let mut arrived = ep.acquire(nodes * node_bundle);
+    {
         let mut gc = lane_group.bind(ep);
-        bruck::run(&mut gc, &remote_send, node_bundle, radix_remote)?
-    };
+        bruck::run_into(
+            &mut gc,
+            &remote_send,
+            node_bundle,
+            radix_remote,
+            &mut arrived,
+        )?;
+    }
+    ep.recycle(remote_send);
     // arrived[c·node_bundle + x·block ..] = block from global rank
     // (c, x) destined to us.
 
-    let mut out = vec![0u8; n * block];
     for c in 0..nodes {
         for x in 0..node_size {
             let src = c * node_size + x;
@@ -109,8 +153,9 @@ pub fn run(
             out[src * block..(src + 1) * block].copy_from_slice(&arrived[at..at + block]);
         }
     }
+    ep.recycle(arrived);
     ep.charge_copy(3 * (n * block) as u64); // the two re-bundlings + final reorder
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -54,57 +54,95 @@ fn shipment(owner: usize, x: u32, n: usize) -> Vec<(usize, usize)> {
 
 /// Execute the hypercube index (one-port; extra ports go unused).
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// [`NetError::App`] for non-power-of-two `n` or a mis-sized buffer.
 pub fn run<C: Comm + ?Sized>(
-    ep: &mut C, sendbuf: &[u8], block: usize) -> Result<Vec<u8>, NetError> {
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    run_into(ep, sendbuf, block, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the hypercube index into a caller-provided output buffer of
+/// `n·b` bytes. The per-round shipment buffers (send and receive sides)
+/// and the per-block staging entries all come from the cluster's buffer
+/// pool, so repeated runs are allocation-free in steady state.
+///
+/// # Errors
+///
+/// [`NetError::App`] for non-power-of-two `n` or a mis-sized buffer.
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     check(n)?;
     if sendbuf.len() != n * block {
         return Err(NetError::App("send buffer must be n·b bytes".into()));
     }
+    if out.len() != n * block {
+        return Err(NetError::App("output buffer must be n·b bytes".into()));
+    }
     if n == 1 {
-        return Ok(sendbuf.to_vec());
+        out.copy_from_slice(sendbuf);
+        return Ok(());
     }
     let rank = ep.rank();
     let w = n.trailing_zeros();
 
-    // store[(src, dst)] = payload, for currently-held blocks.
+    // store[(src, dst)] = pooled payload, for currently-held blocks.
     let mut store: std::collections::HashMap<(usize, usize), Vec<u8>> = (0..n)
-        .map(|dst| ((rank, dst), sendbuf[dst * block..(dst + 1) * block].to_vec()))
+        .map(|dst| {
+            let mut buf = ep.acquire(block);
+            buf.copy_from_slice(&sendbuf[dst * block..(dst + 1) * block]);
+            ((rank, dst), buf)
+        })
         .collect();
 
+    let ship = (n / 2) * block;
+    let mut payload = ep.acquire(ship);
+    let mut inbound = ep.acquire(ship);
     for x in 0..w {
         let partner = rank ^ (1 << x);
         let out_list = shipment(rank, x, n);
         let in_list = shipment(partner, x, n);
-        let mut payload = Vec::with_capacity(out_list.len() * block);
-        for key in &out_list {
+        for (slot, key) in out_list.iter().enumerate() {
             let blockdata = store
                 .remove(key)
                 .expect("holding-set invariant violated: block not present");
-            payload.extend_from_slice(&blockdata);
+            payload[slot * block..(slot + 1) * block].copy_from_slice(&blockdata);
+            ep.recycle(blockdata);
         }
-        let received = ep.send_and_recv(partner, &payload, partner, u64::from(x))?;
-        if received.len() != in_list.len() * block {
+        let got = ep.send_and_recv_into(partner, &payload, partner, u64::from(x), &mut inbound)?;
+        if got != in_list.len() * block {
             return Err(NetError::App(format!(
-                "round {x}: expected {} bytes, got {}",
-                in_list.len() * block,
-                received.len()
+                "round {x}: expected {} bytes, got {got}",
+                in_list.len() * block
             )));
         }
         for (slot, key) in in_list.iter().enumerate() {
-            store.insert(*key, received[slot * block..(slot + 1) * block].to_vec());
+            let mut buf = ep.acquire(block);
+            buf.copy_from_slice(&inbound[slot * block..(slot + 1) * block]);
+            store.insert(*key, buf);
         }
     }
+    ep.recycle(payload);
+    ep.recycle(inbound);
 
-    let mut result = vec![0u8; n * block];
     for ((src, dst), payload) in store {
         debug_assert_eq!(dst, rank, "final holdings must all be destined here");
-        result[src * block..(src + 1) * block].copy_from_slice(&payload);
+        out[src * block..(src + 1) * block].copy_from_slice(&payload);
+        ep.recycle(payload);
     }
-    Ok(result)
+    Ok(())
 }
 
 /// The static schedule: `log₂ n` perfect-matching rounds of `(n/2)·b`.
@@ -122,7 +160,13 @@ pub fn plan(n: usize, block: usize) -> Schedule {
     let bytes = ((n / 2) * block) as u64;
     for x in 0..n.trailing_zeros() {
         schedule.push_round(
-            (0..n).map(|src| Transfer { src, dst: src ^ (1 << x), bytes }).collect(),
+            (0..n)
+                .map(|src| Transfer {
+                    src,
+                    dst: src ^ (1 << x),
+                    bytes,
+                })
+                .collect(),
         );
     }
     schedule

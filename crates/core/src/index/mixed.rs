@@ -14,9 +14,11 @@ use bruck_model::mixed_radix::MixedRadix;
 use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
 use bruck_sched::{Schedule, Transfer};
 
-use crate::blocks::{pack, phase3_place, rotate_up, unpack};
+use crate::blocks::{pack_into, phase3_place_into, rotate_up_into, unpack};
 
 /// Execute the mixed-radix index algorithm with the given radix vector.
+///
+/// Thin allocating wrapper over [`run_into`].
 ///
 /// # Errors
 ///
@@ -28,17 +30,45 @@ pub fn run<C: Comm + ?Sized>(
     block: usize,
     radices: &[usize],
 ) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    run_into(ep, sendbuf, block, radices, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the mixed-radix index algorithm into a caller-provided output
+/// buffer of `n·b` bytes. Scratch comes from the cluster's buffer pool
+/// and is recycled, so steady-state rounds are allocation-free.
+///
+/// # Errors
+///
+/// [`NetError::App`] on a mis-sized buffer or an insufficient radix
+/// vector; network failures propagate.
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    radices: &[usize],
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     if sendbuf.len() != n * block {
         return Err(NetError::App("send buffer must be n·b bytes".into()));
     }
+    if out.len() != n * block {
+        return Err(NetError::App("output buffer must be n·b bytes".into()));
+    }
     if n == 1 {
-        return Ok(sendbuf.to_vec());
+        out.copy_from_slice(sendbuf);
+        return Ok(());
     }
     if radices.iter().any(|&r| r < 2) {
         return Err(NetError::App("radices must be ≥ 2".into()));
     }
-    if radices.iter().try_fold(1usize, |p, &r| p.checked_mul(r)).is_none_or(|p| p < n) {
+    if radices
+        .iter()
+        .try_fold(1usize, |p, &r| p.checked_mul(r))
+        .is_none_or(|p| p < n)
+    {
         return Err(NetError::App(format!(
             "radix vector {radices:?} does not cover n = {n}"
         )));
@@ -47,7 +77,8 @@ pub fn run<C: Comm + ?Sized>(
     let rank = ep.rank();
     let k = ep.ports();
 
-    let mut tmp = rotate_up(sendbuf, n, block, rank);
+    let mut tmp = ep.acquire(n * block);
+    rotate_up_into(sendbuf, n, block, rank, &mut tmp);
     ep.charge_copy((n * block) as u64);
 
     for x in 0..decomp.num_subphases() {
@@ -61,7 +92,8 @@ pub fn run<C: Comm + ?Sized>(
                     let indices = decomp.blocks_for_step(x, zz);
                     let dist = decomp.step_distance(x, zz) % n;
                     let tag = ((x as u64) << 32) | zz as u64;
-                    let payload = pack(&tmp, block, &indices);
+                    let mut payload = ep.acquire(indices.len() * block);
+                    pack_into(&tmp, block, &indices, &mut payload);
                     (indices, dist, tag, payload)
                 })
                 .collect();
@@ -75,7 +107,10 @@ pub fn run<C: Comm + ?Sized>(
                 .collect();
             let recvs: Vec<RecvSpec> = staged
                 .iter()
-                .map(|(_, dist, tag, _)| RecvSpec { from: (rank + n - dist) % n, tag: *tag })
+                .map(|(_, dist, tag, _)| RecvSpec {
+                    from: (rank + n - dist) % n,
+                    tag: *tag,
+                })
                 .collect();
             let copied: u64 = staged.iter().map(|(_, _, _, p)| p.len() as u64).sum();
             ep.charge_copy(copied);
@@ -86,13 +121,20 @@ pub fn run<C: Comm + ?Sized>(
                 received += msg.payload.len() as u64;
             }
             ep.charge_copy(received);
+            for (_, _, _, payload) in staged {
+                ep.recycle(payload);
+            }
+            for msg in msgs {
+                ep.recycle(msg.payload);
+            }
             z += group.len();
         }
     }
 
-    let out = phase3_place(&tmp, n, block, rank);
+    phase3_place_into(&tmp, n, block, rank, out);
+    ep.recycle(tmp);
     ep.charge_copy((n * block) as u64);
-    Ok(out)
+    Ok(())
 }
 
 /// The static schedule of [`run`].
@@ -118,7 +160,11 @@ pub fn plan(n: usize, block: usize, ports: usize, radices: &[usize]) -> Schedule
                 let bytes = (decomp.blocks_in_step(x, zz) * block) as u64;
                 let dist = decomp.step_distance(x, zz) % n;
                 for src in 0..n {
-                    transfers.push(Transfer { src, dst: (src + dist) % n, bytes });
+                    transfers.push(Transfer {
+                        src,
+                        dst: (src + dist) % n,
+                        bytes,
+                    });
                 }
             }
             schedule.push_round(transfers);

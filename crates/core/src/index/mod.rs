@@ -57,6 +57,29 @@ impl IndexAlgorithm {
         }
     }
 
+    /// Execute the algorithm into a caller-provided `n·b`-byte output
+    /// buffer. All scratch comes from the cluster's buffer pool, so
+    /// steady-state rounds perform no heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Network errors, or [`NetError::App`] for unsupported parameters
+    /// or a mis-sized output buffer.
+    pub fn run_into<C: Comm + ?Sized>(
+        &self,
+        ep: &mut C,
+        sendbuf: &[u8],
+        block: usize,
+        out: &mut [u8],
+    ) -> Result<(), NetError> {
+        match *self {
+            Self::BruckRadix(r) => bruck::run_into(ep, sendbuf, block, r, out),
+            Self::Direct => direct::run_into(ep, sendbuf, block, out),
+            Self::Pairwise => pairwise::run_into(ep, sendbuf, block, out),
+            Self::Hypercube => hypercube::run_into(ep, sendbuf, block, out),
+        }
+    }
+
     /// Emit the algorithm's static communication schedule for `n`
     /// processors, `b`-byte blocks, and `k` ports.
     ///

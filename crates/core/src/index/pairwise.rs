@@ -18,21 +18,48 @@ fn check_pow2(n: usize) -> Result<(), NetError> {
 
 /// Execute the pairwise exchange.
 ///
+/// Thin allocating wrapper over [`run_into`].
+///
 /// # Errors
 ///
 /// [`NetError::App`] if `n` is not a power of two or the buffer is
 /// mis-sized; network failures propagate.
 pub fn run<C: Comm + ?Sized>(
-    ep: &mut C, sendbuf: &[u8], block: usize) -> Result<Vec<u8>, NetError> {
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    run_into(ep, sendbuf, block, &mut out)?;
+    Ok(out)
+}
+
+/// Execute the pairwise exchange into a caller-provided output buffer of
+/// `n·b` bytes. Sends borrow straight from `sendbuf` and received
+/// payloads are recycled to the cluster's pool, so steady-state rounds
+/// are allocation-free.
+///
+/// # Errors
+///
+/// [`NetError::App`] if `n` is not a power of two or the buffer is
+/// mis-sized; network failures propagate.
+pub fn run_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    out: &mut [u8],
+) -> Result<(), NetError> {
     let n = ep.size();
     check_pow2(n)?;
     if sendbuf.len() != n * block {
         return Err(NetError::App("send buffer must be n·b bytes".into()));
     }
+    if out.len() != n * block {
+        return Err(NetError::App("output buffer must be n·b bytes".into()));
+    }
     let rank = ep.rank();
     let k = ep.ports();
-    let mut result = vec![0u8; n * block];
-    result[rank * block..(rank + 1) * block]
+    out[rank * block..(rank + 1) * block]
         .copy_from_slice(&sendbuf[rank * block..(rank + 1) * block]);
 
     let mut i = 1usize;
@@ -42,19 +69,31 @@ pub fn run<C: Comm + ?Sized>(
             .iter()
             .map(|&d| {
                 let peer = rank ^ d;
-                SendSpec { to: peer, tag: d as u64, payload: &sendbuf[peer * block..(peer + 1) * block] }
+                SendSpec {
+                    to: peer,
+                    tag: d as u64,
+                    payload: &sendbuf[peer * block..(peer + 1) * block],
+                }
             })
             .collect();
-        let recvs: Vec<RecvSpec> =
-            group.iter().map(|&d| RecvSpec { from: rank ^ d, tag: d as u64 }).collect();
+        let recvs: Vec<RecvSpec> = group
+            .iter()
+            .map(|&d| RecvSpec {
+                from: rank ^ d,
+                tag: d as u64,
+            })
+            .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for (&d, msg) in group.iter().zip(&msgs) {
             let peer = rank ^ d;
-            result[peer * block..(peer + 1) * block].copy_from_slice(&msg.payload);
+            out[peer * block..(peer + 1) * block].copy_from_slice(&msg.payload);
+        }
+        for msg in msgs {
+            ep.recycle(msg.payload);
         }
         i += group.len();
     }
-    Ok(result)
+    Ok(())
 }
 
 /// The static schedule of the pairwise exchange.
@@ -76,7 +115,11 @@ pub fn plan(n: usize, block: usize, ports: usize) -> Schedule {
         let mut transfers = Vec::with_capacity(group.len() * n);
         for &d in &group {
             for src in 0..n {
-                transfers.push(Transfer { src, dst: src ^ d, bytes: block as u64 });
+                transfers.push(Transfer {
+                    src,
+                    dst: src ^ d,
+                    bytes: block as u64,
+                });
             }
         }
         schedule.push_round(transfers);

@@ -23,14 +23,20 @@ impl Configuration {
     /// `j` (Fig. 1 left).
     #[must_use]
     pub fn initial(n: usize) -> Self {
-        Self { n, cells: (0..n).map(|i| (0..n).map(|j| (i, j)).collect()).collect() }
+        Self {
+            n,
+            cells: (0..n).map(|i| (0..n).map(|j| (i, j)).collect()).collect(),
+        }
     }
 
     /// The target configuration: processor `i` holds `B[j, i]` at offset
     /// `j` (Fig. 1 right).
     #[must_use]
     pub fn target(n: usize) -> Self {
-        Self { n, cells: (0..n).map(|i| (0..n).map(|j| (j, i)).collect()).collect() }
+        Self {
+            n,
+            cells: (0..n).map(|i| (0..n).map(|j| (j, i)).collect()).collect(),
+        }
     }
 
     /// Number of processors.
@@ -49,7 +55,11 @@ impl Configuration {
     #[must_use]
     pub fn phase1(&self) -> Self {
         let cells = (0..self.n)
-            .map(|i| (0..self.n).map(|m| self.cells[i][(m + i) % self.n]).collect())
+            .map(|i| {
+                (0..self.n)
+                    .map(|m| self.cells[i][(m + i) % self.n])
+                    .collect()
+            })
             .collect();
         Self { n: self.n, cells }
     }
@@ -115,9 +125,15 @@ pub struct Snapshot {
 pub fn snapshots(n: usize, r: usize) -> Vec<Snapshot> {
     let mut out = Vec::new();
     let mut cfg = Configuration::initial(n);
-    out.push(Snapshot { label: "initial".into(), config: cfg.clone() });
+    out.push(Snapshot {
+        label: "initial".into(),
+        config: cfg.clone(),
+    });
     cfg = cfg.phase1();
-    out.push(Snapshot { label: "after phase 1".into(), config: cfg.clone() });
+    out.push(Snapshot {
+        label: "after phase 1".into(),
+        config: cfg.clone(),
+    });
     if n > 1 {
         let decomp = RadixDecomposition::new(n, r.min(n));
         for x in 0..decomp.num_subphases() {
@@ -131,7 +147,10 @@ pub fn snapshots(n: usize, r: usize) -> Vec<Snapshot> {
         }
     }
     cfg = cfg.phase3();
-    out.push(Snapshot { label: "after phase 3".into(), config: cfg });
+    out.push(Snapshot {
+        label: "after phase 3".into(),
+        config: cfg,
+    });
     out
 }
 
@@ -146,7 +165,7 @@ mod tests {
         assert_eq!(before.cell(2, 3), (2, 3)); // "23" in column p2, row 3
         let after = Configuration::target(5);
         assert_eq!(after.cell(2, 3), (3, 2)); // "32"
-        // Columns of `after` are the rows of `before`: a block transpose.
+                                              // Columns of `after` are the rows of `before`: a block transpose.
         for i in 0..5 {
             for j in 0..5 {
                 assert_eq!(after.cell(i, j), (before.cell(j, i).0, before.cell(j, i).1));

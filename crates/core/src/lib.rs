@@ -50,11 +50,13 @@ pub mod vops;
 
 /// Convenient glob import for applications.
 pub mod prelude {
-    pub use crate::api::{alltoall, allgather, Tuning};
-    pub use crate::reduce::{allreduce_via_concat, reduce, ReduceOp};
-    pub use crate::vops::{alltoallv, allgatherv};
+    pub use crate::api::{
+        allgather, allgather_into, alltoall, alltoall_into, Tuning, TuningBuilder,
+    };
     pub use crate::concat::ConcatAlgorithm;
     pub use crate::index::IndexAlgorithm;
+    pub use crate::reduce::{allreduce_via_concat, reduce, ReduceOp};
+    pub use crate::vops::{allgatherv, alltoallv};
     pub use bruck_model::complexity::Complexity;
     pub use bruck_model::cost::{CostModel, LinearModel, Sp1Model};
     pub use bruck_net::{Cluster, ClusterConfig, Comm, Endpoint, Group, NetError};

@@ -35,7 +35,10 @@ fn subtree(tree: &SpanningTree, node: usize) -> Vec<usize> {
 ///
 /// Network failures propagate.
 pub fn broadcast<C: Comm + ?Sized>(
-    ep: &mut C, root: usize, data: &[u8]) -> Result<Vec<u8>, NetError> {
+    ep: &mut C,
+    root: usize,
+    data: &[u8],
+) -> Result<Vec<u8>, NetError> {
     let n = ep.size();
     let rank = ep.rank();
     if n == 1 {
@@ -45,17 +48,26 @@ pub fn broadcast<C: Comm + ?Sized>(
     let mut buf: Option<Vec<u8>> = (rank == root).then(|| data.to_vec());
     for g in 0..tree.num_rounds() {
         let edges = tree.edges_in_round(g);
-        let outgoing: Vec<usize> =
-            edges.iter().filter(|e| e.from == rank).map(|e| e.to).collect();
-        let incoming: Option<usize> =
-            edges.iter().find(|e| e.to == rank).map(|e| e.from);
+        let outgoing: Vec<usize> = edges
+            .iter()
+            .filter(|e| e.from == rank)
+            .map(|e| e.to)
+            .collect();
+        let incoming: Option<usize> = edges.iter().find(|e| e.to == rank).map(|e| e.from);
         let payload = buf.clone().unwrap_or_default();
         let sends: Vec<SendSpec<'_>> = outgoing
             .iter()
-            .map(|&to| SendSpec { to, tag: u64::from(g), payload: &payload })
+            .map(|&to| SendSpec {
+                to,
+                tag: u64::from(g),
+                payload: &payload,
+            })
             .collect();
         let recvs: Vec<RecvSpec> = incoming
-            .map(|from| RecvSpec { from, tag: u64::from(g) })
+            .map(|from| RecvSpec {
+                from,
+                tag: u64::from(g),
+            })
             .into_iter()
             .collect();
         let msgs = ep.round(&sends, &recvs)?;
@@ -73,7 +85,10 @@ pub fn broadcast<C: Comm + ?Sized>(
 ///
 /// Network failures propagate; [`NetError::App`] on inconsistent sizes.
 pub fn gather<C: Comm + ?Sized>(
-    ep: &mut C, root: usize, myblock: &[u8]) -> Result<Option<Vec<u8>>, NetError> {
+    ep: &mut C,
+    root: usize,
+    myblock: &[u8],
+) -> Result<Option<Vec<u8>>, NetError> {
     let n = ep.size();
     let b = myblock.len();
     let rank = ep.rank();
@@ -86,20 +101,34 @@ pub fn gather<C: Comm + ?Sized>(
     for g in (0..tree.num_rounds()).rev() {
         let edges = tree.edges_in_round(g);
         let parent: Option<usize> = edges.iter().find(|e| e.to == rank).map(|e| e.from);
-        let children: Vec<usize> =
-            edges.iter().filter(|e| e.from == rank).map(|e| e.to).collect();
+        let children: Vec<usize> = edges
+            .iter()
+            .filter(|e| e.from == rank)
+            .map(|e| e.to)
+            .collect();
         let own = subtree(&tree, rank);
         let payload: Vec<u8> = parent
             .map(|_| {
-                own.iter().flat_map(|&i| buf[i * b..(i + 1) * b].iter().copied()).collect()
+                own.iter()
+                    .flat_map(|&i| buf[i * b..(i + 1) * b].iter().copied())
+                    .collect()
             })
             .unwrap_or_default();
         let sends: Vec<SendSpec<'_>> = parent
-            .map(|p| SendSpec { to: p, tag: u64::from(g), payload: &payload })
+            .map(|p| SendSpec {
+                to: p,
+                tag: u64::from(g),
+                payload: &payload,
+            })
             .into_iter()
             .collect();
-        let recvs: Vec<RecvSpec> =
-            children.iter().map(|&c| RecvSpec { from: c, tag: u64::from(g) }).collect();
+        let recvs: Vec<RecvSpec> = children
+            .iter()
+            .map(|&c| RecvSpec {
+                from: c,
+                tag: u64::from(g),
+            })
+            .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for (&c, msg) in children.iter().zip(&msgs) {
             let blocks = subtree(&tree, c);
@@ -130,7 +159,9 @@ pub fn scatter<C: Comm + ?Sized>(
     let n = ep.size();
     let rank = ep.rank();
     if rank == root && data.len() != n * block {
-        return Err(NetError::App("scatter buffer must be n·b bytes at root".into()));
+        return Err(NetError::App(
+            "scatter buffer must be n·b bytes at root".into(),
+        ));
     }
     if n == 1 {
         return Ok(data.to_vec());
@@ -140,11 +171,18 @@ pub fn scatter<C: Comm + ?Sized>(
     let mut bundle: Option<Vec<u8>> = (rank == root).then(|| data.to_vec());
     for g in 0..tree.num_rounds() {
         let edges = tree.edges_in_round(g);
-        let outgoing: Vec<usize> =
-            edges.iter().filter(|e| e.from == rank).map(|e| e.to).collect();
+        let outgoing: Vec<usize> = edges
+            .iter()
+            .filter(|e| e.from == rank)
+            .map(|e| e.to)
+            .collect();
         let incoming: Option<usize> = edges.iter().find(|e| e.to == rank).map(|e| e.from);
         // Build per-child bundles from our own bundle.
-        let own = if rank == root { (0..n).collect::<Vec<_>>() } else { subtree(&tree, rank) };
+        let own = if rank == root {
+            (0..n).collect::<Vec<_>>()
+        } else {
+            subtree(&tree, rank)
+        };
         let staged: Vec<(usize, Vec<u8>)> = outgoing
             .iter()
             .map(|&c| {
@@ -152,7 +190,10 @@ pub fn scatter<C: Comm + ?Sized>(
                 let held = bundle.as_deref().expect("must hold bundle before sending");
                 let mut payload = Vec::with_capacity(blocks.len() * block);
                 for &i in &blocks {
-                    let slot = own.iter().position(|&x| x == i).expect("child ⊆ own subtree");
+                    let slot = own
+                        .iter()
+                        .position(|&x| x == i)
+                        .expect("child ⊆ own subtree");
                     payload.extend_from_slice(&held[slot * block..(slot + 1) * block]);
                 }
                 (c, payload)
@@ -160,10 +201,17 @@ pub fn scatter<C: Comm + ?Sized>(
             .collect();
         let sends: Vec<SendSpec<'_>> = staged
             .iter()
-            .map(|(c, payload)| SendSpec { to: *c, tag: u64::from(g), payload })
+            .map(|(c, payload)| SendSpec {
+                to: *c,
+                tag: u64::from(g),
+                payload,
+            })
             .collect();
         let recvs: Vec<RecvSpec> = incoming
-            .map(|from| RecvSpec { from, tag: u64::from(g) })
+            .map(|from| RecvSpec {
+                from,
+                tag: u64::from(g),
+            })
             .into_iter()
             .collect();
         let msgs = ep.round(&sends, &recvs)?;
@@ -171,9 +219,16 @@ pub fn scatter<C: Comm + ?Sized>(
             bundle = Some(msgs.into_iter().next().expect("one recv requested").payload);
         }
     }
-    let own = if rank == root { (0..n).collect::<Vec<_>>() } else { subtree(&tree, rank) };
+    let own = if rank == root {
+        (0..n).collect::<Vec<_>>()
+    } else {
+        subtree(&tree, rank)
+    };
     let held = bundle.expect("scatter reaches every rank");
-    let slot = own.iter().position(|&x| x == rank).expect("own subtree contains self");
+    let slot = own
+        .iter()
+        .position(|&x| x == rank)
+        .expect("own subtree contains self");
     Ok(held[slot * block..(slot + 1) * block].to_vec())
 }
 
@@ -199,15 +254,21 @@ pub fn barrier_dissemination<C: Comm + ?Sized>(ep: &mut C) -> Result<(), NetErro
     let d = bruck_model::radix::ceil_log(k + 1, n);
     for i in 0..d {
         let base = bruck_model::radix::pow(k + 1, i);
-        let offsets: Vec<usize> =
-            (1..=k).map(|j| j * base).filter(|&o| o < n).collect();
+        let offsets: Vec<usize> = (1..=k).map(|j| j * base).filter(|&o| o < n).collect();
         let sends: Vec<SendSpec<'_>> = offsets
             .iter()
-            .map(|&o| SendSpec { to: (rank + o) % n, tag: u64::from(i), payload: &[] })
+            .map(|&o| SendSpec {
+                to: (rank + o) % n,
+                tag: u64::from(i),
+                payload: &[],
+            })
             .collect();
         let recvs: Vec<RecvSpec> = offsets
             .iter()
-            .map(|&o| RecvSpec { from: (rank + n - o) % n, tag: u64::from(i) })
+            .map(|&o| RecvSpec {
+                from: (rank + n - o) % n,
+                tag: u64::from(i),
+            })
             .collect();
         ep.round(&sends, &recvs)?;
     }
@@ -224,7 +285,11 @@ mod tests {
         for (n, k, root) in [(1usize, 1usize, 0usize), (5, 1, 0), (9, 2, 4), (12, 3, 11)] {
             let cfg = ClusterConfig::new(n).with_ports(k);
             let out = Cluster::run(&cfg, |ep| {
-                let data: Vec<u8> = if ep.rank() == root { vec![7, 8, 9] } else { Vec::new() };
+                let data: Vec<u8> = if ep.rank() == root {
+                    vec![7, 8, 9]
+                } else {
+                    Vec::new()
+                };
                 broadcast(ep, root, &data)
             })
             .unwrap();
@@ -275,7 +340,11 @@ mod tests {
             })
             .unwrap();
             for (rank, r) in out.results.iter().enumerate() {
-                assert_eq!(r, &crate::verify::concat_input(rank, 3), "n={n} rank={rank}");
+                assert_eq!(
+                    r,
+                    &crate::verify::concat_input(rank, 3),
+                    "n={n} rank={rank}"
+                );
             }
         }
     }
@@ -314,12 +383,18 @@ mod tests {
         let n = 8;
         let cfg = ClusterConfig::new(n);
         let out = Cluster::run(&cfg, |ep| {
-            let data: Vec<u8> =
-                if ep.rank() == 0 { crate::verify::concat_expected(n, 4) } else { Vec::new() };
+            let data: Vec<u8> = if ep.rank() == 0 {
+                crate::verify::concat_expected(n, 4)
+            } else {
+                Vec::new()
+            };
             let mine = scatter(ep, 0, &data, 4)?;
             gather(ep, 0, &mine)
         })
         .unwrap();
-        assert_eq!(out.results[0].as_ref().unwrap(), &crate::verify::concat_expected(n, 4));
+        assert_eq!(
+            out.results[0].as_ref().unwrap(),
+            &crate::verify::concat_expected(n, 4)
+        );
     }
 }

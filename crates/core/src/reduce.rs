@@ -54,18 +54,60 @@ impl ReduceOp {
     }
 }
 
-fn encode(v: &[f64]) -> Vec<u8> {
+pub(crate) fn encode(v: &[f64]) -> Vec<u8> {
     v.iter().flat_map(|x| x.to_le_bytes()).collect()
 }
 
-fn decode(bytes: &[u8]) -> Result<Vec<f64>, NetError> {
+/// [`encode`] into a caller-provided buffer of `v.len() * 8` bytes.
+pub(crate) fn encode_into(v: &[f64], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), v.len() * 8);
+    for (chunk, x) in out.chunks_exact_mut(8).zip(v) {
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+}
+
+pub(crate) fn decode(bytes: &[u8]) -> Result<Vec<f64>, NetError> {
     if !bytes.len().is_multiple_of(8) {
-        return Err(NetError::App("f64 payload not a multiple of 8 bytes".into()));
+        return Err(NetError::App(
+            "f64 payload not a multiple of 8 bytes".into(),
+        ));
     }
     Ok(bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect())
+}
+
+/// [`decode`] into a caller-provided slice of `bytes.len() / 8` values.
+pub(crate) fn decode_into(bytes: &[u8], dst: &mut [f64]) -> Result<(), NetError> {
+    if bytes.len() != dst.len() * 8 {
+        return Err(NetError::App(format!(
+            "f64 payload is {} bytes, expected {}",
+            bytes.len(),
+            dst.len() * 8
+        )));
+    }
+    for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(8)) {
+        *d = f64::from_le_bytes(c.try_into().expect("chunk of 8"));
+    }
+    Ok(())
+}
+
+/// Fold an encoded f64 vector into `dst` element-wise without decoding
+/// to a temporary (the operators are commutative, so the fold order does
+/// not matter).
+pub(crate) fn fold_bytes_into(op: ReduceOp, dst: &mut [f64], bytes: &[u8]) -> Result<(), NetError> {
+    if bytes.len() != dst.len() * 8 {
+        return Err(NetError::App(format!(
+            "f64 payload is {} bytes, expected {}",
+            bytes.len(),
+            dst.len() * 8
+        )));
+    }
+    for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(8)) {
+        *d = op.apply(*d, f64::from_le_bytes(c.try_into().expect("chunk of 8")));
+    }
+    Ok(())
 }
 
 /// Reduce every rank's vector to `root` along the (k+1)-ary spanning
@@ -92,22 +134,41 @@ pub fn reduce<C: Comm + ?Sized>(
     for g in (0..tree.num_rounds()).rev() {
         let edges = tree.edges_in_round(g);
         let parent = edges.iter().find(|e| e.to == rank).map(|e| e.from);
-        let children: Vec<usize> =
-            edges.iter().filter(|e| e.from == rank).map(|e| e.to).collect();
-        let payload = parent.map(|_| encode(&acc)).unwrap_or_default();
+        let children: Vec<usize> = edges
+            .iter()
+            .filter(|e| e.from == rank)
+            .map(|e| e.to)
+            .collect();
+        let payload = parent
+            .map(|_| {
+                let mut p = ep.acquire(acc.len() * 8);
+                encode_into(&acc, &mut p);
+                p
+            })
+            .unwrap_or_default();
         let sends: Vec<SendSpec<'_>> = parent
-            .map(|p| SendSpec { to: p, tag: u64::from(g), payload: &payload })
+            .map(|p| SendSpec {
+                to: p,
+                tag: u64::from(g),
+                payload: &payload,
+            })
             .into_iter()
             .collect();
-        let recvs: Vec<RecvSpec> =
-            children.iter().map(|&c| RecvSpec { from: c, tag: u64::from(g) }).collect();
+        let recvs: Vec<RecvSpec> = children
+            .iter()
+            .map(|&c| RecvSpec {
+                from: c,
+                tag: u64::from(g),
+            })
+            .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for msg in &msgs {
-            let partial = decode(&msg.payload)?;
-            if partial.len() != acc.len() {
-                return Err(NetError::App("reduce length mismatch across ranks".into()));
-            }
-            op.fold_into(&mut acc, &partial);
+            fold_bytes_into(op, &mut acc, &msg.payload)
+                .map_err(|_| NetError::App("reduce length mismatch across ranks".into()))?;
+        }
+        ep.recycle(payload);
+        for msg in msgs {
+            ep.recycle(msg.payload);
         }
     }
     Ok((rank == root).then_some(acc))
@@ -126,8 +187,12 @@ pub fn allreduce_via_concat<C: Comm + ?Sized>(
     op: ReduceOp,
 ) -> Result<Vec<f64>, NetError> {
     let n = ep.size();
-    let all = ConcatAlgorithm::Bruck(Default::default()).run(ep, &encode(data))?;
     let m = data.len();
+    let mut mine = ep.acquire(m * 8);
+    encode_into(data, &mut mine);
+    let mut all = ep.acquire(n * m * 8);
+    ConcatAlgorithm::Bruck(Default::default()).run_into(ep, &mine, &mut all)?;
+    ep.recycle(mine);
     let mut acc = vec![
         match op {
             ReduceOp::Sum => 0.0,
@@ -137,9 +202,9 @@ pub fn allreduce_via_concat<C: Comm + ?Sized>(
         m
     ];
     for i in 0..n {
-        let part = decode(&all[i * m * 8..(i + 1) * m * 8])?;
-        op.fold_into(&mut acc, &part);
+        fold_bytes_into(op, &mut acc, &all[i * m * 8..(i + 1) * m * 8])?;
     }
+    ep.recycle(all);
     Ok(acc)
 }
 
@@ -174,6 +239,12 @@ pub fn allreduce_halving_doubling<C: Comm + ?Sized>(
     let w = n.trailing_zeros();
     let mut buf = data.to_vec();
 
+    // One pooled staging pair serves every round (the first halving round
+    // moves the most: half the vector).
+    let cap = (data.len() / 2) * 8;
+    let mut outbound = ep.acquire(cap);
+    let mut inbound = ep.acquire(cap);
+
     // Reduce-scatter by recursive halving: after step x, this rank owns
     // the reduced segment of all ranks sharing its low x+1 bits… tracked
     // as a shrinking [lo, hi) window over the vector.
@@ -184,15 +255,23 @@ pub fn allreduce_halving_doubling<C: Comm + ?Sized>(
         let mid = lo + (hi - lo) / 2;
         // The half we keep is the half containing our final segment:
         // ranks with bit x = 0 keep the low half.
-        let (keep, send) = if rank & (1 << x) == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
-        let payload = encode(&buf[send.0..send.1]);
-        let received = ep.send_and_recv(partner, &payload, partner, u64::from(x))?;
-        let incoming = decode(&received)?;
-        if incoming.len() != keep.1 - keep.0 {
-            return Err(NetError::App("halving segment mismatch".into()));
-        }
+        let (keep, send) = if rank & (1 << x) == 0 {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
+        let send_bytes = (send.1 - send.0) * 8;
+        encode_into(&buf[send.0..send.1], &mut outbound[..send_bytes]);
+        let got = ep.send_and_recv_into(
+            partner,
+            &outbound[..send_bytes],
+            partner,
+            u64::from(x),
+            &mut inbound,
+        )?;
         let (keep_lo, keep_hi) = keep;
-        op.fold_into(&mut buf[keep_lo..keep_hi], &incoming);
+        fold_bytes_into(op, &mut buf[keep_lo..keep_hi], &inbound[..got])
+            .map_err(|_| NetError::App("halving segment mismatch".into()))?;
         lo = keep_lo;
         hi = keep_hi;
     }
@@ -201,19 +280,28 @@ pub fn allreduce_halving_doubling<C: Comm + ?Sized>(
     for x in 0..w {
         let partner = rank ^ (1 << x);
         let span = hi - lo;
-        let payload = encode(&buf[lo..hi]);
-        let received = ep.send_and_recv(partner, &payload, partner, u64::from(w + x))?;
-        let incoming = decode(&received)?;
-        if incoming.len() != span {
-            return Err(NetError::App("doubling segment mismatch".into()));
-        }
+        encode_into(&buf[lo..hi], &mut outbound[..span * 8]);
+        let got = ep.send_and_recv_into(
+            partner,
+            &outbound[..span * 8],
+            partner,
+            u64::from(w + x),
+            &mut inbound,
+        )?;
         // Partner's window is the sibling half of the doubled window.
-        let (new_lo, new_hi) = if rank & (1 << x) == 0 { (lo, hi + span) } else { (lo - span, hi) };
+        let (new_lo, new_hi) = if rank & (1 << x) == 0 {
+            (lo, hi + span)
+        } else {
+            (lo - span, hi)
+        };
         let partner_lo = if rank & (1 << x) == 0 { hi } else { lo - span };
-        buf[partner_lo..partner_lo + span].copy_from_slice(&incoming);
+        decode_into(&inbound[..got], &mut buf[partner_lo..partner_lo + span])
+            .map_err(|_| NetError::App("doubling segment mismatch".into()))?;
         lo = new_lo;
         hi = new_hi;
     }
+    ep.recycle(outbound);
+    ep.recycle(inbound);
     debug_assert_eq!((lo, hi), (0, data.len()));
     Ok(buf)
 }

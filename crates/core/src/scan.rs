@@ -8,21 +8,7 @@
 
 use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
 
-use crate::reduce::ReduceOp;
-
-fn encode(v: &[f64]) -> Vec<u8> {
-    v.iter().flat_map(|x| x.to_le_bytes()).collect()
-}
-
-fn decode(bytes: &[u8]) -> Result<Vec<f64>, NetError> {
-    if !bytes.len().is_multiple_of(8) {
-        return Err(NetError::App("f64 payload not a multiple of 8 bytes".into()));
-    }
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
-        .collect())
-}
+use crate::reduce::{decode, encode_into, ReduceOp};
 
 /// Inclusive prefix reduction: rank `i` returns `op(data_0, …, data_i)`.
 ///
@@ -43,16 +29,24 @@ pub fn scan<C: Comm + ?Sized>(
     }
     let rounds = bruck_model::radix::ceil_log(2, n);
     let mut dist = 1usize;
+    let mut payload = ep.acquire(acc.len() * 8);
     for round in 0..rounds {
         // Send the running prefix op(data_{rank-dist+1..=rank}) — which is
         // `acc` — to rank+dist; fold in what arrives from rank-dist.
-        let payload = encode(&acc);
+        encode_into(&acc, &mut payload);
         let sends: Vec<SendSpec<'_>> = (rank + dist < n)
-            .then(|| SendSpec { to: rank + dist, tag: u64::from(round), payload: &payload })
+            .then(|| SendSpec {
+                to: rank + dist,
+                tag: u64::from(round),
+                payload: &payload,
+            })
             .into_iter()
             .collect();
         let recvs: Vec<RecvSpec> = (rank >= dist)
-            .then(|| RecvSpec { from: rank - dist, tag: u64::from(round) })
+            .then(|| RecvSpec {
+                from: rank - dist,
+                tag: u64::from(round),
+            })
             .into_iter()
             .collect();
         let msgs = ep.round(&sends, &recvs)?;
@@ -66,8 +60,12 @@ pub fn scan<C: Comm + ?Sized>(
             op.fold_into(&mut merged, &acc);
             acc = merged;
         }
+        for msg in msgs {
+            ep.recycle(msg.payload);
+        }
         dist *= 2;
     }
+    ep.recycle(payload);
     Ok(acc)
 }
 
@@ -93,28 +91,36 @@ pub fn exscan<C: Comm + ?Sized>(
     }
     let rounds = bruck_model::radix::ceil_log(2, n);
     let mut dist = 1usize;
+    let mut carry = vec![0.0f64; data.len()];
+    let mut payload = ep.acquire(data.len() * 8);
     for round in 0..rounds {
         // What we forward to rank+dist must cover ranks
         // [rank-dist+1, rank] — own data plus the exclusive prefix
         // accumulated so far, *clipped* to that window. The doubling
         // recursion keeps exactly that window in `carry`.
-        let carry: Vec<f64> = match &acc {
+        match &acc {
             // acc covers [rank-dist+1, rank-1]; adding own data covers
             // the window including rank.
             Some(prev) => {
-                let mut c = prev.clone();
-                op.fold_into(&mut c, data);
-                c
+                carry.copy_from_slice(prev);
+                op.fold_into(&mut carry, data);
             }
-            None => data.to_vec(),
-        };
-        let payload = encode(&carry);
+            None => carry.copy_from_slice(data),
+        }
+        encode_into(&carry, &mut payload);
         let sends: Vec<SendSpec<'_>> = (rank + dist < n)
-            .then(|| SendSpec { to: rank + dist, tag: u64::from(round), payload: &payload })
+            .then(|| SendSpec {
+                to: rank + dist,
+                tag: u64::from(round),
+                payload: &payload,
+            })
             .into_iter()
             .collect();
         let recvs: Vec<RecvSpec> = (rank >= dist)
-            .then(|| RecvSpec { from: rank - dist, tag: u64::from(round) })
+            .then(|| RecvSpec {
+                from: rank - dist,
+                tag: u64::from(round),
+            })
             .into_iter()
             .collect();
         let msgs = ep.round(&sends, &recvs)?;
@@ -132,8 +138,12 @@ pub fn exscan<C: Comm + ?Sized>(
                 None => incoming,
             });
         }
+        for msg in msgs {
+            ep.recycle(msg.payload);
+        }
         dist *= 2;
     }
+    ep.recycle(payload);
     Ok(acc)
 }
 

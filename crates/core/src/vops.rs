@@ -59,14 +59,18 @@ pub fn alltoallv<C: Comm + ?Sized>(
     let k = ep.ports();
 
     // Metadata: every rank tells every other how much to expect, via the
-    // round-optimal uniform index on 8-byte blocks.
-    let mut size_table = Vec::with_capacity(n * 8);
-    for buf in sendbufs {
-        size_table.extend_from_slice(&encode_len(buf.len()));
+    // round-optimal uniform index on 8-byte blocks (pooled staging).
+    let mut size_table = ep.acquire(n * 8);
+    for (slot, buf) in size_table.chunks_exact_mut(8).zip(sendbufs) {
+        slot.copy_from_slice(&encode_len(buf.len()));
     }
-    let incoming_sizes = IndexAlgorithm::BruckRadix(2).run(ep, &size_table, 8)?;
-    let expect: Vec<usize> =
-        (0..n).map(|src| decode_len(&incoming_sizes[src * 8..(src + 1) * 8])).collect();
+    let mut incoming_sizes = ep.acquire(n * 8);
+    IndexAlgorithm::BruckRadix(2).run_into(ep, &size_table, 8, &mut incoming_sizes)?;
+    ep.recycle(size_table);
+    let expect: Vec<usize> = (0..n)
+        .map(|src| decode_len(&incoming_sizes[src * 8..(src + 1) * 8]))
+        .collect();
+    ep.recycle(incoming_sizes);
 
     // Payload: direct exchange, k pairs per round.
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
@@ -78,12 +82,19 @@ pub fn alltoallv<C: Comm + ?Sized>(
             .iter()
             .map(|&d| {
                 let dst = (rank + d) % n;
-                SendSpec { to: dst, tag: d as u64, payload: &sendbufs[dst] }
+                SendSpec {
+                    to: dst,
+                    tag: d as u64,
+                    payload: &sendbufs[dst],
+                }
             })
             .collect();
         let recvs: Vec<RecvSpec> = group
             .iter()
-            .map(|&d| RecvSpec { from: (rank + n - d) % n, tag: d as u64 })
+            .map(|&d| RecvSpec {
+                from: (rank + n - d) % n,
+                tag: d as u64,
+            })
             .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for (&d, msg) in group.iter().zip(msgs) {
@@ -116,11 +127,18 @@ pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Ve
     let rank = ep.rank();
     let k = ep.ports();
 
-    // Metadata: the uniform circulant concatenation on the size table.
-    let sizes_flat = ConcatAlgorithm::Bruck(Default::default())
-        .run(ep, &encode_len(myblock.len()))?;
-    let sizes: Vec<usize> =
-        (0..n).map(|i| decode_len(&sizes_flat[i * 8..(i + 1) * 8])).collect();
+    // Metadata: the uniform circulant concatenation on the size table
+    // (pooled staging).
+    let mut sizes_flat = ep.acquire(n * 8);
+    ConcatAlgorithm::Bruck(Default::default()).run_into(
+        ep,
+        &encode_len(myblock.len()),
+        &mut sizes_flat,
+    )?;
+    let sizes: Vec<usize> = (0..n)
+        .map(|i| decode_len(&sizes_flat[i * 8..(i + 1) * 8]))
+        .collect();
+    ep.recycle(sizes_flat);
 
     // Distance-ordered holdings: slot δ = block of rank (rank - δ) mod n.
     let slot_size = |v: usize, slot: usize| sizes[(v + n - slot % n) % n];
@@ -131,26 +149,48 @@ pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Ve
     if d <= 1 {
         // Trivial single round.
         let sends: Vec<SendSpec<'_>> = (1..n)
-            .map(|dd| SendSpec { to: (rank + dd) % n, tag: 0, payload: myblock })
+            .map(|dd| SendSpec {
+                to: (rank + dd) % n,
+                tag: 0,
+                payload: myblock,
+            })
             .collect();
-        let recvs: Vec<RecvSpec> =
-            (1..n).map(|dd| RecvSpec { from: (rank + n - dd) % n, tag: 0 }).collect();
+        let recvs: Vec<RecvSpec> = (1..n)
+            .map(|dd| RecvSpec {
+                from: (rank + n - dd) % n,
+                tag: 0,
+            })
+            .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for (dd, msg) in (1..n).zip(msgs) {
             have[dd] = Some(msg.payload);
         }
     } else {
-        // Doubling rounds with variable-size bundles.
+        // Doubling rounds with variable-size bundles (pooled staging).
         for i in 0..d - 1 {
             let cur = pow(k + 1, i);
-            let bundle: Vec<u8> = (0..cur)
-                .flat_map(|s| have[s].as_deref().expect("slot filled").iter().copied())
-                .collect();
+            let bundle_len: usize = (0..cur)
+                .map(|s| have[s].as_deref().expect("slot filled").len())
+                .sum();
+            let mut bundle = ep.acquire(bundle_len);
+            let mut at = 0usize;
+            for slot in have.iter().take(cur) {
+                let data = slot.as_deref().expect("slot filled");
+                bundle[at..at + data.len()].copy_from_slice(data);
+                at += data.len();
+            }
             let sends: Vec<SendSpec<'_>> = (1..=k)
-                .map(|j| SendSpec { to: (rank + j * cur) % n, tag: u64::from(i), payload: &bundle })
+                .map(|j| SendSpec {
+                    to: (rank + j * cur) % n,
+                    tag: u64::from(i),
+                    payload: &bundle,
+                })
                 .collect();
             let recvs: Vec<RecvSpec> = (1..=k)
-                .map(|j| RecvSpec { from: (rank + n - j * cur) % n, tag: u64::from(i) })
+                .map(|j| RecvSpec {
+                    from: (rank + n - j * cur) % n,
+                    tag: u64::from(i),
+                })
                 .collect();
             let msgs = ep.round(&sends, &recvs)?;
             for (j, msg) in (1..=k).zip(&msgs) {
@@ -169,6 +209,10 @@ pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Ve
                 if at != msg.payload.len() {
                     return Err(NetError::App("allgatherv bundle overrun".into()));
                 }
+            }
+            ep.recycle(bundle);
+            for msg in msgs {
+                ep.recycle(msg.payload);
             }
         }
         // Last round: the n2 missing slots [n1, n) split column-aligned
@@ -192,12 +236,17 @@ pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Ve
                     let offset = n1 + starts[a];
                     // We send to rank+offset the bundle of its missing
                     // slots n1+m for m in the area: its slot n1+m is our
-                    // slot n1+m-offset.
-                    let bundle: Vec<u8> = (starts[a]..starts[a + 1])
-                        .flat_map(|m| {
-                            have[n1 + m - offset].as_deref().expect("slot filled").iter().copied()
-                        })
-                        .collect();
+                    // slot n1+m-offset (pooled staging).
+                    let bundle_len: usize = (starts[a]..starts[a + 1])
+                        .map(|m| have[n1 + m - offset].as_deref().expect("slot filled").len())
+                        .sum();
+                    let mut bundle = ep.acquire(bundle_len);
+                    let mut at = 0usize;
+                    for m in starts[a]..starts[a + 1] {
+                        let data = have[n1 + m - offset].as_deref().expect("slot filled");
+                        bundle[at..at + data.len()].copy_from_slice(data);
+                        at += data.len();
+                    }
                     (offset, bundle)
                 })
                 .collect();
@@ -211,7 +260,10 @@ pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Ve
                 .collect();
             let recvs: Vec<RecvSpec> = staged
                 .iter()
-                .map(|(offset, _)| RecvSpec { from: (rank + n - offset % n) % n, tag })
+                .map(|(offset, _)| RecvSpec {
+                    from: (rank + n - offset % n) % n,
+                    tag,
+                })
                 .collect();
             let msgs = ep.round(&sends, &recvs)?;
             for (a, msg) in (0..areas).zip(&msgs) {
@@ -227,6 +279,12 @@ pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Ve
                 if at != msg.payload.len() {
                     return Err(NetError::App("allgatherv tail overrun".into()));
                 }
+            }
+            for (_, bundle) in staged {
+                ep.recycle(bundle);
+            }
+            for msg in msgs {
+                ep.recycle(msg.payload);
             }
         }
     }
@@ -254,7 +312,9 @@ mod tests {
 
     /// Rank i's allgatherv block: (i * 7) % 19 bytes (some empty).
     fn g_payload(i: usize) -> Vec<u8> {
-        (0..(i * 7) % 19).map(|t| crate::verify::content_byte(i, 0, t)).collect()
+        (0..(i * 7) % 19)
+            .map(|t| crate::verify::content_byte(i, 0, t))
+            .collect()
     }
 
     #[test]
@@ -263,8 +323,7 @@ mod tests {
             for &k in &[1usize, 2, 3] {
                 let cfg = ClusterConfig::new(n).with_ports(k);
                 let out = Cluster::run(&cfg, |ep| {
-                    let bufs: Vec<Vec<u8>> =
-                        (0..n).map(|j| v_payload(ep.rank(), j)).collect();
+                    let bufs: Vec<Vec<u8>> = (0..n).map(|j| v_payload(ep.rank(), j)).collect();
                     alltoallv(ep, &bufs)
                 })
                 .unwrap();

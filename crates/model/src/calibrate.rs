@@ -33,14 +33,22 @@ pub struct LinearFit {
 /// slope would be undefined).
 #[must_use]
 pub fn fit_linear(samples: &[(u64, f64)]) -> LinearFit {
-    assert!(samples.len() >= 2, "need at least two samples to fit a line");
+    assert!(
+        samples.len() >= 2,
+        "need at least two samples to fit a line"
+    );
     let n = samples.len() as f64;
     let mean_x = samples.iter().map(|&(x, _)| x as f64).sum::<f64>() / n;
     let mean_y = samples.iter().map(|&(_, y)| y).sum::<f64>() / n;
-    let sxx: f64 = samples.iter().map(|&(x, _)| (x as f64 - mean_x).powi(2)).sum();
+    let sxx: f64 = samples
+        .iter()
+        .map(|&(x, _)| (x as f64 - mean_x).powi(2))
+        .sum();
     assert!(sxx > 0.0, "all sample sizes are equal — slope undefined");
-    let sxy: f64 =
-        samples.iter().map(|&(x, y)| (x as f64 - mean_x) * (y - mean_y)).sum();
+    let sxy: f64 = samples
+        .iter()
+        .map(|&(x, y)| (x as f64 - mean_x) * (y - mean_y))
+        .sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
 
@@ -49,7 +57,11 @@ pub fn fit_linear(samples: &[(u64, f64)]) -> LinearFit {
         .iter()
         .map(|&(x, y)| (y - (intercept + slope * x as f64)).powi(2))
         .sum();
-    let r_squared = if ss_tot > 0.0 { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
 
     LinearFit {
         model: LinearModel::new(intercept.max(0.0), slope.max(0.0)),
@@ -66,8 +78,16 @@ pub fn fit_linear(samples: &[(u64, f64)]) -> LinearFit {
 #[must_use]
 pub fn fit_gamma_factors(reference: LinearModel, samples: &[(u64, f64)]) -> (f64, f64) {
     let fit = fit_linear(samples);
-    let gs = if reference.startup > 0.0 { fit.model.startup / reference.startup } else { 1.0 };
-    let gc = if reference.per_byte > 0.0 { fit.model.per_byte / reference.per_byte } else { 1.0 };
+    let gs = if reference.startup > 0.0 {
+        fit.model.startup / reference.startup
+    } else {
+        1.0
+    };
+    let gc = if reference.per_byte > 0.0 {
+        fit.model.per_byte / reference.per_byte
+    } else {
+        1.0
+    };
     (gs.max(1.0), gc.max(1.0))
 }
 
@@ -79,8 +99,10 @@ mod tests {
     #[test]
     fn exact_line_recovered() {
         let truth = LinearModel::new(29e-6, 0.12e-6);
-        let samples: Vec<(u64, f64)> =
-            [1u64, 64, 256, 1024, 8192].iter().map(|&b| (b, truth.send_cost(b))).collect();
+        let samples: Vec<(u64, f64)> = [1u64, 64, 256, 1024, 8192]
+            .iter()
+            .map(|&b| (b, truth.send_cost(b)))
+            .collect();
         let fit = fit_linear(&samples);
         assert!((fit.model.startup - 29e-6).abs() < 1e-12);
         assert!((fit.model.per_byte - 0.12e-6).abs() < 1e-15);
@@ -115,8 +137,10 @@ mod tests {
     fn gamma_factors_recovered() {
         let reference = LinearModel::sp1();
         let inflated = LinearModel::new(reference.startup * 1.5, reference.per_byte * 2.0);
-        let samples: Vec<(u64, f64)> =
-            [16u64, 128, 1024, 4096].iter().map(|&b| (b, inflated.send_cost(b))).collect();
+        let samples: Vec<(u64, f64)> = [16u64, 128, 1024, 4096]
+            .iter()
+            .map(|&b| (b, inflated.send_cost(b)))
+            .collect();
         let (gs, gc) = fit_gamma_factors(reference, &samples);
         assert!((gs - 1.5).abs() < 1e-6, "γs = {gs}");
         assert!((gc - 2.0).abs() < 1e-6, "γc = {gc}");

@@ -103,7 +103,9 @@ pub fn concat_phase1_offsets(n: usize, k: usize) -> Vec<Vec<usize>> {
         return Vec::new();
     }
     let d = ceil_log(k + 1, n);
-    (0..d.saturating_sub(1)).map(|i| round_offsets(k, i)).collect()
+    (0..d.saturating_sub(1))
+        .map(|i| round_offsets(k, i))
+        .collect()
 }
 
 /// The circulant graph used by the whole first phase.

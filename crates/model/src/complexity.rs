@@ -36,7 +36,10 @@ impl Complexity {
     /// Accumulate one more round whose largest message is `max_bytes`.
     #[must_use]
     pub const fn plus_round(self, max_bytes: u64) -> Self {
-        Self { c1: self.c1 + 1, c2: self.c2 + max_bytes }
+        Self {
+            c1: self.c1 + 1,
+            c2: self.c2 + max_bytes,
+        }
     }
 
     /// Estimated time under the linear model: `C1·startup + C2·per_byte`.
@@ -57,7 +60,10 @@ impl Add for Complexity {
     type Output = Self;
 
     fn add(self, rhs: Self) -> Self {
-        Self { c1: self.c1 + rhs.c1, c2: self.c2 + rhs.c2 }
+        Self {
+            c1: self.c1 + rhs.c1,
+            c2: self.c2 + rhs.c2,
+        }
     }
 }
 

@@ -82,8 +82,7 @@ pub trait CostModel: Send + Sync {
         // non-affine send_cost should override `estimate`.
         let base = self.send_cost(0);
         let per_byte = self.send_cost(1) - base;
-        c.c1 as f64 * (base + self.latency(0) + self.recv_cost(0))
-            + c.c2 as f64 * per_byte
+        c.c1 as f64 * (base + self.latency(0) + self.recv_cost(0)) + c.c2 as f64 * per_byte
     }
 
     /// Human-readable model name for reports.
@@ -111,13 +110,19 @@ impl LinearModel {
     /// `τ ≈ 0.12 µs/byte`.
     #[must_use]
     pub const fn sp1() -> Self {
-        Self { startup: 29e-6, per_byte: 0.12e-6 }
+        Self {
+            startup: 29e-6,
+            per_byte: 0.12e-6,
+        }
     }
 
     /// A zero-cost model (useful for pure-structure analysis).
     #[must_use]
     pub const fn free() -> Self {
-        Self { startup: 0.0, per_byte: 0.0 }
+        Self {
+            startup: 0.0,
+            per_byte: 0.0,
+        }
     }
 }
 
@@ -257,8 +262,16 @@ impl Sp1Model {
     /// Panics if either factor is below 1.
     #[must_use]
     pub fn new(linear: LinearModel, gamma_startup: f64, gamma_transfer: f64) -> Self {
-        assert!(gamma_startup >= 1.0 && gamma_transfer >= 1.0, "γ factors must be ≥ 1");
-        Self { linear, gamma_startup, gamma_transfer, copy_per_byte: 0.0 }
+        assert!(
+            gamma_startup >= 1.0 && gamma_transfer >= 1.0,
+            "γ factors must be ≥ 1"
+        );
+        Self {
+            linear,
+            gamma_startup,
+            gamma_transfer,
+            copy_per_byte: 0.0,
+        }
     }
 
     /// Enable copy-time modelling at `copy_per_byte` seconds/byte.
@@ -323,7 +336,11 @@ impl HierarchicalModel {
     #[must_use]
     pub fn new(node_size: usize, local: LinearModel, remote: LinearModel) -> Self {
         assert!(node_size >= 1);
-        Self { node_size, local, remote }
+        Self {
+            node_size,
+            local,
+            remote,
+        }
     }
 
     /// An SMP-cluster-style calibration: shared-memory-fast inside a node

@@ -29,8 +29,8 @@ pub mod bounds;
 pub mod calibrate;
 pub mod circulant;
 pub mod complexity;
-pub mod mixed_radix;
 pub mod cost;
+pub mod mixed_radix;
 pub mod partition;
 pub mod radix;
 pub mod spanning_tree;
@@ -38,6 +38,6 @@ pub mod tuning;
 
 pub use bounds::{concat_bounds, index_bounds, LowerBounds};
 pub use complexity::Complexity;
-pub use mixed_radix::MixedRadix;
 pub use cost::{CostModel, HierarchicalModel, LinearModel, LogPModel, PostalModel, Sp1Model};
+pub use mixed_radix::MixedRadix;
 pub use radix::{ceil_log, RadixDecomposition};

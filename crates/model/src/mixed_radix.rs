@@ -52,8 +52,15 @@ impl MixedRadix {
             weights.push(w);
             w = w.checked_mul(r).expect("radix product overflow");
         }
-        assert!(w >= n || n == 1, "radix vector covers only [0, {w}) < n = {n}");
-        Self { n, radices: kept, weights }
+        assert!(
+            w >= n || n == 1,
+            "radix vector covers only [0, {w}) < n = {n}"
+        );
+        Self {
+            n,
+            radices: kept,
+            weights,
+        }
     }
 
     /// Number of values decomposed.
@@ -133,8 +140,10 @@ impl MixedRadix {
             let mut z = 1usize;
             while z <= steps {
                 let hi = steps.min(z + ports - 1);
-                let max_blocks =
-                    (z..=hi).map(|zz| self.blocks_in_step(x, zz)).max().unwrap_or(0);
+                let max_blocks = (z..=hi)
+                    .map(|zz| self.blocks_in_step(x, zz))
+                    .max()
+                    .unwrap_or(0);
                 c = c.plus_round((max_blocks * block) as u64);
                 z = hi + 1;
             }
@@ -213,10 +222,7 @@ mod tests {
                             mixed.blocks_in_step(x as usize, z),
                             uni.blocks_in_step(x, z)
                         );
-                        assert_eq!(
-                            mixed.step_distance(x as usize, z),
-                            uni.step_distance(x, z)
-                        );
+                        assert_eq!(mixed.step_distance(x as usize, z), uni.step_distance(x, z));
                     }
                 }
             }
@@ -227,8 +233,7 @@ mod tests {
     fn digits_sum_to_value() {
         let d = MixedRadix::new(30, &[2, 3, 5]);
         for j in 0..30 {
-            let total: usize =
-                (0..3).map(|x| d.digit(j, x) * d.step_distance(x, 1)).sum();
+            let total: usize = (0..3).map(|x| d.digit(j, x) * d.step_distance(x, 1)).sum();
             assert_eq!(total, j);
         }
     }

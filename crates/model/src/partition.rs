@@ -72,13 +72,21 @@ impl Area {
     /// Leftmost column touched.
     #[must_use]
     pub fn leftmost(&self) -> usize {
-        self.slices.iter().map(|s| s.col).min().expect("area is non-empty")
+        self.slices
+            .iter()
+            .map(|s| s.col)
+            .min()
+            .expect("area is non-empty")
     }
 
     /// Rightmost column touched.
     #[must_use]
     pub fn rightmost(&self) -> usize {
-        self.slices.iter().map(|s| s.col).max().expect("area is non-empty")
+        self.slices
+            .iter()
+            .map(|s| s.col)
+            .max()
+            .expect("area is non-empty")
     }
 
     /// Column span `R - L + 1`.
@@ -150,7 +158,11 @@ impl LastRoundPlan {
         let mut covered = vec![vec![false; self.b]; self.n2];
         for (ri, round) in self.rounds.iter().enumerate() {
             if round.len() > self.k {
-                return Err(format!("round {ri} has {} areas > k={}", round.len(), self.k));
+                return Err(format!(
+                    "round {ri} has {} areas > k={}",
+                    round.len(),
+                    self.k
+                ));
             }
             let mut offsets: Vec<usize> = round.iter().map(|a| a.offset).collect();
             offsets.sort_unstable();
@@ -291,11 +303,18 @@ fn area_from_range(n1: usize, b: usize, start: usize, end: usize) -> Area {
         let col = t / b;
         let row_start = t % b;
         let row_end = (b).min(row_start + (end - t));
-        slices.push(ColumnSlice { col, row_start, row_end });
+        slices.push(ColumnSlice {
+            col,
+            row_start,
+            row_end,
+        });
         t += row_end - row_start;
     }
     let leftmost = slices[0].col;
-    Area { offset: n1 + leftmost, slices }
+    Area {
+        offset: n1 + leftmost,
+        slices,
+    }
 }
 
 /// Greedy byte-granular partition into `k` chunks of at most `chunk` bytes
@@ -335,7 +354,10 @@ fn column_aligned(n1: usize, n2: usize, b: usize, k: usize) -> Vec<Area> {
         col += cols;
     }
     let ok = assign_offsets(&mut areas, n1);
-    debug_assert!(ok, "column-aligned offset assignment cannot fail (disjoint columns)");
+    debug_assert!(
+        ok,
+        "column-aligned offset assignment cannot fail (disjoint columns)"
+    );
     areas
 }
 
@@ -349,7 +371,13 @@ fn column_aligned(n1: usize, n2: usize, b: usize, k: usize) -> Vec<Area> {
 ///
 /// Panics on parameter violations (`n2 > k·n1`, zero sizes).
 #[must_use]
-pub fn plan_last_round(n1: usize, n2: usize, b: usize, k: usize, pref: Preference) -> LastRoundPlan {
+pub fn plan_last_round(
+    n1: usize,
+    n2: usize,
+    b: usize,
+    k: usize,
+    pref: Preference,
+) -> LastRoundPlan {
     assert!(n1 >= 1 && n2 >= 1 && b >= 1 && k >= 1);
     assert!(
         n2 <= k * n1,
@@ -358,7 +386,14 @@ pub fn plan_last_round(n1: usize, n2: usize, b: usize, k: usize, pref: Preferenc
     );
     let a = (b * n2).div_ceil(k);
     let plan = if let Some(areas) = greedy(n1, n2, b, k, a) {
-        LastRoundPlan { n1, n2, b, k, rounds: vec![areas], strategy: Strategy::Greedy }
+        LastRoundPlan {
+            n1,
+            n2,
+            b,
+            k,
+            rounds: vec![areas],
+            strategy: Strategy::Greedy,
+        }
     } else {
         match pref {
             Preference::Rounds => LastRoundPlan {
@@ -464,27 +499,63 @@ mod tests {
         assert_eq!(
             areas[0].slices,
             vec![
-                ColumnSlice { col: 0, row_start: 0, row_end: 3 },
-                ColumnSlice { col: 1, row_start: 0, row_end: 3 },
-                ColumnSlice { col: 2, row_start: 0, row_end: 1 },
+                ColumnSlice {
+                    col: 0,
+                    row_start: 0,
+                    row_end: 3
+                },
+                ColumnSlice {
+                    col: 1,
+                    row_start: 0,
+                    row_end: 3
+                },
+                ColumnSlice {
+                    col: 2,
+                    row_start: 0,
+                    row_end: 1
+                },
             ]
         );
         // Area 2: p5 two bytes, p6 three, p7 two.
         assert_eq!(
             areas[1].slices,
             vec![
-                ColumnSlice { col: 2, row_start: 1, row_end: 3 },
-                ColumnSlice { col: 3, row_start: 0, row_end: 3 },
-                ColumnSlice { col: 4, row_start: 0, row_end: 2 },
+                ColumnSlice {
+                    col: 2,
+                    row_start: 1,
+                    row_end: 3
+                },
+                ColumnSlice {
+                    col: 3,
+                    row_start: 0,
+                    row_end: 3
+                },
+                ColumnSlice {
+                    col: 4,
+                    row_start: 0,
+                    row_end: 2
+                },
             ]
         );
         // Area 3: p7 one byte, p8 three, p9 three.
         assert_eq!(
             areas[2].slices,
             vec![
-                ColumnSlice { col: 4, row_start: 2, row_end: 3 },
-                ColumnSlice { col: 5, row_start: 0, row_end: 3 },
-                ColumnSlice { col: 6, row_start: 0, row_end: 3 },
+                ColumnSlice {
+                    col: 4,
+                    row_start: 2,
+                    row_end: 3
+                },
+                ColumnSlice {
+                    col: 5,
+                    row_start: 0,
+                    row_end: 3
+                },
+                ColumnSlice {
+                    col: 6,
+                    row_start: 0,
+                    row_end: 3
+                },
             ]
         );
     }

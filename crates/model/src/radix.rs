@@ -77,7 +77,11 @@ impl RadixDecomposition {
     pub fn new(n: usize, r: usize) -> Self {
         assert!(n >= 1, "RadixDecomposition: n must be ≥ 1");
         assert!(r >= 2, "RadixDecomposition: radix must be ≥ 2");
-        Self { n, r, w: ceil_log(r, n) }
+        Self {
+            n,
+            r,
+            w: ceil_log(r, n),
+        }
     }
 
     /// Number of values being decomposed (`n`).
@@ -131,7 +135,10 @@ impl RadixDecomposition {
     /// `(x, z)`.
     #[must_use]
     pub fn blocks_for_step(&self, x: u32, z: usize) -> Vec<usize> {
-        assert!(z >= 1 && z <= self.steps_in_subphase(x), "step z={z} out of range");
+        assert!(
+            z >= 1 && z <= self.steps_in_subphase(x),
+            "step z={z} out of range"
+        );
         (0..self.n).filter(|&j| self.digit(j, x) == z).collect()
     }
 

@@ -100,7 +100,11 @@ impl SpanningTree {
     /// Edges used in a given round.
     #[must_use]
     pub fn edges_in_round(&self, round: u32) -> Vec<TreeEdge> {
-        self.edges.iter().copied().filter(|e| e.round == round).collect()
+        self.edges
+            .iter()
+            .copied()
+            .filter(|e| e.round == round)
+            .collect()
     }
 
     /// Total number of rounds used.
@@ -208,8 +212,11 @@ mod tests {
         let t0 = SpanningTree::build(9, 2, 0);
         let t1 = t0.translate(1);
         assert_eq!(t1.root(), 1);
-        let r1: HashSet<(usize, usize)> =
-            t1.edges_in_round(1).iter().map(|e| (e.from, e.to)).collect();
+        let r1: HashSet<(usize, usize)> = t1
+            .edges_in_round(1)
+            .iter()
+            .map(|e| (e.from, e.to))
+            .collect();
         assert_eq!(
             r1,
             HashSet::from([(1, 4), (1, 7), (2, 5), (2, 8), (3, 6), (3, 0)])
@@ -248,9 +255,8 @@ mod tests {
             for k in 1..5 {
                 for root in [0, n / 2, n - 1] {
                     let t = SpanningTree::build(n, k, root.min(n - 1));
-                    t.validate().unwrap_or_else(|e| {
-                        panic!("n={n} k={k} root={root}: {e}")
-                    });
+                    t.validate()
+                        .unwrap_or_else(|e| panic!("n={n} k={k} root={root}: {e}"));
                     assert_eq!(
                         u64::from(t.num_rounds()),
                         crate::bounds::concat_bounds(n, k, 1).c1,

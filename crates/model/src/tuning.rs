@@ -79,14 +79,22 @@ pub fn best_radix(
     candidates: impl IntoIterator<Item = usize>,
 ) -> RadixChoice {
     if n <= 1 {
-        return RadixChoice { radix: 2, complexity: Complexity::ZERO, predicted_time: 0.0 };
+        return RadixChoice {
+            radix: 2,
+            complexity: Complexity::ZERO,
+            predicted_time: 0.0,
+        };
     }
     candidates
         .into_iter()
         .filter(|&r| (2..=n).contains(&r))
         .map(|r| {
             let complexity = index_complexity_kport(n, r, b, k);
-            RadixChoice { radix: r, complexity, predicted_time: model.estimate(complexity) }
+            RadixChoice {
+                radix: r,
+                complexity,
+                predicted_time: model.estimate(complexity),
+            }
         })
         .min_by(|x, y| x.predicted_time.total_cmp(&y.predicted_time))
         .expect("no valid radix candidate in [2, n]")
@@ -202,7 +210,11 @@ mod tests {
         // best radix must beat the direct algorithm.
         let m = LinearModel::sp1();
         let choice = best_radix(64, 1, 1, &m, all_radices(64));
-        assert!(choice.radix < 64, "tiny messages should avoid r=n, got {}", choice.radix);
+        assert!(
+            choice.radix < 64,
+            "tiny messages should avoid r=n, got {}",
+            choice.radix
+        );
     }
 
     #[test]

@@ -9,9 +9,10 @@ use crate::endpoint::Endpoint;
 use crate::error::NetError;
 use crate::fault::FaultPlan;
 use crate::mailbox::Mailbox;
-use crate::transport::ChannelTransport;
 use crate::metrics::RunMetrics;
+use crate::pool::BufferPool;
 use crate::trace::Trace;
+use crate::transport::ChannelTransport;
 use crate::vbarrier::VBarrier;
 
 /// Configuration for one cluster run.
@@ -195,6 +196,9 @@ impl Cluster {
         assert_eq!(transports.len(), n, "one transport per rank");
         let barrier = Arc::new(VBarrier::new(n));
         let trace = config.trace.then(Trace::new);
+        // One pool for the whole cluster: a receiver recycles the very
+        // buffer the sender's endpoint staged its payload into.
+        let pool = Arc::new(BufferPool::new());
 
         let mut endpoints: Vec<Endpoint> = transports
             .into_iter()
@@ -210,6 +214,7 @@ impl Cluster {
                     Arc::clone(&barrier),
                     Arc::clone(&config.faults),
                     config.timeout,
+                    Arc::clone(&pool),
                 )
             })
             .collect();
@@ -254,7 +259,10 @@ impl Cluster {
         }
         Ok(RunOutput {
             results,
-            metrics: RunMetrics { per_rank },
+            metrics: RunMetrics {
+                per_rank,
+                pool: pool.stats(),
+            },
             virtual_times,
             trace,
         })
@@ -329,10 +337,24 @@ mod tests {
             let payload = [r as u8];
             let msgs = ep.round(
                 &[
-                    SendSpec { to: right, tag: 1, payload: &payload },
-                    SendSpec { to: left, tag: 2, payload: &payload },
+                    SendSpec {
+                        to: right,
+                        tag: 1,
+                        payload: &payload,
+                    },
+                    SendSpec {
+                        to: left,
+                        tag: 2,
+                        payload: &payload,
+                    },
                 ],
-                &[RecvSpec { from: left, tag: 1 }, RecvSpec { from: right, tag: 2 }],
+                &[
+                    RecvSpec { from: left, tag: 1 },
+                    RecvSpec {
+                        from: right,
+                        tag: 2,
+                    },
+                ],
             )?;
             Ok((msgs[0].payload[0], msgs[1].payload[0]))
         })
@@ -352,8 +374,16 @@ mod tests {
                 let p = [0u8];
                 ep.round(
                     &[
-                        SendSpec { to: 1, tag: 0, payload: &p },
-                        SendSpec { to: 2, tag: 0, payload: &p },
+                        SendSpec {
+                            to: 1,
+                            tag: 0,
+                            payload: &p,
+                        },
+                        SendSpec {
+                            to: 2,
+                            tag: 0,
+                            payload: &p,
+                        },
                     ],
                     &[],
                 )?;
@@ -361,7 +391,15 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(matches!(err, NetError::PortLimit { rank: 0, requested: 2, ports: 1, .. }));
+        assert!(matches!(
+            err,
+            NetError::PortLimit {
+                rank: 0,
+                requested: 2,
+                ports: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -370,7 +408,14 @@ mod tests {
         let err = Cluster::run(&cfg, |ep| {
             let p = [0u8];
             let rank = ep.rank();
-            ep.round(&[SendSpec { to: rank, tag: 0, payload: &p }], &[])?;
+            ep.round(
+                &[SendSpec {
+                    to: rank,
+                    tag: 0,
+                    payload: &p,
+                }],
+                &[],
+            )?;
             Ok(())
         })
         .unwrap_err();
@@ -385,8 +430,16 @@ mod tests {
                 let p = [0u8];
                 ep.round(
                     &[
-                        SendSpec { to: 1, tag: 0, payload: &p },
-                        SendSpec { to: 1, tag: 1, payload: &p },
+                        SendSpec {
+                            to: 1,
+                            tag: 0,
+                            payload: &p,
+                        },
+                        SendSpec {
+                            to: 1,
+                            tag: 1,
+                            payload: &p,
+                        },
                     ],
                     &[],
                 )?;
@@ -408,7 +461,15 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(matches!(err, NetError::Timeout { rank: 0, from: 1, tag: 9, .. }));
+        assert!(matches!(
+            err,
+            NetError::Timeout {
+                rank: 0,
+                from: 1,
+                tag: 9,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -446,7 +507,14 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(matches!(err, NetError::Timeout { rank: 1, from: 0, .. }));
+        assert!(matches!(
+            err,
+            NetError::Timeout {
+                rank: 1,
+                from: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -488,7 +556,14 @@ mod tests {
         let cfg = ClusterConfig::new(2);
         let out = Cluster::run(&cfg, |ep| {
             if ep.rank() == 0 {
-                ep.round(&[SendSpec { to: 1, tag: 0, payload: &[1, 2] }], &[])?;
+                ep.round(
+                    &[SendSpec {
+                        to: 1,
+                        tag: 0,
+                        payload: &[1, 2],
+                    }],
+                    &[],
+                )?;
             } else {
                 ep.round(&[], &[RecvSpec { from: 0, tag: 0 }])?;
             }
@@ -496,9 +571,6 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(
-            out.metrics.global_complexity(),
-            Some(Complexity::new(2, 2))
-        );
+        assert_eq!(out.metrics.global_complexity(), Some(Complexity::new(2, 2)));
     }
 }

@@ -44,7 +44,27 @@ pub trait Comm {
     /// [`bruck_model::cost::CostModel::copy_cost`].
     fn charge_copy(&mut self, bytes: u64);
 
+    /// Acquire pooled scratch of exactly `len` bytes (zeroed).
+    ///
+    /// The default implementation allocates fresh; pooled contexts
+    /// ([`Endpoint`], [`GroupComm`]) serve from the cluster pool so
+    /// steady-state acquires are allocation-free.
+    fn acquire(&mut self, len: usize) -> Vec<u8> {
+        vec![0; len]
+    }
+
+    /// Return a buffer (scratch or a received payload) for reuse.
+    ///
+    /// The default implementation simply drops it.
+    fn recycle(&mut self, buf: Vec<u8>) {
+        drop(buf);
+    }
+
     /// The paper's `send_and_recv`: one send and one receive in one round.
+    ///
+    /// The returned buffer comes from the buffer pool (when the context
+    /// is pooled); hand it back via [`Comm::recycle`] to keep the steady
+    /// state allocation-free.
     ///
     /// # Errors
     ///
@@ -56,11 +76,38 @@ pub trait Comm {
         from: usize,
         tag: Tag,
     ) -> Result<Vec<u8>, NetError> {
-        let msgs = self.round(
-            &[SendSpec { to, tag, payload }],
-            &[RecvSpec { from, tag }],
-        )?;
+        let msgs = self.round(&[SendSpec { to, tag, payload }], &[RecvSpec { from, tag }])?;
         Ok(msgs.into_iter().next().expect("one recv requested").payload)
+    }
+
+    /// Borrowed-payload `send_and_recv`: received bytes land in a prefix
+    /// of `out`, the transport buffer is recycled, and the byte count is
+    /// returned. The allocating [`Comm::send_and_recv`] is the thin
+    /// wrapper; this is the hot path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Comm::round`]; [`NetError::App`] if `out` is too small.
+    fn send_and_recv_into(
+        &mut self,
+        to: usize,
+        payload: &[u8],
+        from: usize,
+        tag: Tag,
+        out: &mut [u8],
+    ) -> Result<usize, NetError> {
+        let msgs = self.round(&[SendSpec { to, tag, payload }], &[RecvSpec { from, tag }])?;
+        let msg = msgs.into_iter().next().expect("one recv requested");
+        let len = msg.payload.len();
+        let Some(dst) = out.get_mut(..len) else {
+            return Err(NetError::App(format!(
+                "send_and_recv_into: output buffer of {} bytes cannot hold {len}-byte message",
+                out.len()
+            )));
+        };
+        dst.copy_from_slice(&msg.payload);
+        self.recycle(msg.payload);
+        Ok(len)
     }
 
     /// A round with no communication, keeping round counters aligned.
@@ -100,6 +147,25 @@ impl Comm for Endpoint {
 
     fn charge_copy(&mut self, bytes: u64) {
         Endpoint::charge_copy(self, bytes);
+    }
+
+    fn acquire(&mut self, len: usize) -> Vec<u8> {
+        Endpoint::acquire(self, len)
+    }
+
+    fn recycle(&mut self, buf: Vec<u8>) {
+        Endpoint::recycle(self, buf);
+    }
+
+    fn send_and_recv_into(
+        &mut self,
+        to: usize,
+        payload: &[u8],
+        from: usize,
+        tag: Tag,
+        out: &mut [u8],
+    ) -> Result<usize, NetError> {
+        Endpoint::send_and_recv_into(self, to, payload, from, tag, out)
     }
 }
 
@@ -178,7 +244,11 @@ impl Group {
         for &m in &self.members {
             assert!(m < Endpoint::size(ep), "member {m} out of range");
         }
-        GroupComm { ep, members: self.members.clone(), my_index }
+        GroupComm {
+            ep,
+            members: self.members.clone(),
+            my_index,
+        }
     }
 }
 
@@ -192,11 +262,14 @@ pub struct GroupComm<'a> {
 
 impl GroupComm<'_> {
     fn to_global(&self, group_rank: usize) -> Result<usize, NetError> {
-        self.members.get(group_rank).copied().ok_or(NetError::BadPeer {
-            rank: self.my_index,
-            peer: group_rank,
-            size: self.members.len(),
-        })
+        self.members
+            .get(group_rank)
+            .copied()
+            .ok_or(NetError::BadPeer {
+                rank: self.my_index,
+                peer: group_rank,
+                size: self.members.len(),
+            })
     }
 
     fn to_group(&self, global: usize) -> usize {
@@ -228,12 +301,21 @@ impl Comm for GroupComm<'_> {
         let sends: Vec<SendSpec<'_>> = sends
             .iter()
             .map(|s| {
-                Ok(SendSpec { to: self.to_global(s.to)?, tag: s.tag, payload: s.payload })
+                Ok(SendSpec {
+                    to: self.to_global(s.to)?,
+                    tag: s.tag,
+                    payload: s.payload,
+                })
             })
             .collect::<Result<_, NetError>>()?;
         let recvs: Vec<RecvSpec> = recvs
             .iter()
-            .map(|r| Ok(RecvSpec { from: self.to_global(r.from)?, tag: r.tag }))
+            .map(|r| {
+                Ok(RecvSpec {
+                    from: self.to_global(r.from)?,
+                    tag: r.tag,
+                })
+            })
             .collect::<Result<_, NetError>>()?;
         let mut msgs = Endpoint::round(self.ep, &sends, &recvs)?;
         for m in &mut msgs {
@@ -249,6 +331,14 @@ impl Comm for GroupComm<'_> {
 
     fn charge_copy(&mut self, bytes: u64) {
         Endpoint::charge_copy(self.ep, bytes);
+    }
+
+    fn acquire(&mut self, len: usize) -> Vec<u8> {
+        Endpoint::acquire(self.ep, len)
+    }
+
+    fn recycle(&mut self, buf: Vec<u8>) {
+        Endpoint::recycle(self.ep, buf);
     }
 }
 

@@ -15,9 +15,10 @@ use bruck_model::cost::CostModel;
 use crate::error::NetError;
 use crate::fault::FaultPlan;
 use crate::message::{Message, Tag};
-use crate::transport::Transport;
 use crate::metrics::RankMetrics;
+use crate::pool::BufferPool;
 use crate::trace::{Trace, TraceEvent};
+use crate::transport::Transport;
 use crate::vbarrier::VBarrier;
 
 /// One outgoing message in a round.
@@ -53,6 +54,7 @@ pub struct Endpoint {
     barrier: Arc<VBarrier>,
     faults: Arc<FaultPlan>,
     timeout: Duration,
+    pool: Arc<BufferPool>,
 }
 
 impl Endpoint {
@@ -67,6 +69,7 @@ impl Endpoint {
         barrier: Arc<VBarrier>,
         faults: Arc<FaultPlan>,
         timeout: Duration,
+        pool: Arc<BufferPool>,
     ) -> Self {
         Self {
             rank,
@@ -80,7 +83,25 @@ impl Endpoint {
             barrier,
             faults,
             timeout,
+            pool,
         }
+    }
+
+    /// The cluster-shared buffer pool backing this endpoint's data plane.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Acquire pooled scratch of exactly `len` bytes (zeroed).
+    #[must_use]
+    pub fn acquire(&self, len: usize) -> Vec<u8> {
+        self.pool.acquire(len)
+    }
+
+    /// Return a buffer (scratch or a received payload) to the pool.
+    pub fn recycle(&self, buf: Vec<u8>) {
+        self.pool.recycle(buf);
     }
 
     /// This rank's id in `[0, size)`.
@@ -128,9 +149,12 @@ impl Endpoint {
         self.clock += self.cost.copy_cost(bytes);
     }
 
-    fn check_peers(&self, peers: impl Iterator<Item = usize>, direction: &'static str, count: usize)
-        -> Result<(), NetError>
-    {
+    fn check_peers(
+        &self,
+        peers: impl Iterator<Item = usize>,
+        direction: &'static str,
+        count: usize,
+    ) -> Result<(), NetError> {
         if count > self.ports {
             return Err(NetError::PortLimit {
                 rank: self.rank,
@@ -142,10 +166,17 @@ impl Endpoint {
         let mut seen = vec![false; self.size];
         for p in peers {
             if p >= self.size || p == self.rank {
-                return Err(NetError::BadPeer { rank: self.rank, peer: p, size: self.size });
+                return Err(NetError::BadPeer {
+                    rank: self.rank,
+                    peer: p,
+                    size: self.size,
+                });
             }
             if seen[p] {
-                return Err(NetError::DuplicatePeer { rank: self.rank, peer: p });
+                return Err(NetError::DuplicatePeer {
+                    rank: self.rank,
+                    peer: p,
+                });
             }
             seen[p] = true;
         }
@@ -172,7 +203,10 @@ impl Endpoint {
     ) -> Result<Vec<Message>, NetError> {
         let completed = self.metrics.rounds();
         if let Some(after) = self.faults.should_kill(self.rank, completed) {
-            return Err(NetError::Killed { rank: self.rank, after_round: after });
+            return Err(NetError::Killed {
+                rank: self.rank,
+                after_round: after,
+            });
         }
         self.check_peers(sends.iter().map(|s| s.to), "send", sends.len())?;
         self.check_peers(recvs.iter().map(|r| r.from), "recv", recvs.len())?;
@@ -198,11 +232,17 @@ impl Endpoint {
             if self.faults.should_drop(self.rank, s.to, completed) {
                 continue;
             }
+            // Stage the borrowed payload into a pooled buffer: the only
+            // copy the data plane makes on the send side, and in steady
+            // state it reuses a recycled buffer instead of allocating.
+            let mut payload = self.pool.acquire(s.payload.len());
+            payload.copy_from_slice(s.payload);
+            self.metrics.bytes_copied += bytes;
             let msg = Message {
                 src: self.rank,
                 dst: s.to,
                 tag: s.tag,
-                payload: s.payload.to_vec(),
+                payload,
                 arrival: depart + self.cost.latency_between(self.rank, s.to, bytes),
             };
             self.transport.send(msg)?;
@@ -212,9 +252,10 @@ impl Endpoint {
         let mut finish = max_send_done;
         for r in recvs {
             let msg = self.transport.recv_match(r.from, r.tag, self.timeout)?;
-            let completion =
-                t0.max(msg.arrival)
-                    + self.cost.recv_cost_between(msg.src, self.rank, msg.payload.len() as u64);
+            let completion = t0.max(msg.arrival)
+                + self
+                    .cost
+                    .recv_cost_between(msg.src, self.rank, msg.payload.len() as u64);
             finish = finish.max(completion);
             out.push(msg);
         }
@@ -226,6 +267,9 @@ impl Endpoint {
     /// The paper's `send_and_recv` (Appendix A): send `payload` to rank
     /// `to` and receive one message from rank `from`, in one round.
     ///
+    /// The returned buffer comes from the cluster pool; hand it back via
+    /// [`Endpoint::recycle`] to keep the steady state allocation-free.
+    ///
     /// # Errors
     ///
     /// See [`Endpoint::round`].
@@ -236,11 +280,44 @@ impl Endpoint {
         from: usize,
         tag: Tag,
     ) -> Result<Vec<u8>, NetError> {
-        let msgs = self.round(
-            &[SendSpec { to, tag, payload }],
-            &[RecvSpec { from, tag }],
-        )?;
-        Ok(msgs.into_iter().next().expect("exactly one recv requested").payload)
+        let msgs = self.round(&[SendSpec { to, tag, payload }], &[RecvSpec { from, tag }])?;
+        Ok(msgs
+            .into_iter()
+            .next()
+            .expect("exactly one recv requested")
+            .payload)
+    }
+
+    /// Borrowed-payload `send_and_recv`: the received bytes land in a
+    /// prefix of `out` (no buffer changes hands) and the transport's
+    /// pooled payload is recycled immediately. Returns the number of
+    /// bytes received.
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::round`]; additionally [`NetError::App`] if `out`
+    /// is too small for the received message.
+    pub fn send_and_recv_into(
+        &mut self,
+        to: usize,
+        payload: &[u8],
+        from: usize,
+        tag: Tag,
+        out: &mut [u8],
+    ) -> Result<usize, NetError> {
+        let msgs = self.round(&[SendSpec { to, tag, payload }], &[RecvSpec { from, tag }])?;
+        let msg = msgs.into_iter().next().expect("exactly one recv requested");
+        let len = msg.payload.len();
+        let Some(dst) = out.get_mut(..len) else {
+            return Err(NetError::App(format!(
+                "send_and_recv_into: output buffer of {} bytes cannot hold {len}-byte message",
+                out.len()
+            )));
+        };
+        dst.copy_from_slice(&msg.payload);
+        self.metrics.bytes_copied += len as u64;
+        self.pool.recycle(msg.payload);
+        Ok(len)
     }
 
     /// A round in which this rank neither sends nor receives, keeping its

@@ -106,7 +106,12 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("rank 3") && s.contains("from 7") && s.contains("42"));
 
-        let e = NetError::PortLimit { rank: 1, requested: 3, ports: 2, direction: "send" };
+        let e = NetError::PortLimit {
+            rank: 1,
+            requested: 3,
+            ports: 2,
+            direction: "send",
+        };
         assert!(e.to_string().contains("exceeds k=2"));
     }
 

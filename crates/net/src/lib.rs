@@ -21,6 +21,27 @@
 //! self-sends are rejected. Algorithms that violate the k-port model fail
 //! loudly in tests instead of silently cheating.
 //!
+//! # The pooled data plane
+//!
+//! Every message payload and every executor scratch buffer comes from one
+//! cluster-shared, size-classed [`BufferPool`] (see [`pool`]). Senders
+//! stage borrowed payloads into pooled buffers; the receiver recycles the
+//! very buffer the sender staged, so after a warmup pass the steady state
+//! performs **zero fresh heap allocations** per round — benches measure
+//! the algorithm, not the allocator. The pool's counters are folded into
+//! [`RunMetrics`] and asserted on by the allocation-regression tests
+//! (`tests/zero_alloc.rs` at the workspace root).
+//!
+//! [`Comm`] exposes the zero-copy surface to algorithms:
+//!
+//! * [`Comm::acquire`] / [`Comm::recycle`] — pooled scratch;
+//! * [`Comm::send_and_recv_into`] — one exchange, received bytes written
+//!   into a caller-provided buffer (the allocating
+//!   [`send_and_recv`](Comm::send_and_recv) remains as a wrapper);
+//! * every collective in `bruck-collectives` has a `run_into` /
+//!   `*_into` variant writing into caller-owned output, with the
+//!   allocating form kept as a thin wrapper.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +70,7 @@ pub mod fault;
 pub mod mailbox;
 pub mod message;
 pub mod metrics;
+pub mod pool;
 pub mod socket;
 pub mod trace;
 pub mod transport;
@@ -61,6 +83,7 @@ pub use error::NetError;
 pub use fault::FaultPlan;
 pub use message::{Message, Tag};
 pub use metrics::{RankMetrics, RunMetrics};
+pub use pool::{BufferPool, PoolStats};
 #[cfg(unix)]
 pub use socket::SocketCluster;
 pub use trace::{Trace, TraceEvent};

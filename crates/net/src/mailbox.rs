@@ -6,9 +6,8 @@
 //! matching discipline.
 
 use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::error::NetError;
 use crate::message::{Message, Tag};
@@ -28,8 +27,15 @@ impl Mailbox {
     /// Create a mailbox pair for `rank`.
     #[must_use]
     pub fn new(rank: usize) -> (MailSender, Self) {
-        let (tx, rx) = crossbeam::channel::unbounded();
-        (tx, Self { rank, rx, pending: VecDeque::new() })
+        let (tx, rx) = std::sync::mpsc::channel();
+        (
+            tx,
+            Self {
+                rank,
+                rx,
+                pending: VecDeque::new(),
+            },
+        )
     }
 
     /// Number of parked (unmatched) messages.
@@ -52,7 +58,11 @@ impl Mailbox {
         timeout: Duration,
     ) -> Result<Message, NetError> {
         // Check the parked messages first (FIFO per (src, tag) pair).
-        if let Some(pos) = self.pending.iter().position(|m| m.src == from && m.tag == tag) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == from && m.tag == tag)
+        {
             return Ok(self.pending.remove(pos).expect("position just found"));
         }
         let deadline = Instant::now() + timeout;
@@ -62,7 +72,12 @@ impl Mailbox {
                 Ok(m) if m.src == from && m.tag == tag => return Ok(m),
                 Ok(m) => self.pending.push_back(m),
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(NetError::Timeout { rank: self.rank, from, tag, waited: timeout })
+                    return Err(NetError::Timeout {
+                        rank: self.rank,
+                        from,
+                        tag,
+                        waited: timeout,
+                    })
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(NetError::Disconnected { peer: from })
@@ -77,7 +92,13 @@ mod tests {
     use super::*;
 
     fn msg(src: usize, tag: Tag, byte: u8) -> Message {
-        Message { src, dst: 0, tag, payload: vec![byte], arrival: 0.0 }
+        Message {
+            src,
+            dst: 0,
+            tag,
+            payload: vec![byte],
+            arrival: 0.0,
+        }
     }
 
     #[test]
@@ -118,7 +139,15 @@ mod tests {
     fn timeout_on_missing_message() {
         let (_tx, mut mb) = Mailbox::new(4);
         let err = mb.recv_match(1, 5, Duration::from_millis(20)).unwrap_err();
-        assert!(matches!(err, NetError::Timeout { rank: 4, from: 1, tag: 5, .. }));
+        assert!(matches!(
+            err,
+            NetError::Timeout {
+                rank: 4,
+                from: 1,
+                tag: 5,
+                ..
+            }
+        ));
     }
 
     #[test]

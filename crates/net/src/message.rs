@@ -40,7 +40,13 @@ mod tests {
 
     #[test]
     fn len_reports_payload() {
-        let m = Message { src: 0, dst: 1, tag: 0, payload: vec![1, 2, 3], arrival: 0.0 };
+        let m = Message {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            payload: vec![1, 2, 3],
+            arrival: 0.0,
+        };
         assert_eq!(m.len(), 3);
         assert!(!m.is_empty());
     }

@@ -7,6 +7,8 @@
 
 use bruck_model::complexity::Complexity;
 
+use crate::pool::PoolStats;
+
 /// Counters owned by one rank (no sharing, no atomics — folded after the
 /// run).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -19,6 +21,9 @@ pub struct RankMetrics {
     pub bytes_sent: u64,
     /// Total messages received.
     pub msgs_received: u64,
+    /// Bytes physically copied by the data plane on this rank (payload
+    /// staging into pooled buffers and `_into` copy-outs).
+    pub bytes_copied: u64,
 }
 
 impl RankMetrics {
@@ -30,7 +35,8 @@ impl RankMetrics {
 
     /// Record one round.
     pub fn record_round(&mut self, sent_sizes: &[u64], received: usize) {
-        self.round_send_max.push(sent_sizes.iter().copied().max().unwrap_or(0));
+        self.round_send_max
+            .push(sent_sizes.iter().copied().max().unwrap_or(0));
         self.msgs_sent += sent_sizes.len() as u64;
         self.bytes_sent += sent_sizes.iter().sum::<u64>();
         self.msgs_received += received as u64;
@@ -42,6 +48,8 @@ impl RankMetrics {
 pub struct RunMetrics {
     /// One entry per rank.
     pub per_rank: Vec<RankMetrics>,
+    /// Buffer-pool activity over the whole run (cluster-shared pool).
+    pub pool: PoolStats,
 }
 
 impl RunMetrics {
@@ -51,12 +59,21 @@ impl RunMetrics {
     #[must_use]
     pub fn global_complexity(&self) -> Option<Complexity> {
         let rounds = self.per_rank.first().map_or(0, |r| r.round_send_max.len());
-        if !self.per_rank.iter().all(|r| r.round_send_max.len() == rounds) {
+        if !self
+            .per_rank
+            .iter()
+            .all(|r| r.round_send_max.len() == rounds)
+        {
             return None;
         }
         let mut c2 = 0u64;
         for round in 0..rounds {
-            c2 += self.per_rank.iter().map(|r| r.round_send_max[round]).max().unwrap_or(0);
+            c2 += self
+                .per_rank
+                .iter()
+                .map(|r| r.round_send_max[round])
+                .max()
+                .unwrap_or(0);
         }
         Some(Complexity::new(rounds as u64, c2))
     }
@@ -76,7 +93,17 @@ impl RunMetrics {
     /// The maximum bytes any single rank sent — per-node load balance.
     #[must_use]
     pub fn max_rank_bytes(&self) -> u64 {
-        self.per_rank.iter().map(|r| r.bytes_sent).max().unwrap_or(0)
+        self.per_rank
+            .iter()
+            .map(|r| r.bytes_sent)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total bytes physically copied by the data plane across all ranks.
+    #[must_use]
+    pub fn total_bytes_copied(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_copied).sum()
     }
 }
 
@@ -92,7 +119,10 @@ mod tests {
         let mut b = RankMetrics::default();
         b.record_round(&[5], 0);
         b.record_round(&[30], 0);
-        let run = RunMetrics { per_rank: vec![a, b] };
+        let run = RunMetrics {
+            per_rank: vec![a, b],
+            pool: PoolStats::default(),
+        };
         // Round 0 max = 20, round 1 max = 30.
         assert_eq!(run.global_complexity(), Some(Complexity::new(2, 50)));
         assert_eq!(run.total_bytes(), 65);
@@ -105,7 +135,10 @@ mod tests {
         let mut a = RankMetrics::default();
         a.record_round(&[1], 0);
         let b = RankMetrics::default();
-        let run = RunMetrics { per_rank: vec![a, b] };
+        let run = RunMetrics {
+            per_rank: vec![a, b],
+            pool: PoolStats::default(),
+        };
         assert_eq!(run.global_complexity(), None);
     }
 

@@ -64,7 +64,10 @@ struct Frame {
 
 fn decode_frame(buf: &[u8]) -> Result<Frame, NetError> {
     if buf.len() < HEADER {
-        return Err(NetError::App(format!("runt datagram of {} bytes", buf.len())));
+        return Err(NetError::App(format!(
+            "runt datagram of {} bytes",
+            buf.len()
+        )));
     }
     let get = |at: usize, len: usize| &buf[at..at + len];
     Ok(Frame {
@@ -167,8 +170,11 @@ impl UdsTransport {
         }
         if entry.received == entry.frag_count {
             let done = self.partial.remove(&key).expect("entry just updated");
-            let payload: Vec<u8> =
-                done.chunks.into_iter().flat_map(|c| c.expect("all fragments present")).collect();
+            let payload: Vec<u8> = done
+                .chunks
+                .into_iter()
+                .flat_map(|c| c.expect("all fragments present"))
+                .collect();
             self.pending.push_back(Message {
                 src: frame.src,
                 dst: self.rank,
@@ -180,7 +186,10 @@ impl UdsTransport {
     }
 
     fn take_pending(&mut self, from: usize, tag: Tag) -> Option<Message> {
-        let pos = self.pending.iter().position(|m| m.src == from && m.tag == tag)?;
+        let pos = self
+            .pending
+            .iter()
+            .position(|m| m.src == from && m.tag == tag)?;
         self.pending.remove(pos)
     }
 }
@@ -197,8 +206,15 @@ impl Transport for UdsTransport {
         };
         let count = chunks.len() as u32;
         for (idx, chunk) in chunks.into_iter().enumerate() {
-            let frame =
-                encode_frame(msg.src, msg.tag, msg_id, idx as u32, count, msg.arrival, chunk);
+            let frame = encode_frame(
+                msg.src,
+                msg.tag,
+                msg_id,
+                idx as u32,
+                count,
+                msg.arrival,
+                chunk,
+            );
             loop {
                 match self.sock.send_to(&frame, &peer) {
                     Ok(_) => break,
@@ -239,7 +255,12 @@ impl Transport for UdsTransport {
             }
             if self.drain()? == 0 {
                 if Instant::now() >= deadline {
-                    return Err(NetError::Timeout { rank: self.rank, from, tag, waited: timeout });
+                    return Err(NetError::Timeout {
+                        rank: self.rank,
+                        from,
+                        tag,
+                        waited: timeout,
+                    });
                 }
                 std::thread::sleep(Duration::from_micros(50));
             }
@@ -331,15 +352,17 @@ mod tests {
         let bytes = 100 * 1024;
         let out = SocketCluster::run(&cfg, |ep| {
             let peer = 1 - ep.rank();
-            let payload: Vec<u8> =
-                (0..bytes).map(|i| (i as u8).wrapping_add(ep.rank() as u8)).collect();
+            let payload: Vec<u8> = (0..bytes)
+                .map(|i| (i as u8).wrapping_add(ep.rank() as u8))
+                .collect();
             let got = ep.send_and_recv(peer, &payload, peer, 3)?;
             Ok(got)
         })
         .unwrap();
         for (rank, got) in out.results.iter().enumerate() {
-            let expected: Vec<u8> =
-                (0..bytes).map(|i| (i as u8).wrapping_add(1 - rank as u8)).collect();
+            let expected: Vec<u8> = (0..bytes)
+                .map(|i| (i as u8).wrapping_add(1 - rank as u8))
+                .collect();
             assert_eq!(got, &expected, "rank {rank}");
         }
     }
@@ -366,7 +389,15 @@ mod tests {
             Ok(())
         })
         .unwrap_err();
-        assert!(matches!(err, NetError::Timeout { rank: 0, from: 1, tag: 5, .. }));
+        assert!(matches!(
+            err,
+            NetError::Timeout {
+                rank: 0,
+                from: 1,
+                tag: 5,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! trace and cross-checks it against the algorithm's *planned* schedule;
 //! (2) the figure harness can dump traffic matrices.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::message::Tag;
 
@@ -42,23 +41,24 @@ impl Trace {
 
     /// Append one event (called by endpoints; cheap, amortized lock).
     pub fn record(&self, event: TraceEvent) {
-        self.events.lock().push(event);
+        self.events
+            .lock()
+            .expect("trace mutex poisoned")
+            .push(event);
     }
 
     /// Snapshot all events, sorted by `(round, src, dst)` for determinism.
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let mut v = self.events.lock().clone();
-        v.sort_by(|a, b| {
-            (a.round, a.src, a.dst, a.tag).cmp(&(b.round, b.src, b.dst, b.tag))
-        });
+        let mut v = self.events.lock().expect("trace mutex poisoned").clone();
+        v.sort_by_key(|a| (a.round, a.src, a.dst, a.tag));
         v
     }
 
     /// Number of recorded events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().expect("trace mutex poisoned").len()
     }
 
     /// Whether no event has been recorded.
@@ -71,7 +71,7 @@ impl Trace {
     #[must_use]
     pub fn traffic_matrix(&self, n: usize) -> Vec<Vec<u64>> {
         let mut m = vec![vec![0u64; n]; n];
-        for e in self.events.lock().iter() {
+        for e in self.events.lock().expect("trace mutex poisoned").iter() {
             m[e.src][e.dst] += e.bytes;
         }
         m
@@ -83,7 +83,14 @@ mod tests {
     use super::*;
 
     fn ev(src: usize, dst: usize, round: u64, bytes: u64) -> TraceEvent {
-        TraceEvent { src, dst, tag: 0, bytes, round, depart: 0.0 }
+        TraceEvent {
+            src,
+            dst,
+            tag: 0,
+            bytes,
+            round,
+            depart: 0.0,
+        }
     }
 
     #[test]

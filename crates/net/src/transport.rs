@@ -4,8 +4,8 @@
 //! independent; an [`Endpoint`](crate::Endpoint) drives any [`Transport`].
 //! Two implementations ship:
 //!
-//! * [`ChannelTransport`] — in-process crossbeam channels (the default:
-//!   fast, portable, deterministic);
+//! * [`ChannelTransport`] — in-process `std::sync::mpsc` channels (the
+//!   default: fast, portable, deterministic);
 //! * [`crate::socket::UdsTransport`] — Unix datagram sockets with framing
 //!   and fragmentation (Unix only): real kernel I/O for wall-clock
 //!   calibration experiments.
@@ -33,12 +33,8 @@ pub trait Transport: Send {
     /// # Errors
     ///
     /// [`NetError::Timeout`] or [`NetError::Disconnected`].
-    fn recv_match(
-        &mut self,
-        from: usize,
-        tag: Tag,
-        timeout: Duration,
-    ) -> Result<Message, NetError>;
+    fn recv_match(&mut self, from: usize, tag: Tag, timeout: Duration)
+        -> Result<Message, NetError>;
 }
 
 /// The default in-process transport: one unbounded channel per rank.
@@ -82,8 +78,14 @@ mod tests {
     fn channel_transport_round_trip() {
         let (tx, mb) = Mailbox::new(1);
         let mut t = ChannelTransport::new(vec![tx.clone(), tx], mb);
-        t.send(Message { src: 0, dst: 1, tag: 9, payload: vec![1, 2], arrival: 0.5 })
-            .unwrap();
+        t.send(Message {
+            src: 0,
+            dst: 1,
+            tag: 9,
+            payload: vec![1, 2],
+            arrival: 0.5,
+        })
+        .unwrap();
         let m = t.recv_match(0, 9, Duration::from_millis(50)).unwrap();
         assert_eq!(m.payload, vec![1, 2]);
         assert_eq!(m.arrival, 0.5);

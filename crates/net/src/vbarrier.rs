@@ -4,7 +4,7 @@
 //! maximum. Used by [`crate::Endpoint::barrier`] and at cluster teardown
 //! so that per-rank virtual completion times are comparable.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 #[derive(Debug)]
 struct State {
@@ -33,7 +33,12 @@ impl VBarrier {
         assert!(n >= 1);
         Self {
             n,
-            state: Mutex::new(State { count: 0, generation: 0, max: 0.0, result: 0.0 }),
+            state: Mutex::new(State {
+                count: 0,
+                generation: 0,
+                max: 0.0,
+                result: 0.0,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -41,7 +46,7 @@ impl VBarrier {
     /// Wait for all `n` participants; returns the maximum of all
     /// contributed `clock` values.
     pub fn wait(&self, clock: f64) -> f64 {
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().expect("barrier mutex poisoned");
         let gen = s.generation;
         s.max = s.max.max(clock);
         s.count += 1;
@@ -54,7 +59,7 @@ impl VBarrier {
             s.result
         } else {
             while s.generation == gen {
-                self.cv.wait(&mut s);
+                s = self.cv.wait(s).expect("barrier mutex poisoned");
             }
             s.result
         }

@@ -93,7 +93,11 @@ mod tests {
         for _ in 0..rounds {
             s.push_round(
                 (0..n)
-                    .map(|r| Transfer { src: r, dst: (r + 1) % n, bytes })
+                    .map(|r| Transfer {
+                        src: r,
+                        dst: (r + 1) % n,
+                        bytes,
+                    })
                     .collect(),
             );
         }
@@ -129,8 +133,16 @@ mod tests {
         // by treating round 1 as starting after the global round 0.
         let model = LinearModel::new(0.0, 1e-6);
         let mut s = Schedule::new(3, 1);
-        s.push_round(vec![Transfer { src: 0, dst: 1, bytes: 1000 }]);
-        s.push_round(vec![Transfer { src: 2, dst: 0, bytes: 10 }]);
+        s.push_round(vec![Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 1000,
+        }]);
+        s.push_round(vec![Transfer {
+            src: 2,
+            dst: 0,
+            bytes: 10,
+        }]);
         let sim = simulate_time(&s, &model);
         // Rank 2's round-1 send departs at its own clock (0), arrives to
         // rank 0 at 10µs ⇒ makespan dominated by rank 1's 1000µs receive.

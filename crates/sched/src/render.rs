@@ -68,10 +68,22 @@ mod tests {
 
     fn sample() -> Schedule {
         let mut s = Schedule::new(3, 1);
-        s.push_round(vec![Transfer { src: 0, dst: 1, bytes: 4 }]);
+        s.push_round(vec![Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 4,
+        }]);
         s.push_round(vec![
-            Transfer { src: 1, dst: 0, bytes: 8 },
-            Transfer { src: 2, dst: 1, bytes: 2 },
+            Transfer {
+                src: 1,
+                dst: 0,
+                bytes: 8,
+            },
+            Transfer {
+                src: 2,
+                dst: 1,
+                bytes: 2,
+            },
         ]);
         s
     }

@@ -30,21 +30,32 @@ pub fn replay_on_cluster(
     config: &ClusterConfig,
 ) -> Result<RunOutput<u64>, NetError> {
     assert_eq!(config.n, schedule.n, "config/schedule rank-count mismatch");
-    assert_eq!(config.ports, schedule.ports, "config/schedule port mismatch");
+    assert_eq!(
+        config.ports, schedule.ports,
+        "config/schedule port mismatch"
+    );
     Cluster::run(config, |ep| {
         let script = schedule.rank_script(ep.rank());
         let mut received = 0u64;
         for (round_idx, (sends, recvs)) in script.iter().enumerate() {
             let tag = round_idx as u64;
-            let payloads: Vec<Vec<u8>> =
-                sends.iter().map(|&(_, bytes)| vec![0u8; bytes as usize]).collect();
+            let payloads: Vec<Vec<u8>> = sends
+                .iter()
+                .map(|&(_, bytes)| vec![0u8; bytes as usize])
+                .collect();
             let send_specs: Vec<SendSpec<'_>> = sends
                 .iter()
                 .zip(&payloads)
-                .map(|(&(dst, _), payload)| SendSpec { to: dst, tag, payload })
+                .map(|(&(dst, _), payload)| SendSpec {
+                    to: dst,
+                    tag,
+                    payload,
+                })
                 .collect();
-            let recv_specs: Vec<RecvSpec> =
-                recvs.iter().map(|&src| RecvSpec { from: src, tag }).collect();
+            let recv_specs: Vec<RecvSpec> = recvs
+                .iter()
+                .map(|&src| RecvSpec { from: src, tag })
+                .collect();
             let msgs = ep.round(&send_specs, &recv_specs)?;
             received += msgs.iter().map(|m| m.len() as u64).sum::<u64>();
         }
@@ -64,7 +75,11 @@ mod tests {
         let mut s = Schedule::new(n, 1);
         s.push_round(
             (0..n)
-                .map(|r| Transfer { src: r, dst: (r + shift) % n, bytes })
+                .map(|r| Transfer {
+                    src: r,
+                    dst: (r + shift) % n,
+                    bytes,
+                })
                 .collect(),
         );
         s
@@ -88,7 +103,11 @@ mod tests {
         let mut s = shift_schedule(4, 1, 128);
         s.push_round(
             (0..4)
-                .map(|r| Transfer { src: r, dst: (r + 3) % 4, bytes: 16 })
+                .map(|r| Transfer {
+                    src: r,
+                    dst: (r + 3) % 4,
+                    bytes: 16,
+                })
                 .collect(),
         );
         let model = LinearModel::sp1();

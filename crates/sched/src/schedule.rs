@@ -53,7 +53,11 @@ impl Schedule {
     /// An empty schedule for `n` ranks and `ports` ports.
     #[must_use]
     pub fn new(n: usize, ports: usize) -> Self {
-        Self { n, ports, rounds: Vec::new() }
+        Self {
+            n,
+            ports,
+            rounds: Vec::new(),
+        }
     }
 
     /// Append a round from an unsorted transfer list.
@@ -79,7 +83,11 @@ impl Schedule {
         let num_rounds = events.iter().map(|e| e.round + 1).max().unwrap_or(0) as usize;
         let mut rounds = vec![Vec::new(); num_rounds];
         for e in &events {
-            rounds[e.round as usize].push(Transfer { src: e.src, dst: e.dst, bytes: e.bytes });
+            rounds[e.round as usize].push(Transfer {
+                src: e.src,
+                dst: e.dst,
+                bytes: e.bytes,
+            });
         }
         let mut s = Self::new(n, ports);
         for r in rounds {
@@ -95,7 +103,12 @@ impl Schedule {
         Self {
             n: self.n,
             ports: self.ports,
-            rounds: self.rounds.iter().filter(|r| !r.transfers.is_empty()).cloned().collect(),
+            rounds: self
+                .rounds
+                .iter()
+                .filter(|r| !r.transfers.is_empty())
+                .cloned()
+                .collect(),
         }
     }
 
@@ -122,10 +135,7 @@ impl Schedule {
                     return Err(format!("round {ri}: self-send in {t:?}"));
                 }
                 if !seen.insert((t.src, t.dst)) {
-                    return Err(format!(
-                        "round {ri}: duplicate pair {} → {}",
-                        t.src, t.dst
-                    ));
+                    return Err(format!("round {ri}: duplicate pair {} → {}", t.src, t.dst));
                 }
                 sends[t.src] += 1;
                 recvs[t.dst] += 1;
@@ -181,11 +191,27 @@ mod tests {
     fn two_round_schedule() -> Schedule {
         let mut s = Schedule::new(3, 1);
         s.push_round(vec![
-            Transfer { src: 0, dst: 1, bytes: 4 },
-            Transfer { src: 1, dst: 2, bytes: 4 },
-            Transfer { src: 2, dst: 0, bytes: 4 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 4,
+            },
+            Transfer {
+                src: 1,
+                dst: 2,
+                bytes: 4,
+            },
+            Transfer {
+                src: 2,
+                dst: 0,
+                bytes: 4,
+            },
         ]);
-        s.push_round(vec![Transfer { src: 1, dst: 0, bytes: 8 }]);
+        s.push_round(vec![Transfer {
+            src: 1,
+            dst: 0,
+            bytes: 8,
+        }]);
         s
     }
 
@@ -207,8 +233,16 @@ mod tests {
     fn port_violation_detected() {
         let mut s = Schedule::new(3, 1);
         s.push_round(vec![
-            Transfer { src: 0, dst: 1, bytes: 1 },
-            Transfer { src: 0, dst: 2, bytes: 1 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 1,
+            },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 1,
+            },
         ]);
         let err = s.validate().unwrap_err();
         assert!(err.contains("sends 2 > k=1"), "{err}");
@@ -218,8 +252,16 @@ mod tests {
     fn recv_port_violation_detected() {
         let mut s = Schedule::new(3, 1);
         s.push_round(vec![
-            Transfer { src: 0, dst: 2, bytes: 1 },
-            Transfer { src: 1, dst: 2, bytes: 1 },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 1,
+            },
+            Transfer {
+                src: 1,
+                dst: 2,
+                bytes: 1,
+            },
         ]);
         let err = s.validate().unwrap_err();
         assert!(err.contains("receives 2 > k=1"), "{err}");
@@ -228,7 +270,11 @@ mod tests {
     #[test]
     fn self_send_detected() {
         let mut s = Schedule::new(2, 1);
-        s.push_round(vec![Transfer { src: 0, dst: 0, bytes: 1 }]);
+        s.push_round(vec![Transfer {
+            src: 0,
+            dst: 0,
+            bytes: 1,
+        }]);
         assert!(s.validate().unwrap_err().contains("self-send"));
     }
 
@@ -236,8 +282,16 @@ mod tests {
     fn duplicate_pair_detected() {
         let mut s = Schedule::new(2, 2);
         s.push_round(vec![
-            Transfer { src: 0, dst: 1, bytes: 1 },
-            Transfer { src: 0, dst: 1, bytes: 2 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 1,
+            },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 2,
+            },
         ]);
         assert!(s.validate().unwrap_err().contains("duplicate pair"));
     }
@@ -255,7 +309,11 @@ mod tests {
     fn strip_empty_rounds() {
         let mut s = Schedule::new(2, 1);
         s.push_round(vec![]);
-        s.push_round(vec![Transfer { src: 0, dst: 1, bytes: 1 }]);
+        s.push_round(vec![Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 1,
+        }]);
         let stripped = s.without_empty_rounds();
         assert_eq!(stripped.num_rounds(), 1);
     }

@@ -31,19 +31,23 @@ fn encode(v: &[f64]) -> Vec<u8> {
 }
 
 fn decode(bytes: &[u8]) -> Vec<f64> {
-    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 fn main() {
     let dim = N * S;
     let cfg = ClusterConfig::new(N);
-    let tuning = Tuning::default();
+    let tuning = Tuning::builder().build();
 
     let out = Cluster::run(&cfg, |ep| {
         let rank = ep.rank();
         // My rows of A.
-        let rows: Vec<f64> =
-            (0..S).flat_map(|r| (0..dim).map(move |c| a(rank * S + r, c))).collect();
+        let rows: Vec<f64> = (0..S)
+            .flat_map(|r| (0..dim).map(move |c| a(rank * S + r, c)))
+            .collect();
         // My slice of x, initialized to 1.
         let mut x_slice = vec![1.0f64; S];
         let mut lambda = 0.0f64;
@@ -57,7 +61,11 @@ fn main() {
             }
             // Rayleigh quotient pieces and norm via a second allgather.
             let partial = [
-                y_slice.iter().zip(&x_slice).map(|(y, x)| y * x).sum::<f64>(),
+                y_slice
+                    .iter()
+                    .zip(&x_slice)
+                    .map(|(y, x)| y * x)
+                    .sum::<f64>(),
                 x_slice.iter().map(|x| x * x).sum::<f64>(),
                 y_slice.iter().map(|y| y * y).sum::<f64>(),
             ];
@@ -78,7 +86,10 @@ fn main() {
 
     let lambda = out.results[0];
     for &l in &out.results {
-        assert!((l - lambda).abs() < 1e-9, "ranks disagree on the eigenvalue");
+        assert!(
+            (l - lambda).abs() < 1e-9,
+            "ranks disagree on the eigenvalue"
+        );
     }
     // Sequential verification on one node.
     let dense: Vec<f64> = (0..dim * dim).map(|i| a(i / dim, i % dim)).collect();
@@ -102,5 +113,8 @@ fn main() {
     println!("power iteration on a {dim}×{dim} matrix over {N} processors");
     println!("dominant eigenvalue ≈ {lambda:.6} (sequential check: {lambda_seq:.6}) ✓");
     println!("total communication over {ITERS} iterations: {c}");
-    println!("virtual time under SP-1 model: {:.2} ms", out.virtual_makespan() * 1e3);
+    println!(
+        "virtual time under SP-1 model: {:.2} ms",
+        out.virtual_makespan() * 1e3
+    );
 }

@@ -33,19 +33,31 @@ struct Cpx {
 
 impl Cpx {
     fn mul(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        Cpx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
     fn add(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re + o.re, im: self.im + o.im }
+        Cpx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
     fn sub(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re - o.re, im: self.im - o.im }
+        Cpx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
 fn w(k: f64, n: f64) -> Cpx {
     let a = -2.0 * PI * k / n;
-    Cpx { re: a.cos(), im: a.sin() }
+    Cpx {
+        re: a.cos(),
+        im: a.sin(),
+    }
 }
 
 /// In-place radix-2 Cooley–Tukey (n a power of two).
@@ -81,11 +93,16 @@ fn fft(x: &mut [Cpx]) {
 /// The input signal.
 fn signal(t: usize) -> Cpx {
     let t = t as f64;
-    Cpx { re: (2.0 * PI * 5.0 * t / N as f64).sin() + 0.25, im: 0.1 * (t / 17.0).cos() }
+    Cpx {
+        re: (2.0 * PI * 5.0 * t / N as f64).sin() + 0.25,
+        im: 0.1 * (t / 17.0).cos(),
+    }
 }
 
 fn encode(v: &[Cpx]) -> Vec<u8> {
-    v.iter().flat_map(|c| [c.re.to_le_bytes(), c.im.to_le_bytes()].concat()).collect()
+    v.iter()
+        .flat_map(|c| [c.re.to_le_bytes(), c.im.to_le_bytes()].concat())
+        .collect()
 }
 
 fn decode(bytes: &[u8]) -> Vec<Cpx> {
@@ -103,7 +120,7 @@ fn main() {
     assert_eq!(C % P, 0);
     let rows_per = R / P;
     let cfg = ClusterConfig::new(P);
-    let tuning = Tuning::default();
+    let tuning = Tuning::builder().build();
 
     let out = Cluster::run(&cfg, |ep| {
         let p = ep.rank();
@@ -181,5 +198,8 @@ fn main() {
     println!("distributed {N}-point FFT over {P} processors (four-step, transpose via index)");
     println!("communication: {c} — one index operation total");
     println!("max |error| vs direct O(N²) DFT: {max_err:.2e} ✓");
-    println!("virtual time under SP-1 model: {:.1} µs", out.virtual_makespan() * 1e6);
+    println!(
+        "virtual time under SP-1 model: {:.1} µs",
+        out.virtual_makespan() * 1e6
+    );
 }

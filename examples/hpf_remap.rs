@@ -27,13 +27,16 @@ fn encode(v: &[f32]) -> Vec<u8> {
 }
 
 fn decode(bytes: &[u8]) -> Vec<f32> {
-    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 fn main() {
     let r = N * ROWS_PER;
     let cfg = ClusterConfig::new(N);
-    let tuning = Tuning::default();
+    let tuning = Tuning::builder().build();
 
     let out = Cluster::run(&cfg, |ep| {
         let p = ep.rank();
@@ -91,6 +94,9 @@ fn main() {
     let c = out.metrics.global_complexity().expect("aligned rounds");
     println!("remapped a {r}×{COLS} f32 array (block,*) → (cyclic,*) on {N} processors");
     println!("one index operation: {c}");
-    println!("virtual time under SP-1 model: {:.1} µs", out.virtual_makespan() * 1e6);
+    println!(
+        "virtual time under SP-1 model: {:.1} µs",
+        out.virtual_makespan() * 1e6
+    );
     println!("every processor verified its cyclic panel element-by-element ✓");
 }

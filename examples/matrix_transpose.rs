@@ -30,13 +30,16 @@ fn encode(v: &[f64]) -> Vec<u8> {
 }
 
 fn decode(bytes: &[u8]) -> Vec<f64> {
-    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 fn main() {
     let dim = N * S;
     let cfg = ClusterConfig::new(N);
-    let tuning = Tuning::default();
+    let tuning = Tuning::builder().build();
 
     let out = Cluster::run(&cfg, |ep| {
         let rank = ep.rank();
@@ -82,6 +85,9 @@ fn main() {
     let c = out.metrics.global_complexity().expect("aligned rounds");
     println!("transposed a {dim}×{dim} f64 matrix across {N} processors");
     println!("communication: {c}");
-    println!("virtual time under SP-1 model: {:.2} ms", out.virtual_makespan() * 1e3);
+    println!(
+        "virtual time under SP-1 model: {:.2} ms",
+        out.virtual_makespan() * 1e3
+    );
     println!("every rank verified its slice of Aᵀ element-by-element ✓");
 }

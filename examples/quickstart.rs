@@ -14,7 +14,7 @@ fn main() {
     // τ = 0.12 µs/byte).
     let n = 8;
     let cfg = ClusterConfig::new(n);
-    let tuning = Tuning::default();
+    let tuning = Tuning::builder().build();
 
     // --- Index (all-to-all personalized / MPI_Alltoall) -----------------
     // Every rank prepares one 32-byte block for every destination; the
@@ -26,7 +26,10 @@ fn main() {
         for dst in 0..n {
             sendbuf[dst * block..(dst + 1) * block].fill(rank * 16 + dst as u8);
         }
-        let result = alltoall(ep, &sendbuf, block, &tuning)?;
+        // The `_into` variant writes into a caller-owned buffer — reuse it
+        // across iterations and the steady state allocates nothing.
+        let mut result = vec![0u8; n * block];
+        alltoall_into(ep, &sendbuf, block, &tuning, &mut result)?;
         // Block j of the result came from rank j and was addressed to us.
         for src in 0..n {
             assert!(result[src * block..(src + 1) * block]
@@ -37,22 +40,30 @@ fn main() {
     })
     .expect("index run failed");
     let choice = tuning.chosen_radix(n, block, 1);
-    println!("index     : n={n}, b={block} B  → auto radix {} ({}), virtual time {:.1} µs",
-        choice.radix, choice.complexity, out.virtual_makespan() * 1e6);
+    println!(
+        "index     : n={n}, b={block} B  → auto radix {} ({}), virtual time {:.1} µs",
+        choice.radix,
+        choice.complexity,
+        out.virtual_makespan() * 1e6
+    );
 
     // --- Concatenation (all-to-all broadcast / MPI_Allgather) -----------
     let out = Cluster::run(&cfg, |ep| {
         let mine = vec![ep.rank() as u8; block];
         let all = allgather(ep, &mine, &tuning)?;
         for src in 0..n {
-            assert!(all[src * block..(src + 1) * block].iter().all(|&x| x == src as u8));
+            assert!(all[src * block..(src + 1) * block]
+                .iter()
+                .all(|&x| x == src as u8));
         }
         Ok(())
     })
     .expect("concat run failed");
     let c = out.metrics.global_complexity().expect("aligned rounds");
-    println!("concat    : n={n}, b={block} B  → {c} (lower bounds: C1={}, C2={})",
+    println!(
+        "concat    : n={n}, b={block} B  → {c} (lower bounds: C1={}, C2={})",
         bruck::model::bounds::concat_bounds(n, 1, block).c1,
-        bruck::model::bounds::concat_bounds(n, 1, block).c2);
+        bruck::model::bounds::concat_bounds(n, 1, block).c2
+    );
     println!("virtual makespan {:.1} µs", out.virtual_makespan() * 1e6);
 }

@@ -20,12 +20,19 @@ fn main() {
         .skip(1)
         .map(|a| a.parse().expect("block sizes must be integers"))
         .collect();
-    let blocks = if args.is_empty() { vec![16, 64, 256, 4096] } else { args };
+    let blocks = if args.is_empty() {
+        vec![16, 64, 256, 4096]
+    } else {
+        args
+    };
     let model = Sp1Model::calibrated();
 
     for &b in &blocks {
         println!("\nindex on n = {N}, block = {b} bytes (SP-1 model, γs=1.5, γc=2.0):");
-        println!("{:>6} {:>8} {:>12} {:>12}", "radix", "C1", "C2 (bytes)", "pred (ms)");
+        println!(
+            "{:>6} {:>8} {:>12} {:>12}",
+            "radix", "C1", "C2 (bytes)", "pred (ms)"
+        );
         for r in [2usize, 3, 4, 8, 16, 32, 64] {
             let c = index_complexity(N, r, b);
             println!(

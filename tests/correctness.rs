@@ -81,7 +81,8 @@ fn concat_all_algorithms_oracle_sweep() {
                     let results = concat_results(algo, n, b, k);
                     for (rank, r) in results.iter().enumerate() {
                         assert_eq!(
-                            r, &expected,
+                            r,
+                            &expected,
                             "{} n={n} b={b} k={k} rank={rank}",
                             algo.name()
                         );

@@ -41,7 +41,11 @@ fn postal_round_is_lambda_times_injection() {
     let lambda = 3.0;
     let t = ring_round_time(Arc::new(PostalModel::new(wire, lambda)), 5, 200);
     let s = 5e-6 + 200.0 * 1e-8;
-    assert!((t - lambda * s).abs() < 1e-15, "t = {t}, expected {}", lambda * s);
+    assert!(
+        (t - lambda * s).abs() < 1e-15,
+        "t = {t}, expected {}",
+        lambda * s
+    );
 }
 
 #[test]
@@ -102,7 +106,10 @@ fn copy_cost_charges_only_configured_models() {
     };
     let t_plain = run(Arc::new(plain));
     let t_copy = run(Arc::new(copying));
-    assert!(t_copy > t_plain, "copy model must charge the pack/rotate work");
+    assert!(
+        t_copy > t_plain,
+        "copy model must charge the pack/rotate work"
+    );
 }
 
 #[test]
@@ -115,12 +122,23 @@ fn postal_latency_overlaps_across_ranks() {
     let out = Cluster::run(&cfg, |ep| {
         match ep.rank() {
             0 => {
-                ep.round(&[bruck::net::SendSpec { to: 1, tag: 0, payload: &[9] }], &[])?;
+                ep.round(
+                    &[bruck::net::SendSpec {
+                        to: 1,
+                        tag: 0,
+                        payload: &[9],
+                    }],
+                    &[],
+                )?;
             }
             1 => {
                 let m = ep.round(&[], &[bruck::net::RecvSpec { from: 0, tag: 0 }])?;
                 ep.round(
-                    &[bruck::net::SendSpec { to: 2, tag: 1, payload: &m[0].payload }],
+                    &[bruck::net::SendSpec {
+                        to: 2,
+                        tag: 1,
+                        payload: &m[0].payload,
+                    }],
                     &[],
                 )?;
             }
@@ -134,5 +152,9 @@ fn postal_latency_overlaps_across_ranks() {
     .unwrap();
     // Delivery 0→1 completes at 4 µs; rank 1's send departs at 5 µs and
     // delivers at 4+4 = 8 µs.
-    assert!((out.results[2] - 8e-6).abs() < 1e-15, "rank 2 at {}", out.results[2]);
+    assert!(
+        (out.results[2] - 8e-6).abs() < 1e-15,
+        "rank 2 at {}",
+        out.results[2]
+    );
 }

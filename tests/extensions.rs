@@ -1,6 +1,9 @@
-//! Property tests and stress tests for the extension operations:
+//! Property-style and stress tests for the extension operations:
 //! v-variants, reductions, scans, mixed-radix, hierarchical, and the
 //! appendix-faithful ports.
+//!
+//! Parameters sweep a fixed number of deterministic pseudo-random cases
+//! from a local xorshift generator — reproducible, dependency-free.
 
 use bruck::collectives::appendix::{concat_appendix_b, index_appendix_a};
 use bruck::collectives::index::{hierarchical, mixed};
@@ -11,20 +14,41 @@ use bruck::collectives::scan::{exscan, scan};
 use bruck::collectives::verify;
 use bruck::collectives::vops::{allgatherv, alltoallv};
 use bruck::net::{Cluster, ClusterConfig};
-use proptest::prelude::*;
 
-fn ops() -> impl Strategy<Value = ReduceOp> {
-    prop_oneof![Just(ReduceOp::Sum), Just(ReduceOp::Min), Just(ReduceOp::Max)]
+/// Deterministic xorshift64 over half-open ranges.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(2654435761).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn pick(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn op(&mut self) -> ReduceOp {
+        [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][self.pick(0, 3)]
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+const CASES: u64 = 40;
 
-    /// alltoallv with arbitrary per-pair sizes delivers exactly what was
-    /// addressed.
-    #[test]
-    fn alltoallv_random_sizes(n in 1usize..12, k in 1usize..4, seed in 0u64..1000) {
-        let size = |i: usize, j: usize| ((seed as usize).wrapping_mul(31) + i * 7 + j * 13) % 50;
+/// alltoallv with arbitrary per-pair sizes delivers exactly what was
+/// addressed.
+#[test]
+fn alltoallv_random_sizes() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, k, salt) = (g.pick(1, 12), g.pick(1, 4), g.next());
+        let size = |i: usize, j: usize| ((salt as usize).wrapping_mul(31) + i * 7 + j * 13) % 50;
         let cfg = ClusterConfig::new(n).with_ports(k);
         let out = Cluster::run(&cfg, |ep| {
             let bufs: Vec<Vec<u8>> = (0..n)
@@ -35,50 +59,61 @@ proptest! {
                 })
                 .collect();
             alltoallv(ep, &bufs)
-        }).unwrap();
+        })
+        .unwrap();
         for (rank, received) in out.results.iter().enumerate() {
             for (src, buf) in received.iter().enumerate() {
                 let expected: Vec<u8> = (0..size(src, rank))
                     .map(|t| verify::content_byte(src, rank, t))
                     .collect();
-                prop_assert_eq!(buf, &expected);
+                assert_eq!(buf, &expected, "n={n} k={k} rank={rank} src={src}");
             }
         }
     }
+}
 
-    /// allgatherv with arbitrary per-rank sizes.
-    #[test]
-    fn allgatherv_random_sizes(n in 1usize..16, k in 1usize..5, seed in 0u64..1000) {
-        let size = |i: usize| ((seed as usize).wrapping_mul(17) + i * 11) % 40;
+/// allgatherv with arbitrary per-rank sizes.
+#[test]
+fn allgatherv_random_sizes() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, k, salt) = (g.pick(1, 16), g.pick(1, 5), g.next());
+        let size = |i: usize| ((salt as usize).wrapping_mul(17) + i * 11) % 40;
         let cfg = ClusterConfig::new(n).with_ports(k);
         let out = Cluster::run(&cfg, |ep| {
             let mine: Vec<u8> = (0..size(ep.rank()))
                 .map(|t| verify::content_byte(ep.rank(), 0, t))
                 .collect();
             allgatherv(ep, &mine)
-        }).unwrap();
+        })
+        .unwrap();
         for received in &out.results {
             for (src, buf) in received.iter().enumerate() {
-                let expected: Vec<u8> =
-                    (0..size(src)).map(|t| verify::content_byte(src, 0, t)).collect();
-                prop_assert_eq!(buf, &expected);
+                let expected: Vec<u8> = (0..size(src))
+                    .map(|t| verify::content_byte(src, 0, t))
+                    .collect();
+                assert_eq!(buf, &expected, "n={n} k={k} src={src}");
             }
         }
     }
+}
 
-    /// The two allreduce strategies agree with a local fold.
-    #[test]
-    fn allreduce_strategies_agree(d in 1u32..4, m_scale in 1usize..4, op in ops()) {
+/// The two allreduce strategies agree with a local fold.
+#[test]
+fn allreduce_strategies_agree() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (d, m_scale, op) = (g.pick(1, 4) as u32, g.pick(1, 4), g.op());
         let n = 1usize << d;
         let m = n * m_scale;
         let cfg = ClusterConfig::new(n);
         let out = Cluster::run(&cfg, |ep| {
-            let mine: Vec<f64> =
-                (0..m).map(|i| ((ep.rank() * m + i) as f64).sin()).collect();
+            let mine: Vec<f64> = (0..m).map(|i| ((ep.rank() * m + i) as f64).sin()).collect();
             let a = allreduce_via_concat(ep, &mine, op)?;
             let b = allreduce_halving_doubling(ep, &mine, op)?;
             Ok((a, b))
-        }).unwrap();
+        })
+        .unwrap();
         let expected: Vec<f64> = (0..m)
             .map(|i| {
                 (0..n)
@@ -89,113 +124,140 @@ proptest! {
             .collect();
         for (a, b) in &out.results {
             for ((x, y), e) in a.iter().zip(b).zip(&expected) {
-                prop_assert!((x - e).abs() < 1e-9);
-                prop_assert!((y - e).abs() < 1e-9);
+                assert!((x - e).abs() < 1e-9, "n={n} m={m} op={op:?}");
+                assert!((y - e).abs() < 1e-9, "n={n} m={m} op={op:?}");
             }
         }
     }
+}
 
-    /// reduce_scatter segments stitch back into the full reduction.
-    #[test]
-    fn reduce_scatter_covers(n in 1usize..10, m_scale in 1usize..4, op in ops()) {
+/// reduce_scatter segments stitch back into the full reduction.
+#[test]
+fn reduce_scatter_covers() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, m_scale, op) = (g.pick(1, 10), g.pick(1, 4), g.op());
         let m = n * m_scale;
         let cfg = ClusterConfig::new(n);
         let out = Cluster::run(&cfg, |ep| {
             let mine: Vec<f64> = (0..m).map(|i| (ep.rank() + i) as f64).collect();
             reduce_scatter(ep, &mine, op)
-        }).unwrap();
+        })
+        .unwrap();
         let full: Vec<f64> = (0..m)
             .map(|i| {
-                (0..n).map(|r| (r + i) as f64).reduce(|a, b| op.apply(a, b)).unwrap()
+                (0..n)
+                    .map(|r| (r + i) as f64)
+                    .reduce(|a, b| op.apply(a, b))
+                    .unwrap()
             })
             .collect();
         let stitched: Vec<f64> = out.results.iter().flatten().copied().collect();
-        prop_assert_eq!(stitched.len(), full.len());
-        for (g, e) in stitched.iter().zip(&full) {
-            prop_assert!((g - e).abs() < 1e-9);
+        assert_eq!(stitched.len(), full.len(), "n={n} m={m} op={op:?}");
+        for (g_, e) in stitched.iter().zip(&full) {
+            assert!((g_ - e).abs() < 1e-9, "n={n} m={m} op={op:?}");
         }
     }
+}
 
-    /// scan/exscan against the sequential prefix.
-    #[test]
-    fn scans_match_sequential(n in 1usize..14, m in 1usize..6, op in ops()) {
+/// scan/exscan against the sequential prefix.
+#[test]
+fn scans_match_sequential() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, m, op) = (g.pick(1, 14), g.pick(1, 6), g.op());
         let cfg = ClusterConfig::new(n);
         let out = Cluster::run(&cfg, |ep| {
             let mine: Vec<f64> = (0..m).map(|i| (ep.rank() * m + i) as f64 * 0.5).collect();
             let inc = scan(ep, &mine, op)?;
             let exc = exscan(ep, &mine, op)?;
             Ok((inc, exc))
-        }).unwrap();
-        let data = |r: usize| -> Vec<f64> {
-            (0..m).map(|i| (r * m + i) as f64 * 0.5).collect()
-        };
+        })
+        .unwrap();
+        let data = |r: usize| -> Vec<f64> { (0..m).map(|i| (r * m + i) as f64 * 0.5).collect() };
         for (rank, (inc, exc)) in out.results.iter().enumerate() {
             let mut want = data(0);
             for r in 1..=rank {
                 op.fold_into(&mut want, &data(r));
             }
-            for (g, e) in inc.iter().zip(&want) {
-                prop_assert!((g - e).abs() < 1e-9, "rank {}", rank);
+            for (got, e) in inc.iter().zip(&want) {
+                assert!((got - e).abs() < 1e-9, "rank {rank}");
             }
             match exc {
-                None => prop_assert_eq!(rank, 0),
+                None => assert_eq!(rank, 0),
                 Some(exc) => {
                     let mut want = data(0);
                     for r in 1..rank {
                         op.fold_into(&mut want, &data(r));
                     }
-                    for (g, e) in exc.iter().zip(&want) {
-                        prop_assert!((g - e).abs() < 1e-9);
+                    for (got, e) in exc.iter().zip(&want) {
+                        assert!((got - e).abs() < 1e-9, "rank {rank}");
                     }
                 }
             }
         }
     }
+}
 
-    /// Mixed-radix index correct for random covering vectors.
-    #[test]
-    fn mixed_radix_random_vectors(
-        n in 2usize..16,
-        b in 0usize..6,
-        r0 in 2usize..5,
-        r1 in 2usize..5,
-        r2 in 2usize..5,
-    ) {
-        let radices = [r0, r1, r2, 16]; // final 16 guarantees coverage
+/// Mixed-radix index correct for random covering vectors.
+#[test]
+fn mixed_radix_random_vectors() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, b) = (g.pick(2, 16), g.pick(0, 6));
+        let radices = [g.pick(2, 5), g.pick(2, 5), g.pick(2, 5), 16]; // final 16 guarantees coverage
         let cfg = ClusterConfig::new(n);
         let out = Cluster::run(&cfg, |ep| {
             let input = verify::index_input(ep.rank(), n, b);
             mixed::run(ep, &input, b, &radices)
-        }).unwrap();
+        })
+        .unwrap();
         for (rank, result) in out.results.iter().enumerate() {
-            prop_assert_eq!(result, &verify::index_expected(rank, n, b));
+            assert_eq!(
+                result,
+                &verify::index_expected(rank, n, b),
+                "n={n} b={b} rank={rank}"
+            );
         }
     }
+}
 
-    /// Hierarchical alltoall correct for random node factorizations.
-    #[test]
-    fn hierarchical_random_shapes(
-        nodes in 1usize..5,
-        node_size in 1usize..5,
-        b in 0usize..6,
-        rl in 2usize..5,
-        rr in 2usize..5,
-    ) {
+/// Hierarchical alltoall correct for random node factorizations.
+#[test]
+fn hierarchical_random_shapes() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (nodes, node_size, b, rl, rr) = (
+            g.pick(1, 5),
+            g.pick(1, 5),
+            g.pick(0, 6),
+            g.pick(2, 5),
+            g.pick(2, 5),
+        );
         let n = nodes * node_size;
         let cfg = ClusterConfig::new(n);
         let out = Cluster::run(&cfg, |ep| {
             let input = verify::index_input(ep.rank(), n, b);
             hierarchical::run(ep, &input, b, node_size, rl, rr)
-        }).unwrap();
+        })
+        .unwrap();
         for (rank, result) in out.results.iter().enumerate() {
-            prop_assert_eq!(result, &verify::index_expected(rank, n, b));
+            assert_eq!(
+                result,
+                &verify::index_expected(rank, n, b),
+                "n={n} b={b} rank={rank}"
+            );
         }
     }
+}
 
-    /// The appendix ports agree with the oracle over shuffled process
-    /// arrays.
-    #[test]
-    fn appendix_ports_random(n in 2usize..12, r in 2usize..12, rot in 0usize..12) {
+/// The appendix ports agree with the oracle over shuffled process
+/// arrays.
+#[test]
+fn appendix_ports_random() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, r, rot) = (g.pick(2, 12), g.pick(2, 12), g.pick(0, 12));
         // A rotated process array (a simple derangement family).
         let a: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
         let cfg = ClusterConfig::new(n);
@@ -205,10 +267,15 @@ proptest! {
             let idx = index_appendix_a(ep, &input, 2, &a, r)?;
             let cat = concat_appendix_b(ep, &verify::concat_input(my_rank, 3), &a)?;
             Ok((my_rank, idx, cat))
-        }).unwrap();
+        })
+        .unwrap();
         for (my_rank, idx, cat) in &out.results {
-            prop_assert_eq!(idx, &verify::index_expected(*my_rank, n, 2));
-            prop_assert_eq!(cat, &verify::concat_expected(n, 3));
+            assert_eq!(
+                idx,
+                &verify::index_expected(*my_rank, n, 2),
+                "n={n} r={r} rot={rot}"
+            );
+            assert_eq!(cat, &verify::concat_expected(n, 3), "n={n} r={r} rot={rot}");
         }
     }
 }

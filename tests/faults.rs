@@ -26,7 +26,10 @@ fn index_with_dead_rank_errors_out() {
     })
     .unwrap_err();
     assert!(
-        matches!(err, NetError::Killed { rank: 3, .. } | NetError::Timeout { .. }),
+        matches!(
+            err,
+            NetError::Killed { rank: 3, .. } | NetError::Timeout { .. }
+        ),
         "unexpected error: {err:?}"
     );
 }
@@ -41,7 +44,10 @@ fn concat_with_dead_rank_errors_out() {
     })
     .unwrap_err();
     assert!(
-        matches!(err, NetError::Killed { rank: 0, .. } | NetError::Timeout { .. }),
+        matches!(
+            err,
+            NetError::Killed { rank: 0, .. } | NetError::Timeout { .. }
+        ),
         "unexpected error: {err:?}"
     );
 }
@@ -93,7 +99,10 @@ fn fault_in_last_round_of_concat() {
     })
     .unwrap_err();
     assert!(
-        matches!(err, NetError::Killed { rank: 7, .. } | NetError::Timeout { .. }),
+        matches!(
+            err,
+            NetError::Killed { rank: 7, .. } | NetError::Timeout { .. }
+        ),
         "{err:?}"
     );
 }

@@ -31,7 +31,10 @@ fn index_inside_a_strided_group() {
     for (global, result) in out.results.iter().enumerate() {
         match group.rank_of(global) {
             Some(grank) => {
-                assert_eq!(result.as_ref().unwrap(), &verify::index_expected(grank, 5, b));
+                assert_eq!(
+                    result.as_ref().unwrap(),
+                    &verify::index_expected(grank, 5, b)
+                );
             }
             None => assert!(result.is_none()),
         }
@@ -63,8 +66,7 @@ fn concat_inside_a_range_group() {
 #[test]
 fn disjoint_groups_run_collectives_concurrently() {
     // Three disjoint groups of sizes 3/4/5 each run their own index.
-    let groups =
-        [Group::range(0, 3), Group::range(3, 4), Group::range(7, 5)];
+    let groups = [Group::range(0, 3), Group::range(3, 4), Group::range(7, 5)];
     let cfg = ClusterConfig::new(12);
     let b = 2;
     let out = Cluster::run(&cfg, |ep| {
@@ -147,8 +149,11 @@ fn vops_and_reductions_work_in_groups() {
         };
         let mut gc = group.bind(ep);
         let mine: Vec<f64> = vec![grank as f64; 3];
-        let sum =
-            bruck::collectives::reduce::allreduce_via_concat(&mut gc, &mine, bruck::collectives::reduce::ReduceOp::Sum)?;
+        let sum = bruck::collectives::reduce::allreduce_via_concat(
+            &mut gc,
+            &mine,
+            bruck::collectives::reduce::ReduceOp::Sum,
+        )?;
         let blocks = bruck::collectives::vops::allgatherv(&mut gc, &vec![grank as u8; grank + 1])?;
         Ok(Some((sum, blocks)))
     })

@@ -39,8 +39,7 @@ fn index_rn_is_transfer_optimal() {
 fn index_r_kplus1_round_optimal_kport() {
     for k in 1..6 {
         for n in 2..100 {
-            let c =
-                ScheduleStats::of(&IndexAlgorithm::BruckRadix(k + 1).plan(n, 2, k)).complexity;
+            let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(k + 1).plan(n, 2, k)).complexity;
             assert_eq!(c.c1, index_bounds(n, k, 2).c1, "n={n} k={k}");
         }
     }
@@ -76,7 +75,11 @@ fn theorem_2_6_transfer_optimal_rounds_forced() {
     for k in 1..5 {
         for n in [8usize, 17, 40] {
             let c = ScheduleStats::of(&IndexAlgorithm::Direct.plan(n, 2, k)).complexity;
-            assert_eq!(c.c1, index_c1_bound_when_transfer_optimal(n, k), "n={n} k={k}");
+            assert_eq!(
+                c.c1,
+                index_c1_bound_when_transfer_optimal(n, k),
+                "n={n} k={k}"
+            );
         }
     }
 }
@@ -139,7 +142,10 @@ fn theorem_4_3_concat_optimality_sweep() {
                     assert!(rounds.c2 < lb.c2 + b as u64, "n={n} k={k} b={b}: {rounds}");
                     if rounds.c2 != lb.c2 {
                         exceptions += 1;
-                        assert!(k >= 3 && b >= 3, "exception outside the paper's range: n={n} k={k} b={b}");
+                        assert!(
+                            k >= 3 && b >= 3,
+                            "exception outside the paper's range: n={n} k={k} b={b}"
+                        );
                         // The Bytes fallback then restores C2 at +1 round
                         // (when its geometry permits).
                         if bytes.c1 == lb.c1 + 1 {
@@ -150,7 +156,10 @@ fn theorem_4_3_concat_optimality_sweep() {
             }
         }
     }
-    assert!(exceptions > 0, "the exception range should appear in this sweep");
+    assert!(
+        exceptions > 0,
+        "the exception range should appear in this sweep"
+    );
 }
 
 /// The folklore gather+broadcast is suboptimal in both measures (the §4

@@ -18,7 +18,8 @@ fn check_index(algo: IndexAlgorithm, n: usize, b: usize, k: usize) {
     })
     .unwrap_or_else(|e| panic!("{} n={n} b={b} k={k}: {e}", algo.name()));
     let plan = algo.plan(n, b, k);
-    plan.validate().unwrap_or_else(|e| panic!("{} invalid plan: {e}", algo.name()));
+    plan.validate()
+        .unwrap_or_else(|e| panic!("{} invalid plan: {e}", algo.name()));
     let traced = Schedule::from_trace(&out.trace.unwrap(), n, k);
     assert_eq!(
         traced,
@@ -42,7 +43,8 @@ fn check_concat(algo: ConcatAlgorithm, n: usize, b: usize, k: usize) {
     })
     .unwrap_or_else(|e| panic!("{} n={n} b={b} k={k}: {e}", algo.name()));
     let plan = algo.plan(n, b, k);
-    plan.validate().unwrap_or_else(|e| panic!("{} invalid plan: {e}", algo.name()));
+    plan.validate()
+        .unwrap_or_else(|e| panic!("{} invalid plan: {e}", algo.name()));
     let traced = Schedule::from_trace(&out.trace.unwrap(), n, k);
     assert_eq!(
         traced,
@@ -54,7 +56,13 @@ fn check_concat(algo: ConcatAlgorithm, n: usize, b: usize, k: usize) {
 
 #[test]
 fn index_bruck_trace_equals_plan() {
-    for &(n, b, k) in &[(5usize, 3usize, 1usize), (8, 1, 1), (13, 4, 2), (16, 2, 3), (27, 2, 2)] {
+    for &(n, b, k) in &[
+        (5usize, 3usize, 1usize),
+        (8, 1, 1),
+        (13, 4, 2),
+        (16, 2, 3),
+        (27, 2, 2),
+    ] {
         for r in [2usize, 3, 5, n] {
             check_index(IndexAlgorithm::BruckRadix(r), n, b, k);
         }

@@ -1,4 +1,8 @@
-//! Property-based tests (proptest) over randomized parameters.
+//! Property-style tests over pseudo-randomized parameters.
+//!
+//! Each property sweeps a fixed number of deterministic cases drawn from
+//! a local xorshift generator — the same coverage shape as a property
+//! test, but reproducible and dependency-free.
 
 use bruck::collectives::concat::ConcatAlgorithm;
 use bruck::collectives::index::IndexAlgorithm;
@@ -8,115 +12,217 @@ use bruck::model::partition::{plan_last_round, Preference};
 use bruck::model::tuning::{index_complexity, index_complexity_kport};
 use bruck::net::{Cluster, ClusterConfig};
 use bruck::sched::ScheduleStats;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Deterministic xorshift64 over half-open ranges.
+struct Gen(u64);
 
-    /// The Bruck index executor is correct for random (n, r, b, k).
-    #[test]
-    fn bruck_index_correct(n in 1usize..20, r in 2usize..24, b in 0usize..12, k in 1usize..4) {
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(2654435761).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform-ish draw from `lo..hi`.
+    fn pick(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+const CASES: u64 = 64;
+
+/// The Bruck index executor is correct for random (n, r, b, k).
+#[test]
+fn bruck_index_correct() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, r, b, k) = (g.pick(1, 20), g.pick(2, 24), g.pick(0, 12), g.pick(1, 4));
         let cfg = ClusterConfig::new(n).with_ports(k);
         let out = Cluster::run(&cfg, |ep| {
             let input = verify::index_input(ep.rank(), n, b);
             IndexAlgorithm::BruckRadix(r).run(ep, &input, b)
-        }).unwrap();
+        })
+        .unwrap();
         for (rank, result) in out.results.iter().enumerate() {
-            prop_assert_eq!(result, &verify::index_expected(rank, n, b));
+            assert_eq!(
+                result,
+                &verify::index_expected(rank, n, b),
+                "n={n} r={r} b={b} k={k}"
+            );
         }
     }
+}
 
-    /// The circulant concat executor is correct for random (n, b, k, pref).
-    #[test]
-    fn bruck_concat_correct(n in 1usize..24, b in 1usize..12, k in 1usize..5, bytes_pref: bool) {
-        let pref = if bytes_pref { Preference::Bytes } else { Preference::Rounds };
+/// The circulant concat executor is correct for random (n, b, k, pref).
+#[test]
+fn bruck_concat_correct() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, b, k) = (g.pick(1, 24), g.pick(1, 12), g.pick(1, 5));
+        let pref = if g.flag() {
+            Preference::Bytes
+        } else {
+            Preference::Rounds
+        };
         let cfg = ClusterConfig::new(n).with_ports(k);
         let out = Cluster::run(&cfg, |ep| {
             let input = verify::concat_input(ep.rank(), b);
             ConcatAlgorithm::Bruck(pref).run(ep, &input)
-        }).unwrap();
+        })
+        .unwrap();
         let expected = verify::concat_expected(n, b);
         for result in &out.results {
-            prop_assert_eq!(result, &expected);
+            assert_eq!(result, &expected, "n={n} b={b} k={k} pref={pref:?}");
         }
     }
+}
 
-    /// Planner schedules are always valid under the k-port model, and the
-    /// closed-form complexity matches the schedule analyzer.
-    #[test]
-    fn index_plans_valid_and_consistent(n in 2usize..40, r in 2usize..40, b in 0usize..16, k in 1usize..5) {
+/// Planner schedules are always valid under the k-port model, and the
+/// closed-form complexity matches the schedule analyzer.
+#[test]
+fn index_plans_valid_and_consistent() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, r, b, k) = (g.pick(2, 40), g.pick(2, 40), g.pick(0, 16), g.pick(1, 5));
         let s = IndexAlgorithm::BruckRadix(r).plan(n, b, k);
-        prop_assert!(s.validate().is_ok());
+        assert!(s.validate().is_ok(), "n={n} r={r} b={b} k={k}");
         let stats = ScheduleStats::of(&s);
-        prop_assert_eq!(stats.complexity, index_complexity_kport(n, r.min(n), b, k));
+        assert_eq!(stats.complexity, index_complexity_kport(n, r.min(n), b, k));
     }
+}
 
-    /// No index plan ever beats the §2 lower bounds.
-    #[test]
-    fn index_plans_respect_lower_bounds(n in 2usize..40, r in 2usize..40, b in 1usize..16, k in 1usize..5) {
+/// No index plan ever beats the §2 lower bounds.
+#[test]
+fn index_plans_respect_lower_bounds() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, r, b, k) = (g.pick(2, 40), g.pick(2, 40), g.pick(1, 16), g.pick(1, 5));
         let s = IndexAlgorithm::BruckRadix(r).plan(n, b, k);
         let c = ScheduleStats::of(&s).complexity;
         let lb = index_bounds(n, k, b);
-        prop_assert!(lb.admits(c), "r={} complexity {} beats bounds ({}, {})", r, c, lb.c1, lb.c2);
+        assert!(
+            lb.admits(c),
+            "r={r} complexity {c} beats bounds ({}, {})",
+            lb.c1,
+            lb.c2
+        );
     }
+}
 
-    /// No concat plan ever beats the §2 lower bounds, and the circulant
-    /// algorithm is round-optimal for every (n, k, b).
-    #[test]
-    fn concat_plans_respect_lower_bounds(n in 2usize..60, b in 1usize..16, k in 1usize..5) {
+/// No concat plan ever beats the §2 lower bounds, and the circulant
+/// algorithm is round-optimal for every (n, k, b).
+#[test]
+fn concat_plans_respect_lower_bounds() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, b, k) = (g.pick(2, 60), g.pick(1, 16), g.pick(1, 5));
         let lb = concat_bounds(n, k, b);
-        for algo in [ConcatAlgorithm::Bruck(Preference::Rounds), ConcatAlgorithm::GatherBroadcast] {
+        for algo in [
+            ConcatAlgorithm::Bruck(Preference::Rounds),
+            ConcatAlgorithm::GatherBroadcast,
+        ] {
             let c = ScheduleStats::of(&algo.plan(n, b, k)).complexity;
-            prop_assert!(lb.admits(c), "{} {} vs ({}, {})", algo.name(), c, lb.c1, lb.c2);
+            assert!(
+                lb.admits(c),
+                "{} {} vs ({}, {})",
+                algo.name(),
+                c,
+                lb.c1,
+                lb.c2
+            );
         }
-        let c = ScheduleStats::of(&ConcatAlgorithm::Bruck(Preference::Rounds).plan(n, b, k)).complexity;
-        prop_assert_eq!(c.c1, lb.c1);
+        let c =
+            ScheduleStats::of(&ConcatAlgorithm::Bruck(Preference::Rounds).plan(n, b, k)).complexity;
+        assert_eq!(c.c1, lb.c1, "n={n} b={b} k={k}");
     }
+}
 
-    /// The k-port grouping never hurts: complexity with k ports dominates
-    /// complexity with k+1 ports in rounds, with identical total steps.
-    #[test]
-    fn more_ports_never_more_rounds(n in 2usize..40, r in 2usize..16, b in 1usize..8, k in 1usize..4) {
+/// The k-port grouping never hurts: complexity with k ports dominates
+/// complexity with k+1 ports in rounds, with identical total steps.
+#[test]
+fn more_ports_never_more_rounds() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, r, b, k) = (g.pick(2, 40), g.pick(2, 16), g.pick(1, 8), g.pick(1, 4));
         let ck = index_complexity_kport(n, r, b, k);
         let ck1 = index_complexity_kport(n, r, b, k + 1);
-        prop_assert!(ck1.c1 <= ck.c1);
-        prop_assert!(ck1.c2 <= ck.c2);
+        assert!(ck1.c1 <= ck.c1, "n={n} r={r} b={b} k={k}");
+        assert!(ck1.c2 <= ck.c2, "n={n} r={r} b={b} k={k}");
     }
+}
 
-    /// One-port k-port formula degenerates to the §3.2 closed form.
-    #[test]
-    fn one_port_formulas_agree(n in 2usize..60, r in 2usize..60, b in 0usize..8) {
-        prop_assert_eq!(index_complexity_kport(n, r, b, 1), index_complexity(n, r, b));
+/// One-port k-port formula degenerates to the §3.2 closed form.
+#[test]
+fn one_port_formulas_agree() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, r, b) = (g.pick(2, 60), g.pick(2, 60), g.pick(0, 8));
+        assert_eq!(
+            index_complexity_kport(n, r, b, 1),
+            index_complexity(n, r, b),
+            "n={n} r={r}"
+        );
     }
+}
 
-    /// The last-round partitioner always covers the table exactly and
-    /// never exceeds the §4 Remark costs.
-    #[test]
-    fn partition_always_valid(k in 1usize..6, d in 1u32..4, extra in 1usize..20, b in 1usize..8, bytes_pref: bool) {
+/// The last-round partitioner always covers the table exactly and
+/// never exceeds the §4 Remark costs.
+#[test]
+fn partition_always_valid() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (k, d, extra, b) = (
+            g.pick(1, 6),
+            g.pick(1, 4) as u32,
+            g.pick(1, 20),
+            g.pick(1, 8),
+        );
         let n1 = (k + 1).pow(d);
         let n2 = 1 + (extra - 1) % (k * n1);
-        let pref = if bytes_pref { Preference::Bytes } else { Preference::Rounds };
+        let pref = if g.flag() {
+            Preference::Bytes
+        } else {
+            Preference::Rounds
+        };
         let plan = plan_last_round(n1, n2, b, k, pref);
-        prop_assert!(plan.validate().is_ok());
+        assert!(plan.validate().is_ok(), "k={k} d={d} n2={n2} b={b}");
         let a = (b * n2).div_ceil(k) as u64;
         let c = plan.complexity();
-        prop_assert!(c.c2 < a + b as u64, "c2 {} vs a {} + b {}", c.c2, a, b);
-        prop_assert!(c.c1 <= 2);
+        assert!(c.c2 < a + b as u64, "c2 {} vs a {} + b {}", c.c2, a, b);
+        assert!(c.c1 <= 2, "k={k} d={d} n2={n2} b={b}");
     }
+}
 
-    /// Virtual time of a live run equals the closed-form prediction for
-    /// the synchronous Bruck index schedule (linear model).
-    #[test]
-    fn virtual_time_matches_prediction(n in 2usize..12, r in 2usize..12, b in 0usize..64) {
+/// Virtual time of a live run equals the closed-form prediction for
+/// the synchronous Bruck index schedule (linear model).
+#[test]
+fn virtual_time_matches_prediction() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let (n, r, b) = (g.pick(2, 12), g.pick(2, 12), g.pick(0, 64));
         let model = bruck::model::cost::LinearModel::sp1();
         let cfg = ClusterConfig::new(n).with_cost(std::sync::Arc::new(model));
         let out = Cluster::run(&cfg, |ep| {
             let input = verify::index_input(ep.rank(), n, b);
             IndexAlgorithm::BruckRadix(r).run(ep, &input, b)
-        }).unwrap();
+        })
+        .unwrap();
         let c = ScheduleStats::of(&IndexAlgorithm::BruckRadix(r).plan(n, b, 1)).complexity;
         let predicted = c.linear_time(model.startup, model.per_byte);
-        prop_assert!((out.virtual_makespan() - predicted).abs() < 1e-9,
-            "virtual {} vs predicted {}", out.virtual_makespan(), predicted);
+        assert!(
+            (out.virtual_makespan() - predicted).abs() < 1e-9,
+            "virtual {} vs predicted {} (n={n} r={r} b={b})",
+            out.virtual_makespan(),
+            predicted
+        );
     }
 }

@@ -15,14 +15,23 @@ fn index_over_sockets() {
     let n = 8;
     let b = 512;
     let cfg = ClusterConfig::new(n);
-    for algo in [IndexAlgorithm::BruckRadix(2), IndexAlgorithm::BruckRadix(4), IndexAlgorithm::Direct] {
+    for algo in [
+        IndexAlgorithm::BruckRadix(2),
+        IndexAlgorithm::BruckRadix(4),
+        IndexAlgorithm::Direct,
+    ] {
         let out = SocketCluster::run(&cfg, |ep| {
             let input = verify::index_input(ep.rank(), n, b);
             algo.run(ep, &input, b)
         })
         .unwrap_or_else(|e| panic!("{} over sockets: {e}", algo.name()));
         for (rank, result) in out.results.iter().enumerate() {
-            assert_eq!(result, &verify::index_expected(rank, n, b), "{}", algo.name());
+            assert_eq!(
+                result,
+                &verify::index_expected(rank, n, b),
+                "{}",
+                algo.name()
+            );
         }
     }
 }
