@@ -10,3 +10,10 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Robustness gate: fault injection and the chaos soak. Every fault plan
+# is seeded (FaultPlan::with_seed / the xorshift case generator in
+# tests/chaos.rs), so failures replay deterministically from the seed
+# printed in the assertion message.
+cargo test -q --test faults
+cargo test -q --test chaos

@@ -7,10 +7,13 @@
 //! bruckctl concat --n 60 --block 64 --ports 3
 //! bruckctl plan   --op index --n 16 --block 4 --radix 2   # print the schedule
 //! bruckctl tune   --n 64 --block 128 [--ports 1]          # radix table
+//! bruckctl chaos  --n 8 --block 64 --seed 2 --loss 0.05   # lossy-wire soak
+//! bruckctl chaos  --n 8 --block 64 --kill 3               # shrink-and-retry
 //! ```
 
 use std::sync::Arc;
 
+use bruck_collectives::api::{alltoall, Tuning};
 use bruck_collectives::concat::ConcatAlgorithm;
 use bruck_collectives::index::IndexAlgorithm;
 use bruck_collectives::verify;
@@ -18,7 +21,7 @@ use bruck_model::bounds::{concat_bounds, index_bounds};
 use bruck_model::cost::{CostModel, LinearModel, Sp1Model};
 use bruck_model::partition::Preference;
 use bruck_model::tuning::{all_radices, best_radix, index_complexity_kport};
-use bruck_net::{Cluster, ClusterConfig, Endpoint, NetError};
+use bruck_net::{Cluster, ClusterConfig, Endpoint, FaultPlan, NetError, Reliability};
 use bruck_sched::{from_tsv, render_activity, render_rounds, summarize, to_tsv, ScheduleStats};
 
 #[derive(Debug)]
@@ -33,6 +36,12 @@ struct Args {
     transport: String,
     save: Option<String>,
     load: Option<String>,
+    seed: u64,
+    loss: f64,
+    dup: f64,
+    corrupt: f64,
+    reps: usize,
+    kill: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +58,12 @@ fn parse_args() -> Result<Args, String> {
         transport: "channel".into(),
         save: None,
         load: None,
+        seed: 0xB10C,
+        loss: 0.0,
+        dup: 0.0,
+        corrupt: 0.0,
+        reps: 4,
+        kill: None,
     };
     while let Some(flag) = raw.next() {
         let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
@@ -62,6 +77,14 @@ fn parse_args() -> Result<Args, String> {
             "--transport" => args.transport = value()?,
             "--save" => args.save = Some(value()?),
             "--load" => args.load = Some(value()?),
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--loss" => args.loss = value()?.parse().map_err(|e| format!("--loss: {e}"))?,
+            "--dup" => args.dup = value()?.parse().map_err(|e| format!("--dup: {e}"))?,
+            "--corrupt" => {
+                args.corrupt = value()?.parse().map_err(|e| format!("--corrupt: {e}"))?;
+            }
+            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--kill" => args.kill = Some(value()?.parse().map_err(|e| format!("--kill: {e}"))?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -245,12 +268,100 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn print_link_report(metrics: &bruck_net::RunMetrics) {
+    let link = metrics.link_totals();
+    println!("  retransmits  : {}", link.retransmits);
+    println!("  acks sent    : {}", link.acks_sent);
+    println!("  dups dropped : {}", link.dups_dropped);
+    println!("  corrupt drop : {}", link.corrupt_dropped);
+    println!(
+        "  injected     : {} losses, {} dups, {} corruptions, {} delays",
+        link.injected_losses, link.injected_dups, link.injected_corruptions, link.injected_delays
+    );
+    let per_rank: Vec<u64> = metrics
+        .per_rank
+        .iter()
+        .map(|m| m.link.retransmits)
+        .collect();
+    println!("  per-rank retransmits: {per_rank:?}");
+}
+
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let model = model_from(&args.model)?;
+    let mut plan = FaultPlan::new()
+        .with_seed(args.seed)
+        .with_loss(args.loss)
+        .with_duplication(args.dup)
+        .with_corruption(args.corrupt);
+    if let Some(victim) = args.kill {
+        if victim >= args.n {
+            return Err(format!("--kill {victim} out of range (n = {})", args.n));
+        }
+        plan = plan.kill_rank_after(victim, 1);
+    }
+    let cfg = ClusterConfig::new(args.n)
+        .with_ports(args.ports)
+        .with_cost(model)
+        .with_faults(plan)
+        .with_reliability(Reliability::default());
+    let (n, block, reps) = (args.n, args.block, args.reps.max(1));
+    let tuning = Tuning::default();
+    println!(
+        "chaos: n={n} b={block} seed={:#x} loss={:.1}% dup={:.1}% corrupt={:.1}% reps={reps} ({})",
+        args.seed,
+        args.loss * 100.0,
+        args.dup * 100.0,
+        args.corrupt * 100.0,
+        args.transport
+    );
+    if let Some(victim) = args.kill {
+        if args.transport != "channel" {
+            return Err("--kill currently demos shrink-and-retry on the channel transport".into());
+        }
+        // Shrink-and-retry: the killed rank fails the first attempt, the
+        // survivors re-plan for the smaller membership and complete.
+        let resilient = Cluster::run_resilient(&cfg, 3, move |ep, view| {
+            let m = ep.size();
+            let input = verify::index_input(ep.rank(), m, block);
+            let mut last = Vec::new();
+            for _ in 0..reps {
+                last = alltoall(ep, &input, block, &tuning)?;
+            }
+            if last != verify::index_expected(ep.rank(), m, block) {
+                return Err(NetError::App("wrong result".into()));
+            }
+            Ok(view.attempt)
+        })
+        .map_err(|e| e.to_string())?;
+        println!("  killed rank  : {victim} (after round 1)");
+        println!("  survivors    : {:?}", resilient.survivors);
+        println!("  attempts     : {}", resilient.attempts);
+        println!("  result       : bit-correct on all survivors ✓");
+        print_link_report(&resilient.output.metrics);
+    } else {
+        let out = run_cluster(args, &cfg, move |ep| {
+            let input = verify::index_input(ep.rank(), n, block);
+            let mut last = Vec::new();
+            for _ in 0..reps {
+                last = alltoall(ep, &input, block, &tuning)?;
+            }
+            if last != verify::index_expected(ep.rank(), n, block) {
+                return Err(NetError::App("wrong result".into()));
+            }
+            Ok(())
+        })?;
+        println!("  result       : bit-correct on all ranks ✓");
+        print_link_report(&out.metrics);
+    }
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bruckctl: {e}");
-            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds]");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK]");
             std::process::exit(2);
         }
     };
@@ -260,6 +371,7 @@ fn main() {
         "plan" => cmd_plan(&args),
         "analyze" => cmd_analyze(&args),
         "tune" => cmd_tune(&args),
+        "chaos" => cmd_chaos(&args),
         other => Err(format!("unknown command {other}")),
     };
     if let Err(e) = result {

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use bruck_model::cost::{CostModel, LinearModel};
 use bruck_model::partition::Preference;
 use bruck_model::tuning::{all_radices, best_radix, RadixChoice};
-use bruck_net::{Comm, NetError};
+use bruck_net::{Comm, Endpoint, Group, NetError};
 
 use crate::concat::ConcatAlgorithm;
 use crate::index::IndexAlgorithm;
@@ -217,6 +217,108 @@ pub fn alltoall_into<C: Comm + ?Sized>(
 ) -> Result<(), NetError> {
     let choice = tuning.chosen_radix(ep.size(), block, ep.ports());
     IndexAlgorithm::BruckRadix(choice.radix).run_into(ep, sendbuf, block, out)
+}
+
+/// Outcome of [`alltoall_resilient`]: survivor-dense data plus the
+/// membership it corresponds to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientAlltoall {
+    /// One `block`-byte block per survivor, in `survivors` order: block
+    /// `i` came from global rank `survivors[i]`.
+    pub data: Vec<u8>,
+    /// Global ranks that completed the successful attempt, ascending.
+    pub survivors: Vec<usize>,
+    /// Attempts (epochs) consumed, including the successful one.
+    pub attempts: usize,
+}
+
+/// In-run shrink-and-retry all-to-all: on a rank failure mid-collective,
+/// the survivors rebuild a dense [`Group`] from the cluster's failure
+/// verdict, re-tune the radix for the shrunken size, and re-run among
+/// themselves — inside the *same* cluster run, without restarting.
+///
+/// Each attempt runs in a tag **epoch**
+/// ([`GroupComm::with_epoch`](bruck_net::GroupComm::with_epoch)) equal
+/// to the failure-detector version the rank acknowledged
+/// ([`Endpoint::acknowledge_failures`]): ranks tagging with the same
+/// epoch provably hold the same dead set and build identical groups, so
+/// neither stale messages from an aborted attempt nor messages from a
+/// rank with a different membership view can ever match a receive.
+///
+/// `sendbuf` still holds one block per *original* rank; blocks addressed
+/// to dead ranks are skipped. The result is survivor-dense.
+///
+/// Known window: if a rank dies so late that some survivors already
+/// completed the collective, the remaining survivors' retry can time out
+/// waiting for them (they have left the collective and cannot be
+/// recalled). The restart-style
+/// [`Cluster::run_resilient`](bruck_net::Cluster::run_resilient) has no
+/// such window; prefer it when the whole body can be re-run.
+///
+/// # Errors
+///
+/// [`NetError::Killed`] immediately if fault injection kills *this*
+/// rank; non-failure errors immediately; the last failure verdict when
+/// `max_attempts` are exhausted.
+///
+/// # Panics
+///
+/// Panics if `max_attempts == 0` or `sendbuf.len() != n·block`.
+pub fn alltoall_resilient(
+    ep: &mut Endpoint,
+    sendbuf: &[u8],
+    block: usize,
+    tuning: &Tuning,
+    max_attempts: usize,
+) -> Result<ResilientAlltoall, NetError> {
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let n = Endpoint::size(ep);
+    assert_eq!(sendbuf.len(), n * block, "sendbuf must hold n blocks");
+    let me = Endpoint::rank(ep);
+    let mut last_failure = None;
+    for attempt in 0..max_attempts {
+        // The acknowledged detector version is the attempt's tag epoch:
+        // the dead set is monotone and the version counts it, so ranks
+        // tagging with the same epoch hold exactly the same dead set and
+        // build identically-shaped groups. A rank whose view is stale
+        // aborts its receive on the version bump and lands back here.
+        let (epoch, dead) = ep.acknowledge_failures();
+        if dead.contains(&me) {
+            // Our peers gave up on us (e.g. past their retry cap while we
+            // were stalled): we are outside the agreed membership.
+            return Err(NetError::RanksFailed { ranks: dead });
+        }
+        let group = Group::new((0..n).filter(|r| !dead.contains(r)).collect());
+        let survivors = group.members().to_vec();
+        let mut dense = Vec::with_capacity(survivors.len() * block);
+        for &m in &survivors {
+            dense.extend_from_slice(&sendbuf[m * block..(m + 1) * block]);
+        }
+        let mut gc = group.bind(ep).with_epoch(epoch);
+        match alltoall(&mut gc, &dense, block, tuning) {
+            Ok(data) => {
+                return Ok(ResilientAlltoall {
+                    data,
+                    survivors,
+                    attempts: attempt + 1,
+                })
+            }
+            Err(e) => {
+                // A killed rank must exit, not retry (its kill re-fires
+                // every attempt); programming errors are not survivable.
+                // Stale traffic from this aborted attempt is NOT purged:
+                // its epoch tags can never match a later attempt's
+                // receives, while purging would race against
+                // already-arrived messages from peers ahead of us.
+                if matches!(e, NetError::Killed { rank, .. } if rank == me) || !e.is_rank_failure()
+                {
+                    return Err(e);
+                }
+                last_failure = Some(e);
+            }
+        }
+    }
+    Err(last_failure.expect("loop body ran at least once"))
 }
 
 /// All-to-all broadcast via the circulant algorithm.

@@ -51,7 +51,8 @@ pub mod vops;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::api::{
-        allgather, allgather_into, alltoall, alltoall_into, Tuning, TuningBuilder,
+        allgather, allgather_into, alltoall, alltoall_into, alltoall_resilient, ResilientAlltoall,
+        Tuning, TuningBuilder,
     };
     pub use crate::concat::ConcatAlgorithm;
     pub use crate::index::IndexAlgorithm;

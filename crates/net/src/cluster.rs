@@ -1,16 +1,19 @@
 //! The SPMD cluster runner.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bruck_model::cost::{CostModel, LinearModel};
 
 use crate::endpoint::Endpoint;
 use crate::error::NetError;
-use crate::fault::FaultPlan;
+use crate::failure::FailureDetector;
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::mailbox::Mailbox;
 use crate::metrics::RunMetrics;
 use crate::pool::BufferPool;
+use crate::reliable::{Reliability, ReliableTransport};
 use crate::trace::Trace;
 use crate::transport::ChannelTransport;
 use crate::vbarrier::VBarrier;
@@ -30,6 +33,8 @@ pub struct ClusterConfig {
     pub timeout: Duration,
     /// Injected faults.
     pub faults: Arc<FaultPlan>,
+    /// Ack/retransmit reliability sublayer (None = raw wire).
+    pub reliability: Option<Reliability>,
 }
 
 impl ClusterConfig {
@@ -49,6 +54,7 @@ impl ClusterConfig {
             trace: false,
             timeout: Duration::from_secs(10),
             faults: Arc::new(FaultPlan::new()),
+            reliability: None,
         }
     }
 
@@ -91,6 +97,14 @@ impl ClusterConfig {
         self.faults = Arc::new(faults);
         self
     }
+
+    /// Enable the ack/retransmit reliability sublayer (with the given
+    /// tuning) under every rank's transport.
+    #[must_use]
+    pub fn with_reliability(mut self, reliability: Reliability) -> Self {
+        self.reliability = Some(reliability);
+        self
+    }
 }
 
 impl core::fmt::Debug for ClusterConfig {
@@ -127,6 +141,118 @@ impl<T> RunOutput<T> {
     }
 }
 
+/// Root-cause ordering over error kinds: lower sorts earlier. A killed
+/// rank *causes* its peers' timeouts; corruption causes a receiver abort
+/// that strands its peers; the cluster-wide `RanksFailed` verdict is by
+/// construction a *reaction* to some earlier failure, and an
+/// unattributed timeout is the least informative symptom of all — so
+/// aggregation prefers the lowest severity rank error.
+fn severity(e: &NetError) -> u8 {
+    match e {
+        NetError::Killed { .. } => 0,
+        NetError::Corrupt { .. } => 1,
+        NetError::App(_) => 2,
+        NetError::PortLimit { .. } | NetError::BadPeer { .. } | NetError::DuplicatePeer { .. } => 3,
+        NetError::Disconnected { .. } => 4,
+        NetError::Timeout { .. } => 5,
+        NetError::RanksFailed { .. } => 6,
+    }
+}
+
+/// The uncollapsed outcome of a run: every rank's individual result,
+/// plus the cluster's failure verdict. [`Cluster::try_run`] returns this
+/// so callers (tests, the shrink-and-retry loop, chaos harnesses) can
+/// inspect exactly what each rank observed.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// Per-rank results, indexed by rank.
+    pub outcomes: Vec<Result<T, NetError>>,
+    /// Folded communication metrics (all ranks, failed or not).
+    pub metrics: RunMetrics,
+    /// Per-rank virtual completion times.
+    pub virtual_times: Vec<f64>,
+    /// The trace, if tracing was enabled.
+    pub trace: Option<Trace>,
+    /// The failure detector's final verdict: ranks the cluster agreed
+    /// are dead, ascending.
+    pub failed: Vec<usize>,
+}
+
+impl<T> RunReport<T> {
+    /// The root cause of the run's failure, if any: the minimum-severity
+    /// error (see [`severity`]), ties broken by lowest rank. This is how
+    /// a killed rank's `Killed` wins over the survivors' reactions.
+    #[must_use]
+    pub fn root_cause(&self) -> Option<(usize, &NetError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, o)| o.as_ref().err().map(|e| (rank, e)))
+            .min_by_key(|(rank, e)| (severity(e), *rank))
+    }
+
+    /// Collapse into a [`RunOutput`], surfacing the root cause as the
+    /// error if any rank failed.
+    ///
+    /// # Errors
+    ///
+    /// The root-cause error.
+    pub fn into_result(self) -> Result<RunOutput<T>, NetError> {
+        if let Some((_, e)) = self.root_cause() {
+            return Err(e.clone());
+        }
+        Ok(RunOutput {
+            results: self
+                .outcomes
+                .into_iter()
+                .map(|o| o.expect("no errors per root_cause"))
+                .collect(),
+            metrics: self.metrics,
+            virtual_times: self.virtual_times,
+            trace: self.trace,
+        })
+    }
+}
+
+/// The membership a shrink-and-retry attempt runs under: dense ranks
+/// `0..n` mapped back to the original cluster's rank ids.
+#[derive(Debug, Clone)]
+pub struct SurvivorView {
+    /// Which attempt this is (0 = the original membership).
+    pub attempt: usize,
+    /// Original cluster size.
+    pub original_n: usize,
+    /// `original_ranks[dense]` = the original id of dense rank `dense`.
+    pub original_ranks: Vec<usize>,
+}
+
+impl SurvivorView {
+    /// The original id of dense rank `dense`.
+    #[must_use]
+    pub fn original_rank(&self, dense: usize) -> usize {
+        self.original_ranks[dense]
+    }
+
+    /// Original ranks no longer participating, ascending.
+    #[must_use]
+    pub fn lost_ranks(&self) -> Vec<usize> {
+        (0..self.original_n)
+            .filter(|r| !self.original_ranks.contains(r))
+            .collect()
+    }
+}
+
+/// What a successful [`Cluster::run_resilient`] produces.
+#[derive(Debug)]
+pub struct ResilientOutput<T> {
+    /// The successful attempt's output (dense survivor indexing).
+    pub output: RunOutput<T>,
+    /// Original ids of the ranks that completed, ascending.
+    pub survivors: Vec<usize>,
+    /// Attempts consumed, including the successful one.
+    pub attempts: usize,
+}
+
 /// The cluster runner (stateless; all state lives in the run).
 #[derive(Debug)]
 pub struct Cluster;
@@ -135,13 +261,14 @@ impl Cluster {
     /// Run `body` as an SPMD program on `config.n` threads.
     ///
     /// Every rank gets its own [`Endpoint`]; the call returns when all
-    /// ranks return. If any rank fails, the first error (by rank order) is
-    /// returned — other ranks may consequently fail with timeouts, which
-    /// are discarded.
+    /// ranks return. If any rank fails, the *root cause* is returned:
+    /// errors are ranked by causal severity (a kill beats the timeouts it
+    /// provoked, which beat the cluster-wide `RanksFailed` reactions), so
+    /// the caller sees what actually went wrong, not a secondary symptom.
     ///
     /// # Errors
     ///
-    /// The first rank error, if any.
+    /// The root-cause rank error, if any.
     ///
     /// # Panics
     ///
@@ -151,25 +278,7 @@ impl Cluster {
         T: Send,
         F: Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
     {
-        let n = config.n;
-        let mut senders = Vec::with_capacity(n);
-        let mut mailboxes = Vec::with_capacity(n);
-        for rank in 0..n {
-            let (tx, mb) = Mailbox::new(rank);
-            senders.push(tx);
-            mailboxes.push(mb);
-        }
-        let transports: Vec<Box<dyn crate::transport::Transport>> = mailboxes
-            .into_iter()
-            .map(|mb| {
-                Box::new(ChannelTransport::new(senders.clone(), mb))
-                    as Box<dyn crate::transport::Transport>
-            })
-            .collect();
-        // The original `senders` are dropped here so that a rank's channel
-        // disconnects once all other endpoints are gone.
-        drop(senders);
-        Self::run_with_transports(config, transports, body)
+        Self::run_with_transports(config, Self::channel_transports(config.n), body)
     }
 
     /// Run `body` over caller-provided transports (one per rank) — the
@@ -178,7 +287,7 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// The first rank error, if any.
+    /// The root-cause rank error, if any (see [`RunReport::root_cause`]).
     ///
     /// # Panics
     ///
@@ -192,6 +301,57 @@ impl Cluster {
         T: Send,
         F: Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
     {
+        Self::try_run_with_transports(config, transports, body).into_result()
+    }
+
+    /// Like [`Cluster::run`] but never collapses: every rank's individual
+    /// result comes back in a [`RunReport`], alongside the cluster's
+    /// failure verdict.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from the body.
+    pub fn try_run<T, F>(config: &ClusterConfig, body: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
+    {
+        Self::try_run_with_transports(config, Self::channel_transports(config.n), body)
+    }
+
+    fn channel_transports(n: usize) -> Vec<Box<dyn crate::transport::Transport>> {
+        let mut senders = Vec::with_capacity(n);
+        let mut mailboxes = Vec::with_capacity(n);
+        for rank in 0..n {
+            let (tx, mb) = Mailbox::new(rank);
+            senders.push(tx);
+            mailboxes.push(mb);
+        }
+        mailboxes
+            .into_iter()
+            .map(|mb| {
+                Box::new(ChannelTransport::new(senders.clone(), mb))
+                    as Box<dyn crate::transport::Transport>
+            })
+            .collect()
+    }
+
+    /// The engine: wrap transports with the configured wire sublayers
+    /// (fault injection below reliability), run one thread per rank, and
+    /// report every rank's outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transports.len() != config.n`; propagates body panics.
+    pub fn try_run_with_transports<T, F>(
+        config: &ClusterConfig,
+        transports: Vec<Box<dyn crate::transport::Transport>>,
+        body: F,
+    ) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
+    {
         let n = config.n;
         assert_eq!(transports.len(), n, "one transport per rank");
         let barrier = Arc::new(VBarrier::new(n));
@@ -199,11 +359,30 @@ impl Cluster {
         // One pool for the whole cluster: a receiver recycles the very
         // buffer the sender's endpoint staged its payload into.
         let pool = Arc::new(BufferPool::new());
+        let detector = Arc::new(FailureDetector::new(n));
+        let wire_faults = config.faults.has_wire_faults();
 
         let mut endpoints: Vec<Endpoint> = transports
             .into_iter()
             .enumerate()
             .map(|(rank, transport)| {
+                // Stack order (outermost first): reliability — fault
+                // injection — wire. Faults hit every physical
+                // transmission, including acks and retransmissions.
+                let mut transport = transport;
+                if wire_faults {
+                    transport =
+                        Box::new(FaultyTransport::new(transport, Arc::clone(&config.faults)));
+                }
+                if let Some(rel) = config.reliability {
+                    transport = Box::new(ReliableTransport::new(
+                        transport,
+                        rank,
+                        n,
+                        rel,
+                        Arc::clone(&detector),
+                    ));
+                }
                 Endpoint::new(
                     rank,
                     n,
@@ -215,18 +394,62 @@ impl Cluster {
                     Arc::clone(&config.faults),
                     config.timeout,
                     Arc::clone(&pool),
+                    Some(Arc::clone(&detector)),
                 )
             })
             .collect();
 
         let body = &body;
+        let detector_ref = &detector;
+        // Completion count for the linger phase below: under stop-and-wait
+        // reliability, a rank that finishes first must keep answering
+        // retransmitted frames (its final ack may have been lost on the
+        // faulty wire) until every peer is done, or the stranded sender
+        // would exhaust its retries against a peer that merely went quiet.
+        let done = AtomicUsize::new(0);
+        let done_ref = &done;
+        let linger = config.reliability.is_some();
+        let linger_cap = config.timeout;
         let outcomes: Vec<(Result<T, NetError>, crate::metrics::RankMetrics, f64)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = endpoints
                     .drain(..)
                     .map(|mut ep| {
                         scope.spawn(move || {
+                            let rank = ep.rank();
                             let result = body(&mut ep);
+                            // A rank that died, hit corruption, or idled
+                            // into a timeout is suspect: publish it so
+                            // waiters abort with the cluster-wide verdict
+                            // instead of their own timeouts. Reactions
+                            // (`RanksFailed`) and programming errors do
+                            // NOT poison the dead set.
+                            if let Err(
+                                NetError::Killed { .. }
+                                | NetError::Timeout { .. }
+                                | NetError::Corrupt { .. }
+                                | NetError::Disconnected { .. },
+                            ) = &result
+                            {
+                                detector_ref.mark_dead(rank);
+                            }
+                            done_ref.fetch_add(1, Ordering::SeqCst);
+                            // Linger: every rank whose *process* survived
+                            // keeps its wire up (re-acking retransmitted
+                            // frames) until all peers finish, or a peer
+                            // with an in-flight send to it would exhaust
+                            // its retries and falsely declare it dead.
+                            // Only a killed rank goes silent — its
+                            // self-mark makes peers fail fast through the
+                            // detector, not through the retry cap.
+                            if linger && !matches!(&result, Err(NetError::Killed { .. })) {
+                                let deadline = Instant::now() + linger_cap;
+                                while done_ref.load(Ordering::SeqCst) < n
+                                    && Instant::now() < deadline
+                                {
+                                    ep.service(Duration::from_millis(2));
+                                }
+                            }
                             let (metrics, clock) = ep.into_parts();
                             (result, metrics, clock)
                         })
@@ -241,31 +464,87 @@ impl Cluster {
         let mut results = Vec::with_capacity(n);
         let mut per_rank = Vec::with_capacity(n);
         let mut virtual_times = Vec::with_capacity(n);
-        let mut first_err: Option<NetError> = None;
         for (result, metrics, clock) in outcomes {
             per_rank.push(metrics);
             virtual_times.push(clock);
-            match result {
-                Ok(v) => results.push(v),
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-            }
+            results.push(result);
         }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        Ok(RunOutput {
-            results,
+        RunReport {
+            outcomes: results,
             metrics: RunMetrics {
                 per_rank,
                 pool: pool.stats(),
             },
             virtual_times,
             trace,
-        })
+            failed: detector.snapshot(),
+        }
+    }
+
+    /// Shrink-and-retry: run `body`, and if ranks die (fault-injection
+    /// kills or reliability-layer retry-cap verdicts), rebuild a dense
+    /// cluster of the survivors and run again — up to `max_attempts`
+    /// attempts in total. The body sees the shrunken `ep.size()` and can
+    /// re-plan (radix, schedule) for the new membership; the
+    /// [`SurvivorView`] maps dense ranks back to original ids.
+    ///
+    /// Deterministic faults (kills, exact drops) are consumed by the
+    /// original membership and cleared for retries; seeded probabilistic
+    /// wire rates carry over ([`FaultPlan::survivor_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Non-survivable root causes immediately; the last root cause when
+    /// attempts are exhausted or no survivors remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`; propagates body panics.
+    pub fn run_resilient<T, F>(
+        config: &ClusterConfig,
+        max_attempts: usize,
+        body: F,
+    ) -> Result<ResilientOutput<T>, NetError>
+    where
+        T: Send,
+        F: Fn(&mut Endpoint, &SurvivorView) -> Result<T, NetError> + Sync,
+    {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        let mut survivors: Vec<usize> = (0..config.n).collect();
+        let mut cfg = config.clone();
+        for attempt in 0..max_attempts {
+            cfg.n = survivors.len();
+            let view = SurvivorView {
+                attempt,
+                original_n: config.n,
+                original_ranks: survivors.clone(),
+            };
+            let report = Self::try_run(&cfg, |ep| body(ep, &view));
+            let Some((_, cause)) = report.root_cause() else {
+                return Ok(ResilientOutput {
+                    output: report.into_result().expect("no errors per root_cause"),
+                    survivors,
+                    attempts: attempt + 1,
+                });
+            };
+            let cause = cause.clone();
+            if !cause.is_rank_failure() || attempt + 1 == max_attempts {
+                return Err(cause);
+            }
+            // Shrink: drop the ranks the cluster agreed are dead
+            // (dense ids in this attempt's numbering).
+            if report.failed.is_empty() {
+                return Err(cause);
+            }
+            for &dense in report.failed.iter().rev() {
+                survivors.remove(dense);
+            }
+            if survivors.is_empty() {
+                return Err(cause);
+            }
+            cfg.faults = Arc::new(cfg.faults.survivor_plan());
+        }
+        unreachable!("loop returns on success, exhaustion, or hard error")
     }
 }
 

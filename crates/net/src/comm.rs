@@ -229,6 +229,24 @@ impl Group {
         self.members.iter().position(|&m| m == global)
     }
 
+    /// The group minus `dead` (global ranks), preserving member order —
+    /// the shrink step of shrink-and-retry recovery: survivors rebuild a
+    /// dense communicator and re-run the collective among themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every member is dead (a group cannot be empty).
+    #[must_use]
+    pub fn without(&self, dead: &[usize]) -> Self {
+        Self::new(
+            self.members
+                .iter()
+                .copied()
+                .filter(|m| !dead.contains(m))
+                .collect(),
+        )
+    }
+
     /// Bind this group to an endpoint whose global rank must be a member.
     ///
     /// # Panics
@@ -248,6 +266,7 @@ impl Group {
             ep,
             members: self.members.clone(),
             my_index,
+            tag_offset: 0,
         }
     }
 }
@@ -258,7 +277,37 @@ pub struct GroupComm<'a> {
     ep: &'a mut Endpoint,
     members: Vec<usize>,
     my_index: usize,
+    tag_offset: Tag,
 }
+
+impl<'a> GroupComm<'a> {
+    /// Shift every tag this context sends or matches by
+    /// `epoch << EPOCH_SHIFT`. Successive shrink-and-retry attempts run
+    /// in distinct epochs, so stale messages from an aborted attempt can
+    /// never match a retry's receives — isolation without flushing.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.tag_offset = epoch << EPOCH_SHIFT;
+        self
+    }
+
+    /// Discard stale in-flight traffic queued at this rank (hygiene
+    /// between shrink-and-retry attempts; see [`Endpoint::purge_stale`]).
+    pub fn purge_stale(&mut self) -> usize {
+        self.ep.purge_stale()
+    }
+
+    /// The ranks the cluster's failure detector has declared dead
+    /// (global ids).
+    #[must_use]
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.ep.failed_ranks()
+    }
+}
+
+/// Bit position of the epoch in a [`GroupComm`] tag: collective tags stay
+/// below `1 << EPOCH_SHIFT`, epochs occupy the bits above.
+pub const EPOCH_SHIFT: u32 = 40;
 
 impl GroupComm<'_> {
     fn to_global(&self, group_rank: usize) -> Result<usize, NetError> {
@@ -303,7 +352,7 @@ impl Comm for GroupComm<'_> {
             .map(|s| {
                 Ok(SendSpec {
                     to: self.to_global(s.to)?,
-                    tag: s.tag,
+                    tag: s.tag + self.tag_offset,
                     payload: s.payload,
                 })
             })
@@ -313,7 +362,7 @@ impl Comm for GroupComm<'_> {
             .map(|r| {
                 Ok(RecvSpec {
                     from: self.to_global(r.from)?,
-                    tag: r.tag,
+                    tag: r.tag + self.tag_offset,
                 })
             })
             .collect::<Result<_, NetError>>()?;
@@ -321,6 +370,7 @@ impl Comm for GroupComm<'_> {
         for m in &mut msgs {
             m.src = self.to_group(m.src);
             m.dst = self.my_index;
+            m.tag -= self.tag_offset;
         }
         Ok(msgs)
     }

@@ -8,18 +8,24 @@
 //! clock.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bruck_model::cost::CostModel;
 
 use crate::error::NetError;
+use crate::failure::FailureDetector;
 use crate::fault::FaultPlan;
-use crate::message::{Message, Tag};
+use crate::message::{payload_checksum, Message, Tag};
 use crate::metrics::RankMetrics;
 use crate::pool::BufferPool;
 use crate::trace::{Trace, TraceEvent};
 use crate::transport::Transport;
 use crate::vbarrier::VBarrier;
+
+/// How often a blocked receive re-checks the failure detector: short
+/// enough that a cluster-wide failure verdict interrupts waiters well
+/// before their own timeout would fire.
+const FAILOVER_POLL: Duration = Duration::from_millis(2);
 
 /// One outgoing message in a round.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +61,16 @@ pub struct Endpoint {
     faults: Arc<FaultPlan>,
     timeout: Duration,
     pool: Arc<BufferPool>,
+    detector: Option<Arc<FailureDetector>>,
+    /// The failure-detector version this rank has acknowledged (see
+    /// [`Endpoint::acknowledge_failures`]). Receive waits abort only on
+    /// failures *newer* than this, so a resilient caller that has
+    /// already shrunk around the known dead can keep communicating.
+    seen_version: u64,
+    /// Whether outbound payloads are checksummed (on exactly when the
+    /// fault plan can corrupt the wire, so the fault-free hot path pays
+    /// nothing).
+    checksums: bool,
 }
 
 impl Endpoint {
@@ -70,7 +86,9 @@ impl Endpoint {
         faults: Arc<FaultPlan>,
         timeout: Duration,
         pool: Arc<BufferPool>,
+        detector: Option<Arc<FailureDetector>>,
     ) -> Self {
+        let checksums = faults.has_wire_faults();
         Self {
             rank,
             size,
@@ -84,6 +102,9 @@ impl Endpoint {
             faults,
             timeout,
             pool,
+            detector,
+            seen_version: 0,
+            checksums,
         }
     }
 
@@ -203,6 +224,11 @@ impl Endpoint {
     ) -> Result<Vec<Message>, NetError> {
         let completed = self.metrics.rounds();
         if let Some(after) = self.faults.should_kill(self.rank, completed) {
+            // Announce our own death before exiting so every waiter gets
+            // the cluster-wide verdict instead of a secondary timeout.
+            if let Some(det) = &self.detector {
+                det.mark_dead(self.rank);
+            }
             return Err(NetError::Killed {
                 rank: self.rank,
                 after_round: after,
@@ -242,8 +268,10 @@ impl Endpoint {
                 src: self.rank,
                 dst: s.to,
                 tag: s.tag,
+                checksum: self.checksums.then(|| payload_checksum(&payload)),
                 payload,
                 arrival: depart + self.cost.latency_between(self.rank, s.to, bytes),
+                seq: 0,
             };
             self.transport.send(msg)?;
         }
@@ -251,7 +279,7 @@ impl Endpoint {
         let mut out = Vec::with_capacity(recvs.len());
         let mut finish = max_send_done;
         for r in recvs {
-            let msg = self.transport.recv_match(r.from, r.tag, self.timeout)?;
+            let msg = self.recv_checked(r.from, r.tag)?;
             let completion = t0.max(msg.arrival)
                 + self
                     .cost
@@ -262,6 +290,99 @@ impl Endpoint {
         self.clock = finish;
         self.metrics.record_round(&sent_sizes, recvs.len());
         Ok(out)
+    }
+
+    /// Receive with failure surveillance: wait in short slices, checking
+    /// the cluster's failure detector between slices, so a rank death
+    /// anywhere interrupts this waiter with the cluster-wide
+    /// [`NetError::RanksFailed`] verdict instead of letting it idle into
+    /// an unattributed [`NetError::Timeout`]. Also verifies the payload
+    /// checksum, surfacing wire corruption as [`NetError::Corrupt`].
+    fn recv_checked(&mut self, from: usize, tag: Tag) -> Result<Message, NetError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(det) = &self.detector {
+                if det.version() > self.seen_version {
+                    return Err(NetError::RanksFailed {
+                        ranks: det.snapshot(),
+                    });
+                }
+            }
+            let slice = deadline
+                .saturating_duration_since(Instant::now())
+                .min(FAILOVER_POLL);
+            match self.transport.recv_match(from, tag, slice) {
+                Ok(msg) => {
+                    if !msg.checksum_ok() {
+                        return Err(NetError::Corrupt {
+                            rank: self.rank,
+                            from,
+                            tag,
+                        });
+                    }
+                    return Ok(msg);
+                }
+                Err(NetError::Timeout { .. }) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout {
+                            rank: self.rank,
+                            from,
+                            tag,
+                            waited: self.timeout,
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The ranks the cluster has agreed are dead (empty when no failure
+    /// detector is installed, i.e. a plain non-resilient run).
+    #[must_use]
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.detector
+            .as_ref()
+            .map_or_else(Vec::new, |d| d.snapshot())
+    }
+
+    /// Incorporate the cluster's failure verdict: returns a
+    /// version-consistent `(version, dead ranks)` pair and stops receive
+    /// waits from aborting on those now-acknowledged failures — only
+    /// *newer* failures interrupt from here on.
+    ///
+    /// The version doubles as a retry **epoch**: the dead set is
+    /// monotone and the version counts it, so any two ranks that
+    /// acknowledged the same version hold exactly the same dead set and
+    /// will build identical survivor groups. Resilient collectives tag
+    /// each attempt with this epoch (see
+    /// [`crate::comm::GroupComm::with_epoch`]) so ranks holding
+    /// different views can never exchange mis-shaped messages.
+    pub fn acknowledge_failures(&mut self) -> (u64, Vec<usize>) {
+        match &self.detector {
+            Some(det) => {
+                let (version, dead) = det.consistent_snapshot();
+                self.seen_version = version;
+                (version, dead)
+            }
+            None => (0, Vec::new()),
+        }
+    }
+
+    /// Discard every in-flight message queued at this rank — stale
+    /// traffic from an aborted collective attempt, before retrying among
+    /// survivors. Returns how many messages were discarded.
+    pub fn purge_stale(&mut self) -> usize {
+        self.transport.purge()
+    }
+
+    /// Drive the transport for one short slice without expecting data:
+    /// the reliability sublayer gets a chance to re-acknowledge
+    /// retransmitted frames. Anything delivered (stale duplicates) is
+    /// discarded. Used by the cluster's linger phase so a rank that
+    /// finishes first keeps answering acks until every peer is done.
+    pub fn service(&mut self, slice: Duration) {
+        let _ = self.transport.recv_any(slice);
     }
 
     /// The paper's `send_and_recv` (Appendix A): send `payload` to rank
@@ -336,7 +457,10 @@ impl Endpoint {
         self.clock = self.barrier.wait(self.clock);
     }
 
-    pub(crate) fn into_parts(self) -> (RankMetrics, f64) {
+    pub(crate) fn into_parts(mut self) -> (RankMetrics, f64) {
+        // Fold the wire sublayers' counters (fault injection,
+        // reliability) into this rank's metrics.
+        self.metrics.link = self.metrics.link.merged(&self.transport.link_stats());
         (self.metrics, self.clock)
     }
 }

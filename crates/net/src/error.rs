@@ -59,8 +59,38 @@ pub enum NetError {
         /// The round after which it died.
         after_round: u64,
     },
+    /// A payload arrived with a checksum mismatch — the wire corrupted
+    /// it in flight. Only reachable without the reliability sublayer,
+    /// which discards damaged frames and waits for the retransmission.
+    Corrupt {
+        /// Receiving rank that detected the mismatch.
+        rank: usize,
+        /// Claimed source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// The cluster-wide failure verdict: the listed ranks were declared
+    /// dead (killed by fault injection, or unreachable past the
+    /// reliability layer's retry cap). Every survivor of the same run
+    /// observes the same variant, so callers can agree on the survivor
+    /// set and shrink-and-retry (see `Cluster::run_resilient`).
+    RanksFailed {
+        /// The dead ranks, ascending.
+        ranks: Vec<usize>,
+    },
     /// An application-level failure surfaced through the SPMD body.
     App(String),
+}
+
+impl NetError {
+    /// Whether this error is a rank failure that a shrink-and-retry
+    /// recovery path can survive (as opposed to a programming error or
+    /// an unattributed timeout).
+    #[must_use]
+    pub fn is_rank_failure(&self) -> bool {
+        matches!(self, Self::Killed { .. } | Self::RanksFailed { .. })
+    }
 }
 
 impl fmt::Display for NetError {
@@ -84,6 +114,11 @@ impl fmt::Display for NetError {
             Self::Killed { rank, after_round } => {
                 write!(f, "rank {rank} killed by fault injection after round {after_round}")
             }
+            Self::Corrupt { rank, from, tag } => write!(
+                f,
+                "rank {rank}: checksum mismatch on message from {from} (tag {tag})"
+            ),
+            Self::RanksFailed { ranks } => write!(f, "ranks {ranks:?} failed"),
             Self::App(msg) => write!(f, "application error: {msg}"),
         }
     }

@@ -1,0 +1,116 @@
+//! Cluster-wide failure agreement.
+//!
+//! The paper's fully connected model keeps operating "in the presence of
+//! faults (assuming connectivity is maintained)" — but only if the
+//! survivors can *agree* on who failed. In a real machine that takes a
+//! membership service; in this in-process substrate the
+//! [`FailureDetector`] plays that role: a cluster-shared, monotone set
+//! of ranks declared dead, fed by fault-injection kills and by the
+//! reliability layer's retry cap, and polled by every endpoint while it
+//! waits for messages.
+//!
+//! Monotonicity is the key property: ranks are only ever *added* to the
+//! dead set, so any two snapshots are ordered by inclusion and repeated
+//! shrink-and-retry converges. The `version` counter lets waiters poll
+//! with one atomic load instead of building a snapshot per poll.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The shared, monotone set of ranks declared dead.
+#[derive(Debug)]
+pub struct FailureDetector {
+    dead: Vec<AtomicBool>,
+    version: AtomicU64,
+}
+
+impl FailureDetector {
+    /// A detector for an `n`-rank cluster with no failures yet.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// Declare `rank` dead (idempotent).
+    pub fn mark_dead(&self, rank: usize) {
+        if !self.dead[rank].swap(true, Ordering::SeqCst) {
+            self.version.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether `rank` has been declared dead.
+    #[must_use]
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// Number of distinct ranks declared dead so far. Monotone; cheap
+    /// enough (one atomic load) to poll from a receive wait loop.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// A version-consistent snapshot: the returned version counts
+    /// exactly the returned ranks, so two ranks that observe the same
+    /// version observed the *same* dead set. Spins across the (tiny)
+    /// window where a concurrent [`FailureDetector::mark_dead`] has
+    /// flipped a flag but not yet bumped the version.
+    #[must_use]
+    pub fn consistent_snapshot(&self) -> (u64, Vec<usize>) {
+        loop {
+            let v = self.version();
+            let s = self.snapshot();
+            if self.version() == v && s.len() as u64 == v {
+                return (v, s);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// The dead ranks, ascending.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<usize> {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.load(Ordering::SeqCst))
+            .map(|(r, _)| r)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let d = FailureDetector::new(4);
+        assert_eq!(d.version(), 0);
+        assert!(d.snapshot().is_empty());
+        assert!(!d.is_dead(2));
+    }
+
+    #[test]
+    fn marking_is_idempotent_and_versioned() {
+        let d = FailureDetector::new(4);
+        d.mark_dead(2);
+        d.mark_dead(2);
+        assert_eq!(d.version(), 1);
+        d.mark_dead(0);
+        assert_eq!(d.version(), 2);
+        assert_eq!(d.snapshot(), vec![0, 2]);
+        assert!(d.is_dead(2) && d.is_dead(0) && !d.is_dead(1));
+    }
+
+    #[test]
+    fn consistent_snapshot_counts_its_ranks() {
+        let d = FailureDetector::new(5);
+        d.mark_dead(3);
+        d.mark_dead(1);
+        assert_eq!(d.consistent_snapshot(), (2, vec![1, 3]));
+    }
+}

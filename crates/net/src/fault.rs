@@ -2,11 +2,84 @@
 //!
 //! The paper motivates the fully connected model partly by fault
 //! tolerance: algorithms "can operate in the presence of faults (assuming
-//! connectivity is maintained)". This module lets tests kill ranks and
-//! drop individual messages to verify that failures surface as clean
-//! errors rather than hangs.
+//! connectivity is maintained)". This module provides two kinds of
+//! injected faults:
+//!
+//! * **Deterministic plans** — kill a rank after a round, or drop one
+//!   exact `(src, dst, round)` message. These model application-level
+//!   omission failures and are applied by the
+//!   [`Endpoint`](crate::Endpoint), which knows round numbers.
+//! * **Probabilistic wire faults** — seeded per-link loss, duplication,
+//!   corruption, and delay rates, applied below the round layer by
+//!   [`FaultyTransport`] to every physical transmission (including
+//!   reliability-layer acks and retransmissions). The RNG is a keyed
+//!   splitmix64 hash of `(seed, src, dst, transmission#)` — fully
+//!   deterministic given the transmission sequence, no ambient entropy.
+//!
+//! Wire faults pair with the [`crate::reliable`] sublayer: loss and
+//! corruption are healed by ack/retransmit, duplication by sequence
+//! numbers. Without the reliability layer, loss surfaces as a receiver
+//! timeout and corruption as [`crate::NetError::Corrupt`]; enabling
+//! duplication without reliability may deliver stale messages and is
+//! only meaningful for testing the reliability layer itself.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::message::{Message, Tag};
+use crate::metrics::LinkStats;
+use crate::transport::Transport;
+
+/// Per-link probabilistic fault rates (each in `[0, 1]`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkRates {
+    /// Probability a transmission is silently discarded.
+    pub loss: f64,
+    /// Probability a transmission is delivered twice.
+    pub duplicate: f64,
+    /// Probability one payload byte is flipped in flight.
+    pub corrupt: f64,
+    /// Probability the message's virtual arrival is delayed.
+    pub delay: f64,
+    /// Virtual-time penalty (seconds) added when a delay fires.
+    pub delay_secs: f64,
+}
+
+impl LinkRates {
+    /// Whether every rate is zero (the link is fault-free).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.loss <= 0.0 && self.duplicate <= 0.0 && self.corrupt <= 0.0 && self.delay <= 0.0
+    }
+}
+
+/// The per-transmission decision drawn from the seeded RNG.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireVerdict {
+    /// Discard the transmission.
+    pub drop: bool,
+    /// Deliver it twice.
+    pub duplicate: bool,
+    /// Flip one payload byte.
+    pub corrupt: bool,
+    /// Add the link's virtual delay penalty.
+    pub delay: bool,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` keyed by `(key, salt)`.
+fn unit_draw(key: u64, salt: u64) -> f64 {
+    let bits = splitmix64(key ^ salt.wrapping_mul(0xa076_1d64_78bd_642f));
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// A declarative fault plan applied during a cluster run.
 #[derive(Debug, Clone, Default)]
@@ -16,6 +89,12 @@ pub struct FaultPlan {
     kill_after: HashMap<usize, u64>,
     /// `(src, dst, round)` triples whose message is silently dropped.
     drops: HashSet<(usize, usize, u64)>,
+    /// Seed for the probabilistic wire faults.
+    seed: u64,
+    /// Default rates applied to every link.
+    rates: LinkRates,
+    /// Per-link overrides keyed by `(src, dst)`.
+    link_rates: HashMap<(usize, usize), LinkRates>,
 }
 
 impl FaultPlan {
@@ -28,7 +107,7 @@ impl FaultPlan {
     /// Whether the plan injects anything at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.kill_after.is_empty() && self.drops.is_empty()
+        self.kill_after.is_empty() && self.drops.is_empty() && !self.has_wire_faults()
     }
 
     /// Kill `rank` once it has completed `round` rounds.
@@ -43,6 +122,102 @@ impl FaultPlan {
     pub fn drop_message(mut self, src: usize, dst: usize, round: u64) -> Self {
         self.drops.insert((src, dst, round));
         self
+    }
+
+    /// Seed the probabilistic wire-fault RNG (deterministic; no ambient
+    /// entropy is ever consulted).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Lose each transmission on every link with probability `rate`.
+    #[must_use]
+    pub fn with_loss(mut self, rate: f64) -> Self {
+        self.rates.loss = rate;
+        self
+    }
+
+    /// Duplicate each transmission on every link with probability `rate`.
+    #[must_use]
+    pub fn with_duplication(mut self, rate: f64) -> Self {
+        self.rates.duplicate = rate;
+        self
+    }
+
+    /// Flip one payload byte on every link with probability `rate`.
+    #[must_use]
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.rates.corrupt = rate;
+        self
+    }
+
+    /// Delay each transmission's virtual arrival by `secs` with
+    /// probability `rate`.
+    #[must_use]
+    pub fn with_delay(mut self, rate: f64, secs: f64) -> Self {
+        self.rates.delay = rate;
+        self.rates.delay_secs = secs;
+        self
+    }
+
+    /// Override the rates of the single link `src → dst`.
+    #[must_use]
+    pub fn with_link_rates(mut self, src: usize, dst: usize, rates: LinkRates) -> Self {
+        self.link_rates.insert((src, dst), rates);
+        self
+    }
+
+    /// Whether any probabilistic wire fault is configured (this is what
+    /// switches payload checksumming on).
+    #[must_use]
+    pub fn has_wire_faults(&self) -> bool {
+        !self.rates.is_quiet() || self.link_rates.values().any(|r| !r.is_quiet())
+    }
+
+    /// The rates in force on the link `src → dst`.
+    #[must_use]
+    pub fn rates_for(&self, src: usize, dst: usize) -> LinkRates {
+        self.link_rates
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.rates)
+    }
+
+    fn wire_key(&self, src: usize, dst: usize, xmit: u64) -> u64 {
+        self.seed
+            ^ (src as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (dst as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+            ^ xmit.wrapping_mul(0x1656_67b1_9e37_79f9)
+    }
+
+    /// The seeded verdict for the `xmit`-th transmission out of `src`
+    /// toward `dst`.
+    #[must_use]
+    pub fn wire_verdict(&self, src: usize, dst: usize, xmit: u64) -> WireVerdict {
+        let r = self.rates_for(src, dst);
+        if r.is_quiet() {
+            return WireVerdict::default();
+        }
+        let key = self.wire_key(src, dst, xmit);
+        WireVerdict {
+            drop: unit_draw(key, 1) < r.loss,
+            duplicate: unit_draw(key, 2) < r.duplicate,
+            corrupt: unit_draw(key, 3) < r.corrupt,
+            delay: unit_draw(key, 4) < r.delay,
+        }
+    }
+
+    /// The seeded payload byte index a corruption verdict flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` (empty payloads are never corrupted).
+    #[must_use]
+    pub fn corrupt_site(&self, src: usize, dst: usize, xmit: u64, len: usize) -> usize {
+        assert!(len > 0, "cannot corrupt an empty payload");
+        (splitmix64(self.wire_key(src, dst, xmit) ^ 0x5eed) % len as u64) as usize
     }
 
     /// Should `rank` die before starting its next round (having completed
@@ -60,6 +235,99 @@ impl FaultPlan {
     pub fn should_drop(&self, src: usize, dst: usize, round: u64) -> bool {
         self.drops.contains(&(src, dst, round))
     }
+
+    /// The plan a shrink-and-retry attempt runs under: deterministic
+    /// kills/drops were consumed by (and are only meaningful for) the
+    /// original membership, so they are cleared, while the seed and the
+    /// cluster-wide probabilistic rates — which are topology-agnostic —
+    /// carry over. Per-link overrides are keyed by original ranks and
+    /// are cleared too.
+    #[must_use]
+    pub fn survivor_plan(&self) -> Self {
+        Self {
+            kill_after: HashMap::new(),
+            drops: HashSet::new(),
+            seed: self.seed,
+            rates: self.rates,
+            link_rates: HashMap::new(),
+        }
+    }
+}
+
+/// A [`Transport`] wrapper injecting the plan's probabilistic wire
+/// faults into every outbound transmission. Installed automatically by
+/// the cluster runner (below the reliability layer, if any) whenever the
+/// plan has wire faults — for both the channel and the socket transport.
+pub struct FaultyTransport {
+    inner: Box<dyn Transport>,
+    plan: Arc<FaultPlan>,
+    /// Per-sender transmission counter driving the seeded RNG.
+    xmit: u64,
+    stats: LinkStats,
+}
+
+impl FaultyTransport {
+    /// Wrap `inner`, injecting faults from `plan`.
+    #[must_use]
+    pub fn new(inner: Box<dyn Transport>, plan: Arc<FaultPlan>) -> Self {
+        Self {
+            inner,
+            plan,
+            xmit: 0,
+            stats: LinkStats::default(),
+        }
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn send(&mut self, mut msg: Message) -> Result<(), NetError> {
+        let xmit = self.xmit;
+        self.xmit += 1;
+        let verdict = self.plan.wire_verdict(msg.src, msg.dst, xmit);
+        if verdict.drop {
+            self.stats.injected_losses += 1;
+            return Ok(());
+        }
+        if verdict.delay {
+            self.stats.injected_delays += 1;
+            msg.arrival += self.plan.rates_for(msg.src, msg.dst).delay_secs;
+        }
+        if verdict.corrupt && !msg.payload.is_empty() {
+            self.stats.injected_corruptions += 1;
+            let site = self
+                .plan
+                .corrupt_site(msg.src, msg.dst, xmit, msg.payload.len());
+            // The checksum is deliberately NOT recomputed: the receiver
+            // must notice.
+            msg.payload[site] ^= 0xa5;
+        }
+        if verdict.duplicate {
+            self.stats.injected_dups += 1;
+            self.inner.send(msg.clone())?;
+        }
+        self.inner.send(msg)
+    }
+
+    fn recv_match(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Message, NetError> {
+        self.inner.recv_match(from, tag, timeout)
+    }
+
+    fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        self.inner.recv_any(timeout)
+    }
+
+    fn purge(&mut self) -> usize {
+        self.inner.purge()
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        self.stats.merged(&self.inner.link_stats())
+    }
 }
 
 #[cfg(test)]
@@ -72,6 +340,8 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.should_kill(0, 100), None);
         assert!(!p.should_drop(0, 1, 0));
+        assert!(!p.has_wire_faults());
+        assert_eq!(p.wire_verdict(0, 1, 7), WireVerdict::default());
     }
 
     #[test]
@@ -89,5 +359,58 @@ mod tests {
         assert!(p.should_drop(0, 1, 4));
         assert!(!p.should_drop(1, 0, 4));
         assert!(!p.should_drop(0, 1, 3));
+    }
+
+    #[test]
+    fn wire_verdicts_are_deterministic_and_seeded() {
+        let p = FaultPlan::new().with_seed(42).with_loss(0.5);
+        let q = FaultPlan::new().with_seed(42).with_loss(0.5);
+        for x in 0..64 {
+            assert_eq!(p.wire_verdict(0, 1, x), q.wire_verdict(0, 1, x));
+        }
+        // A different seed gives a different pattern somewhere.
+        let r = FaultPlan::new().with_seed(43).with_loss(0.5);
+        assert!((0..64).any(|x| p.wire_verdict(0, 1, x) != r.wire_verdict(0, 1, x)));
+    }
+
+    #[test]
+    fn wire_loss_rate_is_roughly_honored() {
+        let p = FaultPlan::new().with_seed(7).with_loss(0.25);
+        let losses = (0..10_000)
+            .filter(|&x| p.wire_verdict(2, 3, x).drop)
+            .count();
+        assert!(
+            (2_000..3_000).contains(&losses),
+            "25% loss drew {losses}/10000"
+        );
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let p = FaultPlan::new().with_loss(0.0).with_link_rates(
+            1,
+            2,
+            LinkRates {
+                loss: 1.0,
+                ..LinkRates::default()
+            },
+        );
+        assert!(p.has_wire_faults());
+        assert!(p.wire_verdict(1, 2, 0).drop);
+        assert!(!p.wire_verdict(2, 1, 0).drop);
+    }
+
+    #[test]
+    fn survivor_plan_keeps_rates_drops_deterministic_faults() {
+        let p = FaultPlan::new()
+            .kill_rank_after(1, 0)
+            .drop_message(0, 1, 0)
+            .with_seed(9)
+            .with_loss(0.1);
+        let s = p.survivor_plan();
+        assert_eq!(s.should_kill(1, 10), None);
+        assert!(!s.should_drop(0, 1, 0));
+        assert!(s.has_wire_faults());
+        assert_eq!(s.rates_for(0, 1).loss, 0.1);
     }
 }

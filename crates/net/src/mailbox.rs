@@ -44,6 +44,29 @@ impl Mailbox {
         self.pending.len()
     }
 
+    /// Receive the next message from *any* source, waiting at most
+    /// `timeout`. Parked messages are served first (FIFO); `None` on
+    /// timeout or when every sender hung up. Used by the reliability
+    /// layer, which must see acks and data from all peers while it
+    /// waits.
+    pub fn recv_any(&mut self, timeout: Duration) -> Option<Message> {
+        if let Some(m) = self.pending.pop_front() {
+            return Some(m);
+        }
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Discard every queued and parked message (stale traffic from an
+    /// aborted collective attempt). Returns how many were discarded.
+    pub fn purge(&mut self) -> usize {
+        let mut n = self.pending.len();
+        self.pending.clear();
+        while self.rx.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+
     /// Receive the next message from `from` with tag `tag`, waiting at
     /// most `timeout`.
     ///
@@ -98,6 +121,8 @@ mod tests {
             tag,
             payload: vec![byte],
             arrival: 0.0,
+            seq: 0,
+            checksum: None,
         }
     }
 

@@ -9,6 +9,48 @@ use bruck_model::complexity::Complexity;
 
 use crate::pool::PoolStats;
 
+/// Counters from the wire sublayers (fault injection and reliability),
+/// per rank, folded into [`RankMetrics`] after the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Retransmissions the reliability layer performed after an ack
+    /// deadline expired.
+    pub retransmits: u64,
+    /// Acknowledgements sent by the reliability layer.
+    pub acks_sent: u64,
+    /// Duplicate data messages the reliability layer discarded.
+    pub dups_dropped: u64,
+    /// Checksum-failing data messages the reliability layer discarded
+    /// (healed by the sender's retransmission).
+    pub corrupt_dropped: u64,
+    /// Transmissions the fault injector silently discarded.
+    pub injected_losses: u64,
+    /// Transmissions the fault injector duplicated.
+    pub injected_dups: u64,
+    /// Transmissions the fault injector corrupted.
+    pub injected_corruptions: u64,
+    /// Transmissions the fault injector delayed in virtual time.
+    pub injected_delays: u64,
+}
+
+impl LinkStats {
+    /// Field-wise sum of two stat sets (stacked wrappers, or folding
+    /// ranks into run totals).
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            retransmits: self.retransmits + other.retransmits,
+            acks_sent: self.acks_sent + other.acks_sent,
+            dups_dropped: self.dups_dropped + other.dups_dropped,
+            corrupt_dropped: self.corrupt_dropped + other.corrupt_dropped,
+            injected_losses: self.injected_losses + other.injected_losses,
+            injected_dups: self.injected_dups + other.injected_dups,
+            injected_corruptions: self.injected_corruptions + other.injected_corruptions,
+            injected_delays: self.injected_delays + other.injected_delays,
+        }
+    }
+}
+
 /// Counters owned by one rank (no sharing, no atomics — folded after the
 /// run).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -24,6 +66,8 @@ pub struct RankMetrics {
     /// Bytes physically copied by the data plane on this rank (payload
     /// staging into pooled buffers and `_into` copy-outs).
     pub bytes_copied: u64,
+    /// Wire-sublayer counters (fault injection + reliability).
+    pub link: LinkStats,
 }
 
 impl RankMetrics {
@@ -104,6 +148,21 @@ impl RunMetrics {
     #[must_use]
     pub fn total_bytes_copied(&self) -> u64 {
         self.per_rank.iter().map(|r| r.bytes_copied).sum()
+    }
+
+    /// Wire-sublayer counters summed over all ranks: retransmissions,
+    /// acks, discarded duplicates/corruptions, and injected faults.
+    #[must_use]
+    pub fn link_totals(&self) -> LinkStats {
+        self.per_rank
+            .iter()
+            .fold(LinkStats::default(), |acc, r| acc.merged(&r.link))
+    }
+
+    /// Total reliability-layer retransmissions across all ranks.
+    #[must_use]
+    pub fn total_retransmits(&self) -> u64 {
+        self.link_totals().retransmits
     }
 }
 

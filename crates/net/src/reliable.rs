@@ -1,0 +1,456 @@
+//! Reliable delivery over a lossy wire: ack + retransmit.
+//!
+//! [`ReliableTransport`] wraps any [`Transport`] (in practice a
+//! [`crate::fault::FaultyTransport`] injecting seeded loss, duplication
+//! and corruption) and restores exactly-once, uncorrupted delivery below
+//! the collective layer:
+//!
+//! * every data message carries a per-link **sequence number** and a
+//!   payload checksum;
+//! * the receiver **acks** the highest in-order sequence it has
+//!   delivered; duplicates are discarded (and re-acked, in case the
+//!   first ack was itself lost); checksum-failing frames are discarded
+//!   *without* an ack so the sender's retransmission heals them;
+//! * the sender blocks until its message is acked, **retransmitting**
+//!   with exponential backoff (`rto`, doubling up to `max_rto`); after
+//!   `max_retries` unanswered transmissions it declares the peer dead in
+//!   the cluster's [`FailureDetector`] and fails with
+//!   [`NetError::RanksFailed`].
+//!
+//! The protocol is stop-and-wait per destination, which is deadlock-free
+//! in the SPMD setting because a blocked sender keeps polling its own
+//! inbox (`recv_any`) and acking peers' data while it waits — two ranks
+//! sending to each other simultaneously both make progress.
+//!
+//! Acks travel on the reserved [`ACK_TAG`] and are themselves subject to
+//! wire faults; a lost ack simply costs one retransmission and one
+//! discarded duplicate.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::NetError;
+use crate::failure::FailureDetector;
+use crate::message::{Message, Tag};
+use crate::metrics::LinkStats;
+use crate::transport::Transport;
+
+/// Tag reserved for reliability-layer acknowledgements. Application and
+/// collective tags must stay below this value (collective tags are small
+/// round numbers plus epoch offsets, so this never collides in practice).
+pub const ACK_TAG: Tag = u64::MAX;
+
+/// How long a blocked sender waits on `recv_any` per poll — short enough
+/// to notice failure-detector updates promptly.
+const POLL_SLICE: Duration = Duration::from_millis(2);
+
+/// Tuning knobs for the ack/retransmit protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reliability {
+    /// Initial retransmission timeout (doubles on each retry).
+    pub rto: Duration,
+    /// Ceiling for the backed-off retransmission timeout.
+    pub max_rto: Duration,
+    /// Retransmissions attempted before the peer is declared dead.
+    pub max_retries: u32,
+}
+
+impl Default for Reliability {
+    fn default() -> Self {
+        Self {
+            rto: Duration::from_millis(10),
+            max_rto: Duration::from_millis(160),
+            max_retries: 10,
+        }
+    }
+}
+
+/// A [`Transport`] wrapper providing acked, deduplicated, checksummed
+/// delivery. One per rank, installed by the cluster runner above the
+/// fault-injection layer when reliability is enabled.
+pub struct ReliableTransport {
+    inner: Box<dyn Transport>,
+    rank: usize,
+    cfg: Reliability,
+    detector: Arc<FailureDetector>,
+    /// Last sequence number assigned per destination (sequences start
+    /// at 1; 0 marks unsequenced traffic).
+    next_seq: Vec<u64>,
+    /// Highest sequence each destination has acknowledged.
+    acked_upto: Vec<u64>,
+    /// Highest in-order sequence delivered from each source.
+    expected: Vec<u64>,
+    /// Out-of-order stash per source, keyed by sequence.
+    ooo: Vec<BTreeMap<u64, Message>>,
+    /// In-order messages ready for the matching layer.
+    pending: VecDeque<Message>,
+    stats: LinkStats,
+}
+
+impl ReliableTransport {
+    /// Wrap `inner` for rank `rank` in an `n`-rank cluster.
+    #[must_use]
+    pub fn new(
+        inner: Box<dyn Transport>,
+        rank: usize,
+        n: usize,
+        cfg: Reliability,
+        detector: Arc<FailureDetector>,
+    ) -> Self {
+        Self {
+            inner,
+            rank,
+            cfg,
+            detector,
+            next_seq: vec![0; n],
+            acked_upto: vec![0; n],
+            expected: vec![0; n],
+            ooo: (0..n).map(|_| BTreeMap::new()).collect(),
+            pending: VecDeque::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    fn ranks_failed(&self) -> NetError {
+        NetError::RanksFailed {
+            ranks: self.detector.snapshot(),
+        }
+    }
+
+    /// Acknowledge everything delivered in order from `src` so far.
+    fn send_ack(&mut self, src: usize) -> Result<(), NetError> {
+        let ack = Message {
+            src: self.rank,
+            dst: src,
+            tag: ACK_TAG,
+            payload: Vec::new(),
+            arrival: 0.0,
+            seq: self.expected[src],
+            checksum: None,
+        };
+        self.stats.acks_sent += 1;
+        self.inner.send(ack)
+    }
+
+    /// Classify one raw message off the wire: record acks, discard
+    /// corruption and duplicates, deliver in-order data (plus any
+    /// now-contiguous stashed messages), park out-of-order data.
+    fn process(&mut self, m: Message) -> Result<(), NetError> {
+        if m.tag == ACK_TAG {
+            let src = m.src;
+            self.acked_upto[src] = self.acked_upto[src].max(m.seq);
+            return Ok(());
+        }
+        if !m.checksum_ok() {
+            // Damaged in flight. No ack: the sender's retransmission is
+            // the repair.
+            self.stats.corrupt_dropped += 1;
+            return Ok(());
+        }
+        if m.seq == 0 {
+            // Unsequenced traffic (no reliability on the sending side):
+            // pass through untouched.
+            self.pending.push_back(m);
+            return Ok(());
+        }
+        let src = m.src;
+        if m.seq <= self.expected[src] {
+            // Duplicate (wire duplication, or a retransmission whose
+            // original made it). Re-ack in case the ack was lost.
+            self.stats.dups_dropped += 1;
+            return self.send_ack(src);
+        }
+        if m.seq == self.expected[src] + 1 {
+            self.expected[src] = m.seq;
+            self.pending.push_back(m);
+            // Drain any stashed messages that are now contiguous.
+            while let Some(next) = self.ooo[src].remove(&(self.expected[src] + 1)) {
+                self.expected[src] = next.seq;
+                self.pending.push_back(next);
+            }
+            return self.send_ack(src);
+        }
+        // A gap: stash until the missing messages arrive.
+        self.ooo[src].insert(m.seq, m);
+        Ok(())
+    }
+
+    /// Poll the wire once (bounded by `slice`) and classify whatever
+    /// arrived.
+    fn poll(&mut self, slice: Duration) -> Result<(), NetError> {
+        if let Some(m) = self.inner.recv_any(slice)? {
+            self.process(m)?;
+            // Opportunistically drain anything else already queued.
+            while let Some(m) = self.inner.recv_any(Duration::ZERO)? {
+                self.process(m)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn take_pending(&mut self, from: usize, tag: Tag) -> Option<Message> {
+        let pos = self
+            .pending
+            .iter()
+            .position(|m| m.src == from && m.tag == tag)?;
+        self.pending.remove(pos)
+    }
+}
+
+impl Transport for ReliableTransport {
+    /// Blocking send: returns once the destination acked, after
+    /// retransmitting as needed.
+    fn send(&mut self, mut msg: Message) -> Result<(), NetError> {
+        let dst = msg.dst;
+        if self.detector.is_dead(dst) {
+            return Err(self.ranks_failed());
+        }
+        self.next_seq[dst] += 1;
+        let seq = self.next_seq[dst];
+        msg.seq = seq;
+        self.inner.send(msg.clone())?;
+
+        let mut rto = self.cfg.rto;
+        let mut retries = 0u32;
+        let mut deadline = Instant::now() + rto;
+        while self.acked_upto[dst] < seq {
+            if self.detector.is_dead(dst) {
+                return Err(self.ranks_failed());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                if retries >= self.cfg.max_retries {
+                    // The peer has ignored every transmission: declare it
+                    // dead, cluster-wide.
+                    self.detector.mark_dead(dst);
+                    return Err(self.ranks_failed());
+                }
+                retries += 1;
+                self.stats.retransmits += 1;
+                self.inner.send(msg.clone())?;
+                rto = (rto * 2).min(self.cfg.max_rto);
+                deadline = Instant::now() + rto;
+                continue;
+            }
+            self.poll(remaining.min(POLL_SLICE))?;
+        }
+        Ok(())
+    }
+
+    fn recv_match(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Message, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.take_pending(from, tag) {
+                return Ok(m);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(NetError::Timeout {
+                    rank: self.rank,
+                    from,
+                    tag,
+                    waited: timeout,
+                });
+            }
+            self.poll(remaining.min(POLL_SLICE))?;
+        }
+    }
+
+    fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.pending.pop_front() {
+                return Ok(Some(m));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.poll(remaining.min(POLL_SLICE))?;
+        }
+    }
+
+    /// Discard delivered-but-unconsumed and out-of-order messages. The
+    /// per-link sequence state is deliberately kept: surviving links stay
+    /// consistent across a shrink-and-retry attempt.
+    fn purge(&mut self) -> usize {
+        let mut n = self.inner.purge();
+        n += self.pending.len();
+        self.pending.clear();
+        for stash in &mut self.ooo {
+            n += stash.len();
+            stash.clear();
+        }
+        n
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        self.stats.merged(&self.inner.link_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyTransport};
+    use crate::mailbox::Mailbox;
+    use crate::message::payload_checksum;
+    use crate::transport::ChannelTransport;
+
+    fn pair() -> (ReliableTransport, ReliableTransport, Arc<FailureDetector>) {
+        let (tx0, mb0) = Mailbox::new(0);
+        let (tx1, mb1) = Mailbox::new(1);
+        let senders = vec![tx0, tx1];
+        let det = Arc::new(FailureDetector::new(2));
+        let mk = |rank: usize, mb: Mailbox| {
+            ReliableTransport::new(
+                Box::new(ChannelTransport::new(senders.clone(), mb)),
+                rank,
+                2,
+                Reliability::default(),
+                Arc::clone(&det),
+            )
+        };
+        (mk(0, mb0), mk(1, mb1), Arc::clone(&det))
+    }
+
+    fn data(src: usize, dst: usize, tag: Tag, payload: Vec<u8>) -> Message {
+        let checksum = Some(payload_checksum(&payload));
+        Message {
+            src,
+            dst,
+            tag,
+            payload,
+            arrival: 0.0,
+            seq: 0,
+            checksum,
+        }
+    }
+
+    #[test]
+    fn clean_wire_round_trip() {
+        // `send` blocks on the ack, so sender and receiver need their own
+        // threads (as they have in a real cluster run).
+        let (mut a, mut b, _det) = pair();
+        std::thread::scope(|s| {
+            let ha = s.spawn(move || {
+                a.send(data(0, 1, 7, vec![1, 2, 3])).unwrap();
+                a
+            });
+            let m = b.recv_match(0, 7, Duration::from_secs(5)).unwrap();
+            assert_eq!(m.payload, vec![1, 2, 3]);
+            assert_eq!(m.seq, 1);
+            assert!(b.link_stats().acks_sent >= 1);
+            ha.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn duplicate_is_dropped_once() {
+        let (mut a, mut b, _det) = pair();
+        // Duplicate every transmission out of rank 0.
+        let plan = Arc::new(FaultPlan::new().with_seed(1).with_duplication(1.0));
+        a.inner = Box::new(FaultyTransport::new(a.inner, plan));
+        std::thread::scope(|s| {
+            let ha = s.spawn(move || {
+                a.send(data(0, 1, 7, vec![9])).unwrap();
+                a
+            });
+            let m = b.recv_match(0, 7, Duration::from_secs(5)).unwrap();
+            assert_eq!(m.payload, vec![9]);
+            ha.join().unwrap();
+            // The duplicate must not be delivered again.
+            assert_eq!(b.recv_any(Duration::from_millis(30)).unwrap(), None);
+            assert!(b.link_stats().dups_dropped >= 1);
+        });
+    }
+
+    #[test]
+    fn send_to_known_dead_rank_fails_fast() {
+        let (mut a, _b, det) = pair();
+        det.mark_dead(1);
+        let err = a.send(data(0, 1, 7, vec![1])).unwrap_err();
+        assert_eq!(err, NetError::RanksFailed { ranks: vec![1] });
+    }
+
+    #[test]
+    fn unresponsive_peer_exhausts_retries_and_is_marked_dead() {
+        let (tx0, mb0) = Mailbox::new(0);
+        let (tx1, _mb1_unpolled) = Mailbox::new(1); // rank 1 never polls
+        let det = Arc::new(FailureDetector::new(2));
+        let mut a = ReliableTransport::new(
+            Box::new(ChannelTransport::new(vec![tx0, tx1], mb0)),
+            0,
+            2,
+            Reliability {
+                rto: Duration::from_millis(1),
+                max_rto: Duration::from_millis(2),
+                max_retries: 3,
+            },
+            Arc::clone(&det),
+        );
+        let err = a.send(data(0, 1, 7, vec![1])).unwrap_err();
+        assert_eq!(err, NetError::RanksFailed { ranks: vec![1] });
+        assert!(det.is_dead(1));
+        assert_eq!(a.link_stats().retransmits, 3);
+    }
+
+    #[test]
+    fn corrupt_frame_is_discarded_and_healed_by_retransmit() {
+        let (_a, mut b, _det) = pair();
+        // Corrupt only the first transmission out of rank 0; the seeded
+        // plan below corrupts transmission 0 with certainty and later
+        // ones with probability 0 via a link override trick: easier to
+        // just feed b a corrupted frame directly, then the good one.
+        let mut bad = data(0, 1, 7, vec![1, 2, 3]);
+        bad.seq = 1;
+        bad.payload[0] ^= 0xFF; // checksum now wrong
+        b.process(bad).unwrap();
+        assert_eq!(b.link_stats().corrupt_dropped, 1);
+        assert!(b.pending.is_empty());
+        // The retransmission (same seq) arrives intact and is delivered.
+        let mut good = data(0, 1, 7, vec![1, 2, 3]);
+        good.seq = 1;
+        b.process(good).unwrap();
+        let m = b.take_pending(0, 7).unwrap();
+        assert_eq!(m.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_sequences_are_reordered() {
+        let (_a, mut b, _det) = pair();
+        let mut m2 = data(0, 1, 7, vec![2]);
+        m2.seq = 2;
+        let mut m1 = data(0, 1, 7, vec![1]);
+        m1.seq = 1;
+        b.process(m2).unwrap();
+        assert!(b.pending.is_empty(), "gap: nothing deliverable yet");
+        b.process(m1).unwrap();
+        let first = b.pending.pop_front().unwrap();
+        let second = b.pending.pop_front().unwrap();
+        assert_eq!((first.payload[0], second.payload[0]), (1, 2));
+        assert_eq!(b.expected[0], 2);
+    }
+
+    #[test]
+    fn purge_keeps_sequence_state() {
+        let (_a, mut b, _det) = pair();
+        let mut m1 = data(0, 1, 7, vec![1]);
+        m1.seq = 1;
+        b.process(m1).unwrap();
+        assert_eq!(b.purge(), 1);
+        assert_eq!(b.expected[0], 1, "sequence state survives purge");
+        // A retransmitted seq 1 after the purge is recognized as a dup.
+        let mut dup = data(0, 1, 7, vec![1]);
+        dup.seq = 1;
+        b.process(dup).unwrap();
+        assert!(b.pending.is_empty());
+        assert_eq!(b.link_stats().dups_dropped, 1);
+    }
+}

@@ -30,8 +30,10 @@ use crate::transport::Transport;
 /// default `SO_SNDBUF`.
 pub const FRAG_PAYLOAD: usize = 16 * 1024;
 
-const HEADER: usize = 4 + 8 + 8 + 4 + 4 + 8; // src, tag, msg id, frag idx, frag count, arrival
+// src, tag, msg id, frag idx, frag count, arrival, seq, checksum flag + value
+const HEADER: usize = 4 + 8 + 8 + 4 + 4 + 8 + 8 + 1 + 4;
 
+#[allow(clippy::too_many_arguments)] // mirrors the frame header, field for field
 fn encode_frame(
     src: usize,
     tag: Tag,
@@ -39,6 +41,8 @@ fn encode_frame(
     frag_idx: u32,
     frag_count: u32,
     arrival: f64,
+    seq: u64,
+    checksum: Option<u32>,
     chunk: &[u8],
 ) -> Vec<u8> {
     let mut f = Vec::with_capacity(HEADER + chunk.len());
@@ -48,6 +52,9 @@ fn encode_frame(
     f.extend_from_slice(&frag_idx.to_le_bytes());
     f.extend_from_slice(&frag_count.to_le_bytes());
     f.extend_from_slice(&arrival.to_bits().to_le_bytes());
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.push(u8::from(checksum.is_some()));
+    f.extend_from_slice(&checksum.unwrap_or(0).to_le_bytes());
     f.extend_from_slice(chunk);
     f
 }
@@ -59,6 +66,8 @@ struct Frame {
     frag_idx: u32,
     frag_count: u32,
     arrival: f64,
+    seq: u64,
+    checksum: Option<u32>,
     chunk: Vec<u8>,
 }
 
@@ -77,6 +86,9 @@ fn decode_frame(buf: &[u8]) -> Result<Frame, NetError> {
         frag_idx: u32::from_le_bytes(get(20, 4).try_into().expect("4 bytes")),
         frag_count: u32::from_le_bytes(get(24, 4).try_into().expect("4 bytes")),
         arrival: f64::from_bits(u64::from_le_bytes(get(28, 8).try_into().expect("8 bytes"))),
+        seq: u64::from_le_bytes(get(36, 8).try_into().expect("8 bytes")),
+        checksum: (buf[44] != 0)
+            .then(|| u32::from_le_bytes(get(45, 4).try_into().expect("4 bytes"))),
         chunk: buf[HEADER..].to_vec(),
     })
 }
@@ -84,6 +96,8 @@ fn decode_frame(buf: &[u8]) -> Result<Frame, NetError> {
 struct Reassembly {
     tag: Tag,
     arrival: f64,
+    seq: u64,
+    checksum: Option<u32>,
     frag_count: u32,
     received: u32,
     chunks: Vec<Option<Vec<u8>>>,
@@ -152,6 +166,8 @@ impl UdsTransport {
                 tag: frame.tag,
                 payload: frame.chunk,
                 arrival: frame.arrival,
+                seq: frame.seq,
+                checksum: frame.checksum,
             });
             return;
         }
@@ -159,6 +175,8 @@ impl UdsTransport {
         let entry = self.partial.entry(key).or_insert_with(|| Reassembly {
             tag: frame.tag,
             arrival: frame.arrival,
+            seq: frame.seq,
+            checksum: frame.checksum,
             frag_count: frame.frag_count,
             received: 0,
             chunks: vec![None; frame.frag_count as usize],
@@ -181,6 +199,8 @@ impl UdsTransport {
                 tag: done.tag,
                 payload,
                 arrival: done.arrival,
+                seq: done.seq,
+                checksum: done.checksum,
             });
         }
     }
@@ -213,6 +233,8 @@ impl Transport for UdsTransport {
                 idx as u32,
                 count,
                 msg.arrival,
+                msg.seq,
+                msg.checksum,
                 chunk,
             );
             loop {
@@ -266,6 +288,31 @@ impl Transport for UdsTransport {
             }
         }
     }
+
+    fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.pending.pop_front() {
+                return Ok(Some(m));
+            }
+            if self.drain()? == 0 {
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    fn purge(&mut self) -> usize {
+        // Best-effort: pull whatever is already queued on the socket, then
+        // discard every complete and partial message.
+        let _ = self.drain();
+        let n = self.pending.len() + self.partial.len();
+        self.pending.clear();
+        self.partial.clear();
+        n
+    }
 }
 
 /// A cluster whose ranks talk over Unix datagram sockets.
@@ -315,13 +362,22 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let f = encode_frame(7, 42, 9, 2, 5, 1.25, &[1, 2, 3]);
+        let f = encode_frame(7, 42, 9, 2, 5, 1.25, 11, Some(0xDEAD), &[1, 2, 3]);
         let d = decode_frame(&f).unwrap();
         assert_eq!(
             (d.src, d.tag, d.msg_id, d.frag_idx, d.frag_count, d.arrival),
             (7, 42, 9, 2, 5, 1.25)
         );
+        assert_eq!((d.seq, d.checksum), (11, Some(0xDEAD)));
         assert_eq!(d.chunk, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn frame_round_trip_no_checksum() {
+        let f = encode_frame(1, 2, 3, 0, 1, 0.0, 0, None, &[]);
+        let d = decode_frame(&f).unwrap();
+        assert_eq!((d.seq, d.checksum), (0, None));
+        assert!(d.chunk.is_empty());
     }
 
     #[test]

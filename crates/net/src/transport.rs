@@ -15,6 +15,7 @@ use std::time::Duration;
 use crate::error::NetError;
 use crate::mailbox::{MailSender, Mailbox};
 use crate::message::{Message, Tag};
+use crate::metrics::LinkStats;
 
 /// A rank's physical connection to its peers.
 pub trait Transport: Send {
@@ -35,6 +36,28 @@ pub trait Transport: Send {
     /// [`NetError::Timeout`] or [`NetError::Disconnected`].
     fn recv_match(&mut self, from: usize, tag: Tag, timeout: Duration)
         -> Result<Message, NetError>;
+
+    /// Receive the next message from *any* source (parked messages
+    /// first), waiting at most `timeout`; `Ok(None)` when nothing
+    /// arrived. The reliability layer drives its ack/retransmit protocol
+    /// through this.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures other than an empty queue.
+    fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError>;
+
+    /// Discard every queued and parked message (stale traffic from an
+    /// aborted collective attempt). Returns how many were discarded.
+    fn purge(&mut self) -> usize {
+        0
+    }
+
+    /// Counters accumulated by wire sublayers (fault injection,
+    /// reliability); zero for plain transports.
+    fn link_stats(&self) -> LinkStats {
+        LinkStats::default()
+    }
 }
 
 /// The default in-process transport: one unbounded channel per rank.
@@ -68,6 +91,14 @@ impl Transport for ChannelTransport {
     ) -> Result<Message, NetError> {
         self.mailbox.recv_match(from, tag, timeout)
     }
+
+    fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        Ok(self.mailbox.recv_any(timeout))
+    }
+
+    fn purge(&mut self) -> usize {
+        self.mailbox.purge()
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +115,8 @@ mod tests {
             tag: 9,
             payload: vec![1, 2],
             arrival: 0.5,
+            seq: 0,
+            checksum: None,
         })
         .unwrap();
         let m = t.recv_match(0, 9, Duration::from_millis(50)).unwrap();

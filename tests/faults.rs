@@ -1,14 +1,16 @@
-//! Failure injection through the full stack: dead ranks and dropped
-//! messages must surface as clean errors from the collectives — never
-//! hangs, never silent corruption.
+//! Failure injection through the full stack: dead ranks, dropped
+//! messages, and probabilistic wire faults must surface as clean errors
+//! from the collectives — never hangs, never silent corruption — and the
+//! reliability sublayer must heal what is healable.
 
 use std::time::Duration;
 
+use bruck::collectives::api::{alltoall, alltoall_resilient, Tuning};
 use bruck::collectives::concat::ConcatAlgorithm;
 use bruck::collectives::index::IndexAlgorithm;
 use bruck::collectives::verify;
 use bruck::model::partition::Preference;
-use bruck::net::{Cluster, ClusterConfig, FaultPlan, NetError};
+use bruck::net::{Cluster, ClusterConfig, FaultPlan, NetError, Reliability};
 
 fn faulty_cfg(n: usize, faults: FaultPlan) -> ClusterConfig {
     ClusterConfig::new(n)
@@ -62,9 +64,10 @@ fn dropped_message_is_detected_not_corrupted() {
         IndexAlgorithm::BruckRadix(2).run(ep, &input, 4)
     })
     .unwrap_err();
-    // Rank 4 stalls waiting for the dropped message; downstream ranks
-    // cascade into timeouts of their own, and the first error by rank
-    // order is reported — any timeout is the correct observable outcome.
+    // Rank 4 stalls waiting for the dropped message; ranks downstream of
+    // the stall may reach their own deadlines in the same poll window, so
+    // the root cause is *a* timeout (never corruption, never a hang) —
+    // which exact waiter wins the tie is scheduling-dependent.
     assert!(matches!(err, NetError::Timeout { .. }), "{err:?}");
 }
 
@@ -82,6 +85,261 @@ fn gather_bcast_survives_no_faults_under_short_timeout() {
     for r in &out.results {
         assert_eq!(r, &expected);
     }
+}
+
+/// The ISSUE's first demo: alltoall over a 5% lossy wire completes
+/// bit-correct via retransmission, and the retry counters prove the
+/// reliability layer actually worked.
+#[test]
+fn alltoall_over_lossy_wire_heals_by_retransmission() {
+    let n = 8;
+    let block = 16;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().with_seed(0xB10C).with_loss(0.05))
+        .with_reliability(Reliability::default());
+    let tuning = Tuning::default();
+    let out = Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, block);
+        // Several repetitions: enough physical transmissions that the 5%
+        // loss rate fires with overwhelming probability.
+        let mut last = Vec::new();
+        for _ in 0..4 {
+            last = alltoall(ep, &input, block, &tuning)?;
+        }
+        Ok(last)
+    })
+    .unwrap();
+    for (rank, result) in out.results.iter().enumerate() {
+        assert_eq!(
+            result,
+            &verify::index_expected(rank, n, block),
+            "rank {rank} corrupted under loss"
+        );
+    }
+    let link = out.metrics.link_totals();
+    assert!(
+        link.injected_losses > 0,
+        "the plan never actually dropped anything"
+    );
+    assert!(
+        link.retransmits > 0,
+        "losses occurred but nothing was retransmitted"
+    );
+    assert_eq!(out.metrics.total_retransmits(), link.retransmits);
+}
+
+#[test]
+fn alltoall_over_duplicating_corrupting_wire_is_bit_correct() {
+    let n = 6;
+    let block = 8;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(
+            FaultPlan::new()
+                .with_seed(7)
+                .with_loss(0.03)
+                .with_duplication(0.05)
+                .with_corruption(0.05),
+        )
+        .with_reliability(Reliability::default());
+    let tuning = Tuning::default();
+    let out = Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, block);
+        let mut last = Vec::new();
+        for _ in 0..4 {
+            last = alltoall(ep, &input, block, &tuning)?;
+        }
+        Ok(last)
+    })
+    .unwrap();
+    for (rank, result) in out.results.iter().enumerate() {
+        assert_eq!(result, &verify::index_expected(rank, n, block));
+    }
+    let link = out.metrics.link_totals();
+    assert!(link.injected_corruptions > 0 || link.injected_dups > 0);
+    assert_eq!(
+        link.corrupt_dropped, link.injected_corruptions,
+        "every corrupted frame must be caught by its checksum"
+    );
+}
+
+/// Without the reliability sublayer, corruption must surface as a
+/// `Corrupt` error (the root cause), never as silently wrong bytes.
+#[test]
+fn corruption_without_reliability_is_detected() {
+    let n = 4;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_millis(500))
+        .with_faults(FaultPlan::new().with_seed(3).with_corruption(0.3));
+    let tuning = Tuning::default();
+    let err = Cluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, 32);
+        let mut last = Vec::new();
+        for _ in 0..8 {
+            last = alltoall(ep, &input, 32, &tuning)?;
+        }
+        Ok(last)
+    })
+    .unwrap_err();
+    assert!(matches!(err, NetError::Corrupt { .. }), "{err:?}");
+}
+
+/// The ISSUE's second demo, part 1: a killed rank yields one consistent
+/// cluster-wide verdict — the killed rank reports `Killed`, every
+/// survivor reports the same `RanksFailed`, nobody hangs or times out.
+#[test]
+fn killed_rank_yields_consistent_ranks_failed_on_all_survivors() {
+    let n = 6;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(2, 1));
+    let report = Cluster::try_run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, 4);
+        IndexAlgorithm::BruckRadix(2).run(ep, &input, 4)
+    });
+    assert_eq!(report.failed, vec![2]);
+    for (rank, outcome) in report.outcomes.iter().enumerate() {
+        let err = outcome.as_ref().unwrap_err();
+        if rank == 2 {
+            assert!(matches!(err, NetError::Killed { rank: 2, .. }), "{err:?}");
+        } else {
+            assert_eq!(
+                err,
+                &NetError::RanksFailed { ranks: vec![2] },
+                "survivor {rank} disagrees on the verdict"
+            );
+        }
+    }
+    // Root-cause aggregation: the kill, not any reaction to it.
+    let (_, cause) = report.root_cause().unwrap();
+    assert!(matches!(cause, NetError::Killed { rank: 2, .. }));
+}
+
+/// The ISSUE's second demo, part 2: `run_resilient` shrinks to the
+/// survivors and completes the collective among them.
+#[test]
+fn run_resilient_completes_among_survivors() {
+    let n = 6;
+    let block = 4;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(2, 1));
+    let tuning = Tuning::default();
+    let resilient = Cluster::run_resilient(&cfg, 3, |ep, view| {
+        // The body re-plans for whatever size it is given: the radix is
+        // re-tuned and the input rebuilt for the dense survivor ranks.
+        let m = ep.size();
+        let input = verify::index_input(ep.rank(), m, block);
+        let data = alltoall(ep, &input, block, &tuning)?;
+        Ok((view.attempt, data))
+    })
+    .unwrap();
+    assert_eq!(resilient.survivors, vec![0, 1, 3, 4, 5]);
+    assert_eq!(resilient.attempts, 2);
+    let m = resilient.survivors.len();
+    for (dense, (attempt, data)) in resilient.output.results.iter().enumerate() {
+        assert_eq!(*attempt, 1, "success must come from the retry attempt");
+        assert_eq!(data, &verify::index_expected(dense, m, block));
+    }
+}
+
+/// In-run recovery: survivors shrink the communicator and retry inside
+/// the same cluster run (`alltoall_resilient`), with epoch-tagged
+/// attempts isolating stale traffic.
+#[test]
+fn alltoall_resilient_shrinks_in_run() {
+    let n = 6;
+    let block = 4;
+    let victim = 2;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(victim, 1));
+    let tuning = Tuning::default();
+    let report = Cluster::try_run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, block);
+        alltoall_resilient(ep, &input, block, &tuning, 3)
+    });
+    assert_eq!(report.failed, vec![victim]);
+    let survivors: Vec<usize> = (0..n).filter(|&r| r != victim).collect();
+    for (rank, outcome) in report.outcomes.iter().enumerate() {
+        if rank == victim {
+            let err = outcome.as_ref().unwrap_err();
+            assert!(matches!(err, NetError::Killed { rank: 2, .. }), "{err:?}");
+            continue;
+        }
+        let res = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("survivor {rank} failed to recover in-run: {e:?}"));
+        assert_eq!(res.survivors, survivors);
+        // Most ranks abort the full-membership attempt and succeed on the
+        // retry; a rank scheduled late enough may first observe the dead
+        // set after the kill and join the survivor epoch directly.
+        assert!(res.attempts <= 2, "attempts = {}", res.attempts);
+        // Survivor-dense correctness: block i came from survivors[i].
+        let me = survivors.iter().position(|&s| s == rank).unwrap();
+        for (i, &src) in survivors.iter().enumerate() {
+            let got = &res.data[i * block..(i + 1) * block];
+            let full = verify::index_input(src, n, block);
+            assert_eq!(
+                got,
+                &full[rank * block..(rank + 1) * block],
+                "rank {rank} (dense {me}) got wrong block from {src}"
+            );
+        }
+    }
+}
+
+/// The fault plan is transport-agnostic: the same wire-fault injection
+/// and reliability stack wrap the Unix-socket transport, so a lossy
+/// kernel path heals the same way the channel path does.
+#[cfg(unix)]
+#[test]
+fn socket_transport_honours_fault_plan() {
+    use bruck::net::SocketCluster;
+    let n = 4;
+    let block = 8;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(10))
+        .with_faults(FaultPlan::new().with_seed(0x50C).with_loss(0.08))
+        .with_reliability(Reliability::default());
+    let tuning = Tuning::default();
+    let out = SocketCluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, block);
+        // Enough repetitions that the 8% loss rate fires with
+        // overwhelming probability (ack arrival order perturbs the
+        // per-transmission draws, so this is a tail bound, not a fixed
+        // replay).
+        let mut last = Vec::new();
+        for _ in 0..8 {
+            last = alltoall(ep, &input, block, &tuning)?;
+        }
+        Ok(last)
+    })
+    .unwrap();
+    for (rank, result) in out.results.iter().enumerate() {
+        assert_eq!(result, &verify::index_expected(rank, n, block));
+    }
+    assert!(out.metrics.link_totals().injected_losses > 0);
+    assert!(out.metrics.total_retransmits() > 0);
+}
+
+/// A killed rank on the socket transport surfaces as the same clean,
+/// root-caused error as on channels.
+#[cfg(unix)]
+#[test]
+fn socket_transport_kill_is_root_caused() {
+    use bruck::net::SocketCluster;
+    let n = 4;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(1, 0));
+    let err = SocketCluster::run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, 4);
+        IndexAlgorithm::BruckRadix(2).run(ep, &input, 4)
+    })
+    .unwrap_err();
+    assert!(matches!(err, NetError::Killed { rank: 1, .. }), "{err:?}");
 }
 
 #[test]
