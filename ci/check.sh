@@ -11,9 +11,22 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Robustness gate: fault injection and the chaos soak. Every fault plan
-# is seeded (FaultPlan::with_seed / the xorshift case generator in
-# tests/chaos.rs), so failures replay deterministically from the seed
-# printed in the assertion message.
+# Robustness gate: fault injection, the chaos soak, and the
+# sliding-window property suite. Every fault plan is seeded
+# (FaultPlan::with_seed / the xorshift case generators in tests/chaos.rs
+# and tests/window.rs), so failures replay deterministically from the
+# seed printed in the assertion message.
 cargo test -q --test faults
 cargo test -q --test chaos
+cargo test -q --test window
+
+# Perf smoke: the pipelined data plane must clear a throughput floor on
+# the wire microbench. The floor is ~30% under the slowest alltoall
+# pipelined-row throughput observed on a 1-core CI box (545 MB/s at this
+# shape; the stop-and-wait-era plane measures ~300-360 MB/s, so a data
+# plane regressed to that discipline lands under the floor while normal
+# machine noise stays above it). BENCH_pr3.json tracks the full-size
+# run. Small shape so the gate stays fast.
+cargo build -q --release -p bruck-bench
+./target/release/bruckctl bench --n 4 --ports 2 --block 16384 --reps 3 \
+    --samples 2 --out /tmp/bruck-bench-smoke.json --min-mbps 380

@@ -9,6 +9,8 @@
 //! bruckctl tune   --n 64 --block 128 [--ports 1]          # radix table
 //! bruckctl chaos  --n 8 --block 64 --seed 2 --loss 0.05   # lossy-wire soak
 //! bruckctl chaos  --n 8 --block 64 --kill 3               # shrink-and-retry
+//! bruckctl bench  --n 8 --ports 2 --block 65536           # wire pipelining table + BENCH_pr3.json
+//! bruckctl bench  --min-mbps 50                           # CI floor: exit 1 below it
 //! ```
 
 use std::sync::Arc;
@@ -42,6 +44,9 @@ struct Args {
     corrupt: f64,
     reps: usize,
     kill: Option<usize>,
+    samples: usize,
+    out: Option<String>,
+    min_mbps: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
         corrupt: 0.0,
         reps: 4,
         kill: None,
+        samples: 3,
+        out: None,
+        min_mbps: None,
     };
     while let Some(flag) = raw.next() {
         let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
@@ -85,6 +93,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
             "--kill" => args.kill = Some(value()?.parse().map_err(|e| format!("--kill: {e}"))?),
+            "--samples" => {
+                args.samples = value()?.parse().map_err(|e| format!("--samples: {e}"))?;
+            }
+            "--out" => args.out = Some(value()?),
+            "--min-mbps" => {
+                args.min_mbps = Some(value()?.parse().map_err(|e| format!("--min-mbps: {e}"))?);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -278,6 +293,11 @@ fn print_link_report(metrics: &bruck_net::RunMetrics) {
         "  injected     : {} losses, {} dups, {} corruptions, {} delays",
         link.injected_losses, link.injected_dups, link.injected_corruptions, link.injected_delays
     );
+    println!(
+        "  window       : {:.2} mean occupancy, {:.0}% acks piggybacked",
+        metrics.avg_window_occupancy(),
+        metrics.piggyback_ratio() * 100.0
+    );
     let per_rank: Vec<u64> = metrics
         .per_rank
         .iter()
@@ -356,12 +376,58 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `bruckctl bench`: the wire-pipelining matrix over real sockets —
+/// the pipelined data plane against the pre-pipelining baseline for
+/// alltoall and allgather — printed as a table and written as the
+/// tracked JSON artifact.
+#[cfg(unix)]
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use bruck_bench::wire;
+    let cfg = wire::WireBenchConfig {
+        n: args.n,
+        ports: args.ports,
+        block: args.block,
+        reps: args.reps.max(1),
+        samples: args.samples.max(1),
+        ..wire::WireBenchConfig::default()
+    };
+    println!(
+        "wire bench: n={} k={} block={} reps={}x{} (uds)",
+        cfg.n, cfg.ports, cfg.block, cfg.reps, cfg.samples
+    );
+    let rows = wire::run_matrix(&cfg)?;
+    print!("{}", wire::render_table(&rows));
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr3.json".into());
+    std::fs::write(&out_path, wire::render_json(&rows))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("[results written to {out_path}]");
+    if let Some(floor) = args.min_mbps {
+        let worst = rows
+            .iter()
+            .filter(|r| r.collective == "alltoall" && r.mode == "pipelined")
+            .map(|r| r.mbps)
+            .fold(f64::INFINITY, f64::min);
+        if worst < floor {
+            return Err(format!(
+                "alltoall throughput {worst:.1} MB/s below the {floor:.1} MB/s floor"
+            ));
+        }
+        println!("floor      : {worst:.1} MB/s ≥ {floor:.1} MB/s ✓");
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_bench(_args: &Args) -> Result<(), String> {
+    Err("bench needs the unix-socket transport".into())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bruckctl: {e}");
-            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK]");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--samples S] [--out PATH] [--min-mbps F]");
             std::process::exit(2);
         }
     };
@@ -372,6 +438,7 @@ fn main() {
         "analyze" => cmd_analyze(&args),
         "tune" => cmd_tune(&args),
         "chaos" => cmd_chaos(&args),
+        "bench" => cmd_bench(&args),
         other => Err(format!("unknown command {other}")),
     };
     if let Err(e) = result {

@@ -6,10 +6,15 @@
 //! that regenerates every figure and table of the paper's evaluation.
 //! The [`microbench`] module is the self-contained wall-clock harness
 //! the `benches/` targets run on (the workspace builds offline, so no
-//! external Criterion).
+//! external Criterion). The [`wire`] module benchmarks the executed
+//! data plane — sliding-window pipelining against the stop-and-wait
+//! baseline over real sockets — behind `bruckctl bench` and the
+//! `BENCH_pr3.json` artifact CI tracks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod microbench;
+#[cfg(unix)]
+pub mod wire;

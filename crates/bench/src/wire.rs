@@ -1,0 +1,456 @@
+//! Wire-pipelining microbench: alltoall/allgather throughput and
+//! latency over the real-I/O Unix-socket transport, the pipelined data
+//! plane against the seed baseline.
+//!
+//! The baseline row reconstructs the pre-pipelining data plane exactly:
+//! stop-and-wait ARQ (`window = 1`, no piggybacking) over transports
+//! that wait for frames by sleep-polling every 50µs — the discipline
+//! the socket layer used before blocking reads. The pipelined row is
+//! the current defaults. Everything else (shape, reps, verification) is
+//! identical, so the speedup isolates the data-plane change.
+//!
+//! Each case spins up a [`SocketCluster`], runs one untimed warmup
+//! collective (absorbs thread-spawn skew and pool warmup), then times
+//! `reps` back-to-back collectives per rank. A rep's cluster-wide wall
+//! clock is the *maximum* across ranks for that rep — the straggler
+//! defines the collective. Percentiles pool every rep of every sample
+//! run, so `p99` reflects cross-run variance too.
+//!
+//! The output is both a human table ([`render_table`]) and a
+//! hand-rolled JSON artifact ([`render_json`], no external
+//! serialization crates) that CI tracks as `BENCH_pr3.json`.
+
+use std::time::{Duration, Instant};
+
+use bruck_collectives::api::{allgather, alltoall, Tuning};
+use bruck_collectives::verify;
+use bruck_model::WireTuning;
+use bruck_net::{ClusterConfig, NetError, Reliability};
+
+/// One benchmark case: a collective at a fixed shape under one window.
+#[derive(Debug, Clone, Copy)]
+pub struct WireBenchConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Ports per round (the paper's `k`).
+    pub ports: usize,
+    /// Block size in bytes (per source-destination pair).
+    pub block: usize,
+    /// Timed collectives per cluster run.
+    pub reps: usize,
+    /// Independent cluster runs pooled into one distribution.
+    pub samples: usize,
+    /// Per-run watchdog.
+    pub timeout: Duration,
+}
+
+impl Default for WireBenchConfig {
+    /// The tracked shape: `n = 8`, `k = 2`, 64 KiB blocks.
+    fn default() -> Self {
+        Self {
+            n: 8,
+            ports: 2,
+            block: 64 * 1024,
+            reps: 6,
+            samples: 3,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// How a benchmark case drives the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// The current data plane: sliding-window ARQ over blocking reads.
+    Pipelined,
+    /// The seed data plane: stop-and-wait ARQ over 50µs sleep-polled
+    /// socket waits.
+    SeedBaseline,
+}
+
+impl WireMode {
+    /// Short label for tables and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Pipelined => "pipelined",
+            Self::SeedBaseline => "seed-baseline",
+        }
+    }
+
+    fn tuning(self) -> WireTuning {
+        match self {
+            Self::Pipelined => WireTuning::default(),
+            Self::SeedBaseline => WireTuning::stop_and_wait(),
+        }
+    }
+}
+
+/// One row of the benchmark table.
+#[derive(Debug, Clone)]
+pub struct WireBenchRow {
+    /// `"alltoall"` or `"allgather"`.
+    pub collective: &'static str,
+    /// `"pipelined"` or `"seed-baseline"`.
+    pub mode: &'static str,
+    /// Sliding-window size (1 = stop-and-wait).
+    pub window: usize,
+    /// Cluster size.
+    pub n: usize,
+    /// Ports per round.
+    pub k: usize,
+    /// The radix the planner chose for this shape.
+    pub radix: usize,
+    /// Block size in bytes.
+    pub block: usize,
+    /// Executed communication rounds per collective.
+    pub rounds: u64,
+    /// Payload bytes the whole cluster moves per collective.
+    pub bytes_moved: u64,
+    /// Pooled rep count behind the percentiles.
+    pub reps: usize,
+    /// Median cluster-wide wall clock per collective (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile wall clock (ns).
+    pub p99_ns: u64,
+    /// Mean wall clock (ns).
+    pub mean_ns: u64,
+    /// Cluster goodput: payload bytes moved per wall-clock second, MB/s.
+    pub mbps: f64,
+    /// Mean reliability-window occupancy observed at send time.
+    pub avg_window_occupancy: f64,
+    /// Fraction of acks that rode on reverse-path data frames.
+    pub piggyback_ratio: f64,
+    /// Reliability-layer retransmissions across the whole matrix cell —
+    /// nonzero on a clean wire means the rto is losing to scheduling.
+    pub retransmits: u64,
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Run one collective shape under one wire mode over the socket
+/// transport and fold the pooled timings into a row.
+///
+/// # Errors
+///
+/// Propagates cluster setup or collective failures as a message.
+pub fn run_case(
+    collective: &'static str,
+    cfg: &WireBenchConfig,
+    mode: WireMode,
+) -> Result<WireBenchRow, String> {
+    let wire = mode.tuning();
+    let (n, block, reps) = (cfg.n, cfg.block, cfg.reps.max(1));
+    let tuning = Tuning::default();
+    let radix = tuning.chosen_radix(n, block, cfg.ports).radix;
+    let cluster_cfg = ClusterConfig::new(n)
+        .with_ports(cfg.ports)
+        .with_timeout(cfg.timeout)
+        .with_reliability(Reliability::default().with_wire(wire))
+        .with_serial_rounds(mode == WireMode::SeedBaseline);
+
+    let mut pooled: Vec<u64> = Vec::with_capacity(reps * cfg.samples);
+    let mut bytes_moved = 0u64;
+    let mut rounds = 0u64;
+    let mut occupancy = 0.0f64;
+    let mut piggyback = 0.0f64;
+    let mut retransmits = 0u64;
+    for _ in 0..cfg.samples.max(1) {
+        let body = |ep: &mut bruck_net::Endpoint| {
+            // Test vectors are generated once per cluster run, outside
+            // the timed laps: the bench measures the data plane, not
+            // pattern generation.
+            let (input, expected) = match collective {
+                "alltoall" => (
+                    verify::index_input(ep.rank(), n, block),
+                    verify::index_expected(ep.rank(), n, block),
+                ),
+                _ => (
+                    verify::concat_input(ep.rank(), block),
+                    verify::concat_expected(n, block),
+                ),
+            };
+            let run_one = |ep: &mut bruck_net::Endpoint| -> Result<(), NetError> {
+                let got = match collective {
+                    "alltoall" => alltoall(ep, &input, block, &tuning)?,
+                    _ => allgather(ep, &input, &tuning)?,
+                };
+                if got != expected {
+                    return Err(NetError::App(format!("{collective} bytes wrong")));
+                }
+                Ok(())
+            };
+            run_one(ep)?; // warmup, untimed
+            let mut laps = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                run_one(ep)?;
+                laps.push(t0.elapsed().as_nanos() as u64);
+            }
+            Ok(laps)
+        };
+        let out = match mode {
+            WireMode::Pipelined => bruck_net::SocketCluster::run(&cluster_cfg, body),
+            WireMode::SeedBaseline => bruck_net::SocketCluster::run_legacy(&cluster_cfg, body),
+        }
+        .map_err(|e| format!("{collective} ({}): {e}", mode.label()))?;
+        // Cluster-wide wall clock for rep j = the straggler rank's lap.
+        for j in 0..reps {
+            pooled.push(
+                out.results
+                    .iter()
+                    .map(|laps| laps[j])
+                    .max()
+                    .unwrap_or_default(),
+            );
+        }
+        let per_collective = (reps + 1) as u64; // warmup included in metrics
+        bytes_moved = out.metrics.total_bytes() / per_collective;
+        rounds = out
+            .metrics
+            .per_rank
+            .iter()
+            .map(bruck_net::RankMetrics::rounds)
+            .max()
+            .unwrap_or(0)
+            / per_collective;
+        occupancy = out.metrics.avg_window_occupancy();
+        piggyback = out.metrics.piggyback_ratio();
+        retransmits += out.metrics.total_retransmits();
+    }
+    pooled.sort_unstable();
+    let mean_ns = (pooled.iter().sum::<u64>() / pooled.len().max(1) as u64).max(1);
+    Ok(WireBenchRow {
+        collective,
+        mode: mode.label(),
+        window: wire.window,
+        n,
+        k: cfg.ports,
+        radix,
+        block,
+        rounds,
+        bytes_moved,
+        reps: pooled.len(),
+        p50_ns: percentile(&pooled, 50),
+        p99_ns: percentile(&pooled, 99),
+        mean_ns,
+        mbps: bytes_moved as f64 / (mean_ns as f64 / 1e9) / 1e6,
+        avg_window_occupancy: occupancy,
+        piggyback_ratio: piggyback,
+        retransmits,
+    })
+}
+
+/// Run the full matrix: both collectives, the pipelined data plane and
+/// the seed baseline.
+///
+/// # Errors
+///
+/// Propagates the first failing case.
+pub fn run_matrix(cfg: &WireBenchConfig) -> Result<Vec<WireBenchRow>, String> {
+    let mut rows = Vec::new();
+    for collective in ["alltoall", "allgather"] {
+        for mode in [WireMode::Pipelined, WireMode::SeedBaseline] {
+            rows.push(run_case(collective, cfg, mode)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Wall-clock speedup of the pipelined data plane over the seed
+/// baseline for `collective`, when both rows are present.
+#[must_use]
+pub fn speedup(rows: &[WireBenchRow], collective: &str) -> Option<f64> {
+    let of = |mode: &str| {
+        rows.iter()
+            .filter(|r| r.collective == collective)
+            .find(|r| r.mode == mode)
+            .map(|r| r.mean_ns as f64)
+    };
+    let base = of("seed-baseline")?;
+    let piped = of("pipelined")?;
+    Some(base / piped)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// Render the human table: one row per (collective, window).
+#[must_use]
+pub fn render_table(rows: &[WireBenchRow]) -> String {
+    let mut out =
+        format!(
+        "{:<10} {:<13} {:>6} {:>4} {:>3} {:>3} {:>8} {:>6} {:>9} {:>9} {:>9} {:>6} {:>5} {:>5}\n",
+        "collective", "mode", "window", "n", "k", "r", "bytes", "rounds", "MB/s", "p50", "p99",
+        "occ", "pig", "rexmt"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<13} {:>6} {:>4} {:>3} {:>3} {:>8} {:>6} {:>9.1} {:>9} {:>9} {:>6.2} {:>5.2} {:>5}\n",
+            r.collective,
+            r.mode,
+            r.window,
+            r.n,
+            r.k,
+            r.radix,
+            r.block,
+            r.rounds,
+            r.mbps,
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            r.avg_window_occupancy,
+            r.piggyback_ratio,
+            r.retransmits,
+        ));
+    }
+    for collective in ["alltoall", "allgather"] {
+        if let Some(s) = speedup(rows, collective) {
+            out.push_str(&format!(
+                "{collective}: pipelined data plane speedup {s:.2}x over seed baseline\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Render the machine-tracked JSON artifact (hand-rolled; the workspace
+/// has no serialization dependency).
+#[must_use]
+pub fn render_json(rows: &[WireBenchRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pr3-wire-pipelining\",\n");
+    out.push_str("  \"transport\": \"uds\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"collective\": \"{}\", \"mode\": \"{}\", \"window\": {}, \"n\": {}, \
+             \"k\": {}, \"radix\": {}, \
+             \"block\": {}, \"rounds\": {}, \"bytes_moved\": {}, \"reps\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"mbps\": {:.2}, \
+             \"avg_window_occupancy\": {:.3}, \"piggyback_ratio\": {:.3}, \
+             \"retransmits\": {}}}{}\n",
+            r.collective,
+            r.mode,
+            r.window,
+            r.n,
+            r.k,
+            r.radix,
+            r.block,
+            r.rounds,
+            r.bytes_moved,
+            r.reps,
+            r.p50_ns,
+            r.p99_ns,
+            r.mean_ns,
+            r.mbps,
+            r.avg_window_occupancy,
+            r.piggyback_ratio,
+            r.retransmits,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let a2a = speedup(rows, "alltoall").unwrap_or(0.0);
+    let ag = speedup(rows, "allgather").unwrap_or(0.0);
+    out.push_str(&format!(
+        "  \"speedup\": {{\"alltoall\": {a2a:.3}, \"allgather\": {ag:.3}}}\n}}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(collective: &'static str, window: usize, mean_ns: u64) -> WireBenchRow {
+        WireBenchRow {
+            collective,
+            mode: if window == 1 {
+                "seed-baseline"
+            } else {
+                "pipelined"
+            },
+            window,
+            n: 8,
+            k: 2,
+            radix: 4,
+            block: 65536,
+            rounds: 4,
+            bytes_moved: 1 << 22,
+            reps: 12,
+            p50_ns: mean_ns,
+            p99_ns: mean_ns * 2,
+            mean_ns,
+            mbps: 100.0,
+            avg_window_occupancy: 1.5,
+            piggyback_ratio: 0.5,
+            retransmits: 0,
+        }
+    }
+
+    #[test]
+    fn speedup_is_base_over_piped() {
+        let rows = vec![row("alltoall", 8, 1_000_000), row("alltoall", 1, 3_000_000)];
+        assert!((speedup(&rows, "alltoall").unwrap() - 3.0).abs() < 1e-9);
+        assert!(speedup(&rows, "allgather").is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![row("alltoall", 8, 1_000_000), row("alltoall", 1, 2_000_000)];
+        let json = render_json(&rows);
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"alltoall\": 2.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn table_lists_every_row() {
+        let rows = vec![row("alltoall", 8, 1_000), row("allgather", 1, 2_000)];
+        let t = render_table(&rows);
+        assert!(t.contains("alltoall") && t.contains("allgather"));
+        assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn percentiles_clamp() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[5], 99), 5);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 51);
+        assert_eq!(percentile(&v, 99), 100);
+    }
+
+    /// The real thing, scaled down so the suite stays fast: a tiny
+    /// matrix over the socket transport still produces sane rows.
+    #[cfg(unix)]
+    #[test]
+    fn small_matrix_runs_end_to_end() {
+        let cfg = WireBenchConfig {
+            n: 4,
+            ports: 1,
+            block: 2048,
+            reps: 2,
+            samples: 1,
+            timeout: Duration::from_secs(30),
+        };
+        let row = run_case("alltoall", &cfg, WireMode::Pipelined).unwrap();
+        assert_eq!((row.n, row.k, row.block), (4, 1, 2048));
+        assert!(row.p50_ns > 0 && row.p99_ns >= row.p50_ns);
+        assert!(row.mbps > 0.0);
+        assert!(row.bytes_moved > 0);
+        let base = run_case("alltoall", &cfg, WireMode::SeedBaseline).unwrap();
+        assert_eq!(base.window, 1);
+        assert_eq!(base.mode, "seed-baseline");
+    }
+}

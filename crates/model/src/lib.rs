@@ -41,3 +41,4 @@ pub use complexity::Complexity;
 pub use cost::{CostModel, HierarchicalModel, LinearModel, LogPModel, PostalModel, Sp1Model};
 pub use mixed_radix::MixedRadix;
 pub use radix::{ceil_log, RadixDecomposition};
+pub use tuning::WireTuning;

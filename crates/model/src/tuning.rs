@@ -54,6 +54,79 @@ pub fn index_complexity_kport(n: usize, r: usize, b: usize, k: usize) -> Complex
     c
 }
 
+/// Wire-pipelining knobs for the executed data plane.
+///
+/// The paper's radix `r` trades start-ups (`C1`) against bytes (`C2`)
+/// at *plan* time; these knobs govern how well the *executed* rounds
+/// approach the planned cost. The reliability sublayer keeps up to
+/// [`window`](Self::window) frames in flight per link (sliding-window
+/// ARQ), so a round's per-destination RTT is paid once per window rather
+/// than once per frame — `window = 1` degenerates to stop-and-wait, the
+/// backward-compatible escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTuning {
+    /// Maximum unacknowledged data frames in flight per destination
+    /// (`≥ 1`). Larger windows hide more per-frame latency; `1`
+    /// reproduces stop-and-wait faithfully — send returns only after
+    /// the frame is acknowledged, with no overlap across ports.
+    pub window: usize,
+    /// Maximum selective-acknowledgement entries carried by one
+    /// dedicated ack frame (out-of-order sequences the receiver already
+    /// holds, so the sender retransmits only the truly missing suffix).
+    pub sack_limit: usize,
+    /// Stamp every outbound data frame with the cumulative ack for the
+    /// link's reverse direction, so bidirectional exchanges keep both
+    /// windows open without dedicated ack frames.
+    pub piggyback: bool,
+}
+
+impl WireTuning {
+    /// Stop-and-wait compatibility mode: one frame in flight, no
+    /// selective acks (with a single outstanding frame there is never an
+    /// out-of-order stash to advertise).
+    #[must_use]
+    pub fn stop_and_wait() -> Self {
+        Self {
+            window: 1,
+            sack_limit: 0,
+            piggyback: false,
+        }
+    }
+
+    /// Set the per-link window (clamped to `≥ 1`).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Set the selective-ack entry cap.
+    #[must_use]
+    pub fn with_sack_limit(mut self, limit: usize) -> Self {
+        self.sack_limit = limit;
+        self
+    }
+
+    /// Enable or disable ack piggybacking on reverse-path data frames.
+    #[must_use]
+    pub fn with_piggyback(mut self, on: bool) -> Self {
+        self.piggyback = on;
+        self
+    }
+}
+
+impl Default for WireTuning {
+    /// Eight frames in flight, up to 32 selective-ack entries,
+    /// piggybacking on.
+    fn default() -> Self {
+        Self {
+            window: 8,
+            sack_limit: 32,
+            piggyback: true,
+        }
+    }
+}
+
 /// The outcome of a radix sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RadixChoice {
@@ -236,6 +309,23 @@ mod tests {
         assert_eq!(radices, vec![2, 4, 8, 16, 32, 64]);
         let radices: Vec<usize> = power_of_two_radices(5).collect();
         assert_eq!(radices, vec![2, 4]);
+    }
+
+    #[test]
+    fn wire_tuning_defaults_and_escape_hatch() {
+        let w = WireTuning::default();
+        assert!(
+            w.window >= 8,
+            "default window must pipeline, got {}",
+            w.window
+        );
+        assert!(w.piggyback);
+        let sw = WireTuning::stop_and_wait();
+        assert_eq!(sw.window, 1);
+        assert!(!sw.piggyback);
+        assert_eq!(WireTuning::default().with_window(0).window, 1);
+        assert_eq!(WireTuning::default().with_sack_limit(4).sack_limit, 4);
+        assert!(!WireTuning::default().with_piggyback(false).piggyback);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct ClusterConfig {
     pub faults: Arc<FaultPlan>,
     /// Ack/retransmit reliability sublayer (None = raw wire).
     pub reliability: Option<Reliability>,
+    /// Use the legacy serialized round engine (receives complete in
+    /// spec order with sliced polling) instead of the concurrent one.
+    /// Benchmark-baseline compatibility only.
+    pub serial_rounds: bool,
 }
 
 impl ClusterConfig {
@@ -55,6 +59,7 @@ impl ClusterConfig {
             timeout: Duration::from_secs(10),
             faults: Arc::new(FaultPlan::new()),
             reliability: None,
+            serial_rounds: false,
         }
     }
 
@@ -103,6 +108,16 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_reliability(mut self, reliability: Reliability) -> Self {
         self.reliability = Some(reliability);
+        self
+    }
+
+    /// Run rounds on the legacy serialized receive engine (see
+    /// [`ClusterConfig::serial_rounds`]). Pair with
+    /// [`WireTuning::stop_and_wait`](bruck_model::tuning::WireTuning::stop_and_wait)
+    /// to reproduce the pre-pipelining data plane for benchmarking.
+    #[must_use]
+    pub fn with_serial_rounds(mut self, serial: bool) -> Self {
+        self.serial_rounds = serial;
         self
     }
 }
@@ -395,15 +410,16 @@ impl Cluster {
                     config.timeout,
                     Arc::clone(&pool),
                     Some(Arc::clone(&detector)),
+                    config.serial_rounds,
                 )
             })
             .collect();
 
         let body = &body;
         let detector_ref = &detector;
-        // Completion count for the linger phase below: under stop-and-wait
+        // Completion count for the linger phase below: under sliding-window
         // reliability, a rank that finishes first must keep answering
-        // retransmitted frames (its final ack may have been lost on the
+        // retransmitted frames (its final acks may have been lost on the
         // faulty wire) until every peer is done, or the stranded sender
         // would exhaust its retries against a peer that merely went quiet.
         let done = AtomicUsize::new(0);
@@ -432,6 +448,15 @@ impl Cluster {
                             ) = &result
                             {
                                 detector_ref.mark_dead(rank);
+                            }
+                            // Windowed sends may still have an unacked
+                            // tail when the body returns (the collective
+                            // only matched the *data*, not the acks).
+                            // Drain it before counting this rank as done,
+                            // so shutdown cannot race an in-flight frame
+                            // that a peer is still waiting to deliver.
+                            if linger && !matches!(&result, Err(NetError::Killed { .. })) {
+                                ep.flush(Instant::now() + linger_cap);
                             }
                             done_ref.fetch_add(1, Ordering::SeqCst);
                             // Linger: every rank whose *process* survived

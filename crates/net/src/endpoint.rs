@@ -71,6 +71,10 @@ pub struct Endpoint {
     /// fault plan can corrupt the wire, so the fault-free hot path pays
     /// nothing).
     checksums: bool,
+    /// Complete a round's receives strictly in spec order with
+    /// sliced polling — the pre-pipelining round engine, kept for the
+    /// wire benchmark's baseline (see `ClusterConfig::with_serial_rounds`).
+    serial_rounds: bool,
 }
 
 impl Endpoint {
@@ -87,6 +91,7 @@ impl Endpoint {
         timeout: Duration,
         pool: Arc<BufferPool>,
         detector: Option<Arc<FailureDetector>>,
+        serial_rounds: bool,
     ) -> Self {
         let checksums = faults.has_wire_faults();
         Self {
@@ -105,6 +110,7 @@ impl Endpoint {
             detector,
             seen_version: 0,
             checksums,
+            serial_rounds,
         }
     }
 
@@ -238,6 +244,7 @@ impl Endpoint {
         self.check_peers(recvs.iter().map(|r| r.from), "recv", recvs.len())?;
 
         let t0 = self.clock;
+        let wall_send = Instant::now();
         let mut max_send_done = t0;
         let mut sent_sizes = Vec::with_capacity(sends.len());
         for s in sends {
@@ -272,14 +279,23 @@ impl Endpoint {
                 payload,
                 arrival: depart + self.cost.latency_between(self.rank, s.to, bytes),
                 seq: 0,
+                ack: 0,
             };
             self.transport.send(msg)?;
         }
+        self.metrics.wall_send_ns += wall_send.elapsed().as_nanos() as u64;
+
+        let wall_recv = Instant::now();
+        let slots = if self.serial_rounds {
+            self.recv_serial_checked(recvs)?
+        } else {
+            self.recv_all_checked(recvs)?
+        };
+        self.metrics.wall_recv_ns += wall_recv.elapsed().as_nanos() as u64;
 
         let mut out = Vec::with_capacity(recvs.len());
         let mut finish = max_send_done;
-        for r in recvs {
-            let msg = self.recv_checked(r.from, r.tag)?;
+        for msg in slots {
             let completion = t0.max(msg.arrival)
                 + self
                     .cost
@@ -292,15 +308,22 @@ impl Endpoint {
         Ok(out)
     }
 
-    /// Receive with failure surveillance: wait in short slices, checking
-    /// the cluster's failure detector between slices, so a rank death
-    /// anywhere interrupts this waiter with the cluster-wide
-    /// [`NetError::RanksFailed`] verdict instead of letting it idle into
-    /// an unattributed [`NetError::Timeout`]. Also verifies the payload
-    /// checksum, surfacing wire corruption as [`NetError::Corrupt`].
-    fn recv_checked(&mut self, from: usize, tag: Tag) -> Result<Message, NetError> {
+    /// Complete all of a round's receives concurrently: poll every still
+    /// outstanding `(from, tag)` with a non-blocking `try_match` so the
+    /// `k` ports fill in *arrival* order (no head-of-line blocking on
+    /// the first spec), and park in the transport's blocking `wait_any`
+    /// when nothing is deliverable. One deadline covers the whole port
+    /// group. Between waits the cluster's failure detector is checked,
+    /// so a rank death anywhere interrupts this waiter with the
+    /// cluster-wide [`NetError::RanksFailed`] verdict instead of letting
+    /// it idle into an unattributed [`NetError::Timeout`]. Payload
+    /// checksums are verified, surfacing wire corruption as
+    /// [`NetError::Corrupt`].
+    fn recv_all_checked(&mut self, recvs: &[RecvSpec]) -> Result<Vec<Message>, NetError> {
+        let mut slots: Vec<Option<Message>> = (0..recvs.len()).map(|_| None).collect();
+        let mut remaining = recvs.len();
         let deadline = Instant::now() + self.timeout;
-        loop {
+        while remaining > 0 {
             if let Some(det) = &self.detector {
                 if det.version() > self.seen_version {
                     return Err(NetError::RanksFailed {
@@ -308,33 +331,101 @@ impl Endpoint {
                     });
                 }
             }
-            let slice = deadline
-                .saturating_duration_since(Instant::now())
-                .min(FAILOVER_POLL);
-            match self.transport.recv_match(from, tag, slice) {
-                Ok(msg) => {
+            let mut progressed = false;
+            for (slot, r) in slots.iter_mut().zip(recvs) {
+                if slot.is_some() {
+                    continue;
+                }
+                if let Some(msg) = self.transport.try_match(r.from, r.tag)? {
                     if !msg.checksum_ok() {
                         return Err(NetError::Corrupt {
                             rank: self.rank,
-                            from,
-                            tag,
+                            from: r.from,
+                            tag: r.tag,
                         });
                     }
-                    return Ok(msg);
+                    *slot = Some(msg);
+                    remaining -= 1;
+                    progressed = true;
                 }
-                Err(NetError::Timeout { .. }) => {
-                    if Instant::now() >= deadline {
-                        return Err(NetError::Timeout {
-                            rank: self.rank,
-                            from,
-                            tag,
-                            waited: self.timeout,
+            }
+            if remaining == 0 || progressed {
+                continue;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                // Report the first unfilled spec — the same shape the
+                // old serialized receive loop produced.
+                let r = slots
+                    .iter()
+                    .zip(recvs)
+                    .find(|(s, _)| s.is_none())
+                    .map(|(_, r)| r)
+                    .expect("remaining > 0");
+                return Err(NetError::Timeout {
+                    rank: self.rank,
+                    from: r.from,
+                    tag: r.tag,
+                    waited: self.timeout,
+                });
+            }
+            self.transport.wait_any(left.min(FAILOVER_POLL))?;
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Legacy serialized receive: complete the specs strictly in caller
+    /// order, one at a time, polling `recv_match` in short slices. This
+    /// is the pre-pipelining round engine — head-of-line blocking on the
+    /// first spec and all — kept behind
+    /// `ClusterConfig::with_serial_rounds` so the wire benchmark can
+    /// measure the data plane this revision replaced. Error shapes match
+    /// [`recv_all_checked`](Self::recv_all_checked).
+    fn recv_serial_checked(&mut self, recvs: &[RecvSpec]) -> Result<Vec<Message>, NetError> {
+        let mut out = Vec::with_capacity(recvs.len());
+        for r in recvs {
+            let deadline = Instant::now() + self.timeout;
+            loop {
+                if let Some(det) = &self.detector {
+                    if det.version() > self.seen_version {
+                        return Err(NetError::RanksFailed {
+                            ranks: det.snapshot(),
                         });
                     }
                 }
-                Err(e) => return Err(e),
+                let slice = deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(FAILOVER_POLL);
+                match self.transport.recv_match(r.from, r.tag, slice) {
+                    Ok(msg) => {
+                        if !msg.checksum_ok() {
+                            return Err(NetError::Corrupt {
+                                rank: self.rank,
+                                from: r.from,
+                                tag: r.tag,
+                            });
+                        }
+                        out.push(msg);
+                        break;
+                    }
+                    Err(NetError::Timeout { .. }) => {
+                        if Instant::now() >= deadline {
+                            return Err(NetError::Timeout {
+                                rank: self.rank,
+                                from: r.from,
+                                tag: r.tag,
+                                waited: self.timeout,
+                            });
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
+        Ok(out)
     }
 
     /// The ranks the cluster has agreed are dead (empty when no failure
@@ -383,6 +474,16 @@ impl Endpoint {
     /// finishes first keeps answering acks until every peer is done.
     pub fn service(&mut self, slice: Duration) {
         let _ = self.transport.recv_any(slice);
+    }
+
+    /// Drain the reliability sublayer's unacked tail: block (while still
+    /// pumping the protocol) until every windowed in-flight frame toward
+    /// a live peer has been cumulatively acknowledged, or `deadline`
+    /// passes. Ranks call this before declaring a phase complete so
+    /// shutdown cannot race a frame that was sent but never made it out
+    /// of the window.
+    pub fn flush(&mut self, deadline: Instant) {
+        let _ = self.transport.flush(deadline);
     }
 
     /// The paper's `send_and_recv` (Appendix A): send `payload` to rank

@@ -303,6 +303,14 @@ impl Transport for FaultyTransport {
         }
         if verdict.duplicate {
             self.stats.injected_dups += 1;
+            if verdict.corrupt && !msg.payload.is_empty() {
+                // The duplicate carries the same damaged bytes, so one
+                // corruption verdict puts two corrupt frames on the
+                // wire — count both, keeping the invariant that every
+                // corrupt frame on the wire is accounted here exactly
+                // once (receivers drop each on its own checksum).
+                self.stats.injected_corruptions += 1;
+            }
             self.inner.send(msg.clone())?;
         }
         self.inner.send(msg)
@@ -319,6 +327,18 @@ impl Transport for FaultyTransport {
 
     fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
         self.inner.recv_any(timeout)
+    }
+
+    fn try_match(&mut self, from: usize, tag: Tag) -> Result<Option<Message>, NetError> {
+        self.inner.try_match(from, tag)
+    }
+
+    fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
+        self.inner.wait_any(timeout)
+    }
+
+    fn flush(&mut self, deadline: std::time::Instant) -> Result<(), NetError> {
+        self.inner.flush(deadline)
     }
 
     fn purge(&mut self) -> usize {

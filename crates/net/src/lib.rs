@@ -37,12 +37,15 @@
 //!   ambient entropy. When wire faults are on, payloads carry FNV-1a
 //!   checksums so corruption surfaces as [`NetError::Corrupt`] instead
 //!   of silently bad bytes.
-//! * **Reliability** ([`reliable`]) — an ack/retransmit sublayer
-//!   ([`reliable::ReliableTransport`]) restoring exactly-once,
-//!   uncorrupted delivery over a lossy wire: per-link sequence numbers,
-//!   cumulative acks, exponential-backoff retransmission, duplicate
-//!   suppression. Past the retry cap a peer is declared dead in the
-//!   cluster-shared [`failure::FailureDetector`].
+//! * **Reliability** ([`reliable`]) — a sliding-window ack/retransmit
+//!   sublayer ([`reliable::ReliableTransport`]) restoring exactly-once,
+//!   in-order, uncorrupted delivery over a lossy wire: per-link sequence
+//!   numbers with a configurable window of unacked frames in flight
+//!   ([`bruck_model::tuning::WireTuning`], default 8), cumulative +
+//!   selective acks, ack piggybacking on reverse-path data,
+//!   exponential-backoff retransmission of only the unacked suffix, and
+//!   duplicate suppression. Past the retry cap a peer is declared dead
+//!   in the cluster-shared [`failure::FailureDetector`].
 //! * **Failure agreement + shrink-and-retry** ([`failure`],
 //!   [`cluster`]) — the detector is a monotone dead set every endpoint
 //!   polls while waiting, so one rank's death interrupts every waiter
@@ -110,6 +113,7 @@ pub mod trace;
 pub mod transport;
 pub mod vbarrier;
 
+pub use bruck_model::tuning::WireTuning;
 pub use cluster::{Cluster, ClusterConfig, ResilientOutput, RunOutput, RunReport, SurvivorView};
 pub use comm::{Comm, Group, GroupComm};
 pub use endpoint::{Endpoint, RecvSpec, SendSpec};

@@ -56,6 +56,26 @@ impl Mailbox {
         self.rx.recv_timeout(timeout).ok()
     }
 
+    /// Block until at least one message is parked or queued, or `timeout`
+    /// elapses, *without* consuming anything from the matching discipline:
+    /// a message pulled off the channel is parked, not returned. Returns
+    /// `true` if something is now available. This is the idle edge of the
+    /// event-driven round executor — a blocking channel wait instead of a
+    /// sleep-poll loop, so an idle endpoint burns no CPU and no retry
+    /// budget.
+    pub fn wait_any(&mut self, timeout: Duration) -> bool {
+        if !self.pending.is_empty() {
+            return true;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => {
+                self.pending.push_back(m);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Discard every queued and parked message (stale traffic from an
     /// aborted collective attempt). Returns how many were discarded.
     pub fn purge(&mut self) -> usize {
@@ -122,6 +142,7 @@ mod tests {
             payload: vec![byte],
             arrival: 0.0,
             seq: 0,
+            ack: 0,
             checksum: None,
         }
     }
@@ -181,6 +202,22 @@ mod tests {
         drop(tx);
         let err = mb.recv_match(1, 5, Duration::from_secs(5)).unwrap_err();
         assert_eq!(err, NetError::Disconnected { peer: 1 });
+    }
+
+    #[test]
+    fn wait_any_parks_without_consuming() {
+        let (tx, mut mb) = Mailbox::new(0);
+        assert!(!mb.wait_any(Duration::from_millis(10)));
+        tx.send(msg(1, 5, 3)).unwrap();
+        assert!(mb.wait_any(Duration::from_millis(100)));
+        assert_eq!(mb.pending_len(), 1);
+        // The parked message is still matchable.
+        let m = mb.recv_match(1, 5, Duration::from_millis(10)).unwrap();
+        assert_eq!(m.payload, vec![3]);
+        // With something already parked, wait_any returns immediately.
+        tx.send(msg(2, 7, 4)).unwrap();
+        assert!(mb.wait_any(Duration::from_millis(100)));
+        assert!(mb.wait_any(Duration::ZERO));
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub struct Message {
     /// Reliability-layer sequence number on the `(src, dst)` link;
     /// `0` for unsequenced traffic (no reliability layer in the stack).
     pub seq: u64,
+    /// Piggybacked cumulative acknowledgement for the *reverse* direction
+    /// of the link: the sender has delivered, in order, every sequence
+    /// `≤ ack` it received from `dst`. `0` carries no information (acks
+    /// start at 1), so unsequenced traffic and dedicated-ack-only stacks
+    /// leave it untouched. Stamped by the sliding-window reliability
+    /// layer on every outbound data frame so reverse-path data keeps the
+    /// sender's window open without waiting for a dedicated ack frame.
+    pub ack: u64,
     /// [`payload_checksum`] computed when the payload was staged, or
     /// `None` for unchecked traffic. Verified on receive so wire
     /// corruption surfaces as [`crate::NetError::Corrupt`] instead of
@@ -80,6 +88,7 @@ mod tests {
             payload: vec![1, 2, 3],
             arrival: 0.0,
             seq: 0,
+            ack: 0,
             checksum: None,
         };
         assert_eq!(m.len(), 3);
@@ -106,6 +115,7 @@ mod tests {
             payload: vec![9, 9, 9],
             arrival: 0.0,
             seq: 0,
+            ack: 0,
             checksum: None,
         };
         assert!(m.checksum_ok(), "unchecked messages always pass");

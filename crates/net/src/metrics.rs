@@ -31,6 +31,17 @@ pub struct LinkStats {
     pub injected_corruptions: u64,
     /// Transmissions the fault injector delayed in virtual time.
     pub injected_delays: u64,
+    /// Acknowledgements conveyed by piggybacking on reverse-path data
+    /// frames (window-opening information that cost zero extra frames).
+    pub piggyback_acks: u64,
+    /// Selective-ack entries sent on dedicated ack frames.
+    pub sack_entries_sent: u64,
+    /// Sum over data transmissions of the link's in-flight frame count
+    /// at transmit time (numerator of the average window occupancy).
+    pub window_occupancy_sum: u64,
+    /// Number of data transmissions sampled into
+    /// [`window_occupancy_sum`](Self::window_occupancy_sum).
+    pub window_samples: u64,
 }
 
 impl LinkStats {
@@ -47,7 +58,33 @@ impl LinkStats {
             injected_dups: self.injected_dups + other.injected_dups,
             injected_corruptions: self.injected_corruptions + other.injected_corruptions,
             injected_delays: self.injected_delays + other.injected_delays,
+            piggyback_acks: self.piggyback_acks + other.piggyback_acks,
+            sack_entries_sent: self.sack_entries_sent + other.sack_entries_sent,
+            window_occupancy_sum: self.window_occupancy_sum + other.window_occupancy_sum,
+            window_samples: self.window_samples + other.window_samples,
         }
+    }
+
+    /// Mean in-flight frames per link at data-transmit time — how full
+    /// the sliding window actually ran. `1.0` is stop-and-wait; values
+    /// approaching the configured window mean the pipeline stayed fed.
+    #[must_use]
+    pub fn avg_window_occupancy(&self) -> f64 {
+        if self.window_samples == 0 {
+            return 0.0;
+        }
+        self.window_occupancy_sum as f64 / self.window_samples as f64
+    }
+
+    /// Fraction of acknowledgement information that rode on reverse-path
+    /// data frames instead of dedicated ack frames.
+    #[must_use]
+    pub fn piggyback_ratio(&self) -> f64 {
+        let total = self.piggyback_acks + self.acks_sent;
+        if total == 0 {
+            return 0.0;
+        }
+        self.piggyback_acks as f64 / total as f64
     }
 }
 
@@ -66,6 +103,12 @@ pub struct RankMetrics {
     /// Bytes physically copied by the data plane on this rank (payload
     /// staging into pooled buffers and `_into` copy-outs).
     pub bytes_copied: u64,
+    /// Wall-clock nanoseconds this rank spent in the send phase of its
+    /// rounds (staging + injecting all k sends).
+    pub wall_send_ns: u64,
+    /// Wall-clock nanoseconds this rank spent in the receive phase of
+    /// its rounds (waiting for and collecting all k receives).
+    pub wall_recv_ns: u64,
     /// Wire-sublayer counters (fault injection + reliability).
     pub link: LinkStats,
 }
@@ -164,6 +207,44 @@ impl RunMetrics {
     pub fn total_retransmits(&self) -> u64 {
         self.link_totals().retransmits
     }
+
+    /// Mean payload bytes the cluster moved per round (total bytes over
+    /// the per-rank maximum round count) — the executed-round density the
+    /// pipelining work is trying to keep high.
+    #[must_use]
+    pub fn bytes_per_round(&self) -> f64 {
+        let rounds = self
+            .per_rank
+            .iter()
+            .map(RankMetrics::rounds)
+            .max()
+            .unwrap_or(0);
+        if rounds == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / rounds as f64
+    }
+
+    /// Wall-clock totals across ranks as `(send_phase, recv_phase)`
+    /// nanoseconds — where executed rounds actually spent their time.
+    #[must_use]
+    pub fn wall_phase_ns(&self) -> (u64, u64) {
+        self.per_rank
+            .iter()
+            .fold((0, 0), |(s, r), m| (s + m.wall_send_ns, r + m.wall_recv_ns))
+    }
+
+    /// Mean window occupancy over every rank's reliability sublayer.
+    #[must_use]
+    pub fn avg_window_occupancy(&self) -> f64 {
+        self.link_totals().avg_window_occupancy()
+    }
+
+    /// Piggybacked-ack ratio over every rank's reliability sublayer.
+    #[must_use]
+    pub fn piggyback_ratio(&self) -> f64 {
+        self.link_totals().piggyback_ratio()
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +287,44 @@ mod tests {
         let run = RunMetrics::default();
         assert_eq!(run.global_complexity(), Some(Complexity::ZERO));
         assert_eq!(run.total_bytes(), 0);
+        assert_eq!(run.bytes_per_round(), 0.0);
+        assert_eq!(run.avg_window_occupancy(), 0.0);
+        assert_eq!(run.piggyback_ratio(), 0.0);
+    }
+
+    #[test]
+    fn window_and_piggyback_ratios() {
+        let link = LinkStats {
+            acks_sent: 3,
+            piggyback_acks: 9,
+            window_occupancy_sum: 24,
+            window_samples: 8,
+            ..LinkStats::default()
+        };
+        assert!((link.avg_window_occupancy() - 3.0).abs() < 1e-12);
+        assert!((link.piggyback_ratio() - 0.75).abs() < 1e-12);
+        let doubled = link.merged(&link);
+        assert!((doubled.avg_window_occupancy() - 3.0).abs() < 1e-12);
+        assert!((doubled.piggyback_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_per_round_and_wall_phases() {
+        let mut a = RankMetrics::default();
+        a.record_round(&[10, 20], 1);
+        a.record_round(&[30], 0);
+        a.wall_send_ns = 100;
+        a.wall_recv_ns = 300;
+        let mut b = RankMetrics::default();
+        b.record_round(&[40], 1);
+        b.wall_send_ns = 50;
+        b.wall_recv_ns = 150;
+        let run = RunMetrics {
+            per_rank: vec![a, b],
+            pool: PoolStats::default(),
+        };
+        // 100 bytes over max(2, 1) = 2 rounds.
+        assert!((run.bytes_per_round() - 50.0).abs() < 1e-12);
+        assert_eq!(run.wall_phase_ns(), (150, 450));
     }
 }

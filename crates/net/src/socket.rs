@@ -26,15 +26,27 @@ use crate::error::NetError;
 use crate::message::{Message, Tag};
 use crate::transport::Transport;
 
-/// Max payload bytes per datagram fragment — comfortably under the
-/// default `SO_SNDBUF`.
-pub const FRAG_PAYLOAD: usize = 16 * 1024;
+/// Max payload bytes per datagram fragment. Sized so a 64 KiB block —
+/// the common collective block size — travels as a single datagram
+/// (one syscall, no reassembly copy), while still fitting under the
+/// kernel's default `SO_SNDBUF` (208 KiB) with header room to spare.
+pub const FRAG_PAYLOAD: usize = 64 * 1024;
 
-// src, tag, msg id, frag idx, frag count, arrival, seq, checksum flag + value
-const HEADER: usize = 4 + 8 + 8 + 4 + 4 + 8 + 8 + 1 + 4;
+/// The fragment size the data plane used before pipelining — kept for
+/// the wire benchmark's baseline (see [`SocketCluster::run_legacy`]).
+pub const LEGACY_FRAG_PAYLOAD: usize = 16 * 1024;
 
+// src, tag, msg id, frag idx, frag count, arrival, seq, ack,
+// checksum flag + value
+const HEADER: usize = 4 + 8 + 8 + 4 + 4 + 8 + 8 + 8 + 1 + 4;
+
+/// Encode one fragment into `buf` (cleared first). Writing into a
+/// caller-owned buffer lets the transport reuse a single allocation for
+/// every outbound frame — the practical stand-in for vectored datagram
+/// writes, which `std` does not expose for `UnixDatagram`.
 #[allow(clippy::too_many_arguments)] // mirrors the frame header, field for field
-fn encode_frame(
+fn encode_frame_into(
+    buf: &mut Vec<u8>,
     src: usize,
     tag: Tag,
     msg_id: u64,
@@ -42,21 +54,23 @@ fn encode_frame(
     frag_count: u32,
     arrival: f64,
     seq: u64,
+    ack: u64,
     checksum: Option<u32>,
     chunk: &[u8],
-) -> Vec<u8> {
-    let mut f = Vec::with_capacity(HEADER + chunk.len());
-    f.extend_from_slice(&(src as u32).to_le_bytes());
-    f.extend_from_slice(&tag.to_le_bytes());
-    f.extend_from_slice(&msg_id.to_le_bytes());
-    f.extend_from_slice(&frag_idx.to_le_bytes());
-    f.extend_from_slice(&frag_count.to_le_bytes());
-    f.extend_from_slice(&arrival.to_bits().to_le_bytes());
-    f.extend_from_slice(&seq.to_le_bytes());
-    f.push(u8::from(checksum.is_some()));
-    f.extend_from_slice(&checksum.unwrap_or(0).to_le_bytes());
-    f.extend_from_slice(chunk);
-    f
+) {
+    buf.clear();
+    buf.reserve(HEADER + chunk.len());
+    buf.extend_from_slice(&(src as u32).to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&msg_id.to_le_bytes());
+    buf.extend_from_slice(&frag_idx.to_le_bytes());
+    buf.extend_from_slice(&frag_count.to_le_bytes());
+    buf.extend_from_slice(&arrival.to_bits().to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&ack.to_le_bytes());
+    buf.push(u8::from(checksum.is_some()));
+    buf.extend_from_slice(&checksum.unwrap_or(0).to_le_bytes());
+    buf.extend_from_slice(chunk);
 }
 
 struct Frame {
@@ -67,6 +81,7 @@ struct Frame {
     frag_count: u32,
     arrival: f64,
     seq: u64,
+    ack: u64,
     checksum: Option<u32>,
     chunk: Vec<u8>,
 }
@@ -87,8 +102,9 @@ fn decode_frame(buf: &[u8]) -> Result<Frame, NetError> {
         frag_count: u32::from_le_bytes(get(24, 4).try_into().expect("4 bytes")),
         arrival: f64::from_bits(u64::from_le_bytes(get(28, 8).try_into().expect("8 bytes"))),
         seq: u64::from_le_bytes(get(36, 8).try_into().expect("8 bytes")),
-        checksum: (buf[44] != 0)
-            .then(|| u32::from_le_bytes(get(45, 4).try_into().expect("4 bytes"))),
+        ack: u64::from_le_bytes(get(44, 8).try_into().expect("8 bytes")),
+        checksum: (buf[52] != 0)
+            .then(|| u32::from_le_bytes(get(53, 4).try_into().expect("4 bytes"))),
         chunk: buf[HEADER..].to_vec(),
     })
 }
@@ -97,6 +113,7 @@ struct Reassembly {
     tag: Tag,
     arrival: f64,
     seq: u64,
+    ack: u64,
     checksum: Option<u32>,
     frag_count: u32,
     received: u32,
@@ -112,6 +129,13 @@ pub struct UdsTransport {
     partial: HashMap<(usize, u64), Reassembly>,
     next_msg_id: u64,
     recv_buf: Vec<u8>,
+    /// Reusable outbound frame buffer: one allocation serves every send.
+    send_buf: Vec<u8>,
+    /// `Some(nap)` reverts waits to the pre-pipelining sleep-poll loop.
+    poll_sleep: Option<Duration>,
+    /// Max payload bytes per outbound fragment (`≤ FRAG_PAYLOAD`, which
+    /// sizes every receive buffer).
+    frag: usize,
 }
 
 impl UdsTransport {
@@ -134,7 +158,29 @@ impl UdsTransport {
             partial: HashMap::new(),
             next_msg_id: 0,
             recv_buf: vec![0u8; HEADER + FRAG_PAYLOAD],
+            send_buf: Vec::with_capacity(HEADER + FRAG_PAYLOAD),
+            poll_sleep: None,
+            frag: FRAG_PAYLOAD,
         })
+    }
+
+    /// Compatibility mode: wait for frames by draining nonblocking and
+    /// napping `nap` between polls — the discipline this transport used
+    /// before blocking reads. Kept so the benchmark can A/B the old
+    /// data plane against the pipelined one; not for production use.
+    #[must_use]
+    pub fn with_poll_sleep(mut self, nap: Duration) -> Self {
+        self.poll_sleep = Some(nap);
+        self
+    }
+
+    /// Cap outbound fragments at `frag` payload bytes (clamped to
+    /// `[1, FRAG_PAYLOAD]` — receive buffers are sized for
+    /// [`FRAG_PAYLOAD`], so larger fragments would truncate on arrival).
+    #[must_use]
+    pub fn with_frag_payload(mut self, frag: usize) -> Self {
+        self.frag = frag.clamp(1, FRAG_PAYLOAD);
+        self
     }
 
     fn sock_path(dir: &Path, rank: usize) -> PathBuf {
@@ -167,6 +213,7 @@ impl UdsTransport {
                 payload: frame.chunk,
                 arrival: frame.arrival,
                 seq: frame.seq,
+                ack: frame.ack,
                 checksum: frame.checksum,
             });
             return;
@@ -176,6 +223,7 @@ impl UdsTransport {
             tag: frame.tag,
             arrival: frame.arrival,
             seq: frame.seq,
+            ack: frame.ack,
             checksum: frame.checksum,
             frag_count: frame.frag_count,
             received: 0,
@@ -200,6 +248,7 @@ impl UdsTransport {
                 payload,
                 arrival: done.arrival,
                 seq: done.seq,
+                ack: done.ack,
                 checksum: done.checksum,
             });
         }
@@ -212,6 +261,64 @@ impl UdsTransport {
             .position(|m| m.src == from && m.tag == tag)?;
         self.pending.remove(pos)
     }
+
+    /// Block on the socket until at least one datagram arrives or
+    /// `timeout` elapses, then drain everything queued. A kernel
+    /// blocking read replaces the old sleep-poll loop: an idle endpoint
+    /// parks in `recvfrom` and burns neither CPU nor (above this layer)
+    /// retransmission budget. Returns how many frames were consumed.
+    fn block_for_frames(&mut self, timeout: Duration) -> Result<usize, NetError> {
+        if timeout.is_zero() {
+            return self.drain();
+        }
+        if let Some(nap) = self.poll_sleep {
+            // Seed-faithful sleep-poll loop (see `with_poll_sleep`).
+            let deadline = Instant::now() + timeout;
+            loop {
+                let consumed = self.drain()?;
+                if consumed > 0 {
+                    return Ok(consumed);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Ok(0);
+                }
+                std::thread::sleep(nap.min(remaining));
+            }
+        }
+        self.sock
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| NetError::App(format!("set_read_timeout: {e}")))?;
+        self.sock
+            .set_nonblocking(false)
+            .map_err(|e| NetError::App(format!("set_nonblocking: {e}")))?;
+        let got = match self.sock.recv(&mut self.recv_buf) {
+            Ok(len) => {
+                let frame = decode_frame(&self.recv_buf[..len])?;
+                self.accept(frame);
+                1
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                0
+            }
+            Err(e) => {
+                let _ = self.sock.set_nonblocking(true);
+                return Err(NetError::App(format!("recv: {e}")));
+            }
+        };
+        self.sock
+            .set_nonblocking(true)
+            .map_err(|e| NetError::App(format!("set_nonblocking: {e}")))?;
+        // Grab whatever else arrived while we were parked.
+        Ok(got + self.drain()?)
+    }
 }
 
 impl Transport for UdsTransport {
@@ -219,32 +326,42 @@ impl Transport for UdsTransport {
         let peer = self.peer_paths[msg.dst].clone();
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
-        let chunks: Vec<&[u8]> = if msg.payload.is_empty() {
-            vec![&[]]
+        let count = if msg.payload.is_empty() {
+            1
         } else {
-            msg.payload.chunks(FRAG_PAYLOAD).collect()
-        };
-        let count = chunks.len() as u32;
-        for (idx, chunk) in chunks.into_iter().enumerate() {
-            let frame = encode_frame(
+            msg.payload.len().div_ceil(self.frag)
+        } as u32;
+        for idx in 0..count {
+            let chunk = if msg.payload.is_empty() {
+                &[][..]
+            } else {
+                let at = idx as usize * self.frag;
+                &msg.payload[at..msg.payload.len().min(at + self.frag)]
+            };
+            let mut frame = std::mem::take(&mut self.send_buf);
+            encode_frame_into(
+                &mut frame,
                 msg.src,
                 msg.tag,
                 msg_id,
-                idx as u32,
+                idx,
                 count,
                 msg.arrival,
                 msg.seq,
+                msg.ack,
                 msg.checksum,
                 chunk,
             );
-            loop {
+            let sent = loop {
                 match self.sock.send_to(&frame, &peer) {
-                    Ok(_) => break,
+                    Ok(_) => break Ok(()),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         // The peer's queue is full: make progress on our
-                        // own queue so the system drains, then retry.
+                        // own queue so the system drains, and otherwise
+                        // park briefly on the socket (a blocking read,
+                        // not a sleep) until something moves.
                         if self.drain()? == 0 {
-                            std::thread::sleep(Duration::from_micros(50));
+                            self.block_for_frames(Duration::from_micros(500))?;
                         }
                     }
                     Err(e)
@@ -255,11 +372,13 @@ impl Transport for UdsTransport {
                     {
                         // Peer already exited: same fire-and-forget
                         // semantics as the channel transport.
-                        return Ok(());
+                        break Ok(());
                     }
-                    Err(e) => return Err(NetError::App(format!("send_to rank {}: {e}", msg.dst))),
+                    Err(e) => break Err(NetError::App(format!("send_to rank {}: {e}", msg.dst))),
                 }
-            }
+            };
+            self.send_buf = frame;
+            sent?;
         }
         Ok(())
     }
@@ -276,7 +395,8 @@ impl Transport for UdsTransport {
                 return Ok(m);
             }
             if self.drain()? == 0 {
-                if Instant::now() >= deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
                     return Err(NetError::Timeout {
                         rank: self.rank,
                         from,
@@ -284,7 +404,7 @@ impl Transport for UdsTransport {
                         waited: timeout,
                     });
                 }
-                std::thread::sleep(Duration::from_micros(50));
+                self.block_for_frames(remaining)?;
             }
         }
     }
@@ -296,12 +416,23 @@ impl Transport for UdsTransport {
                 return Ok(Some(m));
             }
             if self.drain()? == 0 {
-                if Instant::now() >= deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
                     return Ok(None);
                 }
-                std::thread::sleep(Duration::from_micros(50));
+                if self.block_for_frames(remaining)? == 0 {
+                    return Ok(None);
+                }
             }
         }
+    }
+
+    fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
+        if !self.pending.is_empty() || self.drain()? > 0 {
+            return Ok(());
+        }
+        self.block_for_frames(timeout)?;
+        Ok(())
     }
 
     fn purge(&mut self) -> usize {
@@ -331,6 +462,41 @@ impl SocketCluster {
         T: Send,
         F: Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
     {
+        Self::run_inner(config, false, body)
+    }
+
+    /// [`run`](Self::run), but on the pre-pipelining transport
+    /// discipline: waits sleep-poll every 50µs instead of blocking in
+    /// the kernel, and fragments are capped at the old 16 KiB. Combined
+    /// with [`WireTuning::stop_and_wait`] and
+    /// [`ClusterConfig::with_serial_rounds`] this reproduces the data
+    /// plane as it was before the sliding-window rework — the wire
+    /// benchmark's baseline. Not for production use.
+    ///
+    /// [`WireTuning::stop_and_wait`]: bruck_model::tuning::WireTuning::stop_and_wait
+    ///
+    /// # Errors
+    ///
+    /// Socket setup failures and the first rank error.
+    pub fn run_legacy<T, F>(config: &ClusterConfig, body: F) -> Result<RunOutput<T>, NetError>
+    where
+        T: Send,
+        F: Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
+    {
+        Self::run_inner(config, true, body)
+    }
+
+    fn run_inner<T, F>(
+        config: &ClusterConfig,
+        legacy: bool,
+        body: F,
+    ) -> Result<RunOutput<T>, NetError>
+    where
+        T: Send,
+        F: Fn(&mut Endpoint) -> Result<T, NetError> + Sync,
+    {
+        /// How often the legacy discipline napped between receive polls.
+        const LEGACY_POLL_NAP: Duration = Duration::from_micros(50);
         let dir = std::env::temp_dir().join(format!(
             "bruck-uds-{}-{:x}",
             std::process::id(),
@@ -343,7 +509,15 @@ impl SocketCluster {
             .map_err(|e| NetError::App(format!("mkdir {}: {e}", dir.display())))?;
         let transports: Result<Vec<Box<dyn Transport>>, NetError> = (0..config.n)
             .map(|rank| {
-                UdsTransport::bind(&dir, rank, config.n).map(|t| Box::new(t) as Box<dyn Transport>)
+                UdsTransport::bind(&dir, rank, config.n).map(|t| {
+                    let t = if legacy {
+                        t.with_poll_sleep(LEGACY_POLL_NAP)
+                            .with_frag_payload(LEGACY_FRAG_PAYLOAD)
+                    } else {
+                        t
+                    };
+                    Box::new(t) as Box<dyn Transport>
+                })
             })
             .collect();
         let result = match transports {
@@ -362,22 +536,47 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let f = encode_frame(7, 42, 9, 2, 5, 1.25, 11, Some(0xDEAD), &[1, 2, 3]);
+        let mut f = Vec::new();
+        encode_frame_into(
+            &mut f,
+            7,
+            42,
+            9,
+            2,
+            5,
+            1.25,
+            11,
+            6,
+            Some(0xDEAD),
+            &[1, 2, 3],
+        );
         let d = decode_frame(&f).unwrap();
         assert_eq!(
             (d.src, d.tag, d.msg_id, d.frag_idx, d.frag_count, d.arrival),
             (7, 42, 9, 2, 5, 1.25)
         );
-        assert_eq!((d.seq, d.checksum), (11, Some(0xDEAD)));
+        assert_eq!((d.seq, d.ack, d.checksum), (11, 6, Some(0xDEAD)));
         assert_eq!(d.chunk, vec![1, 2, 3]);
     }
 
     #[test]
     fn frame_round_trip_no_checksum() {
-        let f = encode_frame(1, 2, 3, 0, 1, 0.0, 0, None, &[]);
+        let mut f = Vec::new();
+        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[]);
         let d = decode_frame(&f).unwrap();
-        assert_eq!((d.seq, d.checksum), (0, None));
+        assert_eq!((d.seq, d.ack, d.checksum), (0, 0, None));
         assert!(d.chunk.is_empty());
+    }
+
+    #[test]
+    fn frame_buffer_is_reused_across_encodes() {
+        let mut f = Vec::new();
+        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[9; 64]);
+        let first = f.clone();
+        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[7; 8]);
+        assert_ne!(f, first);
+        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[9; 64]);
+        assert_eq!(f, first, "re-encoding reproduces the identical frame");
     }
 
     #[test]

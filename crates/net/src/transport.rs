@@ -47,6 +47,51 @@ pub trait Transport: Send {
     /// Transport-level failures other than an empty queue.
     fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError>;
 
+    /// Non-blocking selective receive: return the next `(from, tag)`
+    /// match if one is already queued or parked, without waiting. The
+    /// multiport round executor polls all of a round's expected receives
+    /// through this, completing them in *arrival* order instead of
+    /// head-of-line-blocking on the first spec.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures other than "nothing there yet".
+    fn try_match(&mut self, from: usize, tag: Tag) -> Result<Option<Message>, NetError> {
+        match self.recv_match(from, tag, Duration::ZERO) {
+            Ok(m) => Ok(Some(m)),
+            Err(NetError::Timeout { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Block until at least one message is queued or parked (whatever its
+    /// source or tag), or `timeout` elapses — *without* consuming it.
+    /// This is the idle edge of the event loop: implementations use
+    /// blocking reads / condvar waits so an idle endpoint burns no CPU;
+    /// the default falls back to a bounded sleep for exotic transports.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures.
+    fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
+        std::thread::sleep(timeout.min(Duration::from_micros(500)));
+        Ok(())
+    }
+
+    /// Drive any reliability sublayer until every in-flight frame this
+    /// rank sent has been acknowledged (or its destination is known
+    /// dead), giving up at `deadline`. A no-op for raw transports. The
+    /// cluster runner flushes before counting a rank as done so shutdown
+    /// can never race a still-unacked tail.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures.
+    fn flush(&mut self, deadline: std::time::Instant) -> Result<(), NetError> {
+        let _ = deadline;
+        Ok(())
+    }
+
     /// Discard every queued and parked message (stale traffic from an
     /// aborted collective attempt). Returns how many were discarded.
     fn purge(&mut self) -> usize {
@@ -96,6 +141,11 @@ impl Transport for ChannelTransport {
         Ok(self.mailbox.recv_any(timeout))
     }
 
+    fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
+        self.mailbox.wait_any(timeout);
+        Ok(())
+    }
+
     fn purge(&mut self) -> usize {
         self.mailbox.purge()
     }
@@ -116,6 +166,7 @@ mod tests {
             payload: vec![1, 2],
             arrival: 0.5,
             seq: 0,
+            ack: 0,
             checksum: None,
         })
         .unwrap();
