@@ -20,6 +20,12 @@ cargo test -q --test faults
 cargo test -q --test chaos
 cargo test -q --test window
 
+# Autotune gate: the planner must match an exhaustive arg-min over the
+# radix family, the calibrator must recover (β, τ) with R² ≥ 0.99, and
+# planner-dispatched collectives must verify at n ∈ {4, 8, 16},
+# k ∈ {1, 2} with a model fitted live against the transport.
+cargo test -q --test autotune
+
 # Perf smoke: the pipelined data plane must clear a throughput floor on
 # the wire microbench. The floor is ~30% under the slowest alltoall
 # pipelined-row throughput observed on a 1-core CI box (545 MB/s at this

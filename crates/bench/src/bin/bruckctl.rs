@@ -11,6 +11,7 @@
 //! bruckctl chaos  --n 8 --block 64 --kill 3               # shrink-and-retry
 //! bruckctl bench  --n 8 --ports 2 --block 65536           # wire pipelining table + BENCH_pr3.json
 //! bruckctl bench  --min-mbps 50                           # CI floor: exit 1 below it
+//! bruckctl bench  --autotune --n 8 --ports 2              # planner vs fixed radices + BENCH_pr4.json
 //! ```
 
 use std::sync::Arc;
@@ -47,6 +48,7 @@ struct Args {
     samples: usize,
     out: Option<String>,
     min_mbps: Option<f64>,
+    autotune: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         samples: 3,
         out: None,
         min_mbps: None,
+        autotune: false,
     };
     while let Some(flag) = raw.next() {
         let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
@@ -100,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             "--min-mbps" => {
                 args.min_mbps = Some(value()?.parse().map_err(|e| format!("--min-mbps: {e}"))?);
             }
+            "--autotune" => args.autotune = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -383,12 +387,27 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 #[cfg(unix)]
 fn cmd_bench(args: &Args) -> Result<(), String> {
     use bruck_bench::wire;
+    // An out-of-range radix is a hard error, not a silent fallback: a CI
+    // job that typos `--radix 9` on an 8-rank bench must fail loudly
+    // instead of publishing numbers for a different schedule.
+    if let Some(r) = args.radix {
+        if r < 2 || r > args.n {
+            return Err(format!(
+                "--radix {r} is invalid for n = {}: need 2 ≤ r ≤ n",
+                args.n
+            ));
+        }
+    }
+    if args.autotune {
+        return cmd_bench_autotune(args);
+    }
     let cfg = wire::WireBenchConfig {
         n: args.n,
         ports: args.ports,
         block: args.block,
         reps: args.reps.max(1),
         samples: args.samples.max(1),
+        radix: args.radix,
         ..wire::WireBenchConfig::default()
     };
     println!(
@@ -417,6 +436,32 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `bruckctl bench --autotune`: calibrate the socket transport, race
+/// planner dispatch against every fixed radix across block sizes, and
+/// write the tracked `BENCH_pr4.json` artifact.
+#[cfg(unix)]
+fn cmd_bench_autotune(args: &Args) -> Result<(), String> {
+    use bruck_bench::wire;
+    let cfg = wire::AutotuneBenchConfig {
+        n: args.n,
+        ports: args.ports,
+        reps: args.reps.max(1),
+        samples: args.samples.max(1),
+        ..wire::AutotuneBenchConfig::default()
+    };
+    println!(
+        "autotune bench: n={} k={} blocks={:?} radices={:?} reps={}x{} (uds)",
+        cfg.n, cfg.ports, cfg.blocks, cfg.radices, cfg.reps, cfg.samples
+    );
+    let (rows, fit) = wire::run_autotune_matrix(&cfg)?;
+    print!("{}", wire::render_autotune_table(&rows, &fit));
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr4.json".into());
+    std::fs::write(&out_path, wire::render_autotune_json(&rows, &fit))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("[results written to {out_path}]");
+    Ok(())
+}
+
 #[cfg(not(unix))]
 fn cmd_bench(_args: &Args) -> Result<(), String> {
     Err("bench needs the unix-socket transport".into())
@@ -427,7 +472,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bruckctl: {e}");
-            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--samples S] [--out PATH] [--min-mbps F]");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--samples S] [--out PATH] [--min-mbps F] [--autotune]");
             std::process::exit(2);
         }
     };

@@ -22,8 +22,12 @@
 
 use std::time::{Duration, Instant};
 
-use bruck_collectives::api::{allgather, alltoall, Tuning};
+use bruck_collectives::api::{allgather, alltoall, alltoall_auto, Tuning};
+use bruck_collectives::autotune::calibrated_fit;
+use bruck_collectives::primitives::barrier_dissemination;
 use bruck_collectives::verify;
+use bruck_model::calibrate::LinearFit;
+use bruck_model::planner::Planner;
 use bruck_model::WireTuning;
 use bruck_net::{ClusterConfig, NetError, Reliability};
 
@@ -42,6 +46,8 @@ pub struct WireBenchConfig {
     pub samples: usize,
     /// Per-run watchdog.
     pub timeout: Duration,
+    /// Force this index radix instead of planner dispatch.
+    pub radix: Option<usize>,
 }
 
 impl Default for WireBenchConfig {
@@ -54,6 +60,7 @@ impl Default for WireBenchConfig {
             reps: 6,
             samples: 3,
             timeout: Duration::from_secs(60),
+            radix: None,
         }
     }
 }
@@ -146,8 +153,14 @@ pub fn run_case(
 ) -> Result<WireBenchRow, String> {
     let wire = mode.tuning();
     let (n, block, reps) = (cfg.n, cfg.block, cfg.reps.max(1));
-    let tuning = Tuning::default();
-    let radix = tuning.chosen_radix(n, block, cfg.ports).radix;
+    let tuning = match cfg.radix {
+        Some(r) => Tuning::builder().radix(r).build(),
+        None => Tuning::builder().planner(true).build(),
+    };
+    // Report the effective radix of the plan actually dispatched (the
+    // planner's pick unless one was forced); 0 marks a mixed-radix plan.
+    let choice = tuning.chosen_plan(n, block, cfg.ports);
+    let radix = choice.plan.radix(n).unwrap_or(0);
     let cluster_cfg = ClusterConfig::new(n)
         .with_ports(cfg.ports)
         .with_timeout(cfg.timeout)
@@ -368,6 +381,435 @@ pub fn render_json(rows: &[WireBenchRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Autotune bench: planner dispatch vs every fixed radix.
+// ---------------------------------------------------------------------
+
+/// The planner-vs-fixed-radix matrix: each block size runs once per
+/// fixed radix plus once under full planner dispatch with a live
+/// [`calibrated_fit`] of the socket transport.
+#[derive(Debug, Clone)]
+pub struct AutotuneBenchConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Ports per round.
+    pub ports: usize,
+    /// Block sizes to sweep.
+    pub blocks: Vec<usize>,
+    /// Fixed radices to race the planner against.
+    pub radices: Vec<usize>,
+    /// Timed collectives per cluster run.
+    pub reps: usize,
+    /// Independent cluster runs pooled per cell.
+    pub samples: usize,
+    /// Per-run watchdog.
+    pub timeout: Duration,
+}
+
+impl Default for AutotuneBenchConfig {
+    /// The tracked shape (same cluster as the pr3 wire bench): `n = 8`,
+    /// `k = 2`, blocks from start-up-bound to bandwidth-bound.
+    fn default() -> Self {
+        Self {
+            n: 8,
+            ports: 2,
+            blocks: vec![256, 4096, 65536],
+            radices: vec![2, 3, 4, 8],
+            reps: 6,
+            samples: 3,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One cell of the autotune matrix.
+#[derive(Debug, Clone)]
+pub struct AutotuneRow {
+    /// `"fixed-r<r>"` or `"auto"`.
+    pub scheme: String,
+    /// Label of the plan actually executed (e.g. `"bruck-r3"`,
+    /// `"direct"`).
+    pub plan: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Ports per round.
+    pub k: usize,
+    /// Block size in bytes.
+    pub block: usize,
+    /// Executed communication rounds per collective.
+    pub rounds: u64,
+    /// Payload bytes the cluster moves per collective.
+    pub bytes_moved: u64,
+    /// Pooled rep count behind the percentiles.
+    pub reps: usize,
+    /// Fastest cluster-wide lap (ns) — the schedule's cost with the
+    /// least scheduler interference, the statistic the summary compares.
+    pub min_ns: u64,
+    /// Median cluster-wide wall clock per collective (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile wall clock (ns).
+    pub p99_ns: u64,
+    /// Mean wall clock (ns).
+    pub mean_ns: u64,
+    /// Cluster goodput in MB/s.
+    pub mbps: f64,
+    /// Wall time the fitted model predicted for this plan (ns).
+    pub predicted_ns: u64,
+}
+
+/// Probe the socket transport once and return the fit every subsequent
+/// cluster run will reuse from the calibration cache.
+///
+/// # Errors
+///
+/// Propagates cluster setup or probe failures as a message.
+pub fn probe_socket_fit(cfg: &AutotuneBenchConfig) -> Result<LinearFit, String> {
+    let cluster_cfg = ClusterConfig::new(cfg.n)
+        .with_ports(cfg.ports)
+        .with_timeout(cfg.timeout)
+        .with_reliability(Reliability::default());
+    let out = bruck_net::SocketCluster::run(&cluster_cfg, calibrated_fit)
+        .map_err(|e| format!("calibration probe: {e}"))?;
+    Ok(out.results[0])
+}
+
+/// Run every scheme at one block size, **interleaved in one cluster
+/// run**: each timed rep cycles through all fixed radices and the auto
+/// path back to back, so every scheme's laps sample the same instant of
+/// host-scheduler weather. Separate cells would let a noisy minute make
+/// one radix look slow; pairing removes that.
+///
+/// # Errors
+///
+/// Propagates cluster setup or collective failures as a message.
+pub fn run_autotune_block(
+    cfg: &AutotuneBenchConfig,
+    block: usize,
+    fit: &LinearFit,
+) -> Result<Vec<AutotuneRow>, String> {
+    let (n, reps) = (cfg.n, cfg.reps.max(1));
+    // `Some(r)` = forced radix, `None` = planner dispatch.
+    let schemes: Vec<Option<usize>> = cfg
+        .radices
+        .iter()
+        .map(|&r| Some(r))
+        .chain(std::iter::once(None))
+        .collect();
+    let tunings: Vec<Tuning> = schemes
+        .iter()
+        .filter_map(|s| s.map(|r| Tuning::builder().radix(r).build()))
+        .collect();
+    let cluster_cfg = ClusterConfig::new(n)
+        .with_ports(cfg.ports)
+        .with_timeout(cfg.timeout)
+        .with_reliability(Reliability::default());
+
+    // pooled[scheme] = cluster-wide lap times across all samples.
+    let mut pooled: Vec<Vec<u64>> = vec![Vec::with_capacity(reps * cfg.samples); schemes.len()];
+    for _ in 0..cfg.samples.max(1) {
+        let schemes_ref = &schemes;
+        let tunings_ref = &tunings;
+        let body = |ep: &mut bruck_net::Endpoint| {
+            let input = verify::index_input(ep.rank(), n, block);
+            let expected = verify::index_expected(ep.rank(), n, block);
+            // The fit is cached process-globally under the transport
+            // kind, so this is a cheap broadcast, not a re-probe. Doing
+            // it inside the body keeps the auto path honest: it pays
+            // for its own model lookup.
+            let model = calibrated_fit(ep)?.model;
+            let run_one =
+                |ep: &mut bruck_net::Endpoint, scheme: &Option<usize>| -> Result<(), NetError> {
+                    let got = match scheme {
+                        Some(r) => {
+                            let idx = schemes_ref
+                                .iter()
+                                .position(|s| s.as_ref() == Some(r))
+                                .expect("scheme came from this list");
+                            alltoall(ep, &input, block, &tunings_ref[idx])?
+                        }
+                        None => alltoall_auto(ep, &input, block, &model)?.0,
+                    };
+                    if got != expected {
+                        return Err(NetError::App("alltoall bytes wrong".into()));
+                    }
+                    Ok(())
+                };
+            for scheme in schemes_ref {
+                run_one(ep, scheme)?; // warmup, untimed
+            }
+            let mut laps = vec![Vec::with_capacity(reps); schemes_ref.len()];
+            for rep in 0..reps {
+                // Rotate the cycle's starting scheme each rep so no
+                // scheme systematically inherits a fixed position's
+                // cache/scheduler state (the last slot in a cycle
+                // otherwise measures hot).
+                for pos in 0..schemes_ref.len() {
+                    let si = (rep + pos) % schemes_ref.len();
+                    // Re-synchronise before every timed lap: without
+                    // this, a straggler rank in one collective skews the
+                    // measured start of the next, and the skew lands on
+                    // whichever scheme happens to run next in the cycle.
+                    barrier_dissemination(ep)?;
+                    let t0 = Instant::now();
+                    run_one(ep, &schemes_ref[si])?;
+                    laps[si].push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            Ok(laps)
+        };
+        let out = bruck_net::SocketCluster::run(&cluster_cfg, body)
+            .map_err(|e| format!("autotune b={block}: {e}"))?;
+        // Cluster-wide lap for (scheme, rep) = the straggler rank's lap.
+        for (si, bucket) in pooled.iter_mut().enumerate() {
+            for j in 0..reps {
+                bucket.push(
+                    out.results
+                        .iter()
+                        .map(|laps| laps[si][j])
+                        .max()
+                        .unwrap_or_default(),
+                );
+            }
+        }
+    }
+
+    let rows = schemes
+        .iter()
+        .zip(&mut pooled)
+        .map(|(scheme, laps)| {
+            let choice = match scheme {
+                Some(r) => Tuning::builder()
+                    .radix(*r)
+                    .build()
+                    .chosen_plan(n, block, cfg.ports),
+                None => Planner::new(&fit.model).plan_index(n, cfg.ports, block),
+            };
+            laps.sort_unstable();
+            let mean_ns = (laps.iter().sum::<u64>() / laps.len().max(1) as u64).max(1);
+            // Goodput basis: the useful bytes an alltoall delivers are
+            // n·(n−1)·b no matter which schedule carried them.
+            let bytes_moved = (n * (n - 1) * block) as u64;
+            AutotuneRow {
+                scheme: scheme.map_or_else(|| "auto".into(), |r| format!("fixed-r{r}")),
+                plan: choice.plan.label(),
+                n,
+                k: cfg.ports,
+                block,
+                rounds: choice.complexity.c1,
+                bytes_moved,
+                reps: laps.len(),
+                min_ns: laps.first().copied().unwrap_or(0).max(1),
+                p50_ns: percentile(laps, 50),
+                p99_ns: percentile(laps, 99),
+                mean_ns,
+                mbps: bytes_moved as f64 / (mean_ns as f64 / 1e9) / 1e6,
+                predicted_ns: (choice.predicted_time * 1e9) as u64,
+            }
+        })
+        .collect();
+    Ok(rows)
+}
+
+/// Run the full planner-vs-fixed matrix and return the rows plus the
+/// fitted model they were planned under.
+///
+/// # Errors
+///
+/// Propagates the first failing cell.
+pub fn run_autotune_matrix(
+    cfg: &AutotuneBenchConfig,
+) -> Result<(Vec<AutotuneRow>, LinearFit), String> {
+    let fit = probe_socket_fit(cfg)?;
+    let mut rows = Vec::new();
+    for &block in &cfg.blocks {
+        rows.extend(run_autotune_block(cfg, block, &fit)?);
+    }
+    Ok((rows, fit))
+}
+
+/// Per-block-size verdict: the auto row against the best and worst fixed
+/// radix, on the **mean lap**. The schemes interleave inside one cluster
+/// run with a barrier before every timed lap and a rotated cycle order
+/// (see [`run_autotune_block`]) — a randomized block design — so every
+/// scheme's laps sample the same host-scheduler noise and the paired
+/// mean is the estimator that uses all of that pairing. The min is an
+/// extreme order statistic of a heavy-tailed distribution and wanders
+/// run to run; the paired means reproduce.
+#[derive(Debug, Clone)]
+pub struct AutotuneSummary {
+    /// Block size in bytes.
+    pub block: usize,
+    /// Scheme label of the fastest fixed radix.
+    pub best_fixed: String,
+    /// Its mean lap (ns).
+    pub best_fixed_ns: u64,
+    /// Scheme label of the slowest fixed radix.
+    pub worst_fixed: String,
+    /// Its mean lap (ns).
+    pub worst_fixed_ns: u64,
+    /// Plan label the planner dispatched.
+    pub auto_plan: String,
+    /// The auto row's mean lap (ns).
+    pub auto_ns: u64,
+    /// `auto / best_fixed` — ≤ 1.05 means within 5% of the best.
+    pub auto_vs_best: f64,
+    /// `worst_fixed / auto` — ≥ 1.3 means the planner dodged a bad radix.
+    pub worst_vs_auto: f64,
+}
+
+/// Fold the matrix rows into one [`AutotuneSummary`] per block size.
+#[must_use]
+pub fn summarize_autotune(rows: &[AutotuneRow]) -> Vec<AutotuneSummary> {
+    let mut blocks: Vec<usize> = rows.iter().map(|r| r.block).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
+        .iter()
+        .filter_map(|&block| {
+            let fixed: Vec<&AutotuneRow> = rows
+                .iter()
+                .filter(|r| r.block == block && r.scheme != "auto")
+                .collect();
+            let auto = rows
+                .iter()
+                .find(|r| r.block == block && r.scheme == "auto")?;
+            let best = fixed.iter().min_by_key(|r| r.mean_ns)?;
+            let worst = fixed.iter().max_by_key(|r| r.mean_ns)?;
+            Some(AutotuneSummary {
+                block,
+                best_fixed: best.scheme.clone(),
+                best_fixed_ns: best.mean_ns,
+                worst_fixed: worst.scheme.clone(),
+                worst_fixed_ns: worst.mean_ns,
+                auto_plan: auto.plan.clone(),
+                auto_ns: auto.mean_ns,
+                auto_vs_best: auto.mean_ns as f64 / best.mean_ns.max(1) as f64,
+                worst_vs_auto: worst.mean_ns as f64 / auto.mean_ns.max(1) as f64,
+            })
+        })
+        .collect()
+}
+
+/// Render the autotune matrix as a human table.
+#[must_use]
+pub fn render_autotune_table(rows: &[AutotuneRow], fit: &LinearFit) -> String {
+    let mut out = format!(
+        "calibrated fit: β = {:.2}µs, τ = {:.4}µs/B, R² = {:.3} ({} samples)\n",
+        fit.model.startup * 1e6,
+        fit.model.per_byte * 1e6,
+        fit.r_squared,
+        fit.samples,
+    );
+    out.push_str(&format!(
+        "{:<10} {:<12} {:>8} {:>4} {:>3} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "scheme", "plan", "block", "n", "k", "rounds", "MB/s", "min", "p50", "p99", "mean", "pred"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<12} {:>8} {:>4} {:>3} {:>6} {:>9.1} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            r.scheme,
+            r.plan,
+            r.block,
+            r.n,
+            r.k,
+            r.rounds,
+            r.mbps,
+            fmt_ns(r.min_ns),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            fmt_ns(r.mean_ns),
+            fmt_ns(r.predicted_ns),
+        ));
+    }
+    for s in summarize_autotune(rows) {
+        out.push_str(&format!(
+            "b={}: auto ({}) {} vs best {} {} ({:.2}x) vs worst {} {} ({:.2}x)\n",
+            s.block,
+            s.auto_plan,
+            fmt_ns(s.auto_ns),
+            s.best_fixed,
+            fmt_ns(s.best_fixed_ns),
+            s.auto_vs_best,
+            s.worst_fixed,
+            fmt_ns(s.worst_fixed_ns),
+            s.worst_vs_auto,
+        ));
+    }
+    out
+}
+
+/// Render the tracked `BENCH_pr4.json` artifact (hand-rolled JSON).
+#[must_use]
+pub fn render_autotune_json(rows: &[AutotuneRow], fit: &LinearFit) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pr4-autotune\",\n");
+    out.push_str("  \"transport\": \"uds\",\n");
+    out.push_str(&format!(
+        "  \"fit\": {{\"startup_s\": {:.9e}, \"per_byte_s\": {:.9e}, \"r_squared\": {:.4}, \"samples\": {}}},\n",
+        fit.model.startup, fit.model.per_byte, fit.r_squared, fit.samples
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"plan\": \"{}\", \"n\": {}, \"k\": {}, \"block\": {}, \
+             \"rounds\": {}, \"bytes_moved\": {}, \"reps\": {}, \"min_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"mean_ns\": {}, \"mbps\": {:.2}, \"predicted_ns\": {}}}{}\n",
+            r.scheme,
+            r.plan,
+            r.n,
+            r.k,
+            r.block,
+            r.rounds,
+            r.bytes_moved,
+            r.reps,
+            r.min_ns,
+            r.p50_ns,
+            r.p99_ns,
+            r.mean_ns,
+            r.mbps,
+            r.predicted_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"summary\": [\n");
+    let summaries = summarize_autotune(rows);
+    for (i, s) in summaries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"block\": {}, \"auto_plan\": \"{}\", \"auto_mean_ns\": {}, \
+             \"best_fixed\": \"{}\", \"best_fixed_mean_ns\": {}, \
+             \"worst_fixed\": \"{}\", \"worst_fixed_mean_ns\": {}, \
+             \"auto_vs_best\": {:.3}, \"worst_vs_auto\": {:.3}}}{}\n",
+            s.block,
+            s.auto_plan,
+            s.auto_ns,
+            s.best_fixed,
+            s.best_fixed_ns,
+            s.worst_fixed,
+            s.worst_fixed_ns,
+            s.auto_vs_best,
+            s.worst_vs_auto,
+            if i + 1 < summaries.len() { "," } else { "" },
+        ));
+    }
+    let max_vs_best = summaries
+        .iter()
+        .map(|s| s.auto_vs_best)
+        .fold(0.0f64, f64::max);
+    let max_vs_worst = summaries
+        .iter()
+        .map(|s| s.worst_vs_auto)
+        .fold(0.0f64, f64::max);
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"criteria\": {{\"max_auto_vs_best\": {:.3}, \"within_5pct_of_best_everywhere\": {}, \
+         \"max_worst_vs_auto\": {:.3}, \"beats_worst_by_1_3x_somewhere\": {}}}\n}}\n",
+        max_vs_best,
+        max_vs_best <= 1.05,
+        max_vs_worst,
+        max_vs_worst >= 1.3,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +873,87 @@ mod tests {
         assert_eq!(percentile(&v, 99), 100);
     }
 
+    fn arow(scheme: &str, block: usize, p50_ns: u64) -> AutotuneRow {
+        AutotuneRow {
+            scheme: scheme.into(),
+            plan: if scheme == "auto" {
+                "bruck-r3".into()
+            } else {
+                scheme.replace("fixed-", "bruck-")
+            },
+            n: 8,
+            k: 2,
+            block,
+            rounds: 2,
+            bytes_moved: 1 << 20,
+            reps: 18,
+            min_ns: p50_ns,
+            p50_ns,
+            p99_ns: p50_ns * 2,
+            mean_ns: p50_ns,
+            mbps: 50.0,
+            predicted_ns: p50_ns,
+        }
+    }
+
+    #[test]
+    fn autotune_summary_ratios() {
+        let rows = vec![
+            arow("fixed-r2", 256, 3_000),
+            arow("fixed-r3", 256, 1_000),
+            arow("auto", 256, 1_010),
+        ];
+        let s = summarize_autotune(&rows);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].best_fixed, "fixed-r3");
+        assert_eq!(s[0].worst_fixed, "fixed-r2");
+        assert!((s[0].auto_vs_best - 1.01).abs() < 1e-9);
+        assert!((s[0].worst_vs_auto - 3_000.0 / 1_010.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autotune_json_is_well_formed_enough() {
+        let fit = LinearFit {
+            model: bruck_model::cost::LinearModel::new(20e-6, 0.01e-6),
+            r_squared: 0.999,
+            samples: 30,
+        };
+        let rows = vec![
+            arow("fixed-r2", 256, 3_000),
+            arow("fixed-r3", 256, 1_000),
+            arow("auto", 256, 1_000),
+        ];
+        let json = render_autotune_json(&rows, &fit);
+        assert!(json.contains("\"bench\": \"pr4-autotune\""));
+        assert!(json.contains("\"criteria\""));
+        assert!(json.contains("\"within_5pct_of_best_everywhere\": true"));
+        assert!(json.contains("\"beats_worst_by_1_3x_somewhere\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// Scaled-down end-to-end autotune matrix over real sockets.
+    #[cfg(unix)]
+    #[test]
+    fn small_autotune_matrix_runs_end_to_end() {
+        let cfg = AutotuneBenchConfig {
+            n: 4,
+            ports: 1,
+            blocks: vec![512],
+            radices: vec![2, 4],
+            reps: 2,
+            samples: 1,
+            timeout: Duration::from_secs(30),
+        };
+        let (rows, fit) = run_autotune_matrix(&cfg).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(fit.samples > 0);
+        assert!(rows.iter().all(|r| r.p50_ns > 0 && r.bytes_moved > 0));
+        let auto = rows.iter().find(|r| r.scheme == "auto").unwrap();
+        assert!(!auto.plan.is_empty());
+        let table = render_autotune_table(&rows, &fit);
+        assert!(table.contains("auto") && table.contains("fixed-r2"));
+    }
+
     /// The real thing, scaled down so the suite stays fast: a tiny
     /// matrix over the socket transport still produces sane rows.
     #[cfg(unix)]
@@ -443,6 +966,7 @@ mod tests {
             reps: 2,
             samples: 1,
             timeout: Duration::from_secs(30),
+            radix: None,
         };
         let row = run_case("alltoall", &cfg, WireMode::Pipelined).unwrap();
         assert_eq!((row.n, row.k, row.block), (4, 1, 2048));

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use bruck_model::cost::{CostModel, LinearModel};
 use bruck_model::partition::Preference;
+use bruck_model::planner::{ConcatPlan, IndexPlan, PlanChoice, Planner};
 use bruck_model::tuning::{all_radices, best_radix, RadixChoice};
 use bruck_net::{Comm, Endpoint, Group, NetError};
 
@@ -40,6 +41,10 @@ pub struct Tuning {
     pub radix: Option<usize>,
     /// Preference inside the concatenation exception range.
     pub concat_preference: Preference,
+    /// Dispatch through the full [`Planner`] family (uniform radices,
+    /// direct, hypercube, mixed radix) instead of the uniform-radix
+    /// search only. Ignored when [`radix`](Self::radix) is forced.
+    pub planner: bool,
 }
 
 /// Incremental constructor for [`Tuning`], starting from the defaults.
@@ -80,6 +85,13 @@ impl TuningBuilder {
         self
     }
 
+    /// Enable (or disable) full planner dispatch — see [`Tuning::auto`].
+    #[must_use]
+    pub fn planner(mut self, enabled: bool) -> Self {
+        self.inner.planner = enabled;
+        self
+    }
+
     /// Finish, yielding the configured [`Tuning`].
     #[must_use]
     pub fn build(self) -> Tuning {
@@ -94,6 +106,7 @@ impl Default for Tuning {
             model: Arc::new(LinearModel::sp1()),
             radix: None,
             concat_preference: Preference::Rounds,
+            planner: false,
         }
     }
 }
@@ -104,6 +117,7 @@ impl core::fmt::Debug for Tuning {
             .field("model", &self.model.name())
             .field("radix", &self.radix)
             .field("concat_preference", &self.concat_preference)
+            .field("planner", &self.planner)
             .finish()
     }
 }
@@ -114,6 +128,49 @@ impl Tuning {
     pub fn builder() -> TuningBuilder {
         TuningBuilder {
             inner: Self::default(),
+        }
+    }
+
+    /// A tuning that dispatches through the full [`Planner`] family under
+    /// the given cost model: every uniform radix `r ∈ [2, n]`, the direct
+    /// exchange, the hypercube (where it applies), and mixed-radix
+    /// vectors. Pair with a model fitted by
+    /// [`autotune`](crate::autotune) against the live transport.
+    #[must_use]
+    pub fn auto(model: Arc<dyn CostModel>) -> Self {
+        Self {
+            model,
+            radix: None,
+            concat_preference: Preference::Rounds,
+            planner: true,
+        }
+    }
+
+    /// The index plan [`alltoall`] will execute for `n` ranks, `b`-byte
+    /// blocks, and `k` ports under this tuning. A forced radix always
+    /// wins; otherwise the full planner family is searched when
+    /// [`planner`](Self::planner) is set, and the uniform radices only
+    /// when it is not.
+    #[must_use]
+    pub fn chosen_plan(&self, n: usize, block: usize, ports: usize) -> PlanChoice<IndexPlan> {
+        if let Some(r) = self.radix {
+            let r = r.clamp(2, n.max(2));
+            let complexity = bruck_model::tuning::index_complexity_kport(n.max(2), r, block, ports);
+            return PlanChoice {
+                plan: IndexPlan::Radix(r),
+                complexity,
+                predicted_time: self.model.estimate(complexity),
+            };
+        }
+        if self.planner {
+            Planner::new(self.model.as_ref()).plan_index(n, ports, block)
+        } else {
+            let choice = best_radix(n, block, ports, self.model.as_ref(), all_radices(n));
+            PlanChoice {
+                plan: IndexPlan::Radix(choice.radix),
+                complexity: choice.complexity,
+                predicted_time: choice.predicted_time,
+            }
         }
     }
 
@@ -215,8 +272,103 @@ pub fn alltoall_into<C: Comm + ?Sized>(
     tuning: &Tuning,
     out: &mut [u8],
 ) -> Result<(), NetError> {
-    let choice = tuning.chosen_radix(ep.size(), block, ep.ports());
-    IndexAlgorithm::BruckRadix(choice.radix).run_into(ep, sendbuf, block, out)
+    let choice = tuning.chosen_plan(ep.size(), block, ep.ports());
+    run_index_plan(ep, &choice.plan, sendbuf, block, out)
+}
+
+/// Execute a specific [`IndexPlan`] (as produced by
+/// [`Tuning::chosen_plan`] or [`Planner::plan_index`]).
+fn run_index_plan<C: Comm + ?Sized>(
+    ep: &mut C,
+    plan: &IndexPlan,
+    sendbuf: &[u8],
+    block: usize,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    match plan {
+        IndexPlan::Radix(r) => IndexAlgorithm::BruckRadix(*r).run_into(ep, sendbuf, block, out),
+        IndexPlan::Direct => IndexAlgorithm::Direct.run_into(ep, sendbuf, block, out),
+        IndexPlan::Hypercube => IndexAlgorithm::Hypercube.run_into(ep, sendbuf, block, out),
+        IndexPlan::Mixed(radices) => {
+            crate::index::mixed::run_into(ep, sendbuf, block, radices, out)
+        }
+    }
+}
+
+/// All-to-all with full planner dispatch: evaluates the fitted cost model
+/// over the whole algorithm family (every uniform radix, direct,
+/// hypercube, mixed radix), runs the arg-min, and returns the result
+/// alongside the [`PlanChoice`] so callers (e.g. the bench harness) can
+/// report *which* schedule won and at what predicted cost.
+///
+/// # Errors
+///
+/// See [`alltoall_into`].
+pub fn alltoall_auto<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    model: &dyn CostModel,
+) -> Result<(Vec<u8>, PlanChoice<IndexPlan>), NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    let choice = alltoall_auto_into(ep, sendbuf, block, model, &mut out)?;
+    Ok((out, choice))
+}
+
+/// [`alltoall_auto`] into a caller-provided `n·b`-byte output buffer;
+/// returns the executed [`PlanChoice`].
+///
+/// # Errors
+///
+/// See [`alltoall_into`].
+pub fn alltoall_auto_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    model: &dyn CostModel,
+    out: &mut [u8],
+) -> Result<PlanChoice<IndexPlan>, NetError> {
+    let choice = Planner::new(model).plan_index(ep.size(), ep.ports(), block);
+    run_index_plan(ep, &choice.plan, sendbuf, block, out)?;
+    Ok(choice)
+}
+
+/// All-to-all broadcast with planner dispatch: picks between the
+/// circulant algorithm (either [`Preference`]) and the ring under the
+/// fitted cost model, runs the arg-min, and returns the result alongside
+/// the winning [`PlanChoice`].
+///
+/// # Errors
+///
+/// See [`allgather_into`].
+pub fn allgather_auto<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    model: &dyn CostModel,
+) -> Result<(Vec<u8>, PlanChoice<ConcatPlan>), NetError> {
+    let mut out = vec![0u8; ep.size() * myblock.len()];
+    let choice = allgather_auto_into(ep, myblock, model, &mut out)?;
+    Ok((out, choice))
+}
+
+/// [`allgather_auto`] into a caller-provided `n·b`-byte output buffer;
+/// returns the executed [`PlanChoice`].
+///
+/// # Errors
+///
+/// See [`allgather_into`].
+pub fn allgather_auto_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    model: &dyn CostModel,
+    out: &mut [u8],
+) -> Result<PlanChoice<ConcatPlan>, NetError> {
+    let choice = Planner::new(model).plan_concat(ep.size(), ep.ports(), myblock.len());
+    match &choice.plan {
+        ConcatPlan::Bruck(pref) => ConcatAlgorithm::Bruck(*pref).run_into(ep, myblock, out)?,
+        ConcatPlan::Ring => ConcatAlgorithm::Ring.run_into(ep, myblock, out)?,
+    }
+    Ok(choice)
 }
 
 /// Outcome of [`alltoall_resilient`]: survivor-dense data plus the
@@ -452,6 +604,55 @@ mod tests {
             small < large,
             "small-block radix {small} should be below large-block {large}"
         );
+    }
+
+    #[test]
+    fn planner_tuning_is_correct_across_block_sizes() {
+        // Small blocks dispatch a low radix, large blocks the direct
+        // exchange — both must produce the right answer.
+        for block in [1usize, 2048] {
+            let n = 8;
+            let cfg = ClusterConfig::new(n).with_ports(2);
+            let tuning = Tuning::auto(Arc::new(LinearModel::sp1()));
+            let out = Cluster::run(&cfg, |ep| {
+                let input = crate::verify::index_input(ep.rank(), n, block);
+                alltoall(ep, &input, block, &tuning)
+            })
+            .unwrap();
+            for (rank, result) in out.results.iter().enumerate() {
+                assert_eq!(result, &crate::verify::index_expected(rank, n, block));
+            }
+        }
+    }
+
+    #[test]
+    fn forced_radix_overrides_planner() {
+        let tuning = Tuning::builder().planner(true).radix(4).build();
+        let choice = tuning.chosen_plan(16, 1 << 20, 1);
+        assert_eq!(choice.plan, bruck_model::planner::IndexPlan::Radix(4));
+    }
+
+    #[test]
+    fn auto_entry_points_report_winning_plan() {
+        let n = 8;
+        let block = 4096;
+        let model = LinearModel::sp1();
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let out = Cluster::run(&cfg, |ep| {
+            let input = crate::verify::index_input(ep.rank(), n, block);
+            let (data, choice) = alltoall_auto(ep, &input, block, &model)?;
+            let mine = crate::verify::concat_input(ep.rank(), block);
+            let (all, cchoice) = allgather_auto(ep, &mine, &model)?;
+            Ok((data, choice, all, cchoice))
+        })
+        .unwrap();
+        let expected_choice = Planner::new(&model).plan_index(n, 2, block);
+        for (rank, (data, choice, all, cchoice)) in out.results.iter().enumerate() {
+            assert_eq!(data, &crate::verify::index_expected(rank, n, block));
+            assert_eq!(choice.plan, expected_choice.plan);
+            assert_eq!(all, &crate::verify::concat_expected(n, block));
+            assert!(cchoice.predicted_time.is_finite());
+        }
     }
 
     #[test]

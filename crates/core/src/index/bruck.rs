@@ -18,10 +18,14 @@
 //! destination; phase 3 fixes the memory offsets.
 
 use bruck_model::radix::RadixDecomposition;
-use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
+use bruck_net::{Comm, GatherSendSpec, NetError, RecvSpec};
 use bruck_sched::{Schedule, Transfer};
 
-use crate::blocks::{pack_into, phase3_place_into, rotate_up_into, unpack};
+use crate::blocks::{gather_spans, phase3_place_into, rotate_up_into, unpack_spans};
+
+/// One staged phase-2 message: the coalesced `(start, len)` spans over
+/// the rotated scratch buffer, the step's rotation distance, and its tag.
+type StagedSend = (Vec<(usize, usize)>, usize, u64);
 
 /// Sanity-check common parameters; returns `Ok(n)` for convenience.
 fn check(n: usize, buf_len: usize, block: usize, radix: usize) -> Result<usize, NetError> {
@@ -104,48 +108,46 @@ pub fn run_into<C: Comm + ?Sized>(
         let mut z = 1usize;
         while z <= steps {
             let group: Vec<usize> = (z..=steps.min(z + k - 1)).collect();
-            // Pack all outgoing messages for this round into pooled
-            // buffers first (the borrow of `tmp` must end before
-            // unpacking).
-            let staged: Vec<(Vec<usize>, usize, u64, Vec<u8>)> = group
+            // Describe each outgoing message as coalesced byte spans over
+            // `tmp` — the gather path stages them straight into the
+            // transport's pooled buffer, so the separate pack copy of the
+            // old pack→stage pipeline never happens.
+            let staged: Vec<StagedSend> = group
                 .iter()
                 .map(|&zz| {
                     let indices = decomp.blocks_for_step(x, zz);
+                    let spans = gather_spans(&indices, block);
                     let dist = decomp.step_distance(x, zz);
                     let tag = (u64::from(x) << 32) | zz as u64;
-                    let mut payload = ep.acquire(indices.len() * block);
-                    pack_into(&tmp, block, &indices, &mut payload);
-                    (indices, dist, tag, payload)
+                    (spans, dist, tag)
                 })
                 .collect();
-            let sends: Vec<SendSpec<'_>> = staged
+            let sends: Vec<GatherSendSpec<'_>> = staged
                 .iter()
-                .map(|(_, dist, tag, payload)| SendSpec {
+                .map(|(spans, dist, tag)| GatherSendSpec {
                     to: (rank + dist) % n,
                     tag: *tag,
-                    payload,
+                    src: &tmp,
+                    spans,
                 })
                 .collect();
             let recvs: Vec<RecvSpec> = staged
                 .iter()
-                .map(|(_, dist, tag, _)| RecvSpec {
+                .map(|(_, dist, tag)| RecvSpec {
                     from: (rank + n - dist % n) % n,
                     tag: *tag,
                 })
                 .collect();
-            // Pack and unpack are both local copies (§3.5 factor 2).
-            let copied: u64 = staged.iter().map(|(_, _, _, p)| p.len() as u64).sum();
-            ep.charge_copy(copied);
-            let msgs = ep.round(&sends, &recvs)?;
+            let msgs = ep.round_gather(&sends, &recvs)?;
+            // Only the unpack side remains a local copy to charge: the
+            // send side's single staging copy is the transport's own
+            // (already accounted by the endpoint), not an extra pack.
             let mut received = 0u64;
-            for ((indices, _, _, _), msg) in staged.iter().zip(&msgs) {
-                unpack(&mut tmp, block, indices, &msg.payload);
+            for ((spans, _, _), msg) in staged.iter().zip(&msgs) {
+                unpack_spans(&mut tmp, spans, &msg.payload);
                 received += msg.payload.len() as u64;
             }
             ep.charge_copy(received);
-            for (_, _, _, payload) in staged {
-                ep.recycle(payload);
-            }
             for msg in msgs {
                 ep.recycle(msg.payload);
             }

@@ -39,6 +39,7 @@
 
 pub mod api;
 pub mod appendix;
+pub mod autotune;
 pub mod blocks;
 pub mod concat;
 pub mod index;
@@ -51,14 +52,16 @@ pub mod vops;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::api::{
-        allgather, allgather_into, alltoall, alltoall_into, alltoall_resilient, ResilientAlltoall,
-        Tuning, TuningBuilder,
+        allgather, allgather_auto, allgather_into, alltoall, alltoall_auto, alltoall_into,
+        alltoall_resilient, ResilientAlltoall, Tuning, TuningBuilder,
     };
+    pub use crate::autotune::{calibrated_fit, calibrated_model};
     pub use crate::concat::ConcatAlgorithm;
     pub use crate::index::IndexAlgorithm;
     pub use crate::reduce::{allreduce_via_concat, reduce, ReduceOp};
     pub use crate::vops::{allgatherv, alltoallv};
     pub use bruck_model::complexity::Complexity;
     pub use bruck_model::cost::{CostModel, LinearModel, Sp1Model};
+    pub use bruck_model::planner::{ConcatPlan, IndexPlan, PlanChoice, Planner};
     pub use bruck_net::{Cluster, ClusterConfig, Comm, Endpoint, Group, NetError};
 }

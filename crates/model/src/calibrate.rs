@@ -7,6 +7,7 @@
 //! quality (`R²`) so callers can tell whether the linear model describes
 //! their substrate at all.
 
+use crate::complexity::Complexity;
 use crate::cost::LinearModel;
 
 /// A fitted linear model plus fit diagnostics.
@@ -19,6 +20,167 @@ pub struct LinearFit {
     pub r_squared: f64,
     /// Number of samples used.
     pub samples: usize,
+}
+
+impl LinearFit {
+    /// Size of the [`to_bytes`](Self::to_bytes) encoding.
+    pub const WIRE_BYTES: usize = 32;
+
+    /// Encode the fit as 32 little-endian bytes (`startup`, `per_byte`,
+    /// `r_squared` as `f64`, `samples` as `u64`) — small enough to ride
+    /// in a control message when a cluster agrees on one shared fit.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[0..8].copy_from_slice(&self.model.startup.to_le_bytes());
+        out[8..16].copy_from_slice(&self.model.per_byte.to_le_bytes());
+        out[16..24].copy_from_slice(&self.r_squared.to_le_bytes());
+        out[24..32].copy_from_slice(&(self.samples as u64).to_le_bytes());
+        out
+    }
+
+    /// Decode a [`to_bytes`](Self::to_bytes) encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; Self::WIRE_BYTES]) -> Self {
+        let f = |range: core::ops::Range<usize>| {
+            f64::from_le_bytes(bytes[range].try_into().expect("8-byte slice"))
+        };
+        let samples = u64::from_le_bytes(bytes[24..32].try_into().expect("8-byte slice"));
+        Self {
+            model: LinearModel::new(f(0..8), f(8..16)),
+            r_squared: f(16..24),
+            samples: samples as usize,
+        }
+    }
+}
+
+/// Accumulates timed observations of communication rounds and fits the
+/// linear model `seconds = C1·β + C2·τ` to them by least squares.
+///
+/// Two kinds of observation feed the same fit:
+///
+/// * **ping samples** ([`record_ping`](Self::record_ping)) — one round
+///   moving `bytes` bytes, i.e. the row `(C1 = 1, C2 = bytes)`. A ladder
+///   of ping sizes over a live transport is the §3.5 calibration
+///   procedure generalized;
+/// * **run samples** ([`record_run`](Self::record_run)) — a whole
+///   collective's measured `(C1, C2)` (e.g. from executed-run metrics)
+///   with its wall-clock time, refreshing the fit from real workloads.
+///
+/// The fit is a *no-intercept* two-variable ordinary least squares: with
+/// only ping rows (`C1 = 1` everywhere) it degenerates to exactly the
+/// intercept-and-slope regression of [`fit_linear`].
+#[derive(Debug, Clone, Default)]
+pub struct Calibrator {
+    samples: Vec<(Complexity, f64)>,
+}
+
+impl Calibrator {
+    /// An empty calibrator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one ping observation: a single round moving `bytes` bytes
+    /// took `seconds`.
+    pub fn record_ping(&mut self, bytes: u64, seconds: f64) {
+        self.record_run(Complexity::new(1, bytes), seconds);
+    }
+
+    /// Record one run observation: an execution with complexity `c` took
+    /// `seconds` of wall clock. Non-finite or negative times and empty
+    /// complexities are ignored (a dead sample cannot improve the fit).
+    pub fn record_run(&mut self, c: Complexity, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 || (c.c1 == 0 && c.c2 == 0) {
+            return;
+        }
+        self.samples.push((c, seconds));
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Least-squares fit of `seconds = C1·β + C2·τ` over the recorded
+    /// samples (normal equations of the no-intercept two-variable OLS).
+    /// Negative fitted parameters are clamped to zero; `r_squared` is
+    /// computed against the mean-time baseline, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two samples, or when the design matrix is
+    /// singular (all samples proportional — β and τ cannot be told
+    /// apart).
+    #[must_use]
+    pub fn fit(&self) -> LinearFit {
+        assert!(
+            self.samples.len() >= 2,
+            "need at least two samples to fit a line"
+        );
+        self.try_fit()
+            .expect("degenerate calibration samples — β and τ are collinear")
+    }
+
+    /// Non-panicking [`fit`](Self::fit): `None` with fewer than two
+    /// samples or a singular design matrix.
+    #[must_use]
+    pub fn try_fit(&self) -> Option<LinearFit> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let (mut a11, mut a12, mut a22, mut b1, mut b2) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        for &(c, t) in &self.samples {
+            let x1 = c.c1 as f64;
+            let x2 = c.c2 as f64;
+            a11 += x1 * x1;
+            a12 += x1 * x2;
+            a22 += x2 * x2;
+            b1 += x1 * t;
+            b2 += x2 * t;
+        }
+        let det = a11 * a22 - a12 * a12;
+        // The determinant scales with (Σ C1²)(Σ C2²); compare it against
+        // that scale, not an absolute epsilon, so byte counts in the
+        // millions don't trip a false singularity.
+        if det.abs() <= f64::EPSILON * a11 * a22 {
+            return None;
+        }
+        let beta = (a22 * b1 - a12 * b2) / det;
+        let tau = (a11 * b2 - a12 * b1) / det;
+
+        let n = self.samples.len() as f64;
+        let mean_t = self.samples.iter().map(|&(_, t)| t).sum::<f64>() / n;
+        let ss_tot: f64 = self
+            .samples
+            .iter()
+            .map(|&(_, t)| (t - mean_t).powi(2))
+            .sum();
+        let ss_res: f64 = self
+            .samples
+            .iter()
+            .map(|&(c, t)| (t - (beta * c.c1 as f64 + tau * c.c2 as f64)).powi(2))
+            .sum();
+        let r_squared = if ss_tot > 0.0 {
+            (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+
+        Some(LinearFit {
+            model: LinearModel::new(beta.max(0.0), tau.max(0.0)),
+            r_squared,
+            samples: self.samples.len(),
+        })
+    }
 }
 
 /// Ordinary least squares of `seconds = β + bytes·τ`.
@@ -156,5 +318,67 @@ mod tests {
     #[should_panic(expected = "slope undefined")]
     fn degenerate_sizes() {
         let _ = fit_linear(&[(5, 1.0), (5, 2.0)]);
+    }
+
+    #[test]
+    fn calibrator_ping_ladder_matches_fit_linear() {
+        // With only ping rows (C1 = 1) the no-intercept 2-variable OLS is
+        // the same model as fit_linear's intercept+slope regression.
+        let truth = LinearModel::new(29e-6, 0.12e-6);
+        let sizes = [64u64, 512, 4096, 32768, 65536];
+        let samples: Vec<(u64, f64)> = sizes.iter().map(|&b| (b, truth.send_cost(b))).collect();
+        let line = fit_linear(&samples);
+        let mut cal = Calibrator::new();
+        for &(b, t) in &samples {
+            cal.record_ping(b, t);
+        }
+        let fit = cal.fit();
+        assert!((fit.model.startup - line.model.startup).abs() < 1e-12);
+        assert!((fit.model.per_byte - line.model.per_byte).abs() < 1e-15);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn calibrator_recovers_beta_tau_from_run_samples() {
+        let (beta, tau) = (40e-6, 2e-9);
+        let mut cal = Calibrator::new();
+        for (c1, c2) in [(2u64, 12_288u64), (3, 8_192), (7, 458_752), (4, 65_536)] {
+            cal.record_run(
+                crate::complexity::Complexity::new(c1, c2),
+                c1 as f64 * beta + c2 as f64 * tau,
+            );
+        }
+        let fit = cal.fit();
+        assert!((fit.model.startup - beta).abs() / beta < 1e-9);
+        assert!((fit.model.per_byte - tau).abs() / tau < 1e-9);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn calibrator_ignores_garbage_samples() {
+        let mut cal = Calibrator::new();
+        cal.record_ping(100, f64::NAN);
+        cal.record_ping(100, -1.0);
+        cal.record_run(crate::complexity::Complexity::ZERO, 1.0);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "collinear")]
+    fn calibrator_rejects_proportional_samples() {
+        let mut cal = Calibrator::new();
+        cal.record_ping(100, 1e-6);
+        cal.record_ping(100, 1.1e-6);
+        let _ = cal.fit();
+    }
+
+    #[test]
+    fn fit_roundtrips_through_wire_encoding() {
+        let fit = LinearFit {
+            model: LinearModel::new(31.5e-6, 0.7e-9),
+            r_squared: 0.9987,
+            samples: 15,
+        };
+        assert_eq!(LinearFit::from_bytes(&fit.to_bytes()), fit);
     }
 }

@@ -21,6 +21,13 @@
 //!   of the §4 Remark for the exception range.
 //! * [`tuning`] — choosing the radix `r` that minimizes predicted time for
 //!   given machine parameters (§3.3, §3.5).
+//! * [`calibrate`] — fitting cost-model parameters (`β`, `τ`) from timed
+//!   measurements, including a [`calibrate::Calibrator`] that folds live
+//!   ping-ladder and executed-run observations into one fit.
+//! * [`planner`] — cost-model dispatch over the whole algorithm family:
+//!   evaluate the fitted model for every radix (plus hypercube, direct,
+//!   mixed-radix, and ring vs. circulant concatenation) and return the
+//!   arg-min schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,13 +39,16 @@ pub mod complexity;
 pub mod cost;
 pub mod mixed_radix;
 pub mod partition;
+pub mod planner;
 pub mod radix;
 pub mod spanning_tree;
 pub mod tuning;
 
 pub use bounds::{concat_bounds, index_bounds, LowerBounds};
+pub use calibrate::{Calibrator, LinearFit};
 pub use complexity::Complexity;
 pub use cost::{CostModel, HierarchicalModel, LinearModel, LogPModel, PostalModel, Sp1Model};
 pub use mixed_radix::MixedRadix;
+pub use planner::{ConcatPlan, IndexPlan, PlanChoice, Planner};
 pub use radix::{ceil_log, RadixDecomposition};
 pub use tuning::WireTuning;

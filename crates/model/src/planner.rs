@@ -1,0 +1,426 @@
+//! Cost-model dispatch over the paper's whole algorithm family (§3.5).
+//!
+//! The paper's headline practical result is not any single algorithm but
+//! the *selection rule*: evaluate `T = C1·β + C2·τ` for every member of
+//! the family and run the arg-min. This module is that rule, factored out
+//! of any particular executor:
+//!
+//! * **index** (all-to-all personalized, MPI_Alltoall): uniform radices
+//!   `r ∈ [2, n]` (§3.2–3.3, with `r = n` degenerating to the direct
+//!   algorithm), the hypercube exchange (power-of-two `n`, one port), and
+//!   mixed-radix vectors (the §3.2 generalization);
+//! * **concatenation** (all-to-all broadcast, MPI_Allgather): the
+//!   circulant-graph doubling algorithm of §4.1 with either last-round
+//!   preference of Proposition 4.2, against the one-port ring baseline.
+//!
+//! The planner is pure math over a [`CostModel`]; feeding it a
+//! [calibrated](crate::calibrate::Calibrator) fit of the live substrate
+//! closes the measure → fit → dispatch loop.
+
+use crate::complexity::Complexity;
+use crate::cost::CostModel;
+use crate::mixed_radix::best_radix_vector;
+use crate::partition::{plan_last_round, Preference};
+use crate::radix::{ceil_log, pow, RadixDecomposition};
+
+/// The index-algorithm family member a plan dispatches to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexPlan {
+    /// The uniform radix-`r` index algorithm (§3.2).
+    Radix(usize),
+    /// The direct algorithm: every pair exchanges its block straight,
+    /// `⌈(n-1)/k⌉` rounds with no rotate/pack phases. Cost-equal to
+    /// `Radix(n)` but cheaper in memory traffic, so it wins ties.
+    Direct,
+    /// The hypercube (pairwise-XOR) exchange — power-of-two `n`, one
+    /// port; cost-equal to `Radix(2)` at those sizes.
+    Hypercube,
+    /// The mixed-radix index algorithm with a per-subphase radix vector.
+    Mixed(Vec<usize>),
+}
+
+impl IndexPlan {
+    /// The effective uniform radix of this plan, when it has one
+    /// (`Direct` ≡ radix `n`; mixed vectors have none).
+    #[must_use]
+    pub fn radix(&self, n: usize) -> Option<usize> {
+        match self {
+            Self::Radix(r) => Some(*r),
+            Self::Direct => Some(n.max(2)),
+            Self::Hypercube => Some(2),
+            Self::Mixed(_) => None,
+        }
+    }
+
+    /// Short human-readable label (for bench tables and reports).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Radix(r) => format!("bruck-r{r}"),
+            Self::Direct => "direct".to_string(),
+            Self::Hypercube => "hypercube".to_string(),
+            Self::Mixed(v) => {
+                let digits: Vec<String> = v.iter().map(ToString::to_string).collect();
+                format!("mixed-r({})", digits.join(","))
+            }
+        }
+    }
+}
+
+/// The concatenation-algorithm family member a plan dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcatPlan {
+    /// The circulant-graph doubling algorithm (§4.1) with the given
+    /// last-round partitioning preference (Proposition 4.2).
+    Bruck(Preference),
+    /// The one-port ring baseline: `n-1` rounds of `b` bytes.
+    Ring,
+}
+
+impl ConcatPlan {
+    /// Short human-readable label (for bench tables and reports).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Bruck(Preference::Rounds) => "bruck-circulant",
+            Self::Bruck(Preference::Bytes) => "bruck-circulant-b",
+            Self::Ring => "ring",
+        }
+    }
+}
+
+/// A planned algorithm with its predicted cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChoice<P> {
+    /// The chosen family member.
+    pub plan: P,
+    /// Its closed-form complexity.
+    pub complexity: Complexity,
+    /// Its predicted time under the planner's model (seconds).
+    pub predicted_time: f64,
+}
+
+/// Evaluates the fitted cost model over the algorithm family and returns
+/// the arg-min schedule.
+pub struct Planner<'m> {
+    model: &'m dyn CostModel,
+    mixed_radix_limit: usize,
+}
+
+/// Largest `n` for which the mixed-radix vector search runs by default
+/// (the DFS over factor coverings grows super-linearly with `n`).
+pub const DEFAULT_MIXED_RADIX_LIMIT: usize = 128;
+
+impl<'m> Planner<'m> {
+    /// A planner over the given cost model, with the mixed-radix search
+    /// enabled up to [`DEFAULT_MIXED_RADIX_LIMIT`] processors.
+    #[must_use]
+    pub fn new(model: &'m dyn CostModel) -> Self {
+        Self {
+            model,
+            mixed_radix_limit: DEFAULT_MIXED_RADIX_LIMIT,
+        }
+    }
+
+    /// Bound (or disable, with `0`) the mixed-radix vector search.
+    #[must_use]
+    pub fn with_mixed_radix_limit(mut self, limit: usize) -> Self {
+        self.mixed_radix_limit = limit;
+        self
+    }
+
+    /// The model this planner evaluates.
+    #[must_use]
+    pub fn model(&self) -> &dyn CostModel {
+        self.model
+    }
+
+    /// Closed-form complexity of one index-family member for `n`
+    /// processors, `k` ports, and `b`-byte blocks.
+    #[must_use]
+    pub fn index_complexity(&self, plan: &IndexPlan, n: usize, k: usize, b: usize) -> Complexity {
+        assert!(k >= 1, "plan: ports must be ≥ 1");
+        if n <= 1 {
+            return Complexity::ZERO;
+        }
+        match plan {
+            IndexPlan::Radix(r) => RadixDecomposition::new(n, *r).complexity(b, k),
+            IndexPlan::Direct => RadixDecomposition::new(n, n).complexity(b, k),
+            IndexPlan::Hypercube => {
+                assert!(
+                    n.is_power_of_two() && k == 1,
+                    "hypercube needs power-of-two n and one port"
+                );
+                RadixDecomposition::new(n, 2).complexity(b, 1)
+            }
+            IndexPlan::Mixed(v) => crate::mixed_radix::MixedRadix::new(n, v).complexity(b, k),
+        }
+    }
+
+    /// Evaluate the whole index family and return the predicted-time
+    /// arg-min. Ties go to the earliest-evaluated candidate: `Direct`
+    /// before the uniform radix sweep (it does the same communication as
+    /// `Radix(n)` without the rotate/pack phases), then `Hypercube`, with
+    /// a mixed-radix vector adopted only when *strictly* better than
+    /// every uniform choice.
+    #[must_use]
+    pub fn plan_index(&self, n: usize, k: usize, b: usize) -> PlanChoice<IndexPlan> {
+        assert!(k >= 1, "plan: ports must be ≥ 1");
+        if n <= 1 {
+            return PlanChoice {
+                plan: IndexPlan::Radix(2),
+                complexity: Complexity::ZERO,
+                predicted_time: 0.0,
+            };
+        }
+        let mut candidates: Vec<IndexPlan> = vec![IndexPlan::Direct];
+        candidates.extend((2..=n).map(IndexPlan::Radix));
+        if n.is_power_of_two() && k == 1 {
+            candidates.push(IndexPlan::Hypercube);
+        }
+        let mut best: Option<PlanChoice<IndexPlan>> = None;
+        for plan in candidates {
+            let complexity = self.index_complexity(&plan, n, k, b);
+            let predicted_time = self.model.estimate(complexity);
+            if best
+                .as_ref()
+                .is_none_or(|cur| predicted_time < cur.predicted_time)
+            {
+                best = Some(PlanChoice {
+                    plan,
+                    complexity,
+                    predicted_time,
+                });
+            }
+        }
+        let mut best = best.expect("n ≥ 2 always yields candidates");
+        if self.mixed_radix_limit >= n {
+            let (vector, complexity, predicted_time) = best_radix_vector(n, b, k, self.model);
+            // A uniform vector is a member of the mixed search space, so
+            // the search can only tie or beat `best`; adopt it only on a
+            // strict win (the uniform executor is simpler).
+            if predicted_time < best.predicted_time {
+                best = PlanChoice {
+                    plan: IndexPlan::Mixed(vector),
+                    complexity,
+                    predicted_time,
+                };
+            }
+        }
+        best
+    }
+
+    /// Closed-form complexity of one concatenation-family member:
+    /// mirrors the executor's geometry exactly (doubling rounds over the
+    /// circulant graph, then the Proposition 4.2 last round; the ring
+    /// pays `n-1` rounds of `b` bytes).
+    #[must_use]
+    pub fn concat_complexity(&self, plan: &ConcatPlan, n: usize, k: usize, b: usize) -> Complexity {
+        assert!(k >= 1, "plan: ports must be ≥ 1");
+        if n <= 1 || b == 0 {
+            return Complexity::ZERO;
+        }
+        match plan {
+            ConcatPlan::Ring => {
+                assert!(k == 1, "ring is a one-port algorithm");
+                Complexity::new((n - 1) as u64, ((n - 1) * b) as u64)
+            }
+            ConcatPlan::Bruck(pref) => {
+                let d = ceil_log(k + 1, n);
+                if d <= 1 {
+                    return Complexity::new(1, b as u64);
+                }
+                let mut c = Complexity::ZERO;
+                for i in 0..d - 1 {
+                    c = c.plus_round((pow(k + 1, i) * b) as u64);
+                }
+                let n1 = pow(k + 1, d - 1);
+                let n2 = n - n1;
+                c + plan_last_round(n1, n2, b, k, *pref).complexity()
+            }
+        }
+    }
+
+    /// Evaluate the concatenation family (circulant doubling under both
+    /// last-round preferences, plus the ring when one-port) and return
+    /// the predicted-time arg-min. Ties go to the circulant algorithm.
+    #[must_use]
+    pub fn plan_concat(&self, n: usize, k: usize, b: usize) -> PlanChoice<ConcatPlan> {
+        assert!(k >= 1, "plan: ports must be ≥ 1");
+        if n <= 1 || b == 0 {
+            return PlanChoice {
+                plan: ConcatPlan::Bruck(Preference::Rounds),
+                complexity: Complexity::ZERO,
+                predicted_time: 0.0,
+            };
+        }
+        let mut candidates = vec![
+            ConcatPlan::Bruck(Preference::Rounds),
+            ConcatPlan::Bruck(Preference::Bytes),
+        ];
+        if k == 1 {
+            candidates.push(ConcatPlan::Ring);
+        }
+        candidates
+            .into_iter()
+            .map(|plan| {
+                let complexity = self.concat_complexity(&plan, n, k, b);
+                PlanChoice {
+                    plan,
+                    complexity,
+                    predicted_time: self.model.estimate(complexity),
+                }
+            })
+            .min_by(|x, y| x.predicted_time.total_cmp(&y.predicted_time))
+            .expect("concat candidate set is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearModel;
+    use crate::tuning::index_complexity_kport;
+
+    #[test]
+    fn planner_matches_exhaustive_uniform_argmin() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        for n in [2usize, 4, 7, 8, 16, 33] {
+            for k in [1usize, 2, 3] {
+                for b in [1usize, 64, 4096, 65536] {
+                    let choice = planner.plan_index(n, k, b);
+                    let exhaustive = (2..=n)
+                        .map(|r| model.estimate(index_complexity_kport(n, r, b, k)))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        choice.predicted_time <= exhaustive,
+                        "n={n} k={k} b={b}: planner {} > exhaustive {exhaustive}",
+                        choice.predicted_time
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_blocks_pick_round_optimal_radix() {
+        // β-dominated: the planner must minimize rounds, i.e. pick a
+        // radix near k+1 (§3.4), never the direct algorithm.
+        let model = LinearModel::new(1e-3, 1e-12);
+        let planner = Planner::new(&model);
+        let choice = planner.plan_index(64, 1, 1);
+        assert_eq!(
+            choice.complexity.c1,
+            u64::from(ceil_log(2, 64)),
+            "round-optimal C1 expected, got {:?}",
+            choice.plan
+        );
+    }
+
+    #[test]
+    fn huge_blocks_pick_direct() {
+        // τ-dominated: the planner must minimize bytes — the direct
+        // algorithm, preferred over Radix(n) on the tie.
+        let model = LinearModel::new(1e-9, 1e-3);
+        let planner = Planner::new(&model);
+        let choice = planner.plan_index(16, 2, 1 << 20);
+        assert_eq!(choice.plan, IndexPlan::Direct);
+    }
+
+    #[test]
+    fn mixed_radix_wins_when_strictly_better() {
+        // n = 33 with moderate blocks is the documented case where a
+        // mixed vector strictly beats every uniform radix.
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        let choice = planner.plan_index(33, 1, 64);
+        let (vector, _, t) = best_radix_vector(33, 64, 1, &model);
+        let uniform_best = (2..=33)
+            .map(|r| model.estimate(index_complexity_kport(33, r, 64, 1)))
+            .fold(f64::INFINITY, f64::min);
+        if t < uniform_best {
+            assert_eq!(choice.plan, IndexPlan::Mixed(vector));
+        } else {
+            assert!(choice.predicted_time <= uniform_best);
+        }
+    }
+
+    #[test]
+    fn mixed_radix_can_be_disabled() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model).with_mixed_radix_limit(0);
+        let choice = planner.plan_index(33, 1, 64);
+        assert!(!matches!(choice.plan, IndexPlan::Mixed(_)));
+    }
+
+    #[test]
+    fn concat_prefers_circulant_over_ring() {
+        // The circulant algorithm is round-optimal; the ring only ties it
+        // at n = 2.
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        for n in [2usize, 5, 8, 16] {
+            let choice = planner.plan_concat(n, 1, 256);
+            assert!(
+                matches!(choice.plan, ConcatPlan::Bruck(_)),
+                "n={n}: {:?}",
+                choice.plan
+            );
+        }
+    }
+
+    #[test]
+    fn concat_ring_wins_when_startup_is_free_and_bytes_tie() {
+        // With b large and β = 0, time is pure C2; the ring moves
+        // (n-1)·b which the circulant algorithm also cannot beat
+        // (Proposition 2.3 lower bound), so predicted times tie or the
+        // circulant wins — the planner must still produce a valid plan.
+        let model = LinearModel::new(0.0, 1e-6);
+        let planner = Planner::new(&model);
+        let choice = planner.plan_concat(6, 1, 4096);
+        assert!(choice.predicted_time <= model.estimate(Complexity::new(5, 5 * 4096)));
+    }
+
+    #[test]
+    fn concat_complexity_small_n_single_round() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        for k in 1..4usize {
+            for n in 2..=k + 1 {
+                let c = planner.concat_complexity(&ConcatPlan::Bruck(Preference::Rounds), n, k, 10);
+                assert_eq!(c, Complexity::new(1, 10), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        assert_eq!(planner.plan_index(1, 1, 64).predicted_time, 0.0);
+        assert_eq!(planner.plan_concat(1, 2, 64).predicted_time, 0.0);
+        assert_eq!(planner.plan_concat(8, 2, 0).predicted_time, 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(IndexPlan::Radix(3).label(), "bruck-r3");
+        assert_eq!(IndexPlan::Direct.label(), "direct");
+        assert_eq!(IndexPlan::Hypercube.label(), "hypercube");
+        assert_eq!(IndexPlan::Mixed(vec![2, 3]).label(), "mixed-r(2,3)");
+        assert_eq!(ConcatPlan::Ring.label(), "ring");
+        assert_eq!(
+            ConcatPlan::Bruck(Preference::Rounds).label(),
+            "bruck-circulant"
+        );
+    }
+
+    #[test]
+    fn effective_radix() {
+        assert_eq!(IndexPlan::Radix(4).radix(8), Some(4));
+        assert_eq!(IndexPlan::Direct.radix(8), Some(8));
+        assert_eq!(IndexPlan::Hypercube.radix(8), Some(2));
+        assert_eq!(IndexPlan::Mixed(vec![2, 2]).radix(8), None);
+    }
+}

@@ -5,6 +5,8 @@
 //! handles digit `x` (least significant first); step `z` of subphase `x`
 //! moves every block whose digit `x` equals `z` by `z·r^x` processors.
 
+use crate::complexity::Complexity;
+
 /// Smallest `w ≥ 0` such that `base^w ≥ n`, i.e. `⌈log_base n⌉`.
 ///
 /// This is the number of radix-`base` digits needed to express every value
@@ -177,6 +179,42 @@ impl RadixDecomposition {
     /// Iterator over all `(subphase, step)` pairs in execution order.
     pub fn steps(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
         (0..self.w).flat_map(move |x| (1..=self.steps_in_subphase(x)).map(move |z| (x, z)))
+    }
+
+    /// Closed-form `(C1, C2)` of the radix-`r` index algorithm's
+    /// communication phase in the `k`-port model: the steps of each
+    /// subphase are independent, so they are grouped `ports` per round,
+    /// and a round's `C2` contribution is the largest message in its
+    /// group (`b · max blocks`).
+    ///
+    /// Allocation-free — uses [`blocks_in_step`](Self::blocks_in_step)
+    /// rather than enumerating block ids, so a planner can sweep every
+    /// radix in `[2, n]` cheaply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    #[must_use]
+    pub fn complexity(&self, block: usize, ports: usize) -> Complexity {
+        assert!(ports >= 1, "complexity: ports must be ≥ 1");
+        let mut c = Complexity::ZERO;
+        if self.n <= 1 {
+            return c;
+        }
+        for x in 0..self.w {
+            let steps = self.steps_in_subphase(x);
+            let mut z = 1usize;
+            while z <= steps {
+                let hi = steps.min(z + ports - 1);
+                let max_blocks = (z..=hi)
+                    .map(|zz| self.blocks_in_step(x, zz))
+                    .max()
+                    .unwrap_or(0);
+                c = c.plus_round((max_blocks * block) as u64);
+                z = hi + 1;
+            }
+        }
+        c
     }
 }
 

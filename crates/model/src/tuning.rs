@@ -15,16 +15,7 @@ use crate::radix::RadixDecomposition;
 /// `b·|{j : digit_x(j) = z}|` bytes.
 #[must_use]
 pub fn index_complexity(n: usize, r: usize, b: usize) -> Complexity {
-    if n <= 1 {
-        return Complexity::ZERO;
-    }
-    let d = RadixDecomposition::new(n, r);
-    let mut c = Complexity::ZERO;
-    for (x, z) in d.steps() {
-        let blocks = d.blocks_for_step(x, z).len();
-        c = c.plus_round((blocks * b) as u64);
-    }
-    c
+    index_complexity_kport(n, r, b, 1)
 }
 
 /// Closed-form complexity of the k-port radix-`r` index algorithm: the
@@ -36,22 +27,7 @@ pub fn index_complexity_kport(n: usize, r: usize, b: usize, k: usize) -> Complex
     if n <= 1 {
         return Complexity::ZERO;
     }
-    let d = RadixDecomposition::new(n, r);
-    let mut c = Complexity::ZERO;
-    for x in 0..d.num_subphases() {
-        let steps = d.steps_in_subphase(x);
-        let mut z = 1usize;
-        while z <= steps {
-            let group_end = steps.min(z + k - 1);
-            let max_blocks = (z..=group_end)
-                .map(|zz| d.blocks_for_step(x, zz).len())
-                .max()
-                .unwrap_or(0);
-            c = c.plus_round((max_blocks * b) as u64);
-            z = group_end + 1;
-        }
-    }
-    c
+    RadixDecomposition::new(n, r).complexity(b, k)
 }
 
 /// Wire-pipelining knobs for the executed data plane.

@@ -426,7 +426,7 @@ impl Cluster {
         let done_ref = &done;
         let linger = config.reliability.is_some();
         let linger_cap = config.timeout;
-        let outcomes: Vec<(Result<T, NetError>, crate::metrics::RankMetrics, f64)> =
+        let outcomes: Vec<(Result<T, NetError>, crate::metrics::RankMetrics, f64, u64)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = endpoints
                     .drain(..)
@@ -475,8 +475,9 @@ impl Cluster {
                                     ep.service(Duration::from_millis(2));
                                 }
                             }
+                            let seen = ep.failures_seen();
                             let (metrics, clock) = ep.into_parts();
-                            (result, metrics, clock)
+                            (result, metrics, clock, seen)
                         })
                     })
                     .collect();
@@ -489,10 +490,24 @@ impl Cluster {
         let mut results = Vec::with_capacity(n);
         let mut per_rank = Vec::with_capacity(n);
         let mut virtual_times = Vec::with_capacity(n);
-        for (result, metrics, clock) in outcomes {
+        let final_version = detector.version();
+        for (result, metrics, clock, seen) in outcomes {
             per_rank.push(metrics);
             virtual_times.push(clock);
-            results.push(result);
+            // Verdict agreement: a rank whose data dependencies never
+            // crossed a dead rank can race through its rounds and return
+            // `Ok` before the death is even announced (an event-driven
+            // wire makes this window real). The cluster-wide contract is
+            // one consistent verdict, so an `Ok` from a rank that never
+            // witnessed the final detector version — by aborting on it
+            // or by acknowledging it for in-run recovery — is downgraded
+            // to the same `RanksFailed` every blocked waiter got.
+            results.push(match result {
+                Ok(_) if final_version > seen => Err(NetError::RanksFailed {
+                    ranks: detector.snapshot(),
+                }),
+                other => other,
+            });
         }
         RunReport {
             outcomes: results,

@@ -9,7 +9,7 @@
 //! unchanged inside any group, including several disjoint groups
 //! concurrently.
 
-use crate::endpoint::{Endpoint, RecvSpec, SendSpec};
+use crate::endpoint::{Endpoint, GatherSendSpec, RecvSpec, SendSpec};
 use crate::error::NetError;
 use crate::message::{Message, Tag};
 
@@ -35,6 +35,67 @@ pub trait Comm {
         sends: &[SendSpec<'_>],
         recvs: &[RecvSpec],
     ) -> Result<Vec<Message>, NetError>;
+
+    /// One synchronous k-port round whose sends are gather span lists
+    /// (see [`Endpoint::round_gather`]). The default materializes each
+    /// span list into pooled scratch and delegates to
+    /// [`round`](Comm::round); pooled contexts override it with the
+    /// single-copy staging path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Comm::round`]; also [`NetError::App`] on out-of-bounds
+    /// spans.
+    fn round_gather(
+        &mut self,
+        sends: &[GatherSendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
+        let mut payloads = Vec::with_capacity(sends.len());
+        for s in sends {
+            let mut buf = self.acquire(s.len());
+            let mut at = 0usize;
+            for &(start, len) in s.spans {
+                let Some(src) = s.src.get(start..start + len) else {
+                    for b in payloads {
+                        self.recycle(b);
+                    }
+                    self.recycle(buf);
+                    return Err(NetError::App(format!(
+                        "round_gather: span ({start}, {len}) out of bounds for a \
+                         {}-byte source buffer",
+                        s.src.len()
+                    )));
+                };
+                buf[at..at + len].copy_from_slice(src);
+                at += len;
+            }
+            payloads.push(buf);
+        }
+        let materialized: Vec<SendSpec<'_>> = sends
+            .iter()
+            .zip(&payloads)
+            .map(|(s, payload)| SendSpec {
+                to: s.to,
+                tag: s.tag,
+                payload,
+            })
+            .collect();
+        let out = self.round(&materialized, recvs);
+        for b in payloads {
+            self.recycle(b);
+        }
+        out
+    }
+
+    /// The physical-substrate label of the underlying transport
+    /// (`"channel"`, `"uds"`, …; see
+    /// [`crate::transport::Transport::kind`]). Calibration caches key
+    /// fitted cost models by it. Non-transport contexts report
+    /// `"generic"`.
+    fn transport_kind(&self) -> &'static str {
+        "generic"
+    }
 
     /// Advance the local virtual clock by `dt` seconds of computation.
     fn advance_compute(&mut self, dt: f64);
@@ -139,6 +200,18 @@ impl Comm for Endpoint {
         recvs: &[RecvSpec],
     ) -> Result<Vec<Message>, NetError> {
         Endpoint::round(self, sends, recvs)
+    }
+
+    fn round_gather(
+        &mut self,
+        sends: &[GatherSendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
+        Endpoint::round_gather(self, sends, recvs)
+    }
+
+    fn transport_kind(&self) -> &'static str {
+        Endpoint::transport_kind(self)
     }
 
     fn advance_compute(&mut self, dt: f64) {
@@ -373,6 +446,44 @@ impl Comm for GroupComm<'_> {
             m.tag -= self.tag_offset;
         }
         Ok(msgs)
+    }
+
+    fn round_gather(
+        &mut self,
+        sends: &[GatherSendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
+        let sends: Vec<GatherSendSpec<'_>> = sends
+            .iter()
+            .map(|s| {
+                Ok(GatherSendSpec {
+                    to: self.to_global(s.to)?,
+                    tag: s.tag + self.tag_offset,
+                    src: s.src,
+                    spans: s.spans,
+                })
+            })
+            .collect::<Result<_, NetError>>()?;
+        let recvs: Vec<RecvSpec> = recvs
+            .iter()
+            .map(|r| {
+                Ok(RecvSpec {
+                    from: self.to_global(r.from)?,
+                    tag: r.tag + self.tag_offset,
+                })
+            })
+            .collect::<Result<_, NetError>>()?;
+        let mut msgs = Endpoint::round_gather(self.ep, &sends, &recvs)?;
+        for m in &mut msgs {
+            m.src = self.to_group(m.src);
+            m.dst = self.my_index;
+            m.tag -= self.tag_offset;
+        }
+        Ok(msgs)
+    }
+
+    fn transport_kind(&self) -> &'static str {
+        Endpoint::transport_kind(self.ep)
     }
 
     fn advance_compute(&mut self, dt: f64) {

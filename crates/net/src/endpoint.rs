@@ -47,6 +47,41 @@ pub struct RecvSpec {
     pub tag: Tag,
 }
 
+/// One outgoing message described as a span list over a source buffer —
+/// the gather fast path's iovec.
+///
+/// Where a [`SendSpec`] hands the round a payload that the caller already
+/// packed contiguous (one memcpy) and the endpoint then stages into a
+/// pooled buffer (a second memcpy), a gather spec hands the endpoint the
+/// *span list* and the endpoint gathers the spans straight into the
+/// pooled staging buffer the transport writes out — one memcpy total.
+/// The message's payload is the spans' bytes concatenated in order.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherSendSpec<'a> {
+    /// Destination rank.
+    pub to: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// The buffer the spans index into.
+    pub src: &'a [u8],
+    /// `(byte_offset, byte_len)` spans of `src`, concatenated in order.
+    pub spans: &'a [(usize, usize)],
+}
+
+impl GatherSendSpec<'_> {
+    /// Total payload bytes (sum of span lengths).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A rank's handle onto the cluster.
 pub struct Endpoint {
     rank: usize,
@@ -129,6 +164,14 @@ impl Endpoint {
     /// Return a buffer (scratch or a received payload) to the pool.
     pub fn recycle(&self, buf: Vec<u8>) {
         self.pool.recycle(buf);
+    }
+
+    /// The physical-substrate label of this endpoint's transport stack
+    /// (see [`Transport::kind`]) — the key calibration caches file their
+    /// fitted `(β, τ)` under.
+    #[must_use]
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
     }
 
     /// This rank's id in `[0, size)`.
@@ -228,20 +271,7 @@ impl Endpoint {
         sends: &[SendSpec<'_>],
         recvs: &[RecvSpec],
     ) -> Result<Vec<Message>, NetError> {
-        let completed = self.metrics.rounds();
-        if let Some(after) = self.faults.should_kill(self.rank, completed) {
-            // Announce our own death before exiting so every waiter gets
-            // the cluster-wide verdict instead of a secondary timeout.
-            if let Some(det) = &self.detector {
-                det.mark_dead(self.rank);
-            }
-            return Err(NetError::Killed {
-                rank: self.rank,
-                after_round: after,
-            });
-        }
-        self.check_peers(sends.iter().map(|s| s.to), "send", sends.len())?;
-        self.check_peers(recvs.iter().map(|r| r.from), "recv", recvs.len())?;
+        let completed = self.round_preflight(sends.iter().map(|s| s.to), sends.len(), recvs)?;
 
         let t0 = self.clock;
         let wall_send = Instant::now();
@@ -271,20 +301,137 @@ impl Endpoint {
             let mut payload = self.pool.acquire(s.payload.len());
             payload.copy_from_slice(s.payload);
             self.metrics.bytes_copied += bytes;
-            let msg = Message {
-                src: self.rank,
-                dst: s.to,
-                tag: s.tag,
-                checksum: self.checksums.then(|| payload_checksum(&payload)),
-                payload,
-                arrival: depart + self.cost.latency_between(self.rank, s.to, bytes),
-                seq: 0,
-                ack: 0,
-            };
-            self.transport.send(msg)?;
+            self.inject(s.to, s.tag, payload, depart, bytes)?;
         }
         self.metrics.wall_send_ns += wall_send.elapsed().as_nanos() as u64;
 
+        self.finish_round(t0, max_send_done, &sent_sizes, recvs)
+    }
+
+    /// [`round`](Self::round) with gather-spec sends: each outgoing
+    /// message is a span list over caller scratch, gathered straight into
+    /// the pooled staging buffer the transport writes — the separate pack
+    /// memcpy of the pack→stage path disappears. Receive semantics,
+    /// virtual-time accounting, and error shapes are identical to
+    /// [`round`](Self::round).
+    ///
+    /// # Errors
+    ///
+    /// Port-model violations, timeouts, and fault-injection kills; also
+    /// [`NetError::App`] when a span indexes out of its source buffer.
+    pub fn round_gather(
+        &mut self,
+        sends: &[GatherSendSpec<'_>],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
+        let completed = self.round_preflight(sends.iter().map(|s| s.to), sends.len(), recvs)?;
+
+        let t0 = self.clock;
+        let wall_send = Instant::now();
+        let mut max_send_done = t0;
+        let mut sent_sizes = Vec::with_capacity(sends.len());
+        for s in sends {
+            let total = s.len();
+            let bytes = total as u64;
+            let depart = t0 + self.cost.send_cost_between(self.rank, s.to, bytes);
+            max_send_done = max_send_done.max(depart);
+            sent_sizes.push(bytes);
+            if let Some(trace) = &self.trace {
+                trace.record(TraceEvent {
+                    src: self.rank,
+                    dst: s.to,
+                    tag: s.tag,
+                    bytes,
+                    round: completed,
+                    depart,
+                });
+            }
+            if self.faults.should_drop(self.rank, s.to, completed) {
+                continue;
+            }
+            // Gather the spans directly into the pooled staging buffer:
+            // the single copy of the fast path.
+            let mut payload = self.pool.acquire(total);
+            let mut at = 0usize;
+            for &(start, len) in s.spans {
+                let Some(src) = s.src.get(start..start + len) else {
+                    self.pool.recycle(payload);
+                    return Err(NetError::App(format!(
+                        "round_gather: span ({start}, {len}) out of bounds for a \
+                         {}-byte source buffer",
+                        s.src.len()
+                    )));
+                };
+                payload[at..at + len].copy_from_slice(src);
+                at += len;
+            }
+            self.metrics.bytes_copied += bytes;
+            self.metrics.bytes_gathered += bytes;
+            self.inject(s.to, s.tag, payload, depart, bytes)?;
+        }
+        self.metrics.wall_send_ns += wall_send.elapsed().as_nanos() as u64;
+
+        self.finish_round(t0, max_send_done, &sent_sizes, recvs)
+    }
+
+    /// Shared round prologue: fault-plan kill check plus port-model
+    /// validation of both peer lists. Returns the completed-round count
+    /// (the current round's index).
+    fn round_preflight(
+        &mut self,
+        send_peers: impl Iterator<Item = usize>,
+        send_count: usize,
+        recvs: &[RecvSpec],
+    ) -> Result<u64, NetError> {
+        let completed = self.metrics.rounds();
+        if let Some(after) = self.faults.should_kill(self.rank, completed) {
+            // Announce our own death before exiting so every waiter gets
+            // the cluster-wide verdict instead of a secondary timeout.
+            if let Some(det) = &self.detector {
+                det.mark_dead(self.rank);
+            }
+            return Err(NetError::Killed {
+                rank: self.rank,
+                after_round: after,
+            });
+        }
+        self.check_peers(send_peers, "send", send_count)?;
+        self.check_peers(recvs.iter().map(|r| r.from), "recv", recvs.len())?;
+        Ok(completed)
+    }
+
+    /// Hand one staged payload to the transport with checksum and
+    /// virtual-time stamps.
+    fn inject(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        depart: f64,
+        bytes: u64,
+    ) -> Result<(), NetError> {
+        let msg = Message {
+            src: self.rank,
+            dst: to,
+            tag,
+            checksum: self.checksums.then(|| payload_checksum(&payload)),
+            payload,
+            arrival: depart + self.cost.latency_between(self.rank, to, bytes),
+            seq: 0,
+            ack: 0,
+        };
+        self.transport.send(msg)
+    }
+
+    /// Shared round epilogue: complete the receives, fold virtual time,
+    /// and record the round's metrics.
+    fn finish_round(
+        &mut self,
+        t0: f64,
+        max_send_done: f64,
+        sent_sizes: &[u64],
+        recvs: &[RecvSpec],
+    ) -> Result<Vec<Message>, NetError> {
         let wall_recv = Instant::now();
         let slots = if self.serial_rounds {
             self.recv_serial_checked(recvs)?
@@ -304,7 +451,7 @@ impl Endpoint {
             out.push(msg);
         }
         self.clock = finish;
-        self.metrics.record_round(&sent_sizes, recvs.len());
+        self.metrics.record_round(sent_sizes, recvs.len());
         Ok(out)
     }
 
@@ -556,6 +703,15 @@ impl Endpoint {
     /// Does not count as a communication round.
     pub fn barrier(&mut self) {
         self.clock = self.barrier.wait(self.clock);
+    }
+
+    /// The failure-detector version this endpoint has witnessed (via a
+    /// round abort or [`Endpoint::acknowledge_failures`]). The cluster
+    /// epilogue compares it against the final version to decide whether
+    /// a rank that returned `Ok` actually saw the deaths the rest of the
+    /// cluster agreed on.
+    pub(crate) fn failures_seen(&self) -> u64 {
+        self.seen_version
     }
 
     pub(crate) fn into_parts(mut self) -> (RankMetrics, f64) {

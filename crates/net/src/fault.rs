@@ -337,6 +337,10 @@ impl Transport for FaultyTransport {
         self.inner.wait_any(timeout)
     }
 
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
     fn flush(&mut self, deadline: std::time::Instant) -> Result<(), NetError> {
         self.inner.flush(deadline)
     }

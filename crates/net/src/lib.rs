@@ -116,7 +116,7 @@ pub mod vbarrier;
 pub use bruck_model::tuning::WireTuning;
 pub use cluster::{Cluster, ClusterConfig, ResilientOutput, RunOutput, RunReport, SurvivorView};
 pub use comm::{Comm, Group, GroupComm};
-pub use endpoint::{Endpoint, RecvSpec, SendSpec};
+pub use endpoint::{Endpoint, GatherSendSpec, RecvSpec, SendSpec};
 pub use error::NetError;
 pub use failure::FailureDetector;
 pub use fault::{FaultPlan, LinkRates};

@@ -103,6 +103,11 @@ pub struct RankMetrics {
     /// Bytes physically copied by the data plane on this rank (payload
     /// staging into pooled buffers and `_into` copy-outs).
     pub bytes_copied: u64,
+    /// Bytes staged through the gather fast path: span lists copied
+    /// straight from algorithm scratch into the transport's pooled
+    /// buffer, skipping the separate pack step (each such byte saved one
+    /// whole memcpy relative to pack-then-stage).
+    pub bytes_gathered: u64,
     /// Wall-clock nanoseconds this rank spent in the send phase of its
     /// rounds (staging + injecting all k sends).
     pub wall_send_ns: u64,
@@ -191,6 +196,13 @@ impl RunMetrics {
     #[must_use]
     pub fn total_bytes_copied(&self) -> u64 {
         self.per_rank.iter().map(|r| r.bytes_copied).sum()
+    }
+
+    /// Total bytes staged through the gather fast path across all ranks
+    /// (see [`RankMetrics::bytes_gathered`]).
+    #[must_use]
+    pub fn total_bytes_gathered(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_gathered).sum()
     }
 
     /// Wire-sublayer counters summed over all ranks: retransmissions,

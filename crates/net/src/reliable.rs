@@ -599,6 +599,10 @@ impl Transport for ReliableTransport {
         self.poll(timeout.min(POLL_SLICE))
     }
 
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
     /// Drain the unacked tail: retransmit and wait until every in-flight
     /// frame is acknowledged or its destination is declared dead, giving
     /// up (best effort) at `deadline`. Peer deaths discovered while

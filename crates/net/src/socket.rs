@@ -435,6 +435,10 @@ impl Transport for UdsTransport {
         Ok(())
     }
 
+    fn kind(&self) -> &'static str {
+        "uds"
+    }
+
     fn purge(&mut self) -> usize {
         // Best-effort: pull whatever is already queued on the socket, then
         // discard every complete and partial message.

@@ -66,16 +66,26 @@ pub trait Transport: Send {
 
     /// Block until at least one message is queued or parked (whatever its
     /// source or tag), or `timeout` elapses — *without* consuming it.
-    /// This is the idle edge of the event loop: implementations use
-    /// blocking reads / condvar waits so an idle endpoint burns no CPU;
-    /// the default falls back to a bounded sleep for exotic transports.
+    /// This is the idle edge of the event loop and it is **required**: a
+    /// correct implementation parks on the transport's own wakeup
+    /// primitive (a channel/condvar wait, a blocking read with deadline)
+    /// so an idle endpoint burns no CPU. The old provided default slept
+    /// in 500 µs slices — a poll loop that both wasted cycles and added
+    /// up to half a millisecond of wakeup latency per message — so it
+    /// was removed rather than silently inherited.
     ///
     /// # Errors
     ///
     /// Transport-level failures.
-    fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
-        std::thread::sleep(timeout.min(Duration::from_micros(500)));
-        Ok(())
+    fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError>;
+
+    /// A short stable label for the kind of wire this transport drives
+    /// (`"channel"`, `"uds"`, …). Wrapping sublayers (fault injection,
+    /// reliability) must delegate to the wrapped transport, so the label
+    /// identifies the *physical* substrate — calibration caches key their
+    /// fitted `(β, τ)` by it.
+    fn kind(&self) -> &'static str {
+        "generic"
     }
 
     /// Drive any reliability sublayer until every in-flight frame this
@@ -144,6 +154,10 @@ impl Transport for ChannelTransport {
     fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
         self.mailbox.wait_any(timeout);
         Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "channel"
     }
 
     fn purge(&mut self) -> usize {
