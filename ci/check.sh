@@ -26,6 +26,14 @@ cargo test -q --test window
 # k ∈ {1, 2} with a model fitted live against the transport.
 cargo test -q --test autotune
 
+# Liveness gate: 200 seeded chaos schedules per shape (n ∈ {4, 8})
+# mixing partitions, stalls, ack loss, and kills, plus the dedicated
+# deadline/straggler/partition tests. The suite asserts no-hang
+# internally; the hard wall-clock `timeout` is the backstop for the one
+# failure mode the suite cannot report on itself — the harness hanging.
+# 300 s ≈ 10x the observed soak time on a 1-core CI box.
+timeout 300 cargo test -q --test liveness
+
 # Perf smoke: the pipelined data plane must clear a throughput floor on
 # the wire microbench. The floor is ~30% under the slowest alltoall
 # pipelined-row throughput observed on a 1-core CI box (545 MB/s at this

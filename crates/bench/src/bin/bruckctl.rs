@@ -9,9 +9,12 @@
 //! bruckctl tune   --n 64 --block 128 [--ports 1]          # radix table
 //! bruckctl chaos  --n 8 --block 64 --seed 2 --loss 0.05   # lossy-wire soak
 //! bruckctl chaos  --n 8 --block 64 --kill 3               # shrink-and-retry
+//! bruckctl chaos  --n 8 --partition 0,1@1 --deadline-ms 500   # partition + budget
+//! bruckctl chaos  --n 8 --stall 3:40                      # straggler vs watchdog
 //! bruckctl bench  --n 8 --ports 2 --block 65536           # wire pipelining table + BENCH_pr3.json
 //! bruckctl bench  --min-mbps 50                           # CI floor: exit 1 below it
 //! bruckctl bench  --autotune --n 8 --ports 2              # planner vs fixed radices + BENCH_pr4.json
+//! bruckctl bench  --liveness --n 8 --ports 2              # deadline+watchdog overhead + BENCH_pr5.json
 //! ```
 
 use std::sync::Arc;
@@ -45,10 +48,14 @@ struct Args {
     corrupt: f64,
     reps: usize,
     kill: Option<usize>,
+    partition: Option<(Vec<usize>, u64)>,
+    stall: Option<(usize, u64)>,
+    deadline_ms: Option<u64>,
     samples: usize,
     out: Option<String>,
     min_mbps: Option<f64>,
     autotune: bool,
+    liveness: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,10 +78,14 @@ fn parse_args() -> Result<Args, String> {
         corrupt: 0.0,
         reps: 4,
         kill: None,
+        partition: None,
+        stall: None,
+        deadline_ms: None,
         samples: 3,
         out: None,
         min_mbps: None,
         autotune: false,
+        liveness: false,
     };
     while let Some(flag) = raw.next() {
         let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
@@ -96,6 +107,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
             "--kill" => args.kill = Some(value()?.parse().map_err(|e| format!("--kill: {e}"))?),
+            "--partition" => args.partition = Some(parse_partition(&value()?)?),
+            "--stall" => args.stall = Some(parse_stall(&value()?)?),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
             "--samples" => {
                 args.samples = value()?.parse().map_err(|e| format!("--samples: {e}"))?;
             }
@@ -104,10 +124,42 @@ fn parse_args() -> Result<Args, String> {
                 args.min_mbps = Some(value()?.parse().map_err(|e| format!("--min-mbps: {e}"))?);
             }
             "--autotune" => args.autotune = true,
+            "--liveness" => args.liveness = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// `--partition 0,1@2`: sever the links between `{0, 1}` and everyone
+/// else once the sender has completed round 2.
+fn parse_partition(spec: &str) -> Result<(Vec<usize>, u64), String> {
+    let (ranks, round) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("--partition {spec}: expected <r1,r2,...>@<round>"))?;
+    let side = ranks
+        .split(',')
+        .map(|r| r.parse().map_err(|e| format!("--partition rank {r}: {e}")))
+        .collect::<Result<Vec<usize>, String>>()?;
+    if side.is_empty() {
+        return Err("--partition needs at least one rank".into());
+    }
+    let round = round
+        .parse()
+        .map_err(|e| format!("--partition round: {e}"))?;
+    Ok((side, round))
+}
+
+/// `--stall 3:40`: pause rank 3 for 40 ms at its round-1 preflight (the
+/// same round `--kill` uses), a SIGSTOP-style straggler that stops
+/// pumping acks entirely.
+fn parse_stall(spec: &str) -> Result<(usize, u64), String> {
+    let (rank, ms) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--stall {spec}: expected <rank>:<ms>"))?;
+    let rank = rank.parse().map_err(|e| format!("--stall rank: {e}"))?;
+    let ms = ms.parse().map_err(|e| format!("--stall ms: {e}"))?;
+    Ok((rank, ms))
 }
 
 fn model_from(name: &str) -> Result<Arc<dyn CostModel>, String> {
@@ -294,8 +346,16 @@ fn print_link_report(metrics: &bruck_net::RunMetrics) {
     println!("  dups dropped : {}", link.dups_dropped);
     println!("  corrupt drop : {}", link.corrupt_dropped);
     println!(
-        "  injected     : {} losses, {} dups, {} corruptions, {} delays",
-        link.injected_losses, link.injected_dups, link.injected_corruptions, link.injected_delays
+        "  injected     : {} losses, {} dups, {} corruptions, {} delays, {} ack losses",
+        link.injected_losses,
+        link.injected_dups,
+        link.injected_corruptions,
+        link.injected_delays,
+        link.injected_ack_losses
+    );
+    println!(
+        "  watchdog     : {} probes, {} replies, {} stall escalations, {} partition cuts",
+        link.probes_sent, link.probe_replies, link.stall_escalations, link.partition_cuts
     );
     println!(
         "  window       : {:.2} mean occupancy, {:.0}% acks piggybacked",
@@ -323,11 +383,29 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         }
         plan = plan.kill_rank_after(victim, 1);
     }
-    let cfg = ClusterConfig::new(args.n)
+    if let Some((side, round)) = &args.partition {
+        if let Some(&bad) = side.iter().find(|&&r| r >= args.n) {
+            return Err(format!(
+                "--partition rank {bad} out of range (n = {})",
+                args.n
+            ));
+        }
+        plan = plan.with_partition(side.clone(), *round);
+    }
+    if let Some((rank, ms)) = args.stall {
+        if rank >= args.n {
+            return Err(format!("--stall rank {rank} out of range (n = {})", args.n));
+        }
+        plan = plan.stall_rank(rank, 1, std::time::Duration::from_millis(ms));
+    }
+    let mut cfg = ClusterConfig::new(args.n)
         .with_ports(args.ports)
         .with_cost(model)
         .with_faults(plan)
         .with_reliability(Reliability::default());
+    if let Some(ms) = args.deadline_ms {
+        cfg = cfg.with_deadline(std::time::Duration::from_millis(ms));
+    }
     let (n, block, reps) = (args.n, args.block, args.reps.max(1));
     let tuning = Tuning::default();
     println!(
@@ -338,9 +416,15 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         args.corrupt * 100.0,
         args.transport
     );
-    if let Some(victim) = args.kill {
+    if let Some(ms) = args.deadline_ms {
+        println!("  deadline     : {ms} ms (structured abort past the budget)");
+    }
+    let disruptive = args.kill.is_some() || args.partition.is_some() || args.stall.is_some();
+    if disruptive {
         if args.transport != "channel" {
-            return Err("--kill currently demos shrink-and-retry on the channel transport".into());
+            return Err(
+                "--kill/--partition/--stall demo shrink-and-retry on the channel transport".into(),
+            );
         }
         // Shrink-and-retry: the killed rank fails the first attempt, the
         // survivors re-plan for the smaller membership and complete.
@@ -357,10 +441,23 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             Ok(view.attempt)
         })
         .map_err(|e| e.to_string())?;
-        println!("  killed rank  : {victim} (after round 1)");
+        if let Some(victim) = args.kill {
+            println!("  killed rank  : {victim} (after round 1)");
+        }
+        if let Some((side, round)) = &args.partition {
+            println!("  partition    : {side:?} cut off at round {round}");
+        }
+        if let Some((rank, ms)) = args.stall {
+            println!("  stalled rank : {rank} for {ms} ms at round 1");
+        }
         println!("  survivors    : {:?}", resilient.survivors);
         println!("  attempts     : {}", resilient.attempts);
         println!("  result       : bit-correct on all survivors ✓");
+        if resilient.attempts > 1 {
+            println!(
+                "  (counters below are the successful attempt's; faulted attempts are discarded)"
+            );
+        }
         print_link_report(&resilient.output.metrics);
     } else {
         let out = run_cluster(args, &cfg, move |ep| {
@@ -400,6 +497,9 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     }
     if args.autotune {
         return cmd_bench_autotune(args);
+    }
+    if args.liveness {
+        return cmd_bench_liveness(args);
     }
     let cfg = wire::WireBenchConfig {
         n: args.n,
@@ -462,6 +562,34 @@ fn cmd_bench_autotune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `bruckctl bench --liveness`: the price of the liveness layer — the
+/// same alltoall shape with a per-lap deadline armed and the watchdog
+/// on vs both off, written as the tracked `BENCH_pr5.json` artifact.
+#[cfg(unix)]
+fn cmd_bench_liveness(args: &Args) -> Result<(), String> {
+    use bruck_bench::wire;
+    let cfg = wire::WireBenchConfig {
+        n: args.n,
+        ports: args.ports,
+        block: args.block,
+        reps: args.reps.max(1),
+        samples: args.samples.max(1),
+        radix: args.radix,
+        ..wire::WireBenchConfig::default()
+    };
+    println!(
+        "liveness bench: n={} k={} block={} reps={}x{} (uds)",
+        cfg.n, cfg.ports, cfg.block, cfg.reps, cfg.samples
+    );
+    let rows = wire::run_liveness_overhead(&cfg)?;
+    print!("{}", wire::render_liveness_table(&rows));
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr5.json".into());
+    std::fs::write(&out_path, wire::render_liveness_json(&rows))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("[results written to {out_path}]");
+    Ok(())
+}
+
 #[cfg(not(unix))]
 fn cmd_bench(_args: &Args) -> Result<(), String> {
     Err("bench needs the unix-socket transport".into())
@@ -472,7 +600,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bruckctl: {e}");
-            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--samples S] [--out PATH] [--min-mbps F] [--autotune]");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--partition RANKS@ROUND] [--stall RANK:MS] [--deadline-ms MS] [--samples S] [--out PATH] [--min-mbps F] [--autotune] [--liveness]");
             std::process::exit(2);
         }
     };

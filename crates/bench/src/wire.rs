@@ -22,7 +22,7 @@
 
 use std::time::{Duration, Instant};
 
-use bruck_collectives::api::{allgather, alltoall, alltoall_auto, Tuning};
+use bruck_collectives::api::{allgather, alltoall, alltoall_auto, alltoall_deadline, Tuning};
 use bruck_collectives::autotune::calibrated_fit;
 use bruck_collectives::primitives::barrier_dissemination;
 use bruck_collectives::verify;
@@ -810,6 +810,341 @@ pub fn render_autotune_json(rows: &[AutotuneRow], fit: &LinearFit) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Liveness bench: the wall-clock price of the guard stack.
+// ---------------------------------------------------------------------
+
+/// One row of the liveness-overhead comparison. The deadline rows come
+/// from **one** cluster run with plain and budgeted laps interleaved
+/// (paired design, see [`run_liveness_overhead`]); the watchdog rows
+/// are whole-cluster A/B runs because probing is a cluster-config knob.
+#[derive(Debug, Clone)]
+pub struct LivenessRow {
+    /// `"deadline-off"` / `"deadline-on"` (paired, in-run) or
+    /// `"watchdog-off"` / `"watchdog-on"` (alternating cluster runs).
+    pub mode: &'static str,
+    /// Cluster size.
+    pub n: usize,
+    /// Ports per round.
+    pub k: usize,
+    /// Block size in bytes.
+    pub block: usize,
+    /// Pooled rep count behind the percentiles.
+    pub reps: usize,
+    /// Median cluster-wide wall clock per collective (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile wall clock (ns).
+    pub p99_ns: u64,
+    /// Mean wall clock (ns).
+    pub mean_ns: u64,
+    /// Cluster goodput in MB/s.
+    pub mbps: f64,
+    /// Watchdog probes the cluster sent — ordinary traffic is the
+    /// heartbeat, so on a busy healthy wire this stays near zero.
+    pub probes_sent: u64,
+    /// Reliability-layer retransmissions across the run.
+    pub retransmits: u64,
+}
+
+/// Per-lap budget the deadline-on laps arm. Generous: the point is to
+/// pay the arm/feasibility/clamped-wait bookkeeping on every lap, not
+/// to ever trip it on a healthy wire.
+const LIVENESS_LAP_BUDGET: Duration = Duration::from_secs(10);
+
+/// Straggler-max laps and wire counters accumulated toward one row.
+#[derive(Default)]
+struct LivenessAccum {
+    laps: Vec<u64>,
+    bytes_per_collective: u64,
+    probes_sent: u64,
+    retransmits: u64,
+}
+
+impl LivenessAccum {
+    fn fold(&self, cfg: &WireBenchConfig, mode: &'static str) -> LivenessRow {
+        let mut pooled = self.laps.clone();
+        pooled.sort_unstable();
+        let mean_ns = (pooled.iter().sum::<u64>() / pooled.len().max(1) as u64).max(1);
+        LivenessRow {
+            mode,
+            n: cfg.n,
+            k: cfg.ports,
+            block: cfg.block,
+            reps: pooled.len(),
+            p50_ns: percentile(&pooled, 50),
+            p99_ns: percentile(&pooled, 99),
+            mean_ns,
+            mbps: self.bytes_per_collective as f64 / (mean_ns as f64 / 1e9) / 1e6,
+            probes_sent: self.probes_sent,
+            retransmits: self.retransmits,
+        }
+    }
+}
+
+/// One cluster run measuring the **deadline** layer with a paired
+/// design: every rep runs one plain [`alltoall`] lap and one
+/// [`alltoall_deadline`] lap back to back behind a re-synchronising
+/// barrier, with the in-pair order rotating each rep (the
+/// [`run_autotune_block`] discipline). Both lap kinds sample the same
+/// instant of host-scheduler weather, so their mean difference isolates
+/// the arm/feasibility/clamped-wait bookkeeping — a separate-runs A/B
+/// at this shape drifts by ±15% on a busy box, an order of magnitude
+/// above the effect being measured.
+fn liveness_deadline_sample(
+    cfg: &WireBenchConfig,
+    plain: &mut LivenessAccum,
+    armed: &mut LivenessAccum,
+) -> Result<(), String> {
+    let (n, block, reps) = (cfg.n, cfg.block, cfg.reps.max(1));
+    let tuning = Tuning::builder().planner(true).build();
+    let cluster_cfg = ClusterConfig::new(n)
+        .with_ports(cfg.ports)
+        .with_timeout(cfg.timeout)
+        .with_reliability(Reliability::default());
+    let body = |ep: &mut bruck_net::Endpoint| {
+        let input = verify::index_input(ep.rank(), n, block);
+        let expected = verify::index_expected(ep.rank(), n, block);
+        let run_one = |ep: &mut bruck_net::Endpoint, armed: bool| -> Result<(), NetError> {
+            let got = if armed {
+                alltoall_deadline(ep, &input, block, &tuning, LIVENESS_LAP_BUDGET)?
+            } else {
+                alltoall(ep, &input, block, &tuning)?
+            };
+            if got != expected {
+                return Err(NetError::App("alltoall bytes wrong".into()));
+            }
+            Ok(())
+        };
+        run_one(ep, false)?; // warmup, untimed
+        run_one(ep, true)?;
+        let mut laps: Vec<Vec<u64>> = (0..2).map(|_| Vec::with_capacity(reps)).collect();
+        for rep in 0..reps {
+            for pos in 0..2 {
+                let deadline_lap = (rep + pos) % 2 == 1;
+                barrier_dissemination(ep)?;
+                let t0 = Instant::now();
+                run_one(ep, deadline_lap)?;
+                laps[usize::from(deadline_lap)].push(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        Ok(laps)
+    };
+    let out = bruck_net::SocketCluster::run(&cluster_cfg, body)
+        .map_err(|e| format!("liveness (deadline pair): {e}"))?;
+    // Cluster-wide wall clock for (kind, rep) = the straggler's lap.
+    for (kind, accum) in [&mut *plain, armed].into_iter().enumerate() {
+        for j in 0..reps {
+            accum.laps.push(
+                out.results
+                    .iter()
+                    .map(|laps| laps[kind][j])
+                    .max()
+                    .unwrap_or_default(),
+            );
+        }
+        // 2 timed laps + 2 warmups per rep-pair, half of each kind.
+        accum.bytes_per_collective = out.metrics.total_bytes() / (2 * (reps + 1)) as u64;
+    }
+    let link = out.metrics.link_totals();
+    armed.probes_sent += link.probes_sent;
+    armed.retransmits += link.retransmits;
+    Ok(())
+}
+
+/// One cluster run measuring the **watchdog** layer: plain laps only,
+/// probing either at the [`Reliability`] default or disabled
+/// (`probe_retries = 0` — the watchdog never scans, probes, or
+/// escalates). Config-level, so this leg cannot be lap-paired.
+fn liveness_watchdog_sample(
+    cfg: &WireBenchConfig,
+    probing: bool,
+    accum: &mut LivenessAccum,
+) -> Result<(), String> {
+    let (n, block, reps) = (cfg.n, cfg.block, cfg.reps.max(1));
+    let tuning = Tuning::builder().planner(true).build();
+    let reliability = if probing {
+        Reliability::default()
+    } else {
+        Reliability::default().with_probing(Duration::from_millis(25), 0)
+    };
+    let cluster_cfg = ClusterConfig::new(n)
+        .with_ports(cfg.ports)
+        .with_timeout(cfg.timeout)
+        .with_reliability(reliability);
+    let body = |ep: &mut bruck_net::Endpoint| {
+        let input = verify::index_input(ep.rank(), n, block);
+        let expected = verify::index_expected(ep.rank(), n, block);
+        let run_one = |ep: &mut bruck_net::Endpoint| -> Result<(), NetError> {
+            if alltoall(ep, &input, block, &tuning)? != expected {
+                return Err(NetError::App("alltoall bytes wrong".into()));
+            }
+            Ok(())
+        };
+        run_one(ep)?; // warmup, untimed
+        let mut laps = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            run_one(ep)?;
+            laps.push(t0.elapsed().as_nanos() as u64);
+        }
+        Ok(laps)
+    };
+    let out = bruck_net::SocketCluster::run(&cluster_cfg, body).map_err(|e| {
+        format!(
+            "liveness (watchdog {}): {e}",
+            if probing { "on" } else { "off" }
+        )
+    })?;
+    for j in 0..reps {
+        accum.laps.push(
+            out.results
+                .iter()
+                .map(|laps| laps[j])
+                .max()
+                .unwrap_or_default(),
+        );
+    }
+    accum.bytes_per_collective = out.metrics.total_bytes() / (reps + 1) as u64;
+    let link = out.metrics.link_totals();
+    accum.probes_sent += link.probes_sent;
+    accum.retransmits += link.retransmits;
+    Ok(())
+}
+
+/// Measure both liveness layers at one shape.
+///
+/// The deadline leg pairs plain and budgeted laps inside each cluster
+/// run. The watchdog leg alternates whole cluster runs, flipping the
+/// in-pair order every sample so neither config systematically
+/// inherits the warmer machine the second run of a pair sees.
+///
+/// # Errors
+///
+/// Propagates the first failing cluster run.
+pub fn run_liveness_overhead(cfg: &WireBenchConfig) -> Result<Vec<LivenessRow>, String> {
+    let mut plain = LivenessAccum::default();
+    let mut armed = LivenessAccum::default();
+    let mut wd_off = LivenessAccum::default();
+    let mut wd_on = LivenessAccum::default();
+    for s in 0..cfg.samples.max(1) {
+        liveness_deadline_sample(cfg, &mut plain, &mut armed)?;
+        let first_on = s % 2 == 1;
+        liveness_watchdog_sample(
+            cfg,
+            first_on,
+            if first_on { &mut wd_on } else { &mut wd_off },
+        )?;
+        liveness_watchdog_sample(
+            cfg,
+            !first_on,
+            if first_on { &mut wd_off } else { &mut wd_on },
+        )?;
+    }
+    Ok(vec![
+        plain.fold(cfg, "deadline-off"),
+        armed.fold(cfg, "deadline-on"),
+        wd_off.fold(cfg, "watchdog-off"),
+        wd_on.fold(cfg, "watchdog-on"),
+    ])
+}
+
+fn overhead_between(rows: &[LivenessRow], on: &str, off: &str) -> Option<f64> {
+    let of = |mode: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode)
+            .map(|r| r.mean_ns as f64)
+    };
+    Some(of(on)? / of(off)? - 1.0)
+}
+
+/// Fractional mean-lap cost of arming a per-collective deadline
+/// (`0.03` = 3% slower armed), from the lap-paired rows.
+#[must_use]
+pub fn deadline_overhead(rows: &[LivenessRow]) -> Option<f64> {
+    overhead_between(rows, "deadline-on", "deadline-off")
+}
+
+/// Fractional mean-lap cost of the straggler watchdog, from the
+/// alternating A/B rows.
+#[must_use]
+pub fn watchdog_overhead(rows: &[LivenessRow]) -> Option<f64> {
+    overhead_between(rows, "watchdog-on", "watchdog-off")
+}
+
+/// Render the liveness comparison as a human table.
+#[must_use]
+pub fn render_liveness_table(rows: &[LivenessRow]) -> String {
+    let mut out = format!(
+        "{:<13} {:>4} {:>3} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6} {:>5}\n",
+        "mode", "n", "k", "block", "MB/s", "p50", "p99", "mean", "probes", "rexmt"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13} {:>4} {:>3} {:>8} {:>9.1} {:>9} {:>9} {:>9} {:>6} {:>5}\n",
+            r.mode,
+            r.n,
+            r.k,
+            r.block,
+            r.mbps,
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            fmt_ns(r.mean_ns),
+            r.probes_sent,
+            r.retransmits,
+        ));
+    }
+    if let Some(o) = deadline_overhead(rows) {
+        out.push_str(&format!(
+            "deadline overhead: {:+.2}% mean lap (paired in-run)\n",
+            o * 100.0
+        ));
+    }
+    if let Some(o) = watchdog_overhead(rows) {
+        out.push_str(&format!(
+            "watchdog overhead: {:+.2}% mean lap (alternating A/B runs)\n",
+            o * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the tracked `BENCH_pr5.json` artifact (hand-rolled JSON).
+#[must_use]
+pub fn render_liveness_json(rows: &[LivenessRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pr5-liveness-overhead\",\n");
+    out.push_str("  \"transport\": \"uds\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"n\": {}, \"k\": {}, \"block\": {}, \"reps\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"mbps\": {:.2}, \
+             \"probes_sent\": {}, \"retransmits\": {}}}{}\n",
+            r.mode,
+            r.n,
+            r.k,
+            r.block,
+            r.reps,
+            r.p50_ns,
+            r.p99_ns,
+            r.mean_ns,
+            r.mbps,
+            r.probes_sent,
+            r.retransmits,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let dl = deadline_overhead(rows).unwrap_or(0.0);
+    let wd = watchdog_overhead(rows).unwrap_or(0.0);
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"criteria\": {{\"deadline_overhead\": {:.4}, \"watchdog_overhead\": {:.4}, \
+         \"under_5pct\": {}}}\n}}\n",
+        dl,
+        wd,
+        dl < 0.05 && wd < 0.05,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -952,6 +1287,77 @@ mod tests {
         assert!(!auto.plan.is_empty());
         let table = render_autotune_table(&rows, &fit);
         assert!(table.contains("auto") && table.contains("fixed-r2"));
+    }
+
+    fn liveness_row(mode: &'static str, mean_ns: u64) -> LivenessRow {
+        LivenessRow {
+            mode,
+            n: 8,
+            k: 2,
+            block: 65536,
+            reps: 12,
+            p50_ns: mean_ns,
+            p99_ns: mean_ns * 2,
+            mean_ns,
+            mbps: 100.0,
+            probes_sent: 0,
+            retransmits: 0,
+        }
+    }
+
+    #[test]
+    fn liveness_overheads_are_on_over_off() {
+        let rows = vec![
+            liveness_row("deadline-off", 1_000_000),
+            liveness_row("deadline-on", 1_030_000),
+            liveness_row("watchdog-off", 2_000_000),
+            liveness_row("watchdog-on", 2_020_000),
+        ];
+        assert!((deadline_overhead(&rows).unwrap() - 0.03).abs() < 1e-9);
+        assert!((watchdog_overhead(&rows).unwrap() - 0.01).abs() < 1e-9);
+        assert!(deadline_overhead(&rows[2..]).is_none());
+        assert!(watchdog_overhead(&rows[..2]).is_none());
+    }
+
+    #[test]
+    fn liveness_json_is_well_formed_enough() {
+        let rows = vec![
+            liveness_row("deadline-off", 1_000_000),
+            liveness_row("deadline-on", 1_100_000),
+            liveness_row("watchdog-off", 1_000_000),
+            liveness_row("watchdog-on", 1_010_000),
+        ];
+        let json = render_liveness_json(&rows);
+        assert!(json.contains("\"bench\": \"pr5-liveness-overhead\""));
+        assert!(json.contains("\"deadline_overhead\": 0.1000"));
+        assert!(json.contains("\"watchdog_overhead\": 0.0100"));
+        assert!(json.contains("\"under_5pct\": false"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = render_liveness_table(&rows);
+        assert!(table.contains("deadline-on") && table.contains("+10.00%"));
+    }
+
+    /// Scaled-down liveness comparison over real sockets.
+    #[cfg(unix)]
+    #[test]
+    fn small_liveness_comparison_runs_end_to_end() {
+        let cfg = WireBenchConfig {
+            n: 4,
+            ports: 1,
+            block: 2048,
+            reps: 2,
+            samples: 1,
+            timeout: Duration::from_secs(30),
+            radix: None,
+        };
+        let rows = run_liveness_overhead(&cfg).unwrap();
+        let modes: Vec<&str> = rows.iter().map(|r| r.mode).collect();
+        assert_eq!(
+            modes,
+            ["deadline-off", "deadline-on", "watchdog-off", "watchdog-on"]
+        );
+        assert!(rows.iter().all(|r| r.p50_ns > 0 && r.mbps > 0.0));
+        assert!(deadline_overhead(&rows).is_some() && watchdog_overhead(&rows).is_some());
     }
 
     /// The real thing, scaled down so the suite stays fast: a tiny

@@ -8,6 +8,7 @@
 //! radix and runs the predicted-time minimizer.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use bruck_model::cost::{CostModel, LinearModel};
 use bruck_model::partition::Preference;
@@ -371,6 +372,71 @@ pub fn allgather_auto_into<C: Comm + ?Sized>(
     Ok(choice)
 }
 
+/// [`alltoall`] under a wall-clock completion budget: the call either
+/// completes bit-correct within `budget` or fails with the structured
+/// [`NetError::DeadlineExceeded`] — it can never hang. The budget is
+/// armed on the context's [`Deadline`](bruck_net::Deadline) (shared with
+/// the reliability sublayer, so even an ARQ-level blocking wait aborts
+/// within one poll slice) and disarmed on the way out, success or
+/// failure.
+///
+/// Before arming, the chosen plan's round count divides the budget into
+/// per-round sub-budgets; when the context's adaptive RTO
+/// ([`Comm::rto_hint`], warmed by calibration traffic) shows a single
+/// round could not even complete one lost-frame recovery inside its
+/// sub-budget, the call fails fast instead of burning the wire on a
+/// budget it cannot meet.
+///
+/// # Errors
+///
+/// [`NetError::DeadlineExceeded`] on an infeasible or blown budget;
+/// otherwise see [`alltoall`].
+pub fn alltoall_deadline<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    tuning: &Tuning,
+    budget: Duration,
+) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![0u8; sendbuf.len()];
+    alltoall_deadline_into(ep, sendbuf, block, tuning, budget, &mut out)?;
+    Ok(out)
+}
+
+/// [`alltoall_deadline`] into a caller-provided `n·b`-byte output buffer.
+///
+/// # Errors
+///
+/// See [`alltoall_deadline`].
+pub fn alltoall_deadline_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    block: usize,
+    tuning: &Tuning,
+    budget: Duration,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    let choice = tuning.chosen_plan(ep.size(), block, ep.ports());
+    let rounds = choice.complexity.c1.max(1);
+    if let Some(rto) = ep.rto_hint() {
+        // Feasibility: a round that loses a frame needs ~one RTO to
+        // retransmit and be acked; a per-round sub-budget below that is
+        // a guaranteed miss, so fail fast with the same structured
+        // verdict the blown budget would produce.
+        let per_round = budget.div_f64(rounds as f64);
+        if per_round < rto {
+            return Err(NetError::DeadlineExceeded {
+                rank: ep.rank(),
+                budget,
+            });
+        }
+    }
+    ep.arm_deadline(budget);
+    let result = run_index_plan(ep, &choice.plan, sendbuf, block, out);
+    ep.disarm_deadline();
+    result
+}
+
 /// Outcome of [`alltoall_resilient`]: survivor-dense data plus the
 /// membership it corresponds to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -400,12 +466,16 @@ pub struct ResilientAlltoall {
 /// `sendbuf` still holds one block per *original* rank; blocks addressed
 /// to dead ranks are skipped. The result is survivor-dense.
 ///
-/// Known window: if a rank dies so late that some survivors already
-/// completed the collective, the remaining survivors' retry can time out
-/// waiting for them (they have left the collective and cannot be
-/// recalled). The restart-style
-/// [`Cluster::run_resilient`](bruck_net::Cluster::run_resilient) has no
-/// such window; prefer it when the whole body can be re-run.
+/// Every attempt ends with a **completion barrier** (a dissemination
+/// barrier in a reserved tag namespace of the attempt's epoch): a rank
+/// returns `Ok` only once every group member has provably finished the
+/// same attempt. Without it, a rank whose windowed sends were all
+/// fire-and-forget could complete and leave while a peer was still
+/// mid-collective; if that peer then triggered a retry, the departed
+/// rank could never be recalled and the survivors would stall until the
+/// watchdog excommunicated it. With the barrier, a membership change
+/// aborts the barrier like any other round, the locally-finished rank
+/// discards its result, and it rejoins the shrink-and-retry loop.
 ///
 /// # Errors
 ///
@@ -413,6 +483,34 @@ pub struct ResilientAlltoall {
 /// rank; non-failure errors immediately; the last failure verdict when
 /// `max_attempts` are exhausted.
 ///
+/// Tag namespace of the per-attempt completion barrier: above every
+/// data tag a collective emits (round/dimension numbers, all well below
+/// 2³²), below the epoch bits at
+/// [`EPOCH_SHIFT`](bruck_net::comm::EPOCH_SHIFT), so barrier traffic can
+/// alias neither an attempt's data frames nor another epoch's barrier.
+const CONFIRM_TAG_BASE: u64 = 1 << 32;
+
+/// Dissemination barrier over the (epoch-tagged) group: `⌈log₂ m⌉`
+/// rounds of `send to (me + 2ʲ) mod m, recv from (me − 2ʲ) mod m`.
+/// Completing at any rank proves every rank entered the barrier — i.e.
+/// finished the attempt this barrier seals. Aborts with the shared
+/// failure verdict if the membership changes mid-barrier.
+fn confirm_completion<C: Comm + ?Sized>(gc: &mut C) -> Result<(), NetError> {
+    let m = gc.size();
+    let me = gc.rank();
+    let mut hop = 1usize;
+    let mut j = 0u64;
+    while hop < m {
+        let to = (me + hop) % m;
+        let from = (me + m - hop) % m;
+        let token = gc.send_and_recv(to, &[], from, CONFIRM_TAG_BASE + j)?;
+        gc.recycle(token);
+        hop <<= 1;
+        j += 1;
+    }
+    Ok(())
+}
+
 /// # Panics
 ///
 /// Panics if `max_attempts == 0` or `sendbuf.len() != n·block`.
@@ -447,7 +545,13 @@ pub fn alltoall_resilient(
             dense.extend_from_slice(&sendbuf[m * block..(m + 1) * block]);
         }
         let mut gc = group.bind(ep).with_epoch(epoch);
-        match alltoall(&mut gc, &dense, block, tuning) {
+        // A locally-complete attempt only counts once the whole group
+        // confirms it: the barrier keeps early finishers recallable, so
+        // a failure observed by *any* member sends *every* member around
+        // the retry loop with the same verdict.
+        let outcome = alltoall(&mut gc, &dense, block, tuning)
+            .and_then(|data| confirm_completion(&mut gc).map(|()| data));
+        match outcome {
             Ok(data) => {
                 return Ok(ResilientAlltoall {
                     data,

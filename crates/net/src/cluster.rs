@@ -6,10 +6,11 @@ use std::time::{Duration, Instant};
 
 use bruck_model::cost::{CostModel, LinearModel};
 
+use crate::deadline::Deadline;
 use crate::endpoint::Endpoint;
 use crate::error::NetError;
 use crate::failure::FailureDetector;
-use crate::fault::{FaultPlan, FaultyTransport};
+use crate::fault::{FaultPlan, FaultyTransport, RoundClock};
 use crate::mailbox::Mailbox;
 use crate::metrics::RunMetrics;
 use crate::pool::BufferPool;
@@ -39,6 +40,15 @@ pub struct ClusterConfig {
     /// spec order with sliced polling) instead of the concurrent one.
     /// Benchmark-baseline compatibility only.
     pub serial_rounds: bool,
+    /// Wall-clock completion budget for the whole run: every rank arms
+    /// its [`Deadline`] against one shared expiry instant, so a stalled
+    /// or partitioned run fails on *all* survivors with a structured
+    /// [`NetError::DeadlineExceeded`] within one poll slice of the
+    /// budget — no hangs, ever. `None` (the default) disables the
+    /// budget; unarmed deadline checks cost one atomic load.
+    /// Under [`Cluster::run_resilient`] the budget is re-armed fresh
+    /// for each shrink-and-retry attempt.
+    pub deadline: Option<Duration>,
 }
 
 impl ClusterConfig {
@@ -60,6 +70,7 @@ impl ClusterConfig {
             faults: Arc::new(FaultPlan::new()),
             reliability: None,
             serial_rounds: false,
+            deadline: None,
         }
     }
 
@@ -108,6 +119,14 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_reliability(mut self, reliability: Reliability) -> Self {
         self.reliability = Some(reliability);
+        self
+    }
+
+    /// Bound the whole run by a wall-clock completion budget (see
+    /// [`ClusterConfig::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 
@@ -170,7 +189,8 @@ fn severity(e: &NetError) -> u8 {
         NetError::PortLimit { .. } | NetError::BadPeer { .. } | NetError::DuplicatePeer { .. } => 3,
         NetError::Disconnected { .. } => 4,
         NetError::Timeout { .. } => 5,
-        NetError::RanksFailed { .. } => 6,
+        NetError::DeadlineExceeded { .. } => 6,
+        NetError::RanksFailed { .. } => 7,
     }
 }
 
@@ -375,7 +395,16 @@ impl Cluster {
         // buffer the sender's endpoint staged its payload into.
         let pool = Arc::new(BufferPool::new());
         let detector = Arc::new(FailureDetector::new(n));
-        let wire_faults = config.faults.has_wire_faults();
+        let wire_layer = config.faults.needs_wire_layer();
+        // Completed-rounds clock shared by every rank's wire fault
+        // layer: round-keyed partitions and cuts sever retransmissions
+        // and acks too, not just the first transmission.
+        let round_clock = Arc::new(RoundClock::new(n));
+        // All ranks arm against the *same* expiry instant so survivors
+        // observe a blown budget within one poll slice of each other.
+        let shared_expiry = config
+            .deadline
+            .map(|budget| (Instant::now() + budget, budget));
 
         let mut endpoints: Vec<Endpoint> = transports
             .into_iter()
@@ -385,18 +414,22 @@ impl Cluster {
                 // injection — wire. Faults hit every physical
                 // transmission, including acks and retransmissions.
                 let mut transport = transport;
-                if wire_faults {
-                    transport =
-                        Box::new(FaultyTransport::new(transport, Arc::clone(&config.faults)));
+                if wire_layer {
+                    transport = Box::new(FaultyTransport::new(
+                        transport,
+                        Arc::clone(&config.faults),
+                        Arc::clone(&round_clock),
+                    ));
+                }
+                let deadline = Deadline::new();
+                if let Some((expires, budget)) = shared_expiry {
+                    deadline.arm_at(expires, budget);
                 }
                 if let Some(rel) = config.reliability {
-                    transport = Box::new(ReliableTransport::new(
-                        transport,
-                        rank,
-                        n,
-                        rel,
-                        Arc::clone(&detector),
-                    ));
+                    transport = Box::new(
+                        ReliableTransport::new(transport, rank, n, rel, Arc::clone(&detector))
+                            .with_deadline(deadline.clone()),
+                    );
                 }
                 Endpoint::new(
                     rank,
@@ -411,6 +444,8 @@ impl Cluster {
                     Arc::clone(&pool),
                     Some(Arc::clone(&detector)),
                     config.serial_rounds,
+                    deadline,
+                    Arc::clone(&round_clock),
                 )
             })
             .collect();
@@ -425,7 +460,7 @@ impl Cluster {
         let done = AtomicUsize::new(0);
         let done_ref = &done;
         let linger = config.reliability.is_some();
-        let linger_cap = config.timeout;
+        let linger_fallback = config.timeout;
         let outcomes: Vec<(Result<T, NetError>, crate::metrics::RankMetrics, f64, u64)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = endpoints
@@ -449,6 +484,18 @@ impl Cluster {
                             {
                                 detector_ref.mark_dead(rank);
                             }
+                            // End-of-run patience is derived from the
+                            // link latency this very run observed: the
+                            // reliability layer's adaptive RTO bounds how
+                            // long a peer needs to retransmit an un-acked
+                            // tail and get answered, so shutdown waits a
+                            // few RTOs instead of a fixed multi-second
+                            // constant (the configured timeout stays as
+                            // the upper bound).
+                            let flush_cap = ep
+                                .linger_hint()
+                                .unwrap_or(linger_fallback)
+                                .min(linger_fallback);
                             // Windowed sends may still have an unacked
                             // tail when the body returns (the collective
                             // only matched the *data*, not the acks).
@@ -456,7 +503,7 @@ impl Cluster {
                             // so shutdown cannot race an in-flight frame
                             // that a peer is still waiting to deliver.
                             if linger && !matches!(&result, Err(NetError::Killed { .. })) {
-                                ep.flush(Instant::now() + linger_cap);
+                                ep.flush(Instant::now() + flush_cap);
                             }
                             done_ref.fetch_add(1, Ordering::SeqCst);
                             // Linger: every rank whose *process* survived
@@ -468,7 +515,11 @@ impl Cluster {
                             // self-mark makes peers fail fast through the
                             // detector, not through the retry cap.
                             if linger && !matches!(&result, Err(NetError::Killed { .. })) {
-                                let deadline = Instant::now() + linger_cap;
+                                // The loop is event-bounded (every rank
+                                // increments `done`, even on error); the
+                                // configured timeout is only the hang
+                                // backstop.
+                                let deadline = Instant::now() + linger_fallback;
                                 while done_ref.load(Ordering::SeqCst) < n
                                     && Instant::now() < deadline
                                 {

@@ -9,6 +9,8 @@
 //! unchanged inside any group, including several disjoint groups
 //! concurrently.
 
+use std::time::Duration;
+
 use crate::endpoint::{Endpoint, GatherSendSpec, RecvSpec, SendSpec};
 use crate::error::NetError;
 use crate::message::{Message, Tag};
@@ -179,6 +181,32 @@ pub trait Comm {
     fn idle_round(&mut self) -> Result<(), NetError> {
         self.round(&[], &[]).map(|_| ())
     }
+
+    /// Arm this context's completion budget: every blocking wait in the
+    /// round engine and the reliability sublayer fails with
+    /// [`NetError::DeadlineExceeded`] once `budget` elapses. Contexts
+    /// without a deadline (the default) ignore the call.
+    fn arm_deadline(&mut self, budget: Duration) {
+        let _ = budget;
+    }
+
+    /// Disarm the completion budget; the collective call that armed it
+    /// disarms it on the way out, success or failure.
+    fn disarm_deadline(&mut self) {}
+
+    /// Time left before the armed budget expires; `None` when no budget
+    /// is armed (or the context has no deadline).
+    fn deadline_remaining(&self) -> Option<Duration> {
+        None
+    }
+
+    /// The reliability sublayer's adaptive worst-link retransmission
+    /// timeout, if one is running (see
+    /// [`crate::transport::Transport::rto_hint`]) — the natural unit for
+    /// scaling per-round patience under a deadline.
+    fn rto_hint(&self) -> Option<Duration> {
+        None
+    }
 }
 
 impl Comm for Endpoint {
@@ -239,6 +267,22 @@ impl Comm for Endpoint {
         out: &mut [u8],
     ) -> Result<usize, NetError> {
         Endpoint::send_and_recv_into(self, to, payload, from, tag, out)
+    }
+
+    fn arm_deadline(&mut self, budget: Duration) {
+        Endpoint::deadline(self).arm(budget);
+    }
+
+    fn disarm_deadline(&mut self) {
+        Endpoint::deadline(self).disarm();
+    }
+
+    fn deadline_remaining(&self) -> Option<Duration> {
+        Endpoint::deadline(self).remaining()
+    }
+
+    fn rto_hint(&self) -> Option<Duration> {
+        Endpoint::rto_hint(self)
     }
 }
 
@@ -500,6 +544,22 @@ impl Comm for GroupComm<'_> {
 
     fn recycle(&mut self, buf: Vec<u8>) {
         Endpoint::recycle(self.ep, buf);
+    }
+
+    fn arm_deadline(&mut self, budget: Duration) {
+        Endpoint::deadline(self.ep).arm(budget);
+    }
+
+    fn disarm_deadline(&mut self) {
+        Endpoint::deadline(self.ep).disarm();
+    }
+
+    fn deadline_remaining(&self) -> Option<Duration> {
+        Endpoint::deadline(self.ep).remaining()
+    }
+
+    fn rto_hint(&self) -> Option<Duration> {
+        Endpoint::rto_hint(self.ep)
     }
 }
 

@@ -1,0 +1,194 @@
+//! Caller-set completion budgets for collective calls.
+//!
+//! The Bruck algorithms are round-synchronous: one stalled link in any
+//! of the `(r-1)(w-1)` subphases blocks every downstream rank. A
+//! [`Deadline`] bounds that exposure — it is armed once per collective
+//! call with a wall-clock budget, shared (via `Arc`) between a rank's
+//! endpoint and its reliability layer, and polled from every blocking
+//! wait loop. All blocking waits slice their sleeps to at most
+//! [`Deadline::clamp`], so an expiry (or an explicit
+//! [`cancel`](Deadline::cancel)) aborts an in-flight `wait_any` within
+//! one poll slice rather than after the full per-round timeout.
+//!
+//! The unarmed fast path is a single relaxed atomic load, so collectives
+//! that never set a budget pay (nearly) nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::NetError;
+
+#[derive(Debug, Default)]
+struct DeadlineInner {
+    /// Fast-path gate: when false, [`Deadline::check`] is one load.
+    armed: AtomicBool,
+    /// Explicit cancellation token: aborts waiters even before expiry.
+    cancelled: AtomicBool,
+    /// `(expiry instant, original budget)` — the budget is kept only
+    /// for error reporting.
+    state: Mutex<Option<(Instant, Duration)>>,
+}
+
+/// A shared, re-armable completion budget.
+///
+/// Cloning shares the underlying state: the cluster engine hands one
+/// clone to each rank's endpoint and another to its reliability layer,
+/// so arming at the API layer reaches the deepest ARQ wait loops.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    inner: Arc<DeadlineInner>,
+}
+
+impl Deadline {
+    /// An unarmed deadline (checks always pass).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm with a budget starting now. Returns the expiry instant so
+    /// callers coordinating several ranks can share one absolute time.
+    pub fn arm(&self, budget: Duration) -> Instant {
+        let expires = Instant::now() + budget;
+        self.arm_at(expires, budget);
+        expires
+    }
+
+    /// Arm against a pre-computed expiry instant: every rank of a
+    /// cluster run arms against the *same* instant, so all survivors
+    /// observe expiry within one poll slice of each other.
+    pub fn arm_at(&self, expires: Instant, budget: Duration) {
+        *self.inner.state.lock().unwrap() = Some((expires, budget));
+        self.inner.cancelled.store(false, Ordering::SeqCst);
+        self.inner.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm: subsequent checks pass. The collective call that armed
+    /// the budget disarms it on the way out, success or failure.
+    pub fn disarm(&self) {
+        self.inner.armed.store(false, Ordering::SeqCst);
+        self.inner.cancelled.store(false, Ordering::SeqCst);
+        *self.inner.state.lock().unwrap() = None;
+    }
+
+    /// Cancel outright: every waiter sharing this deadline fails its
+    /// next check with `DeadlineExceeded`, regardless of remaining
+    /// budget. Idempotent; a later [`arm`](Self::arm) re-arms cleanly.
+    pub fn cancel(&self) {
+        self.inner.armed.store(true, Ordering::SeqCst);
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a budget is currently armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Relaxed)
+    }
+
+    /// Time left before expiry, `None` when unarmed. Returns
+    /// `Duration::ZERO` once expired or cancelled.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        if !self.is_armed() {
+            return None;
+        }
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return Some(Duration::ZERO);
+        }
+        let state = self.inner.state.lock().unwrap();
+        state.map(|(expires, _)| expires.saturating_duration_since(Instant::now()))
+    }
+
+    /// Clamp a wait slice so a blocking read wakes no later than the
+    /// expiry. Unarmed deadlines leave the slice untouched.
+    #[must_use]
+    pub fn clamp(&self, slice: Duration) -> Duration {
+        match self.remaining() {
+            Some(left) => slice.min(left),
+            None => slice,
+        }
+    }
+
+    /// Fail with [`NetError::DeadlineExceeded`] if the budget is spent
+    /// or cancelled. The unarmed fast path is one atomic load.
+    pub fn check(&self, rank: usize) -> Result<(), NetError> {
+        if !self.is_armed() {
+            return Ok(());
+        }
+        let (expired, budget) = {
+            let state = self.inner.state.lock().unwrap();
+            let budget = state.map_or(Duration::ZERO, |(_, b)| b);
+            let expired = self.inner.cancelled.load(Ordering::SeqCst)
+                || state.is_some_and(|(expires, _)| Instant::now() >= expires);
+            (expired, budget)
+        };
+        if expired {
+            Err(NetError::DeadlineExceeded { rank, budget })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_always_passes() {
+        let d = Deadline::new();
+        assert!(!d.is_armed());
+        assert!(d.check(0).is_ok());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d.clamp(Duration::from_millis(5)), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn armed_passes_until_expiry() {
+        let d = Deadline::new();
+        d.arm(Duration::from_secs(60));
+        assert!(d.check(1).is_ok());
+        assert!(d.clamp(Duration::from_secs(120)) <= Duration::from_secs(60));
+        d.disarm();
+        assert!(d.check(1).is_ok());
+    }
+
+    #[test]
+    fn expiry_is_a_structured_error() {
+        let d = Deadline::new();
+        d.arm(Duration::ZERO);
+        let err = d.check(3).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::DeadlineExceeded {
+                rank: 3,
+                budget: Duration::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_aborts_before_expiry() {
+        let d = Deadline::new();
+        d.arm(Duration::from_secs(60));
+        let clone = d.clone();
+        clone.cancel();
+        assert!(matches!(
+            d.check(0),
+            Err(NetError::DeadlineExceeded { rank: 0, .. })
+        ));
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        // Re-arming clears the cancellation.
+        d.arm(Duration::from_secs(60));
+        assert!(d.check(0).is_ok());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = Deadline::new();
+        let clone = d.clone();
+        d.arm(Duration::ZERO);
+        assert!(clone.check(2).is_err());
+    }
+}

@@ -12,9 +12,10 @@ use std::time::{Duration, Instant};
 
 use bruck_model::cost::CostModel;
 
+use crate::deadline::Deadline;
 use crate::error::NetError;
 use crate::failure::FailureDetector;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, RoundClock};
 use crate::message::{payload_checksum, Message, Tag};
 use crate::metrics::RankMetrics;
 use crate::pool::BufferPool;
@@ -110,6 +111,14 @@ pub struct Endpoint {
     /// sliced polling — the pre-pipelining round engine, kept for the
     /// wire benchmark's baseline (see `ClusterConfig::with_serial_rounds`).
     serial_rounds: bool,
+    /// The rank's completion budget, shared with the reliability layer
+    /// (and armed cluster-wide by `ClusterConfig::with_deadline` or per
+    /// collective by the API layer). Unarmed checks are one atomic load.
+    deadline: Deadline,
+    /// Cluster-shared completed-rounds clock: published after every
+    /// round so the wire-level fault layer can key partitions and cuts
+    /// on round numbers even for retransmissions and acks.
+    round_clock: Arc<RoundClock>,
 }
 
 impl Endpoint {
@@ -127,6 +136,8 @@ impl Endpoint {
         pool: Arc<BufferPool>,
         detector: Option<Arc<FailureDetector>>,
         serial_rounds: bool,
+        deadline: Deadline,
+        round_clock: Arc<RoundClock>,
     ) -> Self {
         let checksums = faults.has_wire_faults();
         Self {
@@ -146,7 +157,32 @@ impl Endpoint {
             seen_version: 0,
             checksums,
             serial_rounds,
+            deadline,
+            round_clock,
         }
+    }
+
+    /// The rank's completion budget. Arm it (directly or through
+    /// [`crate::comm::Comm::arm_deadline`]) to bound how long any
+    /// blocking wait in this endpoint *or its reliability sublayer* can
+    /// park before failing with [`NetError::DeadlineExceeded`].
+    #[must_use]
+    pub fn deadline(&self) -> &Deadline {
+        &self.deadline
+    }
+
+    /// The reliability sublayer's adaptive worst-link RTO, if any
+    /// (see [`Transport::rto_hint`]).
+    #[must_use]
+    pub fn rto_hint(&self) -> Option<Duration> {
+        self.transport.rto_hint()
+    }
+
+    /// How long this endpoint's transport wants the end-of-run linger
+    /// phase to last (see [`Transport::linger_hint`]).
+    #[must_use]
+    pub fn linger_hint(&self) -> Option<Duration> {
+        self.transport.linger_hint()
     }
 
     /// The cluster-shared buffer pool backing this endpoint's data plane.
@@ -395,6 +431,14 @@ impl Endpoint {
                 after_round: after,
             });
         }
+        if let Some(pause) = self.faults.stall_for(self.rank, completed) {
+            // A SIGSTOP-style stall: the whole rank thread goes dark —
+            // no sends, no receives, and crucially no ack traffic from
+            // its reliability sublayer — for the scheduled pause. Peers
+            // must distinguish this from a crash via probing.
+            std::thread::sleep(pause);
+        }
+        self.deadline.check(self.rank)?;
         self.check_peers(send_peers, "send", send_count)?;
         self.check_peers(recvs.iter().map(|r| r.from), "recv", recvs.len())?;
         Ok(completed)
@@ -452,6 +496,7 @@ impl Endpoint {
         }
         self.clock = finish;
         self.metrics.record_round(sent_sizes, recvs.len());
+        self.round_clock.advance(self.rank);
         Ok(out)
     }
 
@@ -471,6 +516,7 @@ impl Endpoint {
         let mut remaining = recvs.len();
         let deadline = Instant::now() + self.timeout;
         while remaining > 0 {
+            self.deadline.check(self.rank)?;
             if let Some(det) = &self.detector {
                 if det.version() > self.seen_version {
                     return Err(NetError::RanksFailed {
@@ -516,7 +562,8 @@ impl Endpoint {
                     waited: self.timeout,
                 });
             }
-            self.transport.wait_any(left.min(FAILOVER_POLL))?;
+            self.transport
+                .wait_any(self.deadline.clamp(left.min(FAILOVER_POLL)))?;
         }
         Ok(slots
             .into_iter()
@@ -536,6 +583,7 @@ impl Endpoint {
         for r in recvs {
             let deadline = Instant::now() + self.timeout;
             loop {
+                self.deadline.check(self.rank)?;
                 if let Some(det) = &self.detector {
                     if det.version() > self.seen_version {
                         return Err(NetError::RanksFailed {
@@ -543,9 +591,11 @@ impl Endpoint {
                         });
                     }
                 }
-                let slice = deadline
-                    .saturating_duration_since(Instant::now())
-                    .min(FAILOVER_POLL);
+                let slice = self.deadline.clamp(
+                    deadline
+                        .saturating_duration_since(Instant::now())
+                        .min(FAILOVER_POLL),
+                );
                 match self.transport.recv_match(r.from, r.tag, slice) {
                     Ok(msg) => {
                         if !msg.checksum_ok() {

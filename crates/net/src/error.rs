@@ -70,6 +70,17 @@ pub enum NetError {
         /// Message tag.
         tag: u64,
     },
+    /// The caller-set completion deadline expired before the collective
+    /// finished. Unlike [`Timeout`](Self::Timeout) — which means one
+    /// receive starved for the per-round patience window — this is the
+    /// *budget* verdict: the whole call ran out of wall-clock, and every
+    /// rank sharing the deadline observes it within one poll slice.
+    DeadlineExceeded {
+        /// Rank that observed the expiry.
+        rank: usize,
+        /// The budget that was set for the call.
+        budget: Duration,
+    },
     /// The cluster-wide failure verdict: the listed ranks were declared
     /// dead (killed by fault injection, or unreachable past the
     /// reliability layer's retry cap). Every survivor of the same run
@@ -118,6 +129,9 @@ impl fmt::Display for NetError {
                 f,
                 "rank {rank}: checksum mismatch on message from {from} (tag {tag})"
             ),
+            Self::DeadlineExceeded { rank, budget } => {
+                write!(f, "rank {rank}: deadline exceeded ({budget:?} budget)")
+            }
             Self::RanksFailed { ranks } => write!(f, "ranks {ranks:?} failed"),
             Self::App(msg) => write!(f, "application error: {msg}"),
         }

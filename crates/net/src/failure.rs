@@ -15,12 +15,16 @@
 //! with one atomic load instead of building a snapshot per poll.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The shared, monotone set of ranks declared dead.
 #[derive(Debug)]
 pub struct FailureDetector {
     dead: Vec<AtomicBool>,
     version: AtomicU64,
+    /// Serializes unreachability *accusations* (not authoritative kills)
+    /// so an asymmetric partition resolves to exactly one verdict.
+    arbiter: Mutex<()>,
 }
 
 impl FailureDetector {
@@ -30,14 +34,40 @@ impl FailureDetector {
         Self {
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
             version: AtomicU64::new(0),
+            arbiter: Mutex::new(()),
         }
     }
 
-    /// Declare `rank` dead (idempotent).
+    /// Declare `rank` dead (idempotent). This is the *authoritative*
+    /// path — fault-injection kills and self-reported deaths — and needs
+    /// no arbitration.
     pub fn mark_dead(&self, rank: usize) {
         if !self.dead[rank].swap(true, Ordering::SeqCst) {
             self.version.fetch_add(1, Ordering::SeqCst);
         }
+    }
+
+    /// `reporter` accuses `peer` of being unreachable (retry cap or
+    /// watchdog escalation). Unlike [`mark_dead`](Self::mark_dead) this
+    /// is an *accusation*: under an asymmetric partition both endpoints
+    /// of the cut may accuse each other, and naively honouring both
+    /// would kill the whole pair. Arbitration, under one lock:
+    ///
+    /// - a dead reporter's accusation is void (it lost a previous
+    ///   arbitration, or was killed outright);
+    /// - an already-dead peer needs no second verdict.
+    ///
+    /// First live accusation wins, so exactly one endpoint of a mutual
+    /// accusation dies, and the last live rank can never be eliminated —
+    /// all its would-be accusers are dead, so their reports are void.
+    /// Returns whether the accusation was honoured.
+    pub fn report_unreachable(&self, reporter: usize, peer: usize) -> bool {
+        let _guard = self.arbiter.lock().unwrap();
+        if self.is_dead(reporter) || self.is_dead(peer) {
+            return false;
+        }
+        self.mark_dead(peer);
+        true
     }
 
     /// Whether `rank` has been declared dead.
@@ -112,5 +142,34 @@ mod tests {
         d.mark_dead(3);
         d.mark_dead(1);
         assert_eq!(d.consistent_snapshot(), (2, vec![1, 3]));
+    }
+
+    #[test]
+    fn mutual_accusation_kills_exactly_one() {
+        let d = FailureDetector::new(4);
+        assert!(d.report_unreachable(0, 1));
+        // The loser's counter-accusation is void: it is already dead.
+        assert!(!d.report_unreachable(1, 0));
+        assert_eq!(d.snapshot(), vec![1]);
+    }
+
+    #[test]
+    fn dead_reporter_cannot_eliminate_last_survivor() {
+        let d = FailureDetector::new(3);
+        d.mark_dead(1);
+        assert!(d.report_unreachable(0, 2));
+        // Both of rank 0's potential accusers are dead; their reports
+        // are void and rank 0 survives.
+        assert!(!d.report_unreachable(1, 0));
+        assert!(!d.report_unreachable(2, 0));
+        assert_eq!(d.snapshot(), vec![1, 2]);
+    }
+
+    #[test]
+    fn accusing_the_already_dead_is_idempotent() {
+        let d = FailureDetector::new(4);
+        d.mark_dead(3);
+        assert!(!d.report_unreachable(0, 3));
+        assert_eq!(d.version(), 1);
     }
 }

@@ -24,6 +24,8 @@
 //! only meaningful for testing the reliability layer itself.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +33,40 @@ use crate::error::NetError;
 use crate::message::{Message, Tag};
 use crate::metrics::LinkStats;
 use crate::transport::Transport;
+
+/// Cluster-shared progress clock: each rank's count of *completed*
+/// rounds, published by its endpoint and read by every
+/// [`FaultyTransport`] so round-keyed link cuts apply below the round
+/// layer — severing retransmissions and acks, not just the round's data
+/// frames. Lock-free; one relaxed load per transmission.
+#[derive(Debug)]
+pub struct RoundClock {
+    completed: Vec<AtomicU64>,
+}
+
+impl RoundClock {
+    /// A clock for `n` ranks, all at round 0.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            completed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record that `rank` completed another round.
+    pub fn advance(&self, rank: usize) {
+        self.completed[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many rounds `rank` has completed. Ranks beyond the clock's
+    /// size (never the case inside a cluster run) read as round 0.
+    #[must_use]
+    pub fn completed(&self, rank: usize) -> u64 {
+        self.completed
+            .get(rank)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
 
 /// Per-link probabilistic fault rates (each in `[0, 1]`).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -95,6 +131,23 @@ pub struct FaultPlan {
     rates: LinkRates,
     /// Per-link overrides keyed by `(src, dst)`.
     link_rates: HashMap<(usize, usize), LinkRates>,
+    /// Directed link cuts: `(src, dst)` → the sender round from which
+    /// every `src → dst` transmission is severed.
+    cut_links: HashMap<(usize, usize), u64>,
+    /// Bipartitions: `(side, round)` — once the sender has completed
+    /// `round` rounds, traffic crossing the `side` / complement boundary
+    /// (either direction) is severed. Membership is evaluated per
+    /// message, so the plan needs no knowledge of `n`.
+    partitions: Vec<(Vec<usize>, u64)>,
+    /// Stall events: `(rank, round, pause)` — the rank sleeps for
+    /// `pause` before starting the round after completing `round` rounds
+    /// (SIGSTOP-style: while asleep it pumps no acks and answers no
+    /// probes).
+    stalls: Vec<(usize, u64, Duration)>,
+    /// Probability a dedicated ack frame is silently discarded —
+    /// ack-path fault injection beyond the symmetric `rates` (which hit
+    /// acks and data alike).
+    ack_loss: f64,
 }
 
 impl FaultPlan {
@@ -107,7 +160,11 @@ impl FaultPlan {
     /// Whether the plan injects anything at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.kill_after.is_empty() && self.drops.is_empty() && !self.has_wire_faults()
+        self.kill_after.is_empty()
+            && self.drops.is_empty()
+            && self.stalls.is_empty()
+            && !self.has_wire_faults()
+            && !self.needs_wire_layer()
     }
 
     /// Kill `rank` once it has completed `round` rounds.
@@ -169,11 +226,96 @@ impl FaultPlan {
         self
     }
 
+    /// Sever the directed link `src → dst` from the sender's round
+    /// `round` onward (data, acks, and retransmissions alike). The
+    /// reverse link stays up — this is how asymmetric partitions are
+    /// built.
+    #[must_use]
+    pub fn cut_link(mut self, src: usize, dst: usize, round: u64) -> Self {
+        self.cut_links.insert((src, dst), round);
+        self
+    }
+
+    /// Partition the cluster into `side` and its complement from round
+    /// `round` onward: every transmission crossing the boundary (either
+    /// direction) is severed once its sender has completed `round`
+    /// rounds.
+    #[must_use]
+    pub fn with_partition(mut self, side: Vec<usize>, round: u64) -> Self {
+        self.partitions.push((side, round));
+        self
+    }
+
+    /// Stall `rank` for `pause` before it starts the round after
+    /// completing `round` rounds. While stalled the rank is fully
+    /// unresponsive (no ack pumping, no probe replies) — the in-process
+    /// analogue of a SIGSTOP/SIGCONT pair.
+    #[must_use]
+    pub fn stall_rank(mut self, rank: usize, round: u64, pause: Duration) -> Self {
+        self.stalls.push((rank, round, pause));
+        self
+    }
+
+    /// Lose each dedicated ack frame with probability `rate` (on top of
+    /// any symmetric per-link rates).
+    #[must_use]
+    pub fn with_ack_loss(mut self, rate: f64) -> Self {
+        self.ack_loss = rate;
+        self
+    }
+
     /// Whether any probabilistic wire fault is configured (this is what
     /// switches payload checksumming on).
     #[must_use]
     pub fn has_wire_faults(&self) -> bool {
         !self.rates.is_quiet() || self.link_rates.values().any(|r| !r.is_quiet())
+    }
+
+    /// Whether the plan needs the [`FaultyTransport`] wrapper installed
+    /// at all: probabilistic rates, link cuts/partitions, or ack-path
+    /// loss (cuts and ack loss do not corrupt payloads, so they need the
+    /// wire layer but not checksumming).
+    #[must_use]
+    pub fn needs_wire_layer(&self) -> bool {
+        self.has_wire_faults()
+            || !self.cut_links.is_empty()
+            || !self.partitions.is_empty()
+            || self.ack_loss > 0.0
+    }
+
+    /// Whether `src → dst` is severed once the sender has completed
+    /// `completed` rounds — by a directed cut or by any active
+    /// bipartition the two ranks straddle.
+    #[must_use]
+    pub fn is_cut(&self, src: usize, dst: usize, completed: u64) -> bool {
+        if let Some(&round) = self.cut_links.get(&(src, dst)) {
+            if completed >= round {
+                return true;
+            }
+        }
+        self.partitions
+            .iter()
+            .any(|(side, round)| completed >= *round && side.contains(&src) != side.contains(&dst))
+    }
+
+    /// Total stall this rank owes before starting the round after
+    /// completing `completed` rounds.
+    #[must_use]
+    pub fn stall_for(&self, rank: usize, completed: u64) -> Option<Duration> {
+        let total: Duration = self
+            .stalls
+            .iter()
+            .filter(|&&(r, at, _)| r == rank && at == completed)
+            .map(|&(_, _, pause)| pause)
+            .sum();
+        (total > Duration::ZERO).then_some(total)
+    }
+
+    /// The seeded verdict for dropping the `xmit`-th transmission as an
+    /// ack-path loss (only consulted for dedicated ack frames).
+    #[must_use]
+    pub fn ack_loss_verdict(&self, src: usize, dst: usize, xmit: u64) -> bool {
+        self.ack_loss > 0.0 && unit_draw(self.wire_key(src, dst, xmit), 5) < self.ack_loss
     }
 
     /// The rates in force on the link `src → dst`.
@@ -250,6 +392,13 @@ impl FaultPlan {
             seed: self.seed,
             rates: self.rates,
             link_rates: HashMap::new(),
+            // Cuts, partitions, and stalls are keyed by original ranks
+            // and round numbers already consumed — cleared like kills.
+            cut_links: HashMap::new(),
+            partitions: Vec::new(),
+            stalls: Vec::new(),
+            // Ack-path loss is a topology-agnostic rate like `rates`.
+            ack_loss: self.ack_loss,
         }
     }
 }
@@ -261,18 +410,23 @@ impl FaultPlan {
 pub struct FaultyTransport {
     inner: Box<dyn Transport>,
     plan: Arc<FaultPlan>,
+    /// Cluster-shared round progress, for round-keyed link cuts.
+    clock: Arc<RoundClock>,
     /// Per-sender transmission counter driving the seeded RNG.
     xmit: u64,
     stats: LinkStats,
 }
 
 impl FaultyTransport {
-    /// Wrap `inner`, injecting faults from `plan`.
+    /// Wrap `inner`, injecting faults from `plan`. Link cuts and
+    /// partitions activate against `clock`, the cluster-shared count of
+    /// completed rounds per rank.
     #[must_use]
-    pub fn new(inner: Box<dyn Transport>, plan: Arc<FaultPlan>) -> Self {
+    pub fn new(inner: Box<dyn Transport>, plan: Arc<FaultPlan>, clock: Arc<RoundClock>) -> Self {
         Self {
             inner,
             plan,
+            clock,
             xmit: 0,
             stats: LinkStats::default(),
         }
@@ -283,6 +437,20 @@ impl Transport for FaultyTransport {
     fn send(&mut self, mut msg: Message) -> Result<(), NetError> {
         let xmit = self.xmit;
         self.xmit += 1;
+        // Link cuts fire below everything else: a severed link carries
+        // no data, no retransmissions, no acks, and no probes.
+        if self
+            .plan
+            .is_cut(msg.src, msg.dst, self.clock.completed(msg.src))
+        {
+            self.stats.partition_cuts += 1;
+            return Ok(());
+        }
+        if msg.tag == crate::reliable::ACK_TAG && self.plan.ack_loss_verdict(msg.src, msg.dst, xmit)
+        {
+            self.stats.injected_ack_losses += 1;
+            return Ok(());
+        }
         let verdict = self.plan.wire_verdict(msg.src, msg.dst, xmit);
         if verdict.drop {
             self.stats.injected_losses += 1;
@@ -351,6 +519,231 @@ impl Transport for FaultyTransport {
 
     fn link_stats(&self) -> LinkStats {
         self.stats.merged(&self.inner.link_stats())
+    }
+}
+
+/// One injectable fault in a [`ChaosSchedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosEvent {
+    /// Per-link loss rate.
+    Loss(f64),
+    /// Per-link duplication rate.
+    Duplication(f64),
+    /// Per-link corruption rate.
+    Corruption(f64),
+    /// Per-link virtual-delay rate and penalty.
+    Delay {
+        /// Probability a transmission is delayed.
+        rate: f64,
+        /// Virtual-time penalty in seconds.
+        secs: f64,
+    },
+    /// Dedicated-ack loss rate.
+    AckLoss(f64),
+    /// Bipartition cut at the given sender round.
+    Partition {
+        /// One side of the bipartition.
+        side: Vec<usize>,
+        /// Sender round from which cross traffic is severed.
+        round: u64,
+    },
+    /// Directed link cut (the asymmetric-partition primitive).
+    Cut {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Sender round from which `src → dst` is severed.
+        round: u64,
+    },
+    /// SIGSTOP-style pause: the rank sleeps before one of its rounds.
+    Stall {
+        /// Paused rank.
+        rank: usize,
+        /// Completed-round count at which the pause fires.
+        round: u64,
+        /// Pause length in milliseconds.
+        millis: u64,
+    },
+    /// Crash the rank after a round.
+    Kill {
+        /// Killed rank.
+        rank: usize,
+        /// Completed-round count after which it dies.
+        round: u64,
+    },
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Loss(r) => write!(f, "loss {:.1}%", r * 100.0),
+            Self::Duplication(r) => write!(f, "dup {:.1}%", r * 100.0),
+            Self::Corruption(r) => write!(f, "corrupt {:.1}%", r * 100.0),
+            Self::Delay { rate, secs } => write!(f, "delay {:.1}% (+{secs}s)", rate * 100.0),
+            Self::AckLoss(r) => write!(f, "ack-loss {:.1}%", r * 100.0),
+            Self::Partition { side, round } => write!(f, "partition {side:?} @ round {round}"),
+            Self::Cut { src, dst, round } => write!(f, "cut {src}→{dst} @ round {round}"),
+            Self::Stall {
+                rank,
+                round,
+                millis,
+            } => {
+                write!(f, "stall rank {rank} @ round {round} for {millis}ms")
+            }
+            Self::Kill { rank, round } => write!(f, "kill rank {rank} after round {round}"),
+        }
+    }
+}
+
+/// A seeded, reproducible chaos schedule: a bag of [`ChaosEvent`]s plus
+/// the wire-RNG seed, generated deterministically from `(seed, n)` by
+/// [`generate`](Self::generate) and foldable into a [`FaultPlan`] via
+/// [`plan`](Self::plan). The schedule-enumeration harness in
+/// `tests/liveness.rs` runs hundreds of these per cluster shape; on an
+/// invariant violation it greedily shrinks the schedule with
+/// [`minimized`](Self::minimized) and prints the survivor for replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSchedule {
+    /// Seed for the probabilistic wire-fault RNG.
+    pub seed: u64,
+    /// Cluster size the schedule targets.
+    pub n: usize,
+    /// The injected faults.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// Generate the schedule for `(seed, n)` — pure function of its
+    /// arguments, no ambient entropy. Rates are kept mild (healable by
+    /// the reliability layer); partitions, cuts, stalls, and kills are
+    /// the hard liveness events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn generate(seed: u64, n: usize) -> Self {
+        assert!(n >= 2, "a chaos schedule needs at least two ranks");
+        let mut state = splitmix64(seed ^ (n as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        let mut next = move || {
+            state = splitmix64(state);
+            state
+        };
+        let mut rate = |max: f64| (next() >> 11) as f64 / (1u64 << 53) as f64 * max;
+        let mut events = Vec::new();
+        if rate(1.0) < 0.5 {
+            events.push(ChaosEvent::Loss(rate(0.05)));
+        }
+        if rate(1.0) < 0.5 {
+            events.push(ChaosEvent::Duplication(rate(0.05)));
+        }
+        if rate(1.0) < 0.5 {
+            events.push(ChaosEvent::Corruption(rate(0.05)));
+        }
+        if rate(1.0) < 0.33 {
+            events.push(ChaosEvent::Delay {
+                rate: rate(0.1),
+                secs: 1e-5,
+            });
+        }
+        if rate(1.0) < 0.33 {
+            events.push(ChaosEvent::AckLoss(rate(0.15)));
+        }
+        if rate(1.0) < 0.5 {
+            events.push(ChaosEvent::Stall {
+                rank: (rate(1.0) * n as f64) as usize % n,
+                round: (rate(1.0) * 3.0) as u64,
+                millis: 1 + (rate(1.0) * 25.0) as u64,
+            });
+        }
+        if rate(1.0) < 0.25 {
+            // A random nonempty proper subset as one partition side.
+            let mut side: Vec<usize> = (0..n).filter(|_| rate(1.0) < 0.5).collect();
+            if side.is_empty() || side.len() == n {
+                side = vec![(rate(1.0) * n as f64) as usize % n];
+            }
+            events.push(ChaosEvent::Partition {
+                side,
+                round: (rate(1.0) * 3.0) as u64,
+            });
+        }
+        if rate(1.0) < 0.25 {
+            let src = (rate(1.0) * n as f64) as usize % n;
+            let dst = (src + 1 + (rate(1.0) * (n - 1) as f64) as usize % (n - 1)) % n;
+            events.push(ChaosEvent::Cut {
+                src,
+                dst,
+                round: (rate(1.0) * 3.0) as u64,
+            });
+        }
+        if rate(1.0) < 0.16 {
+            events.push(ChaosEvent::Kill {
+                rank: (rate(1.0) * n as f64) as usize % n,
+                round: (rate(1.0) * 3.0) as u64,
+            });
+        }
+        Self { seed, n, events }
+    }
+
+    /// Fold the schedule into an executable [`FaultPlan`].
+    #[must_use]
+    pub fn plan(&self) -> FaultPlan {
+        let mut p = FaultPlan::new().with_seed(self.seed);
+        for ev in &self.events {
+            p = match ev {
+                ChaosEvent::Loss(r) => p.with_loss(*r),
+                ChaosEvent::Duplication(r) => p.with_duplication(*r),
+                ChaosEvent::Corruption(r) => p.with_corruption(*r),
+                ChaosEvent::Delay { rate, secs } => p.with_delay(*rate, *secs),
+                ChaosEvent::AckLoss(r) => p.with_ack_loss(*r),
+                ChaosEvent::Partition { side, round } => p.with_partition(side.clone(), *round),
+                ChaosEvent::Cut { src, dst, round } => p.cut_link(*src, *dst, *round),
+                ChaosEvent::Stall {
+                    rank,
+                    round,
+                    millis,
+                } => p.stall_rank(*rank, *round, Duration::from_millis(*millis)),
+                ChaosEvent::Kill { rank, round } => p.kill_rank_after(*rank, *round),
+            };
+        }
+        p
+    }
+
+    /// Greedily shrink the schedule while `fails` keeps returning `true`
+    /// (ddmin-style, one event at a time): the result is 1-minimal — no
+    /// single event can be removed without losing the failure. `fails`
+    /// must be a deterministic replay of the original violation.
+    #[must_use]
+    pub fn minimized(&self, mut fails: impl FnMut(&Self) -> bool) -> Self {
+        let mut best = self.clone();
+        loop {
+            let shrunk = (0..best.events.len()).find_map(|i| {
+                let mut candidate = best.clone();
+                candidate.events.remove(i);
+                fails(&candidate).then_some(candidate)
+            });
+            match shrunk {
+                Some(candidate) => best = candidate,
+                None => return best,
+            }
+        }
+    }
+}
+
+impl fmt::Display for ChaosSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos schedule: seed={:#x} n={} ({} events)",
+            self.seed,
+            self.n,
+            self.events.len()
+        )?;
+        for ev in &self.events {
+            writeln!(f, "  - {ev}")?;
+        }
+        Ok(())
     }
 }
 
@@ -436,5 +829,140 @@ mod tests {
         assert!(!s.should_drop(0, 1, 0));
         assert!(s.has_wire_faults());
         assert_eq!(s.rates_for(0, 1).loss, 0.1);
+    }
+
+    #[test]
+    fn directed_cut_is_one_way_and_round_keyed() {
+        let p = FaultPlan::new().cut_link(1, 2, 3);
+        assert!(!p.is_cut(1, 2, 2), "not yet active");
+        assert!(p.is_cut(1, 2, 3));
+        assert!(p.is_cut(1, 2, 9));
+        assert!(!p.is_cut(2, 1, 9), "reverse link stays up");
+        assert!(p.needs_wire_layer());
+        assert!(!p.has_wire_faults(), "cuts do not need checksumming");
+    }
+
+    #[test]
+    fn partition_cuts_cross_traffic_both_ways() {
+        let p = FaultPlan::new().with_partition(vec![0, 2], 1);
+        assert!(!p.is_cut(0, 1, 0), "before the round the wire is whole");
+        assert!(p.is_cut(0, 1, 1));
+        assert!(p.is_cut(1, 0, 1));
+        assert!(p.is_cut(3, 2, 5));
+        assert!(!p.is_cut(0, 2, 5), "same side stays connected");
+        assert!(!p.is_cut(1, 3, 5), "same side stays connected");
+    }
+
+    #[test]
+    fn stalls_accumulate_per_round() {
+        let p = FaultPlan::new()
+            .stall_rank(2, 1, Duration::from_millis(10))
+            .stall_rank(2, 1, Duration::from_millis(5))
+            .stall_rank(2, 3, Duration::from_millis(7));
+        assert_eq!(p.stall_for(2, 0), None);
+        assert_eq!(p.stall_for(2, 1), Some(Duration::from_millis(15)));
+        assert_eq!(p.stall_for(2, 3), Some(Duration::from_millis(7)));
+        assert_eq!(p.stall_for(1, 1), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn ack_loss_rate_is_roughly_honored() {
+        let p = FaultPlan::new().with_seed(11).with_ack_loss(0.25);
+        let losses = (0..10_000).filter(|&x| p.ack_loss_verdict(0, 1, x)).count();
+        assert!(
+            (2_000..3_000).contains(&losses),
+            "25% ack loss drew {losses}/10000"
+        );
+        assert!(p.needs_wire_layer());
+    }
+
+    #[test]
+    fn survivor_plan_clears_cuts_and_stalls() {
+        let p = FaultPlan::new()
+            .cut_link(0, 1, 0)
+            .with_partition(vec![0], 0)
+            .stall_rank(1, 0, Duration::from_millis(5))
+            .with_ack_loss(0.1);
+        let s = p.survivor_plan();
+        assert!(!s.is_cut(0, 1, 10));
+        assert_eq!(s.stall_for(1, 0), None);
+        assert!(s.needs_wire_layer(), "ack loss carries over like rates");
+    }
+
+    #[test]
+    fn round_clock_counts_per_rank() {
+        let c = RoundClock::new(3);
+        c.advance(1);
+        c.advance(1);
+        c.advance(2);
+        assert_eq!(c.completed(0), 0);
+        assert_eq!(c.completed(1), 2);
+        assert_eq!(c.completed(2), 1);
+        assert_eq!(c.completed(99), 0);
+    }
+
+    #[test]
+    fn chaos_schedules_are_deterministic_and_varied() {
+        for seed in 0..64u64 {
+            assert_eq!(
+                ChaosSchedule::generate(seed, 8),
+                ChaosSchedule::generate(seed, 8)
+            );
+        }
+        // Across seeds the generator must actually exercise the hard
+        // event kinds.
+        let all: Vec<ChaosSchedule> = (0..64).map(|s| ChaosSchedule::generate(s, 8)).collect();
+        let has = |f: fn(&ChaosEvent) -> bool| all.iter().any(|s| s.events.iter().any(f));
+        assert!(has(|e| matches!(e, ChaosEvent::Partition { .. })));
+        assert!(has(|e| matches!(e, ChaosEvent::Cut { .. })));
+        assert!(has(|e| matches!(e, ChaosEvent::Stall { .. })));
+        assert!(has(|e| matches!(e, ChaosEvent::Kill { .. })));
+        // Every event folds into a plan whose ranks are in range.
+        for s in &all {
+            let _ = s.plan();
+            for e in &s.events {
+                match e {
+                    ChaosEvent::Partition { side, .. } => {
+                        assert!(!side.is_empty() && side.len() < 8);
+                        assert!(side.iter().all(|&r| r < 8));
+                    }
+                    ChaosEvent::Cut { src, dst, .. } => {
+                        assert!(*src < 8 && *dst < 8 && src != dst);
+                    }
+                    ChaosEvent::Stall { rank, .. } | ChaosEvent::Kill { rank, .. } => {
+                        assert!(*rank < 8);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_finds_the_single_culprit() {
+        let full = ChaosSchedule {
+            seed: 7,
+            n: 4,
+            events: vec![
+                ChaosEvent::Loss(0.05),
+                ChaosEvent::Kill { rank: 2, round: 1 },
+                ChaosEvent::Duplication(0.03),
+                ChaosEvent::Stall {
+                    rank: 0,
+                    round: 0,
+                    millis: 5,
+                },
+            ],
+        };
+        // "Fails" iff the schedule still contains the kill.
+        let min = full.minimized(|s| {
+            s.events
+                .iter()
+                .any(|e| matches!(e, ChaosEvent::Kill { .. }))
+        });
+        assert_eq!(min.events, vec![ChaosEvent::Kill { rank: 2, round: 1 }]);
+        let shown = min.to_string();
+        assert!(shown.contains("kill rank 2"), "{shown}");
     }
 }

@@ -99,6 +99,7 @@
 
 pub mod cluster;
 pub mod comm;
+pub mod deadline;
 pub mod endpoint;
 pub mod error;
 pub mod failure;
@@ -116,10 +117,11 @@ pub mod vbarrier;
 pub use bruck_model::tuning::WireTuning;
 pub use cluster::{Cluster, ClusterConfig, ResilientOutput, RunOutput, RunReport, SurvivorView};
 pub use comm::{Comm, Group, GroupComm};
+pub use deadline::Deadline;
 pub use endpoint::{Endpoint, GatherSendSpec, RecvSpec, SendSpec};
 pub use error::NetError;
 pub use failure::FailureDetector;
-pub use fault::{FaultPlan, LinkRates};
+pub use fault::{ChaosEvent, ChaosSchedule, FaultPlan, LinkRates, RoundClock};
 pub use message::{Message, Tag};
 pub use metrics::{LinkStats, RankMetrics, RunMetrics};
 pub use pool::{BufferPool, PoolStats};

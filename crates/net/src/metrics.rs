@@ -42,6 +42,19 @@ pub struct LinkStats {
     /// Number of data transmissions sampled into
     /// [`window_occupancy_sum`](Self::window_occupancy_sum).
     pub window_samples: u64,
+    /// Explicit watchdog probe frames sent when a watched link idled.
+    pub probes_sent: u64,
+    /// Probe replies this rank sent back to a probing peer.
+    pub probe_replies: u64,
+    /// Watchdog escalations honoured by the failure detector: a watched
+    /// peer exhausted its probe budget and was declared unreachable.
+    pub stall_escalations: u64,
+    /// Transmissions the fault injector cut on a severed link or across
+    /// an active partition (data, ack, and retransmission frames alike).
+    pub partition_cuts: u64,
+    /// Dedicated ack frames the fault injector silently discarded
+    /// (ack-path fault injection; healed by sender retransmission).
+    pub injected_ack_losses: u64,
 }
 
 impl LinkStats {
@@ -62,6 +75,11 @@ impl LinkStats {
             sack_entries_sent: self.sack_entries_sent + other.sack_entries_sent,
             window_occupancy_sum: self.window_occupancy_sum + other.window_occupancy_sum,
             window_samples: self.window_samples + other.window_samples,
+            probes_sent: self.probes_sent + other.probes_sent,
+            probe_replies: self.probe_replies + other.probe_replies,
+            stall_escalations: self.stall_escalations + other.stall_escalations,
+            partition_cuts: self.partition_cuts + other.partition_cuts,
+            injected_ack_losses: self.injected_ack_losses + other.injected_ack_losses,
         }
     }
 

@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 
 use bruck_model::tuning::WireTuning;
 
+use crate::deadline::Deadline;
 use crate::error::NetError;
 use crate::failure::FailureDetector;
 use crate::message::{payload_checksum, Message, Tag};
@@ -60,10 +61,25 @@ use crate::transport::Transport;
 /// round numbers plus epoch offsets, so this never collides in practice).
 pub const ACK_TAG: Tag = u64::MAX;
 
+/// Tag reserved for watchdog probe frames — unsequenced "are you alive?"
+/// queries sent when a watched link idles.
+pub const PROBE_TAG: Tag = u64::MAX - 1;
+
+/// Tag reserved for watchdog probe replies. Any intact frame proves
+/// liveness; this one exists purely to provoke such a frame.
+pub const PROBE_ACK_TAG: Tag = u64::MAX - 2;
+
 /// How long a blocked caller waits on `recv_any` per poll — short enough
 /// to notice failure-detector updates and expired retransmission timers
 /// promptly.
 const POLL_SLICE: Duration = Duration::from_millis(2);
+
+/// How recently a caller must have polled for a peer's traffic for the
+/// watchdog to consider the link *watched*. Receive loops re-poll every
+/// [`POLL_SLICE`], so an actively awaited peer stays fresh by orders of
+/// magnitude; a peer nobody waits on goes stale and is never probed or
+/// escalated.
+const WATCH_FRESH: Duration = Duration::from_millis(50);
 
 /// Tuning knobs for the ack/retransmit protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +95,15 @@ pub struct Reliability {
     /// Sliding-window pipelining knobs (window size, selective-ack
     /// budget, piggybacking).
     pub wire: WireTuning,
+    /// Watchdog: how long a *watched* link may stay silent before an
+    /// explicit probe is sent. The effective interval per link is the
+    /// larger of this floor and the link's adaptive RTO estimate, so
+    /// probing patience scales with measured latency.
+    pub probe_interval: Duration,
+    /// Consecutive unanswered probes before the watched peer is reported
+    /// unreachable to the failure detector (probe spacing doubles per
+    /// strike). `0` disables the watchdog.
+    pub probe_retries: u32,
 }
 
 impl Default for Reliability {
@@ -88,6 +113,8 @@ impl Default for Reliability {
             max_rto: Duration::from_millis(160),
             max_retries: 10,
             wire: WireTuning::default(),
+            probe_interval: Duration::from_millis(25),
+            probe_retries: 5,
         }
     }
 }
@@ -97,6 +124,15 @@ impl Reliability {
     #[must_use]
     pub fn with_wire(mut self, wire: WireTuning) -> Self {
         self.wire = wire;
+        self
+    }
+
+    /// Set the watchdog's probe interval floor and retry budget
+    /// (`retries = 0` disables probing entirely).
+    #[must_use]
+    pub fn with_probing(mut self, interval: Duration, retries: u32) -> Self {
+        self.probe_interval = interval;
+        self.probe_retries = retries;
         self
     }
 }
@@ -206,6 +242,21 @@ pub struct ReliableTransport {
     ooo: Vec<BTreeMap<u64, Message>>,
     /// In-order messages ready for the matching layer.
     pending: VecDeque<Message>,
+    /// Last instant an intact frame (data, ack, or probe) arrived from
+    /// each peer — the piggyback heartbeat the watchdog consults before
+    /// spending an explicit probe.
+    last_heard: Vec<Instant>,
+    /// Freshness stamp of the caller's interest in each peer: refreshed
+    /// by every `recv_match`/`try_match` for that source, consulted by
+    /// the watchdog so only links someone is actually blocked on are
+    /// probed (and can be escalated).
+    watch: Vec<Option<Instant>>,
+    /// Outstanding probe per peer: `(reply deadline, current spacing)`.
+    probe: Vec<Option<(Instant, Duration)>>,
+    /// Consecutive unanswered probes per peer.
+    probe_strikes: Vec<u32>,
+    /// Shared completion budget — checked in every blocking loop.
+    deadline: Deadline,
     stats: LinkStats,
 }
 
@@ -229,8 +280,22 @@ impl ReliableTransport {
             ack_owed: vec![None; n],
             ooo: (0..n).map(|_| BTreeMap::new()).collect(),
             pending: VecDeque::new(),
+            last_heard: vec![Instant::now(); n],
+            watch: vec![None; n],
+            probe: vec![None; n],
+            probe_strikes: vec![0; n],
+            deadline: Deadline::new(),
             stats: LinkStats::default(),
         }
+    }
+
+    /// Share a completion budget: every blocking loop (window
+    /// backpressure, matching waits) checks it, so an armed deadline
+    /// aborts an in-flight wait within one poll slice.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn ranks_failed(&self) -> NetError {
@@ -340,6 +405,32 @@ impl ReliableTransport {
             self.stats.corrupt_dropped += 1;
             return Ok(());
         }
+        // Any intact frame is a heartbeat: the peer is alive, whatever
+        // the frame carries. Stand the watchdog down for this link.
+        if m.src < self.last_heard.len() && m.src != self.rank {
+            self.last_heard[m.src] = Instant::now();
+            self.probe[m.src] = None;
+            self.probe_strikes[m.src] = 0;
+        }
+        if m.tag == PROBE_TAG {
+            // Answer immediately — the prober is blocked on us.
+            self.stats.probe_replies += 1;
+            let reply = Message {
+                src: self.rank,
+                dst: m.src,
+                tag: PROBE_ACK_TAG,
+                checksum: Some(payload_checksum(&[])),
+                payload: Vec::new(),
+                arrival: 0.0,
+                seq: 0,
+                ack: 0,
+            };
+            return self.inner.send(reply);
+        }
+        if m.tag == PROBE_ACK_TAG {
+            // The heartbeat bookkeeping above was the whole point.
+            return Ok(());
+        }
         if m.tag == ACK_TAG {
             let src = m.src;
             self.apply_cumulative_ack(src, m.seq);
@@ -417,9 +508,13 @@ impl ReliableTransport {
                 continue;
             }
             if self.tx[dst].strikes >= self.cfg.max_retries {
-                // The peer has ignored every retransmission: declare it
-                // dead, cluster-wide.
-                self.detector.mark_dead(dst);
+                // The peer has ignored every retransmission: accuse it
+                // cluster-wide. Arbitrated, not authoritative — under an
+                // asymmetric partition both ends accuse each other and
+                // the detector honours exactly one accusation.
+                if self.detector.report_unreachable(self.rank, dst) {
+                    self.stats.stall_escalations += 1;
+                }
                 self.tx[dst].inflight.clear();
                 self.tx[dst].timer = None;
                 died = true;
@@ -445,10 +540,95 @@ impl ReliableTransport {
             link.rto = (link.rto * 2).min(self.cfg.max_rto);
             link.timer = Some(now + link.rto);
         }
+        died |= self.watchdog(now)?;
         if died {
             return Err(self.ranks_failed());
         }
         Ok(())
+    }
+
+    /// The per-link probe spacing: the configured floor stretched by the
+    /// link's adaptive RTO estimate, so a calibrated slow link is probed
+    /// with matching patience.
+    fn probe_interval_for(&self, peer: usize) -> Duration {
+        self.cfg
+            .probe_interval
+            .max(self.tx[peer].base_rto(self.cfg.rto, self.cfg.max_rto))
+    }
+
+    fn send_probe(&mut self, peer: usize) -> Result<(), NetError> {
+        self.stats.probes_sent += 1;
+        let probe = Message {
+            src: self.rank,
+            dst: peer,
+            tag: PROBE_TAG,
+            checksum: Some(payload_checksum(&[])),
+            payload: Vec::new(),
+            arrival: 0.0,
+            seq: 0,
+            ack: 0,
+        };
+        self.inner.send(probe)
+    }
+
+    /// The straggler watchdog: for every *watched* link (a peer some
+    /// caller is actively blocked on) that has gone silent past its
+    /// probe interval, send explicit probes with doubling spacing; after
+    /// `probe_retries` unanswered probes, accuse the peer of being
+    /// unreachable. Distinguishes slow from dead: any intact frame —
+    /// including a probe reply after a stall ends — resets the strikes,
+    /// so a pause shorter than the probe budget costs nothing, while a
+    /// partitioned or SIGSTOP-paused peer exhausts it and gets the same
+    /// cluster-consistent verdict as a crashed one. Returns whether an
+    /// escalation fired.
+    fn watchdog(&mut self, now: Instant) -> Result<bool, NetError> {
+        if self.cfg.probe_retries == 0 {
+            return Ok(false);
+        }
+        let mut died = false;
+        for peer in 0..self.watch.len() {
+            if peer == self.rank {
+                continue;
+            }
+            if self.detector.is_dead(peer) {
+                self.probe[peer] = None;
+                continue;
+            }
+            let fresh =
+                self.watch[peer].is_some_and(|w| now.saturating_duration_since(w) < WATCH_FRESH);
+            if !fresh {
+                // Nobody is waiting on this peer: an idle link is not a
+                // straggler, stand down.
+                self.probe[peer] = None;
+                self.probe_strikes[peer] = 0;
+                continue;
+            }
+            match self.probe[peer] {
+                Some((reply_by, spacing)) if now >= reply_by => {
+                    self.probe_strikes[peer] += 1;
+                    if self.probe_strikes[peer] >= self.cfg.probe_retries {
+                        if self.detector.report_unreachable(self.rank, peer) {
+                            self.stats.stall_escalations += 1;
+                        }
+                        self.probe[peer] = None;
+                        died = true;
+                    } else {
+                        let next = (spacing * 2).min(self.cfg.max_rto.max(self.cfg.probe_interval));
+                        self.send_probe(peer)?;
+                        self.probe[peer] = Some((now + next, next));
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    let interval = self.probe_interval_for(peer);
+                    if now.saturating_duration_since(self.last_heard[peer]) >= interval {
+                        self.send_probe(peer)?;
+                        self.probe[peer] = Some((now + interval, interval));
+                    }
+                }
+            }
+        }
+        Ok(died)
     }
 
     /// Release every owed ack immediately, aged or not. Called when the
@@ -480,6 +660,16 @@ impl ReliableTransport {
         self.pump()
     }
 
+    /// Record that a caller is actively waiting on `from` — the
+    /// watchdog's licence to probe (and escalate) that link.
+    fn note_watch(&mut self, from: usize) {
+        if from != self.rank {
+            if let Some(w) = self.watch.get_mut(from) {
+                *w = Some(Instant::now());
+            }
+        }
+    }
+
     fn take_pending(&mut self, from: usize, tag: Tag) -> Option<Message> {
         let pos = self
             .pending
@@ -500,10 +690,15 @@ impl Transport for ReliableTransport {
             if self.detector.is_dead(dst) {
                 return Err(self.ranks_failed());
             }
+            self.deadline.check(self.rank)?;
             if self.tx[dst].inflight.len() < self.cfg.wire.window {
                 break;
             }
-            self.poll(POLL_SLICE)?;
+            // Backpressure is a wait on the destination's acks: watch
+            // the link so a stalled receiver is probed and escalated
+            // instead of wedging the window forever.
+            self.note_watch(dst);
+            self.poll(self.deadline.clamp(POLL_SLICE))?;
         }
         self.tx[dst].next_seq += 1;
         msg.seq = self.tx[dst].next_seq;
@@ -539,7 +734,9 @@ impl Transport for ReliableTransport {
                 if self.detector.is_dead(dst) {
                     return Err(self.ranks_failed());
                 }
-                self.poll(POLL_SLICE)?;
+                self.deadline.check(self.rank)?;
+                self.note_watch(dst);
+                self.poll(self.deadline.clamp(POLL_SLICE))?;
             }
         }
         Ok(())
@@ -556,6 +753,8 @@ impl Transport for ReliableTransport {
             if let Some(m) = self.take_pending(from, tag) {
                 return Ok(m);
             }
+            self.deadline.check(self.rank)?;
+            self.note_watch(from);
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(NetError::Timeout {
@@ -565,7 +764,7 @@ impl Transport for ReliableTransport {
                     waited: timeout,
                 });
             }
-            self.poll(remaining.min(POLL_SLICE))?;
+            self.poll(self.deadline.clamp(remaining.min(POLL_SLICE)))?;
         }
     }
 
@@ -587,6 +786,7 @@ impl Transport for ReliableTransport {
         if let Some(m) = self.take_pending(from, tag) {
             return Ok(Some(m));
         }
+        self.note_watch(from);
         // Drain whatever is already queued (no blocking), then pump.
         while let Some(m) = self.inner.recv_any(Duration::ZERO)? {
             self.process(m)?;
@@ -601,6 +801,22 @@ impl Transport for ReliableTransport {
 
     fn kind(&self) -> &'static str {
         self.inner.kind()
+    }
+
+    fn rto_hint(&self) -> Option<Duration> {
+        // The worst link's adaptive estimate — warmed by any traffic,
+        // calibration ladders included.
+        self.tx
+            .iter()
+            .map(|l| l.base_rto(self.cfg.rto, self.cfg.max_rto))
+            .max()
+    }
+
+    fn linger_hint(&self) -> Option<Duration> {
+        // Long enough for a peer to notice a lost final ack (one RTO),
+        // retransmit, and be answered — with slack for a few rounds of
+        // backoff on the slowest measured link.
+        self.rto_hint().map(|rto| rto * 8)
     }
 
     /// Drain the unacked tail: retransmit and wait until every in-flight
@@ -663,7 +879,7 @@ impl Transport for ReliableTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultPlan, FaultyTransport};
+    use crate::fault::{FaultPlan, FaultyTransport, RoundClock};
     use crate::mailbox::Mailbox;
     use crate::transport::ChannelTransport;
 
@@ -770,7 +986,8 @@ mod tests {
         let (mut a, mut b, _det) = pair();
         // Duplicate every transmission out of rank 0.
         let plan = Arc::new(FaultPlan::new().with_seed(1).with_duplication(1.0));
-        a.inner = Box::new(FaultyTransport::new(a.inner, plan));
+        let clock = Arc::new(RoundClock::new(2));
+        a.inner = Box::new(FaultyTransport::new(a.inner, plan, clock));
         a.send(data(0, 1, 7, vec![9])).unwrap();
         let m = b.recv_match(0, 7, Duration::from_secs(5)).unwrap();
         assert_eq!(m.payload, vec![9]);
@@ -801,7 +1018,7 @@ mod tests {
                 rto: Duration::from_millis(1),
                 max_rto: Duration::from_millis(2),
                 max_retries: 3,
-                wire: WireTuning::default(),
+                ..Reliability::default()
             },
             Arc::clone(&det),
         );
@@ -980,6 +1197,7 @@ mod tests {
             max_rto: Duration::from_millis(10),
             max_retries: 50,
             wire: WireTuning::stop_and_wait(),
+            ..Reliability::default()
         };
         let (mut a, mut b, _det) = pair_with(cfg);
         std::thread::scope(|s| {
@@ -998,6 +1216,127 @@ mod tests {
             // Window never held more than one frame.
             assert_eq!(stats.window_occupancy_sum, stats.window_samples);
             assert_eq!(stats.piggyback_acks, 0);
+        });
+    }
+
+    /// Rewind a link's last-heard stamp so the watchdog sees silence.
+    fn silence(t: &mut ReliableTransport, peer: usize, for_: Duration) {
+        t.last_heard[peer] = Instant::now().checked_sub(for_).expect("short rewind");
+    }
+
+    #[test]
+    fn probe_answered_proves_liveness() {
+        let cfg = Reliability::default().with_probing(Duration::from_millis(1), 3);
+        let (mut a, mut b, det) = pair_with(cfg);
+        // A caller is blocked on peer 1, which has been silent well past
+        // the probe interval: the watchdog must probe.
+        a.note_watch(1);
+        silence(&mut a, 1, Duration::from_secs(1));
+        a.pump().unwrap();
+        assert_eq!(a.link_stats().probes_sent, 1);
+        assert!(a.probe[1].is_some());
+        // The peer answers the probe; the reply stands the watchdog down.
+        b.poll(Duration::from_millis(20)).unwrap();
+        assert_eq!(b.link_stats().probe_replies, 1);
+        a.poll(Duration::from_millis(20)).unwrap();
+        assert!(a.probe[1].is_none(), "probe reply is a heartbeat");
+        assert_eq!(a.probe_strikes[1], 0);
+        assert!(det.snapshot().is_empty(), "a slow peer is not a dead peer");
+    }
+
+    #[test]
+    fn silent_watched_peer_escalates_to_the_detector() {
+        let (tx0, mb0) = Mailbox::new(0);
+        let (tx1, _mb1_unpolled) = Mailbox::new(1); // SIGSTOP-style: never answers
+        let det = Arc::new(FailureDetector::new(2));
+        let mut a = ReliableTransport::new(
+            Box::new(ChannelTransport::new(vec![tx0, tx1], mb0)),
+            0,
+            2,
+            Reliability::default().with_probing(Duration::from_millis(1), 2),
+            Arc::clone(&det),
+        );
+        silence(&mut a, 1, Duration::from_secs(1));
+        let mut escalated = false;
+        for _ in 0..200 {
+            a.note_watch(1);
+            match a.poll(Duration::from_millis(2)) {
+                Ok(()) => {}
+                Err(NetError::RanksFailed { ranks }) => {
+                    assert_eq!(ranks, vec![1]);
+                    escalated = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(escalated, "unanswered probes must escalate");
+        assert!(det.is_dead(1));
+        assert_eq!(a.link_stats().stall_escalations, 1);
+        assert!(a.link_stats().probes_sent >= 1);
+    }
+
+    #[test]
+    fn unwatched_silence_is_never_probed() {
+        // An idle link is not a straggler: without a blocked caller the
+        // watchdog must not probe, however long the silence.
+        let (mut a, _b, det) = pair();
+        silence(&mut a, 1, Duration::from_secs(5));
+        for _ in 0..50 {
+            a.poll(Duration::ZERO).unwrap();
+        }
+        assert_eq!(a.link_stats().probes_sent, 0);
+        assert!(det.snapshot().is_empty());
+    }
+
+    #[test]
+    fn deadline_aborts_a_blocked_recv_within_a_slice() {
+        let (mut a, _b, _det) = pair();
+        a.deadline.arm(Duration::from_millis(5));
+        let start = Instant::now();
+        // The per-call timeout is far longer than the budget: the armed
+        // deadline must win.
+        let err = a.recv_match(1, 7, Duration::from_secs(30)).unwrap_err();
+        assert!(matches!(err, NetError::DeadlineExceeded { rank: 0, .. }));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline must abort the wait, not the caller's timeout"
+        );
+    }
+
+    #[test]
+    fn cancelled_deadline_aborts_send_backpressure() {
+        let cfg = Reliability {
+            wire: WireTuning::default().with_window(1),
+            rto: Duration::from_millis(1),
+            max_rto: Duration::from_millis(2),
+            max_retries: u32::MAX,
+            ..Reliability::default()
+        };
+        let (tx0, mb0) = Mailbox::new(0);
+        let (tx1, _mb1_unpolled) = Mailbox::new(1);
+        let det = Arc::new(FailureDetector::new(2));
+        let mut a = ReliableTransport::new(
+            Box::new(ChannelTransport::new(vec![tx0, tx1], mb0)),
+            0,
+            2,
+            cfg,
+            Arc::clone(&det),
+        )
+        .with_deadline(Deadline::new());
+        let cancel = a.deadline.clone();
+        a.deadline.arm(Duration::from_secs(60));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                cancel.cancel();
+            });
+            // Stop-and-wait against a peer that never acks: without the
+            // cancellation this would spin until the 60 s budget.
+            let start = Instant::now();
+            let err = a.send(data(0, 1, 7, vec![1])).unwrap_err();
+            assert!(matches!(err, NetError::DeadlineExceeded { rank: 0, .. }));
+            assert!(start.elapsed() < Duration::from_secs(5));
         });
     }
 }

@@ -113,6 +113,24 @@ pub trait Transport: Send {
     fn link_stats(&self) -> LinkStats {
         LinkStats::default()
     }
+
+    /// The reliability sublayer's current worst-link retransmission
+    /// timeout, adapted from measured round-trip samples (and therefore
+    /// warmed by calibration traffic). `None` for transports without a
+    /// reliability sublayer. Callers use it to scale patience windows —
+    /// per-round sub-budgets under a deadline, end-of-run linger — with
+    /// the link latency actually observed instead of a fixed constant.
+    fn rto_hint(&self) -> Option<Duration> {
+        None
+    }
+
+    /// How long this transport wants the end-of-run linger phase to
+    /// last: enough time for peers to retransmit un-acked tails and get
+    /// answered, derived from the adaptive RTO. `None` for transports
+    /// that need no linger (no reliability sublayer).
+    fn linger_hint(&self) -> Option<Duration> {
+        None
+    }
 }
 
 /// The default in-process transport: one unbounded channel per rank.

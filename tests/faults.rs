@@ -342,6 +342,77 @@ fn socket_transport_kill_is_root_caused() {
     assert!(matches!(err, NetError::Killed { rank: 1, .. }), "{err:?}");
 }
 
+/// Rank 0 is special: it roots the calibration gather/broadcast and
+/// every cached-fit verdict. Killing it mid-run must still shrink
+/// cleanly — the survivor cluster re-roots calibration at its own dense
+/// rank 0 (the old rank 1) and completes. `n = 7` additionally makes the
+/// survivor count 6, not a power of the radix, so the retry's re-planned
+/// schedule exercises the non-power shrink path.
+#[test]
+fn run_resilient_survives_death_of_calibration_root() {
+    use bruck::collectives::autotune::calibrated_fit;
+    let n = 7;
+    let block = 4;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(0, 1));
+    let tuning = Tuning::default();
+    let resilient = Cluster::run_resilient(&cfg, 3, |ep, _view| {
+        // The calibration collective is rooted at (dense) rank 0 — on
+        // the retry that is a different physical rank than the corpse.
+        let fit = calibrated_fit(ep)?;
+        let m = ep.size();
+        let input = verify::index_input(ep.rank(), m, block);
+        let data = alltoall(ep, &input, block, &tuning)?;
+        Ok((fit.model, data))
+    })
+    .unwrap();
+    assert_eq!(resilient.survivors, vec![1, 2, 3, 4, 5, 6]);
+    let m = resilient.survivors.len();
+    for (dense, (_model, data)) in resilient.output.results.iter().enumerate() {
+        assert_eq!(data, &verify::index_expected(dense, m, block));
+    }
+}
+
+/// The in-run variant of root death: `alltoall_resilient` shrinks around
+/// a dead rank 0 without restarting the cluster, at a survivor count
+/// (6 of 7) that is not a power of the radix.
+#[test]
+fn alltoall_resilient_survives_death_of_rank_zero() {
+    let n = 7;
+    let block = 4;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(0, 1));
+    let tuning = Tuning::default();
+    let report = Cluster::try_run(&cfg, |ep| {
+        let input = verify::index_input(ep.rank(), n, block);
+        alltoall_resilient(ep, &input, block, &tuning, 3)
+    });
+    assert_eq!(report.failed, vec![0]);
+    let survivors: Vec<usize> = (1..n).collect();
+    for (rank, outcome) in report.outcomes.iter().enumerate() {
+        if rank == 0 {
+            let err = outcome.as_ref().unwrap_err();
+            assert!(matches!(err, NetError::Killed { rank: 0, .. }), "{err:?}");
+            continue;
+        }
+        let res = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("survivor {rank} failed to recover: {e:?}"));
+        assert_eq!(res.survivors, survivors);
+        for (i, &src) in survivors.iter().enumerate() {
+            let got = &res.data[i * block..(i + 1) * block];
+            let full = verify::index_input(src, n, block);
+            assert_eq!(
+                got,
+                &full[rank * block..(rank + 1) * block],
+                "rank {rank} got wrong block from {src}"
+            );
+        }
+    }
+}
+
 #[test]
 fn fault_in_last_round_of_concat() {
     // Kill a rank right before the partitioned last round: phase-1
