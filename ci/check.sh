@@ -34,6 +34,12 @@ cargo test -q --test autotune
 # 300 s ≈ 10x the observed soak time on a 1-core CI box.
 timeout 300 cargo test -q --test liveness
 
+# V-ops gate: the non-uniform property suite (direct/padded/two-phase/
+# auto bit-exact on random ragged, zero-riddled, and hot-spot matrices
+# across n ∈ {1,2,5,8,16}, k ∈ {1,2}, plus a fault-injected skewed run
+# through run_resilient).
+cargo test -q --test vops
+
 # Perf smoke: the pipelined data plane must clear a throughput floor on
 # the wire microbench. The floor is ~30% under the slowest alltoall
 # pipelined-row throughput observed on a 1-core CI box (545 MB/s at this
@@ -44,3 +50,12 @@ timeout 300 cargo test -q --test liveness
 cargo build -q --release -p bruck-bench
 ./target/release/bruckctl bench --n 4 --ports 2 --block 16384 --reps 3 \
     --samples 2 --out /tmp/bruck-bench-smoke.json --min-mbps 380
+
+# Zipf smoke: a short skewed sweep at the PR 6 shape (n=8, k=2). Every
+# lap is verified bit-exactly inside run_skew_matrix, so this gates the
+# whole skewed data path (metadata exchange, padded/two-phase executors,
+# planner dispatch) end to end through the real uds transport. Small
+# reps/samples keep it to a few seconds; BENCH_pr6.json tracks the full
+# 16x8 matrix.
+./target/release/bruckctl bench --skew 0,0.5,1.0,1.5 --n 8 --ports 2 \
+    --block 256 --reps 4 --samples 2 --out /tmp/bruck-skew-smoke.json

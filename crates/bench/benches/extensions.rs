@@ -7,12 +7,13 @@ use std::time::Duration;
 
 use bruck_bench::microbench::{BenchmarkId, Criterion};
 use bruck_bench::{criterion_group, criterion_main};
+use bruck_collectives::api::Tuning;
 use bruck_collectives::appendix::index_appendix_a;
 use bruck_collectives::index::{bruck, hierarchical};
 use bruck_collectives::reduce::{allreduce_halving_doubling, allreduce_via_concat, ReduceOp};
 use bruck_collectives::scan::scan;
 use bruck_collectives::verify;
-use bruck_collectives::vops::{allgatherv, alltoallv};
+use bruck_collectives::vops::{allgatherv_into, alltoallv_into, VLayout};
 use bruck_model::cost::LinearModel;
 use bruck_net::{Cluster, ClusterConfig};
 
@@ -29,10 +30,12 @@ fn bench_vops(c: &mut Criterion) {
     group.bench_function("alltoallv_skewed", |bencher| {
         bencher.iter(|| {
             let out = Cluster::run(&free_cfg(n), |ep| {
-                let bufs: Vec<Vec<u8>> = (0..n)
-                    .map(|j| vec![0u8; (ep.rank() * j * 37) % 4096])
-                    .collect();
-                alltoallv(ep, &bufs)
+                let counts: Vec<usize> = (0..n).map(|j| (ep.rank() * j * 37) % 4096).collect();
+                let layout = VLayout::from_counts(&counts);
+                let flat = vec![0u8; layout.total()];
+                let mut got = Vec::new();
+                alltoallv_into(ep, &flat, &layout, &Tuning::default(), &mut got)?;
+                Ok(got)
             })
             .expect("alltoallv failed");
             std::hint::black_box(out.results);
@@ -42,7 +45,9 @@ fn bench_vops(c: &mut Criterion) {
         bencher.iter(|| {
             let out = Cluster::run(&free_cfg(n), |ep| {
                 let mine = vec![0u8; (ep.rank() * 331) % 4096];
-                allgatherv(ep, &mine)
+                let mut got = Vec::new();
+                allgatherv_into(ep, &mine, &mut got)?;
+                Ok(got)
             })
             .expect("allgatherv failed");
             std::hint::black_box(out.results);

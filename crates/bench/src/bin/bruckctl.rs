@@ -15,6 +15,7 @@
 //! bruckctl bench  --min-mbps 50                           # CI floor: exit 1 below it
 //! bruckctl bench  --autotune --n 8 --ports 2              # planner vs fixed radices + BENCH_pr4.json
 //! bruckctl bench  --liveness --n 8 --ports 2              # deadline+watchdog overhead + BENCH_pr5.json
+//! bruckctl bench  --skew 0,0.5,1.0,1.5 --n 8 --ports 2    # Zipf v-op family sweep + BENCH_pr6.json
 //! ```
 
 use std::sync::Arc;
@@ -56,6 +57,7 @@ struct Args {
     min_mbps: Option<f64>,
     autotune: bool,
     liveness: bool,
+    skew: Option<Vec<f64>>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         min_mbps: None,
         autotune: false,
         liveness: false,
+        skew: None,
     };
     while let Some(flag) = raw.next() {
         let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
@@ -125,6 +128,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--autotune" => args.autotune = true,
             "--liveness" => args.liveness = true,
+            "--skew" => {
+                let list = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--skew {s}: {e}")))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                if list.is_empty() {
+                    return Err("--skew needs at least one Zipf exponent".into());
+                }
+                args.skew = Some(list);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -501,6 +514,9 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     if args.liveness {
         return cmd_bench_liveness(args);
     }
+    if args.skew.is_some() {
+        return cmd_bench_skew(args);
+    }
     let cfg = wire::WireBenchConfig {
         n: args.n,
         ports: args.ports,
@@ -590,6 +606,35 @@ fn cmd_bench_liveness(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `bruckctl bench --skew <s1,s2,...>`: seeded Zipf workloads through
+/// the non-uniform family — forced direct/padded/two-phase vs
+/// `alltoallv_auto` — written as the tracked `BENCH_pr6.json` artifact.
+#[cfg(unix)]
+fn cmd_bench_skew(args: &Args) -> Result<(), String> {
+    use bruck_bench::wire;
+    let cfg = wire::SkewBenchConfig {
+        n: args.n,
+        ports: args.ports,
+        base: args.block,
+        svals: args.skew.clone().expect("guarded by caller"),
+        seed: args.seed,
+        reps: args.reps.max(1),
+        samples: args.samples.max(1),
+        ..wire::SkewBenchConfig::default()
+    };
+    println!(
+        "skew bench: n={} k={} base={} s={:?} reps={}x{} (uds)",
+        cfg.n, cfg.ports, cfg.base, cfg.svals, cfg.reps, cfg.samples
+    );
+    let (rows, fit) = wire::run_skew_matrix(&cfg)?;
+    print!("{}", wire::render_skew_table(&rows, &fit));
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr6.json".into());
+    std::fs::write(&out_path, wire::render_skew_json(&rows, &fit))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("[results written to {out_path}]");
+    Ok(())
+}
+
 #[cfg(not(unix))]
 fn cmd_bench(_args: &Args) -> Result<(), String> {
     Err("bench needs the unix-socket transport".into())
@@ -600,7 +645,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bruckctl: {e}");
-            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--partition RANKS@ROUND] [--stall RANK:MS] [--deadline-ms MS] [--samples S] [--out PATH] [--min-mbps F] [--autotune] [--liveness]");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--partition RANKS@ROUND] [--stall RANK:MS] [--deadline-ms MS] [--samples S] [--out PATH] [--min-mbps F] [--autotune] [--liveness] [--skew S1,S2,...]");
             std::process::exit(2);
         }
     };

@@ -16,5 +16,6 @@
 
 pub mod harness;
 pub mod microbench;
+pub mod skew;
 #[cfg(unix)]
 pub mod wire;

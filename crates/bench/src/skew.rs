@@ -1,0 +1,157 @@
+//! Seeded Zipf skewed-workload generator for the non-uniform v-ops.
+//!
+//! Production all-to-all traffic is rarely uniform: a few destinations
+//! receive most of the bytes. The standard synthetic stand-in is a
+//! Zipf popularity law — destination at popularity position `p`
+//! (0-based) gets weight `1/(p+1)^s`. `s = 0` degenerates to the
+//! uniform workload, `s ≈ 1` is classic web/storage skew, and
+//! `s ≥ 1.5` concentrates almost everything on one hot destination.
+//!
+//! Two deterministic decorrelation steps keep the sweep honest:
+//!
+//! * popularity positions are assigned through a seeded permutation,
+//!   so "the hot destination" is not always rank 0;
+//! * each source rotates the permutation by its own rank, so hot spots
+//!   are spread across destinations (no synthetic incast) and the
+//!   aggregate load stays balanced while every *row* is skewed.
+//!
+//! Rows are normalized so every source sends `base · n` bytes in total
+//! (up to rounding), which makes points of a skew sweep comparable:
+//! only the *distribution* changes with `s`, not the volume.
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A seeded permutation of `0..n` (Fisher–Yates).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = Rng::new(seed);
+    for i in (1..n).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Per-destination byte counts for one source rank under Zipf
+/// parameter `s`, normalized so the row sums to ~`base * n`.
+///
+/// Deterministic in `(n, base, s, seed, source)`; `s = 0.0` yields the
+/// uniform row `[base; n]` exactly.
+#[must_use]
+pub fn zipf_row(n: usize, base: usize, s: f64, seed: u64, source: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let perm = permutation(n, seed);
+    let weights: Vec<f64> = (0..n)
+        .map(|j| {
+            // Source-rotated popularity position of destination j.
+            let pos = perm[(j + source) % n];
+            1.0 / ((pos + 1) as f64).powf(s)
+        })
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    let budget = (base * n) as f64;
+    weights
+        .iter()
+        .map(|w| (budget * w / sum).round() as usize)
+        .collect()
+}
+
+/// The full `n × n` row-major size matrix (`matrix[i * n + j]` = bytes
+/// source `i` sends destination `j`) for a Zipf-`s` workload.
+#[must_use]
+pub fn zipf_matrix(n: usize, base: usize, s: f64, seed: u64) -> Vec<usize> {
+    let mut m = Vec::with_capacity(n * n);
+    for i in 0..n {
+        m.extend(zipf_row(n, base, s, seed, i));
+    }
+    m
+}
+
+/// Max/mean skew ratio of a row — 1.0 means uniform.
+#[must_use]
+pub fn row_skew(row: &[usize]) -> f64 {
+    if row.is_empty() {
+        return 1.0;
+    }
+    let max = *row.iter().max().expect("non-empty") as f64;
+    let mean = row.iter().sum::<usize>() as f64 / row.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        for src in 0..8 {
+            assert_eq!(zipf_row(8, 512, 0.0, 42, src), vec![512; 8]);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(zipf_row(16, 256, 1.0, 7, 3), zipf_row(16, 256, 1.0, 7, 3));
+        assert_ne!(zipf_row(16, 256, 1.0, 7, 3), zipf_row(16, 256, 1.0, 8, 3));
+    }
+
+    #[test]
+    fn volume_is_preserved_up_to_rounding() {
+        for &s in &[0.0, 0.5, 1.0, 1.5] {
+            let row = zipf_row(8, 1024, s, 3, 2);
+            let total: usize = row.iter().sum();
+            let budget = 1024 * 8;
+            assert!(
+                total.abs_diff(budget) <= 8,
+                "s={s}: total {total} vs budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_ratio_grows_with_s() {
+        let flat = row_skew(&zipf_row(8, 1024, 0.0, 11, 0));
+        let mid = row_skew(&zipf_row(8, 1024, 1.0, 11, 0));
+        let hot = row_skew(&zipf_row(8, 1024, 1.5, 11, 0));
+        assert!((flat - 1.0).abs() < 1e-9);
+        assert!(mid > flat && hot > mid, "flat={flat} mid={mid} hot={hot}");
+    }
+
+    #[test]
+    fn rotation_balances_column_load() {
+        // With source rotation, aggregate per-destination load is within
+        // 2x of the mean even at strong skew.
+        let n = 8;
+        let m = zipf_matrix(n, 1024, 1.0, 5);
+        let col: Vec<usize> = (0..n).map(|j| (0..n).map(|i| m[i * n + j]).sum()).collect();
+        let mean = col.iter().sum::<usize>() / n;
+        for (j, &c) in col.iter().enumerate() {
+            assert!(
+                c < 2 * mean,
+                "destination {j} overloaded: {c} vs mean {mean}"
+            );
+        }
+    }
+}

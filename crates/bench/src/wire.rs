@@ -26,8 +26,10 @@ use bruck_collectives::api::{allgather, alltoall, alltoall_auto, alltoall_deadli
 use bruck_collectives::autotune::calibrated_fit;
 use bruck_collectives::primitives::barrier_dissemination;
 use bruck_collectives::verify;
+use bruck_collectives::vops::{alltoallv_auto_into, alltoallv_into, VLayout, VMethod};
 use bruck_model::calibrate::LinearFit;
-use bruck_model::planner::Planner;
+use bruck_model::cost::CostModel;
+use bruck_model::planner::{Planner, VIndexPlan};
 use bruck_model::WireTuning;
 use bruck_net::{ClusterConfig, NetError, Reliability};
 
@@ -1141,6 +1143,484 @@ pub fn render_liveness_json(rows: &[LivenessRow]) -> String {
         dl,
         wd,
         dl < 0.05 && wd < 0.05,
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Skew bench: the non-uniform Bruck family over Zipf workloads.
+// ---------------------------------------------------------------------
+
+/// The non-uniform family sweep: at each Zipf `s`, race the forced
+/// direct, padded, and two-phase members against `alltoallv_auto`'s
+/// skew-driven dispatch on the same seeded workload.
+#[derive(Debug, Clone)]
+pub struct SkewBenchConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Ports per round.
+    pub ports: usize,
+    /// Mean per-pair bytes (each source sends `base · n` total).
+    pub base: usize,
+    /// Zipf exponents to sweep.
+    pub svals: Vec<f64>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Timed collectives per cluster run.
+    pub reps: usize,
+    /// Independent cluster runs pooled per point.
+    pub samples: usize,
+    /// Per-run watchdog.
+    pub timeout: Duration,
+}
+
+impl Default for SkewBenchConfig {
+    /// The tracked shape: `n = 8`, `k = 2`, 8 KiB mean blocks,
+    /// `s ∈ {0, 0.5, 1.0, 1.5}`.
+    fn default() -> Self {
+        Self {
+            n: 8,
+            ports: 2,
+            base: 8 * 1024,
+            svals: vec![0.0, 0.5, 1.0, 1.5],
+            seed: 6,
+            reps: 6,
+            samples: 3,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One cell of the skew matrix.
+#[derive(Debug, Clone)]
+pub struct SkewRow {
+    /// `"direct"`, `"padded"`, `"twophase"`, or `"auto"`.
+    pub scheme: &'static str,
+    /// Label of the family member actually executed.
+    pub plan: String,
+    /// Zipf exponent of the workload.
+    pub s: f64,
+    /// Measured max/mean skew of the size matrix.
+    pub skew_ratio: f64,
+    /// Cluster size.
+    pub n: usize,
+    /// Ports per round.
+    pub k: usize,
+    /// Payload bytes the cluster moves per collective (off-diagonal sum).
+    pub bytes_moved: u64,
+    /// Pooled rep count behind the percentiles.
+    pub reps: usize,
+    /// Fastest cluster-wide lap (ns).
+    pub min_ns: u64,
+    /// Median cluster-wide wall clock (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile wall clock (ns).
+    pub p99_ns: u64,
+    /// Mean wall clock (ns).
+    pub mean_ns: u64,
+    /// Cluster goodput in MB/s.
+    pub mbps: f64,
+    /// Wall time the fitted model predicts for this member (ns).
+    pub predicted_ns: u64,
+}
+
+/// Pick the cheapest padded radix and the cheapest two-phase
+/// `(radix, quota)` for a size matrix under a model — the forced
+/// schemes the sweep races, so "padded" always means *the best padded
+/// member*, not an arbitrary radix.
+fn best_family_members(
+    n: usize,
+    k: usize,
+    matrix: &[u64],
+    model: &dyn bruck_model::cost::CostModel,
+) -> (VMethod, VIndexPlan, VMethod, VIndexPlan) {
+    let planner = Planner::new(model);
+    let pick = |plans: Vec<VIndexPlan>| -> VIndexPlan {
+        plans
+            .into_iter()
+            .min_by(|a, b| {
+                let ta = model.estimate(planner.vindex_complexity(a, n, k, matrix));
+                let tb = model.estimate(planner.vindex_complexity(b, n, k, matrix));
+                ta.partial_cmp(&tb).expect("finite estimates")
+            })
+            .expect("non-empty candidate list")
+    };
+    let padded = pick((2..=n).map(|radix| VIndexPlan::Padded { radix }).collect());
+    let quotas = bruck_model::planner::quota_candidates(n, matrix);
+    let two_candidates: Vec<VIndexPlan> = if quotas.is_empty() {
+        // Degenerate (uniform) workload: any quota ≥ max reduces to
+        // padded; race that so the scheme still exists in the table.
+        (2..=n)
+            .map(|radix| VIndexPlan::TwoPhase {
+                radix,
+                quota: usize::MAX,
+            })
+            .collect()
+    } else {
+        quotas
+            .iter()
+            .flat_map(|&quota| (2..=n).map(move |radix| VIndexPlan::TwoPhase { radix, quota }))
+            .collect()
+    };
+    let two = pick(two_candidates);
+    let (pm, tm) = match (padded, two) {
+        (VIndexPlan::Padded { radix: pr }, VIndexPlan::TwoPhase { radix: tr, quota }) => (
+            VMethod::Padded { radix: pr },
+            VMethod::TwoPhase {
+                radix: tr,
+                quota: Some(quota),
+            },
+        ),
+        _ => unreachable!("candidates are padded / two-phase by construction"),
+    };
+    (pm, padded, tm, two)
+}
+
+/// Run every family member at one Zipf point, interleaved in one
+/// cluster run with the same pairing discipline as
+/// [`run_autotune_block`]: untimed warmup cycle, a dissemination
+/// barrier before every timed lap, and a rotated cycle order so no
+/// scheme inherits a fixed slot's cache state.
+///
+/// # Errors
+///
+/// Propagates cluster setup or collective failures as a message.
+pub fn run_skew_point(
+    cfg: &SkewBenchConfig,
+    s: f64,
+    fit: &LinearFit,
+) -> Result<Vec<SkewRow>, String> {
+    let (n, k, reps) = (cfg.n, cfg.ports, cfg.reps.max(1));
+    let matrix = crate::skew::zipf_matrix(n, cfg.base, s, cfg.seed);
+    let matrix_u64: Vec<u64> = matrix.iter().map(|&c| c as u64).collect();
+    let skew_ratio = bruck_model::planner::skew_ratio(n, &matrix_u64);
+    let (padded_m, padded_plan, two_m, two_plan) =
+        best_family_members(n, k, &matrix_u64, &fit.model);
+    let auto_choice = Planner::new(&fit.model).plan_vindex(n, k, &matrix_u64);
+    // (label, forced member or None = planner dispatch, plan that runs).
+    let schemes: Vec<(&'static str, Option<VMethod>, VIndexPlan)> = vec![
+        ("direct", Some(VMethod::Direct), VIndexPlan::Direct),
+        ("padded", Some(padded_m), padded_plan),
+        ("twophase", Some(two_m), two_plan),
+        ("auto", None, auto_choice.plan),
+    ];
+    let cluster_cfg = ClusterConfig::new(n)
+        .with_ports(k)
+        .with_timeout(cfg.timeout)
+        .with_reliability(Reliability::default());
+
+    let mut pooled: Vec<Vec<u64>> = vec![Vec::with_capacity(reps * cfg.samples); schemes.len()];
+    for _ in 0..cfg.samples.max(1) {
+        let schemes_ref = &schemes;
+        let matrix_ref = &matrix;
+        let body = |ep: &mut bruck_net::Endpoint| {
+            let rank = bruck_net::Endpoint::rank(ep);
+            let counts: Vec<usize> = matrix_ref[rank * n..(rank + 1) * n].to_vec();
+            let layout = VLayout::from_counts(&counts);
+            let mut input = vec![0u8; layout.total()];
+            for j in 0..n {
+                for (t, byte) in input[layout.range(j)].iter_mut().enumerate() {
+                    *byte = verify::content_byte(rank, j, t);
+                }
+            }
+            let mut expected = Vec::new();
+            for src in 0..n {
+                let len = matrix_ref[src * n + rank];
+                expected.extend((0..len).map(|t| verify::content_byte(src, rank, t)));
+            }
+            let model = calibrated_fit(ep)?.model;
+            let mut got = Vec::new();
+            let run_one = |ep: &mut bruck_net::Endpoint,
+                           got: &mut Vec<u8>,
+                           forced: &Option<VMethod>|
+             -> Result<(), NetError> {
+                match forced {
+                    Some(m) => {
+                        let tuning = Tuning::builder().vmethod(*m).build();
+                        alltoallv_into(ep, &input, &layout, &tuning, got)?;
+                    }
+                    None => {
+                        alltoallv_auto_into(ep, &input, &layout, &model, got)?;
+                    }
+                }
+                if *got != expected {
+                    return Err(NetError::App("alltoallv bytes wrong".into()));
+                }
+                Ok(())
+            };
+            for (_, forced, _) in schemes_ref {
+                run_one(ep, &mut got, forced)?; // warmup, untimed
+            }
+            let mut laps = vec![Vec::with_capacity(reps); schemes_ref.len()];
+            for rep in 0..reps {
+                for pos in 0..schemes_ref.len() {
+                    // Rotate the starting scheme per rep AND flip the
+                    // cycle direction on odd reps: rotation alone keeps
+                    // the cyclic successor order fixed, so every scheme
+                    // would always run right after the same predecessor
+                    // and inherit its transport debt (owed acks,
+                    // in-flight retransmit state) systematically.
+                    let m = schemes_ref.len();
+                    let si = if rep % 2 == 0 {
+                        (rep + pos) % m
+                    } else {
+                        (rep + m - pos) % m
+                    };
+                    barrier_dissemination(ep)?;
+                    let t0 = Instant::now();
+                    run_one(ep, &mut got, &schemes_ref[si].1)?;
+                    laps[si].push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            Ok(laps)
+        };
+        let out = bruck_net::SocketCluster::run(&cluster_cfg, body)
+            .map_err(|e| format!("skew s={s}: {e}"))?;
+        for (si, bucket) in pooled.iter_mut().enumerate() {
+            for j in 0..reps {
+                bucket.push(
+                    out.results
+                        .iter()
+                        .map(|laps| laps[si][j])
+                        .max()
+                        .unwrap_or_default(),
+                );
+            }
+        }
+    }
+
+    let bytes_moved: u64 = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .map(|(i, j)| matrix_u64[i * n + j])
+        .sum();
+    let planner = Planner::new(&fit.model);
+    let rows = schemes
+        .iter()
+        .zip(&mut pooled)
+        .map(|((label, _, plan), laps)| {
+            laps.sort_unstable();
+            let mean_ns = (laps.iter().sum::<u64>() / laps.len().max(1) as u64).max(1);
+            let predicted = fit
+                .model
+                .estimate(planner.vindex_complexity(plan, n, k, &matrix_u64));
+            SkewRow {
+                scheme: label,
+                plan: plan.label(),
+                s,
+                skew_ratio,
+                n,
+                k,
+                bytes_moved,
+                reps: laps.len(),
+                min_ns: laps.first().copied().unwrap_or(0).max(1),
+                p50_ns: percentile(laps, 50),
+                p99_ns: percentile(laps, 99),
+                mean_ns,
+                mbps: bytes_moved as f64 / (mean_ns as f64 / 1e9) / 1e6,
+                predicted_ns: (predicted * 1e9) as u64,
+            }
+        })
+        .collect();
+    Ok(rows)
+}
+
+/// Run the full skew sweep and return the rows plus the fitted model
+/// the forced members were selected under.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn run_skew_matrix(cfg: &SkewBenchConfig) -> Result<(Vec<SkewRow>, LinearFit), String> {
+    let fit = probe_socket_fit(&AutotuneBenchConfig {
+        n: cfg.n,
+        ports: cfg.ports,
+        timeout: cfg.timeout,
+        ..AutotuneBenchConfig::default()
+    })?;
+    let mut rows = Vec::new();
+    for &s in &cfg.svals {
+        rows.extend(run_skew_point(cfg, s, &fit)?);
+    }
+    Ok((rows, fit))
+}
+
+/// Per-skew-point verdict on the paired means: auto against the best
+/// forced member, and the best of {padded, two-phase} against direct.
+#[derive(Debug, Clone)]
+pub struct SkewSummary {
+    /// Zipf exponent.
+    pub s: f64,
+    /// Measured max/mean skew of the matrix.
+    pub skew_ratio: f64,
+    /// Scheme label of the fastest forced member.
+    pub best_scheme: &'static str,
+    /// Its median lap (ns). Medians, not means, rank the schemes: the
+    /// cluster-wide lap is a straggler max, so a single scheduling
+    /// spike on a loaded host shifts a mean by tens of percent while
+    /// the p50 stays put.
+    pub best_ns: u64,
+    /// Direct's median lap (ns).
+    pub direct_ns: u64,
+    /// Best of padded/two-phase median lap (ns).
+    pub family_ns: u64,
+    /// Plan the auto path dispatched.
+    pub auto_plan: String,
+    /// Auto's median lap (ns).
+    pub auto_ns: u64,
+    /// `auto / best_forced` — ≤ 1.10 meets the PR criterion.
+    pub auto_vs_best: f64,
+    /// `direct / best_of(padded, two-phase)` — > 1.0 means the family
+    /// beat the direct exchange at this point.
+    pub direct_vs_family: f64,
+}
+
+/// Fold the sweep rows into one [`SkewSummary`] per Zipf point.
+#[must_use]
+pub fn summarize_skew(rows: &[SkewRow]) -> Vec<SkewSummary> {
+    let mut svals: Vec<u64> = rows.iter().map(|r| r.s.to_bits()).collect();
+    svals.dedup();
+    svals
+        .iter()
+        .filter_map(|&bits| {
+            let s = f64::from_bits(bits);
+            let at = |scheme: &str| {
+                rows.iter()
+                    .find(|r| r.s.to_bits() == bits && r.scheme == scheme)
+            };
+            let direct = at("direct")?;
+            let padded = at("padded")?;
+            let two = at("twophase")?;
+            let auto = at("auto")?;
+            let forced = [direct, padded, two];
+            let best = forced.iter().min_by_key(|r| r.p50_ns)?;
+            let family_ns = padded.p50_ns.min(two.p50_ns);
+            Some(SkewSummary {
+                s,
+                skew_ratio: direct.skew_ratio,
+                best_scheme: best.scheme,
+                best_ns: best.p50_ns,
+                direct_ns: direct.p50_ns,
+                family_ns,
+                auto_plan: auto.plan.clone(),
+                auto_ns: auto.p50_ns,
+                auto_vs_best: auto.p50_ns as f64 / best.p50_ns.max(1) as f64,
+                direct_vs_family: direct.p50_ns as f64 / family_ns.max(1) as f64,
+            })
+        })
+        .collect()
+}
+
+/// Render the skew sweep as a human table.
+#[must_use]
+pub fn render_skew_table(rows: &[SkewRow], fit: &LinearFit) -> String {
+    let mut out = format!(
+        "calibrated fit: β = {:.2}µs, τ = {:.4}µs/B, R² = {:.3} ({} samples)\n",
+        fit.model.startup * 1e6,
+        fit.model.per_byte * 1e6,
+        fit.r_squared,
+        fit.samples,
+    );
+    out.push_str(&format!(
+        "{:<9} {:<18} {:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "scheme", "plan", "s", "skew", "MB/s", "min", "p50", "p99", "mean", "pred"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:<18} {:>5.2} {:>6.2} {:>9.1} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            r.scheme,
+            r.plan,
+            r.s,
+            r.skew_ratio,
+            r.mbps,
+            fmt_ns(r.min_ns),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            fmt_ns(r.mean_ns),
+            fmt_ns(r.predicted_ns),
+        ));
+    }
+    for s in summarize_skew(rows) {
+        out.push_str(&format!(
+            "s={:.2}: auto ({}) {} vs best {} {} ({:.2}x); direct/family {:.2}x\n",
+            s.s,
+            s.auto_plan,
+            fmt_ns(s.auto_ns),
+            s.best_scheme,
+            fmt_ns(s.best_ns),
+            s.auto_vs_best,
+            s.direct_vs_family,
+        ));
+    }
+    out
+}
+
+/// Render the tracked `BENCH_pr6.json` artifact (hand-rolled JSON).
+#[must_use]
+pub fn render_skew_json(rows: &[SkewRow], fit: &LinearFit) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pr6-skew\",\n");
+    out.push_str("  \"transport\": \"uds\",\n");
+    out.push_str(&format!(
+        "  \"fit\": {{\"startup_s\": {:.9e}, \"per_byte_s\": {:.9e}, \"r_squared\": {:.4}, \"samples\": {}}},\n",
+        fit.model.startup, fit.model.per_byte, fit.r_squared, fit.samples
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"plan\": \"{}\", \"s\": {:.2}, \"skew_ratio\": {:.3}, \
+             \"n\": {}, \"k\": {}, \"bytes_moved\": {}, \"reps\": {}, \"min_ns\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"mbps\": {:.2}, \"predicted_ns\": {}}}{}\n",
+            r.scheme,
+            r.plan,
+            r.s,
+            r.skew_ratio,
+            r.n,
+            r.k,
+            r.bytes_moved,
+            r.reps,
+            r.min_ns,
+            r.p50_ns,
+            r.p99_ns,
+            r.mean_ns,
+            r.mbps,
+            r.predicted_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"summary\": [\n");
+    let summaries = summarize_skew(rows);
+    for (i, s) in summaries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"s\": {:.2}, \"skew_ratio\": {:.3}, \"best_scheme\": \"{}\", \"best_p50_ns\": {}, \
+             \"direct_p50_ns\": {}, \"family_p50_ns\": {}, \"auto_plan\": \"{}\", \
+             \"auto_p50_ns\": {}, \"auto_vs_best\": {:.3}, \"direct_vs_family\": {:.3}}}{}\n",
+            s.s,
+            s.skew_ratio,
+            s.best_scheme,
+            s.best_ns,
+            s.direct_ns,
+            s.family_ns,
+            s.auto_plan,
+            s.auto_ns,
+            s.auto_vs_best,
+            s.direct_vs_family,
+            if i + 1 < summaries.len() { "," } else { "" },
+        ));
+    }
+    let max_vs_best = summaries
+        .iter()
+        .map(|s| s.auto_vs_best)
+        .fold(0.0f64, f64::max);
+    let family_wins_low_skew = summaries
+        .iter()
+        .any(|s| s.s <= 0.75 && s.direct_vs_family > 1.0);
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"criteria\": {{\"max_auto_vs_best\": {:.3}, \"within_10pct_of_best_everywhere\": {}, \
+         \"family_beats_direct_at_low_skew\": {}}}\n}}\n",
+        max_vs_best,
+        max_vs_best <= 1.10,
+        family_wins_low_skew,
     ));
     out
 }

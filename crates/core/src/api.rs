@@ -46,6 +46,10 @@ pub struct Tuning {
     /// direct, hypercube, mixed radix) instead of the uniform-radix
     /// search only. Ignored when [`radix`](Self::radix) is forced.
     pub planner: bool,
+    /// Force a non-uniform family member for
+    /// [`alltoallv_into`](crate::vops::alltoallv_into) instead of the
+    /// planner's skew-driven arg-min.
+    pub vmethod: Option<crate::vbruck::VMethod>,
 }
 
 /// Incremental constructor for [`Tuning`], starting from the defaults.
@@ -93,6 +97,14 @@ impl TuningBuilder {
         self
     }
 
+    /// Force a non-uniform family member (direct, padded Bruck, or
+    /// two-phase Bruck) for the v-ops instead of skew-driven dispatch.
+    #[must_use]
+    pub fn vmethod(mut self, method: crate::vbruck::VMethod) -> Self {
+        self.inner.vmethod = Some(method);
+        self
+    }
+
     /// Finish, yielding the configured [`Tuning`].
     #[must_use]
     pub fn build(self) -> Tuning {
@@ -108,6 +120,7 @@ impl Default for Tuning {
             radix: None,
             concat_preference: Preference::Rounds,
             planner: false,
+            vmethod: None,
         }
     }
 }
@@ -119,6 +132,7 @@ impl core::fmt::Debug for Tuning {
             .field("radix", &self.radix)
             .field("concat_preference", &self.concat_preference)
             .field("planner", &self.planner)
+            .field("vmethod", &self.vmethod)
             .finish()
     }
 }
@@ -144,6 +158,7 @@ impl Tuning {
             radix: None,
             concat_preference: Preference::Rounds,
             planner: true,
+            vmethod: None,
         }
     }
 

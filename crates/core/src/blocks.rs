@@ -30,7 +30,11 @@ pub const PAR_COPY_MIN: usize = 4 << 20;
 const PAR_COPY_THREADS: usize = 4;
 
 fn copy_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    // `available_parallelism` re-reads the cgroup filesystem on every
+    // call (tens of microseconds — orders of magnitude more than the
+    // small copies these helpers mostly move), so resolve it once.
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
 }
 
 /// `dst.copy_from_slice(src)`, split across scoped threads when the

@@ -46,6 +46,7 @@ pub mod index;
 pub mod primitives;
 pub mod reduce;
 pub mod scan;
+pub mod vbruck;
 pub mod verify;
 pub mod vops;
 
@@ -59,9 +60,12 @@ pub mod prelude {
     pub use crate::concat::ConcatAlgorithm;
     pub use crate::index::IndexAlgorithm;
     pub use crate::reduce::{allreduce_via_concat, reduce, ReduceOp};
+    pub use crate::vbruck::{VLayout, VMethod};
+    #[allow(deprecated)]
     pub use crate::vops::{allgatherv, alltoallv};
+    pub use crate::vops::{allgatherv_into, alltoallv_auto, alltoallv_auto_into, alltoallv_into};
     pub use bruck_model::complexity::Complexity;
     pub use bruck_model::cost::{CostModel, LinearModel, Sp1Model};
-    pub use bruck_model::planner::{ConcatPlan, IndexPlan, PlanChoice, Planner};
+    pub use bruck_model::planner::{ConcatPlan, IndexPlan, PlanChoice, Planner, VIndexPlan};
     pub use bruck_net::{Cluster, ClusterConfig, Comm, Endpoint, Group, NetError};
 }

@@ -1,0 +1,571 @@
+//! The configurable non-uniform Bruck family: executors behind the
+//! [`vops`](crate::vops) API.
+//!
+//! The paper's index algorithm assumes one uniform block size `b`;
+//! production all-to-all traffic is heavy-tailed. This module carries
+//! the three members of the non-uniform family over the pooled data
+//! plane, all driven by the same metadata round (one circulant concat
+//! of each rank's count row, after which **every rank holds the full
+//! `n×n` size matrix** — the shared state that lets the SPMD ranks
+//! agree on pad sizes, quotas, tail schedules, and the auto plan
+//! without any extra agreement protocol):
+//!
+//! * **direct** — every pair ships its exact bytes, distance-scheduled
+//!   `k` pairs per round, skipping distances no pair uses. Transfer
+//!   optimal; `⌈(n-1)/k⌉` start-ups.
+//! * **padded Bruck** — every travelling block is padded to the global
+//!   maximum count, the tuned uniform radix-`r` index (with its gather
+//!   -spec staging) moves the padded matrix, and the padding is
+//!   stripped on unpack. Log-round; volume inflated by the skew.
+//! * **two-phase Bruck** — phase 1 moves a uniform `quota`-byte slice
+//!   of every block through the log-round index; phase 2 moves the
+//!   heavy tails above the quota direct. Interpolates between the
+//!   other two (quota `0` *is* direct, quota `≥ max` *is* padded).
+//!
+//! The family follows Fan et al., *Configurable Algorithms for
+//! All-to-All Collectives* (arXiv:2411.02581), transplanted onto the
+//! paper's radix-`r` index core and this workspace's pooled transport.
+
+use bruck_model::planner::VIndexPlan;
+use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
+
+use crate::concat::ConcatAlgorithm;
+use crate::index::IndexAlgorithm;
+
+/// Per-destination counts and displacements over one contiguous
+/// buffer — the typed layout the v-ops address payloads with
+/// (`MPI_Alltoallv`'s `counts`/`displs` pair, minus the raw-pointer
+/// footguns).
+///
+/// Block `j` of a buffer `buf` under layout `l` is
+/// `buf[l.displ(j) .. l.displ(j) + l.count(j)]`. Layouts built by
+/// [`from_counts`](VLayout::from_counts) are *dense* (displacements are
+/// the prefix sums, blocks tile `[0, total)`); [`new`](VLayout::new)
+/// accepts arbitrary non-overlapping-or-not displacements for strided
+/// or shared-prefix sends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VLayout {
+    counts: Vec<usize>,
+    displs: Vec<usize>,
+    total: usize,
+}
+
+impl VLayout {
+    /// Dense layout: block `j` has `counts[j]` bytes at displacement
+    /// `counts[0] + … + counts[j-1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts sum past `usize::MAX` (impossible for
+    /// counts describing buffers that actually exist in one address
+    /// space).
+    #[must_use]
+    pub fn from_counts(counts: &[usize]) -> Self {
+        Self::try_from_counts(counts).expect("layout total overflows usize")
+    }
+
+    /// [`from_counts`](Self::from_counts) with the overflow reported as
+    /// an error instead of a panic — the form the metadata round uses
+    /// on *announced* (attacker-controllable) counts.
+    pub(crate) fn try_from_counts(counts: &[usize]) -> Result<Self, NetError> {
+        let mut displs = Vec::with_capacity(counts.len());
+        let mut total = 0usize;
+        for &c in counts {
+            displs.push(total);
+            total = total
+                .checked_add(c)
+                .ok_or_else(|| NetError::App("v-layout: counts sum past usize::MAX".to_string()))?;
+        }
+        Ok(Self {
+            counts: counts.to_vec(),
+            displs,
+            total,
+        })
+    }
+
+    /// Layout with explicit displacements. `total` is the least buffer
+    /// length that contains every block.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::App`] if the vectors' lengths differ or any block
+    /// end overflows `usize`.
+    pub fn new(counts: Vec<usize>, displs: Vec<usize>) -> Result<Self, NetError> {
+        if counts.len() != displs.len() {
+            return Err(NetError::App(format!(
+                "v-layout: {} counts but {} displacements",
+                counts.len(),
+                displs.len()
+            )));
+        }
+        let mut total = 0usize;
+        for (j, (&c, &d)) in counts.iter().zip(&displs).enumerate() {
+            let end = d
+                .checked_add(c)
+                .ok_or_else(|| NetError::App(format!("v-layout: block {j} end overflows usize")))?;
+            total = total.max(end);
+        }
+        Ok(Self {
+            counts,
+            displs,
+            total,
+        })
+    }
+
+    /// Number of blocks (peers) the layout addresses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the layout addresses no blocks at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Byte count of block `j`.
+    #[must_use]
+    pub fn count(&self, j: usize) -> usize {
+        self.counts[j]
+    }
+
+    /// Byte displacement of block `j`.
+    #[must_use]
+    pub fn displ(&self, j: usize) -> usize {
+        self.displs[j]
+    }
+
+    /// All counts, in peer order.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The least buffer length containing every block.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Byte range of block `j`.
+    #[must_use]
+    pub fn range(&self, j: usize) -> core::ops::Range<usize> {
+        self.displs[j]..self.displs[j] + self.counts[j]
+    }
+
+    /// Block `j` of `buf` under this layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's range exceeds `buf` (see
+    /// [`fits`](Self::fits)).
+    #[must_use]
+    pub fn slice<'a>(&self, buf: &'a [u8], j: usize) -> &'a [u8] {
+        &buf[self.range(j)]
+    }
+
+    /// The largest block count.
+    #[must_use]
+    pub fn max_count(&self) -> usize {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every block lies inside a `len`-byte buffer.
+    #[must_use]
+    pub fn fits(&self, len: usize) -> bool {
+        self.total <= len
+    }
+}
+
+/// A forced member of the non-uniform family (see
+/// [`Tuning::vmethod`](crate::api::Tuning::vmethod)); leave unset to
+/// let the planner arg-min over all three from the measured skew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VMethod {
+    /// Direct pairwise exchange of the exact bytes.
+    Direct,
+    /// Padded Bruck through the uniform radix-`radix` index.
+    Padded {
+        /// Radix of the uniform index phase (clamped to `[2, n]`).
+        radix: usize,
+    },
+    /// Two-phase Bruck: uniform quota slice + direct tails.
+    TwoPhase {
+        /// Radix of the uniform quota phase (clamped to `[2, n]`).
+        radix: usize,
+        /// Bytes per block for the uniform phase; `None` picks the
+        /// planner's default (mean travelling count).
+        quota: Option<usize>,
+    },
+}
+
+fn decode_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8-byte length"))
+}
+
+/// Metadata round: circulant-concat every rank's count row so each
+/// rank holds the full `n×n` row-major size matrix
+/// (`matrix[i·n + j]` = bytes rank `i` sends rank `j`). One concat of
+/// `n·8` bytes per rank — `⌈log_{k+1} n⌉` rounds — replaces the seed's
+/// index-only metadata *and* upgrades it: the full matrix is exactly
+/// the shared state the pad size, quota, tail schedule, and auto plan
+/// all need to be rank-consistent.
+pub(crate) fn exchange_size_matrix<C: Comm + ?Sized>(
+    ep: &mut C,
+    layout: &VLayout,
+) -> Result<Vec<u64>, NetError> {
+    let n = ep.size();
+    let mut row = ep.acquire(n * 8);
+    for (slot, &c) in row.chunks_exact_mut(8).zip(layout.counts()) {
+        slot.copy_from_slice(&(c as u64).to_le_bytes());
+    }
+    let mut flat = ep.acquire(n * n * 8);
+    let result = ConcatAlgorithm::Bruck(Default::default()).run_into(ep, &row, &mut flat);
+    ep.recycle(row);
+    let matrix = result.map(|()| {
+        (0..n * n)
+            .map(|e| decode_u64(&flat[e * 8..(e + 1) * 8]))
+            .collect()
+    });
+    ep.recycle(flat);
+    matrix
+}
+
+/// Validate the announced matrix **before any payload round**: every
+/// entry must fit `usize` and this rank's incoming column must sum
+/// without overflow. Returns the matrix as `usize` plus the dense
+/// receive layout (one block per source, in rank order).
+///
+/// The seed only caught a forged 8-byte size entry *after* the full
+/// exchange, when the received length mismatched; now a poisoned
+/// announcement fails fast, before a byte of payload moves.
+pub(crate) fn validate_matrix(
+    n: usize,
+    rank: usize,
+    matrix: &[u64],
+) -> Result<(Vec<usize>, VLayout), NetError> {
+    debug_assert_eq!(matrix.len(), n * n);
+    let mut sizes = Vec::with_capacity(n * n);
+    for (e, &s) in matrix.iter().enumerate() {
+        sizes.push(usize::try_from(s).map_err(|_| {
+            NetError::App(format!(
+                "alltoallv: rank {} announced a {s}-byte block for rank {} that cannot \
+                 fit in usize",
+                e / n,
+                e % n
+            ))
+        })?);
+    }
+    let incoming: Vec<usize> = (0..n).map(|src| sizes[src * n + rank]).collect();
+    let recv = VLayout::try_from_counts(&incoming)?;
+    Ok((sizes, recv))
+}
+
+/// Largest travelling (off-diagonal) entry of the size matrix.
+fn off_diag_max(n: usize, sizes: &[usize]) -> usize {
+    let mut max = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                max = max.max(sizes[i * n + j]);
+            }
+        }
+    }
+    max
+}
+
+/// Distances `1..n` at which at least one pair moves `> floor` bytes,
+/// under the globally-shared matrix — every rank derives the same
+/// list, so the chunked rounds never desynchronize.
+fn active_distances(n: usize, sizes: &[usize], floor: usize) -> Vec<usize> {
+    (1..n)
+        .filter(|&d| (0..n).any(|i| sizes[i * n + (i + d) % n] > floor))
+        .collect()
+}
+
+/// Copy this rank's own block straight from the send buffer.
+fn place_self(sendbuf: &[u8], send: &VLayout, recv: &VLayout, rank: usize, out: &mut [u8]) {
+    out[recv.range(rank)].copy_from_slice(send.slice(sendbuf, rank));
+}
+
+/// The direct member: exact bytes, `k` active distances per round.
+/// Sends borrow the caller's buffer (zero-copy out); received payloads
+/// are copied into place and recycled to the pool.
+pub(crate) fn run_direct<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    send: &VLayout,
+    sizes: &[usize],
+    recv: &VLayout,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    run_tails(ep, sendbuf, send, sizes, 0, recv, out)?;
+    place_self(sendbuf, send, recv, ep.rank(), out);
+    Ok(())
+}
+
+/// The direct exchange of everything above `quota` — the whole block
+/// when `quota == 0` (the direct member), the heavy tails in phase 2
+/// of the two-phase member otherwise.
+fn run_tails<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    send: &VLayout,
+    sizes: &[usize],
+    quota: usize,
+    recv: &VLayout,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    let n = ep.size();
+    let rank = ep.rank();
+    let k = ep.ports().max(1);
+    for group in active_distances(n, sizes, quota).chunks(k) {
+        let sends: Vec<SendSpec<'_>> = group
+            .iter()
+            .filter_map(|&d| {
+                let dst = (rank + d) % n;
+                let count = sizes[rank * n + dst];
+                (count > quota).then(|| SendSpec {
+                    to: dst,
+                    tag: d as u64,
+                    payload: &sendbuf[send.displ(dst) + quota..send.displ(dst) + count],
+                })
+            })
+            .collect();
+        let expected: Vec<(usize, usize)> = group
+            .iter()
+            .filter_map(|&d| {
+                let src = (rank + n - d) % n;
+                let count = sizes[src * n + rank];
+                (count > quota).then(|| (src, count - quota))
+            })
+            .collect();
+        let recvs: Vec<RecvSpec> = group
+            .iter()
+            .filter_map(|&d| {
+                let src = (rank + n - d) % n;
+                (sizes[src * n + rank] > quota).then_some(RecvSpec {
+                    from: src,
+                    tag: d as u64,
+                })
+            })
+            .collect();
+        let msgs = ep.round(&sends, &recvs)?;
+        for (&(src, tail), msg) in expected.iter().zip(msgs) {
+            if msg.payload.len() != tail {
+                return Err(NetError::App(format!(
+                    "alltoallv: rank {src} announced {tail} tail bytes but sent {}",
+                    msg.payload.len()
+                )));
+            }
+            out[recv.displ(src) + quota..recv.displ(src) + quota + tail]
+                .copy_from_slice(&msg.payload);
+            ep.charge_copy(tail as u64);
+            ep.recycle(msg.payload);
+        }
+    }
+    Ok(())
+}
+
+/// The padded member: pad every travelling block to the global max,
+/// run the tuned uniform index, strip the padding on unpack. All
+/// scratch is pooled; the uniform index underneath stages its rounds
+/// through gather specs, so the padded matrix is copied once in and
+/// once out.
+pub(crate) fn run_padded<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    send: &VLayout,
+    sizes: &[usize],
+    radix: usize,
+    recv: &VLayout,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    let n = ep.size();
+    let rank = ep.rank();
+    place_self(sendbuf, send, recv, rank, out);
+    let bmax = off_diag_max(n, sizes);
+    if bmax == 0 {
+        return Ok(());
+    }
+    let padded_len = n
+        .checked_mul(bmax)
+        .ok_or_else(|| NetError::App("alltoallv: padded buffer overflows usize".to_string()))?;
+    // Pack: slot j = block j left-aligned in bmax bytes (acquire zeroes
+    // the scratch, so the padding needs no explicit memset). The self
+    // slot stays zero — the uniform index never moves it, and the own
+    // block was placed above.
+    let mut padded = ep.acquire(padded_len);
+    let mut packed = 0u64;
+    for j in 0..n {
+        if j != rank {
+            let blk = send.slice(sendbuf, j);
+            padded[j * bmax..j * bmax + blk.len()].copy_from_slice(blk);
+            packed += blk.len() as u64;
+        }
+    }
+    ep.charge_copy(packed);
+    let mut gathered = ep.acquire(padded_len);
+    let result =
+        IndexAlgorithm::BruckRadix(radix.clamp(2, n)).run_into(ep, &padded, bmax, &mut gathered);
+    ep.recycle(padded);
+    if let Err(e) = result {
+        ep.recycle(gathered);
+        return Err(e);
+    }
+    // Strip: the receiver knows every incoming count from the metadata
+    // matrix, so the pad bytes simply stay behind in the scratch.
+    let mut stripped = 0u64;
+    for src in 0..n {
+        if src != rank {
+            let count = recv.count(src);
+            out[recv.range(src)].copy_from_slice(&gathered[src * bmax..src * bmax + count]);
+            stripped += count as u64;
+        }
+    }
+    ep.charge_copy(stripped);
+    ep.recycle(gathered);
+    Ok(())
+}
+
+/// The two-phase member: a uniform `quota`-byte slice of every block
+/// rides the radix-`r` index (blocks shorter than the quota are
+/// zero-padded up to it), then the tails above the quota move direct.
+/// Degenerates to [`run_direct`] at `quota == 0` and to [`run_padded`]
+/// at `quota ≥ max`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_two_phase<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    send: &VLayout,
+    sizes: &[usize],
+    radix: usize,
+    quota: usize,
+    recv: &VLayout,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    let n = ep.size();
+    let rank = ep.rank();
+    let bmax = off_diag_max(n, sizes);
+    if quota == 0 {
+        return run_direct(ep, sendbuf, send, sizes, recv, out);
+    }
+    if quota >= bmax {
+        return run_padded(ep, sendbuf, send, sizes, radix, recv, out);
+    }
+    place_self(sendbuf, send, recv, rank, out);
+
+    // Phase 1: uniform index over the first min(count, quota) bytes of
+    // every travelling block, zero-padded to the quota.
+    let phase1_len = n
+        .checked_mul(quota)
+        .ok_or_else(|| NetError::App("alltoallv: quota buffer overflows usize".to_string()))?;
+    let mut sliced = ep.acquire(phase1_len);
+    let mut packed = 0u64;
+    for j in 0..n {
+        if j != rank {
+            let blk = send.slice(sendbuf, j);
+            let head = blk.len().min(quota);
+            sliced[j * quota..j * quota + head].copy_from_slice(&blk[..head]);
+            packed += head as u64;
+        }
+    }
+    ep.charge_copy(packed);
+    let mut gathered = ep.acquire(phase1_len);
+    let result =
+        IndexAlgorithm::BruckRadix(radix.clamp(2, n)).run_into(ep, &sliced, quota, &mut gathered);
+    ep.recycle(sliced);
+    if let Err(e) = result {
+        ep.recycle(gathered);
+        return Err(e);
+    }
+    let mut stripped = 0u64;
+    for src in 0..n {
+        if src != rank {
+            let head = recv.count(src).min(quota);
+            out[recv.displ(src)..recv.displ(src) + head]
+                .copy_from_slice(&gathered[src * quota..src * quota + head]);
+            stripped += head as u64;
+        }
+    }
+    ep.charge_copy(stripped);
+    ep.recycle(gathered);
+
+    // Phase 2: the heavy tails, direct.
+    run_tails(ep, sendbuf, send, sizes, quota, recv, out)
+}
+
+/// Execute one planned member of the family. The plan must be derived
+/// from the shared metadata matrix (or forced identically on every
+/// rank) — the executors assume all ranks run the same member.
+pub(crate) fn run_plan<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    send: &VLayout,
+    sizes: &[usize],
+    plan: &VIndexPlan,
+    recv: &VLayout,
+    out: &mut [u8],
+) -> Result<(), NetError> {
+    match *plan {
+        VIndexPlan::Direct => run_direct(ep, sendbuf, send, sizes, recv, out),
+        VIndexPlan::Padded { radix } => run_padded(ep, sendbuf, send, sizes, radix, recv, out),
+        VIndexPlan::TwoPhase { radix, quota } => {
+            run_two_phase(ep, sendbuf, send, sizes, radix, quota, recv, out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_from_counts_is_dense() {
+        let l = VLayout::from_counts(&[3, 0, 5]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.total(), 8);
+        assert_eq!(l.range(0), 0..3);
+        assert_eq!(l.range(1), 3..3);
+        assert_eq!(l.range(2), 3..8);
+        assert_eq!(l.max_count(), 5);
+        assert!(l.fits(8));
+        assert!(!l.fits(7));
+    }
+
+    #[test]
+    fn layout_with_displacements() {
+        let l = VLayout::new(vec![2, 2], vec![4, 0]).unwrap();
+        assert_eq!(l.total(), 6);
+        assert_eq!(l.slice(b"abcdef", 0), b"ef");
+        assert_eq!(l.slice(b"abcdef", 1), b"ab");
+        assert!(VLayout::new(vec![1], vec![usize::MAX]).is_err());
+        assert!(VLayout::new(vec![1, 2], vec![0]).is_err());
+    }
+
+    #[test]
+    fn overflowing_counts_are_rejected_not_panicked() {
+        let err = VLayout::try_from_counts(&[usize::MAX, 2]).unwrap_err();
+        assert!(matches!(err, NetError::App(_)));
+    }
+
+    #[test]
+    fn validate_matrix_rejects_forged_sizes() {
+        // On 64-bit targets every u64 fits usize, but a forged column
+        // that sums past usize::MAX must still fail before payload.
+        let n = 2;
+        let m = [u64::MAX, 0, u64::MAX, 0];
+        let err = validate_matrix(n, 0, &m).unwrap_err();
+        assert!(matches!(err, NetError::App(_)), "{err:?}");
+    }
+
+    #[test]
+    fn active_distance_floor() {
+        // 3 ranks, only 0→1 carries data (size 4).
+        let sizes = [0, 4, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(active_distances(3, &sizes, 0), vec![1]);
+        assert_eq!(active_distances(3, &sizes, 3), vec![1]);
+        assert!(active_distances(3, &sizes, 4).is_empty());
+    }
+}

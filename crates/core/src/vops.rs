@@ -1,149 +1,251 @@
-//! Non-uniform (“v”) variants: `alltoallv` and `allgatherv`.
+//! Non-uniform (“v”) variants: `alltoallv` and `allgatherv` over a
+//! typed [`VLayout`].
 //!
 //! The paper's operations assume a uniform block size `b`; MPI's
-//! `MPI_Alltoallv` / `MPI_Allgatherv` drop that assumption. Both variants
-//! here are *compositions of the paper's algorithms*:
+//! `MPI_Alltoallv` / `MPI_Allgatherv` drop that assumption. Both
+//! variants here are *compositions of the paper's algorithms*:
 //!
-//! * [`alltoallv`] first runs the **uniform Bruck index** on the 8-byte
-//!   size table (so every rank learns exactly what to expect from every
-//!   other — a `C1`-optimal metadata round-trip), then moves the payload
-//!   by direct exchange, which is transfer-optimal and the right choice
-//!   for skewed sizes (relaying through intermediate ranks would multiply
-//!   the largest payloads).
-//! * [`allgatherv`] first runs the **circulant concatenation** on the
-//!   size table, then replays the circulant structure with variable-size
-//!   bundles: `⌈log_{k+1} n⌉ - 1` doubling rounds plus a column-aligned
-//!   last round. Round count stays optimal at `1 + ⌈log_{k+1} n⌉`; byte
-//!   balance across the last round's ports is per-block rather than the
-//!   uniform case's per-byte (byte-splitting optimality does not survive
-//!   non-uniform blocks, where the bound itself is block-dependent).
+//! * [`alltoallv_into`] first concats every rank's count row (one
+//!   circulant metadata round, after which each rank holds the full
+//!   `n×n` size matrix and validates it **before** any payload moves),
+//!   then dispatches the payload over the configurable non-uniform
+//!   Bruck family of [`vbruck`](crate::vbruck): **direct** exchange,
+//!   **padded Bruck** (pad to the max count, run the tuned uniform
+//!   index, strip on unpack), or **two-phase Bruck** (a uniform quota
+//!   slice through the log-round index plus direct heavy tails). With
+//!   no forced [`VMethod`] the planner arg-mins the three from the
+//!   matrix's measured skew (max/mean) under the tuning's cost model —
+//!   rank-consistently, because every rank plans from the same matrix.
+//! * [`allgatherv_into`] first runs the circulant concatenation on the
+//!   size table, then replays the circulant structure with
+//!   variable-size bundles gathered span-wise straight out of the
+//!   result buffer: `⌈log_{k+1} n⌉ - 1` doubling rounds plus a
+//!   column-aligned last round. Round count stays optimal at
+//!   `1 + ⌈log_{k+1} n⌉`.
+//!
+//! Both `_into` forms follow the PR 1 zero-copy convention: sends
+//! borrow the caller's contiguous buffer, scratch and received
+//! payloads come from the cluster's buffer pool, and the caller-owned
+//! output `Vec` is only resized (no reallocation once its capacity has
+//! seen the working set). The legacy `&[Vec<u8>]` entry points remain
+//! as deprecated shims whose outputs now come from the pool.
 
+use bruck_model::cost::CostModel;
+use bruck_model::planner::{quota_candidates, PlanChoice, Planner, VIndexPlan};
 use bruck_model::radix::{ceil_log, pow};
-use bruck_net::{Comm, NetError, RecvSpec, SendSpec};
+use bruck_net::{Comm, GatherSendSpec, NetError, RecvSpec, SendSpec};
 
+use crate::api::Tuning;
 use crate::concat::ConcatAlgorithm;
-use crate::index::IndexAlgorithm;
+use crate::vbruck;
 
-fn encode_len(len: usize) -> [u8; 8] {
-    (len as u64).to_le_bytes()
-}
+pub use crate::vbruck::{VLayout, VMethod};
 
-fn decode_len(bytes: &[u8]) -> usize {
-    u64::from_le_bytes(bytes.try_into().expect("8-byte length")) as usize
-}
-
-/// Personalized all-to-all with per-destination message sizes.
+/// Personalized all-to-all with per-destination sizes, into a
+/// caller-owned output buffer.
 ///
-/// `sendbufs[j]` is this rank's message for rank `j` (`sendbufs[rank]` is
-/// returned verbatim in slot `rank`). Returns one received buffer per
-/// source rank.
+/// `sendbuf` holds this rank's outgoing blocks addressed by `layout`
+/// (block `j` for rank `j`; block `rank` is delivered back verbatim).
+/// `out` is resized to the incoming total and filled dense in source
+/// order; the returned [`VLayout`] addresses it. The payload algorithm
+/// is `tuning.vmethod` when forced, otherwise the planner's arg-min of
+/// {direct, padded Bruck, two-phase Bruck} under `tuning.model` — see
+/// [`alltoallv_auto`] to also learn which member ran.
 ///
 /// # Errors
 ///
-/// [`NetError::App`] if `sendbufs.len() != n`; network failures propagate.
-pub fn alltoallv<C: Comm + ?Sized>(
+/// [`NetError::App`] if `layout` does not address exactly `n` blocks
+/// inside `sendbuf`, or if a peer's announced sizes cannot be laid out
+/// in memory (checked before any payload round); network failures
+/// propagate.
+pub fn alltoallv_into<C: Comm + ?Sized>(
     ep: &mut C,
-    sendbufs: &[Vec<u8>],
-) -> Result<Vec<Vec<u8>>, NetError> {
+    sendbuf: &[u8],
+    layout: &VLayout,
+    tuning: &Tuning,
+    out: &mut Vec<u8>,
+) -> Result<VLayout, NetError> {
+    let (recv, _) = dispatch(
+        ep,
+        sendbuf,
+        layout,
+        tuning.model.as_ref(),
+        tuning.vmethod,
+        out,
+    )?;
+    Ok(recv)
+}
+
+/// [`alltoallv_into`] with planner dispatch under an explicit model,
+/// returning the receive layout **and** the family member that ran
+/// with its predicted cost — the bench harness's entry point.
+///
+/// # Errors
+///
+/// See [`alltoallv_into`].
+pub fn alltoallv_auto_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    layout: &VLayout,
+    model: &dyn CostModel,
+    out: &mut Vec<u8>,
+) -> Result<(VLayout, PlanChoice<VIndexPlan>), NetError> {
+    dispatch(ep, sendbuf, layout, model, None, out)
+}
+
+/// Allocating form of [`alltoallv_auto_into`].
+///
+/// # Errors
+///
+/// See [`alltoallv_into`].
+pub fn alltoallv_auto<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    layout: &VLayout,
+    model: &dyn CostModel,
+) -> Result<(Vec<u8>, VLayout, PlanChoice<VIndexPlan>), NetError> {
+    let mut out = Vec::new();
+    let (recv, choice) = alltoallv_auto_into(ep, sendbuf, layout, model, &mut out)?;
+    Ok((out, recv, choice))
+}
+
+/// Metadata + validation + plan + payload, shared by every `alltoallv`
+/// entry point.
+fn dispatch<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbuf: &[u8],
+    layout: &VLayout,
+    model: &dyn CostModel,
+    forced: Option<VMethod>,
+    out: &mut Vec<u8>,
+) -> Result<(VLayout, PlanChoice<VIndexPlan>), NetError> {
     let n = ep.size();
-    if sendbufs.len() != n {
+    if layout.len() != n {
         return Err(NetError::App(format!(
-            "alltoallv needs one buffer per rank: got {}, need {n}",
-            sendbufs.len()
+            "alltoallv needs one block per rank: layout has {}, need {n}",
+            layout.len()
         )));
     }
+    if !layout.fits(sendbuf.len()) {
+        return Err(NetError::App(format!(
+            "alltoallv: layout needs {} bytes but sendbuf has {}",
+            layout.total(),
+            sendbuf.len()
+        )));
+    }
+    let trivial = PlanChoice {
+        plan: VIndexPlan::Direct,
+        complexity: bruck_model::Complexity::ZERO,
+        predicted_time: 0.0,
+    };
     if n == 1 {
-        return Ok(vec![sendbufs[0].clone()]);
+        // Single rank: the block comes straight back — no metadata, no
+        // clone of the caller's buffer beyond the copy into `out`.
+        let blk = layout.slice(sendbuf, 0);
+        out.clear();
+        out.extend_from_slice(blk);
+        return Ok((VLayout::from_counts(&[blk.len()]), trivial));
     }
     let rank = ep.rank();
-    let k = ep.ports();
-
-    // Metadata: every rank tells every other how much to expect, via the
-    // round-optimal uniform index on 8-byte blocks (pooled staging).
-    let mut size_table = ep.acquire(n * 8);
-    for (slot, buf) in size_table.chunks_exact_mut(8).zip(sendbufs) {
-        slot.copy_from_slice(&encode_len(buf.len()));
-    }
-    let mut incoming_sizes = ep.acquire(n * 8);
-    IndexAlgorithm::BruckRadix(2).run_into(ep, &size_table, 8, &mut incoming_sizes)?;
-    ep.recycle(size_table);
-    let expect: Vec<usize> = (0..n)
-        .map(|src| decode_len(&incoming_sizes[src * 8..(src + 1) * 8]))
-        .collect();
-    ep.recycle(incoming_sizes);
-
-    // Payload: direct exchange, k pairs per round.
-    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
-    out[rank] = sendbufs[rank].clone();
-    let mut i = 1usize;
-    while i < n {
-        let group: Vec<usize> = (i..n.min(i + k)).collect();
-        let sends: Vec<SendSpec<'_>> = group
-            .iter()
-            .map(|&d| {
-                let dst = (rank + d) % n;
-                SendSpec {
-                    to: dst,
-                    tag: d as u64,
-                    payload: &sendbufs[dst],
+    let matrix = vbruck::exchange_size_matrix(ep, layout)?;
+    let (sizes, recv) = vbruck::validate_matrix(n, rank, &matrix)?;
+    let planner = Planner::new(model);
+    let choice = match forced {
+        None => planner.plan_vindex(n, ep.ports(), &matrix),
+        Some(method) => {
+            let plan = match method {
+                VMethod::Direct => VIndexPlan::Direct,
+                VMethod::Padded { radix } => VIndexPlan::Padded {
+                    radix: radix.clamp(2, n),
+                },
+                VMethod::TwoPhase { radix, quota } => {
+                    // The default quota is the planner's first candidate
+                    // (mean travelling count) — computed from the shared
+                    // matrix, hence identical on every rank.
+                    let quota = quota.or_else(|| quota_candidates(n, &matrix).first().copied());
+                    VIndexPlan::TwoPhase {
+                        radix: radix.clamp(2, n),
+                        quota: quota.unwrap_or(usize::MAX),
+                    }
                 }
-            })
-            .collect();
-        let recvs: Vec<RecvSpec> = group
-            .iter()
-            .map(|&d| RecvSpec {
-                from: (rank + n - d) % n,
-                tag: d as u64,
-            })
-            .collect();
-        let msgs = ep.round(&sends, &recvs)?;
-        for (&d, msg) in group.iter().zip(msgs) {
-            let src = (rank + n - d) % n;
-            if msg.payload.len() != expect[src] {
-                return Err(NetError::App(format!(
-                    "alltoallv: rank {src} announced {} bytes but sent {}",
-                    expect[src],
-                    msg.payload.len()
-                )));
+            };
+            let complexity = planner.vindex_complexity(&plan, n, ep.ports(), &matrix);
+            PlanChoice {
+                plan,
+                complexity,
+                predicted_time: model.estimate(complexity),
             }
-            out[src] = msg.payload;
         }
-        i += group.len();
+    };
+    if out.len() != recv.total() {
+        out.clear();
+        out.resize(recv.total(), 0);
     }
-    Ok(out)
+    vbruck::run_plan(ep, sendbuf, layout, &sizes, &choice.plan, &recv, out)?;
+    Ok((recv, choice))
 }
 
-/// All-gather with per-rank block sizes. Returns one buffer per rank,
-/// identical on every rank.
+/// All-gather with per-rank block sizes into a caller-owned output
+/// buffer. `out` is resized to the cluster total and filled dense in
+/// rank order; the returned [`VLayout`] addresses it (identical on
+/// every rank).
+///
+/// Doubling-round bundles are gathered span-wise straight out of `out`
+/// ([`GatherSendSpec`]) into the transport's pooled staging — one copy
+/// per hop, no per-slot buffers.
 ///
 /// # Errors
 ///
-/// Network failures propagate.
-pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Vec<u8>>, NetError> {
+/// [`NetError::App`] if a peer's announced sizes cannot be laid out in
+/// memory; network failures propagate.
+pub fn allgatherv_into<C: Comm + ?Sized>(
+    ep: &mut C,
+    myblock: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<VLayout, NetError> {
     let n = ep.size();
     if n == 1 {
-        return Ok(vec![myblock.to_vec()]);
+        out.clear();
+        out.extend_from_slice(myblock);
+        return Ok(VLayout::from_counts(&[myblock.len()]));
     }
     let rank = ep.rank();
     let k = ep.ports();
 
     // Metadata: the uniform circulant concatenation on the size table
-    // (pooled staging).
+    // (pooled staging), validated before any payload round.
     let mut sizes_flat = ep.acquire(n * 8);
     ConcatAlgorithm::Bruck(Default::default()).run_into(
         ep,
-        &encode_len(myblock.len()),
+        &(myblock.len() as u64).to_le_bytes(),
         &mut sizes_flat,
     )?;
-    let sizes: Vec<usize> = (0..n)
-        .map(|i| decode_len(&sizes_flat[i * 8..(i + 1) * 8]))
-        .collect();
+    let mut counts = Vec::with_capacity(n);
+    for src in 0..n {
+        let s = u64::from_le_bytes(
+            sizes_flat[src * 8..(src + 1) * 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        counts.push(usize::try_from(s).map_err(|_| {
+            NetError::App(format!(
+                "allgatherv: rank {src} announced a {s}-byte block that cannot fit in usize"
+            ))
+        })?);
+    }
     ep.recycle(sizes_flat);
+    let layout = VLayout::try_from_counts(&counts)?;
 
-    // Distance-ordered holdings: slot δ = block of rank (rank - δ) mod n.
-    let slot_size = |v: usize, slot: usize| sizes[(v + n - slot % n) % n];
-    let mut have: Vec<Option<Vec<u8>>> = vec![None; n];
-    have[0] = Some(myblock.to_vec());
+    if out.len() != layout.total() {
+        out.clear();
+        out.resize(layout.total(), 0);
+    }
+    out[layout.range(rank)].copy_from_slice(myblock);
+
+    // Distance-ordered holdings live directly in `out`: slot δ is the
+    // block of rank (rank - δ) mod n at that rank's final offset, so
+    // bundles gather from `out` and arrivals unpack into `out`.
+    let owner_of = |v: usize, slot: usize| (v + n - slot % n) % n;
 
     let d = ceil_log(k + 1, n);
     if d <= 1 {
@@ -163,144 +265,215 @@ pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Ve
             .collect();
         let msgs = ep.round(&sends, &recvs)?;
         for (dd, msg) in (1..n).zip(msgs) {
-            have[dd] = Some(msg.payload);
-        }
-    } else {
-        // Doubling rounds with variable-size bundles (pooled staging).
-        for i in 0..d - 1 {
-            let cur = pow(k + 1, i);
-            let bundle_len: usize = (0..cur)
-                .map(|s| have[s].as_deref().expect("slot filled").len())
-                .sum();
-            let mut bundle = ep.acquire(bundle_len);
-            let mut at = 0usize;
-            for slot in have.iter().take(cur) {
-                let data = slot.as_deref().expect("slot filled");
-                bundle[at..at + data.len()].copy_from_slice(data);
-                at += data.len();
+            let owner = owner_of(rank, dd);
+            if msg.payload.len() != layout.count(owner) {
+                return Err(NetError::App(format!(
+                    "allgatherv: rank {owner} announced {} bytes but sent {}",
+                    layout.count(owner),
+                    msg.payload.len()
+                )));
             }
-            let sends: Vec<SendSpec<'_>> = (1..=k)
-                .map(|j| SendSpec {
+            out[layout.range(owner)].copy_from_slice(&msg.payload);
+            ep.charge_copy(msg.payload.len() as u64);
+            ep.recycle(msg.payload);
+        }
+        return Ok(layout);
+    }
+
+    // Doubling rounds with variable-size bundles gathered from `out`.
+    for i in 0..d - 1 {
+        let cur = pow(k + 1, i);
+        let spans: Vec<(usize, usize)> = (0..cur)
+            .map(|s| {
+                let owner = owner_of(rank, s);
+                (layout.displ(owner), layout.count(owner))
+            })
+            .collect();
+        let msgs = {
+            let sends: Vec<GatherSendSpec<'_>> = (1..=k)
+                .map(|j| GatherSendSpec {
                     to: (rank + j * cur) % n,
                     tag: u64::from(i),
-                    payload: &bundle,
+                    src: out,
+                    spans: &spans,
                 })
                 .collect();
             let recvs: Vec<RecvSpec> = (1..=k)
                 .map(|j| RecvSpec {
-                    from: (rank + n - j * cur) % n,
+                    from: (rank + n - (j * cur) % n) % n,
                     tag: u64::from(i),
                 })
                 .collect();
-            let msgs = ep.round(&sends, &recvs)?;
-            for (j, msg) in (1..=k).zip(&msgs) {
-                // Sender (rank - j·cur) shipped its slots 0..cur; our slot
-                // for its slot s is j·cur + s.
-                let src = (rank + n - (j * cur) % n) % n;
-                let mut at = 0usize;
-                for s in 0..cur {
-                    let len = slot_size(src, s);
-                    if at + len > msg.payload.len() {
-                        return Err(NetError::App("allgatherv bundle underrun".into()));
-                    }
-                    have[j * cur + s] = Some(msg.payload[at..at + len].to_vec());
-                    at += len;
-                }
-                if at != msg.payload.len() {
-                    return Err(NetError::App("allgatherv bundle overrun".into()));
-                }
-            }
-            ep.recycle(bundle);
-            for msg in msgs {
-                ep.recycle(msg.payload);
-            }
-        }
-        // Last round: the n2 missing slots [n1, n) split column-aligned
-        // over ≤ k offsets with sender-window span ≤ n1 each.
-        let n1 = pow(k + 1, d - 1);
-        let n2 = n - n1;
-        if n2 > 0 {
-            let areas = k.min(n2);
-            let mut starts = Vec::with_capacity(areas + 1);
+            ep.round_gather(&sends, &recvs)?
+        };
+        for (j, msg) in (1..=k).zip(msgs) {
+            // Sender (rank - j·cur) shipped its slots 0..cur; our slot
+            // for its slot s is j·cur + s — same owner either way.
+            let src = (rank + n - (j * cur) % n) % n;
             let mut at = 0usize;
-            for a in 0..areas {
-                starts.push(at);
-                at += n2 / areas + usize::from(a < n2 % areas);
-            }
-            starts.push(n2);
-            let tag = u64::from(d - 1);
-            // Area a covers missing indices [starts[a], starts[a+1]);
-            // offset = n1 + starts[a] (span ≤ ⌈n2/k⌉ ≤ n1).
-            let staged: Vec<(usize, Vec<u8>)> = (0..areas)
-                .map(|a| {
-                    let offset = n1 + starts[a];
-                    // We send to rank+offset the bundle of its missing
-                    // slots n1+m for m in the area: its slot n1+m is our
-                    // slot n1+m-offset (pooled staging).
-                    let bundle_len: usize = (starts[a]..starts[a + 1])
-                        .map(|m| have[n1 + m - offset].as_deref().expect("slot filled").len())
-                        .sum();
-                    let mut bundle = ep.acquire(bundle_len);
-                    let mut at = 0usize;
-                    for m in starts[a]..starts[a + 1] {
-                        let data = have[n1 + m - offset].as_deref().expect("slot filled");
-                        bundle[at..at + data.len()].copy_from_slice(data);
-                        at += data.len();
-                    }
-                    (offset, bundle)
-                })
-                .collect();
-            let sends: Vec<SendSpec<'_>> = staged
-                .iter()
-                .map(|(offset, bundle)| SendSpec {
-                    to: (rank + offset) % n,
-                    tag,
-                    payload: bundle,
-                })
-                .collect();
-            let recvs: Vec<RecvSpec> = staged
-                .iter()
-                .map(|(offset, _)| RecvSpec {
-                    from: (rank + n - offset % n) % n,
-                    tag,
-                })
-                .collect();
-            let msgs = ep.round(&sends, &recvs)?;
-            for (a, msg) in (0..areas).zip(&msgs) {
-                let mut at = 0usize;
-                for m in starts[a]..starts[a + 1] {
-                    let len = slot_size(rank, n1 + m);
-                    if at + len > msg.payload.len() {
-                        return Err(NetError::App("allgatherv tail underrun".into()));
-                    }
-                    have[n1 + m] = Some(msg.payload[at..at + len].to_vec());
-                    at += len;
+            for s in 0..cur {
+                let owner = owner_of(src, s);
+                let len = layout.count(owner);
+                if at + len > msg.payload.len() {
+                    return Err(NetError::App("allgatherv bundle underrun".into()));
                 }
-                if at != msg.payload.len() {
-                    return Err(NetError::App("allgatherv tail overrun".into()));
-                }
+                out[layout.range(owner)].copy_from_slice(&msg.payload[at..at + len]);
+                at += len;
             }
-            for (_, bundle) in staged {
-                ep.recycle(bundle);
+            if at != msg.payload.len() {
+                return Err(NetError::App("allgatherv bundle overrun".into()));
             }
-            for msg in msgs {
-                ep.recycle(msg.payload);
-            }
+            ep.charge_copy(at as u64);
+            ep.recycle(msg.payload);
         }
     }
 
-    // Reorder distance slots into rank order.
-    let mut out = vec![Vec::new(); n];
-    for (slot, data) in have.into_iter().enumerate() {
-        let owner = (rank + n - slot) % n;
-        out[owner] = data.expect("all slots filled");
+    // Last round: the n2 missing slots [n1, n) split column-aligned
+    // over ≤ k offsets with sender-window span ≤ n1 each.
+    let n1 = pow(k + 1, d - 1);
+    let n2 = n - n1;
+    if n2 > 0 {
+        let areas = k.min(n2);
+        let mut starts = Vec::with_capacity(areas + 1);
+        let mut at = 0usize;
+        for a in 0..areas {
+            starts.push(at);
+            at += n2 / areas + usize::from(a < n2 % areas);
+        }
+        starts.push(n2);
+        let tag = u64::from(d - 1);
+        // Area a covers missing indices [starts[a], starts[a+1]);
+        // offset = n1 + starts[a] (span ≤ ⌈n2/k⌉ ≤ n1). We send to
+        // rank+offset the bundle of its missing slots n1+m for m in the
+        // area: its slot n1+m is our slot n1+m-offset.
+        let span_lists: Vec<Vec<(usize, usize)>> = (0..areas)
+            .map(|a| {
+                let offset = n1 + starts[a];
+                (starts[a]..starts[a + 1])
+                    .map(|m| {
+                        let owner = owner_of(rank, n1 + m - offset);
+                        (layout.displ(owner), layout.count(owner))
+                    })
+                    .collect()
+            })
+            .collect();
+        let msgs = {
+            let sends: Vec<GatherSendSpec<'_>> = (0..areas)
+                .map(|a| GatherSendSpec {
+                    to: (rank + n1 + starts[a]) % n,
+                    tag,
+                    src: out,
+                    spans: &span_lists[a],
+                })
+                .collect();
+            let recvs: Vec<RecvSpec> = (0..areas)
+                .map(|a| RecvSpec {
+                    from: (rank + n - (n1 + starts[a]) % n) % n,
+                    tag,
+                })
+                .collect();
+            ep.round_gather(&sends, &recvs)?
+        };
+        for (a, msg) in (0..areas).zip(msgs) {
+            let mut at = 0usize;
+            for m in starts[a]..starts[a + 1] {
+                let owner = owner_of(rank, n1 + m);
+                let len = layout.count(owner);
+                if at + len > msg.payload.len() {
+                    return Err(NetError::App("allgatherv tail underrun".into()));
+                }
+                out[layout.range(owner)].copy_from_slice(&msg.payload[at..at + len]);
+                at += len;
+            }
+            if at != msg.payload.len() {
+                return Err(NetError::App("allgatherv tail overrun".into()));
+            }
+            ep.charge_copy(at as u64);
+            ep.recycle(msg.payload);
+        }
     }
+    Ok(layout)
+}
+
+/// Personalized all-to-all with per-destination message sizes —
+/// allocation-heavy legacy shim.
+///
+/// `sendbufs[j]` is this rank's message for rank `j`. Returns one
+/// received buffer per source rank; the buffers come from the cluster
+/// pool, so hand them back via [`Comm::recycle`] when done to keep the
+/// steady state allocation-free.
+///
+/// # Errors
+///
+/// [`NetError::App`] if `sendbufs.len() != n`; network failures
+/// propagate.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `VLayout` + `alltoallv_into`: one contiguous buffer, pooled scratch, \
+            planner-dispatched padded/two-phase/direct payload"
+)]
+pub fn alltoallv<C: Comm + ?Sized>(
+    ep: &mut C,
+    sendbufs: &[Vec<u8>],
+) -> Result<Vec<Vec<u8>>, NetError> {
+    let n = ep.size();
+    if sendbufs.len() != n {
+        return Err(NetError::App(format!(
+            "alltoallv needs one buffer per rank: got {}, need {n}",
+            sendbufs.len()
+        )));
+    }
+    let counts: Vec<usize> = sendbufs.iter().map(Vec::len).collect();
+    let layout = VLayout::from_counts(&counts);
+    let mut flat = ep.acquire(layout.total());
+    for (j, buf) in sendbufs.iter().enumerate() {
+        flat[layout.range(j)].copy_from_slice(buf);
+    }
+    let mut gathered = Vec::new();
+    let result = alltoallv_into(ep, &flat, &layout, &Tuning::default(), &mut gathered);
+    ep.recycle(flat);
+    let recv = result?;
+    let out = (0..n)
+        .map(|src| {
+            let mut buf = ep.acquire(recv.count(src));
+            buf.copy_from_slice(recv.slice(&gathered, src));
+            buf
+        })
+        .collect();
+    Ok(out)
+}
+
+/// All-gather with per-rank block sizes — allocation-heavy legacy
+/// shim. Returns one buffer per rank, identical on every rank; the
+/// buffers come from the cluster pool ([`Comm::recycle`] them when
+/// done).
+///
+/// # Errors
+///
+/// Network failures propagate.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `allgatherv_into`: one contiguous buffer addressed by the returned `VLayout`, \
+            bundles gathered span-wise from it"
+)]
+pub fn allgatherv<C: Comm + ?Sized>(ep: &mut C, myblock: &[u8]) -> Result<Vec<Vec<u8>>, NetError> {
+    let mut gathered = Vec::new();
+    let layout = allgatherv_into(ep, myblock, &mut gathered)?;
+    let out = (0..ep.size())
+        .map(|src| {
+            let mut buf = ep.acquire(layout.count(src));
+            buf.copy_from_slice(layout.slice(&gathered, src));
+            buf
+        })
+        .collect();
     Ok(out)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use bruck_model::cost::LinearModel;
     use bruck_net::{Cluster, ClusterConfig};
 
     /// Rank i's payload for rank j: (i + j + 1) % 13 bytes of content.
@@ -317,8 +490,14 @@ mod tests {
             .collect()
     }
 
+    fn flat_input(rank: usize, n: usize) -> (Vec<u8>, VLayout) {
+        let bufs: Vec<Vec<u8>> = (0..n).map(|j| v_payload(rank, j)).collect();
+        let layout = VLayout::from_counts(&bufs.iter().map(Vec::len).collect::<Vec<_>>());
+        (bufs.concat(), layout)
+    }
+
     #[test]
-    fn alltoallv_correct() {
+    fn alltoallv_shim_correct() {
         for &n in &[1usize, 2, 5, 8, 13] {
             for &k in &[1usize, 2, 3] {
                 let cfg = ClusterConfig::new(n).with_ports(k);
@@ -332,6 +511,67 @@ mod tests {
                         assert_eq!(buf, &v_payload(src, rank), "n={n} k={k} {src}→{rank}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_into_every_method_bit_exact() {
+        let n = 8;
+        let methods = [
+            None,
+            Some(VMethod::Direct),
+            Some(VMethod::Padded { radix: 2 }),
+            Some(VMethod::TwoPhase {
+                radix: 3,
+                quota: None,
+            }),
+            Some(VMethod::TwoPhase {
+                radix: 2,
+                quota: Some(4),
+            }),
+        ];
+        for method in methods {
+            let cfg = ClusterConfig::new(n).with_ports(2);
+            let out = Cluster::run(&cfg, move |ep| {
+                let (flat, layout) = flat_input(ep.rank(), n);
+                let tuning = match method {
+                    None => Tuning::default(),
+                    Some(m) => Tuning::builder().vmethod(m).build(),
+                };
+                let mut got = Vec::new();
+                let recv = alltoallv_into(ep, &flat, &layout, &tuning, &mut got)?;
+                Ok((got, recv))
+            })
+            .unwrap();
+            for (rank, (got, recv)) in out.results.iter().enumerate() {
+                for src in 0..n {
+                    assert_eq!(
+                        recv.slice(got, src),
+                        &v_payload(src, rank)[..],
+                        "{method:?} {src}→{rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_auto_reports_member_and_matches() {
+        let n = 5;
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let out = Cluster::run(&cfg, |ep| {
+            let (flat, layout) = flat_input(ep.rank(), n);
+            let model = LinearModel::sp1();
+            alltoallv_auto(ep, &flat, &layout, &model)
+        })
+        .unwrap();
+        let first_plan = &out.results[0].2.plan;
+        for (rank, (got, recv, choice)) in out.results.iter().enumerate() {
+            assert_eq!(&choice.plan, first_plan, "ranks disagreed on the plan");
+            assert!(choice.predicted_time.is_finite());
+            for src in 0..n {
+                assert_eq!(recv.slice(got, src), &v_payload(src, rank)[..]);
             }
         }
     }
@@ -370,6 +610,31 @@ mod tests {
         let cfg = ClusterConfig::new(3);
         let err = Cluster::run(&cfg, |ep| alltoallv(ep, &[Vec::new()])).unwrap_err();
         assert!(matches!(err, NetError::App(_)));
+        let cfg = ClusterConfig::new(3);
+        let err = Cluster::run(&cfg, |ep| {
+            let layout = VLayout::from_counts(&[4, 4, 4]);
+            let mut out = Vec::new();
+            alltoallv_into(ep, &[0u8; 4], &layout, &Tuning::default(), &mut out)
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, NetError::App(_)),
+            "undersized sendbuf: {err:?}"
+        );
+    }
+
+    #[test]
+    fn alltoallv_single_rank_into() {
+        let cfg = ClusterConfig::new(1);
+        let out = Cluster::run(&cfg, |ep| {
+            let layout = VLayout::from_counts(&[5]);
+            let mut got = Vec::new();
+            let recv = alltoallv_into(ep, b"hello", &layout, &Tuning::default(), &mut got)?;
+            Ok((got, recv.counts().to_vec()))
+        })
+        .unwrap();
+        assert_eq!(out.results[0].0, b"hello");
+        assert_eq!(out.results[0].1, vec![5]);
     }
 
     #[test]
@@ -387,6 +652,25 @@ mod tests {
                         assert_eq!(buf, &g_payload(src), "n={n} k={k} src={src}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_into_layout_addresses_out() {
+        let n = 7;
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let out = Cluster::run(&cfg, |ep| {
+            let mine = g_payload(ep.rank());
+            let mut got = Vec::new();
+            let layout = allgatherv_into(ep, &mine, &mut got)?;
+            Ok((got, layout))
+        })
+        .unwrap();
+        for (got, layout) in &out.results {
+            assert_eq!(layout.total(), got.len());
+            for src in 0..n {
+                assert_eq!(layout.slice(got, src), &g_payload(src)[..], "src={src}");
             }
         }
     }
@@ -430,5 +714,23 @@ mod tests {
         // Payload volume matches the uniform algorithm exactly (the tail
         // is column-aligned; with b=8=block it coincides with greedy).
         assert_eq!(c.c2, uniform.c2 + metadata.c2);
+    }
+
+    #[test]
+    fn forced_direct_round_count_matches_plan() {
+        // Metadata ⌈log₃ 8⌉ = 2 concat rounds + ⌈7/2⌉ = 4 direct rounds.
+        let n = 8;
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let out = Cluster::run(&cfg, |ep| {
+            let flat = vec![ep.rank() as u8; n * 16];
+            let layout = VLayout::from_counts(&[16; 8]);
+            let tuning = Tuning::builder().vmethod(VMethod::Direct).build();
+            let mut got = Vec::new();
+            alltoallv_into(ep, &flat, &layout, &tuning, &mut got)?;
+            Ok(())
+        })
+        .unwrap();
+        let c = out.metrics.global_complexity().unwrap();
+        assert_eq!(c.c1, 2 + 4);
     }
 }

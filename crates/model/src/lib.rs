@@ -49,6 +49,6 @@ pub use calibrate::{Calibrator, LinearFit};
 pub use complexity::Complexity;
 pub use cost::{CostModel, HierarchicalModel, LinearModel, LogPModel, PostalModel, Sp1Model};
 pub use mixed_radix::MixedRadix;
-pub use planner::{ConcatPlan, IndexPlan, PlanChoice, Planner};
+pub use planner::{ConcatPlan, IndexPlan, PlanChoice, Planner, VIndexPlan};
 pub use radix::{ceil_log, RadixDecomposition};
 pub use tuning::WireTuning;

@@ -67,6 +67,72 @@ impl IndexPlan {
     }
 }
 
+/// The non-uniform ("v") index-algorithm family member a plan
+/// dispatches to — the configurable non-uniform Bruck family for
+/// per-pair message sizes (`MPI_Alltoallv`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VIndexPlan {
+    /// Direct exchange: every pair ships its exact bytes straight,
+    /// distance-scheduled `k` pairs per round. Transfer-optimal; pays
+    /// up to `⌈(n-1)/k⌉` start-ups.
+    Direct,
+    /// Padded Bruck: every block is padded to the global maximum count,
+    /// the uniform radix-`r` index moves the padded matrix, and the
+    /// padding is stripped on unpack. Round-optimal; inflates volume by
+    /// the skew.
+    Padded {
+        /// Radix of the uniform index phase.
+        radix: usize,
+    },
+    /// Two-phase Bruck: a uniform `quota`-byte slice of every block
+    /// rides the radix-`r` log-round index, the heavy tails above the
+    /// quota move direct. Interpolates between the other two.
+    TwoPhase {
+        /// Radix of the uniform quota phase.
+        radix: usize,
+        /// Bytes of every block carried by the uniform phase.
+        quota: usize,
+    },
+}
+
+impl VIndexPlan {
+    /// Short human-readable label (for bench tables and reports).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Direct => "v-direct".to_string(),
+            Self::Padded { radix } => format!("v-padded-r{radix}"),
+            Self::TwoPhase { radix, quota } => format!("v-twophase-r{radix}-q{quota}"),
+        }
+    }
+}
+
+/// Skew of a per-pair size matrix: max over mean of the off-diagonal
+/// entries (the blocks that actually travel). `1.0` for uniform or
+/// degenerate (empty / all-zero) matrices — the statistic
+/// `plan_vindex` dispatches on.
+#[must_use]
+pub fn skew_ratio(n: usize, sizes: &[u64]) -> f64 {
+    assert_eq!(sizes.len(), n * n, "skew_ratio: need an n×n size matrix");
+    let mut max = 0u64;
+    let mut sum = 0u128;
+    let mut cnt = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let s = sizes[i * n + j];
+                max = max.max(s);
+                sum += u128::from(s);
+                cnt += 1;
+            }
+        }
+    }
+    if cnt == 0 || sum == 0 {
+        return 1.0;
+    }
+    max as f64 / (sum as f64 / cnt as f64)
+}
+
 /// The concatenation-algorithm family member a plan dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConcatPlan {
@@ -210,6 +276,149 @@ impl<'m> Planner<'m> {
         best
     }
 
+    /// Closed-form complexity of one non-uniform index-family member
+    /// for an `n×n` row-major per-pair size matrix (`sizes[i·n + j]` =
+    /// bytes rank `i` sends rank `j`; the diagonal never travels).
+    ///
+    /// Matches the executors' geometry exactly: the direct phase skips
+    /// distances no pair uses and charges each round its largest
+    /// message; the padded phase is the uniform index at the global
+    /// maximum count; two-phase is the uniform index at the quota plus
+    /// the direct phase over the tails. The metadata concat — identical
+    /// for every member — is excluded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `sizes.len() != n²`.
+    #[must_use]
+    pub fn vindex_complexity(
+        &self,
+        plan: &VIndexPlan,
+        n: usize,
+        k: usize,
+        sizes: &[u64],
+    ) -> Complexity {
+        assert!(k >= 1, "plan: ports must be ≥ 1");
+        assert_eq!(sizes.len(), n * n, "vindex: need an n×n size matrix");
+        if n <= 1 {
+            return Complexity::ZERO;
+        }
+        let off_diag_max = (0..n)
+            .flat_map(|i| {
+                (0..n)
+                    .filter(move |&j| j != i)
+                    .map(move |j| sizes[i * n + j])
+            })
+            .max()
+            .unwrap_or(0);
+        match plan {
+            VIndexPlan::Direct => direct_v_complexity(n, k, |i, j| sizes[i * n + j]),
+            VIndexPlan::Padded { radix } => {
+                if off_diag_max == 0 {
+                    return Complexity::ZERO;
+                }
+                let r = (*radix).clamp(2, n);
+                RadixDecomposition::new(n, r).complexity(off_diag_max as usize, k)
+            }
+            VIndexPlan::TwoPhase { radix, quota } => {
+                let q = (*quota as u64).min(off_diag_max);
+                let r = (*radix).clamp(2, n);
+                let uniform = if q == 0 {
+                    Complexity::ZERO
+                } else {
+                    RadixDecomposition::new(n, r).complexity(q as usize, k)
+                };
+                uniform + direct_v_complexity(n, k, |i, j| sizes[i * n + j].saturating_sub(q))
+            }
+        }
+    }
+
+    /// Evaluate the non-uniform index family — direct, padded Bruck at
+    /// every radix, two-phase Bruck at every radix × a small quota
+    /// candidate set (mean and median of the travelling blocks) — and
+    /// return the predicted-time arg-min. Ties go to the
+    /// earliest-evaluated candidate: `Direct` first (no pack/strip
+    /// memory traffic), then padded, then two-phase.
+    ///
+    /// Deterministic in `(n, k, sizes, model)`: ranks holding the same
+    /// size matrix (as established by the metadata round) and the same
+    /// model provably pick the same plan, so the SPMD executors never
+    /// diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `sizes.len() != n²`.
+    #[must_use]
+    pub fn plan_vindex(&self, n: usize, k: usize, sizes: &[u64]) -> PlanChoice<VIndexPlan> {
+        assert!(k >= 1, "plan: ports must be ≥ 1");
+        assert_eq!(sizes.len(), n * n, "vindex: need an n×n size matrix");
+        if n <= 1 {
+            return PlanChoice {
+                plan: VIndexPlan::Direct,
+                complexity: Complexity::ZERO,
+                predicted_time: 0.0,
+            };
+        }
+        // Same candidate set and evaluation order as the naive
+        // one-`vindex_complexity`-per-candidate sweep (Direct, padded by
+        // ascending radix, then two-phase quota-major), but with the
+        // shared sub-terms hoisted: one radix decomposition per radix
+        // (reused by its padded and every two-phase candidate) and one
+        // O(n²) tail complexity per distinct quota (shared across
+        // radices). The sweep runs on every `alltoallv_auto` call —
+        // between the metadata and payload rounds — so its CPU cost is
+        // part of the measured collective.
+        let off_diag_max = (0..n)
+            .flat_map(|i| {
+                (0..n)
+                    .filter(move |&j| j != i)
+                    .map(move |j| sizes[i * n + j])
+            })
+            .max()
+            .unwrap_or(0);
+        let mut best: Option<PlanChoice<VIndexPlan>> = None;
+        let mut consider = |plan: VIndexPlan, complexity: Complexity| {
+            let predicted_time = self.model.estimate(complexity);
+            if best
+                .as_ref()
+                .is_none_or(|cur| predicted_time < cur.predicted_time)
+            {
+                best = Some(PlanChoice {
+                    plan,
+                    complexity,
+                    predicted_time,
+                });
+            }
+        };
+        consider(
+            VIndexPlan::Direct,
+            direct_v_complexity(n, k, |i, j| sizes[i * n + j]),
+        );
+        let decomps: Vec<RadixDecomposition> =
+            (2..=n).map(|r| RadixDecomposition::new(n, r)).collect();
+        for (radix, decomp) in (2..=n).zip(&decomps) {
+            let complexity = if off_diag_max == 0 {
+                Complexity::ZERO
+            } else {
+                decomp.complexity(off_diag_max as usize, k)
+            };
+            consider(VIndexPlan::Padded { radix }, complexity);
+        }
+        for quota in quota_candidates(n, sizes) {
+            let q = (quota as u64).min(off_diag_max);
+            let tail = direct_v_complexity(n, k, |i, j| sizes[i * n + j].saturating_sub(q));
+            for (radix, decomp) in (2..=n).zip(&decomps) {
+                let uniform = if q == 0 {
+                    Complexity::ZERO
+                } else {
+                    decomp.complexity(q as usize, k)
+                };
+                consider(VIndexPlan::TwoPhase { radix, quota }, uniform + tail);
+            }
+        }
+        best.expect("n ≥ 2 always yields candidates")
+    }
+
     /// Closed-form complexity of one concatenation-family member:
     /// mirrors the executor's geometry exactly (doubling rounds over the
     /// circulant graph, then the Proposition 4.2 last round; the ring
@@ -274,6 +483,61 @@ impl<'m> Planner<'m> {
             .min_by(|x, y| x.predicted_time.total_cmp(&y.predicted_time))
             .expect("concat candidate set is never empty")
     }
+}
+
+/// The direct-exchange complexity over an arbitrary per-pair size
+/// function: distances `1..n` with at least one non-empty message,
+/// grouped `k` per round; each round is charged its largest message
+/// (the multiport round completes when its slowest port does).
+fn direct_v_complexity(n: usize, k: usize, size: impl Fn(usize, usize) -> u64) -> Complexity {
+    let active: Vec<usize> = (1..n)
+        .filter(|&d| (0..n).any(|i| size(i, (i + d) % n) > 0))
+        .collect();
+    let mut c = Complexity::ZERO;
+    for group in active.chunks(k) {
+        let mut max = 0u64;
+        for &d in group {
+            for i in 0..n {
+                max = max.max(size(i, (i + d) % n));
+            }
+        }
+        c = c.plus_round(max);
+    }
+    c
+}
+
+/// Quota candidates for the two-phase plan: the mean and the median of
+/// the off-diagonal (travelling) entries, deduplicated, keeping only
+/// values strictly between `0` and the maximum (a zero quota *is* the
+/// direct plan; a max quota *is* the padded plan — both already in the
+/// candidate set). The first entry, when present, is the default quota
+/// executors use for a forced two-phase run.
+#[must_use]
+pub fn quota_candidates(n: usize, sizes: &[u64]) -> Vec<usize> {
+    assert_eq!(sizes.len(), n * n, "quota: need an n×n size matrix");
+    let mut travelling: Vec<u64> = (0..n)
+        .flat_map(|i| {
+            (0..n)
+                .filter(move |&j| j != i)
+                .map(move |j| sizes[i * n + j])
+        })
+        .collect();
+    if travelling.is_empty() {
+        return Vec::new();
+    }
+    travelling.sort_unstable();
+    let max = *travelling.last().expect("non-empty");
+    let sum: u128 = travelling.iter().map(|&s| u128::from(s)).sum();
+    let mean = (sum / travelling.len() as u128) as u64;
+    let median = travelling[travelling.len() / 2];
+    let mut out = Vec::new();
+    for q in [mean, median] {
+        let q = usize::try_from(q).unwrap_or(usize::MAX);
+        if q > 0 && (q as u64) < max && !out.contains(&q) {
+            out.push(q);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -403,12 +667,161 @@ mod tests {
         assert_eq!(planner.plan_concat(8, 2, 0).predicted_time, 0.0);
     }
 
+    /// A uniform matrix with every off-diagonal entry `b`.
+    fn uniform_matrix(n: usize, b: u64) -> Vec<u64> {
+        let mut m = vec![b; n * n];
+        for i in 0..n {
+            m[i * n + i] = 0;
+        }
+        m
+    }
+
+    #[test]
+    fn vindex_uniform_padded_matches_uniform_index() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        for n in [4usize, 8, 13] {
+            for k in [1usize, 2] {
+                let sizes = uniform_matrix(n, 64);
+                for r in 2..=n {
+                    let c =
+                        planner.vindex_complexity(&VIndexPlan::Padded { radix: r }, n, k, &sizes);
+                    assert_eq!(c, index_complexity_kport(n, r, 64, k), "n={n} k={k} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vindex_direct_matches_uniform_direct() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        for n in [2usize, 5, 8] {
+            for k in [1usize, 2, 3] {
+                let sizes = uniform_matrix(n, 100);
+                let c = planner.vindex_complexity(&VIndexPlan::Direct, n, k, &sizes);
+                assert_eq!(c.c1, ((n - 1) as u64).div_ceil(k as u64), "n={n} k={k}");
+                assert_eq!(c.c2, c.c1 * 100, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn vindex_two_phase_degenerates_at_extremes() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        let sizes = uniform_matrix(8, 64);
+        // Quota 0 ≡ direct; quota ≥ max ≡ padded.
+        let zero =
+            planner.vindex_complexity(&VIndexPlan::TwoPhase { radix: 2, quota: 0 }, 8, 2, &sizes);
+        assert_eq!(
+            zero,
+            planner.vindex_complexity(&VIndexPlan::Direct, 8, 2, &sizes)
+        );
+        let full = planner.vindex_complexity(
+            &VIndexPlan::TwoPhase {
+                radix: 2,
+                quota: 64,
+            },
+            8,
+            2,
+            &sizes,
+        );
+        assert_eq!(
+            full,
+            planner.vindex_complexity(&VIndexPlan::Padded { radix: 2 }, 8, 2, &sizes)
+        );
+    }
+
+    #[test]
+    fn plan_vindex_low_skew_avoids_direct_on_tiny_blocks() {
+        // β-dominated uniform traffic: the log-round padded (or
+        // two-phase) plan must beat the ⌈(n-1)/k⌉-round direct plan.
+        let model = LinearModel::new(1e-3, 1e-12);
+        let planner = Planner::new(&model);
+        let sizes = uniform_matrix(16, 8);
+        let choice = planner.plan_vindex(16, 2, &sizes);
+        assert_ne!(choice.plan, VIndexPlan::Direct, "got {:?}", choice.plan);
+    }
+
+    #[test]
+    fn plan_vindex_high_skew_picks_direct() {
+        // One hot pair dominating the volume under a τ-dominated model:
+        // padding would multiply the hot size by every relay hop.
+        let model = LinearModel::new(1e-9, 1e-3);
+        let planner = Planner::new(&model);
+        let mut sizes = uniform_matrix(8, 16);
+        sizes[1] = 1 << 20; // 0 → 1 is hot
+        let choice = planner.plan_vindex(8, 2, &sizes);
+        assert_eq!(choice.plan, VIndexPlan::Direct, "got {:?}", choice.plan);
+    }
+
+    #[test]
+    fn plan_vindex_beats_every_member_it_considers() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        let mut sizes = uniform_matrix(8, 256);
+        sizes[2] = 8192;
+        sizes[8 + 3] = 0;
+        let choice = planner.plan_vindex(8, 2, &sizes);
+        for plan in [
+            VIndexPlan::Direct,
+            VIndexPlan::Padded { radix: 2 },
+            VIndexPlan::TwoPhase {
+                radix: 2,
+                quota: 256,
+            },
+        ] {
+            let t = model.estimate(planner.vindex_complexity(&plan, 8, 2, &sizes));
+            assert!(
+                choice.predicted_time <= t,
+                "{:?} beat the arg-min {:?}",
+                plan,
+                choice.plan
+            );
+        }
+    }
+
+    #[test]
+    fn skew_ratio_statistics() {
+        let n = 4;
+        assert_eq!(skew_ratio(n, &uniform_matrix(n, 64)), 1.0);
+        assert_eq!(skew_ratio(n, &uniform_matrix(n, 0)), 1.0);
+        assert_eq!(skew_ratio(1, &[123]), 1.0);
+        let mut hot = uniform_matrix(n, 10);
+        hot[1] = 100;
+        let ratio = skew_ratio(n, &hot);
+        assert!(ratio > 4.0 && ratio < 6.0, "got {ratio}");
+    }
+
+    #[test]
+    fn quota_candidates_are_strictly_interior() {
+        let mut sizes = uniform_matrix(4, 10);
+        sizes[1] = 1000;
+        for q in quota_candidates(4, &sizes) {
+            assert!(q > 0 && q < 1000, "quota {q} out of the open interval");
+        }
+        // A uniform matrix has no interior candidate (mean = median = max).
+        assert!(quota_candidates(4, &uniform_matrix(4, 10)).is_empty());
+        assert!(quota_candidates(1, &[0]).is_empty());
+    }
+
     #[test]
     fn labels_are_stable() {
         assert_eq!(IndexPlan::Radix(3).label(), "bruck-r3");
         assert_eq!(IndexPlan::Direct.label(), "direct");
         assert_eq!(IndexPlan::Hypercube.label(), "hypercube");
         assert_eq!(IndexPlan::Mixed(vec![2, 3]).label(), "mixed-r(2,3)");
+        assert_eq!(VIndexPlan::Direct.label(), "v-direct");
+        assert_eq!(VIndexPlan::Padded { radix: 4 }.label(), "v-padded-r4");
+        assert_eq!(
+            VIndexPlan::TwoPhase {
+                radix: 2,
+                quota: 96
+            }
+            .label(),
+            "v-twophase-r2-q96"
+        );
         assert_eq!(ConcatPlan::Ring.label(), "ring");
         assert_eq!(
             ConcatPlan::Bruck(Preference::Rounds).label(),

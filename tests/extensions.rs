@@ -12,6 +12,7 @@ use bruck::collectives::reduce::{
 };
 use bruck::collectives::scan::{exscan, scan};
 use bruck::collectives::verify;
+#[allow(deprecated)]
 use bruck::collectives::vops::{allgatherv, alltoallv};
 use bruck::net::{Cluster, ClusterConfig};
 
@@ -44,6 +45,7 @@ const CASES: u64 = 40;
 /// alltoallv with arbitrary per-pair sizes delivers exactly what was
 /// addressed.
 #[test]
+#[allow(deprecated)]
 fn alltoallv_random_sizes() {
     for seed in 0..CASES {
         let mut g = Gen::new(seed);
@@ -74,6 +76,7 @@ fn alltoallv_random_sizes() {
 
 /// allgatherv with arbitrary per-rank sizes.
 #[test]
+#[allow(deprecated)]
 fn allgatherv_random_sizes() {
     for seed in 0..CASES {
         let mut g = Gen::new(seed);

@@ -154,7 +154,15 @@ fn vops_and_reductions_work_in_groups() {
             &mine,
             bruck::collectives::reduce::ReduceOp::Sum,
         )?;
-        let blocks = bruck::collectives::vops::allgatherv(&mut gc, &vec![grank as u8; grank + 1])?;
+        let mut gathered = Vec::new();
+        let layout = bruck::collectives::vops::allgatherv_into(
+            &mut gc,
+            &vec![grank as u8; grank + 1],
+            &mut gathered,
+        )?;
+        let blocks: Vec<Vec<u8>> = (0..layout.len())
+            .map(|src| layout.slice(&gathered, src).to_vec())
+            .collect();
         Ok(Some((sum, blocks)))
     })
     .unwrap();

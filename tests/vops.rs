@@ -1,0 +1,234 @@
+//! Property suite for the non-uniform family: whatever the per-pair
+//! size matrix looks like — uniform, randomly ragged, zero-riddled, or
+//! one hot destination — the direct, padded, and two-phase members and
+//! the planner-dispatched auto path must deliver bit-exact identical
+//! results, and the family must survive rank death under
+//! `run_resilient`.
+
+use std::time::Duration;
+
+use bruck::collectives::api::Tuning;
+use bruck::collectives::verify;
+use bruck::collectives::vops::{alltoallv_auto_into, alltoallv_into, VLayout, VMethod};
+use bruck::model::cost::LinearModel;
+use bruck::net::{Cluster, ClusterConfig, FaultPlan};
+
+/// Deterministic xorshift64 over half-open ranges.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(2654435761).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn pick(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+}
+
+/// A seeded size matrix mixing ragged, zero-length, and hot-spot rows.
+fn random_matrix(g: &mut Gen, n: usize) -> Vec<usize> {
+    let shape = g.pick(0, 3);
+    let hot = g.pick(0, n.max(1));
+    (0..n * n)
+        .map(|idx| {
+            let (i, j) = (idx / n, idx % n);
+            match shape {
+                // Ragged with zeros: about a third of the pairs empty.
+                0 => {
+                    if g.pick(0, 3) == 0 {
+                        0
+                    } else {
+                        g.pick(1, 60)
+                    }
+                }
+                // Single hot destination: everyone floods rank `hot`.
+                1 => {
+                    if j == hot {
+                        g.pick(200, 400)
+                    } else {
+                        g.pick(0, 4)
+                    }
+                }
+                // Mild per-pair raggedness, no zeros.
+                _ => 8 + (i * 7 + j * 13) % 24,
+            }
+        })
+        .collect()
+}
+
+fn expected_recv(matrix: &[usize], n: usize, rank: usize) -> Vec<u8> {
+    let mut want = Vec::new();
+    for src in 0..n {
+        want.extend((0..matrix[src * n + rank]).map(|t| verify::content_byte(src, rank, t)));
+    }
+    want
+}
+
+fn flat_input(matrix: &[usize], n: usize, rank: usize) -> (Vec<u8>, VLayout) {
+    let counts: Vec<usize> = matrix[rank * n..(rank + 1) * n].to_vec();
+    let layout = VLayout::from_counts(&counts);
+    let mut flat = vec![0u8; layout.total()];
+    for j in 0..n {
+        for (t, byte) in flat[layout.range(j)].iter_mut().enumerate() {
+            *byte = verify::content_byte(rank, j, t);
+        }
+    }
+    (flat, layout)
+}
+
+/// Every family member and the auto path agree bit-exactly on random
+/// ragged/zero/hot matrices across the PR's shape grid.
+#[test]
+fn all_members_agree_on_random_matrices() {
+    let methods: [Option<VMethod>; 4] = [
+        Some(VMethod::Direct),
+        Some(VMethod::Padded { radix: 2 }),
+        Some(VMethod::TwoPhase {
+            radix: 3,
+            quota: None,
+        }),
+        None, // planner dispatch
+    ];
+    for &n in &[1usize, 2, 5, 8, 16] {
+        for &k in &[1usize, 2] {
+            for seed in 0..4u64 {
+                let mut g = Gen::new(seed * 1000 + (n * 10 + k) as u64);
+                let matrix = random_matrix(&mut g, n);
+                for method in methods {
+                    let cfg = ClusterConfig::new(n).with_ports(k);
+                    let matrix_ref = &matrix;
+                    let out = Cluster::run(&cfg, move |ep| {
+                        let (flat, layout) = flat_input(matrix_ref, n, ep.rank());
+                        let mut got = Vec::new();
+                        match method {
+                            Some(m) => {
+                                let tuning = Tuning::builder().vmethod(m).build();
+                                alltoallv_into(ep, &flat, &layout, &tuning, &mut got)?;
+                            }
+                            None => {
+                                let model = LinearModel::sp1();
+                                alltoallv_auto_into(ep, &flat, &layout, &model, &mut got)?;
+                            }
+                        }
+                        Ok(got)
+                    })
+                    .unwrap();
+                    for (rank, got) in out.results.iter().enumerate() {
+                        assert_eq!(
+                            got,
+                            &expected_recv(&matrix, n, rank),
+                            "n={n} k={k} seed={seed} method={method:?} rank={rank}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forcing an explicit two-phase quota (including degenerate extremes
+/// that collapse to direct or padded) never changes the bytes.
+#[test]
+fn explicit_quotas_cover_the_degenerate_ends() {
+    let n = 8;
+    let mut g = Gen::new(77);
+    let matrix = random_matrix(&mut g, n);
+    for quota in [0usize, 1, 16, usize::MAX] {
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let matrix_ref = &matrix;
+        let out = Cluster::run(&cfg, move |ep| {
+            let (flat, layout) = flat_input(matrix_ref, n, ep.rank());
+            let tuning = Tuning::builder()
+                .vmethod(VMethod::TwoPhase {
+                    radix: 2,
+                    quota: Some(quota),
+                })
+                .build();
+            let mut got = Vec::new();
+            alltoallv_into(ep, &flat, &layout, &tuning, &mut got)?;
+            Ok(got)
+        })
+        .unwrap();
+        for (rank, got) in out.results.iter().enumerate() {
+            assert_eq!(
+                got,
+                &expected_recv(&matrix, n, rank),
+                "quota={quota} rank={rank}"
+            );
+        }
+    }
+}
+
+/// The returned receive layout addresses the output buffer correctly
+/// even when most blocks are empty.
+#[test]
+fn receive_layout_matches_announced_sizes() {
+    let n = 5;
+    // Only rank 2 receives anything.
+    let matrix: Vec<usize> = (0..n * n)
+        .map(|idx| if idx % n == 2 { 9 } else { 0 })
+        .collect();
+    let cfg = ClusterConfig::new(n).with_ports(2);
+    let matrix_ref = &matrix;
+    let out = Cluster::run(&cfg, move |ep| {
+        let (flat, layout) = flat_input(matrix_ref, n, ep.rank());
+        let mut got = Vec::new();
+        let recv = alltoallv_into(ep, &flat, &layout, &Tuning::default(), &mut got)?;
+        Ok((got, recv))
+    })
+    .unwrap();
+    for (rank, (got, recv)) in out.results.iter().enumerate() {
+        assert_eq!(recv.len(), n);
+        assert_eq!(recv.total(), got.len());
+        for src in 0..n {
+            let want = if rank == 2 { 9 } else { 0 };
+            assert_eq!(recv.count(src), want, "rank={rank} src={src}");
+        }
+    }
+}
+
+/// A fault-injected skewed exchange: a rank dies mid-collective, the
+/// cluster shrinks, and the survivors re-run the skewed alltoallv to a
+/// clean bit-exact result (sizes derived from the dense survivor size).
+#[test]
+fn skewed_exchange_survives_rank_death() {
+    let n = 6;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(4, 1));
+    let resilient = Cluster::run_resilient(&cfg, 3, |ep, view| {
+        // Rebuild the skewed matrix for the dense survivor count: one
+        // hot destination (dense rank 0), trickles elsewhere.
+        let m = ep.size();
+        let matrix: Vec<usize> = (0..m * m)
+            .map(|idx| if idx % m == 0 { 120 } else { 3 })
+            .collect();
+        let (flat, layout) = flat_input(&matrix, m, ep.rank());
+        let tuning = Tuning::builder()
+            .vmethod(VMethod::TwoPhase {
+                radix: 2,
+                quota: None,
+            })
+            .build();
+        let mut got = Vec::new();
+        alltoallv_into(ep, &flat, &layout, &tuning, &mut got)?;
+        Ok((view.attempt, got, matrix))
+    })
+    .unwrap();
+    assert_eq!(resilient.survivors, vec![0, 1, 2, 3, 5]);
+    let m = resilient.survivors.len();
+    for (dense, (attempt, got, matrix)) in resilient.output.results.iter().enumerate() {
+        assert_eq!(*attempt, 1, "success must come from the retry attempt");
+        assert_eq!(got, &expected_recv(matrix, m, dense), "dense={dense}");
+    }
+}

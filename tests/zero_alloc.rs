@@ -100,6 +100,70 @@ fn direct_and_hypercube_steady_state_allocate_nothing() {
     }
 }
 
+/// The non-uniform path under every family member: once warm, repeated
+/// `alltoallv_into` calls (metadata concat + payload member) draw all
+/// scratch — size rows, the gathered matrix, padded/quota staging,
+/// receive payloads — from the pool.
+#[test]
+fn alltoallv_into_steady_state_allocates_nothing() {
+    use bruck::collectives::api::Tuning;
+    use bruck::collectives::vops::{alltoallv_into, VLayout, VMethod};
+
+    let n = 8;
+    let methods = [
+        VMethod::Direct,
+        VMethod::Padded { radix: 2 },
+        VMethod::TwoPhase {
+            radix: 2,
+            quota: None,
+        },
+    ];
+    for method in methods {
+        let cfg = ClusterConfig::new(n).with_ports(2);
+        let out = Cluster::run(&cfg, move |ep| {
+            let rank = ep.rank();
+            // Skewed sizes: destination 0 is hot, the rest ragged.
+            let counts: Vec<usize> = (0..n)
+                .map(|j| if j == 0 { 96 } else { 8 + (rank + j) % 16 })
+                .collect();
+            let layout = VLayout::from_counts(&counts);
+            let mut flat = vec![0u8; layout.total()];
+            for (i, byte) in flat.iter_mut().enumerate() {
+                *byte = (rank ^ (i % 251)) as u8;
+            }
+            let tuning = Tuning::builder().vmethod(method).build();
+            let mut got = Vec::new();
+            ep.pool().set_prewarm(true);
+            ep.barrier();
+            for _ in 0..WARMUP {
+                alltoallv_into(ep, &flat, &layout, &tuning, &mut got)?;
+                ep.barrier();
+            }
+            ep.pool().set_prewarm(false);
+            ep.barrier();
+            let warm = ep.pool().stats();
+            for _ in 0..STEADY {
+                alltoallv_into(ep, &flat, &layout, &tuning, &mut got)?;
+                ep.barrier();
+            }
+            ep.barrier();
+            let steady = ep.pool().stats();
+            Ok((warm, steady))
+        })
+        .expect("run failed");
+        let (warm, steady) = out.results[0];
+        assert_eq!(
+            steady.allocated,
+            warm.allocated,
+            "{method:?}: steady-state alltoallv_into hit the allocator \
+             ({} fresh buffers after warmup)",
+            steady.allocated - warm.allocated
+        );
+        assert!(steady.reused > warm.reused, "{method:?}");
+        assert!(steady.recycled > warm.recycled, "{method:?}");
+    }
+}
+
 #[test]
 fn run_metrics_report_pool_activity() {
     let n = 8;
