@@ -34,6 +34,16 @@ cargo test -q --test autotune
 # 300 s ≈ 10x the observed soak time on a 1-core CI box.
 timeout 300 cargo test -q --test liveness
 
+# Rejoin gate: the full recovery lifecycle — kill, shrink, quarantine,
+# flap damping, rejoin at the next collective boundary, bit-correct
+# full-group result under all three RecoveryPolicy variants — plus a
+# 200-seed rejoin soak per shape with per-view verdict consistency.
+# Failing soak iterations persist a minimized TSV reproducer under
+# target/ replayable with `bruckctl chaos --replay`. Set
+# BRUCK_CHAOS_SEED=<s> to narrow either soak to a single seed when
+# bisecting. Same hard-timeout backstop rationale as the liveness gate.
+timeout 300 cargo test -q --test rejoin
+
 # V-ops gate: the non-uniform property suite (direct/padded/two-phase/
 # auto bit-exact on random ragged, zero-riddled, and hot-spot matrices
 # across n ∈ {1,2,5,8,16}, k ∈ {1,2}, plus a fault-injected skewed run

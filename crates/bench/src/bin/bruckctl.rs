@@ -11,11 +11,13 @@
 //! bruckctl chaos  --n 8 --block 64 --kill 3               # shrink-and-retry
 //! bruckctl chaos  --n 8 --partition 0,1@1 --deadline-ms 500   # partition + budget
 //! bruckctl chaos  --n 8 --stall 3:40                      # straggler vs watchdog
+//! bruckctl chaos  --replay repro.chaos.tsv                # rerun a persisted reproducer
 //! bruckctl bench  --n 8 --ports 2 --block 65536           # wire pipelining table + BENCH_pr3.json
 //! bruckctl bench  --min-mbps 50                           # CI floor: exit 1 below it
 //! bruckctl bench  --autotune --n 8 --ports 2              # planner vs fixed radices + BENCH_pr4.json
 //! bruckctl bench  --liveness --n 8 --ports 2              # deadline+watchdog overhead + BENCH_pr5.json
 //! bruckctl bench  --skew 0,0.5,1.0,1.5 --n 8 --ports 2    # Zipf v-op family sweep + BENCH_pr6.json
+//! bruckctl bench  --recovery --n 8 --ports 2              # membership steady-state overhead + BENCH_pr7.json
 //! ```
 
 use std::sync::Arc;
@@ -58,6 +60,8 @@ struct Args {
     autotune: bool,
     liveness: bool,
     skew: Option<Vec<f64>>,
+    replay: Option<String>,
+    recovery: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +93,8 @@ fn parse_args() -> Result<Args, String> {
         autotune: false,
         liveness: false,
         skew: None,
+        replay: None,
+        recovery: false,
     };
     while let Some(flag) = raw.next() {
         let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
@@ -128,6 +134,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--autotune" => args.autotune = true,
             "--liveness" => args.liveness = true,
+            "--recovery" => args.recovery = true,
+            "--replay" => args.replay = Some(value()?),
             "--skew" => {
                 let list = value()?
                     .split(',')
@@ -383,7 +391,74 @@ fn print_link_report(metrics: &bruck_net::RunMetrics) {
     println!("  per-rank retransmits: {per_rank:?}");
 }
 
+/// `bruckctl chaos --replay <file>`: load a persisted (typically soak-
+/// minimized) [`bruck_net::ChaosSchedule`] and drive it through the
+/// full recovery stack — `WaitForRejoin` when the schedule marks its
+/// killed rank as restartable, `ShrinkOnly` otherwise — printing the
+/// final membership, the per-view counters, and the verdict.
+fn cmd_chaos_replay(args: &Args, path: &str) -> Result<(), String> {
+    use bruck_net::RecoveryPolicy;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let schedule = bruck_sched::chaos_from_tsv(&text)?;
+    println!(
+        "chaos replay: {path} (seed={:#x} n={})",
+        schedule.seed, schedule.n
+    );
+    for e in &schedule.events {
+        println!("  event        : {e}");
+    }
+    let policy = if schedule.has_rejoin() {
+        RecoveryPolicy::WaitForRejoin {
+            budget: std::time::Duration::from_secs(2),
+        }
+    } else {
+        RecoveryPolicy::ShrinkOnly
+    };
+    let model = model_from(&args.model)?;
+    let mut cfg = ClusterConfig::new(schedule.n)
+        .with_ports(args.ports)
+        .with_cost(model)
+        .with_faults(schedule.plan())
+        .with_reliability(Reliability::default())
+        .with_timeout(std::time::Duration::from_secs(2))
+        .with_quarantine(std::time::Duration::from_millis(5))
+        .with_recovery(policy);
+    if let Some(ms) = args.deadline_ms {
+        cfg = cfg.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    let (block, reps) = (args.block, args.reps.max(1));
+    let tuning = Tuning::default();
+    let resilient = Cluster::run_resilient(&cfg, 4, move |ep, _view| {
+        let m = ep.size();
+        let input = verify::index_input(ep.rank(), m, block);
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = alltoall(ep, &input, block, &tuning)?;
+        }
+        if last != verify::index_expected(ep.rank(), m, block) {
+            return Err(NetError::App("wrong result".into()));
+        }
+        Ok(())
+    })
+    .map_err(|e| e.to_string())?;
+    let ms = &resilient.output.metrics.membership;
+    println!("  policy       : {policy:?}");
+    println!("  survivors    : {:?}", resilient.survivors);
+    println!("  rejoined     : {:?}", resilient.rejoined);
+    println!("  attempts     : {}", resilient.attempts);
+    println!("  final view   : {}", resilient.view_id);
+    println!(
+        "  view changes : {} ({} evictions, {} rejoins, {} quarantines)",
+        ms.view_changes, ms.evictions, ms.rejoins, ms.quarantines
+    );
+    println!("  result       : bit-correct on the final membership ✓");
+    Ok(())
+}
+
 fn cmd_chaos(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.replay {
+        return cmd_chaos_replay(args, &path.clone());
+    }
     let model = model_from(&args.model)?;
     let mut plan = FaultPlan::new()
         .with_seed(args.seed)
@@ -514,6 +589,9 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     if args.liveness {
         return cmd_bench_liveness(args);
     }
+    if args.recovery {
+        return cmd_bench_recovery(args);
+    }
     if args.skew.is_some() {
         return cmd_bench_skew(args);
     }
@@ -606,6 +684,35 @@ fn cmd_bench_liveness(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `bruckctl bench --recovery`: the steady-state price of the
+/// membership layer — the same faultless alltoall shape under the
+/// plain driver vs `run_resilient` with `WaitForRejoin` armed, written
+/// as the tracked `BENCH_pr7.json` artifact.
+#[cfg(unix)]
+fn cmd_bench_recovery(args: &Args) -> Result<(), String> {
+    use bruck_bench::wire;
+    let cfg = wire::WireBenchConfig {
+        n: args.n,
+        ports: args.ports,
+        block: args.block,
+        reps: args.reps.max(1),
+        samples: args.samples.max(1),
+        radix: args.radix,
+        ..wire::WireBenchConfig::default()
+    };
+    println!(
+        "recovery bench: n={} k={} block={} reps={}x{} (uds)",
+        cfg.n, cfg.ports, cfg.block, cfg.reps, cfg.samples
+    );
+    let rows = wire::run_recovery_overhead(&cfg)?;
+    print!("{}", wire::render_recovery_table(&rows));
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr7.json".into());
+    std::fs::write(&out_path, wire::render_recovery_json(&rows))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("[results written to {out_path}]");
+    Ok(())
+}
+
 /// `bruckctl bench --skew <s1,s2,...>`: seeded Zipf workloads through
 /// the non-uniform family — forced direct/padded/two-phase vs
 /// `alltoallv_auto` — written as the tracked `BENCH_pr6.json` artifact.
@@ -645,7 +752,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bruckctl: {e}");
-            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--partition RANKS@ROUND] [--stall RANK:MS] [--deadline-ms MS] [--samples S] [--out PATH] [--min-mbps F] [--autotune] [--liveness] [--skew S1,S2,...]");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--partition RANKS@ROUND] [--stall RANK:MS] [--deadline-ms MS] [--samples S] [--out PATH] [--min-mbps F] [--autotune] [--liveness] [--skew S1,S2,...] [--recovery] [--replay FILE]");
             std::process::exit(2);
         }
     };

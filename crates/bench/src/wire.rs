@@ -1148,6 +1148,174 @@ pub fn render_liveness_json(rows: &[LivenessRow]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Recovery bench: the steady-state price of the membership layer.
+// ---------------------------------------------------------------------
+
+/// One faultless cluster run toward the recovery A/B: the same plain
+/// alltoall laps either under [`SocketCluster::run`] (no membership
+/// machinery) or under [`SocketCluster::run_resilient`] with a
+/// rejoin-capable policy armed (view registry allocated, recovery loop
+/// wrapping the run, per-attempt socket incarnations). Driver-level, so
+/// this leg cannot be lap-paired — samples alternate whole runs like
+/// the watchdog leg.
+fn recovery_sample(
+    cfg: &WireBenchConfig,
+    resilient: bool,
+    accum: &mut LivenessAccum,
+) -> Result<(), String> {
+    use bruck_net::{RecoveryPolicy, SocketCluster};
+    let (n, block, reps) = (cfg.n, cfg.block, cfg.reps.max(1));
+    let tuning = Tuning::builder().planner(true).build();
+    let cluster_cfg = ClusterConfig::new(n)
+        .with_ports(cfg.ports)
+        .with_timeout(cfg.timeout)
+        .with_reliability(Reliability::default())
+        .with_recovery(RecoveryPolicy::WaitForRejoin {
+            budget: Duration::from_millis(100),
+        });
+    let body = |ep: &mut bruck_net::Endpoint| {
+        let input = verify::index_input(ep.rank(), n, block);
+        let expected = verify::index_expected(ep.rank(), n, block);
+        let run_one = |ep: &mut bruck_net::Endpoint| -> Result<(), NetError> {
+            if alltoall(ep, &input, block, &tuning)? != expected {
+                return Err(NetError::App("alltoall bytes wrong".into()));
+            }
+            Ok(())
+        };
+        run_one(ep)?; // warmup, untimed
+        let mut laps = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            run_one(ep)?;
+            laps.push(t0.elapsed().as_nanos() as u64);
+        }
+        Ok(laps)
+    };
+    let out = if resilient {
+        let res = SocketCluster::run_resilient(&cluster_cfg, 2, |ep, _view| body(ep))
+            .map_err(|e| format!("recovery (resilient): {e}"))?;
+        res.output
+    } else {
+        SocketCluster::run(&cluster_cfg, body).map_err(|e| format!("recovery (plain): {e}"))?
+    };
+    for j in 0..reps {
+        accum.laps.push(
+            out.results
+                .iter()
+                .map(|laps| laps[j])
+                .max()
+                .unwrap_or_default(),
+        );
+    }
+    accum.bytes_per_collective = out.metrics.total_bytes() / (reps + 1) as u64;
+    let link = out.metrics.link_totals();
+    accum.probes_sent += link.probes_sent;
+    accum.retransmits += link.retransmits;
+    Ok(())
+}
+
+/// Measure the steady-state membership overhead at one shape: the same
+/// faultless alltoall under the plain driver vs the resilient driver
+/// with `WaitForRejoin` armed. In-pair order flips every sample so
+/// neither driver systematically inherits the warmer machine.
+///
+/// # Errors
+///
+/// Propagates the first failing cluster run.
+pub fn run_recovery_overhead(cfg: &WireBenchConfig) -> Result<Vec<LivenessRow>, String> {
+    let mut plain = LivenessAccum::default();
+    let mut armed = LivenessAccum::default();
+    for s in 0..cfg.samples.max(1) {
+        let first_on = s % 2 == 1;
+        recovery_sample(
+            cfg,
+            first_on,
+            if first_on { &mut armed } else { &mut plain },
+        )?;
+        recovery_sample(
+            cfg,
+            !first_on,
+            if first_on { &mut plain } else { &mut armed },
+        )?;
+    }
+    Ok(vec![
+        plain.fold(cfg, "recovery-off"),
+        armed.fold(cfg, "recovery-on"),
+    ])
+}
+
+/// Fractional mean-lap cost of arming the membership/recovery layer on
+/// a healthy cluster, from the alternating A/B rows.
+#[must_use]
+pub fn recovery_overhead(rows: &[LivenessRow]) -> Option<f64> {
+    overhead_between(rows, "recovery-on", "recovery-off")
+}
+
+/// Render the recovery comparison as a human table.
+#[must_use]
+pub fn render_recovery_table(rows: &[LivenessRow]) -> String {
+    let mut out = format!(
+        "{:<13} {:>4} {:>3} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6} {:>5}\n",
+        "mode", "n", "k", "block", "MB/s", "p50", "p99", "mean", "probes", "rexmt"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13} {:>4} {:>3} {:>8} {:>9.1} {:>9} {:>9} {:>9} {:>6} {:>5}\n",
+            r.mode,
+            r.n,
+            r.k,
+            r.block,
+            r.mbps,
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            fmt_ns(r.mean_ns),
+            r.probes_sent,
+            r.retransmits,
+        ));
+    }
+    if let Some(o) = recovery_overhead(rows) {
+        out.push_str(&format!(
+            "recovery overhead: {:+.2}% mean lap (alternating A/B runs)\n",
+            o * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the tracked `BENCH_pr7.json` artifact (hand-rolled JSON).
+#[must_use]
+pub fn render_recovery_json(rows: &[LivenessRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pr7-recovery-overhead\",\n");
+    out.push_str("  \"transport\": \"uds\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"n\": {}, \"k\": {}, \"block\": {}, \"reps\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"mbps\": {:.2}, \
+             \"probes_sent\": {}, \"retransmits\": {}}}{}\n",
+            r.mode,
+            r.n,
+            r.k,
+            r.block,
+            r.reps,
+            r.p50_ns,
+            r.p99_ns,
+            r.mean_ns,
+            r.mbps,
+            r.probes_sent,
+            r.retransmits,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let ov = recovery_overhead(rows).unwrap_or(0.0);
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"criteria\": {{\"recovery_overhead\": {ov:.4}, \"under_5pct\": {}}}\n}}\n",
+        ov < 0.05,
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
 // Skew bench: the non-uniform Bruck family over Zipf workloads.
 // ---------------------------------------------------------------------
 

@@ -14,7 +14,7 @@ use bruck_model::cost::{CostModel, LinearModel};
 use bruck_model::partition::Preference;
 use bruck_model::planner::{ConcatPlan, IndexPlan, PlanChoice, Planner};
 use bruck_model::tuning::{all_radices, best_radix, RadixChoice};
-use bruck_net::{Comm, Endpoint, Group, NetError};
+use bruck_net::{Comm, Endpoint, Group, NetError, RecoveryPolicy};
 
 use crate::concat::ConcatAlgorithm;
 use crate::index::IndexAlgorithm;
@@ -503,14 +503,14 @@ pub struct ResilientAlltoall {
 /// 2³²), below the epoch bits at
 /// [`EPOCH_SHIFT`](bruck_net::comm::EPOCH_SHIFT), so barrier traffic can
 /// alias neither an attempt's data frames nor another epoch's barrier.
-const CONFIRM_TAG_BASE: u64 = 1 << 32;
+pub(crate) const CONFIRM_TAG_BASE: u64 = 1 << 32;
 
 /// Dissemination barrier over the (epoch-tagged) group: `⌈log₂ m⌉`
 /// rounds of `send to (me + 2ʲ) mod m, recv from (me − 2ʲ) mod m`.
 /// Completing at any rank proves every rank entered the barrier — i.e.
 /// finished the attempt this barrier seals. Aborts with the shared
 /// failure verdict if the membership changes mid-barrier.
-fn confirm_completion<C: Comm + ?Sized>(gc: &mut C) -> Result<(), NetError> {
+pub(crate) fn confirm_completion<C: Comm + ?Sized>(gc: &mut C) -> Result<(), NetError> {
     let m = gc.size();
     let me = gc.rank();
     let mut hop = 1usize;
@@ -526,6 +526,29 @@ fn confirm_completion<C: Comm + ?Sized>(gc: &mut C) -> Result<(), NetError> {
     Ok(())
 }
 
+/// Enforce an in-run [`RecoveryPolicy`] against an attempt's survivor
+/// count. Within one cluster run the failure detector's dead set is
+/// monotone — a dead rank cannot come back until the run ends — so
+/// `WaitForRejoin` has nothing to wait *for* here and degrades to
+/// `ShrinkOnly`; restart-scope rejoin is
+/// [`Cluster::run_resilient`](bruck_net::Cluster::run_resilient)'s job.
+/// `FailFast` turns a below-quorum membership into an immediate
+/// [`NetError::RanksFailed`] carrying the full dead set.
+pub(crate) fn check_recovery_policy(
+    policy: RecoveryPolicy,
+    survivors: usize,
+    dead: &[usize],
+) -> Result<(), NetError> {
+    if let RecoveryPolicy::FailFast { min_quorum } = policy {
+        if survivors < min_quorum {
+            return Err(NetError::RanksFailed {
+                ranks: dead.to_vec(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// # Panics
 ///
 /// Panics if `max_attempts == 0` or `sendbuf.len() != n·block`.
@@ -535,6 +558,45 @@ pub fn alltoall_resilient(
     block: usize,
     tuning: &Tuning,
     max_attempts: usize,
+) -> Result<ResilientAlltoall, NetError> {
+    alltoall_resilient_with_policy(
+        ep,
+        sendbuf,
+        block,
+        tuning,
+        max_attempts,
+        RecoveryPolicy::default(),
+    )
+}
+
+/// [`alltoall_resilient`] under an explicit [`RecoveryPolicy`]:
+///
+/// * [`ShrinkOnly`](RecoveryPolicy::ShrinkOnly) — retry dense among the
+///   survivors (the [`alltoall_resilient`] default);
+/// * [`FailFast`](RecoveryPolicy::FailFast) — abort with
+///   [`NetError::RanksFailed`] as soon as the acknowledged membership
+///   drops below `min_quorum`, instead of completing degraded;
+/// * [`WaitForRejoin`](RecoveryPolicy::WaitForRejoin) — in-run the dead
+///   set is monotone (an evicted rank cannot return before the run
+///   ends), so this degrades to `ShrinkOnly` here; pair it with
+///   [`Cluster::run_resilient`](bruck_net::Cluster::run_resilient),
+///   where the budget is honored at the attempt boundary.
+///
+/// # Errors
+///
+/// See [`alltoall_resilient`]; additionally [`NetError::RanksFailed`]
+/// when `FailFast` quorum is lost.
+///
+/// # Panics
+///
+/// Panics if `max_attempts == 0` or `sendbuf.len() != n·block`.
+pub fn alltoall_resilient_with_policy(
+    ep: &mut Endpoint,
+    sendbuf: &[u8],
+    block: usize,
+    tuning: &Tuning,
+    max_attempts: usize,
+    policy: RecoveryPolicy,
 ) -> Result<ResilientAlltoall, NetError> {
     assert!(max_attempts >= 1, "need at least one attempt");
     let n = Endpoint::size(ep);
@@ -553,6 +615,7 @@ pub fn alltoall_resilient(
             // were stalled): we are outside the agreed membership.
             return Err(NetError::RanksFailed { ranks: dead });
         }
+        check_recovery_policy(policy, n - dead.len(), &dead)?;
         let group = Group::new((0..n).filter(|r| !dead.contains(r)).collect());
         let survivors = group.members().to_vec();
         let mut dense = Vec::with_capacity(survivors.len() * block);

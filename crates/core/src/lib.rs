@@ -54,7 +54,8 @@ pub mod vops;
 pub mod prelude {
     pub use crate::api::{
         allgather, allgather_auto, allgather_into, alltoall, alltoall_auto, alltoall_into,
-        alltoall_resilient, ResilientAlltoall, Tuning, TuningBuilder,
+        alltoall_resilient, alltoall_resilient_with_policy, ResilientAlltoall, Tuning,
+        TuningBuilder,
     };
     pub use crate::autotune::{calibrated_fit, calibrated_model};
     pub use crate::concat::ConcatAlgorithm;
@@ -63,9 +64,13 @@ pub mod prelude {
     pub use crate::vbruck::{VLayout, VMethod};
     #[allow(deprecated)]
     pub use crate::vops::{allgatherv, alltoallv};
-    pub use crate::vops::{allgatherv_into, alltoallv_auto, alltoallv_auto_into, alltoallv_into};
+    pub use crate::vops::{
+        allgatherv_into, alltoallv_auto, alltoallv_auto_into, alltoallv_into, alltoallv_resilient,
+        alltoallv_resilient_with_policy, ResilientAlltoallv,
+    };
     pub use bruck_model::complexity::Complexity;
     pub use bruck_model::cost::{CostModel, LinearModel, Sp1Model};
     pub use bruck_model::planner::{ConcatPlan, IndexPlan, PlanChoice, Planner, VIndexPlan};
+    pub use bruck_net::RecoveryPolicy;
     pub use bruck_net::{Cluster, ClusterConfig, Comm, Endpoint, Group, NetError};
 }

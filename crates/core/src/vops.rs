@@ -109,6 +109,146 @@ pub fn alltoallv_auto<C: Comm + ?Sized>(
     Ok((out, recv, choice))
 }
 
+/// Outcome of [`alltoallv_resilient`]: survivor-dense data, the layout
+/// addressing it, and the membership it corresponds to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientAlltoallv {
+    /// Received bytes, dense in survivor order: span `i` (addressed by
+    /// [`layout`](Self::layout)) came from global rank `survivors[i]`.
+    pub data: Vec<u8>,
+    /// Layout of `data`: `layout.range(i)` is survivor `i`'s block.
+    pub layout: VLayout,
+    /// Global ranks that completed the successful attempt, ascending.
+    pub survivors: Vec<usize>,
+    /// Attempts (epochs) consumed, including the successful one.
+    pub attempts: usize,
+}
+
+/// In-run shrink-and-retry [`alltoallv_into`]: the non-uniform
+/// counterpart of [`alltoall_resilient`](crate::api::alltoall_resilient),
+/// with the same epoch discipline (attempts tag with the acknowledged
+/// failure-detector version) and the same per-attempt completion
+/// barrier — see that function for the protocol argument; only the
+/// payload step differs (dense sub-*layout* instead of dense blocks).
+///
+/// `sendbuf`/`layout` still address one variable-size block per
+/// *original* rank; blocks addressed to dead ranks are skipped and the
+/// survivor blocks are repacked dense under a fresh [`VLayout`] before
+/// each attempt. The returned layout addresses survivor-dense data.
+///
+/// # Errors
+///
+/// [`NetError::Killed`] immediately if fault injection kills *this*
+/// rank; non-failure errors (including `layout` arity/fit validation)
+/// immediately; the last failure verdict when `max_attempts` are
+/// exhausted.
+///
+/// # Panics
+///
+/// Panics if `max_attempts == 0`.
+pub fn alltoallv_resilient(
+    ep: &mut bruck_net::Endpoint,
+    sendbuf: &[u8],
+    layout: &VLayout,
+    tuning: &Tuning,
+    max_attempts: usize,
+) -> Result<ResilientAlltoallv, NetError> {
+    alltoallv_resilient_with_policy(
+        ep,
+        sendbuf,
+        layout,
+        tuning,
+        max_attempts,
+        bruck_net::RecoveryPolicy::default(),
+    )
+}
+
+/// [`alltoallv_resilient`] under an explicit
+/// [`RecoveryPolicy`](bruck_net::RecoveryPolicy) — the policy semantics
+/// (and the `WaitForRejoin`-degrades-to-`ShrinkOnly` caveat for in-run
+/// retries) match
+/// [`alltoall_resilient_with_policy`](crate::api::alltoall_resilient_with_policy).
+///
+/// # Errors
+///
+/// See [`alltoallv_resilient`]; additionally
+/// [`NetError::RanksFailed`] when `FailFast` quorum is lost.
+///
+/// # Panics
+///
+/// Panics if `max_attempts == 0`.
+pub fn alltoallv_resilient_with_policy(
+    ep: &mut bruck_net::Endpoint,
+    sendbuf: &[u8],
+    layout: &VLayout,
+    tuning: &Tuning,
+    max_attempts: usize,
+    policy: bruck_net::RecoveryPolicy,
+) -> Result<ResilientAlltoallv, NetError> {
+    use bruck_net::Endpoint;
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let n = Endpoint::size(ep);
+    if layout.len() != n {
+        return Err(NetError::App(format!(
+            "layout addresses {} blocks for {n} ranks",
+            layout.len()
+        )));
+    }
+    if !layout.fits(sendbuf.len()) {
+        return Err(NetError::App(format!(
+            "layout needs {} bytes, sendbuf has {}",
+            layout.total(),
+            sendbuf.len()
+        )));
+    }
+    let me = Endpoint::rank(ep);
+    let mut last_failure = None;
+    for attempt in 0..max_attempts {
+        let (epoch, dead) = ep.acknowledge_failures();
+        if dead.contains(&me) {
+            return Err(NetError::RanksFailed { ranks: dead });
+        }
+        crate::api::check_recovery_policy(policy, n - dead.len(), &dead)?;
+        let group = bruck_net::Group::new((0..n).filter(|r| !dead.contains(r)).collect());
+        let survivors = group.members().to_vec();
+        // Repack the survivor blocks dense and re-derive the layout so
+        // the group-sized collective sees a self-consistent (buffer,
+        // layout) pair in *dense* numbering.
+        let counts: Vec<usize> = survivors.iter().map(|&m| layout.count(m)).collect();
+        let dense_layout = VLayout::from_counts(&counts);
+        let mut dense = Vec::with_capacity(dense_layout.total());
+        for &m in &survivors {
+            dense.extend_from_slice(layout.slice(sendbuf, m));
+        }
+        let mut gc = group.bind(ep).with_epoch(epoch);
+        let mut out = Vec::new();
+        let outcome = alltoallv_into(&mut gc, &dense, &dense_layout, tuning, &mut out)
+            .and_then(|recv| crate::api::confirm_completion(&mut gc).map(|()| recv));
+        match outcome {
+            Ok(recv) => {
+                return Ok(ResilientAlltoallv {
+                    data: out,
+                    layout: recv,
+                    survivors,
+                    attempts: attempt + 1,
+                })
+            }
+            Err(e) => {
+                // Same exit discipline as the uniform resilient loop: a
+                // killed rank must leave, programming errors are not
+                // survivable, and stale epoch-tagged traffic needs no
+                // purge (its tags can never match a later attempt).
+                if matches!(e, NetError::Killed { rank, .. } if rank == me) || !e.is_rank_failure()
+                {
+                    return Err(e);
+                }
+                last_failure = Some(e);
+            }
+        }
+    }
+    Err(last_failure.expect("loop body ran at least once"))
+}
+
 /// Metadata + validation + plan + payload, shared by every `alltoallv`
 /// entry point.
 fn dispatch<C: Comm + ?Sized>(

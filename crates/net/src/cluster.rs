@@ -12,6 +12,7 @@ use crate::error::NetError;
 use crate::failure::FailureDetector;
 use crate::fault::{FaultPlan, FaultyTransport, RoundClock};
 use crate::mailbox::Mailbox;
+use crate::membership::{Membership, RecoveryPolicy};
 use crate::metrics::RunMetrics;
 use crate::pool::BufferPool;
 use crate::reliable::{Reliability, ReliableTransport};
@@ -49,6 +50,18 @@ pub struct ClusterConfig {
     /// Under [`Cluster::run_resilient`] the budget is re-armed fresh
     /// for each shrink-and-retry attempt.
     pub deadline: Option<Duration>,
+    /// How [`Cluster::run_resilient`] reacts to rank failures between
+    /// attempts: shrink and continue (the default), wait at the
+    /// collective boundary for quarantined ranks to rejoin, or abort
+    /// once membership falls below a quorum. See [`RecoveryPolicy`].
+    pub recovery: RecoveryPolicy,
+    /// Flap-damping base: the quarantine window a rank earns on its
+    /// first eviction. Each further eviction of the same rank doubles
+    /// it (`base · 2^(flaps−1)`, capped at
+    /// [`MAX_QUARANTINE`](crate::membership::MAX_QUARANTINE)), so a
+    /// flapping rank is excluded for exponentially longer each time.
+    /// Only consulted under [`RecoveryPolicy::WaitForRejoin`].
+    pub quarantine: Duration,
 }
 
 impl ClusterConfig {
@@ -71,6 +84,8 @@ impl ClusterConfig {
             reliability: None,
             serial_rounds: false,
             deadline: None,
+            recovery: RecoveryPolicy::default(),
+            quarantine: crate::membership::DEFAULT_BASE_QUARANTINE,
         }
     }
 
@@ -127,6 +142,22 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Set the recovery policy [`Cluster::run_resilient`] applies at
+    /// collective boundaries (see [`ClusterConfig::recovery`]).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Set the flap-damping base quarantine window (see
+    /// [`ClusterConfig::quarantine`]).
+    #[must_use]
+    pub fn with_quarantine(mut self, base: Duration) -> Self {
+        self.quarantine = base;
         self
     }
 
@@ -259,6 +290,15 @@ pub struct SurvivorView {
     pub original_n: usize,
     /// `original_ranks[dense]` = the original id of dense rank `dense`.
     pub original_ranks: Vec<usize>,
+    /// Membership-view id this attempt runs under: the length of the
+    /// view-delta log (evictions + admissions) folded so far. Strictly
+    /// grows across attempts; attempt 0 runs at view 0.
+    pub view_id: u64,
+    /// Original ids re-admitted *into this attempt* after quarantine
+    /// (empty under [`RecoveryPolicy::ShrinkOnly`] and on attempt 0).
+    /// Each was synced to the current view by its sponsor — see
+    /// [`ViewDelta::Admit`](crate::membership::ViewDelta::Admit).
+    pub rejoined: Vec<usize>,
 }
 
 impl SurvivorView {
@@ -286,6 +326,12 @@ pub struct ResilientOutput<T> {
     pub survivors: Vec<usize>,
     /// Attempts consumed, including the successful one.
     pub attempts: usize,
+    /// Members of the final view that were evicted at least once and
+    /// re-admitted after quarantine, ascending (always a subset of
+    /// `survivors`; empty under [`RecoveryPolicy::ShrinkOnly`]).
+    pub rejoined: Vec<usize>,
+    /// The final membership-view id (total view changes folded).
+    pub view_id: u64,
 }
 
 /// The cluster runner (stateless; all state lives in the run).
@@ -565,6 +611,7 @@ impl Cluster {
             metrics: RunMetrics {
                 per_rank,
                 pool: pool.stats(),
+                membership: Default::default(),
             },
             virtual_times,
             trace,
@@ -572,21 +619,47 @@ impl Cluster {
         }
     }
 
-    /// Shrink-and-retry: run `body`, and if ranks die (fault-injection
-    /// kills or reliability-layer retry-cap verdicts), rebuild a dense
-    /// cluster of the survivors and run again — up to `max_attempts`
-    /// attempts in total. The body sees the shrunken `ep.size()` and can
-    /// re-plan (radix, schedule) for the new membership; the
-    /// [`SurvivorView`] maps dense ranks back to original ids.
+    /// Recovery-policy-driven retry: run `body`, and if ranks die
+    /// (fault-injection kills or reliability-layer retry-cap verdicts),
+    /// fold the verdict into a [`Membership`] view at the collective
+    /// boundary and run again over the new view — up to `max_attempts`
+    /// attempts in total. The body sees the current `ep.size()` and can
+    /// re-plan (radix, schedule) for the membership; the
+    /// [`SurvivorView`] maps dense ranks back to original ids and
+    /// carries the view id.
+    ///
+    /// What happens between attempts is governed by
+    /// [`ClusterConfig::recovery`]:
+    ///
+    /// * [`RecoveryPolicy::ShrinkOnly`] — evicted ranks never return
+    ///   (the PR 2 behavior).
+    /// * [`RecoveryPolicy::WaitForRejoin`] — the boundary waits up to
+    ///   the budget for quarantined ranks whose flap-damped hold-down
+    ///   window (see [`ClusterConfig::quarantine`]) expires in time and
+    ///   re-admits them, so the next attempt runs over the restored
+    ///   membership with fresh links. Because admission only ever
+    ///   happens here — between attempts, when no traffic is in flight
+    ///   and every survivor holds the same verdict — an in-flight
+    ///   attempt never observes a membership change mid-round.
+    /// * [`RecoveryPolicy::FailFast`] — aborts with the eviction
+    ///   verdict as soon as membership falls below the quorum.
     ///
     /// Deterministic faults (kills, exact drops) are consumed by the
     /// original membership and cleared for retries; seeded probabilistic
-    /// wire rates carry over ([`FaultPlan::survivor_plan`]).
+    /// wire rates carry over ([`FaultPlan::survivor_plan`]); recurring
+    /// kills ([`FaultPlan::kill_rank_recurring`]) re-fire on every
+    /// attempt whose membership includes the victim — the flapping-rank
+    /// generator.
+    ///
+    /// The final view's counters (view changes, evictions, rejoins,
+    /// quarantines) are folded into the successful attempt's
+    /// [`RunMetrics::membership`].
     ///
     /// # Errors
     ///
-    /// Non-survivable root causes immediately; the last root cause when
-    /// attempts are exhausted or no survivors remain.
+    /// Non-survivable root causes immediately; the eviction verdict when
+    /// [`RecoveryPolicy::FailFast`] trips its quorum; the last root
+    /// cause when attempts are exhausted or no survivors remain.
     ///
     /// # Panics
     ///
@@ -600,40 +673,110 @@ impl Cluster {
         T: Send,
         F: Fn(&mut Endpoint, &SurvivorView) -> Result<T, NetError> + Sync,
     {
+        Self::run_resilient_with(
+            config,
+            max_attempts,
+            &mut |n, _attempt| Ok(Self::channel_transports(n)),
+            body,
+        )
+    }
+
+    /// [`Cluster::run_resilient`] over caller-provided transports: the
+    /// factory is called once per attempt with the attempt's member
+    /// count and index, so a restarted rank can re-establish its links
+    /// on fresh wires (e.g. a new socket incarnation — see
+    /// [`SocketCluster::run_resilient`](crate::socket::SocketCluster::run_resilient)).
+    ///
+    /// # Errors
+    ///
+    /// Factory errors propagate verbatim; otherwise see
+    /// [`Cluster::run_resilient`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`; propagates body panics.
+    pub fn run_resilient_with<T, F>(
+        config: &ClusterConfig,
+        max_attempts: usize,
+        transports: &mut dyn FnMut(
+            usize,
+            usize,
+        )
+            -> Result<Vec<Box<dyn crate::transport::Transport>>, NetError>,
+        body: F,
+    ) -> Result<ResilientOutput<T>, NetError>
+    where
+        T: Send,
+        F: Fn(&mut Endpoint, &SurvivorView) -> Result<T, NetError> + Sync,
+    {
         assert!(max_attempts >= 1, "need at least one attempt");
-        let mut survivors: Vec<usize> = (0..config.n).collect();
+        let membership = Membership::new(config.n).with_base_quarantine(config.quarantine);
         let mut cfg = config.clone();
+        let mut rejoined_now: Vec<usize> = Vec::new();
         for attempt in 0..max_attempts {
-            cfg.n = survivors.len();
+            let members = membership.members();
+            cfg.n = members.len();
+            // Faults are re-derived from the *original* plan each
+            // attempt: attempt 0 keeps its deterministic faults, later
+            // attempts clear the consumed ones but keep seeded wire
+            // rates — and recurring kills are re-bound to the attempt's
+            // dense numbering so they chase their victim across views.
+            let base = if attempt == 0 {
+                (*config.faults).clone()
+            } else {
+                config.faults.survivor_plan()
+            };
+            cfg.faults = Arc::new(base.bind_recurring(&members));
             let view = SurvivorView {
                 attempt,
                 original_n: config.n,
-                original_ranks: survivors.clone(),
+                original_ranks: members.clone(),
+                view_id: membership.view_id(),
+                rejoined: std::mem::take(&mut rejoined_now),
             };
-            let report = Self::try_run(&cfg, |ep| body(ep, &view));
+            let wires = transports(members.len(), attempt)?;
+            let report = Self::try_run_with_transports(&cfg, wires, |ep| body(ep, &view));
             let Some((_, cause)) = report.root_cause() else {
+                let mut output = report.into_result().expect("no errors per root_cause");
+                output.metrics.membership = membership.stats();
                 return Ok(ResilientOutput {
-                    output: report.into_result().expect("no errors per root_cause"),
-                    survivors,
+                    output,
+                    survivors: members,
                     attempts: attempt + 1,
+                    rejoined: membership.rejoined_ranks(),
+                    view_id: membership.view_id(),
                 });
             };
             let cause = cause.clone();
             if !cause.is_rank_failure() || attempt + 1 == max_attempts {
                 return Err(cause);
             }
-            // Shrink: drop the ranks the cluster agreed are dead
-            // (dense ids in this attempt's numbering).
             if report.failed.is_empty() {
                 return Err(cause);
             }
-            for &dense in report.failed.iter().rev() {
-                survivors.remove(dense);
+            // Collective boundary: the attempt is over, no traffic is in
+            // flight, and `report.failed` is the verdict every survivor
+            // agreed on — fold it into the view (dense ids map back
+            // through this attempt's membership).
+            for &dense in &report.failed {
+                membership.evict(members[dense]);
             }
-            if survivors.is_empty() {
+            if membership.members().is_empty() {
                 return Err(cause);
             }
-            cfg.faults = Arc::new(cfg.faults.survivor_plan());
+            match config.recovery {
+                RecoveryPolicy::ShrinkOnly => {}
+                RecoveryPolicy::FailFast { min_quorum } => {
+                    if membership.members().len() < min_quorum {
+                        return Err(NetError::RanksFailed {
+                            ranks: membership.evicted_ranks(),
+                        });
+                    }
+                }
+                RecoveryPolicy::WaitForRejoin { budget } => {
+                    rejoined_now = membership.wait_for_rejoin(budget);
+                }
+            }
         }
         unreachable!("loop returns on success, exhaustion, or hard error")
     }

@@ -123,6 +123,11 @@ pub struct FaultPlan {
     /// Rank → round after which the rank's thread exits with
     /// [`crate::NetError::Killed`].
     kill_after: HashMap<usize, u64>,
+    /// *Original* rank → round: a kill that re-fires on every
+    /// shrink-and-retry attempt whose membership still (or again)
+    /// includes the victim — the flapping-rank generator. Bound to an
+    /// attempt's dense numbering by [`bind_recurring`](Self::bind_recurring).
+    recurring_kills: HashMap<usize, u64>,
     /// `(src, dst, round)` triples whose message is silently dropped.
     drops: HashSet<(usize, usize, u64)>,
     /// Seed for the probabilistic wire faults.
@@ -148,6 +153,12 @@ pub struct FaultPlan {
     /// ack-path fault injection beyond the symmetric `rates` (which hit
     /// acks and data alike).
     ack_loss: f64,
+    /// Whether this plan came out of [`survivor_plan`](Self::survivor_plan)
+    /// and therefore addresses an attempt's *dense* numbering. Recurring
+    /// kills are keyed by original rank, so [`should_kill`](Self::should_kill)
+    /// must not fall back to them on a shrunk plan until
+    /// [`bind_recurring`](Self::bind_recurring) has translated the ids.
+    shrunk: bool,
 }
 
 impl FaultPlan {
@@ -161,6 +172,7 @@ impl FaultPlan {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.kill_after.is_empty()
+            && self.recurring_kills.is_empty()
             && self.drops.is_empty()
             && self.stalls.is_empty()
             && !self.has_wire_faults()
@@ -171,6 +183,21 @@ impl FaultPlan {
     #[must_use]
     pub fn kill_rank_after(mut self, rank: usize, round: u64) -> Self {
         self.kill_after.insert(rank, round);
+        self
+    }
+
+    /// Kill *original* rank `rank` after `round` rounds on **every**
+    /// attempt whose membership includes it — unlike
+    /// [`kill_rank_after`](Self::kill_rank_after), the kill is not
+    /// consumed by the first attempt, so a rank that rejoins dies
+    /// again: the flapping-rank generator for recovery tests. The
+    /// resilient driver maps it to the attempt's dense numbering via
+    /// [`bind_recurring`](Self::bind_recurring); under a plain
+    /// [`Cluster::run`](crate::cluster::Cluster::run) (original
+    /// numbering) it behaves like a one-shot kill.
+    #[must_use]
+    pub fn kill_rank_recurring(mut self, rank: usize, round: u64) -> Self {
+        self.recurring_kills.insert(rank, round);
         self
     }
 
@@ -366,10 +393,35 @@ impl FaultPlan {
     /// `completed_rounds`)?
     #[must_use]
     pub fn should_kill(&self, rank: usize, completed_rounds: u64) -> Option<u64> {
-        match self.kill_after.get(&rank) {
+        // On a fresh plan dense and original numbering coincide, so an
+        // unbound recurring kill may fire directly; on a shrunk plan it
+        // must wait for `bind_recurring` to translate its original id.
+        let recurring = (!self.shrunk)
+            .then(|| self.recurring_kills.get(&rank))
+            .flatten();
+        match self.kill_after.get(&rank).or(recurring) {
             Some(&after) if completed_rounds >= after => Some(after),
             _ => None,
         }
+    }
+
+    /// Rebind the plan to one attempt's dense numbering: every
+    /// recurring kill whose *original* victim appears in `original_of`
+    /// (the attempt's dense→original map) becomes a one-shot
+    /// [`kill_rank_after`](Self::kill_rank_after) on the victim's dense
+    /// id; victims outside the membership are skipped for this attempt
+    /// but stay armed in the source plan. Called by the resilient
+    /// driver on every attempt.
+    #[must_use]
+    pub fn bind_recurring(&self, original_of: &[usize]) -> Self {
+        let mut bound = self.clone();
+        for (dense, orig) in original_of.iter().enumerate() {
+            if let Some(&round) = self.recurring_kills.get(orig) {
+                bound.kill_after.insert(dense, round);
+            }
+        }
+        bound.recurring_kills.clear();
+        bound
     }
 
     /// Should this message be dropped?
@@ -388,6 +440,9 @@ impl FaultPlan {
     pub fn survivor_plan(&self) -> Self {
         Self {
             kill_after: HashMap::new(),
+            // Recurring kills are the exception: they exist to re-fire
+            // on later attempts, keyed by original rank until bound.
+            recurring_kills: self.recurring_kills.clone(),
             drops: HashSet::new(),
             seed: self.seed,
             rates: self.rates,
@@ -399,6 +454,7 @@ impl FaultPlan {
             stalls: Vec::new(),
             // Ack-path loss is a topology-agnostic rate like `rates`.
             ack_loss: self.ack_loss,
+            shrunk: true,
         }
     }
 }
@@ -572,6 +628,16 @@ pub enum ChaosEvent {
         /// Completed-round count after which it dies.
         round: u64,
     },
+    /// The killed rank restarts and is eligible to rejoin once its
+    /// flap-damped quarantine elapses. No wire effect —
+    /// [`plan`](ChaosSchedule::plan) ignores it; the recovery layer
+    /// (a rejoin-capable [`RecoveryPolicy`](crate::membership::RecoveryPolicy)
+    /// driving [`Cluster::run_resilient`](crate::cluster::Cluster::run_resilient))
+    /// consumes it via [`ChaosSchedule::rejoinable_ranks`].
+    Rejoin {
+        /// The restarting rank.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for ChaosEvent {
@@ -592,6 +658,7 @@ impl fmt::Display for ChaosEvent {
                 write!(f, "stall rank {rank} @ round {round} for {millis}ms")
             }
             Self::Kill { rank, round } => write!(f, "kill rank {rank} after round {round}"),
+            Self::Rejoin { rank } => write!(f, "rejoin rank {rank} after quarantine"),
         }
     }
 }
@@ -678,10 +745,18 @@ impl ChaosSchedule {
             });
         }
         if rate(1.0) < 0.16 {
+            let rank = (rate(1.0) * n as f64) as usize % n;
             events.push(ChaosEvent::Kill {
-                rank: (rate(1.0) * n as f64) as usize % n,
+                rank,
                 round: (rate(1.0) * 3.0) as u64,
             });
+            // Half of killed ranks come back: the restart/rejoin path
+            // gets soaked alongside plain crashes. Drawn *after* every
+            // other event so pre-rejoin seeds generate byte-identical
+            // schedules up to this suffix.
+            if rate(1.0) < 0.5 {
+                events.push(ChaosEvent::Rejoin { rank });
+            }
         }
         Self { seed, n, events }
     }
@@ -705,9 +780,39 @@ impl ChaosSchedule {
                     millis,
                 } => p.stall_rank(*rank, *round, Duration::from_millis(*millis)),
                 ChaosEvent::Kill { rank, round } => p.kill_rank_after(*rank, *round),
+                // Rejoin has no wire effect: it marks the kill above as
+                // restartable for the recovery layer (see
+                // `rejoinable_ranks`).
+                ChaosEvent::Rejoin { .. } => p,
             };
         }
         p
+    }
+
+    /// Whether the schedule carries any rejoin events.
+    #[must_use]
+    pub fn has_rejoin(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, ChaosEvent::Rejoin { .. }))
+    }
+
+    /// Ranks marked as restarting after their kill, ascending and
+    /// deduplicated — the set a rejoin-capable recovery policy expects
+    /// back within quarantine.
+    #[must_use]
+    pub fn rejoinable_ranks(&self) -> Vec<usize> {
+        let mut ranks: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::Rejoin { rank } => Some(*rank),
+                _ => None,
+            })
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
     }
 
     /// Greedily shrink the schedule while `fails` keeps returning `true`
@@ -888,6 +993,60 @@ mod tests {
         assert!(!s.is_cut(0, 1, 10));
         assert_eq!(s.stall_for(1, 0), None);
         assert!(s.needs_wire_layer(), "ack loss carries over like rates");
+    }
+
+    #[test]
+    fn recurring_kill_survives_shrink_and_binds_dense() {
+        let p = FaultPlan::new().kill_rank_recurring(3, 1);
+        assert!(!p.is_empty());
+        // Unbound (plain run): fires on the original id.
+        assert_eq!(p.should_kill(3, 1), Some(1));
+        assert_eq!(p.should_kill(3, 0), None);
+        // Survives the survivor plan (unlike one-shot kills)...
+        let s = p.survivor_plan();
+        assert_eq!(s.should_kill(3, 5), None, "unbound dense id must not fire");
+        // ...and rebinds: in a membership [0, 2, 3, 5], original 3 is
+        // dense 2.
+        let bound = s.bind_recurring(&[0, 2, 3, 5]);
+        assert_eq!(bound.should_kill(2, 1), Some(1));
+        assert_eq!(bound.should_kill(3, 9), None, "dense 3 is original 5");
+        // A membership without the victim arms nothing.
+        let without = s.bind_recurring(&[0, 1, 2]);
+        assert_eq!(without.should_kill(0, 9), None);
+        assert_eq!(without.should_kill(2, 9), None);
+    }
+
+    #[test]
+    fn rejoin_events_pair_with_kills_and_fold_to_no_wire_effect() {
+        let all: Vec<ChaosSchedule> = (0..512).map(|s| ChaosSchedule::generate(s, 8)).collect();
+        let mut saw_rejoin = false;
+        for s in &all {
+            for e in &s.events {
+                if let ChaosEvent::Rejoin { rank } = e {
+                    saw_rejoin = true;
+                    // Every rejoin refers to a rank the schedule kills.
+                    assert!(
+                        s.events
+                            .iter()
+                            .any(|k| matches!(k, ChaosEvent::Kill { rank: kr, .. } if kr == rank)),
+                        "dangling rejoin in seed {:#x}: {s}",
+                        s.seed
+                    );
+                    assert_eq!(s.rejoinable_ranks(), vec![*rank]);
+                    assert!(s.has_rejoin());
+                }
+            }
+            // The folded plan is identical with rejoins stripped: no
+            // wire effect.
+            let mut stripped = s.clone();
+            stripped
+                .events
+                .retain(|e| !matches!(e, ChaosEvent::Rejoin { .. }));
+            assert_eq!(format!("{:?}", s.plan()), format!("{:?}", stripped.plan()));
+        }
+        assert!(saw_rejoin, "512 seeds must generate at least one rejoin");
+        let shown = ChaosEvent::Rejoin { rank: 4 }.to_string();
+        assert!(shown.contains("rejoin rank 4"), "{shown}");
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub mod error;
 pub mod failure;
 pub mod fault;
 pub mod mailbox;
+pub mod membership;
 pub mod message;
 pub mod metrics;
 pub mod pool;
@@ -122,6 +123,9 @@ pub use endpoint::{Endpoint, GatherSendSpec, RecvSpec, SendSpec};
 pub use error::NetError;
 pub use failure::FailureDetector;
 pub use fault::{ChaosEvent, ChaosSchedule, FaultPlan, LinkRates, RoundClock};
+pub use membership::{
+    Membership, MembershipStats, MembershipView, RankState, RecoveryPolicy, ViewDelta,
+};
 pub use message::{Message, Tag};
 pub use metrics::{LinkStats, RankMetrics, RunMetrics};
 pub use pool::{BufferPool, PoolStats};

@@ -7,6 +7,7 @@
 
 use bruck_model::complexity::Complexity;
 
+use crate::membership::MembershipStats;
 use crate::pool::PoolStats;
 
 /// Counters from the wire sublayers (fault injection and reliability),
@@ -160,6 +161,11 @@ pub struct RunMetrics {
     pub per_rank: Vec<RankMetrics>,
     /// Buffer-pool activity over the whole run (cluster-shared pool).
     pub pool: PoolStats,
+    /// Membership-view counters (view changes, evictions, rejoins,
+    /// quarantines). Zero for plain [`Cluster::run`](crate::cluster::Cluster::run);
+    /// filled by [`Cluster::run_resilient`](crate::cluster::Cluster::run_resilient)
+    /// from its view log.
+    pub membership: MembershipStats,
 }
 
 impl RunMetrics {
@@ -292,6 +298,7 @@ mod tests {
         let run = RunMetrics {
             per_rank: vec![a, b],
             pool: PoolStats::default(),
+            membership: MembershipStats::default(),
         };
         // Round 0 max = 20, round 1 max = 30.
         assert_eq!(run.global_complexity(), Some(Complexity::new(2, 50)));
@@ -308,6 +315,7 @@ mod tests {
         let run = RunMetrics {
             per_rank: vec![a, b],
             pool: PoolStats::default(),
+            membership: MembershipStats::default(),
         };
         assert_eq!(run.global_complexity(), None);
     }
@@ -352,6 +360,7 @@ mod tests {
         let run = RunMetrics {
             per_rank: vec![a, b],
             pool: PoolStats::default(),
+            membership: MembershipStats::default(),
         };
         // 100 bytes over max(2, 1) = 2 rounds.
         assert!((run.bytes_per_round() - 50.0).abs() < 1e-12);

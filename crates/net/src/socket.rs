@@ -73,6 +73,15 @@ fn encode_frame_into(
     buf.extend_from_slice(chunk);
 }
 
+/// splitmix64 finalizer — the keyed-hash RNG idiom used across the
+/// fault layer. Here it seeds backoff jitter without ambient entropy.
+fn splitmix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 struct Frame {
     src: usize,
     tag: Tag,
@@ -124,6 +133,9 @@ struct Reassembly {
 pub struct UdsTransport {
     rank: usize,
     sock: UnixDatagram,
+    /// The filesystem path this rank's socket is bound to. Unlinked on
+    /// drop so a crashed-and-restarted rank never inherits a stale file.
+    own_path: PathBuf,
     peer_paths: Vec<PathBuf>,
     pending: VecDeque<Message>,
     partial: HashMap<(usize, u64), Reassembly>,
@@ -141,19 +153,60 @@ pub struct UdsTransport {
 impl UdsTransport {
     /// Bind rank `rank`'s socket in `dir` and record the peers' paths.
     ///
+    /// Equivalent to [`bind_incarnation`](Self::bind_incarnation) at
+    /// incarnation 0 — the path layout matches what every pre-rejoin
+    /// run used.
+    ///
     /// # Errors
     ///
     /// Bind failures surface as [`NetError::App`].
     pub fn bind(dir: &Path, rank: usize, n: usize) -> Result<Self, NetError> {
-        let path = Self::sock_path(dir, rank);
-        let sock = UnixDatagram::bind(&path)
-            .map_err(|e| NetError::App(format!("bind {}: {e}", path.display())))?;
+        Self::bind_incarnation(dir, rank, n, 0)
+    }
+
+    /// Bind rank `rank`'s socket in `dir` for a given `incarnation` and
+    /// record the peers' paths (peers are assumed to bind at the *same*
+    /// incarnation — the cluster bumps it once per attempt, so a
+    /// restarted rank and its sponsors always agree on the layout).
+    ///
+    /// Two defenses make re-binding after a crash reliable:
+    ///
+    /// * **Stale-file reclamation.** A Unix datagram socket file is not
+    ///   removed when its socket is dropped, so a crashed rank leaves a
+    ///   dead `rank-N.sock` behind and a naive rebind fails with
+    ///   `AddrInUse`. If the path already exists we unlink it first —
+    ///   within one cluster directory a name maps to exactly one live
+    ///   rank, so an existing file is by construction stale.
+    /// * **Jittered exponential backoff.** If the bind still races (the
+    ///   old incarnation's `Drop` unlinking concurrently), we retry a few
+    ///   times with exponentially growing, deterministically jittered
+    ///   naps rather than failing the whole rejoin on a transient.
+    ///
+    /// Incarnation 0 uses the classic `rank-N.sock` name; later
+    /// incarnations append `.iK` so each restart binds a fresh, unique
+    /// path even if the previous file somehow survives.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures that persist through the retry budget surface as
+    /// [`NetError::App`].
+    pub fn bind_incarnation(
+        dir: &Path,
+        rank: usize,
+        n: usize,
+        incarnation: u64,
+    ) -> Result<Self, NetError> {
+        let path = Self::sock_path_inc(dir, rank, incarnation);
+        let sock = Self::bind_with_retry(&path, rank)?;
         sock.set_nonblocking(true)
             .map_err(|e| NetError::App(format!("set_nonblocking: {e}")))?;
         Ok(Self {
             rank,
             sock,
-            peer_paths: (0..n).map(|r| Self::sock_path(dir, r)).collect(),
+            own_path: path,
+            peer_paths: (0..n)
+                .map(|r| Self::sock_path_inc(dir, r, incarnation))
+                .collect(),
             pending: VecDeque::new(),
             partial: HashMap::new(),
             next_msg_id: 0,
@@ -162,6 +215,43 @@ impl UdsTransport {
             poll_sleep: None,
             frag: FRAG_PAYLOAD,
         })
+    }
+
+    /// Bind `path`, reclaiming a stale file and retrying transient
+    /// `AddrInUse` races with jittered exponential backoff.
+    fn bind_with_retry(path: &Path, rank: usize) -> Result<UnixDatagram, NetError> {
+        const ATTEMPTS: u32 = 6;
+        const BASE_NAP: Duration = Duration::from_micros(200);
+        if path.exists() {
+            // One live rank per name per directory: an existing file is
+            // a previous incarnation's corpse, never a live peer.
+            let _ = std::fs::remove_file(path);
+        }
+        let mut last = None;
+        for attempt in 0..ATTEMPTS {
+            match UnixDatagram::bind(path) {
+                Ok(sock) => return Ok(sock),
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                    let _ = std::fs::remove_file(path);
+                    last = Some(e);
+                    // Deterministic jitter (keyed splitmix64, same idiom
+                    // as the fault layer): decorrelates ranks retrying in
+                    // lockstep without ambient entropy.
+                    let nap = BASE_NAP * (1 << attempt.min(4));
+                    let jitter_ns = splitmix64((rank as u64) << 32 | u64::from(attempt))
+                        % (nap.as_nanos() as u64 / 2 + 1);
+                    std::thread::sleep(nap + Duration::from_nanos(jitter_ns));
+                }
+                Err(e) => {
+                    return Err(NetError::App(format!("bind {}: {e}", path.display())));
+                }
+            }
+        }
+        Err(NetError::App(format!(
+            "bind {}: still AddrInUse after {ATTEMPTS} attempts: {}",
+            path.display(),
+            last.expect("loop recorded an error")
+        )))
     }
 
     /// Compatibility mode: wait for frames by draining nonblocking and
@@ -183,8 +273,19 @@ impl UdsTransport {
         self
     }
 
+    #[cfg(test)]
     fn sock_path(dir: &Path, rank: usize) -> PathBuf {
-        dir.join(format!("rank-{rank}.sock"))
+        Self::sock_path_inc(dir, rank, 0)
+    }
+
+    /// Socket path for `rank` at `incarnation`. Incarnation 0 keeps the
+    /// historical `rank-N.sock` name; restarts get a unique suffix.
+    fn sock_path_inc(dir: &Path, rank: usize, incarnation: u64) -> PathBuf {
+        if incarnation == 0 {
+            dir.join(format!("rank-{rank}.sock"))
+        } else {
+            dir.join(format!("rank-{rank}.i{incarnation}.sock"))
+        }
     }
 
     /// Pull every datagram currently queued on the socket into the
@@ -318,6 +419,15 @@ impl UdsTransport {
             .map_err(|e| NetError::App(format!("set_nonblocking: {e}")))?;
         // Grab whatever else arrived while we were parked.
         Ok(got + self.drain()?)
+    }
+}
+
+impl Drop for UdsTransport {
+    fn drop(&mut self) {
+        // `UnixDatagram` does not unlink its path on drop; do it here so
+        // a rank that dies (panics, is killed by fault injection) leaves
+        // no corpse for its next incarnation to trip over.
+        let _ = std::fs::remove_file(&self.own_path);
     }
 }
 
@@ -490,6 +600,61 @@ impl SocketCluster {
         Self::run_inner(config, true, body)
     }
 
+    /// [`Cluster::run_resilient`] over Unix datagram sockets: shrink on
+    /// failure, optionally re-admit healed ranks per
+    /// [`ClusterConfig::recovery`](crate::cluster::ClusterConfig), with
+    /// each attempt's sockets bound at a fresh *incarnation* (see
+    /// [`UdsTransport::bind_incarnation`]) inside one shared temporary
+    /// directory. Unique per-incarnation paths plus unlink-on-drop mean
+    /// a killed rank's stale socket file can never block its rejoin —
+    /// the restarted rank binds `rank-N.iA.sock` for attempt `A` while
+    /// the corpse (if any) is reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Socket setup failures, non-rank-failure errors, and rank
+    /// failures that survive `max_attempts` (see
+    /// [`Cluster::run_resilient`] for the policy semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0` or a rank's thread panics.
+    pub fn run_resilient<T, F>(
+        config: &ClusterConfig,
+        max_attempts: usize,
+        body: F,
+    ) -> Result<crate::cluster::ResilientOutput<T>, NetError>
+    where
+        T: Send,
+        F: Fn(&mut Endpoint, &crate::cluster::SurvivorView) -> Result<T, NetError> + Sync,
+    {
+        let dir = std::env::temp_dir().join(format!(
+            "bruck-uds-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| NetError::App(format!("mkdir {}: {e}", dir.display())))?;
+        let result = Cluster::run_resilient_with(
+            config,
+            max_attempts,
+            &mut |n, attempt| {
+                (0..n)
+                    .map(|rank| {
+                        UdsTransport::bind_incarnation(&dir, rank, n, attempt as u64)
+                            .map(|t| Box::new(t) as Box<dyn Transport>)
+                    })
+                    .collect()
+            },
+            body,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+
     fn run_inner<T, F>(
         config: &ClusterConfig,
         legacy: bool,
@@ -657,6 +822,71 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn stale_socket_file_is_reclaimed_on_rebind() {
+        // Simulate a crashed rank: bind a raw datagram socket, drop the
+        // socket but deliberately leave the file behind (UnixDatagram's
+        // Drop does not unlink). A fresh bind on the same path must
+        // reclaim it instead of failing AddrInUse.
+        let dir = std::env::temp_dir().join(format!(
+            "bruck-uds-stale-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = UdsTransport::sock_path(&dir, 0);
+        let corpse = UnixDatagram::bind(&path).unwrap();
+        drop(corpse);
+        assert!(path.exists(), "UnixDatagram drop must leave the file");
+        let t = UdsTransport::bind(&dir, 0, 2).expect("rebind reclaims the stale file");
+        drop(t);
+        assert!(!path.exists(), "UdsTransport drop unlinks its own path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incarnation_paths_are_unique_per_restart() {
+        let dir = Path::new("/tmp/whatever");
+        let first = UdsTransport::sock_path_inc(dir, 3, 0);
+        let second = UdsTransport::sock_path_inc(dir, 3, 1);
+        let third = UdsTransport::sock_path_inc(dir, 3, 2);
+        assert_eq!(first, UdsTransport::sock_path(dir, 3));
+        assert_ne!(first, second);
+        assert_ne!(second, third);
+        assert!(second.to_string_lossy().contains("i1"));
+    }
+
+    #[test]
+    fn socket_cluster_rejoins_after_kill() {
+        use crate::fault::FaultPlan;
+        use crate::membership::RecoveryPolicy;
+        let cfg = ClusterConfig::new(4)
+            .with_timeout(Duration::from_secs(5))
+            .with_faults(FaultPlan::new().kill_rank_after(2, 0))
+            .with_quarantine(Duration::from_millis(2))
+            .with_recovery(RecoveryPolicy::WaitForRejoin {
+                budget: Duration::from_secs(2),
+            });
+        let out = SocketCluster::run_resilient(&cfg, 3, |ep, view| {
+            let n = ep.size();
+            let right = (ep.rank() + 1) % n;
+            let left = (ep.rank() + n - 1) % n;
+            let got = ep.send_and_recv(right, &[ep.rank() as u8], left, 0)?;
+            Ok((got[0], view.view_id))
+        })
+        .unwrap();
+        // The killed rank rejoined: the final attempt ran full-width.
+        assert_eq!(out.survivors, vec![0, 1, 2, 3]);
+        assert_eq!(out.rejoined, vec![2]);
+        assert!(out.attempts >= 2);
+        assert_eq!(out.output.metrics.membership.rejoins, 1);
+        let view_ids: Vec<u64> = out.output.results.iter().map(|&(_, v)| v).collect();
+        assert!(view_ids.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod replay;
 pub mod schedule;
 
 pub use analyze::ScheduleStats;
-pub use persist::{from_tsv, to_tsv};
+pub use persist::{chaos_from_tsv, chaos_to_tsv, from_tsv, to_tsv};
 pub use render::{render_activity, render_rounds, summarize};
 pub use replay::replay_on_cluster;
 pub use schedule::{Round, Schedule, Transfer};

@@ -14,6 +14,13 @@
 //! round    1
 //! …
 //! ```
+//!
+//! [`ChaosSchedule`]s get a sibling dialect (`# bruck-chaos v1`, one
+//! event per line) so a soak failure's minimized reproducer can be
+//! written to disk and replayed later with `bruckctl chaos --replay` —
+//! see [`chaos_to_tsv`] / [`chaos_from_tsv`].
+
+use bruck_net::{ChaosEvent, ChaosSchedule};
 
 use crate::schedule::{Schedule, Transfer};
 
@@ -99,6 +106,116 @@ pub fn from_tsv(text: &str) -> Result<Schedule, String> {
         schedule.push_round(transfers);
     }
     Ok(schedule)
+}
+
+/// Serialize a chaos schedule to the TSV dialect (`# bruck-chaos v1`):
+/// a header, a `seed … n …` dimensions line, then one event per line.
+/// Rates ride as `f64` through `Display`, whose shortest-round-trip
+/// output parses back bit-exact, so replaying a persisted reproducer
+/// draws the identical wire-fault verdicts.
+#[must_use]
+pub fn chaos_to_tsv(schedule: &ChaosSchedule) -> String {
+    let mut out = String::from("# bruck-chaos v1\n");
+    out.push_str(&format!("seed\t{}\tn\t{}\n", schedule.seed, schedule.n));
+    for e in &schedule.events {
+        match e {
+            ChaosEvent::Loss(r) => out.push_str(&format!("loss\t{r}\n")),
+            ChaosEvent::Duplication(r) => out.push_str(&format!("dup\t{r}\n")),
+            ChaosEvent::Corruption(r) => out.push_str(&format!("corrupt\t{r}\n")),
+            ChaosEvent::Delay { rate, secs } => out.push_str(&format!("delay\t{rate}\t{secs}\n")),
+            ChaosEvent::AckLoss(r) => out.push_str(&format!("ack-loss\t{r}\n")),
+            ChaosEvent::Partition { side, round } => {
+                let side: Vec<String> = side.iter().map(ToString::to_string).collect();
+                out.push_str(&format!("partition\t{round}\t{}\n", side.join(",")));
+            }
+            ChaosEvent::Cut { src, dst, round } => {
+                out.push_str(&format!("cut\t{src}\t{dst}\t{round}\n"));
+            }
+            ChaosEvent::Stall {
+                rank,
+                round,
+                millis,
+            } => out.push_str(&format!("stall\t{rank}\t{round}\t{millis}\n")),
+            ChaosEvent::Kill { rank, round } => out.push_str(&format!("kill\t{rank}\t{round}\n")),
+            ChaosEvent::Rejoin { rank } => out.push_str(&format!("rejoin\t{rank}\n")),
+        }
+    }
+    out
+}
+
+/// Parse the chaos TSV dialect back into a [`ChaosSchedule`].
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn chaos_from_tsv(text: &str) -> Result<ChaosSchedule, String> {
+    fn num<T: std::str::FromStr>(lineno: usize, what: &str, s: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        s.parse()
+            .map_err(|e| format!("line {lineno}: bad {what}: {e}"))
+    }
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or("empty input")?;
+    if !header.starts_with("# bruck-chaos v1") {
+        return Err(format!("bad header: {header}"));
+    }
+    let (dims_no, dims) = lines.next().ok_or("missing dimensions line")?;
+    let parts: Vec<&str> = dims.split('\t').collect();
+    let [s_key, s_val, n_key, n_val] = parts.as_slice() else {
+        return Err(format!("bad dimensions line: {dims}"));
+    };
+    if *s_key != "seed" || *n_key != "n" {
+        return Err(format!("bad dimensions line: {dims}"));
+    }
+    let seed: u64 = num(dims_no, "seed", s_val)?;
+    let n: usize = num(dims_no, "n", n_val)?;
+    let mut events = Vec::new();
+    for (lineno, line) in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let event = match fields.as_slice() {
+            ["loss", r] => ChaosEvent::Loss(num(lineno, "rate", r)?),
+            ["dup", r] => ChaosEvent::Duplication(num(lineno, "rate", r)?),
+            ["corrupt", r] => ChaosEvent::Corruption(num(lineno, "rate", r)?),
+            ["delay", rate, secs] => ChaosEvent::Delay {
+                rate: num(lineno, "rate", rate)?,
+                secs: num(lineno, "secs", secs)?,
+            },
+            ["ack-loss", r] => ChaosEvent::AckLoss(num(lineno, "rate", r)?),
+            ["partition", round, side] => ChaosEvent::Partition {
+                round: num(lineno, "round", round)?,
+                side: side
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| num(lineno, "side rank", s))
+                    .collect::<Result<_, _>>()?,
+            },
+            ["cut", src, dst, round] => ChaosEvent::Cut {
+                src: num(lineno, "src", src)?,
+                dst: num(lineno, "dst", dst)?,
+                round: num(lineno, "round", round)?,
+            },
+            ["stall", rank, round, millis] => ChaosEvent::Stall {
+                rank: num(lineno, "rank", rank)?,
+                round: num(lineno, "round", round)?,
+                millis: num(lineno, "millis", millis)?,
+            },
+            ["kill", rank, round] => ChaosEvent::Kill {
+                rank: num(lineno, "rank", rank)?,
+                round: num(lineno, "round", round)?,
+            },
+            ["rejoin", rank] => ChaosEvent::Rejoin {
+                rank: num(lineno, "rank", rank)?,
+            },
+            _ => return Err(format!("line {lineno}: unrecognized line: {line}")),
+        };
+        events.push(event);
+    }
+    Ok(ChaosSchedule { seed, n, events })
 }
 
 #[cfg(test)]
@@ -204,6 +321,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chaos_round_trip_preserves_every_event_kind() {
+        let s = ChaosSchedule {
+            seed: 0xDEAD_BEEF,
+            n: 8,
+            events: vec![
+                ChaosEvent::Loss(0.03),
+                ChaosEvent::Duplication(0.001),
+                ChaosEvent::Corruption(0.1234567890123),
+                ChaosEvent::Delay {
+                    rate: 0.5,
+                    secs: 1e-6,
+                },
+                ChaosEvent::AckLoss(0.25),
+                ChaosEvent::Partition {
+                    side: vec![0, 2, 5],
+                    round: 3,
+                },
+                ChaosEvent::Cut {
+                    src: 1,
+                    dst: 6,
+                    round: 0,
+                },
+                ChaosEvent::Stall {
+                    rank: 4,
+                    round: 2,
+                    millis: 17,
+                },
+                ChaosEvent::Kill { rank: 7, round: 1 },
+                ChaosEvent::Rejoin { rank: 7 },
+            ],
+        };
+        let back = chaos_from_tsv(&chaos_to_tsv(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn generated_chaos_schedules_round_trip() {
+        for seed in 0..256u64 {
+            for n in [2usize, 4, 8, 16] {
+                let s = ChaosSchedule::generate(seed, n);
+                let back = chaos_from_tsv(&chaos_to_tsv(&s))
+                    .unwrap_or_else(|e| panic!("seed={seed} n={n}: {e}"));
+                assert_eq!(back, s, "seed={seed} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_malformed_lines_are_reported_with_position() {
+        let mut text = chaos_to_tsv(&ChaosSchedule::generate(3, 4));
+        text.push_str("kill\tseven\t1\n");
+        let err = chaos_from_tsv(&text).unwrap_err();
+        assert!(err.contains("bad rank"), "{err}");
+        assert!(
+            chaos_from_tsv("# bruck-schedule v1\n")
+                .unwrap_err()
+                .contains("bad header"),
+            "schedule header must not pass for chaos"
+        );
+        assert!(chaos_from_tsv("# bruck-chaos v1\nseed\t1\n")
+            .unwrap_err()
+            .contains("bad dimensions"));
     }
 
     #[test]

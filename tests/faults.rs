@@ -290,6 +290,101 @@ fn alltoall_resilient_shrinks_in_run() {
     }
 }
 
+/// Rank i's non-uniform payload for rank j: (i + j + 1) % 13 bytes —
+/// some spans empty, all sizes distinct enough to catch layout slips.
+fn v_payload(i: usize, j: usize) -> Vec<u8> {
+    (0..(i + j + 1) % 13)
+        .map(|t| verify::content_byte(i, j, t))
+        .collect()
+}
+
+/// In-run recovery for the non-uniform family: `alltoallv_resilient`
+/// shrinks to the survivors, repacks the variable-size blocks dense
+/// under a fresh layout, and completes bit-correct — the PR 6 v-ops get
+/// the same epoch-tagged shrink treatment as the uniform all-to-all.
+#[test]
+fn alltoallv_resilient_shrinks_in_run() {
+    use bruck::collectives::vops::alltoallv_resilient;
+    use bruck::collectives::vops::VLayout;
+    let n = 6;
+    let victim = 2;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(victim, 1));
+    let tuning = Tuning::default();
+    let report = Cluster::try_run(&cfg, |ep| {
+        let bufs: Vec<Vec<u8>> = (0..n).map(|j| v_payload(ep.rank(), j)).collect();
+        let layout = VLayout::from_counts(&bufs.iter().map(Vec::len).collect::<Vec<_>>());
+        alltoallv_resilient(ep, &bufs.concat(), &layout, &tuning, 3)
+    });
+    assert_eq!(report.failed, vec![victim]);
+    let survivors: Vec<usize> = (0..n).filter(|&r| r != victim).collect();
+    for (rank, outcome) in report.outcomes.iter().enumerate() {
+        if rank == victim {
+            let err = outcome.as_ref().unwrap_err();
+            assert!(matches!(err, NetError::Killed { rank: 2, .. }), "{err:?}");
+            continue;
+        }
+        let res = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("survivor {rank} failed to recover in-run: {e:?}"));
+        assert_eq!(res.survivors, survivors);
+        assert!(res.attempts <= 2, "attempts = {}", res.attempts);
+        // Survivor-dense correctness: span i came from survivors[i].
+        for (i, &src) in survivors.iter().enumerate() {
+            assert_eq!(
+                res.layout.slice(&res.data, i),
+                &v_payload(src, rank)[..],
+                "rank {rank} got wrong span from {src}"
+            );
+        }
+    }
+}
+
+/// `FailFast` turns a below-quorum shrink into an immediate
+/// `RanksFailed` on every survivor instead of a degraded completion;
+/// with the quorum satisfied the same run shrinks and completes.
+#[test]
+fn alltoallv_resilient_honours_fail_fast_quorum() {
+    use bruck::collectives::vops::alltoallv_resilient_with_policy;
+    use bruck::collectives::vops::VLayout;
+    use bruck::net::RecoveryPolicy;
+    let n = 4;
+    let victim = 1;
+    for (min_quorum, expect_ok) in [(n, false), (n - 1, true)] {
+        let cfg = ClusterConfig::new(n)
+            .with_timeout(Duration::from_secs(5))
+            .with_faults(FaultPlan::new().kill_rank_after(victim, 1));
+        let tuning = Tuning::default();
+        let report = Cluster::try_run(&cfg, move |ep| {
+            let bufs: Vec<Vec<u8>> = (0..n).map(|j| v_payload(ep.rank(), j)).collect();
+            let layout = VLayout::from_counts(&bufs.iter().map(Vec::len).collect::<Vec<_>>());
+            alltoallv_resilient_with_policy(
+                ep,
+                &bufs.concat(),
+                &layout,
+                &tuning,
+                3,
+                RecoveryPolicy::FailFast { min_quorum },
+            )
+        });
+        for (rank, outcome) in report.outcomes.iter().enumerate() {
+            if rank == victim {
+                continue;
+            }
+            match outcome {
+                Ok(res) if expect_ok => {
+                    assert_eq!(res.survivors, vec![0, 2, 3], "quorum {min_quorum}");
+                }
+                Err(NetError::RanksFailed { ranks }) if !expect_ok => {
+                    assert!(ranks.contains(&victim), "quorum {min_quorum}: {ranks:?}");
+                }
+                other => panic!("rank {rank} quorum {min_quorum} expect_ok={expect_ok}: {other:?}"),
+            }
+        }
+    }
+}
+
 /// The fault plan is transport-agnostic: the same wire-fault injection
 /// and reliability stack wrap the Unix-socket transport, so a lossy
 /// kernel path heals the same way the channel path does.

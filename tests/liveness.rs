@@ -103,19 +103,40 @@ fn run_schedule(s: &ChaosSchedule) -> Option<String> {
 
 const SCHEDULES_PER_SHAPE: u64 = 200;
 
+/// `BRUCK_CHAOS_SEED` narrows the soak to one seed for replaying a CI
+/// failure; unset, the full range runs.
+fn soak_seeds() -> std::ops::Range<u64> {
+    match std::env::var("BRUCK_CHAOS_SEED") {
+        Ok(s) => {
+            let seed: u64 = s
+                .parse()
+                .unwrap_or_else(|e| panic!("BRUCK_CHAOS_SEED={s}: {e}"));
+            seed..seed + 1
+        }
+        Err(_) => 0..SCHEDULES_PER_SHAPE,
+    }
+}
+
 /// The soak: hundreds of seeded schedules per shape, each mixing wire
 /// rates with partitions, directed cuts, stalls, and kills. Zero
 /// tolerance: any hang, byte error, or membership disagreement fails
-/// the suite with a minimized replay schedule.
+/// the suite with a minimized replay schedule, persisted as a TSV for
+/// `bruckctl chaos --replay`.
 #[test]
 fn chaos_soak_no_hangs_consistent_verdicts_correct_bytes() {
     for n in [4usize, 8] {
-        for seed in 0..SCHEDULES_PER_SHAPE {
+        for seed in soak_seeds() {
             let schedule = ChaosSchedule::generate(seed, n);
             if let Some(reason) = run_schedule(&schedule) {
                 let minimized = schedule.minimized(|c| run_schedule(c).is_some());
+                let path = format!("target/chaos-repro-liveness-n{n}-seed{seed}.tsv");
+                let path = match std::fs::write(&path, bruck::sched::chaos_to_tsv(&minimized)) {
+                    Ok(()) => path,
+                    Err(e) => format!("<unwritable {path}: {e}>"),
+                };
                 panic!(
                     "liveness violation at seed {seed}, n {n}: {reason}\n\
+                     minimized reproducer written to {path}\n\
                      minimized schedule for replay:\n{minimized}"
                 );
             }

@@ -1,0 +1,309 @@
+//! Healing beyond shrink: the recovery lifecycle
+//! (member → suspected → evicted → quarantined → rejoined) end to end.
+//!
+//! The tentpole contract: a killed-and-restarted rank is re-admitted at
+//! the next collective boundary within its flap-damped quarantine
+//! window, the next collective completes bit-correct across the
+//! restored full group, and a rank that keeps flapping earns an
+//! exponentially growing quarantine until it stays out. The soak runs
+//! hundreds of seeded chaos schedules with the rejoin policy enabled;
+//! any hang, byte error, or view disagreement fails with a minimized
+//! reproducer persisted to disk for `bruckctl chaos --replay`.
+
+use std::time::{Duration, Instant};
+
+use bruck::collectives::api::{alltoall, Tuning};
+use bruck::collectives::verify;
+use bruck::net::{
+    ChaosSchedule, Cluster, ClusterConfig, FaultPlan, NetError, RecoveryPolicy, Reliability,
+};
+
+/// Aggressive reliability tuning so detection (and therefore eviction)
+/// lands in milliseconds — same discipline as the liveness soak.
+fn tight_reliability() -> Reliability {
+    Reliability {
+        rto: Duration::from_millis(2),
+        max_rto: Duration::from_millis(20),
+        max_retries: 8,
+        ..Reliability::default()
+    }
+    .with_probing(Duration::from_millis(2), 3)
+}
+
+fn rejoin_cfg(n: usize, plan: FaultPlan, policy: RecoveryPolicy) -> ClusterConfig {
+    ClusterConfig::new(n)
+        .with_timeout(Duration::from_millis(500))
+        .with_faults(plan)
+        .with_reliability(tight_reliability())
+        .with_quarantine(Duration::from_millis(2))
+        .with_recovery(policy)
+}
+
+/// The collective body every test runs: a tuned alltoall at whatever
+/// width the attempt's view provides, verified bit-exact in place.
+fn verified_alltoall(ep: &mut bruck::net::Endpoint, block: usize) -> Result<(), NetError> {
+    let m = ep.size();
+    let input = verify::index_input(ep.rank(), m, block);
+    let data = alltoall(ep, &input, block, &Tuning::default())?;
+    if data != verify::index_expected(ep.rank(), m, block) {
+        return Err(NetError::App("wrong result".into()));
+    }
+    Ok(())
+}
+
+/// The headline lifecycle, across cluster sizes: kill → shrink verdict
+/// → restart → quarantine window → rejoin at the attempt boundary →
+/// bit-correct collective across the restored full group.
+#[test]
+fn killed_rank_rejoins_and_full_group_completes() {
+    for n in [4usize, 8, 16] {
+        let cfg = rejoin_cfg(
+            n,
+            FaultPlan::new().kill_rank_after(1, 0),
+            RecoveryPolicy::WaitForRejoin {
+                budget: Duration::from_secs(5),
+            },
+        );
+        let resilient = Cluster::run_resilient(&cfg, 3, |ep, view| {
+            verified_alltoall(ep, 4)?;
+            Ok(view.view_id)
+        })
+        .unwrap_or_else(|e| panic!("n={n}: {e:?}"));
+        // The killed rank came back: full width, not a shrink.
+        assert_eq!(resilient.survivors, (0..n).collect::<Vec<_>>(), "n={n}");
+        assert_eq!(resilient.rejoined, vec![1], "n={n}");
+        assert!(resilient.attempts >= 2, "n={n}: kill must cost an attempt");
+        // One evict + one admit: the view advanced exactly twice and
+        // every rank of the successful attempt saw the same view id.
+        assert_eq!(resilient.view_id, 2, "n={n}");
+        assert!(
+            resilient.output.results.iter().all(|&v| v == 2),
+            "n={n}: view disagreement: {:?}",
+            resilient.output.results
+        );
+        let ms = resilient.output.metrics.membership;
+        assert_eq!((ms.evictions, ms.rejoins), (1, 1), "n={n}");
+        assert_eq!(ms.quarantines, 1, "n={n}");
+        assert_eq!(ms.view_changes, 2, "n={n}");
+    }
+}
+
+/// `ShrinkOnly` (the default) never waits: the killed rank stays out
+/// and the survivors complete dense — exactly the pre-rejoin behavior.
+#[test]
+fn shrink_only_policy_stays_shrunk() {
+    let n = 8;
+    let cfg = rejoin_cfg(
+        n,
+        FaultPlan::new().kill_rank_after(1, 0),
+        RecoveryPolicy::ShrinkOnly,
+    );
+    let resilient = Cluster::run_resilient(&cfg, 3, |ep, _view| verified_alltoall(ep, 4)).unwrap();
+    let expect: Vec<usize> = (0..n).filter(|&r| r != 1).collect();
+    assert_eq!(resilient.survivors, expect);
+    assert_eq!(resilient.rejoined, Vec::<usize>::new());
+    assert_eq!(resilient.view_id, 1, "one eviction, no admission");
+    let ms = resilient.output.metrics.membership;
+    assert_eq!((ms.evictions, ms.rejoins), (1, 0));
+}
+
+/// `FailFast` converts a below-quorum shrink into an immediate
+/// `RanksFailed`; with the quorum still satisfied it shrinks normally.
+#[test]
+fn fail_fast_policy_enforces_quorum() {
+    let n = 4;
+    // Quorum n: losing anyone is fatal.
+    let cfg = rejoin_cfg(
+        n,
+        FaultPlan::new().kill_rank_after(1, 0),
+        RecoveryPolicy::FailFast { min_quorum: n },
+    );
+    let err = Cluster::run_resilient(&cfg, 3, |ep, _view| verified_alltoall(ep, 4)).unwrap_err();
+    assert!(
+        matches!(&err, NetError::RanksFailed { ranks } if ranks.contains(&1)),
+        "{err:?}"
+    );
+    // Quorum n-1: one death is tolerated, the survivors complete.
+    let cfg = rejoin_cfg(
+        n,
+        FaultPlan::new().kill_rank_after(1, 0),
+        RecoveryPolicy::FailFast { min_quorum: n - 1 },
+    );
+    let resilient = Cluster::run_resilient(&cfg, 3, |ep, _view| verified_alltoall(ep, 4)).unwrap();
+    assert_eq!(resilient.survivors, vec![0, 2, 3]);
+}
+
+/// Flap damping: a rank whose kill re-fires on every attempt rejoins
+/// once (first quarantine fits the budget), flaps again, and is then
+/// held out by the doubled window — the run completes without it and
+/// the damping counters record the history.
+#[test]
+fn flapping_rank_is_quarantined_out() {
+    let n = 4;
+    let base = Duration::from_millis(40);
+    let budget = Duration::from_millis(60);
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_millis(500))
+        .with_faults(FaultPlan::new().kill_rank_recurring(1, 0))
+        .with_reliability(tight_reliability())
+        .with_quarantine(base)
+        .with_recovery(RecoveryPolicy::WaitForRejoin { budget });
+    let resilient = Cluster::run_resilient(&cfg, 4, |ep, _view| verified_alltoall(ep, 4)).unwrap();
+    // Attempt 0: kill → evict (flap 1, 40 ms ≤ 60 ms budget) → rejoin.
+    // Attempt 1: the recurring kill re-fires → evict (flap 2, 80 ms >
+    // budget) → held out. Attempt 2: survivors complete without it.
+    assert_eq!(resilient.survivors, vec![0, 2, 3]);
+    assert_eq!(resilient.attempts, 3);
+    assert_eq!(
+        resilient.rejoined,
+        Vec::<usize>::new(),
+        "the flapper must not be in the final view"
+    );
+    let ms = resilient.output.metrics.membership;
+    assert_eq!(ms.evictions, 2, "two flaps, two evictions");
+    assert_eq!(ms.rejoins, 1, "only the first quarantine fit the budget");
+    assert_eq!(ms.quarantines, 2);
+    assert_eq!(resilient.view_id, 3, "evict + admit + evict");
+}
+
+/// `BRUCK_CHAOS_SEED` narrows the soak to one seed for replaying a CI
+/// failure; unset, the full range runs.
+fn soak_seeds() -> std::ops::Range<u64> {
+    match std::env::var("BRUCK_CHAOS_SEED") {
+        Ok(s) => {
+            let seed: u64 = s
+                .parse()
+                .unwrap_or_else(|e| panic!("BRUCK_CHAOS_SEED={s}: {e}"));
+            seed..seed + 1
+        }
+        Err(_) => 0..SCHEDULES_PER_SHAPE,
+    }
+}
+
+/// Persist a failing schedule for `bruckctl chaos --replay` and return
+/// the path (best effort — the panic message is the primary artifact).
+fn persist_reproducer(s: &ChaosSchedule, label: &str) -> String {
+    let path = format!("target/chaos-repro-{label}-n{}-seed{}.tsv", s.n, s.seed);
+    match std::fs::write(&path, bruck::sched::chaos_to_tsv(s)) {
+        Ok(()) => path,
+        Err(e) => format!("<unwritable {path}: {e}>"),
+    }
+}
+
+/// Longest one schedule may take before it counts as a hang: up to
+/// three attempts against the 3 s cluster deadline plus quarantine
+/// waits and scheduling slack.
+const HANG_BUDGET: Duration = Duration::from_secs(15);
+
+const SCHEDULES_PER_SHAPE: u64 = 200;
+
+/// Run one chaos schedule restart-style (shrink + rejoin across
+/// attempts) and check every recovery invariant. `None` means clean.
+fn run_rejoin_schedule(s: &ChaosSchedule) -> Option<String> {
+    let block = 4;
+    // Rejoin policy exactly when the schedule marks its kill as
+    // restartable — the soak covers both policies across seeds.
+    let policy = if s.has_rejoin() {
+        RecoveryPolicy::WaitForRejoin {
+            budget: Duration::from_millis(100),
+        }
+    } else {
+        RecoveryPolicy::ShrinkOnly
+    };
+    let cfg = ClusterConfig::new(s.n)
+        .with_timeout(Duration::from_millis(500))
+        .with_faults(s.plan())
+        .with_reliability(tight_reliability())
+        .with_deadline(Duration::from_secs(3))
+        .with_quarantine(Duration::from_millis(5))
+        .with_recovery(policy);
+    let started = Instant::now();
+    let outcome = Cluster::run_resilient(&cfg, 3, |ep, view| {
+        verified_alltoall(ep, block)?;
+        Ok(view.view_id)
+    });
+    if started.elapsed() > HANG_BUDGET {
+        return Some(format!(
+            "no-hang: run took {:?} (budget {HANG_BUDGET:?})",
+            started.elapsed()
+        ));
+    }
+    match outcome {
+        Ok(res) => {
+            // Per-view consistency: every rank of the successful attempt
+            // reported the same view id, and the bookkeeping agrees with
+            // itself (rejoined ⊆ survivors, counters match the log).
+            if res.output.results.windows(2).any(|w| w[0] != w[1]) {
+                return Some(format!(
+                    "view-agreement: ranks disagree on the view id: {:?}",
+                    res.output.results
+                ));
+            }
+            if let Some(&bad) = res.rejoined.iter().find(|r| !res.survivors.contains(r)) {
+                return Some(format!(
+                    "membership: rejoined rank {bad} missing from survivors {:?}",
+                    res.survivors
+                ));
+            }
+            let ms = res.output.metrics.membership;
+            if ms.view_changes != ms.evictions + ms.rejoins {
+                return Some(format!(
+                    "counters: {} view changes ≠ {} evictions + {} rejoins",
+                    ms.view_changes, ms.evictions, ms.rejoins
+                ));
+            }
+            None
+        }
+        // A structured verdict is an allowed outcome — except a byte
+        // error, which the body converts into this specific App error.
+        Err(NetError::App(msg)) if msg == "wrong result" => {
+            Some("bit-correctness: a completer held wrong bytes".into())
+        }
+        Err(_) => None,
+    }
+}
+
+/// The rejoin soak: the PR 5 chaos schedules replayed restart-style
+/// with the recovery policy driven by each schedule's rejoin events.
+/// Zero tolerance; failures persist a minimized reproducer TSV.
+#[test]
+fn rejoin_soak_no_hangs_consistent_views() {
+    for n in [4usize, 8] {
+        for seed in soak_seeds() {
+            let schedule = ChaosSchedule::generate(seed, n);
+            if let Some(reason) = run_rejoin_schedule(&schedule) {
+                let minimized = schedule.minimized(|c| run_rejoin_schedule(c).is_some());
+                let path = persist_reproducer(&minimized, "rejoin");
+                panic!(
+                    "rejoin violation at seed {seed}, n {n}: {reason}\n\
+                     minimized reproducer written to {path}\n\
+                     replay with: cargo run -p bruck-bench --bin bruckctl -- \
+                     chaos --replay {path}\n{minimized}"
+                );
+            }
+        }
+    }
+}
+
+/// The UDS transport heals the same way: kill on real sockets, rejoin
+/// at the boundary with a fresh incarnation's socket paths, complete
+/// full-width. (The per-incarnation bind logic is additionally covered
+/// by unit tests in `bruck-net`.)
+#[cfg(unix)]
+#[test]
+fn uds_killed_rank_rejoins_full_group() {
+    use bruck::net::SocketCluster;
+    let n = 4;
+    let cfg = ClusterConfig::new(n)
+        .with_timeout(Duration::from_secs(5))
+        .with_faults(FaultPlan::new().kill_rank_after(2, 0))
+        .with_quarantine(Duration::from_millis(2))
+        .with_recovery(RecoveryPolicy::WaitForRejoin {
+            budget: Duration::from_secs(2),
+        });
+    let resilient =
+        SocketCluster::run_resilient(&cfg, 3, |ep, _view| verified_alltoall(ep, 8)).unwrap();
+    assert_eq!(resilient.survivors, vec![0, 1, 2, 3]);
+    assert_eq!(resilient.rejoined, vec![2]);
+    assert!(resilient.attempts >= 2);
+}
