@@ -69,3 +69,17 @@ cargo build -q --release -p bruck-bench
 # 16x8 matrix.
 ./target/release/bruckctl bench --skew 0,0.5,1.0,1.5 --n 8 --ports 2 \
     --block 256 --reps 4 --samples 2 --out /tmp/bruck-skew-smoke.json
+
+# TCP + scale gate: the event-driven fabric's integration suites (fault
+# injection over real loopback streams, hierarchical plans at n = 64,
+# the n = 128 thread-multiplexing claim), then a one-rep scale sweep —
+# flat vs two-level over the TCP fabric with the watchdog and deadline
+# armed, every lap verified bit-exactly inside run_scale_matrix.
+# BRUCK_SCALE_MAX_N caps the sweep (default 128 here so the gate stays
+# fast; raise it to 1024 to reproduce the full BENCH_pr9.json matrix).
+# Hard wall-clock timeout as the no-hang backstop, same rationale as
+# the liveness gate.
+timeout 300 cargo test -q --test tcp --test hierarchical
+BRUCK_SCALE_MAX_N="${BRUCK_SCALE_MAX_N:-128}" timeout 300 \
+    ./target/release/bruckctl bench --scale --reps 1 \
+    --out /tmp/bruck-scale-smoke.json

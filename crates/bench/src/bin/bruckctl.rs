@@ -18,6 +18,7 @@
 //! bruckctl bench  --liveness --n 8 --ports 2              # deadline+watchdog overhead + BENCH_pr5.json
 //! bruckctl bench  --skew 0,0.5,1.0,1.5 --n 8 --ports 2    # Zipf v-op family sweep + BENCH_pr6.json
 //! bruckctl bench  --recovery --n 8 --ports 2              # membership steady-state overhead + BENCH_pr7.json
+//! bruckctl bench  --scale --ns 128,256,512,1024           # event-driven TCP sweep + BENCH_pr9.json
 //! ```
 
 use std::sync::Arc;
@@ -62,6 +63,10 @@ struct Args {
     skew: Option<Vec<f64>>,
     replay: Option<String>,
     recovery: bool,
+    scale: bool,
+    ns: Option<Vec<usize>>,
+    node_size: Option<usize>,
+    workers: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -95,6 +100,10 @@ fn parse_args() -> Result<Args, String> {
         skew: None,
         replay: None,
         recovery: false,
+        scale: false,
+        ns: None,
+        node_size: None,
+        workers: None,
     };
     while let Some(flag) = raw.next() {
         let mut value = || raw.next().ok_or(format!("flag {flag} needs a value"));
@@ -135,6 +144,23 @@ fn parse_args() -> Result<Args, String> {
             "--autotune" => args.autotune = true,
             "--liveness" => args.liveness = true,
             "--recovery" => args.recovery = true,
+            "--scale" => args.scale = true,
+            "--ns" => {
+                let list = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--ns {s}: {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if list.is_empty() {
+                    return Err("--ns needs at least one rank count".into());
+                }
+                args.ns = Some(list);
+            }
+            "--node-size" => {
+                args.node_size = Some(value()?.parse().map_err(|e| format!("--node-size: {e}"))?);
+            }
+            "--workers" => {
+                args.workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?);
+            }
             "--replay" => args.replay = Some(value()?),
             "--skew" => {
                 let list = value()?
@@ -583,6 +609,9 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             ));
         }
     }
+    if args.scale {
+        return cmd_bench_scale(args);
+    }
     if args.autotune {
         return cmd_bench_autotune(args);
     }
@@ -648,6 +677,9 @@ fn cmd_bench_autotune(args: &Args) -> Result<(), String> {
         cfg.n, cfg.ports, cfg.blocks, cfg.radices, cfg.reps, cfg.samples
     );
     let (rows, fit) = wire::run_autotune_matrix(&cfg)?;
+    if let Some(w) = wire::fit_warning(&fit) {
+        eprintln!("bruckctl: warning: {w}");
+    }
     print!("{}", wire::render_autotune_table(&rows, &fit));
     let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr4.json".into());
     std::fs::write(&out_path, wire::render_autotune_json(&rows, &fit))
@@ -734,11 +766,63 @@ fn cmd_bench_skew(args: &Args) -> Result<(), String> {
         cfg.n, cfg.ports, cfg.base, cfg.svals, cfg.reps, cfg.samples
     );
     let (rows, fit) = wire::run_skew_matrix(&cfg)?;
+    if let Some(w) = wire::fit_warning(&fit) {
+        eprintln!("bruckctl: warning: {w}");
+    }
     print!("{}", wire::render_skew_table(&rows, &fit));
     let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr6.json".into());
     std::fs::write(&out_path, wire::render_skew_json(&rows, &fit))
         .map_err(|e| format!("write {out_path}: {e}"))?;
     println!("[results written to {out_path}]");
+    Ok(())
+}
+
+/// `bruckctl bench --scale`: the event-driven TCP sweep — flat
+/// single-level vs two-level hierarchical plans at n = 128–1024 over
+/// one multiplexing fabric — written as the tracked `BENCH_pr9.json`
+/// artifact. `BRUCK_SCALE_MAX_N` caps the sweep (CI keeps it at 128 so
+/// the gate stays fast); `--ns`, `--node-size`, and `--workers`
+/// override the defaults outright.
+#[cfg(unix)]
+fn cmd_bench_scale(args: &Args) -> Result<(), String> {
+    use bruck_bench::wire;
+    let mut cfg = wire::ScaleBenchConfig {
+        block: args.block,
+        reps: args.reps.max(1),
+        workers: args.workers,
+        ..wire::ScaleBenchConfig::default()
+    };
+    if let Some(ns) = &args.ns {
+        cfg.ns.clone_from(ns);
+    }
+    if let Some(s) = args.node_size {
+        cfg.node_size = s;
+    }
+    if let Ok(cap) = std::env::var("BRUCK_SCALE_MAX_N") {
+        let cap: usize = cap.parse().map_err(|e| format!("BRUCK_SCALE_MAX_N: {e}"))?;
+        cfg.ns.retain(|&n| n <= cap);
+        if cfg.ns.is_empty() {
+            return Err(format!(
+                "BRUCK_SCALE_MAX_N={cap} leaves no rank counts to sweep"
+            ));
+        }
+    }
+    println!(
+        "scale bench: ns={:?} node_size={} block={} reps={} (tcp)",
+        cfg.ns, cfg.node_size, cfg.block, cfg.reps
+    );
+    let (rows, fit) = wire::run_scale_matrix(&cfg)?;
+    if let Some(w) = fit.as_ref().and_then(wire::fit_warning) {
+        eprintln!("bruckctl: warning: {w}");
+    }
+    print!("{}", wire::render_scale_table(&rows));
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr9.json".into());
+    std::fs::write(&out_path, wire::render_scale_json(&rows, fit.as_ref()))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("[results written to {out_path}]");
+    if rows.iter().any(|r| !r.bit_correct) {
+        return Err("scale sweep produced bit-incorrect results".into());
+    }
     Ok(())
 }
 
@@ -752,7 +836,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bruckctl: {e}");
-            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--partition RANKS@ROUND] [--stall RANK:MS] [--deadline-ms MS] [--samples S] [--out PATH] [--min-mbps F] [--autotune] [--liveness] [--skew S1,S2,...] [--recovery] [--replay FILE]");
+            eprintln!("usage: bruckctl <index|concat|plan|analyze|tune|chaos|bench> [--n N] [--block B] [--ports K] [--radix R] [--op index|concat] [--model sp1|linear|free] [--transport channel|uds] [--seed S] [--loss P] [--dup P] [--corrupt P] [--reps R] [--kill RANK] [--partition RANKS@ROUND] [--stall RANK:MS] [--deadline-ms MS] [--samples S] [--out PATH] [--min-mbps F] [--autotune] [--liveness] [--skew S1,S2,...] [--recovery] [--scale] [--ns N1,N2,...] [--node-size S] [--workers W] [--replay FILE]");
             std::process::exit(2);
         }
     };

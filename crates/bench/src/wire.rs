@@ -29,9 +29,83 @@ use bruck_collectives::verify;
 use bruck_collectives::vops::{alltoallv_auto_into, alltoallv_into, VLayout, VMethod};
 use bruck_model::calibrate::LinearFit;
 use bruck_model::cost::CostModel;
-use bruck_model::planner::{Planner, VIndexPlan};
+use bruck_model::planner::{IndexPlan, Planner, VIndexPlan};
 use bruck_model::WireTuning;
-use bruck_net::{ClusterConfig, NetError, Reliability};
+use bruck_net::{ClusterConfig, NetError, Reliability, TcpScaleCluster};
+
+// ---------------------------------------------------------------------
+// Environment metadata and calibration quality — shared by every
+// BENCH_*.json artifact.
+// ---------------------------------------------------------------------
+
+/// Environment metadata stamped into every tracked `BENCH_*.json` so
+/// n-sweep numbers stay comparable across machines and PRs: a 1-core CI
+/// runner and an 8-core laptop produce very different walls for the
+/// same shape, and without the capture the artifact can't say which it
+/// was.
+#[derive(Debug, Clone)]
+pub struct EnvMeta {
+    /// Logical CPUs available to this process.
+    pub cpus: usize,
+    /// Transport the bench drove (`"uds"`, `"tcp"`, `"channel"`).
+    pub transport: String,
+    /// Short git commit of the tree that produced the numbers
+    /// (`"unknown"` outside a git checkout).
+    pub git_commit: String,
+    /// Wire fragment payload size the transports ran with.
+    pub frag_payload: usize,
+}
+
+impl EnvMeta {
+    /// Capture the current environment for `transport`.
+    #[must_use]
+    pub fn capture(transport: &str) -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let git_commit = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map_or_else(|| "unknown".into(), |s| s.trim().to_string());
+        Self {
+            cpus,
+            transport: transport.into(),
+            git_commit,
+            frag_payload: bruck_net::frame::FRAG_PAYLOAD,
+        }
+    }
+
+    /// The `"env"` line of a JSON artifact (trailing comma included).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "  \"env\": {{\"cpus\": {}, \"transport\": \"{}\", \"git_commit\": \"{}\", \
+             \"frag_payload\": {}}},\n",
+            self.cpus, self.transport, self.git_commit, self.frag_payload
+        )
+    }
+}
+
+/// Fit quality below which planner dispatch is a guess, not a
+/// prediction: R² = 0.5 means the linear model explains half the
+/// measured variance. BENCH_pr4 recorded R² = 0.19 on the live UDS
+/// wire, and nothing surfaced it.
+pub const FIT_R2_FLOOR: f64 = 0.5;
+
+/// A human-readable warning when the calibration fit is below
+/// [`FIT_R2_FLOOR`], or `None` when the fit is trustworthy.
+#[must_use]
+pub fn fit_warning(fit: &LinearFit) -> Option<String> {
+    (fit.r_squared < FIT_R2_FLOOR).then(|| {
+        format!(
+            "calibration fit R² = {:.2} is below {FIT_R2_FLOOR}: the linear cost model explains \
+             little of the measured variance, so planner dispatch and predicted times are \
+             best-effort on this wire",
+            fit.r_squared
+        )
+    })
+}
 
 /// One benchmark case: a collective at a fixed shape under one window.
 #[derive(Debug, Clone, Copy)]
@@ -345,6 +419,7 @@ pub fn render_table(rows: &[WireBenchRow]) -> String {
 #[must_use]
 pub fn render_json(rows: &[WireBenchRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"pr3-wire-pipelining\",\n");
+    out.push_str(&EnvMeta::capture("uds").to_json_line());
     out.push_str("  \"transport\": \"uds\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -559,8 +634,12 @@ pub fn run_autotune_block(
             }
             Ok(laps)
         };
-        let out = bruck_net::SocketCluster::run(&cluster_cfg, body)
+        let mut out = bruck_net::SocketCluster::run(&cluster_cfg, body)
             .map_err(|e| format!("autotune b={block}: {e}"))?;
+        // Persist the calibration the schedules were planned under, so
+        // the run's metrics can answer "was the model trustworthy?"
+        // (BENCH_pr4 shipped with R² = 0.19 and nothing said so).
+        out.metrics.fit = Some(*fit);
         // Cluster-wide lap for (scheme, rep) = the straggler rank's lap.
         for (si, bucket) in pooled.iter_mut().enumerate() {
             for j in 0..reps {
@@ -744,6 +823,7 @@ pub fn render_autotune_table(rows: &[AutotuneRow], fit: &LinearFit) -> String {
 #[must_use]
 pub fn render_autotune_json(rows: &[AutotuneRow], fit: &LinearFit) -> String {
     let mut out = String::from("{\n  \"bench\": \"pr4-autotune\",\n");
+    out.push_str(&EnvMeta::capture("uds").to_json_line());
     out.push_str("  \"transport\": \"uds\",\n");
     out.push_str(&format!(
         "  \"fit\": {{\"startup_s\": {:.9e}, \"per_byte_s\": {:.9e}, \"r_squared\": {:.4}, \"samples\": {}}},\n",
@@ -1114,6 +1194,7 @@ pub fn render_liveness_table(rows: &[LivenessRow]) -> String {
 #[must_use]
 pub fn render_liveness_json(rows: &[LivenessRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"pr5-liveness-overhead\",\n");
+    out.push_str(&EnvMeta::capture("uds").to_json_line());
     out.push_str("  \"transport\": \"uds\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -1286,6 +1367,7 @@ pub fn render_recovery_table(rows: &[LivenessRow]) -> String {
 #[must_use]
 pub fn render_recovery_json(rows: &[LivenessRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"pr7-recovery-overhead\",\n");
+    out.push_str(&EnvMeta::capture("uds").to_json_line());
     out.push_str("  \"transport\": \"uds\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -1542,8 +1624,9 @@ pub fn run_skew_point(
             }
             Ok(laps)
         };
-        let out = bruck_net::SocketCluster::run(&cluster_cfg, body)
+        let mut out = bruck_net::SocketCluster::run(&cluster_cfg, body)
             .map_err(|e| format!("skew s={s}: {e}"))?;
+        out.metrics.fit = Some(*fit);
         for (si, bucket) in pooled.iter_mut().enumerate() {
             for j in 0..reps {
                 bucket.push(
@@ -1727,6 +1810,7 @@ pub fn render_skew_table(rows: &[SkewRow], fit: &LinearFit) -> String {
 #[must_use]
 pub fn render_skew_json(rows: &[SkewRow], fit: &LinearFit) -> String {
     let mut out = String::from("{\n  \"bench\": \"pr6-skew\",\n");
+    out.push_str(&EnvMeta::capture("uds").to_json_line());
     out.push_str("  \"transport\": \"uds\",\n");
     out.push_str(&format!(
         "  \"fit\": {{\"startup_s\": {:.9e}, \"per_byte_s\": {:.9e}, \"r_squared\": {:.4}, \"samples\": {}}},\n",
@@ -1789,6 +1873,345 @@ pub fn render_skew_json(rows: &[SkewRow], fit: &LinearFit) -> String {
         max_vs_best,
         max_vs_best <= 1.10,
         family_wins_low_skew,
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Scale bench: event-driven TCP at n = 128–1024 (BENCH_pr9.json).
+// ---------------------------------------------------------------------
+
+/// Configuration for the TCP scale sweep: at each `n`, the flat
+/// single-level plan against the two-level hierarchical plan, over the
+/// same event-driven fabric and the same topology.
+#[derive(Debug, Clone)]
+pub struct ScaleBenchConfig {
+    /// Rank counts to sweep (each must be divisible by `node_size`).
+    pub ns: Vec<usize>,
+    /// Ranks per simulated node (intra-node traffic stays on channels;
+    /// inter-node traffic crosses the TCP streams).
+    pub node_size: usize,
+    /// Block size in bytes (each rank holds `n·block` send bytes).
+    pub block: usize,
+    /// Timed repetitions per `(n, plan)` cell.
+    pub reps: usize,
+    /// Worker threads driving the ranks (`None` = available
+    /// parallelism, capped at 8).
+    pub workers: Option<usize>,
+    /// Per-operation patience.
+    pub timeout: Duration,
+    /// Whole-run deadline budget (arms the deadline layer, as the
+    /// acceptance criteria require the guard stack live at scale).
+    pub deadline: Duration,
+}
+
+impl Default for ScaleBenchConfig {
+    fn default() -> Self {
+        Self {
+            ns: vec![128, 256, 512, 1024],
+            node_size: 32,
+            block: 64,
+            reps: 3,
+            workers: None,
+            timeout: Duration::from_secs(60),
+            deadline: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One `(n, plan)` cell of the scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// `"flat"` (single-level over all n ranks) or `"two-level"`.
+    pub topology: &'static str,
+    /// Plan label (e.g. `bruck-r2`, `hier-s32-r2x2`).
+    pub plan: String,
+    /// Number of ranks.
+    pub n: usize,
+    /// Ranks per node.
+    pub node_size: usize,
+    /// Block size in bytes.
+    pub block: usize,
+    /// Communication rounds the lowered program executed.
+    pub rounds: usize,
+    /// Worker threads that drove the ranks.
+    pub workers: usize,
+    /// Total OS threads the run held (workers + reactor) — the
+    /// multiplexing claim is `threads = O(workers)`, not `O(n)`.
+    pub threads: usize,
+    /// Useful payload bytes an index all-to-all delivers:
+    /// `n·(n−1)·block`.
+    pub bytes_moved: u64,
+    /// Timed repetitions.
+    pub reps: usize,
+    /// Fastest end-to-end wall (ns), fabric setup included.
+    pub min_ns: u64,
+    /// Median end-to-end wall (ns).
+    pub p50_ns: u64,
+    /// Mean end-to-end wall (ns).
+    pub mean_ns: u64,
+    /// Goodput on the mean lap, MB/s.
+    pub mbps: f64,
+    /// ARQ retransmits summed over ranks and reps.
+    pub retransmits: u64,
+    /// Watchdog probes sent, summed over ranks and reps — nonzero
+    /// probes prove the guard stack was armed, not bypassed, at scale.
+    pub probes: u64,
+    /// Every rank's output matched the oracle on every rep.
+    pub bit_correct: bool,
+}
+
+/// Run the flat-vs-two-level sweep over [`TcpScaleCluster`] and fit a
+/// TCP-wire cost model from the measured `(complexity, wall)` samples.
+/// The returned fit (when the design matrix allows one) is what gets
+/// persisted into `BENCH_pr9.json`; its R² says whether the linear
+/// model describes the TCP substrate.
+///
+/// # Errors
+///
+/// Configuration errors (`n` not divisible by `node_size`) and the
+/// first failing cell.
+pub fn run_scale_matrix(
+    cfg: &ScaleBenchConfig,
+) -> Result<(Vec<ScaleRow>, Option<LinearFit>), String> {
+    let mut cal = bruck_model::calibrate::Calibrator::new();
+    let mut rows = Vec::new();
+    for &n in &cfg.ns {
+        if cfg.node_size == 0 || n % cfg.node_size != 0 {
+            return Err(format!(
+                "node_size {} must evenly partition n={n}",
+                cfg.node_size
+            ));
+        }
+        let schemes: [(&'static str, IndexPlan); 2] = [
+            ("flat", IndexPlan::Radix(2)),
+            (
+                "two-level",
+                IndexPlan::Hierarchical {
+                    node_size: cfg.node_size,
+                    radix_local: 2,
+                    radix_remote: 2,
+                },
+            ),
+        ];
+        let inputs: Vec<Vec<u8>> = (0..n)
+            .map(|r| verify::index_input(r, n, cfg.block))
+            .collect();
+        let cluster_cfg = ClusterConfig::new(n)
+            .with_node_size(cfg.node_size)
+            .with_timeout(cfg.timeout)
+            .with_deadline(cfg.deadline)
+            .with_reliability(Reliability::default());
+        for (topology, plan) in schemes {
+            let mut laps = Vec::with_capacity(cfg.reps.max(1));
+            let mut bit_correct = true;
+            let (mut retransmits, mut probes) = (0u64, 0u64);
+            let (mut rounds, mut workers, mut threads) = (0usize, 0usize, 0usize);
+            for _ in 0..cfg.reps.max(1) {
+                let t0 = Instant::now();
+                let out = TcpScaleCluster::run_with_workers(
+                    &cluster_cfg,
+                    &plan,
+                    cfg.block,
+                    &inputs,
+                    cfg.workers,
+                )
+                .map_err(|e| format!("scale n={n} {topology}: {e}"))?;
+                let lap = t0.elapsed().as_nanos() as u64;
+                laps.push(lap);
+                for (rank, got) in out.results.iter().enumerate() {
+                    if got != &verify::index_expected(rank, n, cfg.block) {
+                        bit_correct = false;
+                    }
+                }
+                let link = out.metrics.link_totals();
+                retransmits += link.retransmits;
+                probes += link.probes_sent;
+                rounds = out.rounds;
+                workers = out.workers;
+                threads = out.threads;
+                if let Some(c) = out.metrics.global_complexity() {
+                    cal.record_run(c, lap as f64 / 1e9);
+                }
+            }
+            laps.sort_unstable();
+            let mean_ns = (laps.iter().sum::<u64>() / laps.len().max(1) as u64).max(1);
+            let bytes_moved = (n * (n - 1) * cfg.block) as u64;
+            rows.push(ScaleRow {
+                topology,
+                plan: plan.label(),
+                n,
+                node_size: cfg.node_size,
+                block: cfg.block,
+                rounds,
+                workers,
+                threads,
+                bytes_moved,
+                reps: laps.len(),
+                min_ns: laps.first().copied().unwrap_or(0).max(1),
+                p50_ns: percentile(&laps, 50),
+                mean_ns,
+                mbps: bytes_moved as f64 / (mean_ns as f64 / 1e9) / 1e6,
+                retransmits,
+                probes,
+                bit_correct,
+            });
+        }
+    }
+    Ok((rows, cal.try_fit()))
+}
+
+/// Per-`n` verdict: did the two-level plan beat the flat plan on the
+/// mean end-to-end wall, and by how much?
+#[derive(Debug, Clone)]
+pub struct ScaleSummary {
+    /// Number of ranks.
+    pub n: usize,
+    /// Flat plan's mean wall (ns).
+    pub flat_ns: u64,
+    /// Two-level plan's mean wall (ns).
+    pub two_level_ns: u64,
+    /// `flat / two-level` — above 1.0 means the hierarchy won.
+    pub speedup: f64,
+}
+
+/// Pair up flat and two-level rows per `n`.
+#[must_use]
+pub fn summarize_scale(rows: &[ScaleRow]) -> Vec<ScaleSummary> {
+    let mut ns: Vec<usize> = rows.iter().map(|r| r.n).collect();
+    ns.dedup();
+    ns.iter()
+        .filter_map(|&n| {
+            let find = |t: &str| {
+                rows.iter()
+                    .find(|r| r.n == n && r.topology == t)
+                    .map(|r| r.mean_ns)
+            };
+            let (flat, two) = (find("flat")?, find("two-level")?);
+            Some(ScaleSummary {
+                n,
+                flat_ns: flat,
+                two_level_ns: two,
+                speedup: flat as f64 / two.max(1) as f64,
+            })
+        })
+        .collect()
+}
+
+/// Render the scale sweep as an aligned text table plus the per-`n`
+/// verdict lines.
+#[must_use]
+pub fn render_scale_table(rows: &[ScaleRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>6} {:<16} {:>7} {:>8} {:>8} {:>11} {:>11} {:>9} {:>7} {:>7} {:>8}\n",
+        "topology",
+        "n",
+        "plan",
+        "rounds",
+        "workers",
+        "threads",
+        "p50",
+        "mean",
+        "MB/s",
+        "rexmit",
+        "probes",
+        "correct"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>6} {:<16} {:>7} {:>8} {:>8} {:>11} {:>11} {:>9.1} {:>7} {:>7} {:>8}\n",
+            r.topology,
+            r.n,
+            r.plan,
+            r.rounds,
+            r.workers,
+            r.threads,
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.mean_ns),
+            r.mbps,
+            r.retransmits,
+            r.probes,
+            if r.bit_correct { "yes" } else { "NO" },
+        ));
+    }
+    for s in summarize_scale(rows) {
+        out.push_str(&format!(
+            "n={}: flat {} vs two-level {} ({:.2}x)\n",
+            s.n,
+            fmt_ns(s.flat_ns),
+            fmt_ns(s.two_level_ns),
+            s.speedup,
+        ));
+    }
+    out
+}
+
+/// Render the tracked `BENCH_pr9.json` artifact (hand-rolled JSON).
+#[must_use]
+pub fn render_scale_json(rows: &[ScaleRow], fit: Option<&LinearFit>) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pr9-tcp-scale\",\n");
+    out.push_str(&EnvMeta::capture("tcp").to_json_line());
+    out.push_str("  \"transport\": \"tcp\",\n");
+    if let Some(fit) = fit {
+        out.push_str(&format!(
+            "  \"fit\": {{\"startup_s\": {:.9e}, \"per_byte_s\": {:.9e}, \"r_squared\": {:.4}, \"samples\": {}}},\n",
+            fit.model.startup, fit.model.per_byte, fit.r_squared, fit.samples
+        ));
+    }
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"plan\": \"{}\", \"n\": {}, \"node_size\": {}, \
+             \"block\": {}, \"rounds\": {}, \"workers\": {}, \"threads\": {}, \
+             \"bytes_moved\": {}, \"reps\": {}, \"min_ns\": {}, \"p50_ns\": {}, \"mean_ns\": {}, \
+             \"mbps\": {:.2}, \"retransmits\": {}, \"probes\": {}, \"bit_correct\": {}}}{}\n",
+            r.topology,
+            r.plan,
+            r.n,
+            r.node_size,
+            r.block,
+            r.rounds,
+            r.workers,
+            r.threads,
+            r.bytes_moved,
+            r.reps,
+            r.min_ns,
+            r.p50_ns,
+            r.mean_ns,
+            r.mbps,
+            r.retransmits,
+            r.probes,
+            r.bit_correct,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"summary\": [\n");
+    let summaries = summarize_scale(rows);
+    for (i, s) in summaries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"flat_mean_ns\": {}, \"two_level_mean_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            s.n,
+            s.flat_ns,
+            s.two_level_ns,
+            s.speedup,
+            if i + 1 < summaries.len() { "," } else { "" },
+        ));
+    }
+    let all_correct = rows.iter().all(|r| r.bit_correct);
+    let guards_armed = rows.iter().all(|r| r.probes > 0);
+    let threads_bounded = rows
+        .iter()
+        .all(|r| r.threads <= r.workers + 1 && r.threads < r.n);
+    let two_level_wins = summaries
+        .iter()
+        .filter(|s| s.n >= 128)
+        .all(|s| s.speedup > 1.0)
+        && summaries.iter().any(|s| s.n >= 128);
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"criteria\": {{\"all_bit_correct\": {all_correct}, \"watchdog_armed_everywhere\": {guards_armed}, \
+         \"threads_o_workers_not_o_n\": {threads_bounded}, \"two_level_beats_flat_at_128_plus\": {two_level_wins}}}\n}}\n",
     ));
     out
 }
@@ -2030,5 +2453,119 @@ mod tests {
         let base = run_case("alltoall", &cfg, WireMode::SeedBaseline).unwrap();
         assert_eq!(base.window, 1);
         assert_eq!(base.mode, "seed-baseline");
+    }
+
+    #[test]
+    fn env_meta_is_sane_and_renders() {
+        let env = EnvMeta::capture("tcp");
+        assert!(env.cpus >= 1);
+        assert_eq!(env.frag_payload, bruck_net::frame::FRAG_PAYLOAD);
+        let line = env.to_json_line();
+        assert!(line.contains("\"env\": {"));
+        assert!(line.contains("\"transport\": \"tcp\""));
+        assert!(line.ends_with(",\n"));
+    }
+
+    #[test]
+    fn fit_warning_fires_only_below_floor() {
+        let fit = |r2| LinearFit {
+            model: bruck_model::cost::LinearModel::new(20e-6, 0.01e-6),
+            r_squared: r2,
+            samples: 10,
+        };
+        assert!(fit_warning(&fit(0.19)).unwrap().contains("0.19"));
+        assert!(fit_warning(&fit(0.5)).is_none());
+        assert!(fit_warning(&fit(0.97)).is_none());
+    }
+
+    fn srow(topology: &'static str, n: usize, mean_ns: u64) -> ScaleRow {
+        ScaleRow {
+            topology,
+            plan: if topology == "flat" {
+                "bruck-r2".into()
+            } else {
+                "hier-s32-r2x2".into()
+            },
+            n,
+            node_size: 32,
+            block: 64,
+            rounds: 10,
+            workers: 4,
+            threads: 5,
+            bytes_moved: (n * (n - 1) * 64) as u64,
+            reps: 3,
+            min_ns: mean_ns,
+            p50_ns: mean_ns,
+            mean_ns,
+            mbps: 80.0,
+            retransmits: 0,
+            probes: 12,
+            bit_correct: true,
+        }
+    }
+
+    #[test]
+    fn scale_summary_pairs_flat_with_two_level() {
+        let rows = vec![
+            srow("flat", 128, 3_000_000),
+            srow("two-level", 128, 2_000_000),
+            srow("flat", 256, 9_000_000),
+            srow("two-level", 256, 4_500_000),
+        ];
+        let s = summarize_scale(&rows);
+        assert_eq!(s.len(), 2);
+        assert!((s[0].speedup - 1.5).abs() < 1e-9);
+        assert!((s[1].speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_json_is_well_formed_enough() {
+        let rows = vec![
+            srow("flat", 128, 3_000_000),
+            srow("two-level", 128, 2_000_000),
+        ];
+        let fit = LinearFit {
+            model: bruck_model::cost::LinearModel::new(20e-6, 0.01e-6),
+            r_squared: 0.9,
+            samples: 6,
+        };
+        let json = render_scale_json(&rows, Some(&fit));
+        assert!(json.contains("\"bench\": \"pr9-tcp-scale\""));
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"env\": {"));
+        assert!(json.contains("\"r_squared\": 0.9000"));
+        assert!(json.contains("\"all_bit_correct\": true"));
+        assert!(json.contains("\"watchdog_armed_everywhere\": true"));
+        assert!(json.contains("\"threads_o_workers_not_o_n\": true"));
+        assert!(json.contains("\"two_level_beats_flat_at_128_plus\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Fit-less artifacts stay valid (a degenerate design matrix at
+        // one sweep point must not block the bench).
+        let bare = render_scale_json(&rows, None);
+        assert!(!bare.contains("\"fit\""));
+        assert_eq!(bare.matches('{').count(), bare.matches('}').count());
+        let table = render_scale_table(&rows);
+        assert!(table.contains("two-level") && table.contains("1.50x"));
+    }
+
+    /// Scaled-down end-to-end scale sweep over the real TCP fabric.
+    #[test]
+    fn small_scale_matrix_runs_end_to_end() {
+        let cfg = ScaleBenchConfig {
+            ns: vec![16],
+            node_size: 4,
+            block: 32,
+            reps: 1,
+            workers: Some(2),
+            timeout: Duration::from_secs(30),
+            deadline: Duration::from_secs(120),
+        };
+        let (rows, _fit) = run_scale_matrix(&cfg).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.bit_correct));
+        assert!(rows.iter().all(|r| r.threads <= r.workers + 1));
+        assert!(rows.iter().all(|r| r.mean_ns > 0 && r.mbps > 0.0));
+        assert_eq!(rows[0].topology, "flat");
+        assert_eq!(rows[1].topology, "two-level");
     }
 }

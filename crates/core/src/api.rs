@@ -308,6 +308,13 @@ fn run_index_plan<C: Comm + ?Sized>(
         IndexPlan::Mixed(radices) => {
             crate::index::mixed::run_into(ep, sendbuf, block, radices, out)
         }
+        // The two-level plan runs through its program lowering — the
+        // same ops the event-driven scale executor interprets — so the
+        // planner can choose it from any Comm context (a full endpoint
+        // or a survivor-group view alike).
+        IndexPlan::Hierarchical { .. } => {
+            crate::program_exec::run_plan_into(ep, plan, sendbuf, block, out)
+        }
     }
 }
 

@@ -44,6 +44,7 @@ pub mod blocks;
 pub mod concat;
 pub mod index;
 pub mod primitives;
+pub mod program_exec;
 pub mod reduce;
 pub mod scan;
 pub mod vbruck;

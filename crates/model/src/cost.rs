@@ -85,6 +85,22 @@ pub trait CostModel: Send + Sync {
         c.c1 as f64 * (base + self.latency(0) + self.recv_cost(0)) + c.c2 as f64 * per_byte
     }
 
+    /// The node grouping this model knows about, if any: `Some(s)` means
+    /// ranks `[i·s, (i+1)·s)` share a node and the planner may offer the
+    /// two-level hierarchical composition. Distance-uniform models (the
+    /// paper's assumption) return `None`.
+    fn node_size(&self) -> Option<usize> {
+        None
+    }
+
+    /// Estimate for a round-structured schedule that stays *inside* a
+    /// node (the intra-node phase of a hierarchical plan). Uniform
+    /// models have no cheaper local tier, so the default is the plain
+    /// [`estimate`](CostModel::estimate).
+    fn local_estimate(&self, c: Complexity) -> f64 {
+        self.estimate(c)
+    }
+
     /// Human-readable model name for reports.
     fn name(&self) -> &'static str;
 }
@@ -374,6 +390,14 @@ impl CostModel for HierarchicalModel {
 
     fn send_cost_between(&self, src: usize, dst: usize, bytes: u64) -> f64 {
         self.pick(src, dst).send_cost(bytes)
+    }
+
+    fn node_size(&self) -> Option<usize> {
+        Some(self.node_size)
+    }
+
+    fn local_estimate(&self, c: Complexity) -> f64 {
+        self.local.estimate(c)
     }
 
     fn name(&self) -> &'static str {

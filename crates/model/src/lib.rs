@@ -40,6 +40,7 @@ pub mod cost;
 pub mod mixed_radix;
 pub mod partition;
 pub mod planner;
+pub mod program;
 pub mod radix;
 pub mod spanning_tree;
 pub mod tuning;
@@ -50,5 +51,6 @@ pub use complexity::Complexity;
 pub use cost::{CostModel, HierarchicalModel, LinearModel, LogPModel, PostalModel, Sp1Model};
 pub use mixed_radix::MixedRadix;
 pub use planner::{ConcatPlan, IndexPlan, PlanChoice, Planner, VIndexPlan};
+pub use program::{ProgramOp, ProgramRound, ProgramXfer, RankProgram};
 pub use radix::{ceil_log, RadixDecomposition};
 pub use tuning::WireTuning;

@@ -37,6 +37,19 @@ pub enum IndexPlan {
     Hypercube,
     /// The mixed-radix index algorithm with a per-subphase radix vector.
     Mixed(Vec<usize>),
+    /// The two-level hierarchical composition: an intra-node index over
+    /// lane bundles followed by an inter-node index over node bundles
+    /// (Träff's k-lane decomposition applied to the §3.2 algorithm).
+    /// Only offered when the cost model declares a node topology
+    /// ([`CostModel::node_size`]) that divides `n`.
+    Hierarchical {
+        /// Ranks per node.
+        node_size: usize,
+        /// Radix of the intra-node index phase.
+        radix_local: usize,
+        /// Radix of the inter-node index phase.
+        radix_remote: usize,
+    },
 }
 
 impl IndexPlan {
@@ -48,7 +61,7 @@ impl IndexPlan {
             Self::Radix(r) => Some(*r),
             Self::Direct => Some(n.max(2)),
             Self::Hypercube => Some(2),
-            Self::Mixed(_) => None,
+            Self::Mixed(_) | Self::Hierarchical { .. } => None,
         }
     }
 
@@ -63,6 +76,11 @@ impl IndexPlan {
                 let digits: Vec<String> = v.iter().map(ToString::to_string).collect();
                 format!("mixed-r({})", digits.join(","))
             }
+            Self::Hierarchical {
+                node_size,
+                radix_local,
+                radix_remote,
+            } => format!("hier-s{node_size}-r{radix_local}x{radix_remote}"),
         }
     }
 }
@@ -220,6 +238,21 @@ impl<'m> Planner<'m> {
                 RadixDecomposition::new(n, 2).complexity(b, 1)
             }
             IndexPlan::Mixed(v) => crate::mixed_radix::MixedRadix::new(n, v).complexity(b, k),
+            IndexPlan::Hierarchical {
+                node_size,
+                radix_local,
+                radix_remote,
+            } => {
+                let (local, remote) = hierarchical_phase_complexities(
+                    n,
+                    *node_size,
+                    *radix_local,
+                    *radix_remote,
+                    b,
+                    k,
+                );
+                local + remote
+            }
         }
     }
 
@@ -260,6 +293,50 @@ impl<'m> Planner<'m> {
             }
         }
         let mut best = best.expect("n ≥ 2 always yields candidates");
+        // Topology-aware candidates: when the model declares a node
+        // grouping that divides n, evaluate the two-level composition
+        // with each phase charged to its own side of the hierarchy
+        // (intra-node traffic at the local parameters, inter-node at the
+        // remote ones). Flat candidates above were charged uniformly, so
+        // the hierarchy wins exactly when concentrating the expensive
+        // hops into the smaller inter-node index pays for the extra
+        // local traffic — the quantity this planner exists to decide.
+        if let Some(node_size) = self.model.node_size() {
+            let nodes = n.checked_div(node_size).unwrap_or(0);
+            if node_size > 1 && nodes > 1 && n.is_multiple_of(node_size) {
+                let mut locals: Vec<usize> = vec![2, 3, node_size];
+                locals.retain(|r| (2..=node_size).contains(r));
+                locals.dedup();
+                let mut remotes: Vec<usize> = vec![2, 3, nodes];
+                remotes.retain(|r| (2..=nodes).contains(r));
+                remotes.dedup();
+                for &radix_local in &locals {
+                    for &radix_remote in &remotes {
+                        let (local_c, remote_c) = hierarchical_phase_complexities(
+                            n,
+                            node_size,
+                            radix_local,
+                            radix_remote,
+                            b,
+                            k,
+                        );
+                        let predicted_time =
+                            self.model.local_estimate(local_c) + self.model.estimate(remote_c);
+                        if predicted_time < best.predicted_time {
+                            best = PlanChoice {
+                                plan: IndexPlan::Hierarchical {
+                                    node_size,
+                                    radix_local,
+                                    radix_remote,
+                                },
+                                complexity: local_c + remote_c,
+                                predicted_time,
+                            };
+                        }
+                    }
+                }
+            }
+        }
         if self.mixed_radix_limit >= n {
             let (vector, complexity, predicted_time) = best_radix_vector(n, b, k, self.model);
             // A uniform vector is a member of the mixed search space, so
@@ -485,6 +562,44 @@ impl<'m> Planner<'m> {
     }
 }
 
+/// Per-phase complexities of the two-level hierarchical composition:
+/// `(intra-node, inter-node)`. The local phase is a radix index over the
+/// `node_size` lanes moving `nodes·b`-byte bundles; the remote phase is
+/// a radix index over the `nodes` node groups moving `node_size·b`-byte
+/// bundles. Degenerate hierarchies (one node, or one rank per node)
+/// collapse to a flat index at the stronger radix, charged remote —
+/// matching the executor's fallback.
+///
+/// # Panics
+///
+/// Panics if `node_size` is zero or does not divide `n`.
+fn hierarchical_phase_complexities(
+    n: usize,
+    node_size: usize,
+    radix_local: usize,
+    radix_remote: usize,
+    b: usize,
+    k: usize,
+) -> (Complexity, Complexity) {
+    assert!(
+        node_size >= 1 && n.is_multiple_of(node_size),
+        "hierarchical: node_size {node_size} must divide n = {n}"
+    );
+    let nodes = n / node_size;
+    if nodes == 1 || node_size == 1 {
+        let r = radix_local.max(radix_remote).clamp(2, n.max(2));
+        return (
+            Complexity::ZERO,
+            RadixDecomposition::new(n, r).complexity(b, k),
+        );
+    }
+    let local = RadixDecomposition::new(node_size, radix_local.clamp(2, node_size))
+        .complexity(nodes * b, k);
+    let remote =
+        RadixDecomposition::new(nodes, radix_remote.clamp(2, nodes)).complexity(node_size * b, k);
+    (local, remote)
+}
+
 /// The direct-exchange complexity over an arbitrary per-pair size
 /// function: distances `1..n` with at least one non-empty message,
 /// grouped `k` per round; each round is charged its largest message
@@ -616,6 +731,72 @@ mod tests {
         let planner = Planner::new(&model).with_mixed_radix_limit(0);
         let choice = planner.plan_index(33, 1, 64);
         assert!(!matches!(choice.plan, IndexPlan::Mixed(_)));
+    }
+
+    #[test]
+    fn hierarchical_plan_wins_on_a_two_level_machine() {
+        // Fast intra-node lane, SP-1-like interconnect: concentrating
+        // the expensive hops into the inter-node index must beat every
+        // flat schedule once messages matter.
+        let model = crate::cost::HierarchicalModel::smp_cluster(4);
+        let planner = Planner::new(&model);
+        let choice = planner.plan_index(16, 1, 4096);
+        match choice.plan {
+            IndexPlan::Hierarchical { node_size, .. } => assert_eq!(node_size, 4),
+            other => panic!("expected a hierarchical plan, got {other:?}"),
+        }
+        // Combined complexity is the sum of both phases — non-zero in
+        // each measure.
+        assert!(choice.complexity.c1 > 0 && choice.complexity.c2 > 0);
+    }
+
+    #[test]
+    fn uniform_models_never_offer_hierarchy() {
+        let model = LinearModel::sp1();
+        let planner = Planner::new(&model);
+        for n in [8usize, 16, 64] {
+            let choice = planner.plan_index(n, 1, 4096);
+            assert!(
+                !matches!(choice.plan, IndexPlan::Hierarchical { .. }),
+                "n={n}: {:?}",
+                choice.plan
+            );
+        }
+    }
+
+    #[test]
+    fn non_divisible_topology_stays_flat() {
+        // node_size 4 does not divide 18: the hierarchy must not be
+        // offered, not crash.
+        let model = crate::cost::HierarchicalModel::smp_cluster(4);
+        let planner = Planner::new(&model);
+        let choice = planner.plan_index(18, 1, 4096);
+        assert!(!matches!(choice.plan, IndexPlan::Hierarchical { .. }));
+    }
+
+    #[test]
+    fn hierarchical_complexity_is_phase_sum() {
+        let model = crate::cost::HierarchicalModel::smp_cluster(4);
+        let planner = Planner::new(&model);
+        let plan = IndexPlan::Hierarchical {
+            node_size: 4,
+            radix_local: 2,
+            radix_remote: 2,
+        };
+        let c = planner.index_complexity(&plan, 16, 1, 8);
+        let local = RadixDecomposition::new(4, 2).complexity(4 * 8, 1);
+        let remote = RadixDecomposition::new(4, 2).complexity(4 * 8, 1);
+        assert_eq!(c, local + remote);
+        // Degenerate hierarchies collapse to the flat schedule.
+        let degen = IndexPlan::Hierarchical {
+            node_size: 16,
+            radix_local: 2,
+            radix_remote: 3,
+        };
+        assert_eq!(
+            planner.index_complexity(&degen, 16, 1, 8),
+            RadixDecomposition::new(16, 3).complexity(8, 1)
+        );
     }
 
     #[test]

@@ -1,0 +1,643 @@
+//! Explicit per-rank round programs ("lowered" index plans).
+//!
+//! The threaded executor in `bruck-net` runs an algorithm as a blocking
+//! SPMD closure — one OS thread per rank, each free to park inside a
+//! receive. That shape cannot be multiplexed onto fewer threads than
+//! ranks: a worker that parks inside rank 7's receive can never run rank
+//! 12, whose send would have satisfied it. Scaling to the paper's
+//! asymptotic regime (n in the hundreds) therefore needs the algorithm in
+//! a different shape: an explicit, finite list of operations per rank
+//! that an event-driven pool can drive in bulk-synchronous steps, parking
+//! *between* operations instead of inside them.
+//!
+//! [`RankProgram`] is that shape. It is pure data — slot indices, peers,
+//! tags — produced here (the model crate owns [`IndexPlan`] and the radix
+//! math) and consumed by any executor. Lowerings mirror the executors in
+//! `bruck-collectives` exactly:
+//!
+//! * [`IndexPlan::Radix`] — rotate, the §3.2 digit rounds grouped `k` per
+//!   round, inverse placement;
+//! * [`IndexPlan::Direct`] — `n-1` offsets grouped `k` per round, no
+//!   rotate/pack phases;
+//! * [`IndexPlan::Hypercube`] — cost-equal to radix 2, lowered as such;
+//! * [`IndexPlan::Hierarchical`] — the two-level composition of
+//!   `index/hierarchical.rs`: an intra-node index over lane bundles, a
+//!   transpose, an inter-node index over node bundles.
+//!
+//! [`simulate`] executes a program set in-process with perfect message
+//! delivery; the tests sweep it against the transpose oracle so a
+//! lowering bug is caught in pure math, far from any socket.
+
+use crate::planner::IndexPlan;
+use crate::radix::RadixDecomposition;
+
+/// Bit position separating the phase namespace from the `(subphase,
+/// step)` tag of a round. Flat tags are `(x << 32) | z` — far below this
+/// for any realistic `n` — and the two hierarchical phases sit at
+/// `1 << PHASE_SHIFT` and `2 << PHASE_SHIFT`. Kept below bit 40 so
+/// program tags survive epoch-shifted group contexts (`EPOCH_SHIFT` in
+/// `bruck-net`) without aliasing.
+pub const PHASE_SHIFT: u32 = 37;
+
+/// One transfer of a round: the peer, the matching tag, and the block
+/// slots involved. For a send, payload bytes are gathered from `slots`
+/// in order; for a receive, the payload is scattered back into `slots`
+/// in the same order (sender and receiver use the same slot list, as in
+/// the index algorithm's digit steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramXfer {
+    /// Global rank of the peer.
+    pub peer: usize,
+    /// Message tag (unique per round within the program).
+    pub tag: u64,
+    /// Block indices into the rank's working buffer.
+    pub slots: Vec<usize>,
+}
+
+/// One communication round: up to `k` sends to distinct peers and the
+/// matching receives, all independent (the k-port model).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramRound {
+    /// Outgoing transfers (distinct peers).
+    pub sends: Vec<ProgramXfer>,
+    /// Incoming transfers (distinct peers).
+    pub recvs: Vec<ProgramXfer>,
+}
+
+/// One step of a rank program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramOp {
+    /// Local block permutation: `new[i] = old[perm[i]]` at block
+    /// granularity (the rotate / transpose / inverse-placement phases).
+    Permute(Vec<usize>),
+    /// One communication round.
+    Round(ProgramRound),
+}
+
+/// A complete per-rank schedule for one all-to-all: every rank's program
+/// in a set has the same number of ops (bulk-synchronous SPMD), so an
+/// executor can drive them in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankProgram {
+    /// Cluster size.
+    pub n: usize,
+    /// This rank.
+    pub rank: usize,
+    /// Block size in bytes.
+    pub block: usize,
+    /// Ordered operation list.
+    pub ops: Vec<ProgramOp>,
+}
+
+impl RankProgram {
+    /// Lower an [`IndexPlan`] to the explicit program for one rank.
+    ///
+    /// `Hypercube` lowers as radix 2 (cost-equal schedule); `Mixed` is
+    /// not supported (the planner's mixed search self-disables above
+    /// n = 128, the regime programs exist for).
+    ///
+    /// # Errors
+    ///
+    /// A message for `Mixed` plans, for `rank ≥ n`, and for hierarchical
+    /// plans whose `node_size` does not divide `n`.
+    pub fn lower(
+        plan: &IndexPlan,
+        n: usize,
+        rank: usize,
+        block: usize,
+        ports: usize,
+    ) -> Result<Self, String> {
+        if n == 0 {
+            return Err("lower: n must be ≥ 1".into());
+        }
+        if rank >= n {
+            return Err(format!("lower: rank {rank} out of range for n={n}"));
+        }
+        let k = ports.max(1);
+        let mut ops = Vec::new();
+        if n > 1 {
+            match plan {
+                IndexPlan::Radix(r) => {
+                    bruck_ops(&mut ops, n, rank, *r, 1, k, |g| g, 0);
+                }
+                IndexPlan::Hypercube => {
+                    bruck_ops(&mut ops, n, rank, 2, 1, k, |g| g, 0);
+                }
+                IndexPlan::Direct => {
+                    direct_ops(&mut ops, n, rank, k);
+                }
+                IndexPlan::Hierarchical {
+                    node_size,
+                    radix_local,
+                    radix_remote,
+                } => {
+                    hierarchical_ops(
+                        &mut ops,
+                        n,
+                        rank,
+                        *node_size,
+                        *radix_local,
+                        *radix_remote,
+                        k,
+                    )?;
+                }
+                IndexPlan::Mixed(_) => {
+                    return Err("lower: mixed-radix plans have no program lowering".into());
+                }
+            }
+        }
+        Ok(Self {
+            n,
+            rank,
+            block,
+            ops,
+        })
+    }
+
+    /// Number of communication rounds in the program.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ProgramOp::Round(_)))
+            .count()
+    }
+
+    /// The largest single message of the program, in blocks — what an
+    /// executor needs for sizing its reliability window against the
+    /// transport's fragment size.
+    #[must_use]
+    pub fn max_message_blocks(&self) -> usize {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                ProgramOp::Round(r) => r.sends.iter().map(|x| x.slots.len()).max(),
+                ProgramOp::Permute(_) => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Append the full radix-`r` index schedule over a (sub)group: rotate,
+/// digit rounds grouped `k` per round, inverse placement. The group has
+/// `n_g` members; this rank is member `m`; `peer` maps a group index to
+/// a global rank; each group-level block spans `unit` consecutive
+/// buffer blocks (`n_g · unit` = buffer blocks touched). Tags are
+/// namespaced by `tag_base` so stacked phases never collide.
+#[allow(clippy::too_many_arguments)] // one arg per schedule dimension; bundling them would only rename the problem
+fn bruck_ops(
+    ops: &mut Vec<ProgramOp>,
+    n_g: usize,
+    m: usize,
+    r: usize,
+    unit: usize,
+    k: usize,
+    peer: impl Fn(usize) -> usize,
+    tag_base: u64,
+) {
+    if n_g <= 1 {
+        return;
+    }
+    let r = r.clamp(2, n_g);
+    // Phase 1: upward rotation, tmp[u] = old[(u + m) mod n_g].
+    ops.push(ProgramOp::Permute(group_perm(n_g, unit, |u| (u + m) % n_g)));
+    // Phase 2: the digit rounds.
+    let decomp = RadixDecomposition::new(n_g, r);
+    for x in 0..decomp.num_subphases() {
+        let steps = decomp.steps_in_subphase(x);
+        let mut z = 1usize;
+        while z <= steps {
+            let hi = steps.min(z + k - 1);
+            let mut round = ProgramRound::default();
+            for zz in z..=hi {
+                let dist = decomp.step_distance(x, zz);
+                let dst = (m + dist) % n_g;
+                let src = (m + n_g - dist % n_g) % n_g;
+                let slots: Vec<usize> = decomp
+                    .blocks_for_step(x, zz)
+                    .into_iter()
+                    .flat_map(|j| (0..unit).map(move |q| j * unit + q))
+                    .collect();
+                let tag = tag_base | (u64::from(x) << 32) | zz as u64;
+                round.sends.push(ProgramXfer {
+                    peer: peer(dst),
+                    tag,
+                    slots: slots.clone(),
+                });
+                round.recvs.push(ProgramXfer {
+                    peer: peer(src),
+                    tag,
+                    slots,
+                });
+            }
+            ops.push(ProgramOp::Round(round));
+            z = hi + 1;
+        }
+    }
+    // Phase 3: inverse placement, out[j] = tmp[(m - j) mod n_g].
+    ops.push(ProgramOp::Permute(group_perm(n_g, unit, |j| {
+        (m + n_g - j) % n_g
+    })));
+}
+
+/// A block-granular permutation from a group-level one: group block `u`
+/// spans buffer blocks `[u·unit, (u+1)·unit)`.
+fn group_perm(n_g: usize, unit: usize, f: impl Fn(usize) -> usize) -> Vec<usize> {
+    let mut perm = vec![0usize; n_g * unit];
+    for u in 0..n_g {
+        let src = f(u);
+        for q in 0..unit {
+            perm[u * unit + q] = src * unit + q;
+        }
+    }
+    perm
+}
+
+/// The direct algorithm: the working buffer is indexed by destination,
+/// so offset `d` sends slot `(m+d) mod n` to that rank. The incoming
+/// block (from rank `(m-d) mod n`) is written into the *same* slot —
+/// the one this very round just vacated, the only slot a later round is
+/// guaranteed not to still need — and a single final permutation
+/// (`out[j] = work[(2m−j) mod n]`) puts every received block at its
+/// source's index. Receiving into the natural slot `(m-d) mod n`
+/// instead would corrupt rounds `d > n/2`, which send slots that
+/// earlier rounds already received into.
+fn direct_ops(ops: &mut Vec<ProgramOp>, n: usize, m: usize, k: usize) {
+    let mut d = 1usize;
+    while d < n {
+        let hi = (n - 1).min(d + k - 1);
+        let mut round = ProgramRound::default();
+        for dd in d..=hi {
+            let dst = (m + dd) % n;
+            let src = (m + n - dd) % n;
+            let slot = (m + dd) % n;
+            round.sends.push(ProgramXfer {
+                peer: dst,
+                tag: dd as u64,
+                slots: vec![slot],
+            });
+            round.recvs.push(ProgramXfer {
+                peer: src,
+                tag: dd as u64,
+                slots: vec![slot],
+            });
+        }
+        ops.push(ProgramOp::Round(round));
+        d = hi + 1;
+    }
+    let perm: Vec<usize> = (0..n).map(|j| (2 * m + n - j % n) % n).collect();
+    ops.push(ProgramOp::Permute(perm));
+}
+
+/// The two-level composition of `index/hierarchical.rs`, op for op:
+/// lane-major transpose, intra-node index over `nodes`-block bundles,
+/// node-major transpose, inter-node index over `node_size`-block
+/// bundles. The final placement is the identity at block granularity,
+/// so it is elided.
+fn hierarchical_ops(
+    ops: &mut Vec<ProgramOp>,
+    n: usize,
+    rank: usize,
+    node_size: usize,
+    radix_local: usize,
+    radix_remote: usize,
+    k: usize,
+) -> Result<(), String> {
+    if node_size == 0 || !n.is_multiple_of(node_size) {
+        return Err(format!(
+            "hierarchical: node_size {node_size} must divide n = {n}"
+        ));
+    }
+    let nodes = n / node_size;
+    if nodes == 1 || node_size == 1 {
+        // Degenerate hierarchy: a flat index at the stronger radix (the
+        // same fallback the threaded executor takes).
+        bruck_ops(ops, n, rank, radix_local.max(radix_remote), 1, k, |g| g, 0);
+        return Ok(());
+    }
+    let my_node = rank / node_size;
+    let my_lane = rank % node_size;
+    // Phase 1 pack: bundle for lane `l` holds our blocks for every rank
+    // whose lane is `l`, node-major within the bundle.
+    let mut p1 = vec![0usize; n];
+    for lane in 0..node_size {
+        for node in 0..nodes {
+            p1[lane * nodes + node] = node * node_size + lane;
+        }
+    }
+    ops.push(ProgramOp::Permute(p1));
+    // Intra-node exchange of lane bundles.
+    bruck_ops(
+        ops,
+        node_size,
+        my_lane,
+        radix_local,
+        nodes,
+        k,
+        |g| my_node * node_size + g,
+        1 << PHASE_SHIFT,
+    );
+    // Phase 2 pack: node bundle `c` holds, for every lane of our node,
+    // the block destined to lane-sibling ranks on node `c`.
+    let mut p2 = vec![0usize; n];
+    for node in 0..nodes {
+        for lane in 0..node_size {
+            p2[node * node_size + lane] = lane * nodes + node;
+        }
+    }
+    ops.push(ProgramOp::Permute(p2));
+    // Inter-node exchange of node bundles between lane siblings.
+    bruck_ops(
+        ops,
+        nodes,
+        my_node,
+        radix_remote,
+        node_size,
+        k,
+        |g| g * node_size + my_lane,
+        2 << PHASE_SHIFT,
+    );
+    Ok(())
+}
+
+/// Execute a program set with perfect in-memory message delivery: the
+/// lockstep semantics of the event-driven executor without any
+/// transport. `inputs[r]` is rank `r`'s send buffer (`n · block`
+/// bytes); the result is each rank's output buffer.
+///
+/// # Errors
+///
+/// A message when the set is not SPMD-consistent (differing op counts,
+/// wrong buffer sizes, mismatched send/recv pairs).
+pub fn simulate(programs: &[RankProgram], inputs: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, String> {
+    let n = programs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if inputs.len() != n {
+        return Err(format!(
+            "simulate: {} inputs for {n} programs",
+            inputs.len()
+        ));
+    }
+    let block = programs[0].block;
+    let steps = programs[0].ops.len();
+    for (r, p) in programs.iter().enumerate() {
+        if p.rank != r || p.n != n || p.block != block {
+            return Err(format!("simulate: program {r} header mismatch"));
+        }
+        if p.ops.len() != steps {
+            return Err(format!(
+                "simulate: program {r} has {} ops, expected {steps} (not SPMD)",
+                p.ops.len()
+            ));
+        }
+        if inputs[r].len() != n * block {
+            return Err(format!("simulate: input {r} is not n·block bytes"));
+        }
+    }
+    let mut work: Vec<Vec<u8>> = inputs.to_vec();
+    let mut scratch = vec![0u8; n * block];
+    for t in 0..steps {
+        // Gather every send of the step first (in-place rounds overwrite
+        // the very slots they sent), then deliver.
+        let mut mail: Vec<(usize, u64, usize, Vec<u8>)> = Vec::new();
+        for (r, p) in programs.iter().enumerate() {
+            if let ProgramOp::Round(round) = &p.ops[t] {
+                for s in &round.sends {
+                    let mut payload = Vec::with_capacity(s.slots.len() * block);
+                    for &slot in &s.slots {
+                        payload.extend_from_slice(&work[r][slot * block..(slot + 1) * block]);
+                    }
+                    mail.push((s.peer, s.tag, r, payload));
+                }
+            }
+        }
+        for (r, p) in programs.iter().enumerate() {
+            match &p.ops[t] {
+                ProgramOp::Permute(perm) => {
+                    if perm.len() != n {
+                        return Err(format!("simulate: rank {r} permute of wrong length"));
+                    }
+                    for (i, &src) in perm.iter().enumerate() {
+                        scratch[i * block..(i + 1) * block]
+                            .copy_from_slice(&work[r][src * block..(src + 1) * block]);
+                    }
+                    work[r].copy_from_slice(&scratch);
+                }
+                ProgramOp::Round(round) => {
+                    for recv in &round.recvs {
+                        let pos = mail
+                            .iter()
+                            .position(|(dst, tag, src, _)| {
+                                *dst == r && *tag == recv.tag && *src == recv.peer
+                            })
+                            .ok_or_else(|| {
+                                format!(
+                                    "simulate: rank {r} expected tag {} from {}, never sent",
+                                    recv.tag, recv.peer
+                                )
+                            })?;
+                        let (_, _, _, payload) = mail.swap_remove(pos);
+                        if payload.len() != recv.slots.len() * block {
+                            return Err(format!(
+                                "simulate: rank {r} tag {} payload/slot mismatch",
+                                recv.tag
+                            ));
+                        }
+                        for (i, &slot) in recv.slots.iter().enumerate() {
+                            work[r][slot * block..(slot + 1) * block]
+                                .copy_from_slice(&payload[i * block..(i + 1) * block]);
+                        }
+                    }
+                }
+            }
+        }
+        if !mail.is_empty() {
+            return Err(format!(
+                "simulate: step {t} left {} undelivered messages",
+                mail.len()
+            ));
+        }
+    }
+    Ok(work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The byte pattern rank `i` sends to rank `j` (position `p`):
+    /// deterministic and pair-unique, same convention as the verify
+    /// oracle in `bruck-collectives`.
+    fn pattern(i: usize, j: usize, p: usize, block: usize) -> u8 {
+        ((i * 31 + j * 7 + p * 13 + block) % 251) as u8
+    }
+
+    fn input(rank: usize, n: usize, block: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; n * block];
+        for j in 0..n {
+            for p in 0..block {
+                buf[j * block + p] = pattern(rank, j, p, block);
+            }
+        }
+        buf
+    }
+
+    fn expected(rank: usize, n: usize, block: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; n * block];
+        for j in 0..n {
+            for p in 0..block {
+                buf[j * block + p] = pattern(j, rank, p, block);
+            }
+        }
+        buf
+    }
+
+    fn check(plan: &IndexPlan, n: usize, block: usize, ports: usize) {
+        let programs: Vec<RankProgram> = (0..n)
+            .map(|r| RankProgram::lower(plan, n, r, block, ports).expect("lowerable"))
+            .collect();
+        let inputs: Vec<Vec<u8>> = (0..n).map(|r| input(r, n, block)).collect();
+        let outs = simulate(&programs, &inputs).expect("simulate");
+        for (r, out) in outs.iter().enumerate() {
+            assert_eq!(
+                out,
+                &expected(r, n, block),
+                "plan={} n={n} b={block} k={ports} rank={r}",
+                plan.label()
+            );
+        }
+    }
+
+    #[test]
+    fn radix_lowering_matches_oracle() {
+        for &n in &[2usize, 3, 5, 8, 13, 16, 27] {
+            for &k in &[1usize, 2] {
+                for r in [2, 3, n] {
+                    check(&IndexPlan::Radix(r), n, 5, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_and_hypercube_lowerings_match_oracle() {
+        for &n in &[2usize, 5, 9, 16] {
+            for &k in &[1usize, 3] {
+                check(&IndexPlan::Direct, n, 4, k);
+            }
+        }
+        for &n in &[4usize, 16, 32] {
+            check(&IndexPlan::Hypercube, n, 3, 1);
+        }
+    }
+
+    #[test]
+    fn hierarchical_lowering_matches_oracle() {
+        for &(n, s) in &[(8usize, 2usize), (8, 4), (12, 3), (16, 4), (36, 6), (64, 8)] {
+            for &k in &[1usize, 2] {
+                check(
+                    &IndexPlan::Hierarchical {
+                        node_size: s,
+                        radix_local: 2,
+                        radix_remote: 2,
+                    },
+                    n,
+                    3,
+                    k,
+                );
+            }
+        }
+        // Mixed radices and degenerate hierarchies.
+        check(
+            &IndexPlan::Hierarchical {
+                node_size: 4,
+                radix_local: 4,
+                radix_remote: 3,
+            },
+            16,
+            6,
+            1,
+        );
+        check(
+            &IndexPlan::Hierarchical {
+                node_size: 1,
+                radix_local: 2,
+                radix_remote: 2,
+            },
+            6,
+            2,
+            1,
+        );
+        check(
+            &IndexPlan::Hierarchical {
+                node_size: 6,
+                radix_local: 2,
+                radix_remote: 2,
+            },
+            6,
+            2,
+            1,
+        );
+    }
+
+    #[test]
+    fn larger_scale_lowering_is_bit_correct_in_simulation() {
+        check(&IndexPlan::Radix(2), 128, 2, 1);
+        check(
+            &IndexPlan::Hierarchical {
+                node_size: 16,
+                radix_local: 2,
+                radix_remote: 2,
+            },
+            128,
+            2,
+            1,
+        );
+    }
+
+    #[test]
+    fn non_divisible_node_size_is_rejected() {
+        let err = RankProgram::lower(
+            &IndexPlan::Hierarchical {
+                node_size: 5,
+                radix_local: 2,
+                radix_remote: 2,
+            },
+            16,
+            0,
+            4,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("must divide"), "{err}");
+    }
+
+    #[test]
+    fn mixed_plans_have_no_lowering() {
+        let err = RankProgram::lower(&IndexPlan::Mixed(vec![2, 3]), 6, 0, 4, 1).unwrap_err();
+        assert!(err.contains("mixed"), "{err}");
+    }
+
+    #[test]
+    fn trivial_cluster_has_empty_program() {
+        let p = RankProgram::lower(&IndexPlan::Radix(2), 1, 0, 8, 1).unwrap();
+        assert!(p.ops.is_empty());
+        assert_eq!(p.rounds(), 0);
+        assert_eq!(p.max_message_blocks(), 0);
+    }
+
+    #[test]
+    fn round_and_message_accounting() {
+        let p = RankProgram::lower(&IndexPlan::Radix(2), 8, 0, 4, 1).unwrap();
+        // ⌈log2 8⌉ = 3 rounds, each carrying 4 of the 8 blocks.
+        assert_eq!(p.rounds(), 3);
+        assert_eq!(p.max_message_blocks(), 4);
+        // k = 2 halves the round count of a radix-4 schedule's subphases.
+        let p1 = RankProgram::lower(&IndexPlan::Radix(4), 16, 3, 4, 1).unwrap();
+        let p2 = RankProgram::lower(&IndexPlan::Radix(4), 16, 3, 4, 2).unwrap();
+        assert!(p2.rounds() < p1.rounds());
+    }
+}

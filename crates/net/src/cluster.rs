@@ -1,7 +1,7 @@
 //! The SPMD cluster runner.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use bruck_model::cost::{CostModel, LinearModel};
@@ -62,6 +62,14 @@ pub struct ClusterConfig {
     /// flapping rank is excluded for exponentially longer each time.
     /// Only consulted under [`RecoveryPolicy::WaitForRejoin`].
     pub quarantine: Duration,
+    /// Topology: ranks per node. `Some(s)` groups ranks `[0,s)`,
+    /// `[s,2s)`, … onto simulated nodes — the TCP scale cluster
+    /// ([`crate::tcp::TcpScaleCluster`]) routes intra-node traffic over
+    /// in-process channels and inter-node traffic over one TCP stream
+    /// per node pair, and the hierarchical planner can exploit the same
+    /// grouping. `None` (the default) means a flat, single-node
+    /// topology.
+    pub node_size: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -86,6 +94,7 @@ impl ClusterConfig {
             deadline: None,
             recovery: RecoveryPolicy::default(),
             quarantine: crate::membership::DEFAULT_BASE_QUARANTINE,
+            node_size: None,
         }
     }
 
@@ -158,6 +167,26 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_quarantine(mut self, base: Duration) -> Self {
         self.quarantine = base;
+        self
+    }
+
+    /// Group ranks onto simulated nodes of `node_size` ranks each (see
+    /// [`ClusterConfig::node_size`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_size == 0` or `n % node_size != 0` — the
+    /// two-level machinery requires uniform nodes.
+    #[must_use]
+    pub fn with_node_size(mut self, node_size: usize) -> Self {
+        assert!(node_size >= 1, "need at least one rank per node");
+        assert_eq!(
+            self.n % node_size,
+            0,
+            "node_size {node_size} must divide n = {}",
+            self.n
+        );
+        self.node_size = Some(node_size);
         self
     }
 
@@ -334,6 +363,73 @@ pub struct ResilientOutput<T> {
     pub view_id: u64,
 }
 
+/// Rank threads a process may have alive at once across concurrent
+/// cluster runs, unless `BRUCK_MAX_RANK_THREADS` overrides it (`0`
+/// means unlimited). The threaded substrates cost one OS thread per
+/// simulated rank, so two parallel `#[test]`s at `n = 64` would pile
+/// 128 runnable threads onto a 1-core CI box; the gate serializes whole
+/// runs instead.
+pub const DEFAULT_MAX_RANK_THREADS: usize = 128;
+
+/// A counting gate over rank threads: a cluster run takes `n` permits
+/// before spawning and returns them when its scope joins.
+///
+/// Permits are granted all-or-nothing per run, so two half-admitted
+/// runs can never deadlock against each other. A run wider than the
+/// whole gate (`n ≥ capacity`) waits for an idle gate and then takes
+/// every permit — it must run alone, but it must run.
+struct RankThreadGate {
+    capacity: usize,
+    in_use: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// RAII permits from [`RankThreadGate::acquire`].
+struct GatePermits<'a> {
+    gate: &'a RankThreadGate,
+    granted: usize,
+}
+
+impl RankThreadGate {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            in_use: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Block until `want` rank threads fit under the cap (clamped to the
+    /// whole gate for oversized runs), then reserve them.
+    fn acquire(&self, want: usize) -> GatePermits<'_> {
+        if self.capacity == usize::MAX {
+            return GatePermits {
+                gate: self,
+                granted: 0,
+            };
+        }
+        let need = want.min(self.capacity);
+        let mut in_use = self.in_use.lock().expect("rank-thread gate");
+        while *in_use + need > self.capacity {
+            in_use = self.freed.wait(in_use).expect("rank-thread gate");
+        }
+        *in_use += need;
+        GatePermits {
+            gate: self,
+            granted: need,
+        }
+    }
+}
+
+impl Drop for GatePermits<'_> {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            *self.gate.in_use.lock().expect("rank-thread gate") -= self.granted;
+            self.gate.freed.notify_all();
+        }
+    }
+}
+
 /// The cluster runner (stateless; all state lives in the run).
 #[derive(Debug)]
 pub struct Cluster;
@@ -400,6 +496,24 @@ impl Cluster {
         Self::try_run_with_transports(config, Self::channel_transports(config.n), body)
     }
 
+    /// The process-global rank-thread gate (see [`RankThreadGate`]).
+    fn thread_gate() -> &'static RankThreadGate {
+        static GATE: OnceLock<RankThreadGate> = OnceLock::new();
+        GATE.get_or_init(|| {
+            let capacity = std::env::var("BRUCK_MAX_RANK_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map_or(DEFAULT_MAX_RANK_THREADS, |v| {
+                    if v == 0 {
+                        usize::MAX
+                    } else {
+                        v
+                    }
+                });
+            RankThreadGate::with_capacity(capacity)
+        })
+    }
+
     fn channel_transports(n: usize) -> Vec<Box<dyn crate::transport::Transport>> {
         let mut senders = Vec::with_capacity(n);
         let mut mailboxes = Vec::with_capacity(n);
@@ -435,6 +549,12 @@ impl Cluster {
     {
         let n = config.n;
         assert_eq!(transports.len(), n, "one transport per rank");
+        // Bound rank threads across *concurrent* cluster runs (parallel
+        // `cargo test` binaries aside, parallel #[test]s in one binary
+        // each spawn a full cluster): the run blocks here until the
+        // process-wide budget has room. Deadlock-free because permits
+        // are taken all-or-nothing per run, never incrementally.
+        let _permits = Cluster::thread_gate().acquire(n);
         let barrier = Arc::new(VBarrier::new(n));
         let trace = config.trace.then(Trace::new);
         // One pool for the whole cluster: a receiver recycles the very
@@ -611,7 +731,7 @@ impl Cluster {
             metrics: RunMetrics {
                 per_rank,
                 pool: pool.stats(),
-                membership: Default::default(),
+                ..RunMetrics::default()
             },
             virtual_times,
             trace,
@@ -787,6 +907,42 @@ mod tests {
     use super::*;
     use crate::endpoint::{RecvSpec, SendSpec};
     use bruck_model::complexity::Complexity;
+
+    #[test]
+    fn rank_thread_gate_grants_all_or_nothing() {
+        let gate = RankThreadGate::with_capacity(8);
+        {
+            let a = gate.acquire(5);
+            assert_eq!(a.granted, 5);
+            let b = gate.acquire(3);
+            assert_eq!(b.granted, 3);
+        }
+        let c = gate.acquire(64);
+        assert_eq!(c.granted, 8, "oversized run takes the whole gate");
+        drop(c);
+        assert_eq!(*gate.in_use.lock().unwrap(), 0, "permits all returned");
+    }
+
+    #[test]
+    fn rank_thread_gate_blocks_until_permits_return() {
+        let gate = RankThreadGate::with_capacity(2);
+        let gate_ref = &gate;
+        std::thread::scope(|s| {
+            let held = gate_ref.acquire(2);
+            let (tx, rx) = std::sync::mpsc::channel();
+            s.spawn(move || {
+                let _p = gate_ref.acquire(1);
+                tx.send(()).unwrap();
+            });
+            assert!(
+                rx.recv_timeout(Duration::from_millis(50)).is_err(),
+                "acquire must block while the gate is full"
+            );
+            drop(held);
+            rx.recv_timeout(Duration::from_secs(5))
+                .expect("acquire unblocks once permits return");
+        });
+    }
 
     #[test]
     fn single_rank_trivial() {

@@ -104,6 +104,7 @@ pub mod endpoint;
 pub mod error;
 pub mod failure;
 pub mod fault;
+pub mod frame;
 pub mod mailbox;
 pub mod membership;
 pub mod message;
@@ -111,6 +112,7 @@ pub mod metrics;
 pub mod pool;
 pub mod reliable;
 pub mod socket;
+pub mod tcp;
 pub mod trace;
 pub mod transport;
 pub mod vbarrier;
@@ -132,5 +134,6 @@ pub use pool::{BufferPool, PoolStats};
 pub use reliable::Reliability;
 #[cfg(unix)]
 pub use socket::SocketCluster;
+pub use tcp::{ScaleOutput, TcpFabric, TcpRankTransport, TcpScaleCluster};
 pub use trace::{Trace, TraceEvent};
 pub use transport::{ChannelTransport, Transport};

@@ -5,6 +5,7 @@
 //! measures: `C1` = number of rounds, `C2` = Σ over rounds of the largest
 //! message over *all* ports of *all* processors (§1.2).
 
+use bruck_model::calibrate::LinearFit;
 use bruck_model::complexity::Complexity;
 
 use crate::membership::MembershipStats;
@@ -155,7 +156,7 @@ impl RankMetrics {
 }
 
 /// Folded metrics for a whole run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// One entry per rank.
     pub per_rank: Vec<RankMetrics>,
@@ -166,6 +167,13 @@ pub struct RunMetrics {
     /// filled by [`Cluster::run_resilient`](crate::cluster::Cluster::run_resilient)
     /// from its view log.
     pub membership: MembershipStats,
+    /// The calibration fit the run was planned under, when the harness
+    /// calibrated one (`None` for uncalibrated runs). Carrying it here
+    /// keeps the fit quality — `r_squared` in particular — attached to
+    /// the numbers it produced: a plan chosen under R² < 0.5 is a
+    /// guess, and downstream consumers (bench JSON, `bruckctl`) must be
+    /// able to see that without re-deriving the fit.
+    pub fit: Option<LinearFit>,
 }
 
 impl RunMetrics {
@@ -297,8 +305,7 @@ mod tests {
         b.record_round(&[30], 0);
         let run = RunMetrics {
             per_rank: vec![a, b],
-            pool: PoolStats::default(),
-            membership: MembershipStats::default(),
+            ..RunMetrics::default()
         };
         // Round 0 max = 20, round 1 max = 30.
         assert_eq!(run.global_complexity(), Some(Complexity::new(2, 50)));
@@ -314,8 +321,7 @@ mod tests {
         let b = RankMetrics::default();
         let run = RunMetrics {
             per_rank: vec![a, b],
-            pool: PoolStats::default(),
-            membership: MembershipStats::default(),
+            ..RunMetrics::default()
         };
         assert_eq!(run.global_complexity(), None);
     }
@@ -359,8 +365,7 @@ mod tests {
         b.wall_recv_ns = 150;
         let run = RunMetrics {
             per_rank: vec![a, b],
-            pool: PoolStats::default(),
-            membership: MembershipStats::default(),
+            ..RunMetrics::default()
         };
         // 100 bytes over max(2, 1) = 2 rounds.
         assert!((run.bytes_per_round() - 50.0).abs() < 1e-12);

@@ -15,7 +15,6 @@
 
 #![cfg(unix)]
 
-use std::collections::{HashMap, VecDeque};
 use std::os::unix::net::UnixDatagram;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -23,55 +22,18 @@ use std::time::{Duration, Instant};
 use crate::cluster::{Cluster, ClusterConfig, RunOutput};
 use crate::endpoint::Endpoint;
 use crate::error::NetError;
+use crate::frame::{decode_frame, encode_frame_into, Assembler, HEADER};
 use crate::message::{Message, Tag};
 use crate::transport::Transport;
 
-/// Max payload bytes per datagram fragment. Sized so a 64 KiB block —
-/// the common collective block size — travels as a single datagram
-/// (one syscall, no reassembly copy), while still fitting under the
-/// kernel's default `SO_SNDBUF` (208 KiB) with header room to spare.
-pub const FRAG_PAYLOAD: usize = 64 * 1024;
+/// Max payload bytes per datagram fragment (see
+/// [`crate::frame::FRAG_PAYLOAD`] — the framing layer is shared with the
+/// TCP stream transport, re-exported here for source compatibility).
+pub use crate::frame::FRAG_PAYLOAD;
 
 /// The fragment size the data plane used before pipelining — kept for
 /// the wire benchmark's baseline (see [`SocketCluster::run_legacy`]).
 pub const LEGACY_FRAG_PAYLOAD: usize = 16 * 1024;
-
-// src, tag, msg id, frag idx, frag count, arrival, seq, ack,
-// checksum flag + value
-const HEADER: usize = 4 + 8 + 8 + 4 + 4 + 8 + 8 + 8 + 1 + 4;
-
-/// Encode one fragment into `buf` (cleared first). Writing into a
-/// caller-owned buffer lets the transport reuse a single allocation for
-/// every outbound frame — the practical stand-in for vectored datagram
-/// writes, which `std` does not expose for `UnixDatagram`.
-#[allow(clippy::too_many_arguments)] // mirrors the frame header, field for field
-fn encode_frame_into(
-    buf: &mut Vec<u8>,
-    src: usize,
-    tag: Tag,
-    msg_id: u64,
-    frag_idx: u32,
-    frag_count: u32,
-    arrival: f64,
-    seq: u64,
-    ack: u64,
-    checksum: Option<u32>,
-    chunk: &[u8],
-) {
-    buf.clear();
-    buf.reserve(HEADER + chunk.len());
-    buf.extend_from_slice(&(src as u32).to_le_bytes());
-    buf.extend_from_slice(&tag.to_le_bytes());
-    buf.extend_from_slice(&msg_id.to_le_bytes());
-    buf.extend_from_slice(&frag_idx.to_le_bytes());
-    buf.extend_from_slice(&frag_count.to_le_bytes());
-    buf.extend_from_slice(&arrival.to_bits().to_le_bytes());
-    buf.extend_from_slice(&seq.to_le_bytes());
-    buf.extend_from_slice(&ack.to_le_bytes());
-    buf.push(u8::from(checksum.is_some()));
-    buf.extend_from_slice(&checksum.unwrap_or(0).to_le_bytes());
-    buf.extend_from_slice(chunk);
-}
 
 /// splitmix64 finalizer — the keyed-hash RNG idiom used across the
 /// fault layer. Here it seeds backoff jitter without ambient entropy.
@@ -82,53 +44,6 @@ fn splitmix64(z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-struct Frame {
-    src: usize,
-    tag: Tag,
-    msg_id: u64,
-    frag_idx: u32,
-    frag_count: u32,
-    arrival: f64,
-    seq: u64,
-    ack: u64,
-    checksum: Option<u32>,
-    chunk: Vec<u8>,
-}
-
-fn decode_frame(buf: &[u8]) -> Result<Frame, NetError> {
-    if buf.len() < HEADER {
-        return Err(NetError::App(format!(
-            "runt datagram of {} bytes",
-            buf.len()
-        )));
-    }
-    let get = |at: usize, len: usize| &buf[at..at + len];
-    Ok(Frame {
-        src: u32::from_le_bytes(get(0, 4).try_into().expect("4 bytes")) as usize,
-        tag: Tag::from_le_bytes(get(4, 8).try_into().expect("8 bytes")),
-        msg_id: u64::from_le_bytes(get(12, 8).try_into().expect("8 bytes")),
-        frag_idx: u32::from_le_bytes(get(20, 4).try_into().expect("4 bytes")),
-        frag_count: u32::from_le_bytes(get(24, 4).try_into().expect("4 bytes")),
-        arrival: f64::from_bits(u64::from_le_bytes(get(28, 8).try_into().expect("8 bytes"))),
-        seq: u64::from_le_bytes(get(36, 8).try_into().expect("8 bytes")),
-        ack: u64::from_le_bytes(get(44, 8).try_into().expect("8 bytes")),
-        checksum: (buf[52] != 0)
-            .then(|| u32::from_le_bytes(get(53, 4).try_into().expect("4 bytes"))),
-        chunk: buf[HEADER..].to_vec(),
-    })
-}
-
-struct Reassembly {
-    tag: Tag,
-    arrival: f64,
-    seq: u64,
-    ack: u64,
-    checksum: Option<u32>,
-    frag_count: u32,
-    received: u32,
-    chunks: Vec<Option<Vec<u8>>>,
-}
-
 /// A rank's Unix-datagram connection to its peers.
 pub struct UdsTransport {
     rank: usize,
@@ -137,8 +52,7 @@ pub struct UdsTransport {
     /// drop so a crashed-and-restarted rank never inherits a stale file.
     own_path: PathBuf,
     peer_paths: Vec<PathBuf>,
-    pending: VecDeque<Message>,
-    partial: HashMap<(usize, u64), Reassembly>,
+    asm: Assembler,
     next_msg_id: u64,
     recv_buf: Vec<u8>,
     /// Reusable outbound frame buffer: one allocation serves every send.
@@ -207,8 +121,7 @@ impl UdsTransport {
             peer_paths: (0..n)
                 .map(|r| Self::sock_path_inc(dir, r, incarnation))
                 .collect(),
-            pending: VecDeque::new(),
-            partial: HashMap::new(),
+            asm: Assembler::new(rank),
             next_msg_id: 0,
             recv_buf: vec![0u8; HEADER + FRAG_PAYLOAD],
             send_buf: Vec::with_capacity(HEADER + FRAG_PAYLOAD),
@@ -297,70 +210,12 @@ impl UdsTransport {
                 Ok(len) => {
                     consumed += 1;
                     let frame = decode_frame(&self.recv_buf[..len])?;
-                    self.accept(frame);
+                    self.asm.accept(frame);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(consumed),
                 Err(e) => return Err(NetError::App(format!("recv: {e}"))),
             }
         }
-    }
-
-    fn accept(&mut self, frame: Frame) {
-        if frame.frag_count == 1 {
-            self.pending.push_back(Message {
-                src: frame.src,
-                dst: self.rank,
-                tag: frame.tag,
-                payload: frame.chunk,
-                arrival: frame.arrival,
-                seq: frame.seq,
-                ack: frame.ack,
-                checksum: frame.checksum,
-            });
-            return;
-        }
-        let key = (frame.src, frame.msg_id);
-        let entry = self.partial.entry(key).or_insert_with(|| Reassembly {
-            tag: frame.tag,
-            arrival: frame.arrival,
-            seq: frame.seq,
-            ack: frame.ack,
-            checksum: frame.checksum,
-            frag_count: frame.frag_count,
-            received: 0,
-            chunks: vec![None; frame.frag_count as usize],
-        });
-        let idx = frame.frag_idx as usize;
-        if idx < entry.chunks.len() && entry.chunks[idx].is_none() {
-            entry.chunks[idx] = Some(frame.chunk);
-            entry.received += 1;
-        }
-        if entry.received == entry.frag_count {
-            let done = self.partial.remove(&key).expect("entry just updated");
-            let payload: Vec<u8> = done
-                .chunks
-                .into_iter()
-                .flat_map(|c| c.expect("all fragments present"))
-                .collect();
-            self.pending.push_back(Message {
-                src: frame.src,
-                dst: self.rank,
-                tag: done.tag,
-                payload,
-                arrival: done.arrival,
-                seq: done.seq,
-                ack: done.ack,
-                checksum: done.checksum,
-            });
-        }
-    }
-
-    fn take_pending(&mut self, from: usize, tag: Tag) -> Option<Message> {
-        let pos = self
-            .pending
-            .iter()
-            .position(|m| m.src == from && m.tag == tag)?;
-        self.pending.remove(pos)
     }
 
     /// Block on the socket until at least one datagram arrives or
@@ -396,7 +251,7 @@ impl UdsTransport {
         let got = match self.sock.recv(&mut self.recv_buf) {
             Ok(len) => {
                 let frame = decode_frame(&self.recv_buf[..len])?;
-                self.accept(frame);
+                self.asm.accept(frame);
                 1
             }
             Err(e)
@@ -501,7 +356,7 @@ impl Transport for UdsTransport {
     ) -> Result<Message, NetError> {
         let deadline = Instant::now() + timeout;
         loop {
-            if let Some(m) = self.take_pending(from, tag) {
+            if let Some(m) = self.asm.take_match(from, tag) {
                 return Ok(m);
             }
             if self.drain()? == 0 {
@@ -522,7 +377,7 @@ impl Transport for UdsTransport {
     fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
         let deadline = Instant::now() + timeout;
         loop {
-            if let Some(m) = self.pending.pop_front() {
+            if let Some(m) = self.asm.pending.pop_front() {
                 return Ok(Some(m));
             }
             if self.drain()? == 0 {
@@ -538,7 +393,7 @@ impl Transport for UdsTransport {
     }
 
     fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
-        if !self.pending.is_empty() || self.drain()? > 0 {
+        if !self.asm.pending.is_empty() || self.drain()? > 0 {
             return Ok(());
         }
         self.block_for_frames(timeout)?;
@@ -553,10 +408,7 @@ impl Transport for UdsTransport {
         // Best-effort: pull whatever is already queued on the socket, then
         // discard every complete and partial message.
         let _ = self.drain();
-        let n = self.pending.len() + self.partial.len();
-        self.pending.clear();
-        self.partial.clear();
-        n
+        self.asm.clear()
     }
 }
 
@@ -702,56 +554,6 @@ impl SocketCluster {
 mod tests {
     use super::*;
     use bruck_model::complexity::Complexity;
-
-    #[test]
-    fn frame_round_trip() {
-        let mut f = Vec::new();
-        encode_frame_into(
-            &mut f,
-            7,
-            42,
-            9,
-            2,
-            5,
-            1.25,
-            11,
-            6,
-            Some(0xDEAD),
-            &[1, 2, 3],
-        );
-        let d = decode_frame(&f).unwrap();
-        assert_eq!(
-            (d.src, d.tag, d.msg_id, d.frag_idx, d.frag_count, d.arrival),
-            (7, 42, 9, 2, 5, 1.25)
-        );
-        assert_eq!((d.seq, d.ack, d.checksum), (11, 6, Some(0xDEAD)));
-        assert_eq!(d.chunk, vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn frame_round_trip_no_checksum() {
-        let mut f = Vec::new();
-        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[]);
-        let d = decode_frame(&f).unwrap();
-        assert_eq!((d.seq, d.ack, d.checksum), (0, 0, None));
-        assert!(d.chunk.is_empty());
-    }
-
-    #[test]
-    fn frame_buffer_is_reused_across_encodes() {
-        let mut f = Vec::new();
-        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[9; 64]);
-        let first = f.clone();
-        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[7; 8]);
-        assert_ne!(f, first);
-        encode_frame_into(&mut f, 1, 2, 3, 0, 1, 0.0, 0, 0, None, &[9; 64]);
-        assert_eq!(f, first, "re-encoding reproduces the identical frame");
-    }
-
-    #[test]
-    fn runt_frame_rejected() {
-        assert!(decode_frame(&[0u8; 10]).is_err());
-    }
 
     #[test]
     fn socket_ring_rotation() {

@@ -1,0 +1,1228 @@
+//! Event-driven TCP transport: hundreds of ranks multiplexed per
+//! process.
+//!
+//! The thread-per-rank substrates ([`Cluster`](crate::Cluster),
+//! [`SocketCluster`](crate::socket::SocketCluster)) stop scaling near
+//! `n ≈ 64` on small hosts: every simulated processor costs an OS
+//! thread, and the scheduler thrashes long before the algorithms get
+//! interesting. This module rebuilds the data plane around *readiness*
+//! instead of threads:
+//!
+//! * **Topology.** Ranks are grouped into simulated *nodes* of
+//!   [`ClusterConfig::node_size`] ranks each. Intra-node traffic rides
+//!   the in-process channel path (one [`Mailbox`] per rank, zero
+//!   syscalls); inter-node traffic crosses one loopback **TCP stream
+//!   per node pair**, shared by every rank on the two nodes.
+//! * **Framing.** Messages fragment at
+//!   [`FRAG_PAYLOAD`](crate::frame::FRAG_PAYLOAD) into the same frame
+//!   header the datagram transport uses (see [`crate::frame`]), wrapped
+//!   in an 8-byte `[len, dst]` prefix so the stream demultiplexes by
+//!   destination rank.
+//! * **Reactor.** All streams run nonblocking and are driven by a
+//!   single reactor thread sweeping a readiness loop — the portable
+//!   stand-in for `poll(2)`, which `std` does not expose — flushing
+//!   per-link outboxes and decoding inbound frames into per-rank
+//!   mailboxes. Idle sweeps back off exponentially, so a quiet fabric
+//!   costs (almost) no CPU.
+//! * **Execution.** [`TcpScaleCluster`] interprets lowered
+//!   [`RankProgram`]s — the same programs `bruck-collectives` executes
+//!   on the threaded substrate — with a small worker pool: each worker
+//!   owns a contiguous slice of ranks and drives their endpoint state
+//!   machines from message readiness. OS threads per process are
+//!   `O(workers)`, not `O(n)`, so `n = 1024` runs where 1024 threads
+//!   would not.
+//!
+//! The reliability stack is unchanged: sliding-window ARQ, adaptive
+//! RTO, the heartbeat watchdog, and deadline clamps
+//! ([`crate::reliable`], [`crate::deadline`]) wrap the TCP transport
+//! exactly as they wrap channels and datagram sockets, and fault
+//! injection ([`crate::fault`]) applies to every transmission.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bruck_model::planner::IndexPlan;
+use bruck_model::program::{ProgramOp, RankProgram};
+
+use crate::cluster::ClusterConfig;
+use crate::deadline::Deadline;
+use crate::error::NetError;
+use crate::failure::FailureDetector;
+use crate::fault::{FaultyTransport, RoundClock};
+use crate::frame::{decode_frame, encode_frame_into, Assembler, FRAG_PAYLOAD, HEADER};
+use crate::mailbox::{MailSender, Mailbox};
+use crate::message::{payload_checksum, Message, Tag};
+use crate::metrics::{RankMetrics, RunMetrics};
+use crate::reliable::ReliableTransport;
+use crate::transport::Transport;
+
+/// Stream prefix ahead of every frame: `u32` frame length + `u32`
+/// destination rank (both little-endian).
+const STREAM_PREFIX: usize = 8;
+
+/// Reactor read chunk: one full frame's worth per `read` call.
+const READ_CHUNK: usize = HEADER + FRAG_PAYLOAD;
+
+/// Ceiling for the reactor's idle-sweep nap.
+const IDLE_NAP_MAX: Duration = Duration::from_micros(500);
+
+/// How long the reactor keeps sweeping after shutdown is requested,
+/// waiting for outboxes to drain (hang backstop only — drained fabrics
+/// exit immediately).
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+
+/// Index of the unordered node pair `(a, b)`, `a < b`, among the
+/// `nodes·(nodes−1)/2` pairs.
+fn pair_index(nodes: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < nodes);
+    a * (2 * nodes - a - 1) / 2 + (b - a - 1)
+}
+
+/// State shared between the rank transports (producers) and the reactor
+/// (consumer): one byte outbox per stream *end*, plus the first fabric
+/// error.
+struct FabricShared {
+    node_size: usize,
+    /// `2` outboxes per node pair: `[2p]` is written by the lower node
+    /// of pair `p` (the connecting end), `[2p+1]` by the higher (the
+    /// accepting end).
+    outboxes: Vec<Mutex<Vec<u8>>>,
+    /// Cheap has-data flags so the reactor skips locking idle outboxes.
+    dirty: Vec<AtomicBool>,
+    /// First wire error observed by the reactor (or a sender); fails
+    /// every subsequent send so the run aborts instead of hanging.
+    error: Mutex<Option<String>>,
+    nodes: usize,
+}
+
+impl FabricShared {
+    /// The outbox a message from `src_node` to `dst_node` is staged in.
+    fn outbox_for(&self, src_node: usize, dst_node: usize) -> usize {
+        if src_node < dst_node {
+            2 * pair_index(self.nodes, src_node, dst_node)
+        } else {
+            2 * pair_index(self.nodes, dst_node, src_node) + 1
+        }
+    }
+
+    fn fail(&self, msg: String) {
+        let mut slot = self.error.lock().expect("fabric error lock");
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+    }
+
+    fn check(&self) -> Result<(), NetError> {
+        match self.error.lock().expect("fabric error lock").as_ref() {
+            Some(e) => Err(NetError::App(format!("tcp fabric: {e}"))),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One stream end owned by the reactor.
+struct Link {
+    stream: TcpStream,
+    /// The outbox this end transmits.
+    idx: usize,
+    /// Bytes being written (drained from the outbox), and the write
+    /// offset into them.
+    out: Vec<u8>,
+    out_at: usize,
+    /// Inbound bytes not yet parsed into whole frames.
+    rbuf: Vec<u8>,
+}
+
+/// The readiness sweep: flush every dirty outbox, drain every readable
+/// stream, decode frames, reassemble, deliver to per-rank mailboxes.
+fn reactor_loop(
+    shared: &FabricShared,
+    mut links: Vec<Link>,
+    senders: &[MailSender],
+    shutdown: &AtomicBool,
+) {
+    let n = senders.len();
+    let mut asms: Vec<Assembler> = (0..n).map(Assembler::new).collect();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut idle: u32 = 0;
+    let mut shutdown_seen: Option<Instant> = None;
+    loop {
+        let mut moved = false;
+        let mut drained = true;
+        for link in &mut links {
+            // Refill the write cursor from the outbox (allocation swap:
+            // the drained buffer goes back as the senders' next arena).
+            if link.out_at == link.out.len() && shared.dirty[link.idx].swap(false, Ordering::AcqRel)
+            {
+                link.out.clear();
+                link.out_at = 0;
+                let mut outbox = shared.outboxes[link.idx].lock().expect("outbox lock");
+                std::mem::swap(&mut *outbox, &mut link.out);
+            }
+            while link.out_at < link.out.len() {
+                match link.stream.write(&link.out[link.out_at..]) {
+                    Ok(0) => {
+                        shared.fail("stream closed mid-write".into());
+                        return;
+                    }
+                    Ok(k) => {
+                        link.out_at += k;
+                        moved = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shared.fail(format!("write: {e}"));
+                        return;
+                    }
+                }
+            }
+            if link.out_at < link.out.len() || shared.dirty[link.idx].load(Ordering::Acquire) {
+                drained = false;
+            }
+            loop {
+                match link.stream.read(&mut chunk) {
+                    Ok(0) => break, // peer end torn down; nothing more will come
+                    Ok(k) => {
+                        link.rbuf.extend_from_slice(&chunk[..k]);
+                        moved = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shared.fail(format!("read: {e}"));
+                        return;
+                    }
+                }
+            }
+            // Parse whole frames off the front of the read buffer.
+            let mut at = 0usize;
+            while link.rbuf.len().saturating_sub(at) >= STREAM_PREFIX {
+                let flen =
+                    u32::from_le_bytes(link.rbuf[at..at + 4].try_into().expect("4 bytes")) as usize;
+                if link.rbuf.len() - at < STREAM_PREFIX + flen {
+                    break;
+                }
+                let dst = u32::from_le_bytes(link.rbuf[at + 4..at + 8].try_into().expect("4 bytes"))
+                    as usize;
+                let body = &link.rbuf[at + STREAM_PREFIX..at + STREAM_PREFIX + flen];
+                match decode_frame(body) {
+                    Ok(frame) if dst < n => {
+                        asms[dst].accept(frame);
+                        while let Some(m) = asms[dst].pending.pop_front() {
+                            // A dropped receiver (aborted run) is not an
+                            // error: same fire-and-forget semantics as
+                            // the channel transport.
+                            let _ = senders[dst].send(m);
+                        }
+                    }
+                    Ok(_) => {
+                        shared.fail(format!("frame addressed to unknown rank {dst}"));
+                        return;
+                    }
+                    Err(e) => {
+                        shared.fail(format!("decode: {e}"));
+                        return;
+                    }
+                }
+                at += STREAM_PREFIX + flen;
+            }
+            if at > 0 {
+                link.rbuf.copy_within(at.., 0);
+                link.rbuf.truncate(link.rbuf.len() - at);
+            }
+            if !link.rbuf.is_empty() {
+                drained = false; // mid-frame: the rest is still in flight
+            }
+        }
+        if shutdown.load(Ordering::Acquire) {
+            let seen = *shutdown_seen.get_or_insert_with(Instant::now);
+            if drained || seen.elapsed() > SHUTDOWN_GRACE {
+                return;
+            }
+        }
+        if moved {
+            idle = 0;
+        } else {
+            // Nothing was ready anywhere: back off so a quiet fabric
+            // does not spin a core, but stay well under the reliability
+            // layer's RTO so a wakeup never looks like loss.
+            idle = idle.saturating_add(1);
+            if idle < 8 {
+                std::thread::yield_now();
+            } else {
+                let nap = Duration::from_micros(50 << (idle - 8).min(4));
+                std::thread::sleep(nap.min(IDLE_NAP_MAX));
+            }
+        }
+    }
+}
+
+/// The shared TCP data plane: node-pair loopback streams, per-rank
+/// mailboxes, and the reactor thread driving them.
+///
+/// Dropping the fabric (or calling [`TcpFabric::shutdown`]) flushes
+/// outstanding outboxes and joins the reactor.
+pub struct TcpFabric {
+    shared: Arc<FabricShared>,
+    stop: Arc<AtomicBool>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpFabric {
+    /// Build the fabric for `n` ranks grouped into nodes of `node_size`
+    /// and return one [`TcpRankTransport`] per rank.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::App`] when `node_size` does not evenly partition the
+    /// ranks, and on socket setup failures.
+    pub fn new(n: usize, node_size: usize) -> Result<(Self, Vec<TcpRankTransport>), NetError> {
+        if n == 0 || node_size == 0 || !n.is_multiple_of(node_size) {
+            return Err(NetError::App(format!(
+                "node_size {node_size} must evenly partition {n} ranks"
+            )));
+        }
+        let nodes = n / node_size;
+        let pairs = nodes * (nodes - 1) / 2;
+        fn app(stage: &'static str) -> impl Fn(std::io::Error) -> NetError {
+            move |e| NetError::App(format!("{stage}: {e}"))
+        }
+
+        let mut senders = Vec::with_capacity(n);
+        let mut mailboxes = Vec::with_capacity(n);
+        for rank in 0..n {
+            let (tx, mb) = Mailbox::new(rank);
+            senders.push(tx);
+            mailboxes.push(mb);
+        }
+
+        // One loopback stream per node pair. Setup is sequential —
+        // connect, then accept — with a pair-id handshake so an
+        // accepted stream is never mismatched.
+        let mut links = Vec::with_capacity(2 * pairs);
+        if pairs > 0 {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(app("tcp bind"))?;
+            let addr = listener.local_addr().map_err(app("tcp local_addr"))?;
+            for p in 0..pairs {
+                let mut lo = TcpStream::connect(addr).map_err(app("tcp connect"))?;
+                lo.write_all(&(p as u32).to_le_bytes())
+                    .map_err(app("tcp handshake send"))?;
+                let (mut hi, _) = listener.accept().map_err(app("tcp accept"))?;
+                let mut hs = [0u8; 4];
+                hi.read_exact(&mut hs).map_err(app("tcp handshake recv"))?;
+                if u32::from_le_bytes(hs) as usize != p {
+                    return Err(NetError::App("tcp handshake pair mismatch".into()));
+                }
+                for s in [&lo, &hi] {
+                    s.set_nodelay(true).map_err(app("tcp set_nodelay"))?;
+                    s.set_nonblocking(true)
+                        .map_err(app("tcp set_nonblocking"))?;
+                }
+                links.push(Link {
+                    stream: lo,
+                    idx: 2 * p,
+                    out: Vec::new(),
+                    out_at: 0,
+                    rbuf: Vec::new(),
+                });
+                links.push(Link {
+                    stream: hi,
+                    idx: 2 * p + 1,
+                    out: Vec::new(),
+                    out_at: 0,
+                    rbuf: Vec::new(),
+                });
+            }
+        }
+
+        let shared = Arc::new(FabricShared {
+            node_size,
+            outboxes: (0..2 * pairs).map(|_| Mutex::new(Vec::new())).collect(),
+            dirty: (0..2 * pairs).map(|_| AtomicBool::new(false)).collect(),
+            error: Mutex::new(None),
+            nodes,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let reactor = if pairs > 0 {
+            let shared2 = Arc::clone(&shared);
+            let stop2 = Arc::clone(&stop);
+            let senders2 = senders.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("bruck-tcp-reactor".into())
+                    .spawn(move || reactor_loop(&shared2, links, &senders2, &stop2))
+                    .map_err(|e| NetError::App(format!("spawn reactor: {e}")))?,
+            )
+        } else {
+            None
+        };
+
+        let transports = mailboxes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mailbox)| TcpRankTransport {
+                rank,
+                node: rank / node_size,
+                peers: senders.clone(),
+                mailbox,
+                shared: Arc::clone(&shared),
+                next_msg_id: 0,
+                send_buf: Vec::new(),
+            })
+            .collect();
+        Ok((
+            Self {
+                shared,
+                stop,
+                reactor,
+            },
+            transports,
+        ))
+    }
+
+    /// OS threads the fabric itself owns (the reactor; `0` for a
+    /// single-node fabric with no TCP streams).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        usize::from(self.reactor.is_some())
+    }
+
+    /// First wire error, if the reactor or a sender hit one.
+    #[must_use]
+    pub fn error(&self) -> Option<String> {
+        self.shared.error.lock().expect("fabric error lock").clone()
+    }
+
+    /// Flush outstanding traffic (bounded by a short grace period) and
+    /// join the reactor. Called by `Drop`; explicit form for callers
+    /// that want the error.
+    pub fn shutdown(mut self) -> Option<String> {
+        self.stop_and_join();
+        self.error()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpFabric {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A rank's connection to the TCP fabric: intra-node sends go straight
+/// to the destination mailbox, inter-node sends are framed into the
+/// node-pair stream's outbox for the reactor to flush.
+pub struct TcpRankTransport {
+    rank: usize,
+    node: usize,
+    peers: Vec<MailSender>,
+    mailbox: Mailbox,
+    shared: Arc<FabricShared>,
+    next_msg_id: u64,
+    /// Reusable outbound frame buffer: one allocation serves every send.
+    send_buf: Vec<u8>,
+}
+
+impl TcpRankTransport {
+    /// The rank this transport serves.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// This rank's simulated node id.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+impl Transport for TcpRankTransport {
+    fn send(&mut self, msg: Message) -> Result<(), NetError> {
+        self.shared.check()?;
+        let dst_node = msg.dst / self.shared.node_size;
+        if dst_node == self.node {
+            // Intra-node fast path: no serialization, no syscalls.
+            let _ = self.peers[msg.dst].send(msg);
+            return Ok(());
+        }
+        let outbox_idx = self.shared.outbox_for(self.node, dst_node);
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let count = if msg.payload.is_empty() {
+            1
+        } else {
+            msg.payload.len().div_ceil(FRAG_PAYLOAD)
+        } as u32;
+        let mut outbox = self.shared.outboxes[outbox_idx]
+            .lock()
+            .expect("outbox lock");
+        for idx in 0..count {
+            let chunk = if msg.payload.is_empty() {
+                &[][..]
+            } else {
+                let at = idx as usize * FRAG_PAYLOAD;
+                &msg.payload[at..msg.payload.len().min(at + FRAG_PAYLOAD)]
+            };
+            let mut frame = std::mem::take(&mut self.send_buf);
+            encode_frame_into(
+                &mut frame,
+                msg.src,
+                msg.tag,
+                msg_id,
+                idx,
+                count,
+                msg.arrival,
+                msg.seq,
+                msg.ack,
+                msg.checksum,
+                chunk,
+            );
+            outbox.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            outbox.extend_from_slice(&(msg.dst as u32).to_le_bytes());
+            outbox.extend_from_slice(&frame);
+            self.send_buf = frame;
+        }
+        drop(outbox);
+        self.shared.dirty[outbox_idx].store(true, Ordering::Release);
+        Ok(())
+    }
+
+    fn recv_match(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Message, NetError> {
+        self.mailbox.recv_match(from, tag, timeout)
+    }
+
+    fn recv_any(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        Ok(self.mailbox.recv_any(timeout))
+    }
+
+    fn wait_any(&mut self, timeout: Duration) -> Result<(), NetError> {
+        self.mailbox.wait_any(timeout);
+        Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn purge(&mut self) -> usize {
+        self.mailbox.purge()
+    }
+}
+
+/// What a [`TcpScaleCluster`] run produces.
+#[derive(Debug)]
+pub struct ScaleOutput {
+    /// Per-rank output buffers, indexed by rank.
+    pub results: Vec<Vec<u8>>,
+    /// Folded communication metrics (per-rank counters + wire stats).
+    pub metrics: RunMetrics,
+    /// Worker threads the executor used.
+    pub workers: usize,
+    /// Total OS threads the run held (workers + reactor) — the scaling
+    /// claim: `O(workers)`, not `O(n)`.
+    pub threads: usize,
+    /// Communication rounds each rank executed.
+    pub rounds: usize,
+}
+
+/// Per-rank execution state owned by exactly one worker.
+struct RankCtx {
+    rank: usize,
+    program: RankProgram,
+    transport: Box<dyn Transport>,
+    work: Vec<u8>,
+    scratch: Vec<u8>,
+    metrics: RankMetrics,
+}
+
+/// Cross-worker coordination for one scale run.
+struct ScaleShared {
+    abort: AtomicBool,
+    error: Mutex<Option<NetError>>,
+    finished: AtomicUsize,
+}
+
+impl ScaleShared {
+    fn fail(&self, e: NetError) {
+        let mut slot = self.error.lock().expect("scale error lock");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.abort.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The event-driven executor: interprets lowered [`RankProgram`]s over
+/// the TCP fabric with a bounded worker pool instead of a thread per
+/// rank.
+#[derive(Debug)]
+pub struct TcpScaleCluster;
+
+impl TcpScaleCluster {
+    /// Run the index plan as an all-to-all over `cfg.n` ranks grouped
+    /// by [`ClusterConfig::node_size`], with `inputs[rank]` the `n·b`
+    /// send buffer of each rank. Honors `cfg.ports` (lowering width),
+    /// `cfg.timeout` (per-round patience), `cfg.deadline` (whole-run
+    /// budget), `cfg.reliability` (ARQ + watchdog; the window is
+    /// clamped up to the round count so the lockstep executor can never
+    /// wedge on its own backpressure), and `cfg.faults` (wire fault
+    /// injection).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::App`] on shape mismatches or unlowerable plans;
+    /// transport, timeout, deadline, and failure-detector verdicts
+    /// propagate.
+    pub fn run(
+        cfg: &ClusterConfig,
+        plan: &IndexPlan,
+        block: usize,
+        inputs: &[Vec<u8>],
+    ) -> Result<ScaleOutput, NetError> {
+        Self::run_with_workers(cfg, plan, block, inputs, None)
+    }
+
+    /// [`run`](Self::run) with an explicit worker count (defaults to
+    /// the host's available parallelism, capped at 8).
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Propagates worker-thread panics.
+    pub fn run_with_workers(
+        cfg: &ClusterConfig,
+        plan: &IndexPlan,
+        block: usize,
+        inputs: &[Vec<u8>],
+        workers: Option<usize>,
+    ) -> Result<ScaleOutput, NetError> {
+        let n = cfg.n;
+        if inputs.len() != n {
+            return Err(NetError::App(format!(
+                "{} input buffers for {n} ranks",
+                inputs.len()
+            )));
+        }
+        for (rank, input) in inputs.iter().enumerate() {
+            if input.len() != n * block {
+                return Err(NetError::App(format!(
+                    "rank {rank}: input is {} bytes, want n·b = {}",
+                    input.len(),
+                    n * block
+                )));
+            }
+        }
+        if n == 1 {
+            return Ok(ScaleOutput {
+                results: vec![inputs[0].clone()],
+                metrics: RunMetrics {
+                    per_rank: vec![RankMetrics::default()],
+                    ..RunMetrics::default()
+                },
+                workers: 0,
+                threads: 0,
+                rounds: 0,
+            });
+        }
+
+        let programs: Vec<RankProgram> = (0..n)
+            .map(|rank| RankProgram::lower(plan, n, rank, block, cfg.ports).map_err(NetError::App))
+            .collect::<Result<_, _>>()?;
+        // The lowering is SPMD: every rank must agree on the op
+        // schedule's shape, or the lockstep interpretation is undefined.
+        let ops_len = programs[0].ops.len();
+        for p in &programs[1..] {
+            let aligned = p.ops.len() == ops_len
+                && p.ops.iter().zip(&programs[0].ops).all(|(a, b)| {
+                    matches!(
+                        (a, b),
+                        (ProgramOp::Permute(_), ProgramOp::Permute(_))
+                            | (ProgramOp::Round(_), ProgramOp::Round(_))
+                    )
+                });
+            if !aligned {
+                return Err(NetError::App(format!(
+                    "plan {} lowered to misaligned per-rank programs",
+                    plan.label()
+                )));
+            }
+        }
+        let rounds = programs[0].rounds();
+
+        let node_size = cfg.node_size.unwrap_or(n);
+        let (fabric, raw_transports) = TcpFabric::new(n, node_size)?;
+        let detector = Arc::new(FailureDetector::new(n));
+        let round_clock = Arc::new(RoundClock::new(n));
+        let wire_layer = cfg.faults.needs_wire_layer();
+        let shared_expiry = cfg.deadline.map(|budget| (Instant::now() + budget, budget));
+        let transports: Vec<Box<dyn Transport>> = raw_transports
+            .into_iter()
+            .enumerate()
+            .map(|(rank, t)| {
+                let mut t: Box<dyn Transport> = Box::new(t);
+                if wire_layer {
+                    t = Box::new(FaultyTransport::new(
+                        t,
+                        Arc::clone(&cfg.faults),
+                        Arc::clone(&round_clock),
+                    ));
+                }
+                if let Some(rel) = cfg.reliability {
+                    let mut rel = rel;
+                    // The executor posts at most one frame per (src,
+                    // dst) link per round and pumps acks while it waits,
+                    // but a window smaller than the lag between workers
+                    // could fill and block a send against a receiver the
+                    // same worker owns — a self-deadlock. One frame per
+                    // round bounds in-flight by the round count, so this
+                    // clamp makes backpressure unreachable without
+                    // changing the protocol.
+                    rel.wire = rel.wire.with_window(rel.wire.window.max(rounds + 2));
+                    let deadline = Deadline::new();
+                    if let Some((at, budget)) = shared_expiry {
+                        deadline.arm_at(at, budget);
+                    }
+                    t = Box::new(
+                        ReliableTransport::new(t, rank, n, rel, Arc::clone(&detector))
+                            .with_deadline(deadline),
+                    );
+                }
+                t
+            })
+            .collect();
+
+        let mut ctxs: Vec<RankCtx> = programs
+            .into_iter()
+            .zip(transports)
+            .enumerate()
+            .map(|(rank, (program, transport))| RankCtx {
+                rank,
+                program,
+                transport,
+                work: inputs[rank].clone(),
+                scratch: vec![0u8; n * block],
+                metrics: RankMetrics::default(),
+            })
+            .collect();
+
+        let want = workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map_or(1, |p| p.get())
+                    .min(8)
+            })
+            .clamp(1, n);
+        let per = n.div_ceil(want);
+        let mut chunks: Vec<Vec<RankCtx>> = Vec::new();
+        while !ctxs.is_empty() {
+            let rest = ctxs.split_off(per.min(ctxs.len()));
+            chunks.push(std::mem::replace(&mut ctxs, rest));
+        }
+        let w = chunks.len();
+
+        let shared = ScaleShared {
+            abort: AtomicBool::new(false),
+            error: Mutex::new(None),
+            finished: AtomicUsize::new(0),
+        };
+        let shared_ref = &shared;
+        let round_clock_ref = &round_clock;
+        let collected: Vec<Vec<(usize, Vec<u8>, RankMetrics)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        run_chunk(
+                            chunk,
+                            block,
+                            cfg.timeout,
+                            shared_expiry,
+                            wire_layer,
+                            shared_ref,
+                            w,
+                            round_clock_ref,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scale worker panicked"))
+                .collect()
+        });
+
+        let reactor_threads = fabric.threads();
+        if let Some(wire) = fabric.shutdown() {
+            if let Ok(mut slot) = shared.error.lock() {
+                if slot.is_none() {
+                    *slot = Some(NetError::App(format!("tcp fabric: {wire}")));
+                }
+            }
+        }
+        if let Some(e) = shared.error.into_inner().expect("scale error lock") {
+            return Err(e);
+        }
+
+        let mut results = vec![Vec::new(); n];
+        let mut per_rank = vec![RankMetrics::default(); n];
+        for (rank, out, metrics) in collected.into_iter().flatten() {
+            results[rank] = out;
+            per_rank[rank] = metrics;
+        }
+        Ok(ScaleOutput {
+            results,
+            metrics: RunMetrics {
+                per_rank,
+                ..RunMetrics::default()
+            },
+            workers: w,
+            threads: w + reactor_threads,
+            rounds,
+        })
+    }
+}
+
+/// One worker's lockstep interpretation of its rank slice. Ranks whose
+/// round receives are complete keep pumping their protocol (acks,
+/// retransmissions, probes) until the whole slice finishes the round,
+/// so a straggling peer is never starved of the frames it needs.
+#[allow(clippy::too_many_arguments)] // internal; mirrors the run state
+fn run_chunk(
+    mut ctxs: Vec<RankCtx>,
+    block: usize,
+    timeout: Duration,
+    expiry: Option<(Instant, Duration)>,
+    checksums: bool,
+    shared: &ScaleShared,
+    workers: usize,
+    round_clock: &RoundClock,
+) -> Vec<(usize, Vec<u8>, RankMetrics)> {
+    let ops_len = ctxs.first().map_or(0, |c| c.program.ops.len());
+    let n = ctxs.first().map_or(0, |c| c.program.n);
+    'ops: for op_idx in 0..ops_len {
+        if shared.abort.load(Ordering::SeqCst) {
+            break;
+        }
+        let is_permute = matches!(ctxs[0].program.ops[op_idx], ProgramOp::Permute(_));
+        if is_permute {
+            for ctx in &mut ctxs {
+                let RankCtx {
+                    program,
+                    work,
+                    scratch,
+                    metrics,
+                    ..
+                } = ctx;
+                let ProgramOp::Permute(perm) = &program.ops[op_idx] else {
+                    unreachable!("op shape validated before spawn");
+                };
+                for (i, &src) in perm.iter().enumerate() {
+                    scratch[i * block..(i + 1) * block]
+                        .copy_from_slice(&work[src * block..(src + 1) * block]);
+                }
+                std::mem::swap(work, scratch);
+                metrics.bytes_copied += (n * block) as u64;
+            }
+            continue;
+        }
+        // Round: post every rank's sends, then complete receives by
+        // readiness — polling, never blocking, so every endpoint state
+        // machine this worker owns keeps making progress.
+        let mut sent_sizes: Vec<Vec<u64>> = Vec::with_capacity(ctxs.len());
+        for ctx in &mut ctxs {
+            let t0 = Instant::now();
+            let RankCtx {
+                rank,
+                program,
+                transport,
+                work,
+                metrics,
+                ..
+            } = ctx;
+            let ProgramOp::Round(round) = &program.ops[op_idx] else {
+                unreachable!("op shape validated before spawn");
+            };
+            let mut sizes = Vec::with_capacity(round.sends.len());
+            for s in &round.sends {
+                let mut payload = Vec::with_capacity(s.slots.len() * block);
+                for &slot in &s.slots {
+                    payload.extend_from_slice(&work[slot * block..(slot + 1) * block]);
+                }
+                sizes.push(payload.len() as u64);
+                let msg = Message {
+                    src: *rank,
+                    dst: s.peer,
+                    tag: s.tag,
+                    checksum: checksums.then(|| payload_checksum(&payload)),
+                    payload,
+                    arrival: 0.0,
+                    seq: 0,
+                    ack: 0,
+                };
+                if let Err(e) = transport.send(msg) {
+                    shared.fail(e);
+                    break 'ops;
+                }
+            }
+            metrics.wall_send_ns += t0.elapsed().as_nanos() as u64;
+            sent_sizes.push(sizes);
+        }
+        let recv_started = Instant::now();
+        let op_deadline = recv_started + timeout;
+        let mut pending: Vec<Vec<usize>> = ctxs
+            .iter()
+            .map(|ctx| {
+                let ProgramOp::Round(round) = &ctx.program.ops[op_idx] else {
+                    unreachable!("op shape validated before spawn");
+                };
+                (0..round.recvs.len()).collect()
+            })
+            .collect();
+        let mut left: usize = pending.iter().map(Vec::len).sum();
+        let mut idle: u32 = 0;
+        while left > 0 {
+            if shared.abort.load(Ordering::SeqCst) {
+                break 'ops;
+            }
+            let mut progressed = false;
+            for (ci, ctx) in ctxs.iter_mut().enumerate() {
+                let RankCtx {
+                    program,
+                    transport,
+                    work,
+                    metrics,
+                    ..
+                } = ctx;
+                let ProgramOp::Round(round) = &program.ops[op_idx] else {
+                    unreachable!("op shape validated before spawn");
+                };
+                if pending[ci].is_empty() {
+                    // Done rank: one zero-timeout pump keeps acks,
+                    // retransmissions, and probe replies flowing.
+                    if let Err(e) = transport.wait_any(Duration::ZERO) {
+                        shared.fail(e);
+                        break 'ops;
+                    }
+                    continue;
+                }
+                let mut i = 0;
+                while i < pending[ci].len() {
+                    let r = &round.recvs[pending[ci][i]];
+                    match transport.try_match(r.peer, r.tag) {
+                        Ok(Some(msg)) => {
+                            if msg.payload.len() != r.slots.len() * block {
+                                shared.fail(NetError::App(format!(
+                                    "rank {} tag {}: {} payload bytes for {} slots",
+                                    program.rank,
+                                    r.tag,
+                                    msg.payload.len(),
+                                    r.slots.len()
+                                )));
+                                break 'ops;
+                            }
+                            for (j, &slot) in r.slots.iter().enumerate() {
+                                work[slot * block..(slot + 1) * block]
+                                    .copy_from_slice(&msg.payload[j * block..(j + 1) * block]);
+                            }
+                            metrics.bytes_copied += msg.payload.len() as u64;
+                            pending[ci].swap_remove(i);
+                            left -= 1;
+                            progressed = true;
+                        }
+                        Ok(None) => i += 1,
+                        Err(e) => {
+                            shared.fail(e);
+                            break 'ops;
+                        }
+                    }
+                }
+            }
+            if left == 0 {
+                break;
+            }
+            if progressed {
+                idle = 0;
+                continue;
+            }
+            idle = idle.saturating_add(1);
+            let now = Instant::now();
+            if let Some((at, budget)) = expiry {
+                if now >= at {
+                    let rank = first_pending_rank(&ctxs, &pending);
+                    shared.fail(NetError::DeadlineExceeded { rank, budget });
+                    break 'ops;
+                }
+            }
+            if now >= op_deadline {
+                let (ci, ri) = pending
+                    .iter()
+                    .enumerate()
+                    .find_map(|(ci, p)| p.first().map(|&ri| (ci, ri)))
+                    .expect("left > 0 implies a pending receive");
+                let ProgramOp::Round(round) = &ctxs[ci].program.ops[op_idx] else {
+                    unreachable!("op shape validated before spawn");
+                };
+                shared.fail(NetError::Timeout {
+                    rank: ctxs[ci].rank,
+                    from: round.recvs[ri].peer,
+                    tag: round.recvs[ri].tag,
+                    waited: timeout,
+                });
+                break 'ops;
+            }
+            // Nothing arrived for anyone: let the reactor (and on a
+            // shared core, the other workers) run.
+            if idle < 16 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+        let recv_wall = recv_started.elapsed().as_nanos() as u64;
+        for (ci, ctx) in ctxs.iter_mut().enumerate() {
+            let ProgramOp::Round(round) = &ctx.program.ops[op_idx] else {
+                unreachable!("op shape validated before spawn");
+            };
+            ctx.metrics.wall_recv_ns += recv_wall;
+            ctx.metrics.record_round(&sent_sizes[ci], round.recvs.len());
+            round_clock.advance(ctx.rank);
+        }
+    }
+
+    if !shared.abort.load(Ordering::SeqCst) {
+        // Ack drain: interleave short flushes so ranks in this slice
+        // answer each other's unacked tails, then linger pumping until
+        // every worker is done (a peer elsewhere may still need acks).
+        for _ in 0..4 {
+            for ctx in &mut ctxs {
+                let _ = ctx
+                    .transport
+                    .flush(Instant::now() + Duration::from_millis(2));
+            }
+        }
+        shared.finished.fetch_add(1, Ordering::SeqCst);
+        let linger_deadline = Instant::now() + timeout.min(Duration::from_secs(1));
+        while shared.finished.load(Ordering::SeqCst) < workers
+            && !shared.abort.load(Ordering::SeqCst)
+            && Instant::now() < linger_deadline
+        {
+            for ctx in &mut ctxs {
+                let _ = ctx.transport.wait_any(Duration::ZERO);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    ctxs.into_iter()
+        .map(|mut ctx| {
+            ctx.metrics.link = ctx.transport.link_stats();
+            (ctx.rank, ctx.work, ctx.metrics)
+        })
+        .collect()
+}
+
+/// The lowest rank in this chunk that still has an unmatched receive.
+fn first_pending_rank(ctxs: &[RankCtx], pending: &[Vec<usize>]) -> usize {
+    pending
+        .iter()
+        .position(|p| !p.is_empty())
+        .map_or(0, |ci| ctxs[ci].rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical per-rank all-to-all input: block `j` of rank `i`
+    /// is a deterministic function of `(i, j)`.
+    fn index_input(rank: usize, n: usize, block: usize) -> Vec<u8> {
+        (0..n * block)
+            .map(|at| {
+                let (j, i) = (at / block, at % block);
+                (rank.wrapping_mul(31) ^ j.wrapping_mul(7) ^ i) as u8
+            })
+            .collect()
+    }
+
+    /// After the index operation rank `r` holds block `B[j, r]` at slot
+    /// `j` for every `j`.
+    fn index_expected(rank: usize, n: usize, block: usize) -> Vec<u8> {
+        (0..n * block)
+            .map(|at| {
+                let (j, i) = (at / block, at % block);
+                (j.wrapping_mul(31) ^ rank.wrapping_mul(7) ^ i) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_index_is_a_dense_enumeration() {
+        let nodes = 5;
+        let mut seen = vec![false; nodes * (nodes - 1) / 2];
+        for a in 0..nodes {
+            for b in (a + 1)..nodes {
+                let p = pair_index(nodes, a, b);
+                assert!(!seen[p], "pair ({a},{b}) collided at {p}");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fabric_routes_intra_and_inter_node() {
+        let (fabric, mut ts) = TcpFabric::new(4, 2).unwrap();
+        let msg = |src: usize, dst: usize, tag: Tag, payload: Vec<u8>| Message {
+            src,
+            dst,
+            tag,
+            payload,
+            arrival: 0.0,
+            seq: 0,
+            ack: 0,
+            checksum: None,
+        };
+        // Intra-node (0 → 1): channel path.
+        ts[0].send(msg(0, 1, 7, vec![1, 2, 3])).unwrap();
+        let m = ts[1].recv_match(0, 7, Duration::from_secs(2)).unwrap();
+        assert_eq!(m.payload, vec![1, 2, 3]);
+        // Inter-node (0 → 2 and 3 → 1): both stream directions.
+        ts[0].send(msg(0, 2, 9, vec![4; 10])).unwrap();
+        ts[3].send(msg(3, 1, 11, vec![5; 10])).unwrap();
+        let m = ts[2].recv_match(0, 9, Duration::from_secs(2)).unwrap();
+        assert_eq!(m.payload, vec![4; 10]);
+        let m = ts[1].recv_match(3, 11, Duration::from_secs(2)).unwrap();
+        assert_eq!(m.payload, vec![5; 10]);
+        drop(ts);
+        assert_eq!(fabric.shutdown(), None);
+    }
+
+    #[test]
+    fn fabric_fragments_and_reassembles_large_inter_node_messages() {
+        let (fabric, mut ts) = TcpFabric::new(2, 1).unwrap();
+        let bytes = 3 * FRAG_PAYLOAD + 123;
+        let payload: Vec<u8> = (0..bytes).map(|i| (i * 13) as u8).collect();
+        ts[0]
+            .send(Message {
+                src: 0,
+                dst: 1,
+                tag: 5,
+                payload: payload.clone(),
+                arrival: 0.25,
+                seq: 3,
+                ack: 1,
+                checksum: None,
+            })
+            .unwrap();
+        let m = ts[1].recv_match(0, 5, Duration::from_secs(5)).unwrap();
+        assert_eq!(m.payload, payload);
+        assert_eq!((m.arrival, m.seq, m.ack), (0.25, 3, 1));
+        drop(ts);
+        assert_eq!(fabric.shutdown(), None);
+    }
+
+    #[test]
+    fn fabric_rejects_non_dividing_node_size() {
+        assert!(TcpFabric::new(6, 4).is_err());
+    }
+
+    #[test]
+    fn scale_cluster_matches_the_oracle_across_plans() {
+        let block = 3;
+        let n = 16;
+        let cfg = ClusterConfig::new(n)
+            .with_node_size(4)
+            .with_reliability(crate::reliable::Reliability::default())
+            .with_timeout(Duration::from_secs(20));
+        let inputs: Vec<Vec<u8>> = (0..n).map(|r| index_input(r, n, block)).collect();
+        for plan in [
+            IndexPlan::Radix(2),
+            IndexPlan::Radix(4),
+            IndexPlan::Direct,
+            IndexPlan::Hierarchical {
+                node_size: 4,
+                radix_local: 2,
+                radix_remote: 2,
+            },
+        ] {
+            let out = TcpScaleCluster::run_with_workers(&cfg, &plan, block, &inputs, Some(3))
+                .unwrap_or_else(|e| panic!("{}: {e}", plan.label()));
+            for (rank, got) in out.results.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    &index_expected(rank, n, block),
+                    "{} rank {rank}",
+                    plan.label()
+                );
+            }
+            assert_eq!(out.workers, 3);
+            assert!(out.threads <= 4, "O(workers) threads, got {}", out.threads);
+            assert_eq!(out.metrics.per_rank.len(), n);
+            assert!(out.rounds > 0);
+            assert_eq!(
+                out.metrics.global_complexity().map(|c| c.c1),
+                Some(out.rounds as u64),
+                "{}: per-rank round accounting must agree",
+                plan.label()
+            );
+        }
+    }
+
+    #[test]
+    fn scale_cluster_without_reliability_is_still_bit_correct() {
+        let block = 2;
+        let n = 12;
+        let cfg = ClusterConfig::new(n).with_node_size(3);
+        let inputs: Vec<Vec<u8>> = (0..n).map(|r| index_input(r, n, block)).collect();
+        let out = TcpScaleCluster::run(&cfg, &IndexPlan::Radix(3), block, &inputs).unwrap();
+        for (rank, got) in out.results.iter().enumerate() {
+            assert_eq!(got, &index_expected(rank, n, block), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn scale_cluster_rejects_shape_mismatches() {
+        let cfg = ClusterConfig::new(4);
+        let err = TcpScaleCluster::run(&cfg, &IndexPlan::Radix(2), 2, &[vec![0u8; 8]]).unwrap_err();
+        assert!(matches!(err, NetError::App(_)), "{err}");
+        let bad = vec![vec![0u8; 7]; 4];
+        let err = TcpScaleCluster::run(&cfg, &IndexPlan::Radix(2), 2, &bad).unwrap_err();
+        assert!(matches!(err, NetError::App(_)), "{err}");
+    }
+
+    #[test]
+    fn unlowerable_plan_is_a_clean_error() {
+        let cfg = ClusterConfig::new(4);
+        let inputs = vec![vec![0u8; 8]; 4];
+        let err =
+            TcpScaleCluster::run(&cfg, &IndexPlan::Mixed(vec![2, 2]), 2, &inputs).unwrap_err();
+        assert!(matches!(err, NetError::App(_)), "{err}");
+    }
+
+    #[test]
+    fn single_rank_short_circuits() {
+        let cfg = ClusterConfig::new(1);
+        let out = TcpScaleCluster::run(&cfg, &IndexPlan::Direct, 4, &[vec![9u8; 4]]).unwrap();
+        assert_eq!(out.results, vec![vec![9u8; 4]]);
+        assert_eq!(out.threads, 0);
+    }
+}

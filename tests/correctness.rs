@@ -109,20 +109,45 @@ fn index_algorithms_agree_with_each_other() {
 }
 
 #[test]
-fn large_cluster_one_shot() {
-    // The paper's machine size: 64 processors.
+fn large_cluster_matrix_n64() {
+    // The paper's machine size: 64 processors — a full (algo, b, k)
+    // matrix, not a one-shot. Viable on 1-core CI because the engine's
+    // rank-thread gate (BRUCK_MAX_RANK_THREADS) serializes whole runs
+    // instead of piling 64-thread clusters on top of each other.
     let n = 64;
-    let b = 16;
-    for algo in [IndexAlgorithm::BruckRadix(2), IndexAlgorithm::BruckRadix(8)] {
-        let results = index_results(algo, n, b, 1);
-        for (rank, r) in results.iter().enumerate() {
-            assert_eq!(r, &verify::index_expected(rank, n, b));
+    for &b in &[1usize, 16] {
+        for &k in &[1usize, 2] {
+            for algo in [
+                IndexAlgorithm::BruckRadix(2),
+                IndexAlgorithm::BruckRadix(4),
+                IndexAlgorithm::BruckRadix(8),
+                IndexAlgorithm::BruckRadix(64),
+                IndexAlgorithm::Pairwise,
+            ] {
+                let results = index_results(algo, n, b, k);
+                for (rank, r) in results.iter().enumerate() {
+                    assert_eq!(
+                        r,
+                        &verify::index_expected(rank, n, b),
+                        "{} n={n} b={b} k={k} rank={rank}",
+                        algo.name()
+                    );
+                }
+            }
         }
     }
-    let results = concat_results(ConcatAlgorithm::Bruck(Preference::Rounds), n, b, 2);
+    let b = 16;
     let expected = verify::concat_expected(n, b);
-    for r in &results {
-        assert_eq!(r, &expected);
+    for &k in &[1usize, 2] {
+        for algo in [
+            ConcatAlgorithm::Bruck(Preference::Rounds),
+            ConcatAlgorithm::Bruck(Preference::Bytes),
+        ] {
+            let results = concat_results(algo, n, b, k);
+            for r in &results {
+                assert_eq!(r, &expected, "{} n={n} b={b} k={k}", algo.name());
+            }
+        }
     }
 }
 

@@ -1,0 +1,110 @@
+//! Event-driven TCP fabric integration: fault-injection smoke over the
+//! real loopback streams (the ARQ + watchdog stack must behave exactly
+//! as it does on the other transports) and the multiplexing claim at
+//! n = 128.
+
+use std::time::Duration;
+
+use bruck::collectives::verify;
+use bruck::model::planner::IndexPlan;
+use bruck::net::{ClusterConfig, FaultPlan, Reliability, TcpScaleCluster};
+
+fn scale_inputs(n: usize, block: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|r| verify::index_input(r, n, block)).collect()
+}
+
+fn assert_oracle(results: &[Vec<u8>], n: usize, block: usize, label: &str) {
+    for (rank, got) in results.iter().enumerate() {
+        assert_eq!(
+            got,
+            &verify::index_expected(rank, n, block),
+            "{label} rank={rank}"
+        );
+    }
+}
+
+#[test]
+fn lossy_delayed_tcp_loopback_stays_bit_correct() {
+    // The same FaultPlan the channel and UDS chaos suites use, riding
+    // on the TCP fabric: injected loss and delay must surface as
+    // retransmits, never as wrong bytes or a hang.
+    let (n, node_size, block) = (16, 4, 8);
+    let faults = FaultPlan::new()
+        .with_seed(0xB10C)
+        .with_loss(0.05)
+        .with_delay(0.05, 2e-4);
+    let cfg = ClusterConfig::new(n)
+        .with_node_size(node_size)
+        .with_reliability(Reliability::default())
+        .with_timeout(Duration::from_secs(60))
+        .with_deadline(Duration::from_secs(120))
+        .with_faults(faults);
+    let inputs = scale_inputs(n, block);
+    let out = TcpScaleCluster::run(&cfg, &IndexPlan::Radix(2), block, &inputs)
+        .unwrap_or_else(|e| panic!("lossy tcp run: {e}"));
+    assert_oracle(&out.results, n, block, "lossy tcp");
+    let link = out.metrics.link_totals();
+    assert!(
+        link.injected_losses + link.injected_delays > 0,
+        "fault plan injected nothing: {link:?}"
+    );
+    assert!(
+        link.retransmits > 0,
+        "losses were injected but the ARQ never retransmitted: {link:?}"
+    );
+}
+
+#[test]
+fn lossy_tcp_matches_faultless_run() {
+    // Same shape with and without faults: identical results, so the
+    // recovery machinery is invisible to the payload.
+    let (n, node_size, block) = (12, 3, 5);
+    let inputs = scale_inputs(n, block);
+    let plan = IndexPlan::Hierarchical {
+        node_size,
+        radix_local: 3,
+        radix_remote: 2,
+    };
+    let base_cfg = ClusterConfig::new(n)
+        .with_node_size(node_size)
+        .with_reliability(Reliability::default())
+        .with_timeout(Duration::from_secs(60));
+    let clean = TcpScaleCluster::run(&base_cfg, &plan, block, &inputs).unwrap();
+    let lossy_cfg = base_cfg
+        .clone()
+        .with_faults(FaultPlan::new().with_seed(7).with_loss(0.08));
+    let lossy = TcpScaleCluster::run(&lossy_cfg, &plan, block, &inputs).unwrap();
+    assert_eq!(clean.results, lossy.results);
+    assert_oracle(&clean.results, n, block, "clean hier tcp");
+}
+
+#[test]
+fn n128_multiplexes_hundreds_of_ranks_onto_a_handful_of_threads() {
+    let (n, node_size, block) = (128, 32, 8);
+    let inputs = scale_inputs(n, block);
+    let workers = 4;
+    for plan in [
+        IndexPlan::Radix(2),
+        IndexPlan::Hierarchical {
+            node_size,
+            radix_local: 2,
+            radix_remote: 2,
+        },
+    ] {
+        let cfg = ClusterConfig::new(n)
+            .with_node_size(node_size)
+            .with_reliability(Reliability::default())
+            .with_timeout(Duration::from_secs(120))
+            .with_deadline(Duration::from_secs(300));
+        let out = TcpScaleCluster::run_with_workers(&cfg, &plan, block, &inputs, Some(workers))
+            .unwrap_or_else(|e| panic!("{} n=128: {e}", plan.label()));
+        assert_oracle(&out.results, n, block, &plan.label());
+        assert_eq!(out.workers, workers, "{}", plan.label());
+        assert!(
+            out.threads <= workers + 1,
+            "{}: {} threads for {n} ranks — the pool leaked",
+            plan.label(),
+            out.threads
+        );
+    }
+}
