@@ -83,3 +83,21 @@ timeout 300 cargo test -q --test tcp --test hierarchical
 BRUCK_SCALE_MAX_N="${BRUCK_SCALE_MAX_N:-128}" timeout 300 \
     ./target/release/bruckctl bench --scale --reps 1 \
     --out /tmp/bruck-scale-smoke.json
+
+# TCP recovery gate: the connection-healing lifecycle over real
+# loopback streams — mid-collective stream kill → reconnect →
+# byte-identical to the faultless run, budget-exhausted handshake
+# blackhole → consistent node-level eviction, and a 100-seed
+# connection-chaos soak with per-view verdict consistency.
+# BRUCK_SCALE_MAX_N caps the eviction matrix (128 here skips the n=256
+# leg); BRUCK_CHAOS_SEED narrows the soak when bisecting. Failing soak
+# iterations persist a minimized TSV reproducer under target/
+# replayable with `bruckctl chaos --transport tcp --replay`. Hard
+# wall-clock timeout as the no-hang backstop (~20x the observed suite
+# time on a 1-core CI box). The bruckctl smoke then drives one
+# generated socket-chaos schedule end to end through the CLI path the
+# reproducers replay through.
+BRUCK_SCALE_MAX_N="${BRUCK_SCALE_MAX_N:-128}" timeout 300 \
+    cargo test -q --test tcp_recovery
+timeout 120 ./target/release/bruckctl chaos --transport tcp \
+    --n 64 --node-size 8 --block 8 --seed 7

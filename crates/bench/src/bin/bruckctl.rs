@@ -12,6 +12,8 @@
 //! bruckctl chaos  --n 8 --partition 0,1@1 --deadline-ms 500   # partition + budget
 //! bruckctl chaos  --n 8 --stall 3:40                      # straggler vs watchdog
 //! bruckctl chaos  --replay repro.chaos.tsv                # rerun a persisted reproducer
+//! bruckctl chaos  --transport tcp --n 128 --seed 7        # socket-level chaos on the TCP fabric
+//! bruckctl chaos  --transport tcp --replay repro.tsv      # replay a connection-chaos reproducer
 //! bruckctl bench  --n 8 --ports 2 --block 65536           # wire pipelining table + BENCH_pr3.json
 //! bruckctl bench  --min-mbps 50                           # CI floor: exit 1 below it
 //! bruckctl bench  --autotune --n 8 --ports 2              # planner vs fixed radices + BENCH_pr4.json
@@ -19,6 +21,7 @@
 //! bruckctl bench  --skew 0,0.5,1.0,1.5 --n 8 --ports 2    # Zipf v-op family sweep + BENCH_pr6.json
 //! bruckctl bench  --recovery --n 8 --ports 2              # membership steady-state overhead + BENCH_pr7.json
 //! bruckctl bench  --scale --ns 128,256,512,1024           # event-driven TCP sweep + BENCH_pr9.json
+//! bruckctl bench  --recovery --transport tcp              # connection-healing A/B + BENCH_pr10.json
 //! ```
 
 use std::sync::Arc;
@@ -417,6 +420,101 @@ fn print_link_report(metrics: &bruck_net::RunMetrics) {
     println!("  per-rank retransmits: {per_rank:?}");
 }
 
+fn print_fabric_report(fs: &bruck_net::FabricStats) {
+    println!(
+        "  fabric       : {} link failures, {} reconnects ({} failed), {} pairs evicted",
+        fs.link_failures, fs.reconnects, fs.reconnect_failures, fs.pairs_evicted
+    );
+    println!(
+        "  socket inj   : {} resets, {} stalls, {} handshake drops; {:.1} ms in backoff, {} B shed",
+        fs.injected_resets,
+        fs.injected_stalls,
+        fs.injected_handshake_drops,
+        fs.backoff_ns as f64 / 1e6,
+        fs.outbox_shed_bytes
+    );
+}
+
+/// `bruckctl chaos --transport tcp`: drive a socket-level chaos
+/// schedule (connection resets, half-open stalls, handshake
+/// blackholes, reconnect flaps, mild wire loss) against the
+/// event-driven TCP fabric via the resilient scale driver, then print
+/// the membership outcome and the fabric's healing counters.
+fn cmd_chaos_tcp(
+    args: &Args,
+    schedule: bruck_net::ChaosSchedule,
+    source: &str,
+) -> Result<(), String> {
+    use bruck_model::planner::IndexPlan;
+    use bruck_net::{RecoveryPolicy, TcpScaleCluster};
+    let n = schedule.n;
+    println!(
+        "chaos (tcp fabric): {source} (seed={:#x} n={n})",
+        schedule.seed
+    );
+    for e in &schedule.events {
+        println!("  event        : {e}");
+    }
+    let node_size = args.node_size.unwrap_or_else(|| {
+        (1..=32.min(n))
+            .rev()
+            .find(|&d| n.is_multiple_of(d))
+            .unwrap_or(1)
+    });
+    let block = args.block;
+    let policy = if schedule.has_rejoin() {
+        RecoveryPolicy::WaitForRejoin {
+            budget: std::time::Duration::from_secs(2),
+        }
+    } else {
+        RecoveryPolicy::ShrinkOnly
+    };
+    let mut cfg = ClusterConfig::new(n)
+        .with_node_size(node_size)
+        .with_faults(schedule.plan())
+        .with_reliability(Reliability::default())
+        .with_timeout(std::time::Duration::from_secs(20))
+        .with_quarantine(std::time::Duration::from_millis(5))
+        .with_recovery(policy);
+    cfg = cfg.with_deadline(std::time::Duration::from_millis(
+        args.deadline_ms.unwrap_or(30_000),
+    ));
+    let inputs: Vec<Vec<u8>> = (0..n).map(|r| verify::index_input(r, n, block)).collect();
+    let res = TcpScaleCluster::run_resilient_with_workers(
+        &cfg,
+        &IndexPlan::Radix(2),
+        block,
+        &inputs,
+        4,
+        args.workers,
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, got) in res.output.results.iter().enumerate() {
+        for (j, &src) in res.survivors.iter().enumerate() {
+            let dst = res.survivors[i];
+            if got[j * block..(j + 1) * block] != inputs[src][dst * block..(dst + 1) * block] {
+                return Err(format!(
+                    "survivor {dst}: wrong bytes from original rank {src}"
+                ));
+            }
+        }
+    }
+    let ms = &res.output.metrics.membership;
+    println!("  node size    : {node_size}");
+    println!("  policy       : {policy:?}");
+    println!("  survivors    : {} of {n}", res.survivors.len());
+    println!("  rejoined     : {:?}", res.rejoined);
+    println!("  attempts     : {}", res.attempts);
+    println!("  final view   : {}", res.view_id);
+    println!(
+        "  view changes : {} ({} evictions, {} rejoins, {} quarantines)",
+        ms.view_changes, ms.evictions, ms.rejoins, ms.quarantines
+    );
+    print_fabric_report(&res.output.metrics.fabric);
+    println!("  result       : bit-correct on the final membership ✓");
+    Ok(())
+}
+
 /// `bruckctl chaos --replay <file>`: load a persisted (typically soak-
 /// minimized) [`bruck_net::ChaosSchedule`] and drive it through the
 /// full recovery stack — `WaitForRejoin` when the schedule marks its
@@ -426,6 +524,9 @@ fn cmd_chaos_replay(args: &Args, path: &str) -> Result<(), String> {
     use bruck_net::RecoveryPolicy;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let schedule = bruck_sched::chaos_from_tsv(&text)?;
+    if args.transport == "tcp" || schedule.plan().has_socket_faults() {
+        return cmd_chaos_tcp(args, schedule, path);
+    }
     println!(
         "chaos replay: {path} (seed={:#x} n={})",
         schedule.seed, schedule.n
@@ -484,6 +585,10 @@ fn cmd_chaos_replay(args: &Args, path: &str) -> Result<(), String> {
 fn cmd_chaos(args: &Args) -> Result<(), String> {
     if let Some(path) = &args.replay {
         return cmd_chaos_replay(args, &path.clone());
+    }
+    if args.transport == "tcp" {
+        let schedule = bruck_net::ChaosSchedule::generate_socket_chaos(args.seed, args.n);
+        return cmd_chaos_tcp(args, schedule, "generated socket chaos");
     }
     let model = model_from(&args.model)?;
     let mut plan = FaultPlan::new()
@@ -723,6 +828,9 @@ fn cmd_bench_liveness(args: &Args) -> Result<(), String> {
 #[cfg(unix)]
 fn cmd_bench_recovery(args: &Args) -> Result<(), String> {
     use bruck_bench::wire;
+    if args.transport == "tcp" {
+        return cmd_bench_recovery_tcp(args);
+    }
     let cfg = wire::WireBenchConfig {
         n: args.n,
         ports: args.ports,
@@ -740,6 +848,42 @@ fn cmd_bench_recovery(args: &Args) -> Result<(), String> {
     print!("{}", wire::render_recovery_table(&rows));
     let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr7.json".into());
     std::fs::write(&out_path, wire::render_recovery_json(&rows))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("[results written to {out_path}]");
+    Ok(())
+}
+
+/// `bruckctl bench --recovery --transport tcp`: the price of the TCP
+/// fabric's connection-healing machinery — the same faultless
+/// collective with healing forced off vs armed, plus one cell that
+/// absorbs a mid-run connection reset — written as the tracked
+/// `BENCH_pr10.json` artifact.
+#[cfg(unix)]
+fn cmd_bench_recovery_tcp(args: &Args) -> Result<(), String> {
+    use bruck_bench::wire;
+    let mut cfg = wire::TcpRecoveryBenchConfig {
+        block: args.block,
+        reps: args.reps.max(1),
+        samples: args.samples.max(1),
+        workers: args.workers,
+        ..wire::TcpRecoveryBenchConfig::default()
+    };
+    // `--n 8` is the generic bruckctl default; the recovery A/B wants
+    // scale, so only an explicit larger n overrides the config default.
+    if args.n > 8 {
+        cfg.n = args.n;
+    }
+    if let Some(s) = args.node_size {
+        cfg.node_size = s;
+    }
+    println!(
+        "tcp recovery bench: n={} node_size={} block={} reps={}x{} (tcp loopback)",
+        cfg.n, cfg.node_size, cfg.block, cfg.reps, cfg.samples
+    );
+    let rows = wire::run_tcp_recovery(&cfg)?;
+    print!("{}", wire::render_tcp_recovery_table(&rows));
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_pr10.json".into());
+    std::fs::write(&out_path, wire::render_tcp_recovery_json(&rows))
         .map_err(|e| format!("write {out_path}: {e}"))?;
     println!("[results written to {out_path}]");
     Ok(())

@@ -31,7 +31,7 @@ use bruck_model::calibrate::LinearFit;
 use bruck_model::cost::CostModel;
 use bruck_model::planner::{IndexPlan, Planner, VIndexPlan};
 use bruck_model::WireTuning;
-use bruck_net::{ClusterConfig, NetError, Reliability, TcpScaleCluster};
+use bruck_net::{ClusterConfig, FaultPlan, NetError, Reliability, TcpScaleCluster};
 
 // ---------------------------------------------------------------------
 // Environment metadata and calibration quality — shared by every
@@ -2212,6 +2212,326 @@ pub fn render_scale_json(rows: &[ScaleRow], fit: Option<&LinearFit>) -> String {
     out.push_str(&format!(
         "  \"criteria\": {{\"all_bit_correct\": {all_correct}, \"watchdog_armed_everywhere\": {guards_armed}, \
          \"threads_o_workers_not_o_n\": {threads_bounded}, \"two_level_beats_flat_at_128_plus\": {two_level_wins}}}\n}}\n",
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// TCP recovery bench: the price of connection healing (BENCH_pr10.json).
+// ---------------------------------------------------------------------
+
+/// Configuration for the TCP recovery A/B: the same faultless
+/// collective with the fabric's connection-healing machinery forced
+/// off vs armed, plus one cell that injects a connection reset mid-run
+/// and heals through it.
+#[derive(Debug, Clone)]
+pub struct TcpRecoveryBenchConfig {
+    /// Cluster size (must be divisible by `node_size`).
+    pub n: usize,
+    /// Ranks per simulated node.
+    pub node_size: usize,
+    /// Block size in bytes.
+    pub block: usize,
+    /// Timed repetitions per sample (each rep is a full run, fabric
+    /// setup included — healing's listener retention is part of the
+    /// price being measured).
+    pub reps: usize,
+    /// A/B sample pairs; in-pair order flips every sample so neither
+    /// leg systematically inherits the warmer machine.
+    pub samples: usize,
+    /// Worker threads driving the ranks.
+    pub workers: Option<usize>,
+    /// Per-operation patience.
+    pub timeout: Duration,
+    /// Whole-run deadline budget.
+    pub deadline: Duration,
+}
+
+impl Default for TcpRecoveryBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 128,
+            node_size: 32,
+            block: 64,
+            reps: 3,
+            samples: 3,
+            workers: None,
+            timeout: Duration::from_secs(60),
+            deadline: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One mode of the TCP recovery bench.
+#[derive(Debug, Clone)]
+pub struct TcpRecoveryRow {
+    /// `"heal-off"`, `"heal-on"`, or `"mid-run-reconnect"`.
+    pub mode: &'static str,
+    /// Number of ranks.
+    pub n: usize,
+    /// Ranks per node.
+    pub node_size: usize,
+    /// Block size in bytes.
+    pub block: usize,
+    /// Total timed runs folded into this row.
+    pub reps: usize,
+    /// Fastest end-to-end wall (ns).
+    pub min_ns: u64,
+    /// Median end-to-end wall (ns).
+    pub p50_ns: u64,
+    /// Mean end-to-end wall (ns).
+    pub mean_ns: u64,
+    /// Goodput on the mean lap, MB/s.
+    pub mbps: f64,
+    /// Stream teardowns the fabric observed, summed over runs.
+    pub link_failures: u64,
+    /// Successful re-handshakes, summed over runs.
+    pub reconnects: u64,
+    /// Every rank matched the oracle on every run.
+    pub bit_correct: bool,
+}
+
+/// One timed full run of a mode; folds the lap and the fabric's
+/// healing counters into the accumulators.
+fn tcp_recovery_run(
+    cluster_cfg: &ClusterConfig,
+    bench_cfg: &TcpRecoveryBenchConfig,
+    inputs: &[Vec<u8>],
+    laps: &mut Vec<u64>,
+    link_failures: &mut u64,
+    reconnects: &mut u64,
+    bit_correct: &mut bool,
+) -> Result<(), String> {
+    let plan = IndexPlan::Hierarchical {
+        node_size: bench_cfg.node_size,
+        radix_local: 2,
+        radix_remote: 2,
+    };
+    let t0 = Instant::now();
+    let out = TcpScaleCluster::run_with_workers(
+        cluster_cfg,
+        &plan,
+        bench_cfg.block,
+        inputs,
+        bench_cfg.workers,
+    )
+    .map_err(|e| format!("tcp recovery n={}: {e}", bench_cfg.n))?;
+    laps.push(t0.elapsed().as_nanos() as u64);
+    for (rank, got) in out.results.iter().enumerate() {
+        if got != &verify::index_expected(rank, bench_cfg.n, bench_cfg.block) {
+            *bit_correct = false;
+        }
+    }
+    *link_failures += out.metrics.fabric.link_failures;
+    *reconnects += out.metrics.fabric.reconnects;
+    Ok(())
+}
+
+fn tcp_recovery_fold(
+    cfg: &TcpRecoveryBenchConfig,
+    mode: &'static str,
+    mut laps: Vec<u64>,
+    link_failures: u64,
+    reconnects: u64,
+    bit_correct: bool,
+) -> TcpRecoveryRow {
+    laps.sort_unstable();
+    let mean_ns = (laps.iter().sum::<u64>() / laps.len().max(1) as u64).max(1);
+    let bytes_moved = (cfg.n * (cfg.n - 1) * cfg.block) as u64;
+    TcpRecoveryRow {
+        mode,
+        n: cfg.n,
+        node_size: cfg.node_size,
+        block: cfg.block,
+        reps: laps.len(),
+        min_ns: laps.first().copied().unwrap_or(0).max(1),
+        p50_ns: percentile(&laps, 50),
+        mean_ns,
+        mbps: bytes_moved as f64 / (mean_ns as f64 / 1e9) / 1e6,
+        link_failures,
+        reconnects,
+        bit_correct,
+    }
+}
+
+/// Run the TCP recovery A/B plus the mid-run reconnect cell.
+///
+/// The A/B legs are both *faultless*: `heal-off` forces the legacy
+/// fail-fast reactor ([`ClusterConfig::with_healing`]`(false)`),
+/// `heal-on` arms reconnect/backoff/eviction machinery — the delta is
+/// the steady-state price of the retained listener and the per-pair
+/// healing state. The third cell injects one connection reset mid-run
+/// with healing armed: its lap absorbs a real teardown + re-handshake
+/// and must still end bit-correct with `reconnects > 0`.
+///
+/// # Errors
+///
+/// Configuration errors and the first failing run.
+pub fn run_tcp_recovery(cfg: &TcpRecoveryBenchConfig) -> Result<Vec<TcpRecoveryRow>, String> {
+    if cfg.node_size == 0 || !cfg.n.is_multiple_of(cfg.node_size) {
+        return Err(format!(
+            "node_size {} must evenly partition n={}",
+            cfg.node_size, cfg.n
+        ));
+    }
+    if cfg.n / cfg.node_size < 2 {
+        return Err("the reconnect cell needs at least two nodes".into());
+    }
+    let inputs: Vec<Vec<u8>> = (0..cfg.n)
+        .map(|r| verify::index_input(r, cfg.n, cfg.block))
+        .collect();
+    let base = ClusterConfig::new(cfg.n)
+        .with_node_size(cfg.node_size)
+        .with_timeout(cfg.timeout)
+        .with_deadline(cfg.deadline)
+        .with_reliability(Reliability::default());
+    let off_cfg = base.clone().with_healing(false);
+    let on_cfg = base.clone().with_healing(true);
+
+    let (mut off_laps, mut on_laps) = (Vec::new(), Vec::new());
+    let (mut off_lf, mut off_rc, mut off_ok) = (0u64, 0u64, true);
+    let (mut on_lf, mut on_rc, mut on_ok) = (0u64, 0u64, true);
+    for s in 0..cfg.samples.max(1) {
+        let order: [bool; 2] = if s % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for on in order {
+            for _ in 0..cfg.reps.max(1) {
+                if on {
+                    tcp_recovery_run(
+                        &on_cfg,
+                        cfg,
+                        &inputs,
+                        &mut on_laps,
+                        &mut on_lf,
+                        &mut on_rc,
+                        &mut on_ok,
+                    )?;
+                } else {
+                    tcp_recovery_run(
+                        &off_cfg,
+                        cfg,
+                        &inputs,
+                        &mut off_laps,
+                        &mut off_lf,
+                        &mut off_rc,
+                        &mut off_ok,
+                    )?;
+                }
+            }
+        }
+    }
+
+    // The reconnect cell: reset the stream between the first two nodes
+    // after round 1; healing must re-handshake and the ARQ re-drive the
+    // preserved outbox, ending bit-correct.
+    let reset_cfg = base
+        .with_faults(FaultPlan::new().with_conn_reset(0, cfg.node_size, 1))
+        .with_healing(true);
+    let (mut rs_laps, mut rs_lf, mut rs_rc, mut rs_ok) = (Vec::new(), 0u64, 0u64, true);
+    for _ in 0..cfg.reps.max(1) {
+        tcp_recovery_run(
+            &reset_cfg,
+            cfg,
+            &inputs,
+            &mut rs_laps,
+            &mut rs_lf,
+            &mut rs_rc,
+            &mut rs_ok,
+        )?;
+    }
+
+    Ok(vec![
+        tcp_recovery_fold(cfg, "heal-off", off_laps, off_lf, off_rc, off_ok),
+        tcp_recovery_fold(cfg, "heal-on", on_laps, on_lf, on_rc, on_ok),
+        tcp_recovery_fold(cfg, "mid-run-reconnect", rs_laps, rs_lf, rs_rc, rs_ok),
+    ])
+}
+
+/// Fractional mean-lap cost of arming connection healing on a
+/// faultless TCP run, from the A/B rows.
+#[must_use]
+pub fn tcp_recovery_overhead(rows: &[TcpRecoveryRow]) -> Option<f64> {
+    let mean = |mode: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode)
+            .map(|r| r.mean_ns as f64)
+    };
+    let (on, off) = (mean("heal-on")?, mean("heal-off")?);
+    (off > 0.0).then_some(on / off - 1.0)
+}
+
+/// Render the TCP recovery comparison as a human table.
+#[must_use]
+pub fn render_tcp_recovery_table(rows: &[TcpRecoveryRow]) -> String {
+    let mut out = format!(
+        "{:<18} {:>5} {:>5} {:>7} {:>9} {:>11} {:>11} {:>11} {:>6} {:>7} {:>8}\n",
+        "mode", "n", "node", "block", "MB/s", "min", "p50", "mean", "fails", "reconn", "correct"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>5} {:>5} {:>7} {:>9.1} {:>11} {:>11} {:>11} {:>6} {:>7} {:>8}\n",
+            r.mode,
+            r.n,
+            r.node_size,
+            r.block,
+            r.mbps,
+            fmt_ns(r.min_ns),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.mean_ns),
+            r.link_failures,
+            r.reconnects,
+            r.bit_correct,
+        ));
+    }
+    if let Some(o) = tcp_recovery_overhead(rows) {
+        out.push_str(&format!(
+            "healing overhead: {:+.2}% mean lap (alternating A/B runs, both faultless)\n",
+            o * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the tracked `BENCH_pr10.json` artifact (hand-rolled JSON).
+#[must_use]
+pub fn render_tcp_recovery_json(rows: &[TcpRecoveryRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"pr10-tcp-recovery\",\n");
+    out.push_str(&EnvMeta::capture("tcp").to_json_line());
+    out.push_str("  \"transport\": \"tcp\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"n\": {}, \"node_size\": {}, \"block\": {}, \
+             \"reps\": {}, \"min_ns\": {}, \"p50_ns\": {}, \"mean_ns\": {}, \"mbps\": {:.2}, \
+             \"link_failures\": {}, \"reconnects\": {}, \"bit_correct\": {}}}{}\n",
+            r.mode,
+            r.n,
+            r.node_size,
+            r.block,
+            r.reps,
+            r.min_ns,
+            r.p50_ns,
+            r.mean_ns,
+            r.mbps,
+            r.link_failures,
+            r.reconnects,
+            r.bit_correct,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let ov = tcp_recovery_overhead(rows).unwrap_or(0.0);
+    let healed = rows
+        .iter()
+        .find(|r| r.mode == "mid-run-reconnect")
+        .is_some_and(|r| r.bit_correct && r.reconnects > 0);
+    let all_correct = rows.iter().all(|r| r.bit_correct);
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"criteria\": {{\"healing_overhead\": {ov:.4}, \"under_5pct\": {}, \
+         \"reconnect_healed_bit_correct\": {healed}, \"all_bit_correct\": {all_correct}}}\n}}\n",
+        ov < 0.05,
     ));
     out
 }

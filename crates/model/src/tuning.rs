@@ -5,6 +5,8 @@
 //! transfer time." This module evaluates the closed-form complexity of the
 //! radix-`r` index algorithm under a [`CostModel`] and picks the best `r`.
 
+use std::time::Duration;
+
 use crate::complexity::Complexity;
 use crate::cost::CostModel;
 use crate::radix::RadixDecomposition;
@@ -54,6 +56,14 @@ pub struct WireTuning {
     /// link's reverse direction, so bidirectional exchanges keep both
     /// windows open without dedicated ack frames.
     pub piggyback: bool,
+    /// Upper bound on how long a shared data plane (the TCP fabric's
+    /// reactor) keeps sweeping after shutdown is requested, waiting for
+    /// outboxes to drain. This is a hang backstop, not a sleep: a
+    /// drained fabric exits immediately, and runtimes that observe the
+    /// link's adaptive RTO clamp the grace down to a few RTOs (mirroring
+    /// the thread-per-rank linger), so the configured value only binds
+    /// when no RTT estimate exists.
+    pub drain_grace: Duration,
 }
 
 impl WireTuning {
@@ -66,6 +76,7 @@ impl WireTuning {
             window: 1,
             sack_limit: 0,
             piggyback: false,
+            drain_grace: DEFAULT_DRAIN_GRACE,
         }
     }
 
@@ -89,7 +100,19 @@ impl WireTuning {
         self.piggyback = on;
         self
     }
+
+    /// Set the shutdown drain-grace ceiling (see
+    /// [`drain_grace`](Self::drain_grace)).
+    #[must_use]
+    pub fn with_drain_grace(mut self, grace: Duration) -> Self {
+        self.drain_grace = grace;
+        self
+    }
 }
+
+/// Default shutdown drain-grace ceiling (see
+/// [`WireTuning::drain_grace`]).
+pub const DEFAULT_DRAIN_GRACE: Duration = Duration::from_secs(1);
 
 impl Default for WireTuning {
     /// Eight frames in flight, up to 32 selective-ack entries,
@@ -99,6 +122,7 @@ impl Default for WireTuning {
             window: 8,
             sack_limit: 32,
             piggyback: true,
+            drain_grace: DEFAULT_DRAIN_GRACE,
         }
     }
 }
@@ -302,6 +326,14 @@ mod tests {
         assert_eq!(WireTuning::default().with_window(0).window, 1);
         assert_eq!(WireTuning::default().with_sack_limit(4).sack_limit, 4);
         assert!(!WireTuning::default().with_piggyback(false).piggyback);
+        assert_eq!(WireTuning::default().drain_grace, DEFAULT_DRAIN_GRACE);
+        assert_eq!(sw.drain_grace, DEFAULT_DRAIN_GRACE);
+        assert_eq!(
+            WireTuning::default()
+                .with_drain_grace(Duration::from_millis(50))
+                .drain_grace,
+            Duration::from_millis(50)
+        );
     }
 
     #[test]

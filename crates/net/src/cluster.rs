@@ -70,6 +70,15 @@ pub struct ClusterConfig {
     /// grouping. `None` (the default) means a flat, single-node
     /// topology.
     pub node_size: Option<usize>,
+    /// Override for the TCP fabric's connection-healing machinery
+    /// (reconnect with backoff, outbox preservation, node eviction).
+    /// `None` (the default) arms healing automatically whenever the
+    /// reliability sublayer or socket-level faults are configured;
+    /// `Some(false)` forces the legacy fail-fast reactor even then
+    /// (the lever the recovery A/B bench pulls); `Some(true)` arms it
+    /// unconditionally. Only consulted by
+    /// [`crate::tcp::TcpScaleCluster`].
+    pub healing: Option<bool>,
 }
 
 impl ClusterConfig {
@@ -95,6 +104,7 @@ impl ClusterConfig {
             recovery: RecoveryPolicy::default(),
             quarantine: crate::membership::DEFAULT_BASE_QUARANTINE,
             node_size: None,
+            healing: None,
         }
     }
 
@@ -187,6 +197,14 @@ impl ClusterConfig {
             self.n
         );
         self.node_size = Some(node_size);
+        self
+    }
+
+    /// Override the TCP fabric's connection-healing machinery (see
+    /// [`ClusterConfig::healing`]).
+    #[must_use]
+    pub fn with_healing(mut self, healing: bool) -> Self {
+        self.healing = Some(healing);
         self
     }
 

@@ -117,6 +117,63 @@ fn unit_draw(key: u64, salt: u64) -> f64 {
     (bits >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// A connection-level fault injected inside the TCP fabric, keyed by a
+/// rank pair: the fabric maps the ranks to their simulated nodes and
+/// arms the event on the stream carrying that node pair's traffic
+/// (intra-node pairs have no stream, so the event is a no-op there).
+/// Rounds are measured on the cluster's *slowest* rank — the event
+/// fires once every rank has completed `round` rounds — so an armed
+/// event can never race ahead of the traffic it is meant to disturb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Abruptly close both stream ends (TCP RST analogue): the reactor
+    /// must detect the dead link, back off, and re-handshake.
+    Reset {
+        /// A rank on one of the two nodes.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Slowest-rank completed-round count at which the reset fires.
+        round: u64,
+    },
+    /// Freeze the stream (no reads, no writes) for `millis` — the
+    /// half-open analogue where the peer goes silent but the socket
+    /// never errors, so only timeouts and retransmissions notice.
+    HalfOpen {
+        /// A rank on one of the two nodes.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Slowest-rank completed-round count at which the stall starts.
+        round: u64,
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+    /// Fail the pair's next `drops` reconnect handshakes, burning
+    /// reconnect budget (SYN-blackhole analogue). Enough drops exhaust
+    /// the budget and force a node-level eviction.
+    HandshakeDrop {
+        /// A rank on one of the two nodes.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Number of consecutive handshakes to fail.
+        drops: u32,
+    },
+    /// Reset the link at `round` and then again after each of the next
+    /// `flaps` successful heals — the flapping-connection generator.
+    Flap {
+        /// A rank on one of the two nodes.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Slowest-rank completed-round count of the first reset.
+        round: u64,
+        /// Additional resets fired right after each heal.
+        flaps: u32,
+    },
+}
+
 /// A declarative fault plan applied during a cluster run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -153,6 +210,10 @@ pub struct FaultPlan {
     /// ack-path fault injection beyond the symmetric `rates` (which hit
     /// acks and data alike).
     ack_loss: f64,
+    /// Connection-level events injected inside the TCP fabric (resets,
+    /// half-open stalls, handshake drops, reconnect flaps). Ignored by
+    /// transports without a shared stream data plane.
+    socket: Vec<SocketFault>,
     /// Whether this plan came out of [`survivor_plan`](Self::survivor_plan)
     /// and therefore addresses an attempt's *dense* numbering. Recurring
     /// kills are keyed by original rank, so [`should_kill`](Self::should_kill)
@@ -175,6 +236,7 @@ impl FaultPlan {
             && self.recurring_kills.is_empty()
             && self.drops.is_empty()
             && self.stalls.is_empty()
+            && self.socket.is_empty()
             && !self.has_wire_faults()
             && !self.needs_wire_layer()
     }
@@ -289,6 +351,61 @@ impl FaultPlan {
     pub fn with_ack_loss(mut self, rate: f64) -> Self {
         self.ack_loss = rate;
         self
+    }
+
+    /// Reset the TCP stream carrying `src ↔ dst` traffic once every
+    /// rank has completed `round` rounds (see [`SocketFault::Reset`]).
+    #[must_use]
+    pub fn with_conn_reset(mut self, src: usize, dst: usize, round: u64) -> Self {
+        self.socket.push(SocketFault::Reset { src, dst, round });
+        self
+    }
+
+    /// Freeze the `src ↔ dst` stream for `stall` starting at `round`
+    /// (see [`SocketFault::HalfOpen`]).
+    #[must_use]
+    pub fn with_half_open(mut self, src: usize, dst: usize, round: u64, stall: Duration) -> Self {
+        self.socket.push(SocketFault::HalfOpen {
+            src,
+            dst,
+            round,
+            millis: stall.as_millis() as u64,
+        });
+        self
+    }
+
+    /// Fail the `src ↔ dst` pair's next `drops` reconnect handshakes
+    /// (see [`SocketFault::HandshakeDrop`]).
+    #[must_use]
+    pub fn with_handshake_drops(mut self, src: usize, dst: usize, drops: u32) -> Self {
+        self.socket
+            .push(SocketFault::HandshakeDrop { src, dst, drops });
+        self
+    }
+
+    /// Flap the `src ↔ dst` stream: reset at `round`, then `flaps` more
+    /// resets, one after each heal (see [`SocketFault::Flap`]).
+    #[must_use]
+    pub fn with_reconnect_flap(mut self, src: usize, dst: usize, round: u64, flaps: u32) -> Self {
+        self.socket.push(SocketFault::Flap {
+            src,
+            dst,
+            round,
+            flaps,
+        });
+        self
+    }
+
+    /// The connection-level events the TCP fabric must arm.
+    #[must_use]
+    pub fn socket_faults(&self) -> &[SocketFault] {
+        &self.socket
+    }
+
+    /// Whether any connection-level (fabric-injected) event is present.
+    #[must_use]
+    pub fn has_socket_faults(&self) -> bool {
+        !self.socket.is_empty()
     }
 
     /// Whether any probabilistic wire fault is configured (this is what
@@ -454,6 +571,10 @@ impl FaultPlan {
             stalls: Vec::new(),
             // Ack-path loss is a topology-agnostic rate like `rates`.
             ack_loss: self.ack_loss,
+            // Socket events are keyed by original ranks and were
+            // consumed by the attempt that armed them — cleared like
+            // kills, so a healed retry runs on a quiet fabric.
+            socket: Vec::new(),
             shrunk: true,
         }
     }
@@ -638,6 +759,46 @@ pub enum ChaosEvent {
         /// The restarting rank.
         rank: usize,
     },
+    /// Abrupt stream reset between two ranks' nodes (TCP fabric only).
+    ConnReset {
+        /// A rank on one node of the pair.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Slowest-rank completed-round count at which the reset fires.
+        round: u64,
+    },
+    /// Half-open stall: the stream goes silent without erroring.
+    HalfOpenStall {
+        /// A rank on one node of the pair.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Slowest-rank completed-round count at which the stall starts.
+        round: u64,
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+    /// Reconnect handshakes fail `drops` times, burning backoff budget.
+    HandshakeDrop {
+        /// A rank on one node of the pair.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Number of consecutive handshakes to fail.
+        drops: u32,
+    },
+    /// Flapping link: reset at `round`, then again after each heal.
+    ReconnectFlap {
+        /// A rank on one node of the pair.
+        src: usize,
+        /// A rank on the other node.
+        dst: usize,
+        /// Slowest-rank completed-round count of the first reset.
+        round: u64,
+        /// Additional resets fired right after each heal.
+        flaps: u32,
+    },
 }
 
 impl fmt::Display for ChaosEvent {
@@ -659,8 +820,34 @@ impl fmt::Display for ChaosEvent {
             }
             Self::Kill { rank, round } => write!(f, "kill rank {rank} after round {round}"),
             Self::Rejoin { rank } => write!(f, "rejoin rank {rank} after quarantine"),
+            Self::ConnReset { src, dst, round } => {
+                write!(f, "conn-reset {src}↔{dst} @ round {round}")
+            }
+            Self::HalfOpenStall {
+                src,
+                dst,
+                round,
+                millis,
+            } => write!(f, "half-open {src}↔{dst} @ round {round} for {millis}ms"),
+            Self::HandshakeDrop { src, dst, drops } => {
+                write!(f, "handshake-drop {src}↔{dst} ×{drops}")
+            }
+            Self::ReconnectFlap {
+                src,
+                dst,
+                round,
+                flaps,
+            } => write!(f, "reconnect-flap {src}↔{dst} @ round {round} ×{flaps}"),
         }
     }
+}
+
+/// Two distinct ranks in `[0, n)` drawn from the schedule RNG (two
+/// draws, same idiom as the Cut event's endpoints).
+fn distinct_pair(rate: &mut impl FnMut(f64) -> f64, n: usize) -> (usize, usize) {
+    let src = (rate(1.0) * n as f64) as usize % n;
+    let dst = (src + 1 + (rate(1.0) * (n - 1) as f64) as usize % (n - 1)) % n;
+    (src, dst)
 }
 
 /// A seeded, reproducible chaos schedule: a bag of [`ChaosEvent`]s plus
@@ -758,6 +945,105 @@ impl ChaosSchedule {
                 events.push(ChaosEvent::Rejoin { rank });
             }
         }
+        // Socket-level (fabric) events — again drawn after everything
+        // above, so pre-existing seeds keep their exact schedules as a
+        // prefix. They only bite on the TCP fabric; other transports
+        // ignore them.
+        if rate(1.0) < 0.25 {
+            let (src, dst) = distinct_pair(&mut rate, n);
+            let round = (rate(1.0) * 3.0) as u64;
+            if rate(1.0) < 0.35 {
+                events.push(ChaosEvent::ReconnectFlap {
+                    src,
+                    dst,
+                    round,
+                    flaps: 1 + (rate(1.0) * 2.0) as u32,
+                });
+            } else {
+                events.push(ChaosEvent::ConnReset { src, dst, round });
+            }
+        }
+        if rate(1.0) < 0.2 {
+            let (src, dst) = distinct_pair(&mut rate, n);
+            events.push(ChaosEvent::HalfOpenStall {
+                src,
+                dst,
+                round: (rate(1.0) * 3.0) as u64,
+                millis: 1 + (rate(1.0) * 20.0) as u64,
+            });
+        }
+        if rate(1.0) < 0.15 {
+            let (src, dst) = distinct_pair(&mut rate, n);
+            events.push(ChaosEvent::HandshakeDrop {
+                src,
+                dst,
+                drops: 1 + (rate(1.0) * 3.0) as u32,
+            });
+        }
+        Self { seed, n, events }
+    }
+
+    /// A connection-chaos schedule for the TCP fabric: mild wire loss
+    /// plus one to a few socket-level events (resets, flaps, half-open
+    /// stalls, handshake drops — occasionally enough drops to exhaust
+    /// the reconnect budget and force an eviction). Pure function of
+    /// `(seed, n)` like [`generate`](Self::generate), but every drawn
+    /// event targets the stream layer, so TCP recovery soaks spend
+    /// their seeds on connection healing instead of rank kills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn generate_socket_chaos(seed: u64, n: usize) -> Self {
+        assert!(n >= 2, "a chaos schedule needs at least two ranks");
+        let mut state = splitmix64(seed ^ 0x50c7_e7fa ^ (n as u64).wrapping_mul(0x9e37_79b9));
+        let mut next = move || {
+            state = splitmix64(state);
+            state
+        };
+        let mut rate = |max: f64| (next() >> 11) as f64 / (1u64 << 53) as f64 * max;
+        let mut events = Vec::new();
+        if rate(1.0) < 0.4 {
+            events.push(ChaosEvent::Loss(rate(0.03)));
+        }
+        // Always at least one reset or flap: a connection-chaos soak
+        // with no connection event would test nothing.
+        {
+            let (src, dst) = distinct_pair(&mut rate, n);
+            let round = (rate(1.0) * 3.0) as u64;
+            if rate(1.0) < 0.4 {
+                events.push(ChaosEvent::ReconnectFlap {
+                    src,
+                    dst,
+                    round,
+                    flaps: 1 + (rate(1.0) * 2.0) as u32,
+                });
+            } else {
+                events.push(ChaosEvent::ConnReset { src, dst, round });
+            }
+        }
+        if rate(1.0) < 0.35 {
+            let (src, dst) = distinct_pair(&mut rate, n);
+            events.push(ChaosEvent::HalfOpenStall {
+                src,
+                dst,
+                round: (rate(1.0) * 3.0) as u64,
+                millis: 1 + (rate(1.0) * 15.0) as u64,
+            });
+        }
+        if rate(1.0) < 0.3 {
+            let (src, dst) = distinct_pair(&mut rate, n);
+            // Usually a budget-sized burst (forces an eviction and a
+            // shrink-or-rejoin attempt); sometimes a small burst that
+            // only burns backoff.
+            let drops = if rate(1.0) < 0.5 {
+                64
+            } else {
+                1 + (rate(1.0) * 3.0) as u32
+            };
+            events.push(ChaosEvent::HandshakeDrop { src, dst, drops });
+        }
         Self { seed, n, events }
     }
 
@@ -784,6 +1070,22 @@ impl ChaosSchedule {
                 // restartable for the recovery layer (see
                 // `rejoinable_ranks`).
                 ChaosEvent::Rejoin { .. } => p,
+                ChaosEvent::ConnReset { src, dst, round } => p.with_conn_reset(*src, *dst, *round),
+                ChaosEvent::HalfOpenStall {
+                    src,
+                    dst,
+                    round,
+                    millis,
+                } => p.with_half_open(*src, *dst, *round, Duration::from_millis(*millis)),
+                ChaosEvent::HandshakeDrop { src, dst, drops } => {
+                    p.with_handshake_drops(*src, *dst, *drops)
+                }
+                ChaosEvent::ReconnectFlap {
+                    src,
+                    dst,
+                    round,
+                    flaps,
+                } => p.with_reconnect_flap(*src, *dst, *round, *flaps),
             };
         }
         p
@@ -1096,6 +1398,89 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn socket_fault_builders_round_trip_through_the_plan() {
+        let p = FaultPlan::new()
+            .with_conn_reset(0, 5, 2)
+            .with_half_open(1, 6, 0, Duration::from_millis(12))
+            .with_handshake_drops(2, 7, 4)
+            .with_reconnect_flap(3, 4, 1, 2);
+        assert!(p.has_socket_faults());
+        assert!(!p.is_empty());
+        assert_eq!(p.socket_faults().len(), 4);
+        assert_eq!(
+            p.socket_faults()[0],
+            SocketFault::Reset {
+                src: 0,
+                dst: 5,
+                round: 2
+            }
+        );
+        assert_eq!(
+            p.socket_faults()[1],
+            SocketFault::HalfOpen {
+                src: 1,
+                dst: 6,
+                round: 0,
+                millis: 12
+            }
+        );
+        // Socket events alone do not demand the FaultyTransport wrapper:
+        // they live inside the fabric.
+        assert!(!p.needs_wire_layer());
+        // Consumed by the attempt that armed them: survivors run quiet.
+        let s = p.survivor_plan();
+        assert!(!s.has_socket_faults());
+        assert!(s.socket_faults().is_empty());
+    }
+
+    #[test]
+    fn socket_chaos_schedules_are_deterministic_and_connection_focused() {
+        for seed in 0..64u64 {
+            assert_eq!(
+                ChaosSchedule::generate_socket_chaos(seed, 16),
+                ChaosSchedule::generate_socket_chaos(seed, 16)
+            );
+        }
+        let all: Vec<ChaosSchedule> = (0..128)
+            .map(|s| ChaosSchedule::generate_socket_chaos(s, 16))
+            .collect();
+        for s in &all {
+            // Every schedule carries at least one connection event.
+            assert!(
+                s.events.iter().any(|e| matches!(
+                    e,
+                    ChaosEvent::ConnReset { .. } | ChaosEvent::ReconnectFlap { .. }
+                )),
+                "seed {:#x} drew no connection event: {s}",
+                s.seed
+            );
+            let plan = s.plan();
+            assert!(plan.has_socket_faults(), "seed {:#x}", s.seed);
+            for e in &s.events {
+                match e {
+                    ChaosEvent::ConnReset { src, dst, .. }
+                    | ChaosEvent::HalfOpenStall { src, dst, .. }
+                    | ChaosEvent::HandshakeDrop { src, dst, .. }
+                    | ChaosEvent::ReconnectFlap { src, dst, .. } => {
+                        assert!(*src < 16 && *dst < 16 && src != dst, "{e}");
+                    }
+                    ChaosEvent::Loss(r) => assert!(*r < 0.05),
+                    other => panic!("socket chaos drew a non-socket event: {other}"),
+                }
+            }
+        }
+        // The full generator also reaches the socket suffix somewhere.
+        let full: Vec<ChaosSchedule> = (0..256).map(|s| ChaosSchedule::generate(s, 8)).collect();
+        assert!(full.iter().any(|s| s.events.iter().any(|e| matches!(
+            e,
+            ChaosEvent::ConnReset { .. }
+                | ChaosEvent::HalfOpenStall { .. }
+                | ChaosEvent::HandshakeDrop { .. }
+                | ChaosEvent::ReconnectFlap { .. }
+        ))));
     }
 
     #[test]

@@ -124,16 +124,18 @@ pub use deadline::Deadline;
 pub use endpoint::{Endpoint, GatherSendSpec, RecvSpec, SendSpec};
 pub use error::NetError;
 pub use failure::FailureDetector;
-pub use fault::{ChaosEvent, ChaosSchedule, FaultPlan, LinkRates, RoundClock};
+pub use fault::{ChaosEvent, ChaosSchedule, FaultPlan, LinkRates, RoundClock, SocketFault};
 pub use membership::{
     Membership, MembershipStats, MembershipView, RankState, RecoveryPolicy, ViewDelta,
 };
 pub use message::{Message, Tag};
-pub use metrics::{LinkStats, RankMetrics, RunMetrics};
+pub use metrics::{FabricStats, LinkStats, RankMetrics, RunMetrics};
 pub use pool::{BufferPool, PoolStats};
 pub use reliable::Reliability;
 #[cfg(unix)]
 pub use socket::SocketCluster;
-pub use tcp::{ScaleOutput, TcpFabric, TcpRankTransport, TcpScaleCluster};
+pub use tcp::{
+    FabricConfig, ScaleOutput, ScaleResilientOutput, TcpFabric, TcpRankTransport, TcpScaleCluster,
+};
 pub use trace::{Trace, TraceEvent};
 pub use transport::{ChannelTransport, Transport};

@@ -108,6 +108,59 @@ impl LinkStats {
     }
 }
 
+/// Connection-lifecycle counters from a shared data plane (the TCP
+/// fabric): healing, backoff, and fabric-level fault injection. One
+/// instance per run — the fabric is shared, so unlike [`LinkStats`]
+/// these are not per-rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Node-pair streams torn down by an I/O error, EOF, or an injected
+    /// reset (each outage starts one reconnect cycle).
+    pub link_failures: u64,
+    /// Successful stream re-establishments (handshake completed and
+    /// traffic resumed on the healed link).
+    pub reconnects: u64,
+    /// Reconnect attempts that failed (connect/handshake error, injected
+    /// handshake drop, or handshake timeout) and fell back to backoff.
+    pub reconnect_failures: u64,
+    /// Node pairs whose per-outage reconnect budget was exhausted: the
+    /// pair is declared dead and a node-level eviction is raised.
+    pub pairs_evicted: u64,
+    /// Total nanoseconds links spent down (from teardown to heal),
+    /// summed over outages — the backoff/outage dwell time.
+    pub backoff_ns: u64,
+    /// Injected connection resets ([`FaultPlan`](crate::FaultPlan)
+    /// socket events) the fabric executed.
+    pub injected_resets: u64,
+    /// Injected half-open stalls the fabric executed.
+    pub injected_stalls: u64,
+    /// Injected handshake drops consumed during reconnect attempts.
+    pub injected_handshake_drops: u64,
+    /// Bytes dropped by outbox backpressure: the per-stream outbox hit
+    /// its byte cap (dead or wedged peer) and the frame was discarded
+    /// for the ARQ layer to re-drive.
+    pub outbox_shed_bytes: u64,
+}
+
+impl FabricStats {
+    /// Field-wise sum (folding attempts of a resilient run).
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            link_failures: self.link_failures + other.link_failures,
+            reconnects: self.reconnects + other.reconnects,
+            reconnect_failures: self.reconnect_failures + other.reconnect_failures,
+            pairs_evicted: self.pairs_evicted + other.pairs_evicted,
+            backoff_ns: self.backoff_ns + other.backoff_ns,
+            injected_resets: self.injected_resets + other.injected_resets,
+            injected_stalls: self.injected_stalls + other.injected_stalls,
+            injected_handshake_drops: self.injected_handshake_drops
+                + other.injected_handshake_drops,
+            outbox_shed_bytes: self.outbox_shed_bytes + other.outbox_shed_bytes,
+        }
+    }
+}
+
 /// Counters owned by one rank (no sharing, no atomics — folded after the
 /// run).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -167,6 +220,11 @@ pub struct RunMetrics {
     /// filled by [`Cluster::run_resilient`](crate::cluster::Cluster::run_resilient)
     /// from its view log.
     pub membership: MembershipStats,
+    /// Connection-lifecycle counters from the shared TCP fabric
+    /// (reconnects, evictions, backoff dwell, fabric-level fault
+    /// injection). Zero on the thread-per-rank substrates, which have no
+    /// shared data plane.
+    pub fabric: FabricStats,
     /// The calibration fit the run was planned under, when the harness
     /// calibrated one (`None` for uncalibrated runs). Carrying it here
     /// keeps the fit quality — `r_squared` in particular — attached to
@@ -350,6 +408,32 @@ mod tests {
         let doubled = link.merged(&link);
         assert!((doubled.avg_window_occupancy() - 3.0).abs() < 1e-12);
         assert!((doubled.piggyback_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fabric_stats_merge_field_wise() {
+        let a = FabricStats {
+            link_failures: 2,
+            reconnects: 1,
+            reconnect_failures: 3,
+            pairs_evicted: 1,
+            backoff_ns: 500,
+            injected_resets: 2,
+            injected_stalls: 1,
+            injected_handshake_drops: 4,
+            outbox_shed_bytes: 128,
+        };
+        let sum = a.merged(&a);
+        assert_eq!(sum.link_failures, 4);
+        assert_eq!(sum.reconnects, 2);
+        assert_eq!(sum.reconnect_failures, 6);
+        assert_eq!(sum.pairs_evicted, 2);
+        assert_eq!(sum.backoff_ns, 1000);
+        assert_eq!(sum.injected_resets, 4);
+        assert_eq!(sum.injected_stalls, 2);
+        assert_eq!(sum.injected_handshake_drops, 8);
+        assert_eq!(sum.outbox_shed_bytes, 256);
+        assert_eq!(FabricStats::default().merged(&a), a);
     }
 
     #[test]

@@ -38,24 +38,27 @@
 //! exactly as they wrap channels and datagram sockets, and fault
 //! injection ([`crate::fault`]) applies to every transmission.
 
+use std::collections::BTreeSet;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bruck_model::planner::IndexPlan;
 use bruck_model::program::{ProgramOp, RankProgram};
+use bruck_model::tuning::DEFAULT_DRAIN_GRACE;
 
 use crate::cluster::ClusterConfig;
 use crate::deadline::Deadline;
 use crate::error::NetError;
 use crate::failure::FailureDetector;
-use crate::fault::{FaultyTransport, RoundClock};
+use crate::fault::{FaultPlan, FaultyTransport, RoundClock, SocketFault};
 use crate::frame::{decode_frame, encode_frame_into, Assembler, FRAG_PAYLOAD, HEADER};
 use crate::mailbox::{MailSender, Mailbox};
+use crate::membership::{Membership, RecoveryPolicy};
 use crate::message::{payload_checksum, Message, Tag};
-use crate::metrics::{RankMetrics, RunMetrics};
+use crate::metrics::{FabricStats, RankMetrics, RunMetrics};
 use crate::reliable::ReliableTransport;
 use crate::transport::Transport;
 
@@ -69,16 +72,138 @@ const READ_CHUNK: usize = HEADER + FRAG_PAYLOAD;
 /// Ceiling for the reactor's idle-sweep nap.
 const IDLE_NAP_MAX: Duration = Duration::from_micros(500);
 
-/// How long the reactor keeps sweeping after shutdown is requested,
-/// waiting for outboxes to drain (hang backstop only — drained fabrics
-/// exit immediately).
-const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+/// Default per-outage reconnect budget: attempts before a node pair is
+/// declared dead and a node-level eviction is raised.
+const DEFAULT_RECONNECT_BUDGET: u32 = 6;
+
+/// Default first-retry backoff; doubles per failed attempt (jittered).
+const DEFAULT_BACKOFF_BASE: Duration = Duration::from_micros(200);
+
+/// Default backoff ceiling.
+const DEFAULT_BACKOFF_CAP: Duration = Duration::from_millis(20);
+
+/// Default ceiling on one reconnect handshake (connect + pair-id
+/// exchange); a peer that cannot complete it in time burns one budget
+/// attempt.
+const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default per-stream outbox byte cap: past this, frames are shed (the
+/// ARQ layer re-drives them) so a dead peer cannot OOM the reactor.
+const DEFAULT_OUTBOX_CAP: usize = 8 << 20;
+
+/// Healing, fault-injection, and lifecycle knobs for a [`TcpFabric`].
+///
+/// [`Default`] gives the PR 9 fabric: no healing (the first stream
+/// error fails the run), no injection, 1s drain grace.
+pub struct FabricConfig {
+    /// Heal broken streams instead of failing the fabric. Requires an
+    /// ARQ layer above (the fabric discards in-flight bytes on
+    /// teardown and relies on retransmission for gap repair).
+    pub heal: bool,
+    /// Reconnect attempts per outage before the pair is declared dead.
+    pub reconnect_budget: u32,
+    /// First-retry backoff; doubles per failed attempt, jittered.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Budget for one reconnect handshake.
+    pub handshake_timeout: Duration,
+    /// Per-stream outbox byte cap (backpressure; sheds past it).
+    pub outbox_cap: usize,
+    /// How long the reactor keeps sweeping after shutdown is requested,
+    /// waiting for outboxes to drain (hang backstop only — drained
+    /// fabrics exit immediately). See
+    /// [`WireTuning::drain_grace`](bruck_model::tuning::WireTuning::drain_grace).
+    pub drain_grace: Duration,
+    /// Socket-level fault events to inject inside the fabric.
+    pub faults: Arc<FaultPlan>,
+    /// Round progress used to time round-gated socket events (absent:
+    /// events fire immediately).
+    pub round_clock: Option<Arc<RoundClock>>,
+    /// Failure detector that node-level evictions are published to.
+    pub detector: Option<Arc<FailureDetector>>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self {
+            heal: false,
+            reconnect_budget: DEFAULT_RECONNECT_BUDGET,
+            backoff_base: DEFAULT_BACKOFF_BASE,
+            backoff_cap: DEFAULT_BACKOFF_CAP,
+            handshake_timeout: DEFAULT_HANDSHAKE_TIMEOUT,
+            outbox_cap: DEFAULT_OUTBOX_CAP,
+            drain_grace: DEFAULT_DRAIN_GRACE,
+            faults: Arc::new(FaultPlan::default()),
+            round_clock: None,
+            detector: None,
+        }
+    }
+}
+
+/// splitmix64 step — the workspace's deterministic RNG idiom, used for
+/// backoff jitter.
+fn mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Index of the unordered node pair `(a, b)`, `a < b`, among the
 /// `nodes·(nodes−1)/2` pairs.
 fn pair_index(nodes: usize, a: usize, b: usize) -> usize {
     debug_assert!(a < b && b < nodes);
     a * (2 * nodes - a - 1) / 2 + (b - a - 1)
+}
+
+/// The [`Pair`] carrying traffic between the nodes of ranks `src` and
+/// `dst` (`None` for intra-node or out-of-range ranks).
+fn pair_for(
+    pairs: &mut [Pair],
+    nodes: usize,
+    node_size: usize,
+    src: usize,
+    dst: usize,
+) -> Option<&mut Pair> {
+    let (sa, sb) = (src / node_size, dst / node_size);
+    if sa == sb || sa >= nodes || sb >= nodes {
+        return None;
+    }
+    let (a, b) = if sa < sb { (sa, sb) } else { (sb, sa) };
+    pairs.get_mut(pair_index(nodes, a, b))
+}
+
+/// Atomic mirror of [`FabricStats`], bumped by the reactor and the
+/// senders, snapshotted after the run.
+#[derive(Default)]
+struct FabricStatsShared {
+    link_failures: AtomicU64,
+    reconnects: AtomicU64,
+    reconnect_failures: AtomicU64,
+    pairs_evicted: AtomicU64,
+    backoff_ns: AtomicU64,
+    injected_resets: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_handshake_drops: AtomicU64,
+    outbox_shed_bytes: AtomicU64,
+}
+
+impl FabricStatsShared {
+    fn snapshot(&self) -> FabricStats {
+        FabricStats {
+            link_failures: self.link_failures.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            reconnect_failures: self.reconnect_failures.load(Ordering::Relaxed),
+            pairs_evicted: self.pairs_evicted.load(Ordering::Relaxed),
+            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
+            injected_resets: self.injected_resets.load(Ordering::Relaxed),
+            injected_stalls: self.injected_stalls.load(Ordering::Relaxed),
+            injected_handshake_drops: self.injected_handshake_drops.load(Ordering::Relaxed),
+            outbox_shed_bytes: self.outbox_shed_bytes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// State shared between the rank transports (producers) and the reactor
@@ -96,6 +221,18 @@ struct FabricShared {
     /// every subsequent send so the run aborts instead of hanging.
     error: Mutex<Option<String>>,
     nodes: usize,
+    /// Outbox byte cap: senders shed frames past it (the ARQ layer
+    /// re-drives them) so a dead peer cannot grow an outbox unboundedly.
+    outbox_cap: usize,
+    /// Per-pair tombstones: reconnect budget exhausted, sends to the
+    /// pair are blackholed and the pair no longer gates shutdown.
+    pair_dead: Vec<AtomicBool>,
+    /// Nodes evicted at the fabric level (budget-exhausted pairs).
+    dead_nodes: Mutex<Vec<usize>>,
+    /// Shutdown drain grace, nanoseconds (settable late: the scale
+    /// executor caps it with the adaptive-RTO linger hint).
+    drain_grace_ns: AtomicU64,
+    stats: FabricStatsShared,
 }
 
 impl FabricShared {
@@ -121,6 +258,10 @@ impl FabricShared {
             None => Ok(()),
         }
     }
+
+    fn drain_grace(&self) -> Duration {
+        Duration::from_nanos(self.drain_grace_ns.load(Ordering::Relaxed))
+    }
 }
 
 /// One stream end owned by the reactor.
@@ -136,15 +277,377 @@ struct Link {
     rbuf: Vec<u8>,
 }
 
-/// The readiness sweep: flush every dirty outbox, drain every readable
-/// stream, decode frames, reassemble, deliver to per-rank mailboxes.
-fn reactor_loop(
+impl Link {
+    fn fresh(stream: TcpStream, idx: usize) -> Self {
+        Self {
+            stream,
+            idx,
+            out: Vec::new(),
+            out_at: 0,
+            rbuf: Vec::new(),
+        }
+    }
+}
+
+/// A round-gated socket fault armed on one pair.
+enum ArmedKind {
+    /// Tear the pair down (TCP RST analogue).
+    Reset,
+    /// Freeze the pair's I/O for the duration (half-open analogue).
+    Stall(Duration),
+    /// Tear down now and after each of the next `n` heals.
+    Flap(u32),
+}
+
+/// Connection state machine for one node pair:
+/// connected → reconnecting(backoff) → evicted. Both stream ends live
+/// here — the fabric is loopback, so the reactor owns both sides.
+struct Pair {
+    p: usize,
+    lo_node: usize,
+    hi_node: usize,
+    /// `Some` while connected; `None` while down. Teardown drops both
+    /// ends and their partial buffers: the stream restarts at a record
+    /// boundary on both sides and the ARQ layer re-drives the gap.
+    ends: Option<(Link, Link)>,
+    /// When the current outage began (backoff dwell accounting).
+    down_since: Option<Instant>,
+    /// Reconnect attempts made this outage.
+    attempts: u32,
+    next_attempt: Instant,
+    /// Budget exhausted: blackholed, no longer swept.
+    dead: bool,
+    /// Injected: fail the next N reconnect handshakes.
+    hs_drops_left: u32,
+    /// Injected: tear down again after each of the next N heals.
+    flaps_left: u32,
+    /// Injected: skip all I/O on the pair until this instant.
+    stall_until: Option<Instant>,
+    /// Round-gated socket events not yet fired: `(round, kind)`.
+    armed: Vec<(u64, ArmedKind)>,
+}
+
+impl Pair {
+    fn new(p: usize, lo_node: usize, hi_node: usize, lo: Link, hi: Link) -> Self {
+        Self {
+            p,
+            lo_node,
+            hi_node,
+            ends: Some((lo, hi)),
+            down_since: None,
+            attempts: 0,
+            next_attempt: Instant::now(),
+            dead: false,
+            hs_drops_left: 0,
+            flaps_left: 0,
+            stall_until: None,
+            armed: Vec::new(),
+        }
+    }
+}
+
+/// Why a link sweep stopped early.
+enum LinkErr {
+    /// Stream-level I/O failure (reset, EOF, write error): healable.
+    Io(String),
+    /// Protocol violation (bad frame, unknown rank): never healable.
+    Fatal(String),
+}
+
+/// Write/read/parse one stream end. Returns whether any bytes moved.
+fn sweep_link(
     shared: &FabricShared,
-    mut links: Vec<Link>,
+    link: &mut Link,
+    chunk: &mut [u8],
+    asms: &mut [Assembler],
     senders: &[MailSender],
-    shutdown: &AtomicBool,
-) {
+) -> Result<bool, LinkErr> {
     let n = senders.len();
+    let mut moved = false;
+    // Refill the write cursor from the outbox (allocation swap: the
+    // drained buffer goes back as the senders' next arena).
+    if link.out_at == link.out.len() && shared.dirty[link.idx].swap(false, Ordering::AcqRel) {
+        link.out.clear();
+        link.out_at = 0;
+        let mut outbox = shared.outboxes[link.idx].lock().expect("outbox lock");
+        std::mem::swap(&mut *outbox, &mut link.out);
+    }
+    while link.out_at < link.out.len() {
+        match link.stream.write(&link.out[link.out_at..]) {
+            Ok(0) => return Err(LinkErr::Io("stream closed mid-write".into())),
+            Ok(k) => {
+                link.out_at += k;
+                moved = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(LinkErr::Io(format!("write: {e}"))),
+        }
+    }
+    loop {
+        match link.stream.read(chunk) {
+            Ok(0) => return Err(LinkErr::Io("stream EOF".into())),
+            Ok(k) => {
+                link.rbuf.extend_from_slice(&chunk[..k]);
+                moved = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(LinkErr::Io(format!("read: {e}"))),
+        }
+    }
+    // Parse whole frames off the front of the read buffer.
+    let mut at = 0usize;
+    while link.rbuf.len().saturating_sub(at) >= STREAM_PREFIX {
+        let flen = u32::from_le_bytes(link.rbuf[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if link.rbuf.len() - at < STREAM_PREFIX + flen {
+            break;
+        }
+        let dst =
+            u32::from_le_bytes(link.rbuf[at + 4..at + 8].try_into().expect("4 bytes")) as usize;
+        let body = &link.rbuf[at + STREAM_PREFIX..at + STREAM_PREFIX + flen];
+        match decode_frame(body) {
+            Ok(frame) if dst < n => {
+                asms[dst].accept(frame);
+                while let Some(m) = asms[dst].pending.pop_front() {
+                    // A dropped receiver (aborted run) is not an
+                    // error: same fire-and-forget semantics as the
+                    // channel transport.
+                    let _ = senders[dst].send(m);
+                }
+            }
+            Ok(_) => {
+                return Err(LinkErr::Fatal(format!(
+                    "frame addressed to unknown rank {dst}"
+                )))
+            }
+            Err(e) => return Err(LinkErr::Fatal(format!("decode: {e}"))),
+        }
+        at += STREAM_PREFIX + flen;
+    }
+    if at > 0 {
+        link.rbuf.copy_within(at.., 0);
+        link.rbuf.truncate(link.rbuf.len() - at);
+    }
+    Ok(moved)
+}
+
+/// Everything the reactor thread owns besides the pairs themselves.
+struct Reactor {
+    shared: Arc<FabricShared>,
+    senders: Vec<MailSender>,
+    /// Kept for reconnects; `None` disables healing.
+    listener: Option<(TcpListener, SocketAddr)>,
+    heal: bool,
+    budget: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    handshake_timeout: Duration,
+    round_clock: Option<Arc<RoundClock>>,
+    detector: Option<Arc<FailureDetector>>,
+    /// Backoff-jitter RNG state (deterministic seed).
+    rng: u64,
+    /// Dead-pair count per node: the eviction victim heuristic.
+    node_dead: Vec<u32>,
+}
+
+impl Reactor {
+    /// Jittered exponential backoff after `attempts` failures this
+    /// outage: `base·2^(attempts−1)` capped, plus up to 50% jitter.
+    fn backoff(&mut self, attempts: u32) -> Duration {
+        let exp = attempts.saturating_sub(1).min(20);
+        let slice = self
+            .backoff_cap
+            .min(self.backoff_base.saturating_mul(1u32 << exp.min(16)));
+        let jitter_ns = if slice.as_nanos() == 0 {
+            0
+        } else {
+            mix64(&mut self.rng) % (slice.as_nanos() as u64 / 2 + 1)
+        };
+        slice + Duration::from_nanos(jitter_ns)
+    }
+
+    /// The slowest alive rank's completed-round count — the fabric-wide
+    /// round used to time injected socket events. Without a round
+    /// clock, events fire immediately.
+    fn current_round(&self) -> u64 {
+        let Some(clock) = &self.round_clock else {
+            return u64::MAX;
+        };
+        let n = self.senders.len();
+        (0..n)
+            .filter(|&r| self.detector.as_ref().is_none_or(|d| !d.is_dead(r)))
+            .map(|r| clock.completed(r))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Tear a pair down: drop both ends (and their partial buffers) and
+    /// enter the reconnecting state. With healing off the caller fails
+    /// the fabric instead.
+    fn teardown(&mut self, pair: &mut Pair, injected: bool) {
+        pair.ends = None;
+        pair.down_since = Some(Instant::now());
+        pair.attempts = 0;
+        pair.next_attempt = Instant::now();
+        self.shared
+            .stats
+            .link_failures
+            .fetch_add(1, Ordering::Relaxed);
+        if injected {
+            self.shared
+                .stats
+                .injected_resets
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Budget exhausted: kill the pair, pick the victim node (the one
+    /// with more dead pairs; ties to the higher id), publish its ranks
+    /// to the failure detector, and blackhole every pair touching it.
+    fn evict(&mut self, pairs: &mut [Pair], at: usize) {
+        let (lo, hi) = (pairs[at].lo_node, pairs[at].hi_node);
+        pairs[at].dead = true;
+        self.shared.pair_dead[pairs[at].p].store(true, Ordering::Relaxed);
+        self.shared
+            .stats
+            .pairs_evicted
+            .fetch_add(1, Ordering::Relaxed);
+        self.node_dead[lo] += 1;
+        self.node_dead[hi] += 1;
+        let victim = if self.node_dead[lo] > self.node_dead[hi] {
+            lo
+        } else {
+            hi
+        };
+        {
+            let mut dead = self.shared.dead_nodes.lock().expect("dead nodes lock");
+            if !dead.contains(&victim) {
+                dead.push(victim);
+            }
+        }
+        if let Some(detector) = &self.detector {
+            let ns = self.shared.node_size;
+            for rank in victim * ns..(victim + 1) * ns {
+                detector.mark_dead(rank);
+            }
+        }
+        // Remaining traffic to the victim is pointless: blackhole its
+        // other pairs so they stop gating drain and stop reconnecting.
+        for other in pairs.iter_mut() {
+            if !other.dead && (other.lo_node == victim || other.hi_node == victim) {
+                other.dead = true;
+                other.ends = None;
+                self.shared.pair_dead[other.p].store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One reconnect attempt for a downed pair: connect, exchange the
+    /// pair id, install fresh links. Consumes injected handshake drops
+    /// and fires pending flaps.
+    fn try_reconnect(&mut self, pairs: &mut [Pair], at: usize) {
+        let p = pairs[at].p;
+        pairs[at].attempts += 1;
+        let outcome = if pairs[at].hs_drops_left > 0 {
+            pairs[at].hs_drops_left -= 1;
+            self.shared
+                .stats
+                .injected_handshake_drops
+                .fetch_add(1, Ordering::Relaxed);
+            Err("injected handshake drop".to_string())
+        } else {
+            let (listener, addr) = self.listener.as_ref().expect("healing requires listener");
+            reconnect_handshake(listener, *addr, p, self.handshake_timeout)
+        };
+        match outcome {
+            Ok((lo, hi)) => {
+                let down = pairs[at]
+                    .down_since
+                    .take()
+                    .map_or(0, |t| t.elapsed().as_nanos() as u64);
+                self.shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .backoff_ns
+                    .fetch_add(down, Ordering::Relaxed);
+                pairs[at].ends = Some((Link::fresh(lo, 2 * p), Link::fresh(hi, 2 * p + 1)));
+                pairs[at].attempts = 0;
+                if pairs[at].flaps_left > 0 {
+                    // Flapping link: the heal itself triggers the next
+                    // injected reset.
+                    pairs[at].flaps_left -= 1;
+                    self.teardown(&mut pairs[at], true);
+                }
+            }
+            Err(_) => {
+                self.shared
+                    .stats
+                    .reconnect_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                if pairs[at].attempts >= self.budget {
+                    self.evict(pairs, at);
+                } else {
+                    let wait = self.backoff(pairs[at].attempts);
+                    pairs[at].next_attempt = Instant::now() + wait;
+                }
+            }
+        }
+    }
+}
+
+/// Connect + pair-id exchange for one healing pair, bounded by
+/// `timeout`. Stale backlog connections (from abandoned attempts of
+/// other pairs) are drained and discarded by the id check.
+fn reconnect_handshake(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    p: usize,
+    timeout: Duration,
+) -> Result<(TcpStream, TcpStream), String> {
+    let deadline = Instant::now() + timeout;
+    let mut lo = TcpStream::connect(addr).map_err(|e| format!("reconnect connect: {e}"))?;
+    lo.write_all(&(p as u32).to_le_bytes())
+        .map_err(|e| format!("reconnect handshake send: {e}"))?;
+    let hi = loop {
+        match listener.accept() {
+            Ok((mut cand, _)) => {
+                let left = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                cand.set_read_timeout(Some(left))
+                    .map_err(|e| format!("reconnect set_read_timeout: {e}"))?;
+                let mut hs = [0u8; 4];
+                match cand.read_exact(&mut hs) {
+                    Ok(()) if u32::from_le_bytes(hs) as usize == p => break cand,
+                    // Wrong id or a dead stale connection: discard it
+                    // and keep accepting until our own connect shows up.
+                    Ok(()) | Err(_) => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err("reconnect handshake timeout".into());
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(e) => return Err(format!("reconnect accept: {e}")),
+        }
+    };
+    for s in [&lo, &hi] {
+        s.set_nodelay(true)
+            .map_err(|e| format!("reconnect set_nodelay: {e}"))?;
+        s.set_nonblocking(true)
+            .map_err(|e| format!("reconnect set_nonblocking: {e}"))?;
+    }
+    Ok((lo, hi))
+}
+
+/// The readiness sweep: flush every dirty outbox, drain every readable
+/// stream, decode frames, reassemble, deliver to per-rank mailboxes —
+/// and, when healing, drive every pair's connection state machine.
+fn reactor_loop(mut rx: Reactor, mut pairs: Vec<Pair>, shutdown: &AtomicBool) {
+    let n = rx.senders.len();
     let mut asms: Vec<Assembler> = (0..n).map(Assembler::new).collect();
     let mut chunk = vec![0u8; READ_CHUNK];
     let mut idle: u32 = 0;
@@ -152,95 +655,121 @@ fn reactor_loop(
     loop {
         let mut moved = false;
         let mut drained = true;
-        for link in &mut links {
-            // Refill the write cursor from the outbox (allocation swap:
-            // the drained buffer goes back as the senders' next arena).
-            if link.out_at == link.out.len() && shared.dirty[link.idx].swap(false, Ordering::AcqRel)
-            {
-                link.out.clear();
-                link.out_at = 0;
-                let mut outbox = shared.outboxes[link.idx].lock().expect("outbox lock");
-                std::mem::swap(&mut *outbox, &mut link.out);
+        let has_armed = pairs.iter().any(|p| !p.armed.is_empty());
+        let cur_round = if has_armed { rx.current_round() } else { 0 };
+        for at in 0..pairs.len() {
+            if pairs[at].dead {
+                continue; // blackholed: never gates drain
             }
-            while link.out_at < link.out.len() {
-                match link.stream.write(&link.out[link.out_at..]) {
-                    Ok(0) => {
-                        shared.fail("stream closed mid-write".into());
-                        return;
-                    }
-                    Ok(k) => {
-                        link.out_at += k;
-                        moved = true;
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        shared.fail(format!("write: {e}"));
-                        return;
+            // Fire round-gated injected socket events.
+            if !pairs[at].armed.is_empty() {
+                let mut fired_reset = false;
+                let pair = &mut pairs[at];
+                let mut i = 0;
+                while i < pair.armed.len() {
+                    if pair.armed[i].0 <= cur_round {
+                        match pair.armed.swap_remove(i).1 {
+                            ArmedKind::Reset => fired_reset = true,
+                            ArmedKind::Flap(flaps) => {
+                                fired_reset = true;
+                                pair.flaps_left += flaps;
+                            }
+                            ArmedKind::Stall(d) => {
+                                pair.stall_until = Some(Instant::now() + d);
+                                rx.shared
+                                    .stats
+                                    .injected_stalls
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        i += 1;
                     }
                 }
-            }
-            if link.out_at < link.out.len() || shared.dirty[link.idx].load(Ordering::Acquire) {
-                drained = false;
-            }
-            loop {
-                match link.stream.read(&mut chunk) {
-                    Ok(0) => break, // peer end torn down; nothing more will come
-                    Ok(k) => {
-                        link.rbuf.extend_from_slice(&chunk[..k]);
-                        moved = true;
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        shared.fail(format!("read: {e}"));
-                        return;
-                    }
+                if fired_reset && pairs[at].ends.is_some() {
+                    rx.teardown(&mut pairs[at], true);
                 }
             }
-            // Parse whole frames off the front of the read buffer.
-            let mut at = 0usize;
-            while link.rbuf.len().saturating_sub(at) >= STREAM_PREFIX {
-                let flen =
-                    u32::from_le_bytes(link.rbuf[at..at + 4].try_into().expect("4 bytes")) as usize;
-                if link.rbuf.len() - at < STREAM_PREFIX + flen {
-                    break;
-                }
-                let dst = u32::from_le_bytes(link.rbuf[at + 4..at + 8].try_into().expect("4 bytes"))
-                    as usize;
-                let body = &link.rbuf[at + STREAM_PREFIX..at + STREAM_PREFIX + flen];
-                match decode_frame(body) {
-                    Ok(frame) if dst < n => {
-                        asms[dst].accept(frame);
-                        while let Some(m) = asms[dst].pending.pop_front() {
-                            // A dropped receiver (aborted run) is not an
-                            // error: same fire-and-forget semantics as
-                            // the channel transport.
-                            let _ = senders[dst].send(m);
+            // Half-open stall: the link looks alive but moves nothing.
+            if let Some(until) = pairs[at].stall_until {
+                if Instant::now() < until {
+                    let pair = &pairs[at];
+                    if let Some((lo, hi)) = &pair.ends {
+                        if lo.out_at < lo.out.len()
+                            || hi.out_at < hi.out.len()
+                            || rx.shared.dirty[lo.idx].load(Ordering::Acquire)
+                            || rx.shared.dirty[hi.idx].load(Ordering::Acquire)
+                        {
+                            drained = false;
                         }
                     }
-                    Ok(_) => {
-                        shared.fail(format!("frame addressed to unknown rank {dst}"));
-                        return;
+                    continue;
+                }
+                pairs[at].stall_until = None;
+            }
+            if pairs[at].ends.is_none() {
+                // Reconnecting: traffic for the pair is parked in its
+                // outboxes, so the fabric is not drained.
+                if rx.shared.dirty[2 * pairs[at].p].load(Ordering::Acquire)
+                    || rx.shared.dirty[2 * pairs[at].p + 1].load(Ordering::Acquire)
+                {
+                    drained = false;
+                }
+                if rx.heal && Instant::now() >= pairs[at].next_attempt {
+                    rx.try_reconnect(&mut pairs, at);
+                    moved = true;
+                }
+                continue;
+            }
+            let mut failed: Option<LinkErr> = None;
+            {
+                let pair = &mut pairs[at];
+                let (lo, hi) = pair.ends.as_mut().expect("checked connected");
+                for link in [lo, hi] {
+                    match sweep_link(&rx.shared, link, &mut chunk, &mut asms, &rx.senders) {
+                        Ok(m) => moved |= m,
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
                     }
-                    Err(e) => {
-                        shared.fail(format!("decode: {e}"));
+                }
+            }
+            match failed {
+                Some(LinkErr::Fatal(msg)) => {
+                    rx.shared.fail(msg);
+                    return;
+                }
+                Some(LinkErr::Io(msg)) => {
+                    if rx.heal {
+                        rx.teardown(&mut pairs[at], false);
+                        drained = false;
+                    } else if msg == "stream EOF" {
+                        // Healing off: peer end torn down, nothing more
+                        // will come on this stream (legacy shutdown
+                        // race) — not an error.
+                    } else {
+                        rx.shared.fail(msg);
                         return;
                     }
                 }
-                at += STREAM_PREFIX + flen;
-            }
-            if at > 0 {
-                link.rbuf.copy_within(at.., 0);
-                link.rbuf.truncate(link.rbuf.len() - at);
-            }
-            if !link.rbuf.is_empty() {
-                drained = false; // mid-frame: the rest is still in flight
+                None => {
+                    let pair = &pairs[at];
+                    let (lo, hi) = pair.ends.as_ref().expect("checked connected");
+                    for link in [lo, hi] {
+                        if link.out_at < link.out.len()
+                            || rx.shared.dirty[link.idx].load(Ordering::Acquire)
+                            || !link.rbuf.is_empty()
+                        {
+                            drained = false;
+                        }
+                    }
+                }
             }
         }
         if shutdown.load(Ordering::Acquire) {
             let seen = *shutdown_seen.get_or_insert_with(Instant::now);
-            if drained || seen.elapsed() > SHUTDOWN_GRACE {
+            if drained || seen.elapsed() > rx.shared.drain_grace() {
                 return;
             }
         }
@@ -281,13 +810,27 @@ impl TcpFabric {
     /// [`NetError::App`] when `node_size` does not evenly partition the
     /// ranks, and on socket setup failures.
     pub fn new(n: usize, node_size: usize) -> Result<(Self, Vec<TcpRankTransport>), NetError> {
+        Self::with_config(n, node_size, FabricConfig::default())
+    }
+
+    /// [`new`](Self::new) with explicit healing / fault-injection /
+    /// lifecycle knobs.
+    ///
+    /// # Errors
+    ///
+    /// See [`new`](Self::new).
+    pub fn with_config(
+        n: usize,
+        node_size: usize,
+        config: FabricConfig,
+    ) -> Result<(Self, Vec<TcpRankTransport>), NetError> {
         if n == 0 || node_size == 0 || !n.is_multiple_of(node_size) {
             return Err(NetError::App(format!(
                 "node_size {node_size} must evenly partition {n} ranks"
             )));
         }
         let nodes = n / node_size;
-        let pairs = nodes * (nodes - 1) / 2;
+        let npairs = nodes * (nodes - 1) / 2;
         fn app(stage: &'static str) -> impl Fn(std::io::Error) -> NetError {
             move |e| NetError::App(format!("{stage}: {e}"))
         }
@@ -303,58 +846,118 @@ impl TcpFabric {
         // One loopback stream per node pair. Setup is sequential —
         // connect, then accept — with a pair-id handshake so an
         // accepted stream is never mismatched.
-        let mut links = Vec::with_capacity(2 * pairs);
-        if pairs > 0 {
+        let mut pairs = Vec::with_capacity(npairs);
+        let mut keep_listener = None;
+        if npairs > 0 {
             let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(app("tcp bind"))?;
             let addr = listener.local_addr().map_err(app("tcp local_addr"))?;
-            for p in 0..pairs {
-                let mut lo = TcpStream::connect(addr).map_err(app("tcp connect"))?;
-                lo.write_all(&(p as u32).to_le_bytes())
-                    .map_err(app("tcp handshake send"))?;
-                let (mut hi, _) = listener.accept().map_err(app("tcp accept"))?;
-                let mut hs = [0u8; 4];
-                hi.read_exact(&mut hs).map_err(app("tcp handshake recv"))?;
-                if u32::from_le_bytes(hs) as usize != p {
-                    return Err(NetError::App("tcp handshake pair mismatch".into()));
+            let mut p = 0usize;
+            for a in 0..nodes {
+                for b in (a + 1)..nodes {
+                    let mut lo = TcpStream::connect(addr).map_err(app("tcp connect"))?;
+                    lo.write_all(&(p as u32).to_le_bytes())
+                        .map_err(app("tcp handshake send"))?;
+                    let (mut hi, _) = listener.accept().map_err(app("tcp accept"))?;
+                    let mut hs = [0u8; 4];
+                    hi.read_exact(&mut hs).map_err(app("tcp handshake recv"))?;
+                    if u32::from_le_bytes(hs) as usize != p {
+                        return Err(NetError::App("tcp handshake pair mismatch".into()));
+                    }
+                    for s in [&lo, &hi] {
+                        s.set_nodelay(true).map_err(app("tcp set_nodelay"))?;
+                        s.set_nonblocking(true)
+                            .map_err(app("tcp set_nonblocking"))?;
+                    }
+                    pairs.push(Pair::new(
+                        p,
+                        a,
+                        b,
+                        Link::fresh(lo, 2 * p),
+                        Link::fresh(hi, 2 * p + 1),
+                    ));
+                    p += 1;
                 }
-                for s in [&lo, &hi] {
-                    s.set_nodelay(true).map_err(app("tcp set_nodelay"))?;
-                    s.set_nonblocking(true)
-                        .map_err(app("tcp set_nonblocking"))?;
+            }
+            if config.heal {
+                // Reconnects re-handshake through the original
+                // listener; nonblocking so the reactor's accept polls.
+                listener
+                    .set_nonblocking(true)
+                    .map_err(app("tcp listener set_nonblocking"))?;
+                keep_listener = Some((listener, addr));
+            }
+        }
+
+        // Arm injected socket-level events: rank pairs map to node
+        // pairs (intra-node events are meaningless here and ignored).
+        for fault in config.faults.socket_faults() {
+            let (src, dst, arm) = match *fault {
+                SocketFault::Reset { src, dst, round } => {
+                    (src, dst, Some((round, ArmedKind::Reset)))
                 }
-                links.push(Link {
-                    stream: lo,
-                    idx: 2 * p,
-                    out: Vec::new(),
-                    out_at: 0,
-                    rbuf: Vec::new(),
-                });
-                links.push(Link {
-                    stream: hi,
-                    idx: 2 * p + 1,
-                    out: Vec::new(),
-                    out_at: 0,
-                    rbuf: Vec::new(),
-                });
+                SocketFault::HalfOpen {
+                    src,
+                    dst,
+                    round,
+                    millis,
+                } => (
+                    src,
+                    dst,
+                    Some((round, ArmedKind::Stall(Duration::from_millis(millis)))),
+                ),
+                SocketFault::Flap {
+                    src,
+                    dst,
+                    round,
+                    flaps,
+                } => (src, dst, Some((round, ArmedKind::Flap(flaps)))),
+                SocketFault::HandshakeDrop { src, dst, drops } => {
+                    if let Some(pair) = pair_for(&mut pairs, nodes, node_size, src, dst) {
+                        pair.hs_drops_left += drops;
+                    }
+                    (src, dst, None)
+                }
+            };
+            if let Some(arm) = arm {
+                if let Some(pair) = pair_for(&mut pairs, nodes, node_size, src, dst) {
+                    pair.armed.push(arm);
+                }
             }
         }
 
         let shared = Arc::new(FabricShared {
             node_size,
-            outboxes: (0..2 * pairs).map(|_| Mutex::new(Vec::new())).collect(),
-            dirty: (0..2 * pairs).map(|_| AtomicBool::new(false)).collect(),
+            outboxes: (0..2 * npairs).map(|_| Mutex::new(Vec::new())).collect(),
+            dirty: (0..2 * npairs).map(|_| AtomicBool::new(false)).collect(),
             error: Mutex::new(None),
             nodes,
+            outbox_cap: config.outbox_cap,
+            pair_dead: (0..npairs).map(|_| AtomicBool::new(false)).collect(),
+            dead_nodes: Mutex::new(Vec::new()),
+            drain_grace_ns: AtomicU64::new(config.drain_grace.as_nanos() as u64),
+            stats: FabricStatsShared::default(),
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let reactor = if pairs > 0 {
-            let shared2 = Arc::clone(&shared);
+        let reactor = if npairs > 0 {
+            let rx = Reactor {
+                shared: Arc::clone(&shared),
+                senders: senders.clone(),
+                listener: keep_listener,
+                heal: config.heal,
+                budget: config.reconnect_budget.max(1),
+                backoff_base: config.backoff_base,
+                backoff_cap: config.backoff_cap,
+                handshake_timeout: config.handshake_timeout,
+                round_clock: config.round_clock,
+                detector: config.detector,
+                rng: 0x1ceb_00da ^ (n as u64) << 16 ^ nodes as u64,
+                node_dead: vec![0; nodes],
+            };
             let stop2 = Arc::clone(&stop);
-            let senders2 = senders.clone();
             Some(
                 std::thread::Builder::new()
                     .name("bruck-tcp-reactor".into())
-                    .spawn(move || reactor_loop(&shared2, links, &senders2, &stop2))
+                    .spawn(move || reactor_loop(rx, pairs, &stop2))
                     .map_err(|e| NetError::App(format!("spawn reactor: {e}")))?,
             )
         } else {
@@ -395,6 +998,36 @@ impl TcpFabric {
     #[must_use]
     pub fn error(&self) -> Option<String> {
         self.shared.error.lock().expect("fabric error lock").clone()
+    }
+
+    /// Connection-lifecycle counters so far (healing, backoff,
+    /// injection). Keeps counting until the reactor joins.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Ranks evicted at the fabric level: every rank of every node
+    /// whose pair exhausted its reconnect budget.
+    #[must_use]
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let nodes = self.shared.dead_nodes.lock().expect("dead nodes lock");
+        let ns = self.shared.node_size;
+        let mut ranks: Vec<usize> = nodes
+            .iter()
+            .flat_map(|&node| node * ns..(node + 1) * ns)
+            .collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
+    /// Cap the shutdown drain grace (e.g. with the reliability layer's
+    /// adaptive-RTO linger hint) before calling
+    /// [`shutdown`](Self::shutdown).
+    pub fn set_drain_grace(&self, grace: Duration) {
+        self.shared
+            .drain_grace_ns
+            .store(grace.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Flush outstanding traffic (bounded by a short grace period) and
@@ -457,6 +1090,11 @@ impl Transport for TcpRankTransport {
             return Ok(());
         }
         let outbox_idx = self.shared.outbox_for(self.node, dst_node);
+        if self.shared.pair_dead[outbox_idx / 2].load(Ordering::Relaxed) {
+            // Evicted pair: blackhole. The failure detector already
+            // carries the node-level verdict; senders must not wedge.
+            return Ok(());
+        }
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         let count = if msg.payload.is_empty() {
@@ -464,6 +1102,8 @@ impl Transport for TcpRankTransport {
         } else {
             msg.payload.len().div_ceil(FRAG_PAYLOAD)
         } as u32;
+        let mut shed: u64 = 0;
+        let mut appended = false;
         let mut outbox = self.shared.outboxes[outbox_idx]
             .lock()
             .expect("outbox lock");
@@ -488,13 +1128,31 @@ impl Transport for TcpRankTransport {
                 msg.checksum,
                 chunk,
             );
-            outbox.extend_from_slice(&(frame.len() as u32).to_le_bytes());
-            outbox.extend_from_slice(&(msg.dst as u32).to_le_bytes());
-            outbox.extend_from_slice(&frame);
+            let record = STREAM_PREFIX + frame.len();
+            if outbox.len() + record > self.shared.outbox_cap {
+                // Backpressure: past the cap the frame is shed, which
+                // the ARQ layer above sees as loss and re-drives. A
+                // reconnecting (or dead-and-undetected) peer therefore
+                // bounds memory instead of growing the outbox forever.
+                shed += record as u64;
+            } else {
+                outbox.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+                outbox.extend_from_slice(&(msg.dst as u32).to_le_bytes());
+                outbox.extend_from_slice(&frame);
+                appended = true;
+            }
             self.send_buf = frame;
         }
         drop(outbox);
-        self.shared.dirty[outbox_idx].store(true, Ordering::Release);
+        if appended {
+            self.shared.dirty[outbox_idx].store(true, Ordering::Release);
+        }
+        if shed > 0 {
+            self.shared
+                .stats
+                .outbox_shed_bytes
+                .fetch_add(shed, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -541,6 +1199,26 @@ pub struct ScaleOutput {
     pub rounds: usize,
 }
 
+/// What [`TcpScaleCluster::run_resilient`] produces: the successful
+/// attempt's output plus the membership history that got there —
+/// the scale-path mirror of
+/// [`ResilientOutput`](crate::cluster::ResilientOutput).
+#[derive(Debug)]
+pub struct ScaleResilientOutput {
+    /// Output of the successful attempt; `results[i]` belongs to
+    /// original rank `survivors[i]` and is dense over the survivors.
+    pub output: ScaleOutput,
+    /// Original ranks that participated in the successful attempt,
+    /// ascending.
+    pub survivors: Vec<usize>,
+    /// Attempts used, including the successful one.
+    pub attempts: usize,
+    /// Ranks that were evicted and later readmitted.
+    pub rejoined: Vec<usize>,
+    /// Membership view the successful attempt ran under.
+    pub view_id: u64,
+}
+
 /// Per-rank execution state owned by exactly one worker.
 struct RankCtx {
     rank: usize,
@@ -565,6 +1243,28 @@ impl ScaleShared {
             *slot = Some(e);
         }
         self.abort.store(true, Ordering::SeqCst);
+    }
+}
+
+/// What one scale attempt produced: the run result, the dense ranks
+/// the failure detector declared dead (the resilient driver's eviction
+/// input), and the fabric's lifecycle counters — available even when
+/// the attempt failed, so resilient runs fold healing work from every
+/// attempt.
+struct Attempt {
+    result: Result<ScaleOutput, NetError>,
+    failed: Vec<usize>,
+    stats: FabricStats,
+}
+
+impl Attempt {
+    /// An attempt that died before the fabric existed.
+    fn abort(e: NetError) -> Self {
+        Self {
+            result: Err(e),
+            failed: Vec::new(),
+            stats: FabricStats::default(),
+        }
     }
 }
 
@@ -615,16 +1315,32 @@ impl TcpScaleCluster {
         inputs: &[Vec<u8>],
         workers: Option<usize>,
     ) -> Result<ScaleOutput, NetError> {
+        Self::run_attempt(cfg, plan, block, inputs, workers).result
+    }
+
+    /// One full execution over a fresh fabric. Besides the run result,
+    /// returns the dense ranks the failure detector declared dead —
+    /// the resilient driver's eviction input. When any rank died, the
+    /// verdict is always [`NetError::RanksFailed`] over that set, so
+    /// every caller (and every seed of a chaos soak) sees the same
+    /// cluster-consistent failure, never a rank-local `Timeout`.
+    fn run_attempt(
+        cfg: &ClusterConfig,
+        plan: &IndexPlan,
+        block: usize,
+        inputs: &[Vec<u8>],
+        workers: Option<usize>,
+    ) -> Attempt {
         let n = cfg.n;
         if inputs.len() != n {
-            return Err(NetError::App(format!(
+            return Attempt::abort(NetError::App(format!(
                 "{} input buffers for {n} ranks",
                 inputs.len()
             )));
         }
         for (rank, input) in inputs.iter().enumerate() {
             if input.len() != n * block {
-                return Err(NetError::App(format!(
+                return Attempt::abort(NetError::App(format!(
                     "rank {rank}: input is {} bytes, want n·b = {}",
                     input.len(),
                     n * block
@@ -632,21 +1348,29 @@ impl TcpScaleCluster {
             }
         }
         if n == 1 {
-            return Ok(ScaleOutput {
-                results: vec![inputs[0].clone()],
-                metrics: RunMetrics {
-                    per_rank: vec![RankMetrics::default()],
-                    ..RunMetrics::default()
-                },
-                workers: 0,
-                threads: 0,
-                rounds: 0,
-            });
+            return Attempt {
+                result: Ok(ScaleOutput {
+                    results: vec![inputs[0].clone()],
+                    metrics: RunMetrics {
+                        per_rank: vec![RankMetrics::default()],
+                        ..RunMetrics::default()
+                    },
+                    workers: 0,
+                    threads: 0,
+                    rounds: 0,
+                }),
+                failed: Vec::new(),
+                stats: FabricStats::default(),
+            };
         }
 
-        let programs: Vec<RankProgram> = (0..n)
+        let programs: Result<Vec<RankProgram>, NetError> = (0..n)
             .map(|rank| RankProgram::lower(plan, n, rank, block, cfg.ports).map_err(NetError::App))
-            .collect::<Result<_, _>>()?;
+            .collect();
+        let programs = match programs {
+            Ok(p) => p,
+            Err(e) => return Attempt::abort(e),
+        };
         // The lowering is SPMD: every rank must agree on the op
         // schedule's shape, or the lockstep interpretation is undefined.
         let ops_len = programs[0].ops.len();
@@ -660,7 +1384,7 @@ impl TcpScaleCluster {
                     )
                 });
             if !aligned {
-                return Err(NetError::App(format!(
+                return Attempt::abort(NetError::App(format!(
                     "plan {} lowered to misaligned per-rank programs",
                     plan.label()
                 )));
@@ -669,9 +1393,28 @@ impl TcpScaleCluster {
         let rounds = programs[0].rounds();
 
         let node_size = cfg.node_size.unwrap_or(n);
-        let (fabric, raw_transports) = TcpFabric::new(n, node_size)?;
         let detector = Arc::new(FailureDetector::new(n));
         let round_clock = Arc::new(RoundClock::new(n));
+        // Healing needs an ARQ layer to re-drive the bytes a teardown
+        // discards; injected socket faults need healing to be
+        // observable at all, so either turns it on.
+        let fab_cfg = FabricConfig {
+            heal: cfg
+                .healing
+                .unwrap_or(cfg.reliability.is_some() || cfg.faults.has_socket_faults()),
+            drain_grace: cfg
+                .reliability
+                .map_or(DEFAULT_DRAIN_GRACE, |rel| rel.wire.drain_grace),
+            faults: Arc::clone(&cfg.faults),
+            round_clock: Some(Arc::clone(&round_clock)),
+            detector: Some(Arc::clone(&detector)),
+            ..FabricConfig::default()
+        };
+        let (fabric, raw_transports) = match TcpFabric::with_config(n, node_size, fab_cfg) {
+            Ok(pair) => pair,
+            Err(e) => return Attempt::abort(e),
+        };
+        let fab_shared = Arc::clone(&fabric.shared);
         let wire_layer = cfg.faults.needs_wire_layer();
         let shared_expiry = cfg.deadline.map(|budget| (Instant::now() + budget, budget));
         let transports: Vec<Box<dyn Transport>> = raw_transports
@@ -746,7 +1489,7 @@ impl TcpScaleCluster {
         };
         let shared_ref = &shared;
         let round_clock_ref = &round_clock;
-        let collected: Vec<Vec<(usize, Vec<u8>, RankMetrics)>> = std::thread::scope(|scope| {
+        let collected: Vec<ChunkOutput> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
@@ -770,6 +1513,14 @@ impl TcpScaleCluster {
                 .collect()
         });
 
+        // Scale the shutdown drain grace with the adaptive-RTO linger
+        // hint, exactly as the thread-per-rank linger does: the
+        // configured grace is the ceiling, a confident (small) RTO
+        // shrinks it.
+        let linger = collected.iter().filter_map(|(_, hint)| *hint).max();
+        if let Some(hint) = linger {
+            fabric.set_drain_grace(hint.min(fab_shared.drain_grace()));
+        }
         let reactor_threads = fabric.threads();
         if let Some(wire) = fabric.shutdown() {
             if let Ok(mut slot) = shared.error.lock() {
@@ -778,28 +1529,241 @@ impl TcpScaleCluster {
                 }
             }
         }
+        let fabric_stats = fab_shared.stats.snapshot();
+        let failed = detector.snapshot();
+        if !failed.is_empty() {
+            // Cluster-consistent verdict: any detector death (ARQ retry
+            // exhaustion or fabric-level eviction) outranks whichever
+            // rank-local error happened to land first.
+            return Attempt {
+                result: Err(NetError::RanksFailed {
+                    ranks: failed.clone(),
+                }),
+                failed,
+                stats: fabric_stats,
+            };
+        }
         if let Some(e) = shared.error.into_inner().expect("scale error lock") {
-            return Err(e);
+            return Attempt {
+                result: Err(e),
+                failed,
+                stats: fabric_stats,
+            };
         }
 
         let mut results = vec![Vec::new(); n];
         let mut per_rank = vec![RankMetrics::default(); n];
-        for (rank, out, metrics) in collected.into_iter().flatten() {
+        for (rank, out, metrics) in collected.into_iter().flat_map(|(ranks, _)| ranks) {
             results[rank] = out;
             per_rank[rank] = metrics;
         }
-        Ok(ScaleOutput {
-            results,
-            metrics: RunMetrics {
-                per_rank,
-                ..RunMetrics::default()
-            },
-            workers: w,
-            threads: w + reactor_threads,
-            rounds,
-        })
+        Attempt {
+            result: Ok(ScaleOutput {
+                results,
+                metrics: RunMetrics {
+                    per_rank,
+                    fabric: fabric_stats,
+                    ..RunMetrics::default()
+                },
+                workers: w,
+                threads: w + reactor_threads,
+                rounds,
+            }),
+            failed: Vec::new(),
+            stats: fabric_stats,
+        }
+    }
+
+    /// [`run`](Self::run) with the full PR 7 recovery lifecycle:
+    /// membership views, node-level eviction, flap-damped quarantine,
+    /// and [`RecoveryPolicy`] steering — over the TCP fabric.
+    ///
+    /// A failed attempt evicts *whole nodes*: the failure domain of
+    /// the shared data plane is the node-pair stream, so every rank of
+    /// a node whose ranks died leaves together. That keeps the
+    /// survivor count divisible by the node size, so hierarchical
+    /// plans re-lower onto the survivor set unchanged; when the
+    /// divisibility is ever lost the plan falls back to a single-level
+    /// Bruck radix.
+    ///
+    /// `inputs[rank]` stays indexed by *original* rank; each retry
+    /// slices the dense survivor sub-matrix out of it. On success,
+    /// `output.results[i]` is survivor `survivors[i]`'s dense result.
+    ///
+    /// # Errors
+    ///
+    /// Non-rank failures (timeouts, protocol errors) propagate
+    /// immediately; rank failures propagate when attempts are
+    /// exhausted, no survivors remain, or
+    /// [`RecoveryPolicy::FailFast`] trips its quorum.
+    pub fn run_resilient(
+        cfg: &ClusterConfig,
+        plan: &IndexPlan,
+        block: usize,
+        inputs: &[Vec<u8>],
+        max_attempts: usize,
+    ) -> Result<ScaleResilientOutput, NetError> {
+        Self::run_resilient_with_workers(cfg, plan, block, inputs, max_attempts, None)
+    }
+
+    /// [`run_resilient`](Self::run_resilient) with an explicit worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_resilient`](Self::run_resilient).
+    pub fn run_resilient_with_workers(
+        cfg: &ClusterConfig,
+        plan: &IndexPlan,
+        block: usize,
+        inputs: &[Vec<u8>],
+        max_attempts: usize,
+        workers: Option<usize>,
+    ) -> Result<ScaleResilientOutput, NetError> {
+        let n0 = cfg.n;
+        if max_attempts == 0 {
+            return Err(NetError::App("max_attempts must be at least 1".into()));
+        }
+        if inputs.len() != n0 {
+            return Err(NetError::App(format!(
+                "{} input buffers for {n0} ranks",
+                inputs.len()
+            )));
+        }
+        for (rank, input) in inputs.iter().enumerate() {
+            if input.len() != n0 * block {
+                return Err(NetError::App(format!(
+                    "rank {rank}: input is {} bytes, want n·b = {}",
+                    input.len(),
+                    n0 * block
+                )));
+            }
+        }
+        let node_size0 = cfg.node_size.unwrap_or(n0);
+        let membership = Membership::new(n0).with_base_quarantine(cfg.quarantine);
+        let mut fabric_acc = FabricStats::default();
+        for attempt in 0..max_attempts {
+            let members = membership.members();
+            if members.is_empty() {
+                return Err(NetError::RanksFailed {
+                    ranks: membership.evicted_ranks(),
+                });
+            }
+            let n = members.len();
+            let node_size = fit_node_size(n, node_size0);
+            let plan_fit = fit_plan(plan, n, node_size);
+            let mut acfg = cfg.clone();
+            acfg.n = n;
+            acfg.node_size = Some(node_size);
+            let base = if attempt == 0 {
+                (*cfg.faults).clone()
+            } else {
+                cfg.faults.survivor_plan()
+            };
+            acfg.faults = Arc::new(base.bind_recurring(&members));
+            // Dense survivor inputs: row r of the original all-to-all
+            // matrix, restricted to survivor columns.
+            let dense_inputs: Vec<Vec<u8>> = members
+                .iter()
+                .map(|&r| {
+                    let mut buf = Vec::with_capacity(n * block);
+                    for &c in &members {
+                        buf.extend_from_slice(&inputs[r][c * block..(c + 1) * block]);
+                    }
+                    buf
+                })
+                .collect();
+            let attempt_out = Self::run_attempt(&acfg, &plan_fit, block, &dense_inputs, workers);
+            let failed = attempt_out.failed;
+            fabric_acc = fabric_acc.merged(&attempt_out.stats);
+            match attempt_out.result {
+                Ok(mut out) => {
+                    out.metrics.fabric = fabric_acc;
+                    out.metrics.membership = membership.stats();
+                    return Ok(ScaleResilientOutput {
+                        output: out,
+                        survivors: members,
+                        attempts: attempt + 1,
+                        rejoined: membership.rejoined_ranks(),
+                        view_id: membership.view_id(),
+                    });
+                }
+                Err(cause) => {
+                    if !cause.is_rank_failure() || attempt + 1 == max_attempts || failed.is_empty()
+                    {
+                        return Err(cause);
+                    }
+                    // Whole-node eviction: expand every failed dense
+                    // rank to its full (attempt-local) node, then map
+                    // back to original ranks.
+                    let mut evicted = BTreeSet::new();
+                    for &dense in &failed {
+                        if dense >= n {
+                            continue;
+                        }
+                        let node = dense / node_size;
+                        evicted.extend(&members[node * node_size..(node + 1) * node_size]);
+                    }
+                    for &orig in &evicted {
+                        membership.evict(orig);
+                    }
+                    match cfg.recovery {
+                        RecoveryPolicy::ShrinkOnly => {}
+                        RecoveryPolicy::FailFast { min_quorum } => {
+                            if membership.members().len() < min_quorum {
+                                return Err(NetError::RanksFailed {
+                                    ranks: membership.evicted_ranks(),
+                                });
+                            }
+                        }
+                        RecoveryPolicy::WaitForRejoin { budget } => {
+                            let _ = membership.wait_for_rejoin(budget);
+                        }
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on the last attempt")
     }
 }
+
+/// The node size a survivor cluster of `n` ranks actually supports:
+/// `want` when it still divides `n` (whole-node eviction keeps it so),
+/// else the largest divisor of `n` not exceeding `want`.
+fn fit_node_size(n: usize, want: usize) -> usize {
+    let want = want.clamp(1, n.max(1));
+    if n.is_multiple_of(want) {
+        return want;
+    }
+    (1..=want).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
+}
+
+/// Re-fit a plan to a survivor cluster: hierarchical plans survive as
+/// long as their node size still tiles the cluster with at least two
+/// nodes; otherwise fall back to a single-level Bruck radix built from
+/// the plan's remote radix.
+fn fit_plan(plan: &IndexPlan, n: usize, node_size: usize) -> IndexPlan {
+    match plan {
+        IndexPlan::Hierarchical {
+            node_size: m,
+            radix_remote,
+            ..
+        } => {
+            let still_fits = *m == node_size && n.is_multiple_of(*m) && n / *m >= 2;
+            if still_fits {
+                plan.clone()
+            } else {
+                IndexPlan::Radix((*radix_remote).max(2))
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// A chunk's yield: each rank's `(rank, output bytes, metrics)` plus
+/// the largest reliability-layer linger hint observed across the
+/// slice, which caps the fabric's shutdown drain grace.
+type ChunkOutput = (Vec<(usize, Vec<u8>, RankMetrics)>, Option<Duration>);
 
 /// One worker's lockstep interpretation of its rank slice. Ranks whose
 /// round receives are complete keep pumping their protocol (acks,
@@ -815,7 +1779,7 @@ fn run_chunk(
     shared: &ScaleShared,
     workers: usize,
     round_clock: &RoundClock,
-) -> Vec<(usize, Vec<u8>, RankMetrics)> {
+) -> ChunkOutput {
     let ops_len = ctxs.first().map_or(0, |c| c.program.ops.len());
     let n = ctxs.first().map_or(0, |c| c.program.n);
     'ops: for op_idx in 0..ops_len {
@@ -1032,12 +1996,17 @@ fn run_chunk(
         }
     }
 
-    ctxs.into_iter()
+    // The largest linger hint among this chunk's endpoints caps how
+    // long the fabric's shutdown drain needs to be.
+    let linger = ctxs.iter().filter_map(|c| c.transport.linger_hint()).max();
+    let ranks = ctxs
+        .into_iter()
         .map(|mut ctx| {
             ctx.metrics.link = ctx.transport.link_stats();
             (ctx.rank, ctx.work, ctx.metrics)
         })
-        .collect()
+        .collect();
+    (ranks, linger)
 }
 
 /// The lowest rank in this chunk that still has an unmatched receive.

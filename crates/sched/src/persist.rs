@@ -138,6 +138,24 @@ pub fn chaos_to_tsv(schedule: &ChaosSchedule) -> String {
             } => out.push_str(&format!("stall\t{rank}\t{round}\t{millis}\n")),
             ChaosEvent::Kill { rank, round } => out.push_str(&format!("kill\t{rank}\t{round}\n")),
             ChaosEvent::Rejoin { rank } => out.push_str(&format!("rejoin\t{rank}\n")),
+            ChaosEvent::ConnReset { src, dst, round } => {
+                out.push_str(&format!("reset\t{src}\t{dst}\t{round}\n"));
+            }
+            ChaosEvent::HalfOpenStall {
+                src,
+                dst,
+                round,
+                millis,
+            } => out.push_str(&format!("halfopen\t{src}\t{dst}\t{round}\t{millis}\n")),
+            ChaosEvent::HandshakeDrop { src, dst, drops } => {
+                out.push_str(&format!("hsdrop\t{src}\t{dst}\t{drops}\n"));
+            }
+            ChaosEvent::ReconnectFlap {
+                src,
+                dst,
+                round,
+                flaps,
+            } => out.push_str(&format!("flap\t{src}\t{dst}\t{round}\t{flaps}\n")),
         }
     }
     out
@@ -210,6 +228,28 @@ pub fn chaos_from_tsv(text: &str) -> Result<ChaosSchedule, String> {
             },
             ["rejoin", rank] => ChaosEvent::Rejoin {
                 rank: num(lineno, "rank", rank)?,
+            },
+            ["reset", src, dst, round] => ChaosEvent::ConnReset {
+                src: num(lineno, "src", src)?,
+                dst: num(lineno, "dst", dst)?,
+                round: num(lineno, "round", round)?,
+            },
+            ["halfopen", src, dst, round, millis] => ChaosEvent::HalfOpenStall {
+                src: num(lineno, "src", src)?,
+                dst: num(lineno, "dst", dst)?,
+                round: num(lineno, "round", round)?,
+                millis: num(lineno, "millis", millis)?,
+            },
+            ["hsdrop", src, dst, drops] => ChaosEvent::HandshakeDrop {
+                src: num(lineno, "src", src)?,
+                dst: num(lineno, "dst", dst)?,
+                drops: num(lineno, "drops", drops)?,
+            },
+            ["flap", src, dst, round, flaps] => ChaosEvent::ReconnectFlap {
+                src: num(lineno, "src", src)?,
+                dst: num(lineno, "dst", dst)?,
+                round: num(lineno, "round", round)?,
+                flaps: num(lineno, "flaps", flaps)?,
             },
             _ => return Err(format!("line {lineno}: unrecognized line: {line}")),
         };
@@ -353,10 +393,44 @@ mod tests {
                 },
                 ChaosEvent::Kill { rank: 7, round: 1 },
                 ChaosEvent::Rejoin { rank: 7 },
+                ChaosEvent::ConnReset {
+                    src: 0,
+                    dst: 5,
+                    round: 2,
+                },
+                ChaosEvent::HalfOpenStall {
+                    src: 3,
+                    dst: 6,
+                    round: 1,
+                    millis: 12,
+                },
+                ChaosEvent::HandshakeDrop {
+                    src: 2,
+                    dst: 7,
+                    drops: 64,
+                },
+                ChaosEvent::ReconnectFlap {
+                    src: 1,
+                    dst: 4,
+                    round: 0,
+                    flaps: 3,
+                },
             ],
         };
         let back = chaos_from_tsv(&chaos_to_tsv(&s)).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn generated_socket_chaos_schedules_round_trip() {
+        for seed in 0..256u64 {
+            for n in [8usize, 16, 128] {
+                let s = ChaosSchedule::generate_socket_chaos(seed, n);
+                let back = chaos_from_tsv(&chaos_to_tsv(&s))
+                    .unwrap_or_else(|e| panic!("seed {seed} n {n}: {e}"));
+                assert_eq!(back, s, "seed {seed} n {n}");
+            }
+        }
     }
 
     #[test]
